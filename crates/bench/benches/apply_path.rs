@@ -1,0 +1,141 @@
+//! MSet apply-path throughput for each replica control method.
+//!
+//! Measures the per-site cost of processing one delivered update MSet:
+//! ORDUP's hold-back bookkeeping vs COMMU's immediate apply vs RITU's
+//! LWW arbitration vs RITU-MV's version install vs COMPE's before-image
+//! logging. This is the "MSet processing" step of §2.4 in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::commu::CommuSite;
+use esr_replica::compe::CompeSite;
+use esr_replica::mset::MSet;
+use esr_replica::ordup::OrdupSite;
+use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
+use esr_replica::site::ReplicaSite;
+
+const N: u64 = 1_000;
+const OBJECTS: u64 = 64;
+
+fn inc_msets() -> Vec<MSet> {
+    (0..N)
+        .map(|i| {
+            MSet::new(
+                EtId(i),
+                SiteId(1),
+                vec![ObjectOp::new(ObjectId(i % OBJECTS), Operation::Incr(1))],
+            )
+        })
+        .collect()
+}
+
+fn tw_msets() -> Vec<MSet> {
+    (0..N)
+        .map(|i| {
+            MSet::new(
+                EtId(i),
+                SiteId(1),
+                vec![ObjectOp::new(
+                    ObjectId(i % OBJECTS),
+                    Operation::TimestampedWrite(
+                        VersionTs::new(i + 1, ClientId(0)),
+                        Value::Int(i as i64),
+                    ),
+                )],
+            )
+        })
+        .collect()
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_path");
+    group.throughput(criterion::Throughput::Elements(N));
+
+    group.bench_function(BenchmarkId::new("deliver", "ORDUP-inorder"), |b| {
+        let msets: Vec<MSet> = inc_msets()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.sequenced(SeqNo(i as u64)))
+            .collect();
+        b.iter(|| {
+            let mut s = OrdupSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver", "ORDUP-reversed"), |b| {
+        // Worst case: everything held back until the first arrives.
+        let mut msets: Vec<MSet> = inc_msets()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.sequenced(SeqNo(i as u64)))
+            .collect();
+        msets.reverse();
+        b.iter(|| {
+            let mut s = OrdupSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver", "COMMU"), |b| {
+        let msets = inc_msets();
+        b.iter(|| {
+            let mut s = CommuSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver", "RITU-lww"), |b| {
+        let msets = tw_msets();
+        b.iter(|| {
+            let mut s = RituOverwriteSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver", "RITU-mv"), |b| {
+        let msets = tw_msets();
+        b.iter(|| {
+            let mut s = RituMvSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver", "COMPE"), |b| {
+        let msets = inc_msets();
+        b.iter(|| {
+            let mut s = CompeSite::new(SiteId(0));
+            for m in &msets {
+                s.deliver(black_box(m.clone()));
+            }
+            // Commit everything so the log drains like a healthy run.
+            for i in 0..N {
+                s.commit(EtId(i));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Scaling of the serializability and epsilon-serializability checkers
+//! with history length (the conflict-graph test is quadratic in events;
+//! this bench keeps that honest).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esr_core::history::{History, HistoryEvent};
+use esr_core::ids::{EtId, ObjectId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::serializability::{is_epsilon_serializable, is_serializable};
+use esr_core::value::Value;
+
+/// A history of `n` events: interleaved update ETs (each a read+write on
+/// its own object, plus one write to a shared object in sequence order —
+/// SR by construction) and query ETs sprinkled through.
+fn make_history(n: usize) -> History {
+    let mut events = Vec::with_capacity(n);
+    let shared = ObjectId(0);
+    for i in 0..n {
+        let et = EtId((i / 3) as u64 + 1);
+        let ev = match i % 3 {
+            0 => HistoryEvent::new(
+                et,
+                ObjectOp::new(ObjectId(1 + (i as u64 % 32)), Operation::Read),
+            ),
+            1 => HistoryEvent::new(
+                et,
+                ObjectOp::new(shared, Operation::Write(Value::Int(i as i64))),
+            ),
+            _ => HistoryEvent::new(
+                // A query ET reading the shared object mid-flight.
+                EtId(1_000_000 + (i as u64 / 3)),
+                ObjectOp::new(shared, Operation::Read),
+            ),
+        };
+        events.push(ev);
+    }
+    History::from_events(events)
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    for n in [64usize, 256, 1024] {
+        let h = make_history(n);
+        group.bench_with_input(BenchmarkId::new("is_serializable", n), &h, |b, h| {
+            b.iter(|| black_box(is_serializable(h)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("is_epsilon_serializable", n),
+            &h,
+            |b, h| b.iter(|| black_box(is_epsilon_serializable(h))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Compensation cost (experiment E8's microbenchmark): the commutative
+//! fast path vs suffix rollback-and-replay, as a function of how much
+//! log lies after the aborted MSet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esr_core::ids::{EtId, ObjectId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_storage::recovery_log::RecoveryLog;
+use esr_storage::store::ObjectStore;
+
+/// Builds a store+log with `suffix_len` records after the first (the
+/// eventual abort victim). `commutative` selects Inc-only suffixes
+/// (cheap path) or alternating Inc/Mul (forces suffix rollback).
+fn build(suffix_len: usize, commutative: bool) -> (ObjectStore, RecoveryLog) {
+    let mut store = ObjectStore::new();
+    let mut log = RecoveryLog::new();
+    let x = ObjectId(0);
+    log.apply_mset(&mut store, EtId(0), &[ObjectOp::new(x, Operation::Incr(10))])
+        .expect("applies");
+    for i in 0..suffix_len {
+        let op = if commutative || i % 2 == 0 {
+            Operation::Incr(1 + i as i64)
+        } else {
+            // MulBy(1) conflicts with Incr (different families) without
+            // growing the value — a 256-record suffix of MulBy(2) would
+            // overflow i64.
+            Operation::MulBy(1)
+        };
+        log.apply_mset(&mut store, EtId(i as u64 + 1), &[ObjectOp::new(x, op)])
+            .expect("applies");
+    }
+    (store, log)
+}
+
+fn bench_compensation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compensation");
+    for suffix_len in [0usize, 8, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("fast_path", suffix_len),
+            &suffix_len,
+            |b, &n| {
+                b.iter_with_setup(
+                    || build(n, true),
+                    |(mut store, mut log)| {
+                        let report = log
+                            .compensate(&mut store, EtId(0))
+                            .expect("at risk")
+                            .expect("applies");
+                        black_box(report.ops_undone)
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("suffix_rollback", suffix_len),
+            &suffix_len,
+            |b, &n| {
+                b.iter_with_setup(
+                    || build(n, false),
+                    |(mut store, mut log)| {
+                        let report = log
+                            .compensate(&mut store, EtId(0))
+                            .expect("at risk")
+                            .expect("applies");
+                        black_box(report.ops_undone + report.ops_replayed)
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compensation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Stable-queue throughput: the in-memory queue vs the crash-recoverable
+//! file-backed queue (enqueue+ack cycles, recovery cost after a crash).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esr_storage::stable_queue::{FileQueue, MemQueue, StableQueue};
+
+const BATCH: usize = 256;
+
+fn payload(i: usize) -> Bytes {
+    Bytes::from(format!("mset-payload-{i:06}"))
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_queue");
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+
+    group.bench_function(BenchmarkId::new("enqueue_ack", "mem"), |b| {
+        b.iter(|| {
+            let mut q = MemQueue::new();
+            let ids: Vec<_> = (0..BATCH).map(|i| q.enqueue(payload(i))).collect();
+            for id in ids {
+                black_box(q.ack(id));
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("enqueue_ack", "file"), |b| {
+        let path = std::env::temp_dir().join(format!("esr-bench-{}.q", std::process::id()));
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            let mut q = FileQueue::open(&path).expect("open");
+            let ids: Vec<_> = (0..BATCH).map(|i| q.enqueue(payload(i))).collect();
+            for id in ids {
+                black_box(q.ack(id));
+            }
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.bench_function(BenchmarkId::new("recovery", "file"), |b| {
+        // Pre-build a log with half the entries acked, then measure the
+        // cost of crash recovery (reopen + replay).
+        let path = std::env::temp_dir().join(format!("esr-bench-rec-{}.q", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut q = FileQueue::open(&path).expect("open");
+            let ids: Vec<_> = (0..BATCH).map(|i| q.enqueue(payload(i))).collect();
+            for id in ids.iter().step_by(2) {
+                q.ack(*id);
+            }
+        }
+        b.iter(|| {
+            let q = FileQueue::open(&path).expect("reopen");
+            black_box(q.len())
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! End-to-end simulation cost of asynchronous replica control vs the
+//! synchronous baselines (the harness-level companion of experiment E7).
+//!
+//! Each iteration simulates a complete 100-update run to quiescence:
+//! COMMU through the event-driven `SimCluster`, write-all through the
+//! 2PC timeline model, and weighted voting through the quorum model.
+//! Criterion reports the simulator's wall-clock cost; the *virtual-time*
+//! results (who actually commits faster inside the simulated world) are
+//! printed by `cargo run -p esr-bench --bin experiments -- e7`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_net::faults::PartitionSchedule;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_replica::quorum::QuorumCluster;
+use esr_replica::sync2pc::TwoPcCluster;
+use esr_sim::time::{Duration, VirtualTime};
+
+const UPDATES: usize = 100;
+const SITES: usize = 4;
+
+fn link() -> LinkConfig {
+    LinkConfig::reliable(LatencyModel::Exponential(Duration::from_millis(10)))
+}
+
+fn run_commu(seed: u64) -> u64 {
+    let cfg = ClusterConfig::new(Method::Commu)
+        .with_sites(SITES)
+        .with_link(link())
+        .with_seed(seed);
+    let mut c = SimCluster::new(cfg);
+    for i in 0..UPDATES {
+        c.advance_to(VirtualTime::from_millis(i as u64 * 5));
+        c.submit_update(
+            SiteId(i as u64 % SITES as u64),
+            vec![ObjectOp::new(ObjectId(i as u64 % 16), Operation::Incr(1))],
+        );
+    }
+    let t = c.run_until_quiescent();
+    assert!(c.converged());
+    t.as_micros()
+}
+
+fn run_2pc(seed: u64) -> u64 {
+    let mut c = TwoPcCluster::new(SITES, link(), PartitionSchedule::none(), seed);
+    let mut last = VirtualTime::ZERO;
+    for i in 0..UPDATES {
+        let r = c.submit_update(
+            SiteId(i as u64 % SITES as u64),
+            &[ObjectOp::new(ObjectId(i as u64 % 16), Operation::Incr(1))],
+            VirtualTime::from_millis(i as u64 * 5),
+        );
+        last = last.max(r.completed);
+    }
+    last.as_micros()
+}
+
+fn run_quorum(seed: u64) -> u64 {
+    let mut c = QuorumCluster::new(SITES, link(), PartitionSchedule::none(), seed);
+    let mut last = VirtualTime::ZERO;
+    for i in 0..UPDATES {
+        let r = c.write(
+            SiteId(i as u64 % SITES as u64),
+            ObjectId(i as u64 % 16),
+            Value::Int(i as i64),
+            VirtualTime::from_millis(i as u64 * 5),
+        );
+        last = last.max(r.decided);
+    }
+    last.as_micros()
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_vs_async");
+    group.bench_function(BenchmarkId::new("run_100_updates", "COMMU"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_commu(seed))
+        })
+    });
+    group.bench_function(BenchmarkId::new("run_100_updates", "2PC"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_2pc(seed))
+        })
+    });
+    group.bench_function(BenchmarkId::new("run_100_updates", "quorum"), |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_quorum(seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Runs the full experiment suite (E4–E10) and prints each table.
+//!
+//! ```text
+//! cargo run --release -p esr-bench --bin experiments          # all
+//! cargo run --release -p esr-bench --bin experiments -- e7    # one
+//! cargo run --release -p esr-bench --bin experiments -- quick # small params
+//! ```
+//!
+//! Every table's claims are also asserted (`claim_holds`): the binary
+//! exits non-zero if any measured result contradicts the paper's claim.
+
+use esr_workload::exp::{
+    e10_partition, e11_spatial, e4_epsilon, e5_bound, e6_convergence, e7_sync_async,
+    e8_compensation, e9_vtnc,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "quick")
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    let mut failures = 0;
+
+    if want("e4") {
+        let p = if quick {
+            e4_epsilon::E4Params::quick()
+        } else {
+            e4_epsilon::E4Params::full()
+        };
+        let rows = e4_epsilon::run(&p);
+        println!("{}", e4_epsilon::render(&p, &rows));
+        report("E4", e4_epsilon::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e5") {
+        let p = if quick {
+            e5_bound::E5Params::quick()
+        } else {
+            e5_bound::E5Params::full()
+        };
+        let rows = e5_bound::run(&p);
+        println!("{}", e5_bound::render(&p, &rows));
+        report("E5", e5_bound::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e6") {
+        let p = if quick {
+            e6_convergence::E6Params::quick()
+        } else {
+            e6_convergence::E6Params::full()
+        };
+        let rows = e6_convergence::run(&p);
+        println!("{}", e6_convergence::render(&p, &rows));
+        report("E6", e6_convergence::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e7") {
+        let p = if quick {
+            e7_sync_async::E7Params::quick()
+        } else {
+            e7_sync_async::E7Params::full()
+        };
+        let lat = e7_sync_async::run_latency_sweep(&p);
+        let size = e7_sync_async::run_size_sweep(&p);
+        println!("{}", e7_sync_async::render(&p, &lat, &size));
+        report("E7", e7_sync_async::claim_holds(&lat, &size), &mut failures);
+    }
+
+    if want("e8") {
+        let p = if quick {
+            e8_compensation::E8Params::quick()
+        } else {
+            e8_compensation::E8Params::full()
+        };
+        let rows = e8_compensation::run(&p);
+        println!("{}", e8_compensation::render(&p, &rows));
+        report("E8", e8_compensation::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e9") {
+        let p = if quick {
+            e9_vtnc::E9Params::quick()
+        } else {
+            e9_vtnc::E9Params::full()
+        };
+        let rows = e9_vtnc::run(&p);
+        println!("{}", e9_vtnc::render(&p, &rows));
+        report("E9", e9_vtnc::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e10") {
+        let p = if quick {
+            e10_partition::E10Params::quick()
+        } else {
+            e10_partition::E10Params::full()
+        };
+        let rows = e10_partition::run(&p);
+        println!("{}", e10_partition::render(&p, &rows));
+        report("E10", e10_partition::claim_holds(&rows), &mut failures);
+    }
+
+    if want("e11") {
+        let p = if quick {
+            e11_spatial::E11Params::quick()
+        } else {
+            e11_spatial::E11Params::full()
+        };
+        let rows = e11_spatial::run(&p);
+        println!("{}", e11_spatial::render(&p, &rows));
+        report("E11", e11_spatial::claim_holds(&rows), &mut failures);
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment claim(s) FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn report(name: &str, ok: bool, failures: &mut u32) {
+    if ok {
+        println!("[{name}] claim holds\n");
+    } else {
+        println!("[{name}] CLAIM VIOLATED\n");
+        *failures += 1;
+    }
+}

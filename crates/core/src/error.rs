@@ -1,0 +1,129 @@
+//! Error types for the core ESR crate.
+
+use std::fmt;
+
+use crate::ids::{EtId, ObjectId};
+
+/// Errors produced by core ESR operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An arithmetic operation overflowed an object value.
+    ArithmeticOverflow {
+        /// Object the operation was applied to.
+        object: ObjectId,
+        /// Human-readable description of the operation.
+        op: String,
+    },
+    /// Division by zero (e.g. `DivBy(0)` used as an operation or as a
+    /// compensation).
+    DivisionByZero {
+        /// Object the operation was applied to.
+        object: ObjectId,
+    },
+    /// An operation was applied to a value of the wrong type (e.g. `Incr`
+    /// on a string value).
+    TypeMismatch {
+        /// Object the operation was applied to.
+        object: ObjectId,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What the object actually held.
+        found: &'static str,
+    },
+    /// An operation that has no defined inverse was asked for its
+    /// compensation.
+    NoCompensation {
+        /// Description of the operation.
+        op: String,
+    },
+    /// A query ET attempted to import more inconsistency than its epsilon
+    /// specification allows.
+    EpsilonExceeded {
+        /// The query ET that was rejected.
+        et: EtId,
+        /// The epsilon limit it declared.
+        limit: u64,
+    },
+    /// A transaction referenced in a history does not exist.
+    UnknownEt(EtId),
+    /// A lock request would deadlock.
+    Deadlock {
+        /// The ET whose request closed the cycle.
+        et: EtId,
+    },
+    /// A lock request was made by an ET that already released locks
+    /// (two-phase rule violation).
+    TwoPhaseViolation {
+        /// The offending ET.
+        et: EtId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArithmeticOverflow { object, op } => {
+                write!(f, "arithmetic overflow applying {op} to {object}")
+            }
+            CoreError::DivisionByZero { object } => {
+                write!(f, "division by zero on {object}")
+            }
+            CoreError::TypeMismatch {
+                object,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on {object}: operation expects {expected}, value is {found}"
+            ),
+            CoreError::NoCompensation { op } => {
+                write!(f, "operation {op} has no defined compensation")
+            }
+            CoreError::EpsilonExceeded { et, limit } => {
+                write!(f, "query {et} exceeded its epsilon limit of {limit}")
+            }
+            CoreError::UnknownEt(et) => write!(f, "unknown epsilon-transaction {et}"),
+            CoreError::Deadlock { et } => write!(f, "lock request by {et} would deadlock"),
+            CoreError::TwoPhaseViolation { et } => {
+                write!(f, "{et} requested a lock after releasing (2PL violation)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for core results.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EtId, ObjectId};
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ArithmeticOverflow {
+            object: ObjectId::new(1),
+            op: "Incr(5)".into(),
+        };
+        assert!(e.to_string().contains("overflow"));
+        assert!(e.to_string().contains("x1"));
+
+        let e = CoreError::EpsilonExceeded {
+            et: EtId::new(3),
+            limit: 2,
+        };
+        assert!(e.to_string().contains("et3"));
+        assert!(e.to_string().contains('2'));
+
+        let e = CoreError::Deadlock { et: EtId::new(4) };
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::UnknownEt(EtId::new(0)));
+    }
+}

@@ -1,0 +1,322 @@
+//! Epsilon-transactions (ETs).
+//!
+//! An ET is a sequence of operations on data objects (§2.1). An ET
+//! containing only reads is a *query ET*; an ET containing at least one
+//! write is an *update ET*. Update ETs must be serializable with respect
+//! to each other; query ETs may interleave freely and accumulate bounded
+//! inconsistency.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EtId, ObjectId};
+use crate::op::{ObjectOp, Operation};
+
+/// Whether an ET is a query (read-only) or an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtKind {
+    /// Read-only epsilon-transaction (`Q^ET`).
+    Query,
+    /// Epsilon-transaction containing at least one write (`U^ET`).
+    Update,
+}
+
+impl fmt::Display for EtKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtKind::Query => write!(f, "Q"),
+            EtKind::Update => write!(f, "U"),
+        }
+    }
+}
+
+/// A complete epsilon-transaction program: its identity and the ordered
+/// operations it performs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpsilonTransaction {
+    /// Unique identity.
+    pub id: EtId,
+    /// The ordered operations.
+    pub ops: Vec<ObjectOp>,
+    /// The inconsistency budget of a query ET: the maximum number of
+    /// conflicting concurrent update ETs it may import. `u64::MAX` means
+    /// unbounded; `0` demands strict serializability. Ignored for update
+    /// ETs (updates are always SR among themselves).
+    pub epsilon: u64,
+}
+
+impl EpsilonTransaction {
+    /// Builds an ET with an unbounded epsilon.
+    pub fn new(id: EtId, ops: Vec<ObjectOp>) -> Self {
+        Self {
+            id,
+            ops,
+            epsilon: u64::MAX,
+        }
+    }
+
+    /// Builds an ET with the given inconsistency budget.
+    pub fn with_epsilon(id: EtId, ops: Vec<ObjectOp>, epsilon: u64) -> Self {
+        Self { id, ops, epsilon }
+    }
+
+    /// Classifies the ET (§2.1): update iff it contains at least one
+    /// write.
+    pub fn kind(&self) -> EtKind {
+        if self.ops.iter().any(|o| o.op.is_write()) {
+            EtKind::Update
+        } else {
+            EtKind::Query
+        }
+    }
+
+    /// True for query ETs.
+    pub fn is_query(&self) -> bool {
+        self.kind() == EtKind::Query
+    }
+
+    /// True for update ETs.
+    pub fn is_update(&self) -> bool {
+        self.kind() == EtKind::Update
+    }
+
+    /// The set of objects read by this ET.
+    pub fn read_set(&self) -> BTreeSet<ObjectId> {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.op, Operation::Read))
+            .map(|o| o.object)
+            .collect()
+    }
+
+    /// The set of objects written by this ET.
+    pub fn write_set(&self) -> BTreeSet<ObjectId> {
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_write())
+            .map(|o| o.object)
+            .collect()
+    }
+
+    /// All objects touched by this ET.
+    pub fn access_set(&self) -> BTreeSet<ObjectId> {
+        self.ops.iter().map(|o| o.object).collect()
+    }
+
+    /// True when every write in this ET is read-independent (a RITU
+    /// candidate, §3.3).
+    pub fn is_read_independent(&self) -> bool {
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_write())
+            .all(|o| o.op.is_read_independent())
+    }
+
+    /// True when every pair of write operations in this ET commutes with
+    /// every write of `other` that targets the same object (a COMMU
+    /// candidate pair, §3.2).
+    pub fn writes_commute_with(&self, other: &EpsilonTransaction) -> bool {
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_write())
+            .all(|a| {
+                other
+                    .ops
+                    .iter()
+                    .filter(|o| o.op.is_write() && o.object == a.object)
+                    .all(|b| a.op.commutes_with(&b.op))
+            })
+    }
+
+    /// True when every write has a defined exact compensation (a COMPE
+    /// fast-path candidate, §4).
+    pub fn is_self_compensatable(&self) -> bool {
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_write())
+            .all(|o| o.op.compensation().is_some())
+    }
+}
+
+impl fmt::Display for EpsilonTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}:", self.kind(), self.id)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`EpsilonTransaction`]s, used pervasively in tests,
+/// examples, and workload generators.
+///
+/// ```
+/// use esr_core::et::{EtBuilder, EtKind};
+///
+/// let audit = EtBuilder::new(1u64).read(0u64).read(1u64).epsilon(2).build();
+/// assert_eq!(audit.kind(), EtKind::Query);
+/// assert_eq!(audit.epsilon, 2);
+///
+/// let transfer = EtBuilder::new(2u64).decr(0u64, 50).incr(1u64, 50).build();
+/// assert!(transfer.is_update());
+/// assert!(transfer.writes_commute_with(&transfer));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EtBuilder {
+    id: EtId,
+    ops: Vec<ObjectOp>,
+    epsilon: u64,
+}
+
+impl EtBuilder {
+    /// Starts building an ET with the given id.
+    pub fn new(id: impl Into<EtId>) -> Self {
+        Self {
+            id: id.into(),
+            ops: Vec::new(),
+            epsilon: u64::MAX,
+        }
+    }
+
+    /// Adds a read of `object`.
+    pub fn read(mut self, object: impl Into<ObjectId>) -> Self {
+        self.ops
+            .push(ObjectOp::new(object.into(), Operation::Read));
+        self
+    }
+
+    /// Adds a write of `value` to `object`.
+    pub fn write(mut self, object: impl Into<ObjectId>, value: impl Into<crate::value::Value>) -> Self {
+        self.ops
+            .push(ObjectOp::new(object.into(), Operation::Write(value.into())));
+        self
+    }
+
+    /// Adds an increment of `object` by `n`.
+    pub fn incr(mut self, object: impl Into<ObjectId>, n: i64) -> Self {
+        self.ops
+            .push(ObjectOp::new(object.into(), Operation::Incr(n)));
+        self
+    }
+
+    /// Adds a decrement of `object` by `n`.
+    pub fn decr(mut self, object: impl Into<ObjectId>, n: i64) -> Self {
+        self.ops
+            .push(ObjectOp::new(object.into(), Operation::Decr(n)));
+        self
+    }
+
+    /// Adds a multiplication of `object` by `k`.
+    pub fn mul(mut self, object: impl Into<ObjectId>, k: i64) -> Self {
+        self.ops
+            .push(ObjectOp::new(object.into(), Operation::MulBy(k)));
+        self
+    }
+
+    /// Adds an arbitrary operation.
+    pub fn op(mut self, object: impl Into<ObjectId>, op: Operation) -> Self {
+        self.ops.push(ObjectOp::new(object.into(), op));
+        self
+    }
+
+    /// Sets the inconsistency budget.
+    pub fn epsilon(mut self, epsilon: u64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Finishes the ET.
+    pub fn build(self) -> EpsilonTransaction {
+        EpsilonTransaction::with_epsilon(self.id, self.ops, self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn classification() {
+        let q = EtBuilder::new(1u64).read(0u64).read(1u64).build();
+        assert_eq!(q.kind(), EtKind::Query);
+        assert!(q.is_query() && !q.is_update());
+
+        let u = EtBuilder::new(2u64).read(0u64).incr(0u64, 1).build();
+        assert_eq!(u.kind(), EtKind::Update);
+        assert!(u.is_update());
+
+        let empty = EtBuilder::new(3u64).build();
+        assert_eq!(empty.kind(), EtKind::Query, "empty ET is a trivial query");
+    }
+
+    #[test]
+    fn read_write_access_sets() {
+        let et = EtBuilder::new(1u64)
+            .read(0u64)
+            .incr(1u64, 5)
+            .write(2u64, Value::Int(9))
+            .read(1u64)
+            .build();
+        assert_eq!(et.read_set().len(), 2);
+        assert!(et.read_set().contains(&ObjectId(0)));
+        assert!(et.read_set().contains(&ObjectId(1)));
+        assert_eq!(et.write_set().len(), 2);
+        assert!(et.write_set().contains(&ObjectId(1)));
+        assert!(et.write_set().contains(&ObjectId(2)));
+        assert_eq!(et.access_set().len(), 3);
+    }
+
+    #[test]
+    fn read_independence_predicate() {
+        let blind = EtBuilder::new(1u64).write(0u64, 5i64).build();
+        assert!(blind.is_read_independent());
+        let dependent = EtBuilder::new(2u64).incr(0u64, 5).build();
+        assert!(!dependent.is_read_independent());
+        // A query is vacuously read-independent.
+        assert!(EtBuilder::new(3u64).read(0u64).build().is_read_independent());
+    }
+
+    #[test]
+    fn writes_commute_with_detects_commu_pairs() {
+        let a = EtBuilder::new(1u64).incr(0u64, 5).decr(1u64, 2).build();
+        let b = EtBuilder::new(2u64).incr(0u64, 3).build();
+        assert!(a.writes_commute_with(&b));
+        assert!(b.writes_commute_with(&a));
+
+        let c = EtBuilder::new(3u64).mul(0u64, 2).build();
+        assert!(!a.writes_commute_with(&c));
+        // But c commutes with an ET touching only a different object.
+        let d = EtBuilder::new(4u64).incr(5u64, 1).build();
+        assert!(c.writes_commute_with(&d));
+    }
+
+    #[test]
+    fn self_compensatable_predicate() {
+        assert!(EtBuilder::new(1u64).incr(0u64, 5).mul(1u64, 2).build().is_self_compensatable());
+        assert!(!EtBuilder::new(2u64).write(0u64, 1i64).build().is_self_compensatable());
+    }
+
+    #[test]
+    fn epsilon_defaults_and_override() {
+        let et = EtBuilder::new(1u64).read(0u64).build();
+        assert_eq!(et.epsilon, u64::MAX);
+        let et = EtBuilder::new(1u64).read(0u64).epsilon(3).build();
+        assert_eq!(et.epsilon, 3);
+    }
+
+    #[test]
+    fn display_shows_kind_and_ops() {
+        let et = EtBuilder::new(7u64).read(0u64).incr(1u64, 2).build();
+        let s = et.to_string();
+        assert!(s.starts_with("Uet7:"), "{s}");
+        assert!(s.contains("R[x0]"));
+        assert!(s.contains("Inc(2)[x1]"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Histories (logs) of ET operations.
+//!
+//! A history is a sequence of operations, each tagged with the ET that
+//! issued it (§2.1). The serializability and overlap analyses all operate
+//! on this representation. The module also provides constructors for
+//! serial logs and the paper's running example, log (1):
+//!
+//! ```text
+//! R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::et::{EpsilonTransaction, EtKind};
+use crate::ids::{EtId, ObjectId};
+use crate::op::{ObjectOp, Operation};
+use crate::value::Value;
+
+/// One event in a history: an operation performed by an ET.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryEvent {
+    /// The ET issuing the operation.
+    pub et: EtId,
+    /// The operation and its target object.
+    pub op: ObjectOp,
+}
+
+impl HistoryEvent {
+    /// Builds an event.
+    pub fn new(et: EtId, op: ObjectOp) -> Self {
+        Self { et, op }
+    }
+}
+
+impl fmt::Display for HistoryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sub = self.et.raw();
+        match &self.op.op {
+            Operation::Read => write!(f, "R{sub}({})", self.op.object),
+            _ => write!(f, "{}{sub}({})", short_name(&self.op.op), self.op.object),
+        }
+    }
+}
+
+fn short_name(op: &Operation) -> String {
+    match op {
+        Operation::Read => "R".into(),
+        Operation::Write(_) => "W".into(),
+        Operation::Incr(_) => "Inc".into(),
+        Operation::Decr(_) => "Dec".into(),
+        Operation::MulBy(_) => "Mul".into(),
+        Operation::DivBy(_) => "Div".into(),
+        Operation::InsertElem(_) => "Ins".into(),
+        Operation::RemoveElem(_) => "Rem".into(),
+        Operation::TimestampedWrite(_, _) => "TW".into(),
+    }
+}
+
+/// A history (log) of ET operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<HistoryEvent>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a history from events.
+    pub fn from_events(events: Vec<HistoryEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Builds a *serial* history: each transaction's operations appear
+    /// consecutively, in the order given.
+    pub fn serial(ets: &[EpsilonTransaction]) -> Self {
+        let mut events = Vec::new();
+        for et in ets {
+            for op in &et.ops {
+                events.push(HistoryEvent::new(et.id, op.clone()));
+            }
+        }
+        Self { events }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, et: EtId, op: ObjectOp) {
+        self.events.push(HistoryEvent::new(et, op));
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[HistoryEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The distinct ETs in order of first appearance.
+    pub fn ets(&self) -> Vec<EtId> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if !seen.contains(&e.et) {
+                seen.push(e.et);
+            }
+        }
+        seen
+    }
+
+    /// The kind of an ET as evidenced by its operations in this history:
+    /// update iff it performed at least one write here.
+    pub fn kind_of(&self, et: EtId) -> Option<EtKind> {
+        let mut seen = false;
+        for e in &self.events {
+            if e.et == et {
+                seen = true;
+                if e.op.op.is_write() {
+                    return Some(EtKind::Update);
+                }
+            }
+        }
+        seen.then_some(EtKind::Query)
+    }
+
+    /// Index of the first event of `et`, if present.
+    pub fn first_index_of(&self, et: EtId) -> Option<usize> {
+        self.events.iter().position(|e| e.et == et)
+    }
+
+    /// Index of the last event of `et`, if present.
+    pub fn last_index_of(&self, et: EtId) -> Option<usize> {
+        self.events.iter().rposition(|e| e.et == et)
+    }
+
+    /// All events of one ET, in order.
+    pub fn events_of(&self, et: EtId) -> Vec<&HistoryEvent> {
+        self.events.iter().filter(|e| e.et == et).collect()
+    }
+
+    /// Deletes all query-ET events, leaving only update-ET events — the
+    /// projection used by the epsilon-serial test (§2.1): a log is
+    /// ε-serial if, after deleting query ETs, the remaining update ETs
+    /// form an SR log.
+    pub fn project_updates(&self) -> History {
+        let update_ets: Vec<EtId> = self
+            .ets()
+            .into_iter()
+            .filter(|&et| self.kind_of(et) == Some(EtKind::Update))
+            .collect();
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| update_ets.contains(&e.et))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// True when every ET's operations are contiguous (a serial log).
+    pub fn is_serial(&self) -> bool {
+        let mut finished: Vec<EtId> = Vec::new();
+        let mut current: Option<EtId> = None;
+        for e in &self.events {
+            match current {
+                Some(c) if c == e.et => {}
+                _ => {
+                    if finished.contains(&e.et) {
+                        return false;
+                    }
+                    if let Some(c) = current {
+                        finished.push(c);
+                    }
+                    current = Some(e.et);
+                }
+            }
+        }
+        true
+    }
+
+    /// Executes the history sequentially against an initial database,
+    /// returning the final object values and, for each read event, the
+    /// value observed. Used by the brute-force serializability oracle.
+    pub fn execute(
+        &self,
+        initial: &BTreeMap<ObjectId, Value>,
+    ) -> crate::error::CoreResult<Execution> {
+        let mut db = initial.clone();
+        let mut reads = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let v = db.entry(e.op.object).or_default().clone();
+            match &e.op.op {
+                Operation::Read => reads.push((i, e.et, e.op.object, v)),
+                op => {
+                    let nv = op.apply(e.op.object, &v)?;
+                    db.insert(e.op.object, nv);
+                }
+            }
+        }
+        Ok(Execution {
+            final_state: db,
+            reads,
+        })
+    }
+
+    /// Reconstructs per-ET programs (operation lists) from the history.
+    pub fn programs(&self) -> Vec<EpsilonTransaction> {
+        let mut map: BTreeMap<EtId, Vec<ObjectOp>> = BTreeMap::new();
+        for e in &self.events {
+            map.entry(e.et).or_default().push(e.op.clone());
+        }
+        map.into_iter()
+            .map(|(id, ops)| EpsilonTransaction::new(id, ops))
+            .collect()
+    }
+
+    /// The paper's example log (1):
+    /// `R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)` with `a = x0`, `b = x1`.
+    ///
+    /// ET 1 and ET 2 are update ETs, ET 3 is a query ET. The log is not SR
+    /// but is ε-serial: deleting `Q3` leaves the serial log `U1 U2`.
+    pub fn paper_example_log1() -> History {
+        let a = ObjectId(0);
+        let b = ObjectId(1);
+        let ev = |et: u64, obj: ObjectId, op: Operation| {
+            HistoryEvent::new(EtId(et), ObjectOp::new(obj, op))
+        };
+        History::from_events(vec![
+            ev(1, a, Operation::Read),
+            ev(1, b, Operation::Write(Value::Int(1))),
+            ev(2, b, Operation::Write(Value::Int(2))),
+            ev(3, a, Operation::Read),
+            ev(2, a, Operation::Write(Value::Int(3))),
+            ev(3, b, Operation::Read),
+        ])
+    }
+}
+
+/// Enumerates **every** interleaving of the given ETs' operation
+/// sequences (each ET's own order is preserved). The count is the
+/// multinomial coefficient of the lengths, so keep the inputs small —
+/// this exists for exhaustive checking of theory properties on small
+/// cases (see `tests/exhaustive_small.rs`). Panics if more than
+/// 1 000 000 interleavings would be produced.
+pub fn interleavings(ets: &[EpsilonTransaction]) -> Vec<History> {
+    // Multinomial bound check.
+    let total: usize = ets.iter().map(|e| e.ops.len()).sum();
+    let mut count: u128 = 1;
+    let mut used = 0usize;
+    for et in ets {
+        for k in 1..=et.ops.len() {
+            used += 1;
+            count = count * used as u128 / k as u128;
+        }
+    }
+    let _ = total;
+    assert!(count <= 1_000_000, "{count} interleavings is too many");
+
+    let mut results = Vec::with_capacity(count as usize);
+    let mut cursors = vec![0usize; ets.len()];
+    let mut current: Vec<HistoryEvent> = Vec::with_capacity(total);
+    fn recurse(
+        ets: &[EpsilonTransaction],
+        cursors: &mut Vec<usize>,
+        current: &mut Vec<HistoryEvent>,
+        results: &mut Vec<History>,
+    ) {
+        let mut extended = false;
+        for i in 0..ets.len() {
+            if cursors[i] < ets[i].ops.len() {
+                extended = true;
+                current.push(HistoryEvent::new(ets[i].id, ets[i].ops[cursors[i]].clone()));
+                cursors[i] += 1;
+                recurse(ets, cursors, current, results);
+                cursors[i] -= 1;
+                current.pop();
+            }
+        }
+        if !extended {
+            results.push(History::from_events(current.clone()));
+        }
+    }
+    recurse(ets, &mut cursors, &mut current, &mut results);
+    results
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of sequentially executing a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// Final value of every touched object.
+    pub final_state: BTreeMap<ObjectId, Value>,
+    /// `(event index, et, object, value read)` for every read.
+    pub reads: Vec<(usize, EtId, ObjectId, Value)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::et::EtBuilder;
+
+    fn inc(et: u64, obj: u64, n: i64) -> HistoryEvent {
+        HistoryEvent::new(EtId(et), ObjectOp::new(ObjectId(obj), Operation::Incr(n)))
+    }
+    fn read(et: u64, obj: u64) -> HistoryEvent {
+        HistoryEvent::new(EtId(et), ObjectOp::new(ObjectId(obj), Operation::Read))
+    }
+
+    #[test]
+    fn serial_construction_is_serial() {
+        let t1 = EtBuilder::new(1u64).read(0u64).incr(0u64, 1).build();
+        let t2 = EtBuilder::new(2u64).read(0u64).build();
+        let h = History::serial(&[t1, t2]);
+        assert!(h.is_serial());
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.ets(), vec![EtId(1), EtId(2)]);
+    }
+
+    #[test]
+    fn interleaved_is_not_serial() {
+        let h = History::from_events(vec![read(1, 0), read(2, 0), read(1, 1)]);
+        assert!(!h.is_serial());
+    }
+
+    #[test]
+    fn empty_and_single_are_serial() {
+        assert!(History::new().is_serial());
+        assert!(History::from_events(vec![read(1, 0)]).is_serial());
+        assert!(History::new().is_empty());
+    }
+
+    #[test]
+    fn kind_of_derives_from_ops() {
+        let h = History::from_events(vec![read(1, 0), inc(2, 0, 1), read(2, 1)]);
+        assert_eq!(h.kind_of(EtId(1)), Some(EtKind::Query));
+        assert_eq!(h.kind_of(EtId(2)), Some(EtKind::Update));
+        assert_eq!(h.kind_of(EtId(99)), None);
+    }
+
+    #[test]
+    fn projection_deletes_query_ets() {
+        let h = History::paper_example_log1();
+        let p = h.project_updates();
+        assert_eq!(p.ets(), vec![EtId(1), EtId(2)]);
+        assert_eq!(p.len(), 4);
+        // The projection of log (1) is serial — exactly the paper's claim.
+        assert!(p.is_serial());
+    }
+
+    #[test]
+    fn indices() {
+        let h = History::paper_example_log1();
+        assert_eq!(h.first_index_of(EtId(3)), Some(3));
+        assert_eq!(h.last_index_of(EtId(3)), Some(5));
+        assert_eq!(h.first_index_of(EtId(1)), Some(0));
+        assert_eq!(h.last_index_of(EtId(1)), Some(1));
+        assert_eq!(h.first_index_of(EtId(42)), None);
+    }
+
+    #[test]
+    fn execute_tracks_reads_and_final_state() {
+        let mut initial = BTreeMap::new();
+        initial.insert(ObjectId(0), Value::Int(10));
+        let h = History::from_events(vec![read(1, 0), inc(2, 0, 5), read(3, 0)]);
+        let ex = h.execute(&initial).unwrap();
+        assert_eq!(ex.final_state[&ObjectId(0)], Value::Int(15));
+        assert_eq!(ex.reads.len(), 2);
+        assert_eq!(ex.reads[0].3, Value::Int(10));
+        assert_eq!(ex.reads[1].3, Value::Int(15));
+    }
+
+    #[test]
+    fn execute_defaults_missing_objects_to_zero() {
+        let h = History::from_events(vec![inc(1, 7, 3), read(2, 7)]);
+        let ex = h.execute(&BTreeMap::new()).unwrap();
+        assert_eq!(ex.final_state[&ObjectId(7)], Value::Int(3));
+    }
+
+    #[test]
+    fn programs_reconstruct_ets() {
+        let h = History::paper_example_log1();
+        let progs = h.programs();
+        assert_eq!(progs.len(), 3);
+        assert_eq!(progs[0].id, EtId(1));
+        assert!(progs[0].is_update());
+        assert!(progs[2].is_query());
+        assert_eq!(progs[2].ops.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let h = History::paper_example_log1();
+        let s = h.to_string();
+        assert_eq!(s, "R1(x0) W1(x1) W2(x1) R3(x0) W2(x0) R3(x1)");
+    }
+
+    #[test]
+    fn interleavings_enumerate_all_merges() {
+        use crate::et::EtBuilder;
+        let a = EtBuilder::new(1u64).incr(0u64, 1).incr(1u64, 1).build();
+        let b = EtBuilder::new(2u64).read(0u64).build();
+        let all = super::interleavings(&[a, b]);
+        // C(3,1) = 3 positions for b's single op.
+        assert_eq!(all.len(), 3);
+        for h in &all {
+            assert_eq!(h.len(), 3);
+            // Each ET's internal order is preserved.
+            let a_events = h.events_of(EtId(1));
+            assert_eq!(a_events.len(), 2);
+            assert_eq!(a_events[0].op.object, ObjectId(0));
+            assert_eq!(a_events[1].op.object, ObjectId(1));
+        }
+        // All distinct.
+        let mut uniq = all.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut h = History::new();
+        h.push(EtId(1), ObjectOp::new(ObjectId(0), Operation::Read));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.events()[0].et, EtId(1));
+    }
+}

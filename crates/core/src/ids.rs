@@ -1,0 +1,207 @@
+//! Newtyped identifiers used throughout the ESR system.
+//!
+//! Every entity in the model — epsilon-transactions, sites, objects,
+//! clients — gets its own integer newtype so that the type system prevents
+//! mixing them up. All identifiers are `Copy`, ordered, hashable, and
+//! serializable so that they can be used as map keys and carried inside
+//! network messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw integer identifier.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer behind the identifier.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an epsilon-transaction (query or update ET).
+    EtId,
+    "et"
+);
+id_type!(
+    /// Identifier of a site (node) holding one replica of each object.
+    SiteId,
+    "s"
+);
+id_type!(
+    /// Identifier of a logical replicated object.
+    ObjectId,
+    "x"
+);
+id_type!(
+    /// Identifier of a client issuing epsilon-transactions.
+    ClientId,
+    "c"
+);
+id_type!(
+    /// Identifier of a network message.
+    MsgId,
+    "m"
+);
+
+/// A position in a global total order of update ETs, as produced by an
+/// ORDUP sequencer. Sequence numbers are dense: the sequencer hands out
+/// `0, 1, 2, …` with no gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The first sequence number handed out by a fresh sequencer.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// The sequence number immediately following this one.
+    pub const fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+
+    /// Raw integer value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A Lamport timestamp: a logical clock value paired with the site that
+/// produced it. The site id breaks ties, giving a total order suitable for
+/// distributed ORDUP ordering (paper §3.1, citing Lamport's clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LamportTs {
+    /// Logical clock component.
+    pub counter: u64,
+    /// Tie-breaking site component.
+    pub site: SiteId,
+}
+
+impl LamportTs {
+    /// Builds a timestamp from a counter value and originating site.
+    pub const fn new(counter: u64, site: SiteId) -> Self {
+        Self { counter, site }
+    }
+}
+
+impl fmt::Display for LamportTs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.counter, self.site)
+    }
+}
+
+/// A version timestamp for RITU (read-independent timestamped updates).
+///
+/// RITU writes carry a timestamp assigned at the *originating client*; the
+/// `client` component breaks ties so that two updates never carry the same
+/// version, making last-writer-wins deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VersionTs {
+    /// Client-assigned logical time of the write.
+    pub time: u64,
+    /// Tie-breaking originating client.
+    pub client: ClientId,
+}
+
+impl VersionTs {
+    /// Builds a version timestamp.
+    pub const fn new(time: u64, client: ClientId) -> Self {
+        Self { time, client }
+    }
+
+    /// The smallest possible version: no real write carries it.
+    pub const MIN: VersionTs = VersionTs {
+        time: 0,
+        client: ClientId(0),
+    };
+}
+
+impl fmt::Display for VersionTs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}.{}", self.time, self.client.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let e = EtId::new(7);
+        assert_eq!(e.raw(), 7);
+        assert_eq!(e.to_string(), "et7");
+        assert_eq!(EtId::from(7), e);
+        assert_eq!(SiteId::new(3).to_string(), "s3");
+        assert_eq!(ObjectId::new(1).to_string(), "x1");
+        assert_eq!(ClientId::new(9).to_string(), "c9");
+        assert_eq!(MsgId::new(2).to_string(), "m2");
+    }
+
+    #[test]
+    fn ids_of_different_types_are_distinct_types() {
+        // Compile-time property; here we just confirm values are independent.
+        let a = EtId::new(1);
+        let b = SiteId::new(1);
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn seqno_next_is_dense() {
+        let s = SeqNo::ZERO;
+        assert_eq!(s.next(), SeqNo(1));
+        assert_eq!(s.next().next(), SeqNo(2));
+        assert_eq!(SeqNo(5).to_string(), "#5");
+    }
+
+    #[test]
+    fn lamport_order_breaks_ties_by_site() {
+        let a = LamportTs::new(3, SiteId::new(1));
+        let b = LamportTs::new(3, SiteId::new(2));
+        let c = LamportTs::new(4, SiteId::new(0));
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.to_string(), "3@s1");
+    }
+
+    #[test]
+    fn version_ts_total_order() {
+        let a = VersionTs::new(10, ClientId::new(1));
+        let b = VersionTs::new(10, ClientId::new(2));
+        let c = VersionTs::new(11, ClientId::new(0));
+        assert!(a < b && b < c);
+        assert!(VersionTs::MIN < a);
+        assert_eq!(a.to_string(), "v10.1");
+    }
+}

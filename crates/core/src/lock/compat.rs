@@ -1,0 +1,285 @@
+//! ET lock modes and the compatibility tables of the paper.
+//!
+//! The paper refines two-phase locking for epsilon-transactions with
+//! three lock classes (§3.1–§3.2):
+//!
+//! * `RU` — read lock taken by an **update** ET,
+//! * `WU` — write lock taken by an **update** ET,
+//! * `RQ` — read lock taken by a **query** ET.
+//!
+//! Three protocols give three compatibility tables:
+//!
+//! * **Standard 2PL** (reads/writes, no ET classes): only R/R compatible.
+//! * **ORDUP** (Table 2): query reads are compatible with everything;
+//!   update locks keep the standard R/W conflicts.
+//! * **COMMU** (Table 3): additionally, `WU` locks are compatible with
+//!   other update locks when the underlying operations *commute*.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Operation;
+
+/// Lock mode requested by an epsilon-transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Read lock by an update ET.
+    RU,
+    /// Write lock by an update ET.
+    WU,
+    /// Read lock by a query ET.
+    RQ,
+}
+
+impl LockMode {
+    /// All modes, in the row/column order of the paper's tables.
+    pub const ALL: [LockMode; 3] = [LockMode::RU, LockMode::WU, LockMode::RQ];
+
+    /// Is this a read mode?
+    pub fn is_read(self) -> bool {
+        matches!(self, LockMode::RU | LockMode::RQ)
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::RU => write!(f, "RU"),
+            LockMode::WU => write!(f, "WU"),
+            LockMode::RQ => write!(f, "RQ"),
+        }
+    }
+}
+
+/// A cell of a compatibility table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Compat {
+    /// Always compatible ("OK" in the paper's tables).
+    Ok,
+    /// Never compatible (blank in the paper's tables).
+    Conflict,
+    /// Compatible exactly when the two operations commute ("Comm").
+    WhenCommutative,
+}
+
+impl fmt::Display for Compat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Compat::Ok => write!(f, "OK"),
+            Compat::Conflict => write!(f, "--"),
+            Compat::WhenCommutative => write!(f, "Comm"),
+        }
+    }
+}
+
+/// The locking protocol in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Standard 2PL: every ET is treated like an update ET, queries
+    /// included, and only read/read pairs are compatible.
+    Standard2pl,
+    /// The ORDUP table (paper Table 2).
+    Ordup,
+    /// The COMMU table (paper Table 3).
+    Commu,
+}
+
+impl Protocol {
+    /// The static table entry for (held, requested) under this protocol.
+    pub fn entry(self, held: LockMode, requested: LockMode) -> Compat {
+        use Compat::*;
+        use LockMode::*;
+        match self {
+            // Standard 2PL ignores the query/update distinction: RQ
+            // behaves like RU, and only read/read is compatible.
+            Protocol::Standard2pl => {
+                if held.is_read() && requested.is_read() {
+                    Ok
+                } else {
+                    Conflict
+                }
+            }
+            // Table 2. Queries are compatible with everything (both as
+            // holder and as requester); update locks conflict as usual.
+            Protocol::Ordup => match (held, requested) {
+                (RQ, _) | (_, RQ) => Ok,
+                (RU, RU) => Ok,
+                (RU, WU) | (WU, RU) | (WU, WU) => Conflict,
+            },
+            // Table 3. As Table 2, but WU is compatible with other update
+            // locks when the operations commute. (The paper notes RU/WU
+            // commutativity is rare but the table still says "Comm".)
+            Protocol::Commu => match (held, requested) {
+                (RQ, _) | (_, RQ) => Ok,
+                (RU, RU) => Ok,
+                (RU, WU) | (WU, RU) | (WU, WU) => WhenCommutative,
+            },
+        }
+    }
+
+    /// Decides actual compatibility of a request against a holder, using
+    /// the operations to resolve `WhenCommutative` cells. A missing
+    /// operation is treated conservatively as non-commutative.
+    pub fn compatible(
+        self,
+        held: LockMode,
+        held_op: Option<&Operation>,
+        requested: LockMode,
+        requested_op: Option<&Operation>,
+    ) -> bool {
+        match self.entry(held, requested) {
+            Compat::Ok => true,
+            Compat::Conflict => false,
+            Compat::WhenCommutative => match (held_op, requested_op) {
+                (Some(a), Some(b)) => a.commutes_with(b),
+                _ => false,
+            },
+        }
+    }
+
+    /// The full 3×3 table in the paper's row/column order, for the
+    /// table-regeneration harness.
+    pub fn table(self) -> [[Compat; 3]; 3] {
+        let mut t = [[Compat::Conflict; 3]; 3];
+        for (i, held) in LockMode::ALL.iter().enumerate() {
+            for (j, req) in LockMode::ALL.iter().enumerate() {
+                t[i][j] = self.entry(*held, *req);
+            }
+        }
+        t
+    }
+
+    /// Renders the table in the paper's layout (rows = held mode, columns
+    /// = requested mode).
+    pub fn render_table(self) -> String {
+        let mut out = String::new();
+        out.push_str("      ");
+        for m in LockMode::ALL {
+            out.push_str(&format!("{:>6}", m.to_string()));
+        }
+        out.push('\n');
+        for held in LockMode::ALL {
+            out.push_str(&format!("{:>6}", held.to_string()));
+            for req in LockMode::ALL {
+                out.push_str(&format!("{:>6}", self.entry(held, req).to_string()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Standard2pl => write!(f, "2PL"),
+            Protocol::Ordup => write!(f, "ORDUP"),
+            Protocol::Commu => write!(f, "COMMU"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use Compat::*;
+    use LockMode::*;
+
+    #[test]
+    fn standard_2pl_only_reads_compatible() {
+        let p = Protocol::Standard2pl;
+        assert_eq!(p.entry(RU, RU), Ok);
+        assert_eq!(p.entry(RU, RQ), Ok);
+        assert_eq!(p.entry(RQ, RQ), Ok);
+        assert_eq!(p.entry(RU, WU), Conflict);
+        assert_eq!(p.entry(WU, RQ), Conflict, "2PL blocks queries on writes");
+        assert_eq!(p.entry(WU, WU), Conflict);
+    }
+
+    #[test]
+    fn ordup_matches_paper_table2() {
+        // Table 2:      RU    WU    RQ
+        //        RU     OK    --    OK
+        //        WU     --    --    OK
+        //        RQ     OK    OK    OK
+        let t = Protocol::Ordup.table();
+        assert_eq!(t[0], [Ok, Conflict, Ok]); // RU row
+        assert_eq!(t[1], [Conflict, Conflict, Ok]); // WU row
+        assert_eq!(t[2], [Ok, Ok, Ok]); // RQ row
+    }
+
+    #[test]
+    fn commu_matches_paper_table3() {
+        // Table 3:      RU     WU     RQ
+        //        RU     OK     Comm   OK
+        //        WU     Comm   Comm   OK
+        //        RQ     OK     OK     OK
+        let t = Protocol::Commu.table();
+        assert_eq!(t[0], [Ok, WhenCommutative, Ok]);
+        assert_eq!(t[1], [WhenCommutative, WhenCommutative, Ok]);
+        assert_eq!(t[2], [Ok, Ok, Ok]);
+    }
+
+    #[test]
+    fn queries_never_blocked_under_et_protocols() {
+        for p in [Protocol::Ordup, Protocol::Commu] {
+            for held in LockMode::ALL {
+                assert_eq!(p.entry(held, RQ), Ok, "{p}: {held} vs RQ");
+                assert_eq!(p.entry(RQ, held), Ok, "{p}: RQ vs {held}");
+            }
+        }
+    }
+
+    #[test]
+    fn commu_resolves_comm_cells_with_operations() {
+        let p = Protocol::Commu;
+        let inc = Operation::Incr(1);
+        let inc2 = Operation::Incr(2);
+        let mul = Operation::MulBy(2);
+        assert!(p.compatible(WU, Some(&inc), WU, Some(&inc2)));
+        assert!(!p.compatible(WU, Some(&inc), WU, Some(&mul)));
+        // Write/Write never commutes.
+        let w = Operation::Write(Value::Int(1));
+        assert!(!p.compatible(WU, Some(&w), WU, Some(&w)));
+    }
+
+    #[test]
+    fn missing_operation_is_conservative() {
+        let p = Protocol::Commu;
+        assert!(!p.compatible(WU, None, WU, Some(&Operation::Incr(1))));
+        assert!(!p.compatible(WU, Some(&Operation::Incr(1)), WU, None));
+        // But Ok cells don't need operations.
+        assert!(p.compatible(RQ, None, WU, None));
+    }
+
+    #[test]
+    fn ru_wu_comm_cell_exists_but_rarely_commutes() {
+        // The paper: "there are … few examples of commutativity between
+        // WU and RU". An RU lock's operation is a Read, which commutes
+        // with no write — so the Comm cell resolves to incompatible.
+        let p = Protocol::Commu;
+        assert_eq!(p.entry(RU, WU), WhenCommutative);
+        assert!(!p.compatible(RU, Some(&Operation::Read), WU, Some(&Operation::Incr(1))));
+    }
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let s = Protocol::Commu.render_table();
+        assert!(s.contains("Comm"));
+        assert!(s.contains("OK"));
+        let s2 = Protocol::Ordup.render_table();
+        assert!(s2.contains("--"));
+        assert!(!s2.contains("Comm"));
+    }
+
+    #[test]
+    fn mode_helpers() {
+        assert!(RU.is_read());
+        assert!(RQ.is_read());
+        assert!(!WU.is_read());
+        assert_eq!(WU.to_string(), "WU");
+        assert_eq!(Protocol::Ordup.to_string(), "ORDUP");
+    }
+}

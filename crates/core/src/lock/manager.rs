@@ -1,0 +1,492 @@
+//! A two-phase lock manager parameterized by compatibility protocol.
+//!
+//! The manager implements the modified 2PL of §3.1–§3.2: requests are
+//! granted when compatible with every current holder (per the protocol's
+//! table, resolving `Comm` cells with the actual operations), queued FIFO
+//! otherwise, with wait-for-graph deadlock detection at enqueue time and
+//! strict two-phase enforcement (no acquisition after first release).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{EtId, ObjectId};
+use crate::op::Operation;
+
+use super::compat::{LockMode, Protocol};
+
+/// One granted or queued lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRequest {
+    /// Requesting ET.
+    pub et: EtId,
+    /// Requested mode.
+    pub mode: LockMode,
+    /// The operation to be performed under the lock, used to resolve
+    /// `Comm` compatibility cells.
+    pub op: Option<Operation>,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request was queued behind incompatible holders.
+    Queued,
+}
+
+#[derive(Debug, Default)]
+struct ObjectLocks {
+    holders: Vec<LockRequest>,
+    queue: VecDeque<LockRequest>,
+}
+
+/// The lock manager.
+///
+/// ```
+/// use esr_core::ids::{EtId, ObjectId};
+/// use esr_core::lock::{LockManager, LockMode, LockOutcome, Protocol};
+/// use esr_core::op::Operation;
+///
+/// // Under the ORDUP table (Table 2) a query read never blocks, even
+/// // behind an update writer.
+/// let mut mgr = LockManager::new(Protocol::Ordup);
+/// mgr.acquire(EtId(1), ObjectId(0), LockMode::WU, Some(Operation::Incr(1))).unwrap();
+/// let outcome = mgr.acquire(EtId(2), ObjectId(0), LockMode::RQ, None).unwrap();
+/// assert_eq!(outcome, LockOutcome::Granted);
+/// ```
+#[derive(Debug)]
+pub struct LockManager {
+    protocol: Protocol,
+    objects: BTreeMap<ObjectId, ObjectLocks>,
+    /// Objects on which each ET holds at least one lock.
+    held_by: BTreeMap<EtId, BTreeSet<ObjectId>>,
+    /// ETs that have released (shrinking phase) — may not acquire again.
+    released: BTreeSet<EtId>,
+    /// Statistics: total grants, queue events, deadlocks detected.
+    stats: LockStats,
+}
+
+/// Counters exposed for benchmarking and the Table-1 probes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub granted: u64,
+    /// Requests that had to queue.
+    pub queued: u64,
+    /// Requests refused because they would deadlock.
+    pub deadlocks: u64,
+}
+
+impl LockManager {
+    /// A fresh manager using the given protocol.
+    pub fn new(protocol: Protocol) -> Self {
+        Self {
+            protocol,
+            objects: BTreeMap::new(),
+            held_by: BTreeMap::new(),
+            released: BTreeSet::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// The protocol in force.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// Requests a lock on `object` in `mode` for `et`.
+    ///
+    /// Returns [`LockOutcome::Granted`] or [`LockOutcome::Queued`], or an
+    /// error if the request violates two-phase locking or would close a
+    /// deadlock cycle (in which case the request is not queued).
+    pub fn acquire(
+        &mut self,
+        et: EtId,
+        object: ObjectId,
+        mode: LockMode,
+        op: Option<Operation>,
+    ) -> CoreResult<LockOutcome> {
+        if self.released.contains(&et) {
+            return Err(CoreError::TwoPhaseViolation { et });
+        }
+        let locks = self.objects.entry(object).or_default();
+
+        // Re-entrant: already holding this object in a mode that covers
+        // the request (same mode, or holding WU when asking for a read).
+        if locks
+            .holders
+            .iter()
+            .any(|h| h.et == et && (h.mode == mode || (h.mode == LockMode::WU && mode.is_read())))
+        {
+            self.stats.granted += 1;
+            return Ok(LockOutcome::Granted);
+        }
+
+        let request = LockRequest { et, mode, op };
+        let compatible_with_holders = locks
+            .holders
+            .iter()
+            .filter(|h| h.et != et)
+            .all(|h| {
+                self.protocol
+                    .compatible(h.mode, h.op.as_ref(), mode, request.op.as_ref())
+            });
+        // FIFO fairness: an incompatible queue ahead of us also blocks us
+        // (prevents read streams from starving writers).
+        let compatible_with_queue = locks.queue.iter().all(|qr| {
+            self.protocol
+                .compatible(qr.mode, qr.op.as_ref(), mode, request.op.as_ref())
+        });
+
+        if compatible_with_holders && compatible_with_queue {
+            locks.holders.push(request);
+            self.held_by.entry(et).or_default().insert(object);
+            self.stats.granted += 1;
+            return Ok(LockOutcome::Granted);
+        }
+
+        // Queue the request, then check for deadlock.
+        locks.queue.push_back(request);
+        if self.would_deadlock(et) {
+            let locks = self.objects.get_mut(&object).expect("just inserted");
+            // Remove the request we just queued (the newest one from et).
+            if let Some(pos) = locks
+                .queue
+                .iter()
+                .rposition(|r| r.et == et && r.mode == mode)
+            {
+                locks.queue.remove(pos);
+            }
+            self.stats.deadlocks += 1;
+            return Err(CoreError::Deadlock { et });
+        }
+        self.stats.queued += 1;
+        Ok(LockOutcome::Queued)
+    }
+
+    /// Releases every lock held or queued by `et` (end of transaction),
+    /// marks it as shrunk, and promotes newly compatible queued requests.
+    ///
+    /// Returns the `(et, object)` pairs granted by promotion, in grant
+    /// order, so the caller can resume waiting transactions.
+    pub fn release_all(&mut self, et: EtId) -> Vec<(EtId, ObjectId)> {
+        self.released.insert(et);
+        self.held_by.remove(&et);
+        for locks in self.objects.values_mut() {
+            locks.holders.retain(|h| h.et != et);
+            locks.queue.retain(|r| r.et != et);
+        }
+        self.promote()
+    }
+
+    /// Scans all queues and grants requests that have become compatible.
+    fn promote(&mut self) -> Vec<(EtId, ObjectId)> {
+        let mut granted = Vec::new();
+        let object_ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        for oid in object_ids {
+            loop {
+                let locks = self.objects.get_mut(&oid).expect("known object");
+                let Some(front) = locks.queue.front() else {
+                    break;
+                };
+                let compatible = locks
+                    .holders
+                    .iter()
+                    .filter(|h| h.et != front.et)
+                    .all(|h| {
+                        self.protocol
+                            .compatible(h.mode, h.op.as_ref(), front.mode, front.op.as_ref())
+                    });
+                if !compatible {
+                    break;
+                }
+                let req = locks.queue.pop_front().expect("front exists");
+                let et = req.et;
+                locks.holders.push(req);
+                self.held_by.entry(et).or_default().insert(oid);
+                self.stats.granted += 1;
+                granted.push((et, oid));
+            }
+        }
+        granted
+    }
+
+    /// True when `et` currently holds a lock on `object`.
+    pub fn holds(&self, et: EtId, object: ObjectId) -> bool {
+        self.objects
+            .get(&object)
+            .is_some_and(|l| l.holders.iter().any(|h| h.et == et))
+    }
+
+    /// True when `et` has a queued (waiting) request on `object`.
+    pub fn waiting(&self, et: EtId, object: ObjectId) -> bool {
+        self.objects
+            .get(&object)
+            .is_some_and(|l| l.queue.iter().any(|r| r.et == et))
+    }
+
+    /// Number of lock holders on `object`.
+    pub fn holder_count(&self, object: ObjectId) -> usize {
+        self.objects.get(&object).map_or(0, |l| l.holders.len())
+    }
+
+    /// Builds the wait-for graph and checks whether `start` is on a
+    /// cycle.
+    fn would_deadlock(&self, start: EtId) -> bool {
+        // waits_for: queued ET → holders of incompatible locks on that
+        // object (and incompatible earlier queued requests).
+        let mut edges: BTreeSet<(EtId, EtId)> = BTreeSet::new();
+        for locks in self.objects.values() {
+            for (qi, qr) in locks.queue.iter().enumerate() {
+                for h in &locks.holders {
+                    if h.et != qr.et
+                        && !self
+                            .protocol
+                            .compatible(h.mode, h.op.as_ref(), qr.mode, qr.op.as_ref())
+                    {
+                        edges.insert((qr.et, h.et));
+                    }
+                }
+                for ahead in locks.queue.iter().take(qi) {
+                    if ahead.et != qr.et
+                        && !self.protocol.compatible(
+                            ahead.mode,
+                            ahead.op.as_ref(),
+                            qr.mode,
+                            qr.op.as_ref(),
+                        )
+                    {
+                        edges.insert((qr.et, ahead.et));
+                    }
+                }
+            }
+        }
+        // DFS from `start` looking for a path back to `start`.
+        let mut stack: Vec<EtId> = edges
+            .iter()
+            .filter(|(f, _)| *f == start)
+            .map(|(_, t)| *t)
+            .collect();
+        let mut visited = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                return true;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            stack.extend(
+                edges
+                    .iter()
+                    .filter(|(f, _)| *f == n)
+                    .map(|(_, t)| *t),
+            );
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use LockMode::*;
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    fn mgr(p: Protocol) -> LockManager {
+        LockManager::new(p)
+    }
+
+    #[test]
+    fn grant_and_hold() {
+        let mut m = mgr(Protocol::Standard2pl);
+        assert_eq!(m.acquire(EtId(1), X, RU, None).unwrap(), LockOutcome::Granted);
+        assert!(m.holds(EtId(1), X));
+        assert_eq!(m.holder_count(X), 1);
+    }
+
+    #[test]
+    fn standard_2pl_blocks_query_behind_writer() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        let out = m.acquire(EtId(2), X, RQ, None).unwrap();
+        assert_eq!(out, LockOutcome::Queued);
+        assert!(m.waiting(EtId(2), X));
+    }
+
+    #[test]
+    fn ordup_never_blocks_queries() {
+        let mut m = mgr(Protocol::Ordup);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        assert_eq!(m.acquire(EtId(2), X, RQ, None).unwrap(), LockOutcome::Granted);
+        // And writers are not blocked by queries either.
+        let mut m = mgr(Protocol::Ordup);
+        m.acquire(EtId(2), X, RQ, None).unwrap();
+        assert_eq!(
+            m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+                .unwrap(),
+            LockOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn ordup_blocks_conflicting_updates() {
+        let mut m = mgr(Protocol::Ordup);
+        m.acquire(EtId(1), X, WU, Some(Operation::Incr(1))).unwrap();
+        assert_eq!(
+            m.acquire(EtId(2), X, WU, Some(Operation::Incr(1))).unwrap(),
+            LockOutcome::Queued,
+            "ORDUP has no Comm cells: even commuting writes queue"
+        );
+    }
+
+    #[test]
+    fn commu_grants_commuting_writes() {
+        let mut m = mgr(Protocol::Commu);
+        m.acquire(EtId(1), X, WU, Some(Operation::Incr(1))).unwrap();
+        assert_eq!(
+            m.acquire(EtId(2), X, WU, Some(Operation::Incr(5))).unwrap(),
+            LockOutcome::Granted
+        );
+        assert_eq!(m.holder_count(X), 2);
+        // Non-commuting write still queues.
+        assert_eq!(
+            m.acquire(EtId(3), X, WU, Some(Operation::MulBy(2))).unwrap(),
+            LockOutcome::Queued
+        );
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        m.acquire(EtId(2), X, RU, None).unwrap();
+        m.acquire(EtId(3), X, RU, None).unwrap();
+        let granted = m.release_all(EtId(1));
+        assert_eq!(granted, vec![(EtId(2), X), (EtId(3), X)]);
+        assert!(m.holds(EtId(2), X) && m.holds(EtId(3), X));
+    }
+
+    #[test]
+    fn fifo_prevents_barging() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, RU, None).unwrap();
+        // Writer queues behind the reader...
+        assert_eq!(
+            m.acquire(EtId(2), X, WU, Some(Operation::Write(Value::Int(1))))
+                .unwrap(),
+            LockOutcome::Queued
+        );
+        // ...and a later reader may not barge past the queued writer.
+        assert_eq!(m.acquire(EtId(3), X, RU, None).unwrap(), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn reentrant_same_mode_is_granted() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, RU, None).unwrap();
+        assert_eq!(m.acquire(EtId(1), X, RU, None).unwrap(), LockOutcome::Granted);
+        assert_eq!(m.holder_count(X), 1, "no duplicate holder entries");
+    }
+
+    #[test]
+    fn wu_covers_read_requests() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        assert_eq!(m.acquire(EtId(1), X, RU, None).unwrap(), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn two_phase_violation_detected() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, RU, None).unwrap();
+        m.release_all(EtId(1));
+        assert!(matches!(
+            m.acquire(EtId(1), Y, RU, None),
+            Err(CoreError::TwoPhaseViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn deadlock_detected_and_rejected() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        m.acquire(EtId(2), Y, WU, Some(Operation::Write(Value::Int(2))))
+            .unwrap();
+        // 1 waits for 2 on Y.
+        assert_eq!(
+            m.acquire(EtId(1), Y, WU, Some(Operation::Write(Value::Int(3))))
+                .unwrap(),
+            LockOutcome::Queued
+        );
+        // 2 requesting X would close the cycle.
+        let err = m
+            .acquire(EtId(2), X, WU, Some(Operation::Write(Value::Int(4))))
+            .unwrap_err();
+        assert_eq!(err, CoreError::Deadlock { et: EtId(2) });
+        // The failed request is not left in the queue.
+        assert!(!m.waiting(EtId(2), X));
+        assert_eq!(m.stats().deadlocks, 1);
+    }
+
+    #[test]
+    fn ordup_queries_cannot_deadlock() {
+        // Under ORDUP the classic cycle cannot form through RQ locks.
+        let mut m = mgr(Protocol::Ordup);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        m.acquire(EtId(2), Y, WU, Some(Operation::Write(Value::Int(2))))
+            .unwrap();
+        assert_eq!(m.acquire(EtId(1), Y, RQ, None).unwrap(), LockOutcome::Granted);
+        assert_eq!(m.acquire(EtId(2), X, RQ, None).unwrap(), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn release_drops_queued_requests_too() {
+        let mut m = mgr(Protocol::Standard2pl);
+        m.acquire(EtId(1), X, WU, Some(Operation::Write(Value::Int(1))))
+            .unwrap();
+        m.acquire(EtId(2), X, WU, Some(Operation::Write(Value::Int(2))))
+            .unwrap();
+        m.release_all(EtId(2)); // abort the waiter
+        assert!(!m.waiting(EtId(2), X));
+        let granted = m.release_all(EtId(1));
+        assert!(granted.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = mgr(Protocol::Commu);
+        m.acquire(EtId(1), X, WU, Some(Operation::Incr(1))).unwrap();
+        m.acquire(EtId(2), X, WU, Some(Operation::Incr(2))).unwrap();
+        m.acquire(EtId(3), X, WU, Some(Operation::MulBy(2))).unwrap();
+        let s = m.stats();
+        assert_eq!(s.granted, 2);
+        assert_eq!(s.queued, 1);
+    }
+
+    #[test]
+    fn promotion_resolves_comm_cells() {
+        let mut m = mgr(Protocol::Commu);
+        m.acquire(EtId(1), X, WU, Some(Operation::MulBy(2))).unwrap();
+        m.acquire(EtId(2), X, WU, Some(Operation::Incr(1))).unwrap();
+        m.acquire(EtId(3), X, WU, Some(Operation::Incr(2))).unwrap();
+        let granted = m.release_all(EtId(1));
+        // Both queued increments commute with each other: both promoted.
+        assert_eq!(granted.len(), 2);
+        assert!(m.holds(EtId(2), X) && m.holds(EtId(3), X));
+    }
+}

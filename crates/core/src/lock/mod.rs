@@ -1,0 +1,15 @@
+//! Locking for epsilon-transactions.
+//!
+//! Two halves:
+//!
+//! * [`compat`] — the lock modes (`RU`, `WU`, `RQ`) and the protocol
+//!   compatibility tables, including the paper's Table 2 (ORDUP) and
+//!   Table 3 (COMMU);
+//! * [`manager`] — a queueing two-phase lock manager parameterized by
+//!   protocol, with deadlock detection.
+
+pub mod compat;
+pub mod manager;
+
+pub use compat::{Compat, LockMode, Protocol};
+pub use manager::{LockManager, LockOutcome, LockRequest, LockStats};

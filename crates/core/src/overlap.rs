@@ -1,0 +1,253 @@
+//! Overlap analysis (§2.1–§2.2).
+//!
+//! The *overlap* of a query ET is the set of update ETs concurrent with it
+//! in the history — those that had not finished when the query started,
+//! plus those that started before the query finished — restricted to
+//! update ETs that actually conflict with objects the query accesses. The
+//! overlap is the paper's **upper bound** on the inconsistency (error) a
+//! query ET can accumulate; if the overlap is empty the query is SR.
+//!
+//! [`imported_inconsistency`] measures the inconsistency a query actually
+//! imported in a given history: the update ETs whose *intermediate* state
+//! the query observed. The central theorem — checked by unit tests here
+//! and property tests in `tests/` — is
+//! `imported_inconsistency(h, q) ⊆ overlap_set(h, q)`.
+
+use std::collections::BTreeSet;
+
+use crate::et::EtKind;
+use crate::history::History;
+use crate::ids::EtId;
+
+/// The overlap set of query ET `q` in `history`: all update ETs whose
+/// lifetime interval intersects `q`'s and which conflict with at least one
+/// of `q`'s operations.
+///
+/// Returns an empty set when `q` is absent or is itself an update ET.
+pub fn overlap_set(history: &History, q: EtId) -> BTreeSet<EtId> {
+    if history.kind_of(q) != Some(EtKind::Query) {
+        return BTreeSet::new();
+    }
+    let q_first = history
+        .first_index_of(q)
+        .expect("kind_of returned Some, so q exists");
+    let q_last = history.last_index_of(q).expect("q exists");
+    let q_events = history.events_of(q);
+
+    let mut result = BTreeSet::new();
+    for u in history.ets() {
+        if u == q || history.kind_of(u) != Some(EtKind::Update) {
+            continue;
+        }
+        let u_first = history.first_index_of(u).expect("u exists");
+        let u_last = history.last_index_of(u).expect("u exists");
+        // Lifetime intervals must intersect.
+        if u_last < q_first || u_first > q_last {
+            continue;
+        }
+        // The update must actually affect objects the query accesses
+        // (an R/W dependency — "update ETs that actually affect objects
+        // that the query ET seeks to access").
+        let conflicts = history.events_of(u).iter().any(|ue| {
+            q_events
+                .iter()
+                .any(|qe| qe.op.conflicts_with(&ue.op))
+        });
+        if conflicts {
+            result.insert(u);
+        }
+    }
+    result
+}
+
+/// `overlap_set(history, q).len()` — the paper's upper bound of error.
+pub fn overlap_size(history: &History, q: EtId) -> u64 {
+    overlap_set(history, q).len() as u64
+}
+
+/// The update ETs whose *intermediate* state query `q` actually observed:
+/// update ETs `u` such that some read of `q` happens strictly between two
+/// operations of `u`, at a point where `u` has already performed at least
+/// one conflicting write.
+///
+/// This is the inconsistency a divergence-control method would charge to
+/// `q`'s inconsistency counter.
+pub fn imported_inconsistency(history: &History, q: EtId) -> BTreeSet<EtId> {
+    if history.kind_of(q) != Some(EtKind::Query) {
+        return BTreeSet::new();
+    }
+    let events = history.events();
+    let mut imported = BTreeSet::new();
+    for (qi, qe) in events.iter().enumerate() {
+        if qe.et != q {
+            continue;
+        }
+        for u in history.ets() {
+            if u == q || history.kind_of(u) != Some(EtKind::Update) {
+                continue;
+            }
+            let u_first = history.first_index_of(u).expect("u exists");
+            let u_last = history.last_index_of(u).expect("u exists");
+            // The read must sit strictly inside u's lifetime: u is
+            // mid-flight, so the query may be seeing a partial state.
+            if !(u_first < qi && qi < u_last) {
+                continue;
+            }
+            // Charge only if u has already performed a write that
+            // conflicts with this read.
+            let wrote_conflicting = events[..qi]
+                .iter()
+                .any(|ue| ue.et == u && ue.op.op.is_write() && ue.op.conflicts_with(&qe.op));
+            if wrote_conflicting {
+                imported.insert(u);
+            }
+        }
+    }
+    imported
+}
+
+/// Checks the bound theorem for one query: everything the query imported
+/// lies inside its overlap.
+pub fn error_within_overlap(history: &History, q: EtId) -> bool {
+    imported_inconsistency(history, q).is_subset(&overlap_set(history, q))
+}
+
+/// Checks the bound theorem for every query ET in the history.
+pub fn all_errors_within_overlap(history: &History) -> bool {
+    history
+        .ets()
+        .into_iter()
+        .filter(|&et| history.kind_of(et) == Some(EtKind::Query))
+        .all(|q| error_within_overlap(history, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryEvent;
+    use crate::ids::ObjectId;
+    use crate::op::{ObjectOp, Operation};
+    use crate::value::Value;
+
+    fn ev(et: u64, obj: u64, op: Operation) -> HistoryEvent {
+        HistoryEvent::new(EtId(et), ObjectOp::new(ObjectId(obj), op))
+    }
+
+    #[test]
+    fn paper_log1_overlap_is_u1_and_u2() {
+        // In log (1) the paper says "U1 and Q3 overlap". Q3 = R3(a) R3(b)
+        // spans indices 3..5; U1 spans 0..1 (finished before Q3 starts),
+        // U2 spans 2..4 (alive during Q3) and writes both a and b.
+        let h = History::paper_example_log1();
+        let o = overlap_set(&h, EtId(3));
+        assert!(o.contains(&EtId(2)), "U2 is mid-flight during Q3");
+        assert!(!o.contains(&EtId(1)), "U1 finished before Q3's first op");
+        assert_eq!(overlap_size(&h, EtId(3)), 1);
+    }
+
+    #[test]
+    fn query_imports_intermediate_state() {
+        let h = History::paper_example_log1();
+        // Q3's read of a at index 3 happens inside U2 (2..4), after U2
+        // wrote b but that doesn't conflict with R(a)... R3(a) at index 3:
+        // U2 wrote b at 2 (W2(b) conflicts with R3(b) not R3(a)).
+        // R3(b) at index 5 is NOT inside U2 (u_last = 4). So imported set
+        // here is empty even though the overlap is {U2} — the bound holds
+        // strictly.
+        let imp = imported_inconsistency(&h, EtId(3));
+        assert!(imp.is_subset(&overlap_set(&h, EtId(3))));
+        assert!(error_within_overlap(&h, EtId(3)));
+    }
+
+    #[test]
+    fn mid_flight_read_is_charged() {
+        // U1: W(x) ... W(y); Q2 reads x strictly between them.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+            ev(2, 1, Operation::Read),
+            ev(1, 1, Operation::Write(Value::Int(2))),
+        ]);
+        let imp = imported_inconsistency(&h, EtId(2));
+        assert_eq!(imp.len(), 1);
+        assert!(imp.contains(&EtId(1)));
+        assert!(error_within_overlap(&h, EtId(2)));
+    }
+
+    #[test]
+    fn disjoint_objects_do_not_overlap() {
+        // Update on y concurrent with a query on x: intervals intersect
+        // but no conflict, so not in the overlap.
+        let h = History::from_events(vec![
+            ev(1, 1, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+            ev(1, 1, Operation::Write(Value::Int(2))),
+        ]);
+        assert!(overlap_set(&h, EtId(2)).is_empty());
+        assert!(imported_inconsistency(&h, EtId(2)).is_empty());
+    }
+
+    #[test]
+    fn sequential_update_then_query_has_empty_overlap() {
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+        ]);
+        assert!(overlap_set(&h, EtId(2)).is_empty(), "U1 finished first");
+    }
+
+    #[test]
+    fn update_starting_during_query_counts() {
+        let h = History::from_events(vec![
+            ev(2, 0, Operation::Read),
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 1, Operation::Read),
+        ]);
+        let o = overlap_set(&h, EtId(2));
+        assert_eq!(o.len(), 1);
+        assert!(o.contains(&EtId(1)));
+    }
+
+    #[test]
+    fn empty_overlap_means_sr_query() {
+        // The paper: "if a query ET's overlap is empty, then it is SR."
+        // A query whose overlap is empty interleaves with nothing that
+        // conflicts, so adding it to the SR update log keeps SR.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+            ev(3, 0, Operation::Write(Value::Int(2))),
+        ]);
+        assert!(overlap_set(&h, EtId(2)).is_empty());
+        assert!(crate::serializability::is_serializable(&h));
+    }
+
+    #[test]
+    fn non_query_ids_yield_empty_sets() {
+        let h = History::paper_example_log1();
+        assert!(overlap_set(&h, EtId(1)).is_empty(), "U1 is an update");
+        assert!(overlap_set(&h, EtId(42)).is_empty(), "absent ET");
+        assert!(imported_inconsistency(&h, EtId(1)).is_empty());
+    }
+
+    #[test]
+    fn all_errors_within_overlap_on_paper_log() {
+        assert!(all_errors_within_overlap(&History::paper_example_log1()));
+    }
+
+    #[test]
+    fn commutative_updates_do_not_enter_read_overlap_unless_conflicting() {
+        // Incr conflicts with Read, so it still shows up in the overlap of
+        // a query on the same object.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Incr(5)),
+            ev(2, 0, Operation::Read),
+            ev(2, 0, Operation::Read),
+            ev(1, 0, Operation::Incr(5)),
+        ]);
+        let o = overlap_set(&h, EtId(2));
+        assert_eq!(o.len(), 1);
+        let imp = imported_inconsistency(&h, EtId(2));
+        assert!(imp.contains(&EtId(1)), "query read between the two incrs");
+    }
+}

@@ -1,0 +1,351 @@
+//! Serializability and epsilon-serializability checkers.
+//!
+//! The standard SR test builds the conflict (serialization) graph of a
+//! history — an edge `Ti → Tj` whenever an operation of `Ti` precedes and
+//! conflicts with an operation of `Tj` — and checks it for cycles. The
+//! conflict relation is *commutativity-aware* ([`crate::op::ObjectOp::conflicts_with`]):
+//! two increments of the same counter do not conflict, which is exactly
+//! how COMMU buys extra concurrency while preserving equivalence to a
+//! serial schedule.
+//!
+//! The ε-serializability test (§2.1) deletes all query-ET events from the
+//! log and requires the remaining update ETs to be serializable.
+//!
+//! A brute-force *final-state* checker over all permutations of the ETs
+//! doubles as a test oracle for the graph-based test on small logs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::history::History;
+use crate::ids::{EtId, ObjectId};
+use crate::value::Value;
+
+/// The conflict graph of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    /// Nodes, in order of first appearance in the history.
+    pub nodes: Vec<EtId>,
+    /// Directed edges `from → to` (deduplicated, deterministic order).
+    pub edges: BTreeSet<(EtId, EtId)>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `history`.
+    pub fn build(history: &History) -> Self {
+        let nodes = history.ets();
+        let mut edges = BTreeSet::new();
+        let events = history.events();
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                if a.et != b.et && a.op.conflicts_with(&b.op) {
+                    edges.insert((a.et, b.et));
+                }
+            }
+        }
+        Self { nodes, edges }
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, n: EtId) -> impl Iterator<Item = EtId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(f, _)| *f == n)
+            .map(|(_, t)| *t)
+    }
+
+    /// True when the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topological_order().is_none()
+    }
+
+    /// A topological order of the nodes (an equivalent serial order), or
+    /// `None` if the graph is cyclic. Kahn's algorithm with deterministic
+    /// tie-breaking by node order of first appearance.
+    pub fn topological_order(&self) -> Option<Vec<EtId>> {
+        let mut indegree: BTreeMap<EtId, usize> =
+            self.nodes.iter().map(|&n| (n, 0)).collect();
+        for (_, t) in &self.edges {
+            *indegree
+                .get_mut(t)
+                .expect("conflict edge references unknown node") += 1;
+        }
+        let mut queue: VecDeque<EtId> = self
+            .nodes
+            .iter()
+            .filter(|n| indegree[n] == 0)
+            .copied()
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for s in self.successors(n) {
+                let d = indegree.get_mut(&s).expect("edge to unknown node");
+                *d -= 1;
+                if *d == 0 {
+                    // Preserve first-appearance order among newly free nodes.
+                    queue.push_back(s);
+                }
+            }
+        }
+        (order.len() == self.nodes.len()).then_some(order)
+    }
+}
+
+/// Is the history conflict-serializable (SR)?
+pub fn is_serializable(history: &History) -> bool {
+    !ConflictGraph::build(history).has_cycle()
+}
+
+/// An equivalent serial order of the history's ETs, if one exists.
+pub fn serialization_order(history: &History) -> Option<Vec<EtId>> {
+    ConflictGraph::build(history).topological_order()
+}
+
+/// Is the history epsilon-serializable (§2.1)? Query-ET events are
+/// deleted; the remaining update ETs must form an SR log.
+///
+/// The paper's example log (1) is ε-serial but not SR:
+///
+/// ```
+/// use esr_core::history::History;
+/// use esr_core::serializability::{is_epsilon_serializable, is_serializable};
+///
+/// let log1 = History::paper_example_log1();
+/// assert!(!is_serializable(&log1));
+/// assert!(is_epsilon_serializable(&log1));
+/// ```
+pub fn is_epsilon_serializable(history: &History) -> bool {
+    is_serializable(&history.project_updates())
+}
+
+/// Brute-force final-state serializability: does *some* serial execution
+/// of the history's reconstructed ET programs produce the same final
+/// database state as the interleaved execution?
+///
+/// Exponential in the number of ETs — usable only as a test oracle on
+/// small logs (≤ 8 ETs). Panics if the log has more.
+pub fn is_final_state_serializable(
+    history: &History,
+    initial: &BTreeMap<ObjectId, Value>,
+) -> bool {
+    let programs = history.programs();
+    assert!(
+        programs.len() <= 8,
+        "brute-force oracle limited to 8 ETs, got {}",
+        programs.len()
+    );
+    let Ok(actual) = history.execute(initial) else {
+        return false;
+    };
+    let mut indices: Vec<usize> = (0..programs.len()).collect();
+    permute(&mut indices, 0, &mut |perm| {
+        let ordered: Vec<_> = perm.iter().map(|&i| programs[i].clone()).collect();
+        let serial = History::serial(&ordered);
+        match serial.execute(initial) {
+            Ok(ex) => ex.final_state == actual.final_state,
+            Err(_) => false,
+        }
+    })
+}
+
+/// Visits all permutations of `items[at..]`; returns true as soon as `f`
+/// accepts one.
+fn permute(items: &mut [usize], at: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if at == items.len() {
+        return f(items);
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        if permute(items, at + 1, f) {
+            items.swap(at, i);
+            return true;
+        }
+        items.swap(at, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::et::EtBuilder;
+    use crate::history::HistoryEvent;
+    use crate::op::{ObjectOp, Operation};
+
+    fn ev(et: u64, obj: u64, op: Operation) -> HistoryEvent {
+        HistoryEvent::new(EtId(et), ObjectOp::new(ObjectId(obj), op))
+    }
+
+    #[test]
+    fn serial_history_is_sr() {
+        let t1 = EtBuilder::new(1u64).read(0u64).write(0u64, 1i64).build();
+        let t2 = EtBuilder::new(2u64).read(0u64).write(0u64, 2i64).build();
+        let h = History::serial(&[t1, t2]);
+        assert!(is_serializable(&h));
+        assert_eq!(serialization_order(&h), Some(vec![EtId(1), EtId(2)]));
+    }
+
+    #[test]
+    fn classic_lost_update_is_not_sr() {
+        // R1(x) R2(x) W1(x) W2(x): cycle 1→2 (R1 before W2) and 2→1.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Read),
+            ev(2, 0, Operation::Read),
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Write(Value::Int(2))),
+        ]);
+        assert!(!is_serializable(&h));
+        assert!(ConflictGraph::build(&h).has_cycle());
+    }
+
+    #[test]
+    fn commutative_interleaving_is_sr() {
+        // Two interleaved increment transactions conflict under plain R/W
+        // rules but commute, so the commutativity-aware test accepts them.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Incr(1)),
+            ev(2, 0, Operation::Incr(2)),
+            ev(1, 1, Operation::Incr(3)),
+            ev(2, 1, Operation::Incr(4)),
+        ]);
+        assert!(is_serializable(&h));
+        assert!(ConflictGraph::build(&h).edges.is_empty());
+    }
+
+    #[test]
+    fn non_commutative_interleaving_cycles() {
+        // Inc1(x) Mul2(x) Inc1(y)... build a real cycle:
+        // Inc1(x) Mul2(x) Mul2(y) Inc1(y): 1→2 on x, 2→1 on y.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Incr(1)),
+            ev(2, 0, Operation::MulBy(2)),
+            ev(2, 1, Operation::MulBy(2)),
+            ev(1, 1, Operation::Incr(1)),
+        ]);
+        assert!(!is_serializable(&h));
+    }
+
+    #[test]
+    fn paper_log1_is_epsilon_serial_but_not_sr() {
+        // The paper's example log (1): not SR (Q3 sees W2(a) but not W2(b)
+        // ordering consistently) yet ε-serial.
+        let h = History::paper_example_log1();
+        assert!(!is_serializable(&h), "log (1) must not be SR");
+        assert!(is_epsilon_serializable(&h), "log (1) must be ε-serial");
+    }
+
+    #[test]
+    fn epsilon_serial_fails_when_updates_cycle() {
+        // Two update ETs in a genuine W-cycle: not ε-serial either.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Write(Value::Int(2))),
+            ev(2, 1, Operation::Write(Value::Int(3))),
+            ev(1, 1, Operation::Write(Value::Int(4))),
+        ]);
+        assert!(!is_epsilon_serializable(&h));
+    }
+
+    #[test]
+    fn query_only_history_is_trivially_epsilon_serial() {
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Read),
+            ev(2, 0, Operation::Read),
+            ev(1, 1, Operation::Read),
+        ]);
+        assert!(is_epsilon_serializable(&h));
+        assert!(is_serializable(&h), "reads never conflict");
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+            ev(2, 1, Operation::Write(Value::Int(2))),
+            ev(3, 1, Operation::Read),
+        ]);
+        let order = serialization_order(&h).unwrap();
+        let pos = |e: u64| order.iter().position(|&x| x == EtId(e)).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn brute_force_agrees_with_graph_on_sr_histories() {
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Incr(5)),
+            ev(2, 0, Operation::Incr(3)),
+            ev(1, 1, Operation::Incr(1)),
+        ]);
+        assert!(is_serializable(&h));
+        assert!(is_final_state_serializable(&h, &BTreeMap::new()));
+    }
+
+    #[test]
+    fn brute_force_rejects_unserializable_final_state() {
+        // W1(x,=1) then interleave an Inc2 so no serial order reproduces it:
+        // Inc2(x,10) W1(x,5) Inc2(y,1) — serial orders give (5,1) for
+        // [1,2]→x=5+? wait: T1 = W(x,5); T2 = Inc(x,10), Inc(y,1).
+        // Interleaved: x = 0+10 then =5, y=1 → final x=5,y=1.
+        // Serial T1,T2: x=15,y=1. Serial T2,T1: x=5,y=1 → equal! So this IS
+        // final-state serializable. Build a genuinely non-FSR one instead:
+        // T1 = Inc(x,10); T2 = Mul(x,2). Interleave so each sees half:
+        // impossible with single ops; use two objects:
+        // T1: Inc(x,10), Inc(y,10); T2: Mul(x,2), Mul(y,2)
+        // Interleaved Inc1(x) Mul2(x) Mul2(y) Inc1(y):
+        //   x=(0+10)*2=20, y=0*2+10=10 → neither serial order matches.
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Incr(10)),
+            ev(2, 0, Operation::MulBy(2)),
+            ev(2, 1, Operation::MulBy(2)),
+            ev(1, 1, Operation::Incr(10)),
+        ]);
+        let mut initial = BTreeMap::new();
+        initial.insert(ObjectId(0), Value::Int(0));
+        initial.insert(ObjectId(1), Value::Int(0));
+        assert!(!is_final_state_serializable(&h, &initial));
+        assert!(!is_serializable(&h), "graph test agrees");
+    }
+
+    #[test]
+    fn conflict_sr_implies_final_state_sr_on_samples() {
+        // Soundness spot-check (full property covered by proptests).
+        let samples = vec![
+            History::serial(&[
+                EtBuilder::new(1u64).incr(0u64, 1).build(),
+                EtBuilder::new(2u64).mul(0u64, 3).build(),
+            ]),
+            History::from_events(vec![
+                ev(1, 0, Operation::Incr(1)),
+                ev(2, 1, Operation::MulBy(2)),
+                ev(1, 1, Operation::Read),
+            ]),
+        ];
+        for h in samples {
+            if is_serializable(&h) {
+                assert!(is_final_state_serializable(&h, &BTreeMap::new()), "{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_history_is_sr_and_esr() {
+        let h = History::new();
+        assert!(is_serializable(&h));
+        assert!(is_epsilon_serializable(&h));
+        assert_eq!(serialization_order(&h), Some(vec![]));
+    }
+
+    #[test]
+    fn graph_successors() {
+        let h = History::from_events(vec![
+            ev(1, 0, Operation::Write(Value::Int(1))),
+            ev(2, 0, Operation::Read),
+        ]);
+        let g = ConflictGraph::build(&h);
+        let succ: Vec<_> = g.successors(EtId(1)).collect();
+        assert_eq!(succ, vec![EtId(2)]);
+        assert_eq!(g.successors(EtId(2)).count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Object values.
+//!
+//! The paper's examples use counter-like objects (`Inc(x, 10)`,
+//! `Mul(x, 2)`) as well as timestamped versions and append-style
+//! operations. [`Value`] is a small dynamic value type covering those
+//! shapes: 64-bit integers, strings, and ordered sets of integers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The value held by one replica of an object.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed counter. The default for numeric workloads.
+    Int(i64),
+    /// A text value (used by directory-style RITU workloads).
+    Text(String),
+    /// An ordered set of integers (used by insert/remove commutative
+    /// workloads such as membership lists).
+    Set(BTreeSet<i64>),
+}
+
+impl Value {
+    /// A zero counter, the conventional initial value.
+    pub const ZERO: Value = Value::Int(0);
+
+    /// Returns the integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the text inside, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the set inside, if this is a `Set`.
+    pub fn as_set(&self) -> Option<&BTreeSet<i64>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Text(_) => "text",
+            Value::Set(_) => "set",
+        }
+    }
+
+    /// Absolute numeric distance between two values, used to measure how
+    /// far a query result diverges from the serializable result.
+    ///
+    /// For non-numeric values the distance is `0` when equal and `1`
+    /// otherwise (discrete metric); for sets it is the size of the
+    /// symmetric difference.
+    pub fn distance(&self, other: &Value) -> u64 {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.abs_diff(*b),
+            (Value::Set(a), Value::Set(b)) => a.symmetric_difference(b).count() as u64,
+            (a, b) => u64::from(a != b),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_type_names() {
+        let i = Value::from(5);
+        assert_eq!(i.as_int(), Some(5));
+        assert_eq!(i.as_text(), None);
+        assert_eq!(i.type_name(), "int");
+
+        let t = Value::from("hi");
+        assert_eq!(t.as_text(), Some("hi"));
+        assert_eq!(t.as_int(), None);
+        assert_eq!(t.type_name(), "text");
+
+        let s = Value::Set([1, 2].into_iter().collect());
+        assert_eq!(s.as_set().unwrap().len(), 2);
+        assert_eq!(s.type_name(), "set");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+
+    #[test]
+    fn int_distance_is_absolute_difference() {
+        assert_eq!(Value::Int(10).distance(&Value::Int(3)), 7);
+        assert_eq!(Value::Int(-5).distance(&Value::Int(5)), 10);
+        assert_eq!(Value::Int(i64::MIN).distance(&Value::Int(i64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn set_distance_is_symmetric_difference() {
+        let a = Value::Set([1, 2, 3].into_iter().collect());
+        let b = Value::Set([3, 4].into_iter().collect());
+        assert_eq!(a.distance(&b), 3);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn mixed_distance_is_discrete() {
+        assert_eq!(Value::Int(1).distance(&Value::from("1")), 1);
+        assert_eq!(Value::from("a").distance(&Value::from("a")), 0);
+        assert_eq!(Value::from("a").distance(&Value::from("b")), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("x").to_string(), "\"x\"");
+        let s = Value::Set([2, 1].into_iter().collect());
+        assert_eq!(s.to_string(), "{1,2}");
+    }
+}

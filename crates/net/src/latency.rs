@@ -1,0 +1,103 @@
+//! Link latency models.
+
+use serde::{Deserialize, Serialize};
+
+use esr_sim::rng::DetRng;
+use esr_sim::time::Duration;
+
+/// How long one network hop takes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Uniformly distributed in `[lo, hi]`.
+    Uniform(Duration, Duration),
+    /// Exponentially distributed with the given mean (heavy tail capped
+    /// at 100× the mean by the RNG).
+    Exponential(Duration),
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform(lo, hi) => rng.uniform_duration(*lo, *hi),
+            LatencyModel::Exponential(mean) => rng.exponential(*mean),
+        }
+    }
+
+    /// The mean of the distribution (exact for constant/exponential,
+    /// midpoint for uniform).
+    pub fn mean(&self) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform(lo, hi) => {
+                Duration::from_micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
+            LatencyModel::Exponential(mean) => *mean,
+        }
+    }
+
+    /// A LAN-ish default: uniform 0.2–1 ms.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform(Duration::from_micros(200), Duration::from_millis(1))
+    }
+
+    /// A WAN-ish default: exponential with 30 ms mean.
+    pub fn wan() -> Self {
+        LatencyModel::Exponential(Duration::from_millis(30))
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_always_same() {
+        let m = LatencyModel::Constant(Duration::from_millis(5));
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Duration::from_millis(5));
+        }
+        assert_eq!(m.mean(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let lo = Duration::from_millis(1);
+        let hi = Duration::from_millis(3);
+        let m = LatencyModel::Uniform(lo, hi);
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi);
+        }
+        assert_eq!(m.mean(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn exponential_mean_near_target() {
+        let m = LatencyModel::Exponential(Duration::from_millis(10));
+        let mut rng = DetRng::new(3);
+        let n = 10_000u64;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng).as_micros()).sum();
+        let avg = total / n;
+        assert!((8_500..11_500).contains(&avg), "avg {avg}us");
+        assert_eq!(m.mean(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn defaults_exist() {
+        let mut rng = DetRng::new(4);
+        assert!(LatencyModel::lan().sample(&mut rng) <= Duration::from_millis(1));
+        assert!(LatencyModel::default().mean() < LatencyModel::wan().mean());
+    }
+}

@@ -1,0 +1,21 @@
+//! # esr-net — simulated network substrate
+//!
+//! The network under the replicated system: a topology of sites joined by
+//! links with configurable latency distributions, drop and duplication
+//! probabilities, plus a schedule of partitions. Delivery *planning* is
+//! deterministic from the seed: [`Network::plan_send`] models the
+//! stable-queue retry loop and returns the exact virtual times at which
+//! message copies arrive, which the simulation driver turns into events.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod faults;
+pub mod latency;
+pub mod topology;
+pub mod transport;
+
+pub use faults::{PartitionSchedule, PartitionWindow};
+pub use latency::LatencyModel;
+pub use topology::{LinkConfig, Topology};
+pub use transport::{Delivery, NetStats, Network};

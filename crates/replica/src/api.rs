@@ -1,0 +1,278 @@
+//! The epsilon-transaction interface (§1, §2.1).
+//!
+//! "A high-level interface called epsilon-transaction (ET) encapsulates
+//! the ESR abstraction so users need not explicitly deal with the
+//! theoretical conditions satisfying ESR." This module is that
+//! interface: fluent builders for update and query ETs over a
+//! [`SimCluster`], hiding MSets, sequence numbers, version stamps, and
+//! inconsistency counters.
+//!
+//! ```
+//! use esr_replica::api::Session;
+//! use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+//! use esr_core::ids::{ObjectId, SiteId};
+//!
+//! let cluster = SimCluster::new(ClusterConfig::new(Method::Commu).with_sites(3));
+//! let mut session = Session::new(cluster);
+//!
+//! // An update ET: two operations, one atomic MSet, asynchronous fan-out.
+//! session.update(SiteId(0)).incr(ObjectId(0), 100).decr(ObjectId(1), 100).submit();
+//!
+//! // A query ET with an inconsistency budget of 2.
+//! let report = session.query(SiteId(2)).read(ObjectId(0)).read(ObjectId(1)).epsilon(2).execute();
+//! assert!(report.charged <= 2 || !report.admitted);
+//!
+//! // A strict (one-copy-serializable) query waits as needed.
+//! let strict = session.query(SiteId(2)).read(ObjectId(0)).strict().wait();
+//! assert_eq!(strict.charged, 0);
+//! # let _ = strict;
+//! ```
+
+use esr_core::divergence::EpsilonSpec;
+use esr_core::ids::{EtId, ObjectId, SiteId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+
+use crate::cluster::{QueryReport, SimCluster};
+use crate::site::QueryOutcome;
+
+/// A client session over a replicated cluster.
+#[derive(Debug)]
+pub struct Session {
+    cluster: SimCluster,
+}
+
+impl Session {
+    /// Wraps a cluster.
+    pub fn new(cluster: SimCluster) -> Self {
+        Self { cluster }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster (time control, stats).
+    pub fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    /// Consumes the session, returning the cluster.
+    pub fn into_cluster(self) -> SimCluster {
+        self.cluster
+    }
+
+    /// Starts building an update ET originating at `origin`.
+    pub fn update(&mut self, origin: SiteId) -> UpdateBuilder<'_> {
+        UpdateBuilder {
+            session: self,
+            origin,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Starts building a query ET served at `site`.
+    pub fn query(&mut self, site: SiteId) -> QueryBuilder<'_> {
+        QueryBuilder {
+            session: self,
+            site,
+            read_set: Vec::new(),
+            epsilon: EpsilonSpec::UNBOUNDED,
+        }
+    }
+
+    /// Stamps and submits a blind (read-independent) write — the RITU
+    /// update shape.
+    pub fn blind_write(
+        &mut self,
+        origin: SiteId,
+        object: ObjectId,
+        value: impl Into<Value>,
+    ) -> EtId {
+        self.cluster.submit_blind_write(origin, object, value.into())
+    }
+
+    /// Drains the system and returns whether all replicas agree.
+    pub fn settle(&mut self) -> bool {
+        self.cluster.run_until_quiescent();
+        self.cluster.converged()
+    }
+}
+
+/// Builder for one update ET.
+#[derive(Debug)]
+pub struct UpdateBuilder<'a> {
+    session: &'a mut Session,
+    origin: SiteId,
+    ops: Vec<ObjectOp>,
+}
+
+impl UpdateBuilder<'_> {
+    /// Adds an increment.
+    pub fn incr(mut self, object: ObjectId, n: i64) -> Self {
+        self.ops.push(ObjectOp::new(object, Operation::Incr(n)));
+        self
+    }
+
+    /// Adds a decrement.
+    pub fn decr(mut self, object: ObjectId, n: i64) -> Self {
+        self.ops.push(ObjectOp::new(object, Operation::Decr(n)));
+        self
+    }
+
+    /// Adds a multiplication.
+    pub fn mul(mut self, object: ObjectId, k: i64) -> Self {
+        self.ops.push(ObjectOp::new(object, Operation::MulBy(k)));
+        self
+    }
+
+    /// Adds a plain overwrite.
+    pub fn write(mut self, object: ObjectId, value: impl Into<Value>) -> Self {
+        self.ops
+            .push(ObjectOp::new(object, Operation::Write(value.into())));
+        self
+    }
+
+    /// Adds an arbitrary operation.
+    pub fn op(mut self, object: ObjectId, op: Operation) -> Self {
+        self.ops.push(ObjectOp::new(object, op));
+        self
+    }
+
+    /// Submits the update ET: one MSet, propagated asynchronously to
+    /// every replica. Returns its identity.
+    pub fn submit(self) -> EtId {
+        self.session.cluster.submit_update(self.origin, self.ops)
+    }
+
+    /// Submits with a **pending** global outcome (COMPE clusters only):
+    /// resolve later with [`SimCluster::resolve`].
+    pub fn submit_pending(self) -> EtId {
+        self.session
+            .cluster
+            .submit_update_pending(self.origin, self.ops)
+    }
+}
+
+/// Builder for one query ET.
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    session: &'a mut Session,
+    site: SiteId,
+    read_set: Vec<ObjectId>,
+    epsilon: EpsilonSpec,
+}
+
+impl QueryBuilder<'_> {
+    /// Adds an object to the read set.
+    pub fn read(mut self, object: ObjectId) -> Self {
+        self.read_set.push(object);
+        self
+    }
+
+    /// Sets the inconsistency budget.
+    pub fn epsilon(mut self, limit: u64) -> Self {
+        self.epsilon = EpsilonSpec::bounded(limit);
+        self
+    }
+
+    /// Demands strict one-copy serializability (epsilon = 0).
+    pub fn strict(mut self) -> Self {
+        self.epsilon = EpsilonSpec::STRICT;
+        self
+    }
+
+    /// Executes once at the current instant; may be refused when the
+    /// budget cannot absorb the visible inconsistency.
+    pub fn execute(self) -> QueryOutcome {
+        self.session
+            .cluster
+            .try_query(self.site, &self.read_set, self.epsilon)
+    }
+
+    /// Executes with the synchronous fallback: retries (advancing the
+    /// simulation) until the budget admits the query.
+    pub fn wait(self) -> QueryReport {
+        self.session
+            .cluster
+            .query_with_retry(self.site, &self.read_set, self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, Method};
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    fn session(method: Method) -> Session {
+        Session::new(SimCluster::new(
+            ClusterConfig::new(method).with_sites(3).with_seed(2),
+        ))
+    }
+
+    #[test]
+    fn update_builder_composes_one_mset() {
+        let mut s = session(Method::Commu);
+        s.update(SiteId(0)).incr(X, 10).decr(Y, 4).submit();
+        assert!(s.settle());
+        let out = s.query(SiteId(1)).read(X).read(Y).strict().execute();
+        assert_eq!(out.values, vec![Value::Int(10), Value::Int(-4)]);
+    }
+
+    #[test]
+    fn bounded_query_reports_charge() {
+        let mut s = session(Method::Commu);
+        s.update(SiteId(0)).incr(X, 1).submit();
+        let out = s.query(SiteId(1)).read(X).epsilon(5).execute();
+        assert!(out.admitted);
+        assert!(out.charged <= 5);
+        // Strict refuses while the update is in flight.
+        let strict = s.query(SiteId(1)).read(X).strict().execute();
+        assert!(!strict.admitted);
+    }
+
+    #[test]
+    fn strict_wait_serves_the_converged_value() {
+        let mut s = session(Method::Commu);
+        for i in 0..5 {
+            s.update(SiteId(i % 3)).incr(X, 2).submit();
+        }
+        let report = s.query(SiteId(2)).read(X).strict().wait();
+        assert_eq!(report.charged, 0);
+        assert_eq!(report.values, vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn blind_writes_through_the_session() {
+        let mut s = session(Method::RituOverwrite);
+        s.blind_write(SiteId(0), X, 5i64);
+        s.blind_write(SiteId(1), X, 9i64);
+        assert!(s.settle());
+        let out = s.query(SiteId(2)).read(X).strict().execute();
+        assert_eq!(out.values, vec![Value::Int(9)], "newest version wins");
+    }
+
+    #[test]
+    fn pending_updates_resolve_through_cluster() {
+        let mut s = session(Method::Compe);
+        let et = s.update(SiteId(0)).incr(X, 7).submit_pending();
+        s.cluster_mut().run_until_quiescent();
+        s.cluster_mut().resolve(et, false);
+        assert!(s.settle());
+        let out = s.query(SiteId(1)).read(X).strict().execute();
+        assert_eq!(out.values, vec![Value::ZERO], "aborted effect compensated");
+    }
+
+    #[test]
+    fn into_cluster_round_trip() {
+        let mut s = session(Method::Commu);
+        s.update(SiteId(0)).write(X, 42i64).submit();
+        let mut cluster = s.into_cluster();
+        cluster.run_until_quiescent();
+        assert_eq!(cluster.snapshot_of(SiteId(0))[&X], Value::Int(42));
+    }
+}

@@ -1,0 +1,244 @@
+//! COMMU — commutative operations (§3.2).
+//!
+//! When update MSets commute, the final result is the same under any
+//! application order, so MSets are applied immediately on arrival — no
+//! hold-back, no sequencer. Delivery order genuinely does not matter
+//! ("sorting time: doesn't matter", Table 1).
+//!
+//! Divergence bounding uses per-object **lock-counters**: an update ET
+//! raises the counter of every object it writes for the duration of its
+//! (distributed) execution — from the first replica applying its MSet to
+//! the completion notice saying every replica has applied it. A query is
+//! charged the sum of the counters over its read set: "each lock-counter
+//! different from zero means a certain degree of inconsistency added to
+//! the query ET."
+//!
+//! The completion notice is an ordinary asynchronous message broadcast by
+//! the origin once all replicas have acknowledged; the cluster driver
+//! models it with [`CommuSite::complete`].
+
+use std::collections::BTreeMap;
+
+use esr_core::divergence::{InconsistencyCounter, LockCounters};
+use esr_core::ids::{EtId, ObjectId, SiteId};
+use esr_core::value::Value;
+use esr_storage::store::ObjectStore;
+
+use crate::mset::MSet;
+use crate::site::{QueryOutcome, ReplicaSite};
+
+/// A COMMU replica site.
+#[derive(Debug)]
+pub struct CommuSite {
+    site: SiteId,
+    store: ObjectStore,
+    counters: LockCounters,
+    /// ETs applied at this site (for duplicate suppression).
+    applied_ets: BTreeMap<EtId, ()>,
+    applied: u64,
+}
+
+impl CommuSite {
+    /// A fresh site.
+    pub fn new(site: SiteId) -> Self {
+        Self {
+            site,
+            store: ObjectStore::new(),
+            counters: LockCounters::new(),
+            applied_ets: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// Total MSets applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Handles the completion notice for `et`: every replica has applied
+    /// its MSet, so the update is no longer in flight and its
+    /// lock-counters drop.
+    pub fn complete(&mut self, et: EtId) {
+        self.counters.end_update(et);
+    }
+
+    /// The lock-counter value of one object (visible inconsistency).
+    pub fn lock_counter(&self, object: ObjectId) -> u64 {
+        self.counters.inconsistency_of(object)
+    }
+
+    /// True when applying an update over `write_set` would push any
+    /// object's lock-counter beyond `limit` — the paper's optional update
+    /// throttle ("the update ET trying to write must either wait or
+    /// abort").
+    pub fn would_exceed(&self, write_set: &[ObjectId], limit: u64) -> bool {
+        write_set
+            .iter()
+            .any(|&o| self.counters.inconsistency_of(o) + 1 > limit)
+    }
+
+    /// True when no update is in flight at this site.
+    pub fn quiescent(&self) -> bool {
+        self.counters.quiescent()
+    }
+}
+
+impl ReplicaSite for CommuSite {
+    fn method_name(&self) -> &'static str {
+        "COMMU"
+    }
+
+    fn site_id(&self) -> SiteId {
+        self.site
+    }
+
+    fn deliver(&mut self, mset: MSet) {
+        if self.applied_ets.contains_key(&mset.et) {
+            return; // duplicate delivery
+        }
+        for op in &mset.ops {
+            self.store
+                .apply(op)
+                .expect("commutative MSet must apply cleanly");
+        }
+        self.counters.begin_update(mset.et, mset.write_set());
+        self.applied_ets.insert(mset.et, ());
+        self.applied += 1;
+    }
+
+    fn has_applied(&self, et: EtId) -> bool {
+        self.applied_ets.contains_key(&et)
+    }
+
+    fn query(
+        &mut self,
+        read_set: &[ObjectId],
+        counter: &mut InconsistencyCounter,
+    ) -> QueryOutcome {
+        let charge = self.counters.inconsistency_of_set(read_set.iter().copied());
+        if !counter.charge(charge).is_admitted() {
+            return QueryOutcome::rejected();
+        }
+        QueryOutcome {
+            values: read_set.iter().map(|&o| self.store.get(o)).collect(),
+            charged: charge,
+            admitted: true,
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        self.store.snapshot()
+    }
+
+    fn backlog(&self) -> usize {
+        0 // COMMU never holds anything back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::divergence::EpsilonSpec;
+    use esr_core::op::{ObjectOp, Operation};
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    fn inc(et: u64, obj: ObjectId, n: i64) -> MSet {
+        MSet::new(EtId(et), SiteId(9), vec![ObjectOp::new(obj, Operation::Incr(n))])
+    }
+
+    fn unbounded() -> InconsistencyCounter {
+        InconsistencyCounter::new(EpsilonSpec::UNBOUNDED)
+    }
+
+    #[test]
+    fn applies_immediately_in_any_order() {
+        let msets = [inc(1, X, 5), inc(2, X, 7), inc(3, Y, 1)];
+        let mut a = CommuSite::new(SiteId(0));
+        let mut b = CommuSite::new(SiteId(1));
+        for m in &msets {
+            a.deliver(m.clone());
+        }
+        for m in msets.iter().rev() {
+            b.deliver(m.clone());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot()[&X], Value::Int(12));
+        assert_eq!(a.backlog(), 0);
+        assert_eq!(b.applied(), 3);
+    }
+
+    #[test]
+    fn duplicates_suppressed() {
+        let mut s = CommuSite::new(SiteId(0));
+        let m = inc(1, X, 5);
+        s.deliver(m.clone());
+        s.deliver(m);
+        assert_eq!(s.snapshot()[&X], Value::Int(5));
+        assert_eq!(s.applied(), 1);
+        assert_eq!(s.lock_counter(X), 1, "counter raised once");
+    }
+
+    #[test]
+    fn lock_counters_track_in_flight_updates() {
+        let mut s = CommuSite::new(SiteId(0));
+        s.deliver(inc(1, X, 5));
+        s.deliver(inc(2, X, 3));
+        assert_eq!(s.lock_counter(X), 2);
+        assert!(!s.quiescent());
+        s.complete(EtId(1));
+        assert_eq!(s.lock_counter(X), 1);
+        s.complete(EtId(2));
+        assert!(s.quiescent());
+        assert_eq!(s.lock_counter(X), 0);
+    }
+
+    #[test]
+    fn query_charges_lock_counters() {
+        let mut s = CommuSite::new(SiteId(0));
+        s.deliver(inc(1, X, 5));
+        s.deliver(inc(2, Y, 1));
+        let mut c = unbounded();
+        let out = s.query(&[X, Y], &mut c);
+        assert!(out.admitted);
+        assert_eq!(out.charged, 2);
+        assert_eq!(out.values, vec![Value::Int(5), Value::Int(1)]);
+        // After completion, the same query is free.
+        s.complete(EtId(1));
+        s.complete(EtId(2));
+        let mut c2 = InconsistencyCounter::new(EpsilonSpec::STRICT);
+        assert!(s.query(&[X, Y], &mut c2).admitted);
+    }
+
+    #[test]
+    fn strict_query_rejected_while_updates_in_flight() {
+        let mut s = CommuSite::new(SiteId(0));
+        s.deliver(inc(1, X, 5));
+        let mut c = InconsistencyCounter::new(EpsilonSpec::STRICT);
+        assert!(!s.query(&[X], &mut c).admitted);
+        // Unrelated object unaffected.
+        assert!(s.query(&[Y], &mut c).admitted);
+    }
+
+    #[test]
+    fn bounded_budget_spends_down() {
+        let mut s = CommuSite::new(SiteId(0));
+        s.deliver(inc(1, X, 1));
+        s.deliver(inc(2, X, 1));
+        let mut c = InconsistencyCounter::new(EpsilonSpec::bounded(3));
+        assert!(s.query(&[X], &mut c).admitted, "charge 2 fits in 3");
+        assert_eq!(c.remaining(), 1);
+        assert!(!s.query(&[X], &mut c).admitted, "second charge of 2 doesn't");
+    }
+
+    #[test]
+    fn update_throttle_check() {
+        let mut s = CommuSite::new(SiteId(0));
+        s.deliver(inc(1, X, 1));
+        s.deliver(inc(2, X, 1));
+        assert!(s.would_exceed(&[X], 2));
+        assert!(!s.would_exceed(&[X], 3));
+        assert!(!s.would_exceed(&[Y], 1));
+    }
+}

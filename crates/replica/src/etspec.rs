@@ -1,0 +1,298 @@
+//! User-level propagation specifications (§5.1).
+//!
+//! Wiederhold and Qian classify update propagation between replicas into
+//! four classes; the paper observes that "ETs can be used to implement
+//! each of these classes":
+//!
+//! * **immediate updates** — "done within standard transactions (ETs
+//!   with no divergence)": submitted to the cluster at once;
+//! * **deferred updates** — "ETs with deadlines": buffered, but
+//!   guaranteed to be submitted within a deadline of being offered;
+//! * **independent updates** — "ETs applied periodically": buffered and
+//!   flushed on a fixed period;
+//! * **potentially inconsistent updates** — "ETs with backward replica
+//!   control": submitted optimistically under COMPE, compensated if the
+//!   business action later fails.
+//!
+//! [`SpecPipe`] implements the buffering disciplines over a
+//! [`SimCluster`]; the class is data, so an application can attach a
+//! different specification to each stream of updates.
+
+use std::collections::VecDeque;
+
+use esr_core::ids::{EtId, SiteId};
+use esr_core::op::ObjectOp;
+use esr_sim::time::{Duration, VirtualTime};
+
+use crate::cluster::SimCluster;
+
+/// The four §5.1 propagation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationClass {
+    /// Submit at once.
+    Immediate,
+    /// Buffer, but submit within `deadline` of the offer.
+    Deferred {
+        /// Maximum time an update may sit in the buffer.
+        deadline: Duration,
+    },
+    /// Buffer and flush every `period`.
+    Independent {
+        /// Flush period.
+        period: Duration,
+    },
+    /// Submit optimistically with a pending outcome (COMPE backward
+    /// control); the caller resolves commit/abort later.
+    PotentiallyInconsistent,
+}
+
+#[derive(Debug)]
+struct Buffered {
+    origin: SiteId,
+    ops: Vec<ObjectOp>,
+    offered_at: VirtualTime,
+}
+
+/// A specification-driven update pipe in front of a cluster.
+#[derive(Debug)]
+pub struct SpecPipe {
+    class: PropagationClass,
+    buffer: VecDeque<Buffered>,
+    last_flush: VirtualTime,
+    submitted: u64,
+}
+
+impl SpecPipe {
+    /// A pipe enforcing `class`.
+    pub fn new(class: PropagationClass) -> Self {
+        Self {
+            class,
+            buffer: VecDeque::new(),
+            last_flush: VirtualTime::ZERO,
+            submitted: 0,
+        }
+    }
+
+    /// The class in force.
+    pub fn class(&self) -> PropagationClass {
+        self.class
+    }
+
+    /// Updates currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Updates submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Offers an update to the pipe at the cluster's current time.
+    /// Immediate and potentially-inconsistent updates are submitted on
+    /// the spot (returning their ET id); deferred and independent
+    /// updates are buffered until [`SpecPipe::poll`].
+    pub fn offer(
+        &mut self,
+        cluster: &mut SimCluster,
+        origin: SiteId,
+        ops: Vec<ObjectOp>,
+    ) -> Option<EtId> {
+        match self.class {
+            PropagationClass::Immediate => {
+                self.submitted += 1;
+                Some(cluster.submit_update(origin, ops))
+            }
+            PropagationClass::PotentiallyInconsistent => {
+                self.submitted += 1;
+                Some(cluster.submit_update_pending(origin, ops))
+            }
+            PropagationClass::Deferred { .. } | PropagationClass::Independent { .. } => {
+                self.buffer.push_back(Buffered {
+                    origin,
+                    ops,
+                    offered_at: cluster.now(),
+                });
+                None
+            }
+        }
+    }
+
+    /// Advances the pipe to the cluster's current time, submitting every
+    /// buffered update whose discipline says it is due. Returns the ET
+    /// ids submitted, in offer order.
+    pub fn poll(&mut self, cluster: &mut SimCluster) -> Vec<EtId> {
+        let now = cluster.now();
+        match self.class {
+            PropagationClass::Immediate | PropagationClass::PotentiallyInconsistent => Vec::new(),
+            PropagationClass::Deferred { deadline } => {
+                let mut out = Vec::new();
+                while let Some(front) = self.buffer.front() {
+                    if front.offered_at + deadline > now {
+                        break;
+                    }
+                    let b = self.buffer.pop_front().expect("peeked");
+                    self.submitted += 1;
+                    out.push(cluster.submit_update(b.origin, b.ops));
+                }
+                out
+            }
+            PropagationClass::Independent { period } => {
+                if now - self.last_flush < period {
+                    return Vec::new();
+                }
+                self.last_flush = now;
+                self.flush(cluster)
+            }
+        }
+    }
+
+    /// Submits everything buffered, regardless of discipline (shutdown /
+    /// end of session).
+    pub fn flush(&mut self, cluster: &mut SimCluster) -> Vec<EtId> {
+        let mut out = Vec::new();
+        while let Some(b) = self.buffer.pop_front() {
+            self.submitted += 1;
+            out.push(cluster.submit_update(b.origin, b.ops));
+        }
+        out
+    }
+
+    /// The latest time by which every currently-buffered update must be
+    /// submitted (`None` when nothing is buffered or the class has no
+    /// deadline).
+    pub fn next_due(&self) -> Option<VirtualTime> {
+        match self.class {
+            PropagationClass::Deferred { deadline } => self
+                .buffer
+                .front()
+                .map(|b| b.offered_at + deadline),
+            PropagationClass::Independent { period } => {
+                (!self.buffer.is_empty()).then(|| self.last_flush + period)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, Method};
+    use esr_core::ids::ObjectId;
+    use esr_core::op::Operation;
+    use esr_core::value::Value;
+
+    const X: ObjectId = ObjectId(0);
+
+    fn cluster(method: Method) -> SimCluster {
+        SimCluster::new(ClusterConfig::new(method).with_sites(3).with_seed(3))
+    }
+
+    fn inc(n: i64) -> Vec<ObjectOp> {
+        vec![ObjectOp::new(X, Operation::Incr(n))]
+    }
+
+    #[test]
+    fn immediate_submits_on_offer() {
+        let mut c = cluster(Method::Commu);
+        let mut pipe = SpecPipe::new(PropagationClass::Immediate);
+        let et = pipe.offer(&mut c, SiteId(0), inc(5));
+        assert!(et.is_some());
+        assert_eq!(pipe.buffered(), 0);
+        assert_eq!(pipe.submitted(), 1);
+        c.run_until_quiescent();
+        assert_eq!(c.snapshot_of(SiteId(1))[&X], Value::Int(5));
+    }
+
+    #[test]
+    fn deferred_holds_until_deadline() {
+        let mut c = cluster(Method::Commu);
+        let deadline = Duration::from_millis(100);
+        let mut pipe = SpecPipe::new(PropagationClass::Deferred { deadline });
+        assert!(pipe.offer(&mut c, SiteId(0), inc(5)).is_none());
+        assert_eq!(pipe.buffered(), 1);
+        assert_eq!(pipe.next_due(), Some(VirtualTime::from_millis(100)));
+
+        // Before the deadline nothing is submitted.
+        c.advance_to(VirtualTime::from_millis(50));
+        assert!(pipe.poll(&mut c).is_empty());
+        // At the deadline it goes out.
+        c.advance_to(VirtualTime::from_millis(100));
+        let out = pipe.poll(&mut c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(pipe.buffered(), 0);
+        c.run_until_quiescent();
+        assert_eq!(c.snapshot_of(SiteId(2))[&X], Value::Int(5));
+    }
+
+    #[test]
+    fn deferred_preserves_offer_order() {
+        let mut c = cluster(Method::Commu);
+        let mut pipe = SpecPipe::new(PropagationClass::Deferred {
+            deadline: Duration::from_millis(10),
+        });
+        pipe.offer(&mut c, SiteId(0), inc(1));
+        c.advance_to(VirtualTime::from_millis(5));
+        pipe.offer(&mut c, SiteId(1), inc(2));
+        c.advance_to(VirtualTime::from_millis(20));
+        let out = pipe.poll(&mut c);
+        assert_eq!(out.len(), 2, "both deadlines passed");
+        assert!(out[0] < out[1], "submission follows offer order");
+    }
+
+    #[test]
+    fn independent_flushes_periodically() {
+        let mut c = cluster(Method::Commu);
+        let mut pipe = SpecPipe::new(PropagationClass::Independent {
+            period: Duration::from_millis(100),
+        });
+        pipe.offer(&mut c, SiteId(0), inc(1));
+        pipe.offer(&mut c, SiteId(1), inc(2));
+        c.advance_to(VirtualTime::from_millis(99));
+        assert!(pipe.poll(&mut c).is_empty(), "period not elapsed");
+        c.advance_to(VirtualTime::from_millis(100));
+        assert_eq!(pipe.poll(&mut c).len(), 2);
+        // The next period starts now.
+        pipe.offer(&mut c, SiteId(0), inc(3));
+        c.advance_to(VirtualTime::from_millis(150));
+        assert!(pipe.poll(&mut c).is_empty());
+        c.advance_to(VirtualTime::from_millis(200));
+        assert_eq!(pipe.poll(&mut c).len(), 1);
+        c.run_until_quiescent();
+        assert_eq!(c.snapshot_of(SiteId(0))[&X], Value::Int(6));
+    }
+
+    #[test]
+    fn potentially_inconsistent_uses_backward_control() {
+        let mut c = cluster(Method::Compe);
+        let mut pipe = SpecPipe::new(PropagationClass::PotentiallyInconsistent);
+        let et = pipe.offer(&mut c, SiteId(0), inc(10)).expect("submitted");
+        c.run_until_quiescent();
+        // Applied optimistically everywhere, but still at risk.
+        assert_eq!(c.snapshot_of(SiteId(1))[&X], Value::Int(10));
+        // The business action fails: compensate.
+        c.resolve(et, false);
+        c.run_until_quiescent();
+        assert!(c.converged());
+        assert_eq!(
+            c.snapshot_of(SiteId(1)).get(&X).cloned().unwrap_or_default(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut c = cluster(Method::Commu);
+        let mut pipe = SpecPipe::new(PropagationClass::Independent {
+            period: Duration::from_secs(3600),
+        });
+        for i in 0..5 {
+            pipe.offer(&mut c, SiteId(i % 3), inc(1));
+        }
+        assert_eq!(pipe.flush(&mut c).len(), 5);
+        assert_eq!(pipe.buffered(), 0);
+        assert_eq!(pipe.submitted(), 5);
+        assert_eq!(pipe.next_due(), None);
+    }
+}

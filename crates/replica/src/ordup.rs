@@ -1,0 +1,501 @@
+//! ORDUP — ordered updates (§3.1).
+//!
+//! Replicas of the same object are updated *asynchronously but in the
+//! same order*, making the update ETs SR; queries are processed in any
+//! order because they may see inconsistent results.
+//!
+//! Two ordering mechanisms, matching the paper:
+//!
+//! * [`OrdupSite`] — a **centralized sequencer** stamps each update MSet
+//!   with a dense global sequence number; each site "simply waits for the
+//!   next MSet in the execution sequence to show up before running other
+//!   MSets" (a hold-back queue keyed by sequence number).
+//! * [`OrdupLamportSite`] — **Lamport-style global timestamps** for true
+//!   distributed control; the site reconstructs each origin's FIFO order
+//!   and applies MSets in timestamp order once they are *stable* (a
+//!   message with a higher timestamp has been seen from every origin, so
+//!   no smaller timestamp can still arrive).
+//!
+//! Divergence bounding: a query is charged one unit per held-back MSet
+//! that writes an object in its read set — those are exactly the
+//! overlapping update ETs the query would expose. With a sequencer, a
+//! strict (epsilon = 0) query takes a *global order token* and is served
+//! only when the site has applied every update sequenced before it
+//! ("the query ET is allowed to proceed only when it is running in the
+//! global order"); [`OrdupSite::applied_through`] supports that check.
+
+use std::collections::BTreeMap;
+
+use esr_core::divergence::InconsistencyCounter;
+use esr_core::ids::{LamportTs, ObjectId, SeqNo, SiteId};
+use esr_core::value::Value;
+use esr_storage::store::ObjectStore;
+
+use crate::mset::{MSet, OrderTag};
+use crate::site::{QueryOutcome, ReplicaSite};
+
+/// ORDUP site using sequencer-assigned global order.
+#[derive(Debug)]
+pub struct OrdupSite {
+    site: SiteId,
+    store: ObjectStore,
+    /// The next sequence number this site will apply.
+    next_seq: SeqNo,
+    /// Delivered MSets waiting for their predecessors.
+    holdback: BTreeMap<SeqNo, MSet>,
+    /// ETs whose MSets have been applied.
+    applied_ets: std::collections::BTreeSet<esr_core::ids::EtId>,
+    /// Total MSets applied (for reporting).
+    applied: u64,
+}
+
+impl OrdupSite {
+    /// A fresh site.
+    pub fn new(site: SiteId) -> Self {
+        Self {
+            site,
+            store: ObjectStore::new(),
+            next_seq: SeqNo::ZERO,
+            holdback: BTreeMap::new(),
+            applied_ets: std::collections::BTreeSet::new(),
+            applied: 0,
+        }
+    }
+
+    /// The next sequence number this site is waiting for.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// True when this site has applied every update sequenced strictly
+    /// before `token` — the admission test for strict queries holding a
+    /// global order token.
+    pub fn applied_through(&self, token: SeqNo) -> bool {
+        self.next_seq >= token
+    }
+
+    /// Total MSets applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// How many globally sequenced updates this site has **not** yet
+    /// applied, given the sequencer's current counter (`horizon` = the
+    /// next sequence number the sequencer would hand out). This is the
+    /// conservative charge a query holding a global order token pays:
+    /// every sequenced-but-unapplied update might conflict.
+    pub fn gap_to(&self, horizon: SeqNo) -> u64 {
+        horizon.raw().saturating_sub(self.next_seq.raw())
+    }
+
+    fn drain(&mut self) {
+        while let Some(mset) = self.holdback.remove(&self.next_seq) {
+            for op in &mset.ops {
+                self.store
+                    .apply(op)
+                    .expect("update MSet must apply cleanly at every replica");
+            }
+            self.applied_ets.insert(mset.et);
+            self.next_seq = self.next_seq.next();
+            self.applied += 1;
+        }
+    }
+}
+
+impl ReplicaSite for OrdupSite {
+    fn method_name(&self) -> &'static str {
+        "ORDUP"
+    }
+
+    fn site_id(&self) -> SiteId {
+        self.site
+    }
+
+    fn deliver(&mut self, mset: MSet) {
+        let OrderTag::Sequenced(seq) = mset.order else {
+            panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
+        };
+        if seq < self.next_seq {
+            return; // duplicate of an already-applied MSet
+        }
+        self.holdback.entry(seq).or_insert(mset);
+        self.drain();
+    }
+
+    fn has_applied(&self, et: esr_core::ids::EtId) -> bool {
+        self.applied_ets.contains(&et)
+    }
+
+    fn query(
+        &mut self,
+        read_set: &[ObjectId],
+        counter: &mut InconsistencyCounter,
+    ) -> QueryOutcome {
+        // Every held-back MSet writing a queried object is an overlapping
+        // update whose effect this read would order inconsistently.
+        let charge = self
+            .holdback
+            .values()
+            .filter(|m| m.touches(read_set))
+            .count() as u64;
+        if !counter.charge(charge).is_admitted() {
+            return QueryOutcome::rejected();
+        }
+        QueryOutcome {
+            values: read_set.iter().map(|&o| self.store.get(o)).collect(),
+            charged: charge,
+            admitted: true,
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        self.store.snapshot()
+    }
+
+    fn backlog(&self) -> usize {
+        self.holdback.len()
+    }
+}
+
+/// ORDUP site using distributed Lamport-timestamp ordering.
+#[derive(Debug)]
+pub struct OrdupLamportSite {
+    site: SiteId,
+    store: ObjectStore,
+    /// All origins that may send updates (needed for stability).
+    origins: Vec<SiteId>,
+    /// Per-origin FIFO reassembly: next expected fifo number and
+    /// out-of-order buffer.
+    fifo_next: BTreeMap<SiteId, SeqNo>,
+    fifo_buffer: BTreeMap<(SiteId, SeqNo), MSet>,
+    /// Highest timestamp seen from each origin (after FIFO reassembly).
+    last_seen: BTreeMap<SiteId, LamportTs>,
+    /// Timestamp-ordered hold-back of reassembled MSets.
+    holdback: BTreeMap<LamportTs, MSet>,
+    applied_ets: std::collections::BTreeSet<esr_core::ids::EtId>,
+    applied: u64,
+}
+
+impl OrdupLamportSite {
+    /// A fresh site that expects updates from `origins`.
+    pub fn new(site: SiteId, origins: Vec<SiteId>) -> Self {
+        Self {
+            site,
+            store: ObjectStore::new(),
+            origins,
+            fifo_next: BTreeMap::new(),
+            fifo_buffer: BTreeMap::new(),
+            last_seen: BTreeMap::new(),
+            holdback: BTreeMap::new(),
+            applied_ets: std::collections::BTreeSet::new(),
+            applied: 0,
+        }
+    }
+
+    /// Total MSets applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Records a heartbeat from `origin` carrying its current clock:
+    /// raises the stability horizon so held-back MSets can apply even
+    /// when `origin` has gone quiet. The cluster driver broadcasts
+    /// heartbeats during quiesce.
+    pub fn heartbeat(&mut self, origin: SiteId, ts: LamportTs) {
+        let e = self.last_seen.entry(origin).or_insert(ts);
+        if ts > *e {
+            *e = ts;
+        }
+        self.drain_stable();
+    }
+
+    fn stable_horizon(&self) -> Option<LamportTs> {
+        // A timestamp is stable when every origin has been seen at or
+        // past it. If any origin has never been heard from, nothing is
+        // stable yet.
+        self.origins
+            .iter()
+            .map(|o| self.last_seen.get(o).copied())
+            .min()
+            .flatten()
+    }
+
+    fn drain_stable(&mut self) {
+        let Some(horizon) = self.stable_horizon() else {
+            return;
+        };
+        while let Some((&ts, _)) = self.holdback.iter().next() {
+            if ts > horizon {
+                break;
+            }
+            let mset = self.holdback.remove(&ts).expect("peeked");
+            for op in &mset.ops {
+                self.store
+                    .apply(op)
+                    .expect("update MSet must apply cleanly at every replica");
+            }
+            self.applied_ets.insert(mset.et);
+            self.applied += 1;
+        }
+    }
+}
+
+impl ReplicaSite for OrdupLamportSite {
+    fn method_name(&self) -> &'static str {
+        "ORDUP-L"
+    }
+
+    fn site_id(&self) -> SiteId {
+        self.site
+    }
+
+    fn deliver(&mut self, mset: MSet) {
+        let OrderTag::Lamport { ts, fifo } = mset.order else {
+            panic!("ORDUP-Lamport site received non-Lamport MSet {mset}");
+        };
+        let origin = mset.origin;
+        let next = self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
+        if fifo < *next {
+            return; // duplicate
+        }
+        self.fifo_buffer.entry((origin, fifo)).or_insert(mset);
+        // Reassemble this origin's FIFO order.
+        while let Some(m) = self
+            .fifo_buffer
+            .remove(&(origin, *self.fifo_next.get(&origin).expect("inserted above")))
+        {
+            let OrderTag::Lamport { ts: mts, .. } = m.order else {
+                unreachable!("buffered MSets are Lamport-tagged");
+            };
+            let next = self.fifo_next.get_mut(&origin).expect("inserted above");
+            *next = next.next();
+            let seen = self.last_seen.entry(origin).or_insert(mts);
+            if mts > *seen {
+                *seen = mts;
+            }
+            self.holdback.insert(mts, m);
+        }
+        let _ = ts;
+        self.drain_stable();
+    }
+
+    fn has_applied(&self, et: esr_core::ids::EtId) -> bool {
+        self.applied_ets.contains(&et)
+    }
+
+    fn query(
+        &mut self,
+        read_set: &[ObjectId],
+        counter: &mut InconsistencyCounter,
+    ) -> QueryOutcome {
+        let charge = self
+            .holdback
+            .values()
+            .filter(|m| m.touches(read_set))
+            .count() as u64;
+        if !counter.charge(charge).is_admitted() {
+            return QueryOutcome::rejected();
+        }
+        QueryOutcome {
+            values: read_set.iter().map(|&o| self.store.get(o)).collect(),
+            charged: charge,
+            admitted: true,
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        self.store.snapshot()
+    }
+
+    fn backlog(&self) -> usize {
+        self.holdback.len() + self.fifo_buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::divergence::EpsilonSpec;
+    use esr_core::ids::EtId;
+    use esr_core::op::{ObjectOp, Operation};
+
+    const X: ObjectId = ObjectId(0);
+
+    fn mset_seq(et: u64, seq: u64, ops: Vec<ObjectOp>) -> MSet {
+        MSet::new(EtId(et), SiteId(9), ops).sequenced(SeqNo(seq))
+    }
+
+    fn unbounded() -> InconsistencyCounter {
+        InconsistencyCounter::new(EpsilonSpec::UNBOUNDED)
+    }
+
+    #[test]
+    fn applies_in_sequence_order_despite_reordered_delivery() {
+        let mut s = OrdupSite::new(SiteId(0));
+        // Deliver #1 (Mul) before #0 (Inc): must still apply Inc first.
+        s.deliver(mset_seq(2, 1, vec![ObjectOp::new(X, Operation::MulBy(2))]));
+        assert_eq!(s.backlog(), 1, "held back waiting for #0");
+        assert_eq!(s.snapshot().get(&X), None, "nothing applied yet");
+        s.deliver(mset_seq(1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]));
+        assert_eq!(s.backlog(), 0);
+        assert_eq!(s.snapshot()[&X], Value::Int(20), "(0+10)*2");
+        assert_eq!(s.applied(), 2);
+        assert_eq!(s.next_seq(), SeqNo(2));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut s = OrdupSite::new(SiteId(0));
+        let m = mset_seq(1, 0, vec![ObjectOp::new(X, Operation::Incr(5))]);
+        s.deliver(m.clone());
+        s.deliver(m.clone());
+        assert_eq!(s.snapshot()[&X], Value::Int(5));
+        // Duplicate of a held-back MSet too.
+        let h = mset_seq(2, 2, vec![ObjectOp::new(X, Operation::Incr(1))]);
+        s.deliver(h.clone());
+        s.deliver(h);
+        assert_eq!(s.backlog(), 1);
+    }
+
+    #[test]
+    fn query_charges_per_conflicting_heldback_mset() {
+        let mut s = OrdupSite::new(SiteId(0));
+        s.deliver(mset_seq(1, 1, vec![ObjectOp::new(X, Operation::Incr(1))]));
+        s.deliver(mset_seq(2, 2, vec![ObjectOp::new(X, Operation::Incr(2))]));
+        s.deliver(mset_seq(3, 3, vec![ObjectOp::new(ObjectId(5), Operation::Incr(3))]));
+        let mut c = unbounded();
+        let out = s.query(&[X], &mut c);
+        assert!(out.admitted);
+        assert_eq!(out.charged, 2, "two held-back MSets write x");
+        assert_eq!(c.imported(), 2);
+        assert_eq!(out.values, vec![Value::Int(0)], "seq 0 never arrived");
+    }
+
+    #[test]
+    fn strict_query_rejected_while_behind() {
+        let mut s = OrdupSite::new(SiteId(0));
+        s.deliver(mset_seq(1, 1, vec![ObjectOp::new(X, Operation::Incr(1))]));
+        let mut c = InconsistencyCounter::new(EpsilonSpec::STRICT);
+        let out = s.query(&[X], &mut c);
+        assert!(!out.admitted);
+        assert_eq!(c.imported(), 0, "rejected query charges nothing");
+        // A strict query on an unrelated object is fine.
+        let out = s.query(&[ObjectId(7)], &mut c);
+        assert!(out.admitted);
+    }
+
+    #[test]
+    fn applied_through_token_check() {
+        let mut s = OrdupSite::new(SiteId(0));
+        assert!(s.applied_through(SeqNo(0)));
+        assert!(!s.applied_through(SeqNo(1)));
+        s.deliver(mset_seq(1, 0, vec![ObjectOp::new(X, Operation::Incr(1))]));
+        assert!(s.applied_through(SeqNo(1)));
+    }
+
+    #[test]
+    fn two_replicas_converge_under_opposite_delivery_orders() {
+        let msets = vec![
+            mset_seq(1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]),
+            mset_seq(2, 1, vec![ObjectOp::new(X, Operation::MulBy(3))]),
+            mset_seq(3, 2, vec![ObjectOp::new(X, Operation::Decr(5))]),
+        ];
+        let mut a = OrdupSite::new(SiteId(0));
+        let mut b = OrdupSite::new(SiteId(1));
+        for m in &msets {
+            a.deliver(m.clone());
+        }
+        for m in msets.iter().rev() {
+            b.deliver(m.clone());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot()[&X], Value::Int(25), "(0+10)*3-5");
+    }
+
+    // ---- Lamport variant ----
+
+    fn lam(et: u64, origin: u64, counter: u64, fifo: u64, ops: Vec<ObjectOp>) -> MSet {
+        MSet::new(EtId(et), SiteId(origin), ops)
+            .lamport(LamportTs::new(counter, SiteId(origin)), SeqNo(fifo))
+    }
+
+    #[test]
+    fn lamport_applies_in_timestamp_order() {
+        let origins = vec![SiteId(0), SiteId(1)];
+        let mut s = OrdupLamportSite::new(SiteId(2), origins);
+        // Origin 1 sends ts=2 first; origin 0's ts=1 is still missing, so
+        // nothing may apply yet (ts=2 isn't stable).
+        s.deliver(lam(2, 1, 2, 0, vec![ObjectOp::new(X, Operation::MulBy(2))]));
+        assert_eq!(s.applied(), 0);
+        // Origin 0's ts=1 arrives: horizon = min(1, 2) = 1, so ts=1
+        // applies but ts=2 still waits (origin 0 might send ts=2 later).
+        s.deliver(lam(1, 0, 1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]));
+        assert_eq!(s.applied(), 1);
+        assert_eq!(s.snapshot()[&X], Value::Int(10));
+        // A heartbeat from origin 0 past ts=2 stabilizes the Mul.
+        s.heartbeat(SiteId(0), LamportTs::new(5, SiteId(0)));
+        assert_eq!(s.applied(), 2);
+        assert_eq!(s.snapshot()[&X], Value::Int(20));
+    }
+
+    #[test]
+    fn lamport_fifo_reassembly_handles_reordering() {
+        let mut s = OrdupLamportSite::new(SiteId(2), vec![SiteId(0)]);
+        // fifo #1 arrives before fifo #0: buffered.
+        s.deliver(lam(2, 0, 2, 1, vec![ObjectOp::new(X, Operation::MulBy(2))]));
+        assert_eq!(s.applied(), 0);
+        assert_eq!(s.backlog(), 1);
+        s.deliver(lam(1, 0, 1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]));
+        // Both reassembled; horizon = ts 2, both stable.
+        assert_eq!(s.applied(), 2);
+        assert_eq!(s.snapshot()[&X], Value::Int(20));
+    }
+
+    #[test]
+    fn lamport_duplicate_fifo_is_ignored() {
+        let mut s = OrdupLamportSite::new(SiteId(2), vec![SiteId(0)]);
+        let m = lam(1, 0, 1, 0, vec![ObjectOp::new(X, Operation::Incr(5))]);
+        s.deliver(m.clone());
+        s.deliver(m);
+        assert_eq!(s.applied(), 1);
+        assert_eq!(s.snapshot()[&X], Value::Int(5));
+    }
+
+    #[test]
+    fn lamport_replicas_converge_any_order() {
+        let msets = [
+            lam(1, 0, 1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]),
+            lam(2, 1, 1, 0, vec![ObjectOp::new(X, Operation::MulBy(2))]),
+            lam(3, 0, 3, 1, vec![ObjectOp::new(X, Operation::Decr(4))]),
+        ];
+        let origins = vec![SiteId(0), SiteId(1)];
+        let run = |order: Vec<usize>| {
+            let mut s = OrdupLamportSite::new(SiteId(2), origins.clone());
+            for i in order {
+                s.deliver(msets[i].clone());
+            }
+            // Final heartbeats flush the tail.
+            s.heartbeat(SiteId(0), LamportTs::new(100, SiteId(0)));
+            s.heartbeat(SiteId(1), LamportTs::new(100, SiteId(1)));
+            s.snapshot()
+        };
+        let a = run(vec![0, 1, 2]);
+        let b = run(vec![2, 1, 0]);
+        let c = run(vec![1, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // ts order: Inc(10)@1.0, Mul(2)@1.1, Dec(4)@3.0 → (0+10)*2-4 = 16.
+        assert_eq!(a[&X], Value::Int(16));
+    }
+
+    #[test]
+    fn lamport_query_charges_holdback() {
+        let mut s = OrdupLamportSite::new(SiteId(2), vec![SiteId(0), SiteId(1)]);
+        s.deliver(lam(1, 0, 5, 0, vec![ObjectOp::new(X, Operation::Incr(1))]));
+        // Not stable (origin 1 silent): held back.
+        let mut c = unbounded();
+        let out = s.query(&[X], &mut c);
+        assert_eq!(out.charged, 1);
+        assert_eq!(out.values, vec![Value::Int(0)]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Synchronous baseline: weighted voting (Gifford-style quorums).
+//!
+//! The paper names weighted voting \[15\] as the canonical synchronous
+//! coherency control: "traditional coherency control methods, such as
+//! weighted voting, update a number of replicas (e.g., write quorum) in
+//! an atomic transaction" (§2.4). This comparator assigns one vote per
+//! site with quorums `r + w > n`:
+//!
+//! * a **write** reads version numbers from a read quorum, then installs
+//!   `(max version + 1, value)` at a write quorum — latency is the `r`-th
+//!   fastest round-trip plus the `w`-th fastest round-trip;
+//! * a **read** collects `(version, value)` from a read quorum and
+//!   returns the newest — latency is the `r`-th fastest round-trip.
+//!
+//! Unlike 2PC write-all, a quorum system keeps operating while a minority
+//! is partitioned away — but every operation still pays synchronous
+//! network round-trips, which is exactly the cost ESR's asynchronous
+//! methods avoid.
+
+use std::collections::BTreeMap;
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::value::Value;
+use esr_net::transport::Network;
+use esr_net::PartitionSchedule;
+use esr_net::{LinkConfig, Topology};
+use esr_sim::rng::DetRng;
+use esr_sim::time::{Duration, VirtualTime};
+
+/// One replica's versioned copy of an object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct VersionedValue {
+    version: u64,
+    value: Value,
+}
+
+/// Timing of one quorum operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumReport {
+    /// When the operation started.
+    pub started: VirtualTime,
+    /// When the quorum was assembled and the result was final.
+    pub decided: VirtualTime,
+}
+
+impl QuorumReport {
+    /// Latency from start to decision.
+    pub fn latency(&self) -> Duration {
+        self.decided - self.started
+    }
+}
+
+/// A replicated system under weighted voting.
+#[derive(Debug)]
+pub struct QuorumCluster {
+    net: Network,
+    replicas: Vec<BTreeMap<ObjectId, VersionedValue>>,
+    n: usize,
+    read_quorum: usize,
+    write_quorum: usize,
+    /// Per-object lock release times (conflicting writes serialize).
+    lock_free_at: BTreeMap<ObjectId, VirtualTime>,
+    write_latencies: Vec<Duration>,
+    read_latencies: Vec<Duration>,
+}
+
+impl QuorumCluster {
+    /// A cluster of `n` sites with majority write quorum and the minimal
+    /// intersecting read quorum.
+    pub fn new(n: usize, link: LinkConfig, partitions: PartitionSchedule, seed: u64) -> Self {
+        let write_quorum = n / 2 + 1;
+        let read_quorum = n - write_quorum + 1;
+        Self::with_quorums(n, read_quorum, write_quorum, link, partitions, seed)
+    }
+
+    /// A cluster with explicit quorums; panics unless `r + w > n` and
+    /// both quorums fit.
+    pub fn with_quorums(
+        n: usize,
+        read_quorum: usize,
+        write_quorum: usize,
+        link: LinkConfig,
+        partitions: PartitionSchedule,
+        seed: u64,
+    ) -> Self {
+        assert!(read_quorum + write_quorum > n, "quorums must intersect");
+        assert!(read_quorum >= 1 && read_quorum <= n);
+        assert!(write_quorum >= 1 && write_quorum <= n);
+        let net = Network::new(Topology::full_mesh(n, link), DetRng::new(seed))
+            .with_partitions(partitions);
+        Self {
+            net,
+            replicas: (0..n).map(|_| BTreeMap::new()).collect(),
+            n,
+            read_quorum,
+            write_quorum,
+            lock_free_at: BTreeMap::new(),
+            write_latencies: Vec::new(),
+            read_latencies: Vec::new(),
+        }
+    }
+
+    /// The read quorum size.
+    pub fn read_quorum(&self) -> usize {
+        self.read_quorum
+    }
+
+    /// The write quorum size.
+    pub fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+
+    /// Write latencies recorded.
+    pub fn write_latencies(&self) -> &[Duration] {
+        &self.write_latencies
+    }
+
+    /// Read latencies recorded.
+    pub fn read_latencies(&self) -> &[Duration] {
+        &self.read_latencies
+    }
+
+    /// Round-trip completion times from `origin` to every other site
+    /// starting at `at`, sorted ascending; the origin itself counts as an
+    /// immediate response.
+    fn round_trips(&mut self, origin: SiteId, at: VirtualTime) -> Vec<(SiteId, VirtualTime)> {
+        let mut rts = vec![(origin, at)];
+        for s in 0..self.n as u64 {
+            let site = SiteId(s);
+            if site == origin {
+                continue;
+            }
+            let there = self.net.plan_send(origin, site, at)[0].at;
+            let back = self.net.plan_send(site, origin, there)[0].at;
+            rts.push((site, back));
+        }
+        rts.sort_by_key(|(_, t)| *t);
+        rts
+    }
+
+    /// Writes `value` to `object`, coordinated by `origin`, submitted at
+    /// `at`. Returns the timing report.
+    pub fn write(
+        &mut self,
+        origin: SiteId,
+        object: ObjectId,
+        value: Value,
+        at: VirtualTime,
+    ) -> QuorumReport {
+        let started = at.max(
+            self.lock_free_at
+                .get(&object)
+                .copied()
+                .unwrap_or(VirtualTime::ZERO),
+        );
+        // Round 1: read versions from a read quorum (fastest r sites).
+        let rts = self.round_trips(origin, started);
+        let version_known_at = rts[self.read_quorum - 1].1;
+        let max_version = rts[..self.read_quorum]
+            .iter()
+            .map(|(s, _)| {
+                self.replicas[s.raw() as usize]
+                    .get(&object)
+                    .map_or(0, |v| v.version)
+            })
+            .max()
+            .unwrap_or(0);
+        // Round 2: install at a write quorum (fastest w sites).
+        let rts2 = self.round_trips(origin, version_known_at);
+        let decided = rts2[self.write_quorum - 1].1;
+        for (s, _) in rts2[..self.write_quorum].iter() {
+            self.replicas[s.raw() as usize].insert(
+                object,
+                VersionedValue {
+                    version: max_version + 1,
+                    value: value.clone(),
+                },
+            );
+        }
+        self.lock_free_at.insert(object, decided);
+        self.write_latencies.push(decided - at);
+        QuorumReport { started, decided }
+    }
+
+    /// Reads `object` through a read quorum coordinated by `origin`.
+    /// Returns the newest value in the quorum and the timing report.
+    pub fn read(
+        &mut self,
+        origin: SiteId,
+        object: ObjectId,
+        at: VirtualTime,
+    ) -> (Value, QuorumReport) {
+        let rts = self.round_trips(origin, at);
+        let decided = rts[self.read_quorum - 1].1;
+        let newest = rts[..self.read_quorum]
+            .iter()
+            .filter_map(|(s, _)| self.replicas[s.raw() as usize].get(&object))
+            .max_by_key(|v| v.version)
+            .map(|v| v.value.clone())
+            .unwrap_or_default();
+        self.read_latencies.push(decided - at);
+        (newest, QuorumReport { started: at, decided })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_net::faults::PartitionWindow;
+    use esr_net::latency::LatencyModel;
+
+    const X: ObjectId = ObjectId(0);
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::from_millis(ms)
+    }
+
+    fn fixed_link(ms: u64) -> LinkConfig {
+        LinkConfig::reliable(LatencyModel::Constant(Duration::from_millis(ms)))
+    }
+
+    #[test]
+    fn default_quorums_intersect() {
+        let c = QuorumCluster::new(5, fixed_link(1), PartitionSchedule::none(), 1);
+        assert_eq!(c.write_quorum(), 3);
+        assert_eq!(c.read_quorum(), 3);
+        let c = QuorumCluster::new(4, fixed_link(1), PartitionSchedule::none(), 1);
+        assert_eq!(c.write_quorum(), 3);
+        assert_eq!(c.read_quorum(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorums must intersect")]
+    fn rejects_non_intersecting_quorums() {
+        QuorumCluster::with_quorums(5, 2, 2, fixed_link(1), PartitionSchedule::none(), 1);
+    }
+
+    #[test]
+    fn read_sees_latest_write() {
+        let mut c = QuorumCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        c.write(SiteId(0), X, Value::Int(7), t(0));
+        let (v, _) = c.read(SiteId(2), X, t(1000));
+        assert_eq!(v, Value::Int(7), "read/write quorums intersect");
+    }
+
+    #[test]
+    fn successive_writes_bump_versions() {
+        let mut c = QuorumCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        c.write(SiteId(0), X, Value::Int(1), t(0));
+        c.write(SiteId(1), X, Value::Int(2), t(1000));
+        let (v, _) = c.read(SiteId(2), X, t(2000));
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn write_pays_two_quorum_round_trips() {
+        let mut c = QuorumCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        let r = c.write(SiteId(0), X, Value::Int(1), t(0));
+        // Read quorum (2 of 3): the origin plus the first remote round
+        // trip = 20ms; write quorum likewise: +20ms.
+        assert_eq!(r.latency(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn read_pays_one_quorum_round_trip() {
+        let mut c = QuorumCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        c.write(SiteId(0), X, Value::Int(1), t(0));
+        let (_, r) = c.read(SiteId(0), X, t(1000));
+        assert_eq!(r.latency(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn conflicting_writes_serialize() {
+        let mut c = QuorumCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        let r1 = c.write(SiteId(0), X, Value::Int(1), t(0));
+        let r2 = c.write(SiteId(1), X, Value::Int(2), t(0));
+        assert_eq!(r2.started, r1.decided);
+        let (v, _) = c.read(SiteId(2), X, t(5000));
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn majority_survives_minority_partition() {
+        // Site 2 is cut off for 10 seconds; the majority {0, 1} keeps
+        // committing writes with normal latency.
+        let part = PartitionSchedule::new(vec![PartitionWindow::isolate(
+            t(0),
+            t(10_000),
+            SiteId(2),
+            [SiteId(0), SiteId(1)],
+        )]);
+        let mut c = QuorumCluster::new(3, fixed_link(10), part, 1);
+        let r = c.write(SiteId(0), X, Value::Int(5), t(0));
+        assert!(
+            r.decided < t(1000),
+            "majority quorum must not wait for the heal, decided at {}",
+            r.decided
+        );
+        // A read from the majority side also completes promptly and sees
+        // the write.
+        let (v, rr) = c.read(SiteId(1), X, t(500));
+        assert_eq!(v, Value::Int(5));
+        assert!(rr.decided < t(1000));
+    }
+
+    #[test]
+    fn missing_object_reads_default() {
+        let mut c = QuorumCluster::new(3, fixed_link(1), PartitionSchedule::none(), 1);
+        let (v, _) = c.read(SiteId(0), ObjectId(99), t(0));
+        assert_eq!(v, Value::ZERO);
+    }
+
+    #[test]
+    fn latencies_recorded() {
+        let mut c = QuorumCluster::new(3, fixed_link(1), PartitionSchedule::none(), 1);
+        c.write(SiteId(0), X, Value::Int(1), t(0));
+        c.read(SiteId(0), X, t(100));
+        assert_eq!(c.write_latencies().len(), 1);
+        assert_eq!(c.read_latencies().len(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! RITU — read-independent timestamped updates (§3.3).
+//!
+//! RITU updates are *blind* (no R/W dependency): timestamped overwrites.
+//! They commute with respect to themselves and with reads, so delivery
+//! needs no ordering; access ordering is postponed to read time.
+//!
+//! * [`RituOverwriteSite`] — single-version overwrite mode: the newest
+//!   timestamp wins, older updates are ignored; "there is no divergence
+//!   since by definition all the reads request the latest version — RITU
+//!   reduces to COMMU", so divergence bounding reuses the lock-counter
+//!   scheme.
+//! * [`RituMvSite`] — multiversion mode over the append-only store with
+//!   VTNC visibility: reads at or below the VTNC are SR; a query may read
+//!   a newer version, paying one inconsistency unit per such read, and a
+//!   query whose budget is exhausted falls back to the stable VTNC
+//!   version instead of being rejected.
+
+use std::collections::BTreeMap;
+
+use esr_core::divergence::{InconsistencyCounter, LockCounters};
+use esr_core::ids::{EtId, ObjectId, SiteId, VersionTs};
+use esr_core::op::Operation;
+use esr_core::value::Value;
+use esr_storage::mvstore::MvStore;
+use esr_storage::store::LwwStore;
+
+use crate::mset::MSet;
+use crate::site::{QueryOutcome, ReplicaSite};
+
+/// RITU in overwrite (last-writer-wins) mode.
+#[derive(Debug)]
+pub struct RituOverwriteSite {
+    site: SiteId,
+    store: LwwStore,
+    counters: LockCounters,
+    applied_ets: BTreeMap<EtId, ()>,
+    applied: u64,
+}
+
+impl RituOverwriteSite {
+    /// A fresh site.
+    pub fn new(site: SiteId) -> Self {
+        Self {
+            site,
+            store: LwwStore::new(),
+            counters: LockCounters::new(),
+            applied_ets: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// Total MSets applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Completion notice (see [`crate::commu::CommuSite::complete`]).
+    pub fn complete(&mut self, et: EtId) {
+        self.counters.end_update(et);
+    }
+
+    /// The stored version of an object.
+    pub fn version(&self, object: ObjectId) -> VersionTs {
+        self.store.version(object)
+    }
+}
+
+impl ReplicaSite for RituOverwriteSite {
+    fn method_name(&self) -> &'static str {
+        "RITU"
+    }
+
+    fn site_id(&self) -> SiteId {
+        self.site
+    }
+
+    fn deliver(&mut self, mset: MSet) {
+        if self.applied_ets.contains_key(&mset.et) {
+            return;
+        }
+        for op in &mset.ops {
+            debug_assert!(
+                matches!(op.op, Operation::TimestampedWrite(_, _) | Operation::Read),
+                "RITU MSets carry only timestamped writes, got {op}"
+            );
+            self.store.apply(op).expect("RITU op applies cleanly");
+        }
+        self.counters.begin_update(mset.et, mset.write_set());
+        self.applied_ets.insert(mset.et, ());
+        self.applied += 1;
+    }
+
+    fn has_applied(&self, et: EtId) -> bool {
+        self.applied_ets.contains_key(&et)
+    }
+
+    fn query(
+        &mut self,
+        read_set: &[ObjectId],
+        counter: &mut InconsistencyCounter,
+    ) -> QueryOutcome {
+        let charge = self.counters.inconsistency_of_set(read_set.iter().copied());
+        if !counter.charge(charge).is_admitted() {
+            return QueryOutcome::rejected();
+        }
+        QueryOutcome {
+            values: read_set.iter().map(|&o| self.store.get(o)).collect(),
+            charged: charge,
+            admitted: true,
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        self.store.snapshot()
+    }
+
+    fn backlog(&self) -> usize {
+        0
+    }
+}
+
+/// RITU in multiversion mode with VTNC visibility control.
+#[derive(Debug)]
+pub struct RituMvSite {
+    site: SiteId,
+    store: MvStore,
+    applied_ets: BTreeMap<EtId, ()>,
+    applied: u64,
+}
+
+impl RituMvSite {
+    /// A fresh site.
+    pub fn new(site: SiteId) -> Self {
+        Self {
+            site,
+            store: MvStore::new(),
+            applied_ets: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// Total MSets applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The current VTNC.
+    pub fn vtnc(&self) -> VersionTs {
+        self.store.vtnc()
+    }
+
+    /// Advances the VTNC: the certification service has determined that
+    /// every version at or below `to` is installed at every replica and
+    /// no smaller version can ever be created.
+    pub fn advance_vtnc(&mut self, to: VersionTs) {
+        self.store.advance_vtnc(to);
+    }
+
+    /// Direct access to the underlying multiversion store (for COMPE
+    /// integration and tests).
+    pub fn store(&self) -> &MvStore {
+        &self.store
+    }
+
+    /// Number of versions held for an object.
+    pub fn version_count(&self, object: ObjectId) -> usize {
+        self.store.version_count(object)
+    }
+}
+
+impl ReplicaSite for RituMvSite {
+    fn method_name(&self) -> &'static str {
+        "RITU-MV"
+    }
+
+    fn site_id(&self) -> SiteId {
+        self.site
+    }
+
+    fn deliver(&mut self, mset: MSet) {
+        if self.applied_ets.contains_key(&mset.et) {
+            return;
+        }
+        for op in &mset.ops {
+            match &op.op {
+                Operation::TimestampedWrite(ts, v) => {
+                    self.store.install(op.object, *ts, v.clone());
+                }
+                Operation::Read => {}
+                other => panic!("RITU-MV MSet carries non-timestamped write {other}"),
+            }
+        }
+        self.applied_ets.insert(mset.et, ());
+        self.applied += 1;
+    }
+
+    fn has_applied(&self, et: EtId) -> bool {
+        self.applied_ets.contains_key(&et)
+    }
+
+    fn query(
+        &mut self,
+        read_set: &[ObjectId],
+        counter: &mut InconsistencyCounter,
+    ) -> QueryOutcome {
+        // Per object: prefer the freshest version; if it lies above the
+        // VTNC, reading it costs one unit. When the budget can't absorb
+        // the unit, fall back to the stable VTNC version (SR, maybe
+        // stale). A multiversion query is therefore never rejected.
+        let mut values = Vec::with_capacity(read_set.len());
+        let mut charged = 0;
+        for &object in read_set {
+            let latest = self.store.read_latest(object);
+            if latest.above_vtnc {
+                if counter.charge(1).is_admitted() {
+                    charged += 1;
+                    values.push(latest.value);
+                } else {
+                    values.push(self.store.read_at_vtnc(object).value);
+                }
+            } else {
+                values.push(latest.value);
+            }
+        }
+        QueryOutcome {
+            values,
+            charged,
+            admitted: true,
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        self.store.snapshot_latest()
+    }
+
+    fn backlog(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::divergence::EpsilonSpec;
+    use esr_core::ids::ClientId;
+    use esr_core::op::ObjectOp;
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    fn vts(t: u64) -> VersionTs {
+        VersionTs::new(t, ClientId(0))
+    }
+
+    fn tw(et: u64, obj: ObjectId, t: u64, v: i64) -> MSet {
+        MSet::new(
+            EtId(et),
+            SiteId(9),
+            vec![ObjectOp::new(
+                obj,
+                Operation::TimestampedWrite(vts(t), Value::Int(v)),
+            )],
+        )
+    }
+
+    fn unbounded() -> InconsistencyCounter {
+        InconsistencyCounter::new(EpsilonSpec::UNBOUNDED)
+    }
+
+    #[test]
+    fn overwrite_converges_any_order() {
+        let msets = [tw(1, X, 1, 10), tw(2, X, 3, 30), tw(3, X, 2, 20)];
+        let mut a = RituOverwriteSite::new(SiteId(0));
+        let mut b = RituOverwriteSite::new(SiteId(1));
+        for m in &msets {
+            a.deliver(m.clone());
+        }
+        for m in msets.iter().rev() {
+            b.deliver(m.clone());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot()[&X], Value::Int(30), "newest timestamp wins");
+        assert_eq!(a.version(X), vts(3));
+    }
+
+    #[test]
+    fn overwrite_duplicates_suppressed() {
+        let mut s = RituOverwriteSite::new(SiteId(0));
+        let m = tw(1, X, 5, 50);
+        s.deliver(m.clone());
+        s.deliver(m);
+        assert_eq!(s.applied(), 1);
+    }
+
+    #[test]
+    fn overwrite_query_uses_lock_counters() {
+        let mut s = RituOverwriteSite::new(SiteId(0));
+        s.deliver(tw(1, X, 1, 10));
+        let mut c = unbounded();
+        let out = s.query(&[X], &mut c);
+        assert_eq!(out.charged, 1, "ET1 still in flight");
+        s.complete(EtId(1));
+        let mut c2 = InconsistencyCounter::new(EpsilonSpec::STRICT);
+        let out = s.query(&[X], &mut c2);
+        assert!(out.admitted);
+        assert_eq!(out.values, vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn mv_installs_versions_and_reads_latest() {
+        let mut s = RituMvSite::new(SiteId(0));
+        s.deliver(tw(1, X, 1, 10));
+        s.deliver(tw(2, X, 2, 20));
+        assert_eq!(s.version_count(X), 2);
+        let mut c = unbounded();
+        let out = s.query(&[X], &mut c);
+        assert_eq!(out.values, vec![Value::Int(20)]);
+        assert_eq!(out.charged, 1, "one read above the VTNC costs one unit");
+    }
+
+    #[test]
+    fn mv_charges_only_reads_above_vtnc() {
+        let mut s = RituMvSite::new(SiteId(0));
+        s.deliver(tw(1, X, 1, 10));
+        s.advance_vtnc(vts(1));
+        let mut c = unbounded();
+        let out = s.query(&[X], &mut c);
+        assert_eq!(out.charged, 0, "version 1 is stable");
+        assert_eq!(out.values, vec![Value::Int(10)]);
+
+        s.deliver(tw(2, X, 5, 50));
+        let out = s.query(&[X], &mut c);
+        assert_eq!(out.charged, 1, "version 5 is above the VTNC");
+        assert_eq!(out.values, vec![Value::Int(50)]);
+    }
+
+    #[test]
+    fn mv_exhausted_budget_falls_back_to_vtnc_version() {
+        let mut s = RituMvSite::new(SiteId(0));
+        s.deliver(tw(1, X, 1, 10));
+        s.advance_vtnc(vts(1));
+        s.deliver(tw(2, X, 5, 50));
+        let mut c = InconsistencyCounter::new(EpsilonSpec::STRICT);
+        let out = s.query(&[X], &mut c);
+        assert!(out.admitted, "multiversion queries never reject");
+        assert_eq!(out.charged, 0);
+        assert_eq!(out.values, vec![Value::Int(10)], "stable version served");
+    }
+
+    #[test]
+    fn mv_budget_splits_across_read_set() {
+        let mut s = RituMvSite::new(SiteId(0));
+        s.deliver(tw(1, X, 5, 50));
+        s.deliver(tw(2, Y, 6, 60));
+        let mut c = InconsistencyCounter::new(EpsilonSpec::bounded(1));
+        let out = s.query(&[X, Y], &mut c);
+        assert_eq!(out.charged, 1);
+        assert_eq!(
+            out.values,
+            vec![Value::Int(50), Value::ZERO],
+            "fresh read of x consumed the budget; y fell back to (empty) stable state"
+        );
+    }
+
+    #[test]
+    fn mv_converges_any_order() {
+        let msets = [tw(1, X, 2, 20), tw(2, X, 1, 10), tw(3, Y, 1, 5)];
+        let mut a = RituMvSite::new(SiteId(0));
+        let mut b = RituMvSite::new(SiteId(1));
+        for m in &msets {
+            a.deliver(m.clone());
+        }
+        for m in msets.iter().rev() {
+            b.deliver(m.clone());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot()[&X], Value::Int(20));
+    }
+
+    #[test]
+    fn mv_vtnc_is_monotonic_via_site() {
+        let mut s = RituMvSite::new(SiteId(0));
+        s.advance_vtnc(vts(5));
+        s.advance_vtnc(vts(2));
+        assert_eq!(s.vtnc(), vts(5));
+        assert_eq!(s.store().vtnc(), vts(5));
+    }
+}

@@ -1,0 +1,284 @@
+//! Sagas over backward replica control (§4.2).
+//!
+//! "In a system supporting Sagas, we can maintain the lock-counter value
+//! throughout a saga, since during the saga each step may be
+//! uncompensated for. By clearing the lock-counters only at the end of
+//! the entire saga the query ETs have a conservative estimate (upper
+//! bound) of the total potential inconsistency."
+//!
+//! A [`SagaCoordinator`] runs multi-step transactions over a COMPE
+//! cluster: each step is an update ET applied optimistically at every
+//! replica and held **pending** — its lock-counters stay raised — until
+//! the whole saga commits (all steps confirmed, in order) or aborts
+//! (completed steps compensated in reverse order, exactly the saga
+//! recovery discipline).
+
+use std::collections::BTreeMap;
+
+use esr_core::ids::{EtId, SiteId};
+use esr_core::op::ObjectOp;
+
+use crate::cluster::{ClusterConfig, Method, SimCluster};
+
+/// Identifier of a saga within one coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SagaId(pub u64);
+
+/// Lifecycle of a saga.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SagaState {
+    /// Steps may still be added.
+    Active,
+    /// All steps committed.
+    Committed,
+    /// All steps compensated.
+    Aborted,
+}
+
+#[derive(Debug)]
+struct SagaRecord {
+    steps: Vec<EtId>,
+    state: SagaState,
+}
+
+/// Coordinates sagas over a COMPE [`SimCluster`].
+///
+/// ```
+/// use esr_core::ids::{ObjectId, SiteId};
+/// use esr_core::op::{ObjectOp, Operation};
+/// use esr_core::value::Value;
+/// use esr_replica::cluster::{ClusterConfig, Method};
+/// use esr_replica::saga::SagaCoordinator;
+///
+/// let mut co = SagaCoordinator::new(ClusterConfig::new(Method::Compe).with_sites(3));
+/// let trip = co.begin();
+/// co.step(trip, SiteId(0), vec![ObjectOp::new(ObjectId(0), Operation::Decr(1))]);
+/// co.step(trip, SiteId(1), vec![ObjectOp::new(ObjectId(1), Operation::Decr(1))]);
+/// co.abort(trip); // compensates both steps, in reverse order
+/// co.cluster_mut().run_until_quiescent();
+/// assert!(co.cluster().converged());
+/// ```
+#[derive(Debug)]
+pub struct SagaCoordinator {
+    cluster: SimCluster,
+    sagas: BTreeMap<SagaId, SagaRecord>,
+    next_id: u64,
+}
+
+impl SagaCoordinator {
+    /// Builds a coordinator over a fresh COMPE cluster with the given
+    /// shape. The cluster's automatic abort probability is forced to
+    /// zero: saga outcomes are decided here, not by coin flip.
+    pub fn new(mut config: ClusterConfig) -> Self {
+        config.method = Method::Compe;
+        config.abort_prob = 0.0;
+        Self {
+            cluster: SimCluster::new(config),
+            sagas: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The underlying cluster (for queries, time control, statistics).
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    /// Starts a new saga.
+    pub fn begin(&mut self) -> SagaId {
+        let id = SagaId(self.next_id);
+        self.next_id += 1;
+        self.sagas.insert(
+            id,
+            SagaRecord {
+                steps: Vec::new(),
+                state: SagaState::Active,
+            },
+        );
+        id
+    }
+
+    /// The state of a saga.
+    pub fn state(&self, saga: SagaId) -> Option<SagaState> {
+        self.sagas.get(&saga).map(|s| s.state)
+    }
+
+    /// Number of steps executed so far.
+    pub fn step_count(&self, saga: SagaId) -> usize {
+        self.sagas.get(&saga).map_or(0, |s| s.steps.len())
+    }
+
+    /// Executes the next step of `saga`: an update ET originating at
+    /// `origin`, applied optimistically at every replica and held
+    /// pending until the saga ends.
+    ///
+    /// Panics if the saga is unknown or no longer active.
+    pub fn step(&mut self, saga: SagaId, origin: SiteId, ops: Vec<ObjectOp>) -> EtId {
+        let record = self.sagas.get_mut(&saga).expect("unknown saga");
+        assert_eq!(record.state, SagaState::Active, "saga already finished");
+        let et = self.cluster.submit_update_pending(origin, ops);
+        self.sagas
+            .get_mut(&saga)
+            .expect("checked above")
+            .steps
+            .push(et);
+        et
+    }
+
+    /// Commits the saga: every step's outcome is confirmed, in execution
+    /// order. Lock-counters release as the commit notices reach every
+    /// replica.
+    pub fn commit(&mut self, saga: SagaId) {
+        let steps = {
+            let record = self.sagas.get_mut(&saga).expect("unknown saga");
+            assert_eq!(record.state, SagaState::Active, "saga already finished");
+            record.state = SagaState::Committed;
+            record.steps.clone()
+        };
+        for et in steps {
+            self.cluster.resolve(et, true);
+        }
+    }
+
+    /// Aborts the saga: completed steps are compensated in **reverse**
+    /// order — the saga recovery discipline.
+    pub fn abort(&mut self, saga: SagaId) {
+        let steps = {
+            let record = self.sagas.get_mut(&saga).expect("unknown saga");
+            assert_eq!(record.state, SagaState::Active, "saga already finished");
+            record.state = SagaState::Aborted;
+            record.steps.clone()
+        };
+        for et in steps.into_iter().rev() {
+            self.cluster.resolve(et, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::divergence::EpsilonSpec;
+    use esr_core::ids::ObjectId;
+    use esr_core::op::Operation;
+    use esr_core::value::Value;
+
+    const X: ObjectId = ObjectId(0);
+    const Y: ObjectId = ObjectId(1);
+
+    fn coordinator() -> SagaCoordinator {
+        SagaCoordinator::new(ClusterConfig::new(Method::Compe).with_sites(3).with_seed(5))
+    }
+
+    fn incr(obj: ObjectId, n: i64) -> Vec<ObjectOp> {
+        vec![ObjectOp::new(obj, Operation::Incr(n))]
+    }
+
+    #[test]
+    fn committed_saga_keeps_all_step_effects() {
+        let mut co = coordinator();
+        let saga = co.begin();
+        co.step(saga, SiteId(0), incr(X, 10));
+        co.step(saga, SiteId(1), incr(Y, 20));
+        co.commit(saga);
+        assert_eq!(co.state(saga), Some(SagaState::Committed));
+        co.cluster_mut().run_until_quiescent();
+        assert!(co.cluster().converged());
+        let snap = co.cluster().snapshot_of(SiteId(2));
+        assert_eq!(snap[&X], Value::Int(10));
+        assert_eq!(snap[&Y], Value::Int(20));
+    }
+
+    #[test]
+    fn aborted_saga_compensates_every_step_everywhere() {
+        let mut co = coordinator();
+        let saga = co.begin();
+        co.step(saga, SiteId(0), incr(X, 10));
+        co.step(saga, SiteId(1), incr(X, 5));
+        co.step(saga, SiteId(2), incr(Y, 7));
+        co.abort(saga);
+        assert_eq!(co.state(saga), Some(SagaState::Aborted));
+        co.cluster_mut().run_until_quiescent();
+        assert!(co.cluster().converged());
+        let snap = co.cluster().snapshot_of(SiteId(0));
+        assert_eq!(snap.get(&X).cloned().unwrap_or_default(), Value::Int(0));
+        assert_eq!(snap.get(&Y).cloned().unwrap_or_default(), Value::Int(0));
+        assert!(co.cluster().stats().fast_compensations + co.cluster().stats().suffix_rollbacks > 0);
+    }
+
+    #[test]
+    fn queries_carry_the_conservative_bound_until_saga_end() {
+        let mut co = coordinator();
+        let saga = co.begin();
+        co.step(saga, SiteId(0), incr(X, 10));
+        // Drain the MSet deliveries; the steps stay pending (no outcome
+        // was broadcast), so the lock-counters are still raised.
+        co.cluster_mut().run_until_quiescent();
+        let out = co
+            .cluster_mut()
+            .try_query(SiteId(1), &[X], EpsilonSpec::UNBOUNDED);
+        assert_eq!(
+            out.charged, 1,
+            "the in-flight saga step must be charged even after delivery"
+        );
+        // A strict query is refused while the saga is open…
+        let strict = co
+            .cluster_mut()
+            .try_query(SiteId(1), &[X], EpsilonSpec::STRICT);
+        assert!(!strict.admitted);
+        // …and admitted after commit + quiescence.
+        co.commit(saga);
+        co.cluster_mut().run_until_quiescent();
+        let strict = co
+            .cluster_mut()
+            .try_query(SiteId(1), &[X], EpsilonSpec::STRICT);
+        assert!(strict.admitted);
+        assert_eq!(strict.values[0], Value::Int(10));
+    }
+
+    #[test]
+    fn interleaved_sagas_resolve_independently() {
+        let mut co = coordinator();
+        let a = co.begin();
+        let b = co.begin();
+        co.step(a, SiteId(0), incr(X, 1));
+        co.step(b, SiteId(1), incr(X, 100));
+        co.step(a, SiteId(2), incr(X, 2));
+        co.abort(b);
+        co.commit(a);
+        co.cluster_mut().run_until_quiescent();
+        assert!(co.cluster().converged());
+        assert_eq!(
+            co.cluster().snapshot_of(SiteId(1))[&X],
+            Value::Int(3),
+            "saga a's 1+2 survive, saga b's 100 is compensated"
+        );
+        assert_eq!(co.step_count(a), 2);
+        assert_eq!(co.step_count(b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "saga already finished")]
+    fn steps_after_commit_are_rejected() {
+        let mut co = coordinator();
+        let saga = co.begin();
+        co.step(saga, SiteId(0), incr(X, 1));
+        co.commit(saga);
+        co.step(saga, SiteId(0), incr(X, 1));
+    }
+
+    #[test]
+    fn empty_saga_commits_trivially() {
+        let mut co = coordinator();
+        let saga = co.begin();
+        co.commit(saga);
+        assert_eq!(co.state(saga), Some(SagaState::Committed));
+        co.cluster_mut().run_until_quiescent();
+        assert!(co.cluster().converged());
+    }
+}

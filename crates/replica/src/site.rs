@@ -1,0 +1,74 @@
+//! The per-site replica control interface.
+//!
+//! Each replica control method implements [`ReplicaSite`]: the state one
+//! site keeps for its replicas, how it handles a delivered MSet
+//! ("MSet processing"), how it serves query ETs, and when it considers
+//! itself caught up. The cluster driver owns delivery timing
+//! ("MSet delivery") and the shared divergence-control services.
+
+use std::collections::BTreeMap;
+
+use esr_core::divergence::InconsistencyCounter;
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::value::Value;
+
+use crate::mset::MSet;
+
+/// The result of serving a query ET at one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Values read, in read-set order. Empty when the query was not
+    /// admitted.
+    pub values: Vec<Value>,
+    /// Inconsistency units charged to the query's counter.
+    pub charged: u64,
+    /// `false` when the query's epsilon budget could not absorb the
+    /// charge: nothing was read or charged, and the caller must fall
+    /// back to a synchronous path (wait and retry).
+    pub admitted: bool,
+}
+
+impl QueryOutcome {
+    /// A rejected query: budget exhausted, nothing read.
+    pub fn rejected() -> Self {
+        Self {
+            values: Vec::new(),
+            charged: 0,
+            admitted: false,
+        }
+    }
+}
+
+/// One site's replica control state machine.
+pub trait ReplicaSite {
+    /// The method's name, used in reports ("ORDUP", "COMMU", …).
+    fn method_name(&self) -> &'static str;
+
+    /// This site's identity.
+    fn site_id(&self) -> SiteId;
+
+    /// Handles one delivered update MSet. The site may apply it
+    /// immediately, hold it back for ordering, or apply it optimistically
+    /// pending commit. Duplicate deliveries must be idempotent.
+    fn deliver(&mut self, mset: MSet);
+
+    /// Serves a query ET over `read_set`, charging imported inconsistency
+    /// to `counter`. A site that cannot serve the query within the
+    /// remaining budget returns [`QueryOutcome::rejected`] without
+    /// charging.
+    fn query(&mut self, read_set: &[ObjectId], counter: &mut InconsistencyCounter)
+        -> QueryOutcome;
+
+    /// Has the MSet of `et` been fully applied to this replica's store?
+    /// (Held-back and suppressed MSets answer `false`.)
+    fn has_applied(&self, et: esr_core::ids::EtId) -> bool;
+
+    /// The values this replica would expose if queried for everything —
+    /// used for convergence checks between replicas at quiescence.
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value>;
+
+    /// Number of delivered-but-unapplied MSets held at this site (ORDUP
+    /// hold-back, COMPE at-risk entries do **not** count — they are
+    /// applied).
+    fn backlog(&self) -> usize;
+}

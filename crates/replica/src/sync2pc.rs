@@ -1,0 +1,289 @@
+//! Synchronous coherency-control baseline: write-all with two-phase
+//! commit.
+//!
+//! The paper contrasts asynchronous replica control with "typical
+//! coherency control methods \[that\] are synchronous, in the sense that
+//! they require the atomic updating of some number of copies" and notes
+//! that a commit agreement protocol "is a big handicap when network links
+//! have very low bandwidth or moderately high latency" (§2.4). This
+//! module supplies that comparator: every update is a distributed
+//! transaction that
+//!
+//! 1. waits for the per-object write locks (conflicting updates
+//!    serialize),
+//! 2. sends PREPARE to every replica and waits for **all** votes,
+//! 3. sends COMMIT to every replica; locks release when every replica
+//!    has applied.
+//!
+//! All messages travel through the same simulated [`Network`], so a
+//! partition stalls the protocol until the window heals — the blocking
+//! behaviour experiment E10 measures. Message timelines are computed
+//! directly from the deterministic delivery plans (no event loop is
+//! needed because participants always vote yes).
+
+use std::collections::BTreeMap;
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::op::ObjectOp;
+use esr_core::value::Value;
+use esr_net::transport::Network;
+use esr_net::PartitionSchedule;
+use esr_net::{LinkConfig, Topology};
+use esr_sim::rng::DetRng;
+use esr_sim::time::{Duration, VirtualTime};
+use esr_storage::store::ObjectStore;
+
+/// Timing of one 2PC update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPcReport {
+    /// When the transaction obtained its locks and began PREPARE.
+    pub started: VirtualTime,
+    /// When the coordinator had all votes (client-visible commit).
+    pub decided: VirtualTime,
+    /// When every replica had applied the COMMIT (locks released).
+    pub completed: VirtualTime,
+}
+
+impl TwoPcReport {
+    /// Client-perceived commit latency from submission.
+    pub fn commit_latency(&self, submitted: VirtualTime) -> Duration {
+        self.decided - submitted
+    }
+}
+
+/// A replicated system under synchronous write-all / two-phase commit.
+#[derive(Debug)]
+pub struct TwoPcCluster {
+    net: Network,
+    sites: Vec<ObjectStore>,
+    n: usize,
+    /// When each object's write lock next becomes free.
+    lock_free_at: BTreeMap<ObjectId, VirtualTime>,
+    /// Commit latencies of all updates.
+    latencies: Vec<Duration>,
+    updates: u64,
+}
+
+impl TwoPcCluster {
+    /// A cluster of `n` sites over the given link, with optional
+    /// partitions.
+    pub fn new(n: usize, link: LinkConfig, partitions: PartitionSchedule, seed: u64) -> Self {
+        let net = Network::new(Topology::full_mesh(n, link), DetRng::new(seed))
+            .with_partitions(partitions);
+        Self {
+            net,
+            sites: (0..n).map(|_| ObjectStore::new()).collect(),
+            n,
+            lock_free_at: BTreeMap::new(),
+            latencies: Vec::new(),
+            updates: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.n
+    }
+
+    /// Commit latencies recorded so far.
+    pub fn latencies(&self) -> &[Duration] {
+        &self.latencies
+    }
+
+    /// Updates committed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Runs one update transaction submitted at `origin` at time `at`.
+    ///
+    /// Returns the full timing report. The state of every replica is
+    /// updated atomically (write-all): after this call all replicas agree
+    /// on the new values.
+    pub fn submit_update(
+        &mut self,
+        origin: SiteId,
+        ops: &[ObjectOp],
+        at: VirtualTime,
+    ) -> TwoPcReport {
+        // Phase 0: acquire write locks — wait for every touched object.
+        let mut started = at;
+        for op in ops {
+            if op.op.is_write() {
+                if let Some(&free) = self.lock_free_at.get(&op.object) {
+                    started = started.max(free);
+                }
+            }
+        }
+
+        // Phase 1: PREPARE fan-out, wait for every vote.
+        let mut decided = started;
+        for site in 0..self.n as u64 {
+            let site = SiteId(site);
+            if site == origin {
+                continue;
+            }
+            let prepare_at = self.net.plan_send(origin, site, started)[0].at;
+            let vote_at = self.net.plan_send(site, origin, prepare_at)[0].at;
+            decided = decided.max(vote_at);
+        }
+
+        // Phase 2: COMMIT fan-out; locks release when all have applied.
+        let mut completed = decided;
+        for site in 0..self.n as u64 {
+            let site = SiteId(site);
+            let apply_at = if site == origin {
+                decided
+            } else {
+                self.net.plan_send(origin, site, decided)[0].at
+            };
+            completed = completed.max(apply_at);
+            let store = &mut self.sites[site.raw() as usize];
+            for op in ops {
+                if op.op.is_write() {
+                    store.apply(op).expect("2PC update applies cleanly");
+                }
+            }
+        }
+        for op in ops {
+            if op.op.is_write() {
+                self.lock_free_at.insert(op.object, completed);
+            }
+        }
+        self.updates += 1;
+        self.latencies.push(decided - at);
+        TwoPcReport {
+            started,
+            decided,
+            completed,
+        }
+    }
+
+    /// Reads local committed state at a site (read-one): under write-all
+    /// every committed update is present at every replica, so local reads
+    /// are one-copy serializable.
+    pub fn query(&self, site: SiteId, read_set: &[ObjectId]) -> Vec<Value> {
+        let store = &self.sites[site.raw() as usize];
+        read_set.iter().map(|&o| store.get(o)).collect()
+    }
+
+    /// True when every replica holds identical state (always, between
+    /// updates — write-all is synchronous).
+    pub fn converged(&self) -> bool {
+        let first = self.sites[0].snapshot();
+        self.sites.iter().all(|s| s.snapshot() == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::op::Operation;
+    use esr_net::faults::PartitionWindow;
+    use esr_net::latency::LatencyModel;
+
+    const X: ObjectId = ObjectId(0);
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::from_millis(ms)
+    }
+
+    fn fixed_link(ms: u64) -> LinkConfig {
+        LinkConfig::reliable(LatencyModel::Constant(Duration::from_millis(ms)))
+    }
+
+    #[test]
+    fn commit_takes_two_round_trips() {
+        let mut c = TwoPcCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        let ops = [ObjectOp::new(X, Operation::Incr(5))];
+        let r = c.submit_update(SiteId(0), &ops, t(0));
+        // PREPARE out (10) + vote back (10) = decided at 20ms.
+        assert_eq!(r.decided, t(20));
+        // COMMIT out (10) = completed at 30ms.
+        assert_eq!(r.completed, t(30));
+        assert!(c.converged());
+        assert_eq!(c.query(SiteId(2), &[X]), vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn conflicting_updates_serialize_on_locks() {
+        let mut c = TwoPcCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        let ops = [ObjectOp::new(X, Operation::Incr(1))];
+        let r1 = c.submit_update(SiteId(0), &ops, t(0));
+        // Second conflicting update submitted concurrently: must wait for
+        // r1's completion before starting.
+        let r2 = c.submit_update(SiteId(1), &ops, t(0));
+        assert_eq!(r2.started, r1.completed);
+        assert!(r2.decided >= t(50));
+        assert_eq!(c.query(SiteId(0), &[X]), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn disjoint_updates_run_concurrently() {
+        let mut c = TwoPcCluster::new(3, fixed_link(10), PartitionSchedule::none(), 1);
+        let r1 = c.submit_update(SiteId(0), &[ObjectOp::new(X, Operation::Incr(1))], t(0));
+        let r2 = c.submit_update(
+            SiteId(1),
+            &[ObjectOp::new(ObjectId(1), Operation::Incr(1))],
+            t(0),
+        );
+        assert_eq!(r1.started, t(0));
+        assert_eq!(r2.started, t(0), "no lock conflict");
+    }
+
+    #[test]
+    fn partition_blocks_commit_until_heal() {
+        // Site 2 is unreachable until t=500ms: 2PC cannot decide before.
+        let part = PartitionSchedule::new(vec![PartitionWindow::isolate(
+            t(0),
+            t(500),
+            SiteId(2),
+            [SiteId(0), SiteId(1)],
+        )]);
+        let mut c = TwoPcCluster::new(3, fixed_link(10), part, 1);
+        let r = c.submit_update(SiteId(0), &[ObjectOp::new(X, Operation::Incr(1))], t(0));
+        assert!(
+            r.decided >= t(500),
+            "2PC must block until the partition heals, decided at {}",
+            r.decided
+        );
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn latency_grows_with_cluster_size_under_variable_links() {
+        let run = |n: usize| {
+            let link = LinkConfig::reliable(LatencyModel::Uniform(
+                Duration::from_millis(1),
+                Duration::from_millis(50),
+            ));
+            let mut c = TwoPcCluster::new(n, link, PartitionSchedule::none(), 7);
+            let mut total = Duration::ZERO;
+            for i in 0..50u64 {
+                let r = c.submit_update(
+                    SiteId(0),
+                    &[ObjectOp::new(ObjectId(i), Operation::Incr(1))],
+                    t(i * 1000),
+                );
+                total = total + r.commit_latency(t(i * 1000));
+            }
+            total.as_micros() / 50
+        };
+        let small = run(2);
+        let large = run(12);
+        assert!(
+            large > small,
+            "waiting for all of 12 sites ({large}us) must beat 2 sites ({small}us)"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = TwoPcCluster::new(2, fixed_link(5), PartitionSchedule::none(), 1);
+        c.submit_update(SiteId(0), &[ObjectOp::new(X, Operation::Incr(1))], t(0));
+        c.submit_update(SiteId(0), &[ObjectOp::new(X, Operation::Incr(1))], t(100));
+        assert_eq!(c.updates(), 2);
+        assert_eq!(c.latencies().len(), 2);
+        assert_eq!(c.sites(), 2);
+    }
+}

@@ -1,0 +1,645 @@
+//! A thread-per-site replicated cluster with real concurrency.
+//!
+//! Where [`esr_replica::SimCluster`] runs the protocols under a
+//! deterministic virtual clock, this runtime runs the *same site state
+//! machines* on real OS threads connected by channels — the shape a
+//! production deployment would take (one process per site, one queue per
+//! link). Updates propagate asynchronously: `submit_update` returns as
+//! soon as the MSets are enqueued, queries run against whichever state
+//! the local replica has, and `quiesce` waits for the system to settle —
+//! at which point all replicas are identical, the ESR convergence
+//! guarantee.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
+use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::commu::CommuSite;
+use esr_replica::compe::CompeSite;
+use esr_replica::mset::MSet;
+use esr_replica::ordup::OrdupSite;
+use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
+use esr_replica::site::{QueryOutcome, ReplicaSite};
+
+/// Replica control methods available in the thread runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtMethod {
+    /// ORDUP with an atomic global sequencer.
+    Ordup,
+    /// Commutative operations.
+    Commu,
+    /// RITU last-writer-wins overwrite.
+    Ritu,
+    /// RITU multiversion with VTNC visibility: the tracker thread acts
+    /// as the certifier, advancing the horizon once a version is
+    /// installed at every replica.
+    RituMv,
+    /// Compensation-based backward control (commit/abort driven by the
+    /// client through [`Cluster::commit`] / [`Cluster::abort`]).
+    Compe,
+}
+
+enum SiteState {
+    Ordup(OrdupSite),
+    Commu(CommuSite),
+    Ritu(RituOverwriteSite),
+    RituMv(RituMvSite),
+    Compe(CompeSite),
+}
+
+impl SiteState {
+    fn deliver(&mut self, mset: MSet) {
+        match self {
+            SiteState::Ordup(s) => s.deliver(mset),
+            SiteState::Commu(s) => s.deliver(mset),
+            SiteState::Ritu(s) => s.deliver(mset),
+            SiteState::RituMv(s) => s.deliver(mset),
+            SiteState::Compe(s) => s.deliver(mset),
+        }
+    }
+    fn query(&mut self, rs: &[ObjectId], c: &mut InconsistencyCounter) -> QueryOutcome {
+        match self {
+            SiteState::Ordup(s) => s.query(rs, c),
+            SiteState::Commu(s) => s.query(rs, c),
+            SiteState::Ritu(s) => s.query(rs, c),
+            SiteState::RituMv(s) => s.query(rs, c),
+            SiteState::Compe(s) => s.query(rs, c),
+        }
+    }
+    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        match self {
+            SiteState::Ordup(s) => s.snapshot(),
+            SiteState::Commu(s) => s.snapshot(),
+            SiteState::Ritu(s) => s.snapshot(),
+            SiteState::RituMv(s) => s.snapshot(),
+            SiteState::Compe(s) => s.snapshot(),
+        }
+    }
+    /// Is this site settled (nothing held back, nothing in flight)?
+    fn settled(&self) -> bool {
+        match self {
+            SiteState::Ordup(s) => s.backlog() == 0,
+            SiteState::Commu(s) => s.quiescent(),
+            SiteState::Ritu(s) => s.backlog() == 0,
+            SiteState::RituMv(s) => s.backlog() == 0,
+            SiteState::Compe(s) => s.at_risk() == 0,
+        }
+    }
+    fn has_applied(&self, et: EtId) -> bool {
+        match self {
+            SiteState::Ordup(s) => s.has_applied(et),
+            SiteState::Commu(s) => s.has_applied(et),
+            SiteState::Ritu(s) => s.has_applied(et),
+            SiteState::RituMv(s) => s.has_applied(et),
+            SiteState::Compe(s) => s.has_applied(et),
+        }
+    }
+}
+
+enum SiteMsg {
+    Deliver(MSet),
+    Complete(EtId),
+    AdvanceVtnc(VersionTs),
+    Commit(EtId),
+    Abort(EtId),
+    Query {
+        read_set: Vec<ObjectId>,
+        epsilon: EpsilonSpec,
+        reply: Sender<QueryOutcome>,
+    },
+    Snapshot {
+        reply: Sender<BTreeMap<ObjectId, Value>>,
+    },
+    Settled {
+        reply: Sender<bool>,
+    },
+    HasApplied {
+        et: EtId,
+        reply: Sender<bool>,
+    },
+    Shutdown,
+}
+
+enum TrackerMsg {
+    Applied { et: EtId, version: Option<VersionTs> },
+    Shutdown,
+}
+
+/// A running thread-per-site cluster.
+///
+/// ```
+/// use esr_core::divergence::EpsilonSpec;
+/// use esr_core::ids::{ObjectId, SiteId};
+/// use esr_core::op::{ObjectOp, Operation};
+/// use esr_core::value::Value;
+/// use esr_runtime::{Cluster, RtMethod};
+///
+/// let cluster = Cluster::new(RtMethod::Commu, 3);
+/// cluster.submit_update(SiteId(0), vec![ObjectOp::new(ObjectId(0), Operation::Incr(5))]);
+/// cluster.quiesce();
+/// assert!(cluster.converged());
+/// let out = cluster.query(SiteId(2), &[ObjectId(0)], EpsilonSpec::STRICT);
+/// assert_eq!(out.values, vec![Value::Int(5)]);
+/// ```
+pub struct Cluster {
+    method: RtMethod,
+    site_senders: Vec<Sender<SiteMsg>>,
+    site_threads: Vec<JoinHandle<()>>,
+    tracker_sender: Option<Sender<TrackerMsg>>,
+    tracker_thread: Option<JoinHandle<()>>,
+    sequencer: Arc<AtomicU64>,
+    version_clock: Arc<AtomicU64>,
+    next_et: AtomicU64,
+    n: usize,
+}
+
+impl Cluster {
+    /// Spawns `n` site threads running `method`.
+    pub fn new(method: RtMethod, n: usize) -> Self {
+        assert!(n > 0);
+        let mut site_senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<SiteMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            site_senders.push(tx);
+            receivers.push(rx);
+        }
+
+        // Completion tracker (COMMU/RITU lock-counter release): counts
+        // per-ET applies and broadcasts Complete once all sites report.
+        let (tracker_sender, tracker_thread) = if matches!(
+            method,
+            RtMethod::Commu | RtMethod::Ritu | RtMethod::RituMv
+        ) {
+            let (ttx, trx) = unbounded::<TrackerMsg>();
+            let senders = site_senders.clone();
+            let handle = std::thread::Builder::new()
+                .name("esr-tracker".into())
+                .spawn(move || {
+                    let mut counts: BTreeMap<EtId, (usize, Option<VersionTs>)> = BTreeMap::new();
+                    // VTNC certification (RituMv). The atomic version
+                    // clock hands out dense time components (1, 2, 3, …),
+                    // so the horizon advances exactly through the
+                    // contiguous prefix of fully-installed times — a gap
+                    // means some earlier version is still propagating.
+                    let mut fully_installed: BTreeMap<u64, VersionTs> = BTreeMap::new();
+                    let mut next_time: u64 = 1;
+                    while let Ok(msg) = trx.recv() {
+                        match msg {
+                            TrackerMsg::Applied { et, version } => {
+                                let e = counts.entry(et).or_insert((0, version));
+                                e.0 += 1;
+                                if e.0 == senders.len() {
+                                    let (_, version) = counts.remove(&et).expect("present");
+                                    if method == RtMethod::RituMv {
+                                        if let Some(v) = version {
+                                            fully_installed.insert(v.time, v);
+                                            let mut horizon = None;
+                                            while let Some(v) = fully_installed.remove(&next_time)
+                                            {
+                                                horizon = Some(v);
+                                                next_time += 1;
+                                            }
+                                            if let Some(h) = horizon {
+                                                for s in &senders {
+                                                    let _ = s.send(SiteMsg::AdvanceVtnc(h));
+                                                }
+                                            }
+                                        }
+                                    } else {
+                                        for s in &senders {
+                                            let _ = s.send(SiteMsg::Complete(et));
+                                        }
+                                    }
+                                }
+                            }
+                            TrackerMsg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn tracker");
+            (Some(ttx), Some(handle))
+        } else {
+            (None, None)
+        };
+
+        let mut site_threads = Vec::with_capacity(n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let id = SiteId(i as u64);
+            let tracker = tracker_sender.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("esr-site-{i}"))
+                .spawn(move || {
+                    let mut state = match method {
+                        RtMethod::Ordup => SiteState::Ordup(OrdupSite::new(id)),
+                        RtMethod::Commu => SiteState::Commu(CommuSite::new(id)),
+                        RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
+                        RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
+                        RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
+                    };
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            SiteMsg::Deliver(mset) => {
+                                let et = mset.et;
+                                let version = mset
+                                    .ops
+                                    .iter()
+                                    .filter_map(|o| match &o.op {
+                                        Operation::TimestampedWrite(ts, _) => Some(*ts),
+                                        _ => None,
+                                    })
+                                    .max();
+                                let before = state.has_applied(et);
+                                state.deliver(mset);
+                                if !before && state.has_applied(et) {
+                                    if let Some(t) = &tracker {
+                                        let _ = t.send(TrackerMsg::Applied { et, version });
+                                    }
+                                }
+                            }
+                            SiteMsg::Complete(et) => match &mut state {
+                                SiteState::Commu(s) => s.complete(et),
+                                SiteState::Ritu(s) => s.complete(et),
+                                _ => {}
+                            },
+                            SiteMsg::AdvanceVtnc(ts) => {
+                                if let SiteState::RituMv(s) = &mut state {
+                                    s.advance_vtnc(ts);
+                                }
+                            }
+                            SiteMsg::Commit(et) => {
+                                if let SiteState::Compe(s) = &mut state {
+                                    s.commit(et);
+                                }
+                            }
+                            SiteMsg::Abort(et) => {
+                                if let SiteState::Compe(s) = &mut state {
+                                    s.abort(et);
+                                }
+                            }
+                            SiteMsg::Query {
+                                read_set,
+                                epsilon,
+                                reply,
+                            } => {
+                                let mut counter = InconsistencyCounter::new(epsilon);
+                                let _ = reply.send(state.query(&read_set, &mut counter));
+                            }
+                            SiteMsg::Snapshot { reply } => {
+                                let _ = reply.send(state.snapshot());
+                            }
+                            SiteMsg::Settled { reply } => {
+                                let _ = reply.send(state.settled());
+                            }
+                            SiteMsg::HasApplied { et, reply } => {
+                                let _ = reply.send(state.has_applied(et));
+                            }
+                            SiteMsg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn site");
+            site_threads.push(handle);
+        }
+
+        Self {
+            method,
+            site_senders,
+            site_threads,
+            tracker_sender,
+            tracker_thread,
+            sequencer: Arc::new(AtomicU64::new(0)),
+            version_clock: Arc::new(AtomicU64::new(0)),
+            next_et: AtomicU64::new(1),
+            n,
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.n
+    }
+
+    /// The method in force.
+    pub fn method(&self) -> RtMethod {
+        self.method
+    }
+
+    fn fresh_et(&self) -> EtId {
+        EtId(self.next_et.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Submits an update ET originating at `origin`; the MSet fans out to
+    /// every site asynchronously. Returns immediately with the ET id.
+    pub fn submit_update(&self, origin: SiteId, ops: Vec<ObjectOp>) -> EtId {
+        let et = self.fresh_et();
+        let mset = match self.method {
+            RtMethod::Ordup => {
+                let seq = SeqNo(self.sequencer.fetch_add(1, Ordering::SeqCst));
+                MSet::new(et, origin, ops).sequenced(seq)
+            }
+            _ => MSet::new(et, origin, ops),
+        };
+        for s in &self.site_senders {
+            let _ = s.send(SiteMsg::Deliver(mset.clone()));
+        }
+        et
+    }
+
+    /// Stamps and submits a RITU blind write.
+    pub fn submit_blind_write(&self, origin: SiteId, object: ObjectId, value: Value) -> EtId {
+        let t = self.version_clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let ts = VersionTs::new(t, ClientId(origin.raw()));
+        self.submit_update(
+            origin,
+            vec![ObjectOp::new(object, Operation::TimestampedWrite(ts, value))],
+        )
+    }
+
+    /// COMPE: broadcasts a commit decision for `et`.
+    pub fn commit(&self, et: EtId) {
+        for s in &self.site_senders {
+            let _ = s.send(SiteMsg::Commit(et));
+        }
+    }
+
+    /// COMPE: broadcasts an abort decision for `et`.
+    pub fn abort(&self, et: EtId) {
+        for s in &self.site_senders {
+            let _ = s.send(SiteMsg::Abort(et));
+        }
+    }
+
+    /// Runs a query ET at one site with the given budget. Blocks only for
+    /// the rendezvous with the site thread, not for consistency.
+    pub fn query(&self, site: SiteId, read_set: &[ObjectId], epsilon: EpsilonSpec) -> QueryOutcome {
+        let (tx, rx) = bounded(1);
+        self.site_senders[site.raw() as usize]
+            .send(SiteMsg::Query {
+                read_set: read_set.to_vec(),
+                epsilon,
+                reply: tx,
+            })
+            .expect("site thread alive");
+        rx.recv().expect("site thread replies")
+    }
+
+    /// Retries a query until its budget admits it (the synchronous
+    /// fallback): useful for strict (epsilon = 0) reads, which succeed
+    /// once the replica has caught up.
+    pub fn query_blocking(
+        &self,
+        site: SiteId,
+        read_set: &[ObjectId],
+        epsilon: EpsilonSpec,
+    ) -> QueryOutcome {
+        loop {
+            let out = self.query(site, read_set, epsilon);
+            if out.admitted {
+                return out;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// A site's full snapshot.
+    pub fn snapshot_of(&self, site: SiteId) -> BTreeMap<ObjectId, Value> {
+        let (tx, rx) = bounded(1);
+        self.site_senders[site.raw() as usize]
+            .send(SiteMsg::Snapshot { reply: tx })
+            .expect("site thread alive");
+        rx.recv().expect("site thread replies")
+    }
+
+    /// Has `site` applied `et` yet?
+    pub fn has_applied(&self, site: SiteId, et: EtId) -> bool {
+        let (tx, rx) = bounded(1);
+        self.site_senders[site.raw() as usize]
+            .send(SiteMsg::HasApplied { et, reply: tx })
+            .expect("site thread alive");
+        rx.recv().expect("site thread replies")
+    }
+
+    /// Blocks until every site reports settled twice in a row (no
+    /// backlog, no in-flight updates) — the quiescent state at which ESR
+    /// guarantees all replicas are identical.
+    pub fn quiesce(&self) {
+        let mut stable_rounds = 0;
+        while stable_rounds < 2 {
+            let all_settled = (0..self.n).all(|i| {
+                let (tx, rx) = bounded(1);
+                self.site_senders[i]
+                    .send(SiteMsg::Settled { reply: tx })
+                    .expect("site thread alive");
+                rx.recv().expect("site thread replies")
+            });
+            if all_settled {
+                stable_rounds += 1;
+            } else {
+                stable_rounds = 0;
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// True when all replicas expose identical values (call after
+    /// [`Cluster::quiesce`]).
+    pub fn converged(&self) -> bool {
+        let first = self.snapshot_of(SiteId(0));
+        (1..self.n).all(|i| self.snapshot_of(SiteId(i as u64)) == first)
+    }
+
+    /// Stops all threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        for s in &self.site_senders {
+            let _ = s.send(SiteMsg::Shutdown);
+        }
+        for h in self.site_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(t) = self.tracker_sender.take() {
+            let _ = t.send(TrackerMsg::Shutdown);
+        }
+        if let Some(h) = self.tracker_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: ObjectId = ObjectId(0);
+
+    fn incr(n: i64) -> Vec<ObjectOp> {
+        vec![ObjectOp::new(X, Operation::Incr(n))]
+    }
+
+    #[test]
+    fn commu_updates_converge_across_threads() {
+        let c = Cluster::new(RtMethod::Commu, 4);
+        for i in 0..50 {
+            c.submit_update(SiteId(i % 4), incr(1));
+        }
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(0))[&X], Value::Int(50));
+    }
+
+    #[test]
+    fn ordup_applies_in_global_order() {
+        let c = Cluster::new(RtMethod::Ordup, 3);
+        c.submit_update(SiteId(0), incr(10));
+        c.submit_update(SiteId(1), vec![ObjectOp::new(X, Operation::MulBy(3))]);
+        c.submit_update(SiteId(2), vec![ObjectOp::new(X, Operation::Decr(5))]);
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(0))[&X], Value::Int(25), "(0+10)*3-5");
+    }
+
+    #[test]
+    fn ritu_blind_writes_take_newest() {
+        let c = Cluster::new(RtMethod::Ritu, 3);
+        for i in 0..10 {
+            c.submit_blind_write(SiteId(i % 3), X, Value::Int(i as i64));
+        }
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(1))[&X], Value::Int(9));
+    }
+
+    #[test]
+    fn compe_commit_and_abort() {
+        let c = Cluster::new(RtMethod::Compe, 3);
+        let a = c.submit_update(SiteId(0), incr(10));
+        let b = c.submit_update(SiteId(1), incr(5));
+        c.commit(a);
+        c.abort(b);
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(2))[&X], Value::Int(10));
+    }
+
+    #[test]
+    fn strict_query_blocks_until_caught_up() {
+        let c = Cluster::new(RtMethod::Commu, 4);
+        for _ in 0..20 {
+            c.submit_update(SiteId(0), incr(1));
+        }
+        let out = c.query_blocking(SiteId(3), &[X], EpsilonSpec::STRICT);
+        assert!(out.admitted);
+        assert_eq!(out.charged, 0);
+        assert_eq!(out.values, vec![Value::Int(20)]);
+    }
+
+    #[test]
+    fn unbounded_query_returns_immediately() {
+        let c = Cluster::new(RtMethod::Commu, 2);
+        c.submit_update(SiteId(0), incr(7));
+        let out = c.query(SiteId(1), &[X], EpsilonSpec::UNBOUNDED);
+        assert!(out.admitted, "unbounded budget always admits");
+    }
+
+    #[test]
+    fn concurrent_submitters_from_many_threads() {
+        let c = Arc::new(Cluster::new(RtMethod::Commu, 4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    c.submit_update(SiteId(t % 4), incr(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(0))[&X], Value::Int(200));
+    }
+
+    #[test]
+    fn has_applied_visibility() {
+        let c = Cluster::new(RtMethod::Commu, 2);
+        let et = c.submit_update(SiteId(0), incr(1));
+        c.quiesce();
+        assert!(c.has_applied(SiteId(0), et));
+        assert!(c.has_applied(SiteId(1), et));
+        assert!(!c.has_applied(SiteId(0), EtId(999)));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut c = Cluster::new(RtMethod::Commu, 2);
+        c.submit_update(SiteId(0), incr(1));
+        c.quiesce();
+        c.shutdown();
+        c.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod ritu_mv_tests {
+    use super::*;
+
+    const X: ObjectId = ObjectId(0);
+
+    #[test]
+    fn ritu_mv_converges_and_certifies_across_threads() {
+        let c = Cluster::new(RtMethod::RituMv, 3);
+        for i in 1..=20i64 {
+            c.submit_blind_write(SiteId(i as u64 % 3), X, Value::Int(i));
+        }
+        c.quiesce();
+        assert!(c.converged());
+        assert_eq!(c.snapshot_of(SiteId(0))[&X], Value::Int(20));
+        // VTNC certification is asynchronous: poll the strict read until
+        // the horizon covers the newest version (bounded wait).
+        for attempt in 0..10_000 {
+            let out = c.query(SiteId(1), &[X], EpsilonSpec::STRICT);
+            assert!(out.admitted, "RITU-MV strict reads never reject");
+            if out.values == vec![Value::Int(20)] && out.charged == 0 {
+                return;
+            }
+            if attempt % 100 == 99 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            std::thread::yield_now();
+        }
+        panic!("VTNC never certified the newest version");
+    }
+
+    #[test]
+    fn ritu_mv_strict_reads_are_stable_not_torn() {
+        let c = Cluster::new(RtMethod::RituMv, 4);
+        for i in 1..=50i64 {
+            c.submit_blind_write(SiteId(i as u64 % 4), X, Value::Int(i));
+        }
+        // Mid-flight strict reads serve *some* certified version — a
+        // value that really was written (or zero) — never garbage.
+        for _ in 0..50 {
+            let out = c.query(SiteId(2), &[X], EpsilonSpec::STRICT);
+            assert!(out.admitted);
+            let v = out.values[0].as_int().unwrap();
+            assert!((0..=50).contains(&v), "impossible value {v}");
+        }
+        c.quiesce();
+        assert!(c.converged());
+    }
+}

@@ -1,0 +1,117 @@
+//! Lamport logical clocks (§3.1 of the paper, citing Lamport 1978).
+//!
+//! ORDUP's distributed variant orders update MSets by Lamport timestamp.
+//! Each site keeps a [`LamportClock`]; local events `tick` it, and
+//! received messages `observe` the sender's timestamp so that causality
+//! is respected: if `a` happened-before `b`, then `ts(a) < ts(b)`.
+
+use serde::{Deserialize, Serialize};
+
+use esr_core::ids::SiteId;
+use esr_core::LamportTs;
+
+/// One site's Lamport clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportClock {
+    site: SiteId,
+    counter: u64,
+}
+
+impl LamportClock {
+    /// A fresh clock owned by `site`, starting at zero.
+    pub fn new(site: SiteId) -> Self {
+        Self { site, counter: 0 }
+    }
+
+    /// The owning site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Advances the clock for a local event and returns the new
+    /// timestamp.
+    pub fn tick(&mut self) -> LamportTs {
+        self.counter += 1;
+        LamportTs::new(self.counter, self.site)
+    }
+
+    /// Merges a timestamp received in a message: the clock jumps past it,
+    /// then ticks. Returns the timestamp of the receive event.
+    pub fn observe(&mut self, remote: LamportTs) -> LamportTs {
+        self.counter = self.counter.max(remote.counter);
+        self.tick()
+    }
+
+    /// The current value without advancing.
+    pub fn peek(&self) -> LamportTs {
+        LamportTs::new(self.counter, self.site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new(SiteId(1));
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(b.counter, 2);
+        assert_eq!(b.site, SiteId(1));
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let mut c = LamportClock::new(SiteId(1));
+        c.tick();
+        let r = c.observe(LamportTs::new(10, SiteId(2)));
+        assert_eq!(r.counter, 11);
+        assert!(r > LamportTs::new(10, SiteId(2)));
+    }
+
+    #[test]
+    fn observe_older_timestamp_still_ticks() {
+        let mut c = LamportClock::new(SiteId(1));
+        for _ in 0..5 {
+            c.tick();
+        }
+        let r = c.observe(LamportTs::new(2, SiteId(2)));
+        assert_eq!(r.counter, 6);
+    }
+
+    #[test]
+    fn happened_before_implies_ordered_timestamps() {
+        // A send on site 1 happens-before its receive on site 2, which
+        // happens-before a later send from site 2.
+        let mut s1 = LamportClock::new(SiteId(1));
+        let mut s2 = LamportClock::new(SiteId(2));
+        let send = s1.tick();
+        let recv = s2.observe(send);
+        let send2 = s2.tick();
+        assert!(send < recv);
+        assert!(recv < send2);
+    }
+
+    #[test]
+    fn concurrent_events_are_totally_ordered_by_site() {
+        let mut s1 = LamportClock::new(SiteId(1));
+        let mut s2 = LamportClock::new(SiteId(2));
+        let a = s1.tick();
+        let b = s2.tick();
+        // Same counter; site breaks the tie deterministically.
+        assert_eq!(a.counter, b.counter);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut c = LamportClock::new(SiteId(3));
+        c.tick();
+        let p1 = c.peek();
+        let p2 = c.peek();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.counter, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Virtual time.
+//!
+//! The simulator measures time in integer **microseconds** from the start
+//! of the run. Integer time keeps event ordering exact and runs identical
+//! on every platform.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Simulation start.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000)
+    }
+
+    /// This instant in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This instant in seconds, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// The span in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, d: Duration) -> VirtualTime {
+        VirtualTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for VirtualTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = Duration;
+    fn sub(self, other: VirtualTime) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VirtualTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(VirtualTime::from_secs(1).as_millis(), 1_000);
+        assert_eq!(Duration::from_secs(2).as_micros(), 2_000_000);
+        assert!((VirtualTime::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t, VirtualTime::from_millis(15));
+        let mut t2 = t;
+        t2 += Duration::from_millis(1);
+        assert_eq!(t2.as_millis(), 16);
+        assert_eq!(t2 - t, Duration::from_millis(1));
+        // Subtraction saturates rather than panicking.
+        assert_eq!(t - t2, Duration::ZERO);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            VirtualTime::MAX.saturating_add(Duration::from_secs(1)),
+            VirtualTime::MAX
+        );
+        assert_eq!(
+            Duration::from_secs(1).saturating_mul(u64::MAX),
+            Duration(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VirtualTime::ZERO < VirtualTime::from_micros(1));
+        assert!(Duration::from_millis(1) < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualTime::from_micros(500).to_string(), "500us");
+        assert_eq!(VirtualTime::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Duration::from_millis(3).to_string(), "3ms");
+        assert_eq!(Duration::from_micros(7).to_string(), "7us");
+    }
+}

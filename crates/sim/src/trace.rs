@@ -1,0 +1,160 @@
+//! A bounded simulation trace.
+//!
+//! Sites and the network record human-readable trace entries; the trace
+//! keeps the most recent `capacity` entries so that long runs don't grow
+//! without bound. Tests and debugging tools read it back.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::VirtualTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: VirtualTime,
+    /// Which component logged it (e.g. `"site/2"`, `"net"`).
+    pub component: String,
+    /// What happened.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.component, self.message)
+    }
+}
+
+/// A bounded ring buffer of trace entries.
+#[derive(Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: records nothing (zero overhead for benchmarks).
+    pub fn disabled() -> Self {
+        let mut t = Self::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an entry, evicting the oldest if at capacity.
+    pub fn record(&mut self, at: VirtualTime, component: &str, message: impl Into<String>) {
+        if !self.enabled || self.capacity == 0 {
+            if self.enabled {
+                self.dropped += 1;
+            }
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            component: component.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted (or suppressed while at zero capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained entries whose component matches.
+    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.component == component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new(10);
+        t.record(VirtualTime(1), "a", "first");
+        t.record(VirtualTime(2), "b", "second");
+        let all: Vec<_> = t.entries().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].message, "first");
+        assert_eq!(all[1].component, "b");
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(VirtualTime(i), "c", format!("{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.entries().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(VirtualTime(1), "a", "x");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn component_filter() {
+        let mut t = Trace::new(10);
+        t.record(VirtualTime(1), "site/1", "a");
+        t.record(VirtualTime(2), "site/2", "b");
+        t.record(VirtualTime(3), "site/1", "c");
+        assert_eq!(t.for_component("site/1").count(), 2);
+        assert_eq!(t.for_component("net").count(), 0);
+    }
+
+    #[test]
+    fn display_formats_entry() {
+        let e = TraceEntry {
+            at: VirtualTime(5),
+            component: "net".into(),
+            message: "drop".into(),
+        };
+        assert_eq!(e.to_string(), "[5us] net: drop");
+    }
+}

@@ -1,0 +1,395 @@
+//! Stable queues (§2.2).
+//!
+//! The paper factors message-loss handling out of replica control by
+//! assuming *stable queues* that "persistently retry message delivery
+//! until successful". A stable queue holds each update MSet until the
+//! destination acknowledges it; entries survive crashes of the sending
+//! site.
+//!
+//! Two implementations share the [`StableQueue`] interface:
+//!
+//! * [`MemQueue`] — in-memory, for simulation (crashes are simulated by
+//!   cloning the queue state, not by losing it);
+//! * [`FileQueue`] — append-only file-backed, for the real-thread
+//!   runtime; reopening the file after a crash recovers exactly the
+//!   unacknowledged entries.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifier of one queue entry, assigned at enqueue time and stable
+/// across recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(pub u64);
+
+/// The stable-queue contract: at-least-once delivery with explicit
+/// acknowledgement.
+pub trait StableQueue {
+    /// Appends a payload; returns its stable id.
+    fn enqueue(&mut self, payload: Bytes) -> EntryId;
+
+    /// The unacknowledged entries, oldest first, up to `max`.
+    fn pending(&self, max: usize) -> Vec<(EntryId, Bytes)>;
+
+    /// Records a delivery attempt (for retry/backoff accounting).
+    /// Returns the new attempt count, or `None` for unknown entries.
+    fn record_attempt(&mut self, id: EntryId) -> Option<u32>;
+
+    /// Acknowledges (removes) a delivered entry. Returns `false` when the
+    /// entry was unknown (e.g. duplicate ack).
+    fn ack(&mut self, id: EntryId) -> bool;
+
+    /// Number of unacknowledged entries.
+    fn len(&self) -> usize;
+
+    /// True when every entry has been acknowledged.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    payload: Bytes,
+    attempts: u32,
+}
+
+/// In-memory stable queue.
+#[derive(Debug, Clone, Default)]
+pub struct MemQueue {
+    entries: BTreeMap<EntryId, Entry>,
+    next_id: u64,
+}
+
+impl MemQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StableQueue for MemQueue {
+    fn enqueue(&mut self, payload: Bytes) -> EntryId {
+        let id = EntryId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                payload,
+                attempts: 0,
+            },
+        );
+        id
+    }
+
+    fn pending(&self, max: usize) -> Vec<(EntryId, Bytes)> {
+        self.entries
+            .iter()
+            .take(max)
+            .map(|(id, e)| (*id, e.payload.clone()))
+            .collect()
+    }
+
+    fn record_attempt(&mut self, id: EntryId) -> Option<u32> {
+        let e = self.entries.get_mut(&id)?;
+        e.attempts += 1;
+        Some(e.attempts)
+    }
+
+    fn ack(&mut self, id: EntryId) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+// File record framing: one byte tag, eight byte id, then for ENQUEUE a
+// four byte length and the payload.
+const TAG_ENQUEUE: u8 = 1;
+const TAG_ACK: u8 = 2;
+
+/// File-backed stable queue: an append-only log of enqueue/ack records.
+#[derive(Debug)]
+pub struct FileQueue {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    entries: BTreeMap<EntryId, Entry>,
+    next_id: u64,
+}
+
+impl FileQueue {
+    /// Opens (or creates) a queue file, recovering unacknowledged
+    /// entries.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = BTreeMap::new();
+        let mut next_id = 0u64;
+        if path.exists() {
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let mut cursor = Bytes::from(buf);
+            while cursor.remaining() >= 9 {
+                let tag = cursor.get_u8();
+                let id = cursor.get_u64();
+                match tag {
+                    TAG_ENQUEUE => {
+                        if cursor.remaining() < 4 {
+                            break; // torn write at crash: discard tail
+                        }
+                        let len = cursor.get_u32() as usize;
+                        if cursor.remaining() < len {
+                            break; // torn payload
+                        }
+                        let payload = cursor.copy_to_bytes(len);
+                        entries.insert(
+                            EntryId(id),
+                            Entry {
+                                payload,
+                                attempts: 0,
+                            },
+                        );
+                        next_id = next_id.max(id + 1);
+                    }
+                    TAG_ACK => {
+                        entries.remove(&EntryId(id));
+                        next_id = next_id.max(id + 1);
+                    }
+                    _ => break, // corrupt record: stop replay
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            writer: BufWriter::new(file),
+            entries,
+            next_id,
+        })
+    }
+
+    /// The file backing this queue.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Forces buffered records to the OS (called after every mutation; a
+    /// real system would also fsync here).
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Compacts the log: rewrites the file with only the live entries.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            for (id, e) in &self.entries {
+                let mut rec = BytesMut::with_capacity(13 + e.payload.len());
+                rec.put_u8(TAG_ENQUEUE);
+                rec.put_u64(id.0);
+                rec.put_u32(e.payload.len() as u32);
+                rec.put_slice(&e.payload);
+                out.write_all(&rec)?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+impl StableQueue for FileQueue {
+    fn enqueue(&mut self, payload: Bytes) -> EntryId {
+        let id = EntryId(self.next_id);
+        self.next_id += 1;
+        let mut rec = BytesMut::with_capacity(13 + payload.len());
+        rec.put_u8(TAG_ENQUEUE);
+        rec.put_u64(id.0);
+        rec.put_u32(payload.len() as u32);
+        rec.put_slice(&payload);
+        self.writer.write_all(&rec).expect("queue file write");
+        self.flush().expect("queue file flush");
+        self.entries.insert(
+            id,
+            Entry {
+                payload,
+                attempts: 0,
+            },
+        );
+        id
+    }
+
+    fn pending(&self, max: usize) -> Vec<(EntryId, Bytes)> {
+        self.entries
+            .iter()
+            .take(max)
+            .map(|(id, e)| (*id, e.payload.clone()))
+            .collect()
+    }
+
+    fn record_attempt(&mut self, id: EntryId) -> Option<u32> {
+        let e = self.entries.get_mut(&id)?;
+        e.attempts += 1;
+        Some(e.attempts)
+    }
+
+    fn ack(&mut self, id: EntryId) -> bool {
+        if self.entries.remove(&id).is_none() {
+            return false;
+        }
+        let mut rec = BytesMut::with_capacity(9);
+        rec.put_u8(TAG_ACK);
+        rec.put_u64(id.0);
+        self.writer.write_all(&rec).expect("queue file write");
+        self.flush().expect("queue file flush");
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "esr-queue-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mem_queue_fifo_and_ack() {
+        let mut q = MemQueue::new();
+        let a = q.enqueue(Bytes::from_static(b"a"));
+        let b = q.enqueue(Bytes::from_static(b"b"));
+        assert_eq!(q.len(), 2);
+        let pending = q.pending(10);
+        assert_eq!(pending[0].0, a);
+        assert_eq!(pending[1].1.as_ref(), b"b");
+        assert!(q.ack(a));
+        assert!(!q.ack(a), "double ack is rejected");
+        assert_eq!(q.len(), 1);
+        assert!(q.ack(b));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mem_queue_attempts() {
+        let mut q = MemQueue::new();
+        let a = q.enqueue(Bytes::from_static(b"x"));
+        assert_eq!(q.record_attempt(a), Some(1));
+        assert_eq!(q.record_attempt(a), Some(2));
+        q.ack(a);
+        assert_eq!(q.record_attempt(a), None);
+    }
+
+    #[test]
+    fn mem_pending_respects_max() {
+        let mut q = MemQueue::new();
+        for i in 0..5 {
+            q.enqueue(Bytes::from(vec![i]));
+        }
+        assert_eq!(q.pending(3).len(), 3);
+        assert_eq!(q.pending(100).len(), 5);
+    }
+
+    #[test]
+    fn file_queue_roundtrip() {
+        let path = tmpdir().join("roundtrip.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        let a = q.enqueue(Bytes::from_static(b"hello"));
+        let b = q.enqueue(Bytes::from_static(b"world"));
+        q.ack(a);
+        drop(q);
+
+        // Recovery: only the unacked entry survives.
+        let q2 = FileQueue::open(&path).unwrap();
+        assert_eq!(q2.len(), 1);
+        let pending = q2.pending(10);
+        assert_eq!(pending[0].0, b);
+        assert_eq!(pending[0].1.as_ref(), b"world");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_ids_continue_after_recovery() {
+        let path = tmpdir().join("ids.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        let a = q.enqueue(Bytes::from_static(b"1"));
+        drop(q);
+        let mut q2 = FileQueue::open(&path).unwrap();
+        let b = q2.enqueue(Bytes::from_static(b"2"));
+        assert!(b > a, "ids must not be reused after recovery");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_survives_torn_tail() {
+        let path = tmpdir().join("torn.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        q.enqueue(Bytes::from_static(b"good"));
+        drop(q);
+        // Simulate a crash mid-write: append a truncated record.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[TAG_ENQUEUE, 0, 0]).unwrap();
+        }
+        let q2 = FileQueue::open(&path).unwrap();
+        assert_eq!(q2.len(), 1, "torn tail discarded, good record kept");
+        assert_eq!(q2.pending(1)[0].1.as_ref(), b"good");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_compaction_drops_acked_records() {
+        let path = tmpdir().join("compact.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        let ids: Vec<EntryId> = (0..10)
+            .map(|i| q.enqueue(Bytes::from(format!("payload-{i}"))))
+            .collect();
+        for id in &ids[..9] {
+            q.ack(*id);
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        q.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction shrank {before} → {after}");
+        assert_eq!(q.len(), 1);
+        // And the compacted file still recovers correctly.
+        drop(q);
+        let q2 = FileQueue::open(&path).unwrap();
+        assert_eq!(q2.len(), 1);
+        assert_eq!(q2.pending(1)[0].0, ids[9]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_empty_file_is_empty_queue() {
+        let path = tmpdir().join("empty.q");
+        let _ = std::fs::remove_file(&path);
+        let q = FileQueue::open(&path).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.path(), path.as_path());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,301 @@
+//! E10 — availability under network partition.
+//!
+//! §1/§5.3: asynchronous replica control keeps accepting updates during
+//! a partition and converges after reconnection, while synchronous
+//! coherency control blocks. One replica is cut off for a fixed window;
+//! updates keep arriving throughout. We record, for each system, the
+//! client-visible update latency during the partition and the time to
+//! convergence after the heal.
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_net::faults::{PartitionSchedule, PartitionWindow};
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_replica::quorum::QuorumCluster;
+use esr_replica::sync2pc::TwoPcCluster;
+use esr_sim::time::{Duration, VirtualTime};
+
+use crate::metrics::DurationSummary;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E10Params {
+    /// Replica count.
+    pub sites: usize,
+    /// When the partition begins.
+    pub partition_start: VirtualTime,
+    /// When it heals.
+    pub partition_end: VirtualTime,
+    /// Updates submitted during the partition window.
+    pub updates: usize,
+    /// Link latency.
+    pub latency: Duration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E10Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            sites: 4,
+            partition_start: VirtualTime::from_millis(50),
+            partition_end: VirtualTime::from_millis(800),
+            updates: 20,
+            latency: Duration::from_millis(5),
+            seed: 101,
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            updates: 100,
+            partition_end: VirtualTime::from_millis(3_000),
+            ..Self::quick()
+        }
+    }
+}
+
+/// One row.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// System label.
+    pub system: &'static str,
+    /// Does the client get an immediate local acknowledgement?
+    pub local_ack: bool,
+    /// Client-visible latency of updates issued during the partition.
+    pub update_latency: DurationSummary,
+    /// Were any updates blocked past the heal time?
+    pub blocked_by_partition: bool,
+    /// Virtual time between the heal and full convergence of all
+    /// replicas.
+    pub convergence_after_heal: Duration,
+}
+
+fn partition(p: &E10Params) -> PartitionSchedule {
+    // The last site is cut off from everyone else.
+    let victim = SiteId(p.sites as u64 - 1);
+    let others = (0..p.sites as u64 - 1).map(SiteId);
+    PartitionSchedule::new(vec![PartitionWindow::isolate(
+        p.partition_start,
+        p.partition_end,
+        victim,
+        others,
+    )])
+}
+
+fn link(p: &E10Params) -> LinkConfig {
+    LinkConfig::reliable(LatencyModel::Exponential(p.latency))
+}
+
+fn submit_times(p: &E10Params) -> Vec<VirtualTime> {
+    let window = p.partition_end - p.partition_start;
+    let step = window.as_micros() / (p.updates as u64 + 1);
+    (0..p.updates as u64)
+        .map(|i| p.partition_start + Duration::from_micros(step * (i + 1)))
+        .collect()
+}
+
+fn run_async(p: &E10Params, method: Method) -> E10Row {
+    let cfg = ClusterConfig::new(method)
+        .with_sites(p.sites)
+        .with_link(link(p))
+        .with_partitions(partition(p))
+        .with_seed(p.seed);
+    let mut cluster = SimCluster::new(cfg);
+    for (i, &t) in submit_times(p).iter().enumerate() {
+        cluster.advance_to(t);
+        // Submit from the majority side: origin rotates over connected
+        // sites.
+        let origin = SiteId(i as u64 % (p.sites as u64 - 1));
+        if method == Method::RituOverwrite {
+            cluster.submit_blind_write(origin, ObjectId(0), esr_core::Value::Int(i as i64));
+        } else {
+            cluster.submit_update(
+                origin,
+                vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+            );
+        }
+    }
+    let quiesced = cluster.run_until_quiescent();
+    assert!(cluster.converged(), "{} must converge after heal", method.name());
+    E10Row {
+        system: method.name(),
+        local_ack: true,
+        // Asynchronous submission: the client's update is applied locally
+        // and acknowledged without any network wait.
+        update_latency: DurationSummary::of(&vec![Duration::ZERO; p.updates]),
+        blocked_by_partition: false,
+        convergence_after_heal: quiesced - p.partition_end,
+    }
+}
+
+fn run_2pc(p: &E10Params) -> E10Row {
+    let mut c = TwoPcCluster::new(p.sites, link(p), partition(p), p.seed);
+    let mut latencies = Vec::new();
+    let mut blocked = false;
+    let mut last_done = VirtualTime::ZERO;
+    for (i, &t) in submit_times(p).iter().enumerate() {
+        let origin = SiteId(i as u64 % (p.sites as u64 - 1));
+        let r = c.submit_update(
+            origin,
+            &[ObjectOp::new(ObjectId(i as u64), Operation::Incr(1))],
+            t,
+        );
+        latencies.push(r.decided - t);
+        if r.decided >= p.partition_end {
+            blocked = true;
+        }
+        last_done = last_done.max(r.completed);
+    }
+    assert!(c.converged());
+    E10Row {
+        system: "2PC",
+        local_ack: false,
+        update_latency: DurationSummary::of(&latencies),
+        blocked_by_partition: blocked,
+        convergence_after_heal: last_done - p.partition_end,
+    }
+}
+
+fn run_quorum(p: &E10Params) -> E10Row {
+    let mut c = QuorumCluster::new(p.sites, link(p), partition(p), p.seed);
+    let mut latencies = Vec::new();
+    let mut blocked = false;
+    let mut last_done = VirtualTime::ZERO;
+    for (i, &t) in submit_times(p).iter().enumerate() {
+        let origin = SiteId(i as u64 % (p.sites as u64 - 1));
+        let r = c.write(origin, ObjectId(i as u64), esr_core::Value::Int(1), t);
+        latencies.push(r.decided - t);
+        if r.decided >= p.partition_end {
+            blocked = true;
+        }
+        last_done = last_done.max(r.decided);
+    }
+    E10Row {
+        system: "quorum",
+        local_ack: false,
+        update_latency: DurationSummary::of(&latencies),
+        blocked_by_partition: blocked,
+        convergence_after_heal: Duration::ZERO.max(last_done - p.partition_end),
+    }
+}
+
+/// Runs every system through the same partition scenario.
+pub fn run(p: &E10Params) -> Vec<E10Row> {
+    vec![
+        run_async(p, Method::Commu),
+        run_async(p, Method::OrdupSeq),
+        run_async(p, Method::RituOverwrite),
+        run_2pc(p),
+        run_quorum(p),
+    ]
+}
+
+/// Renders the table.
+pub fn render(p: &E10Params, rows: &[E10Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E10: availability under partition — {} sites, 1 isolated {}..{}, {} updates\n",
+        p.sites, p.partition_start, p.partition_end, p.updates
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>9}  {:>12}  {:>12}  {:>9}  {:>16}\n",
+        "system", "local-ack", "lat-mean", "lat-max", "blocked", "converge-after"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>9}  {:>10}us  {:>10}us  {:>9}  {:>14}ms\n",
+            r.system,
+            if r.local_ack { "yes" } else { "no" },
+            r.update_latency.mean_us,
+            r.update_latency.max_us,
+            if r.blocked_by_partition { "yes" } else { "no" },
+            r.convergence_after_heal.as_micros() / 1_000
+        ));
+    }
+    out
+}
+
+/// The availability claim: async systems keep a zero client latency and
+/// are never blocked; 2PC blocks on the partition; a majority quorum
+/// rides it out (its minority-partitioned replica simply misses the
+/// write quorum).
+pub fn claim_holds(rows: &[E10Row]) -> bool {
+    let async_ok = rows
+        .iter()
+        .filter(|r| r.local_ack)
+        .all(|r| !r.blocked_by_partition && r.update_latency.max_us == 0);
+    let twopc_blocked = rows
+        .iter()
+        .find(|r| r.system == "2PC")
+        .is_some_and(|r| r.blocked_by_partition);
+    let quorum_available = rows
+        .iter()
+        .find(|r| r.system == "quorum")
+        .is_some_and(|r| !r.blocked_by_partition);
+    async_ok && twopc_blocked && quorum_available
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_available_sync_blocked() {
+        let p = E10Params::quick();
+        let rows = run(&p);
+        assert!(claim_holds(&rows), "{rows:#?}");
+    }
+
+    #[test]
+    fn twopc_latency_reflects_the_heal_wait() {
+        let p = E10Params::quick();
+        let rows = run(&p);
+        let twopc = rows.iter().find(|r| r.system == "2PC").unwrap();
+        // The first blocked update waited essentially the whole window.
+        assert!(
+            twopc.update_latency.max_us >= 500_000,
+            "max 2PC latency {}us should approach the partition length",
+            twopc.update_latency.max_us
+        );
+    }
+
+    #[test]
+    fn quorum_latency_stays_small_during_partition() {
+        let p = E10Params::quick();
+        let rows = run(&p);
+        let q = rows.iter().find(|r| r.system == "quorum").unwrap();
+        assert!(
+            q.update_latency.max_us < 200_000,
+            "majority quorum writes must not wait for the heal: {}us",
+            q.update_latency.max_us
+        );
+    }
+
+    #[test]
+    fn async_methods_converge_shortly_after_heal() {
+        let p = E10Params::quick();
+        let rows = run(&p);
+        for r in rows.iter().filter(|r| r.local_ack) {
+            assert!(
+                r.convergence_after_heal < Duration::from_secs(2),
+                "{}: convergence took {} after heal",
+                r.system,
+                r.convergence_after_heal
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_all_systems() {
+        let p = E10Params::quick();
+        let s = render(&p, &run(&p));
+        for sys in ["COMMU", "ORDUP", "RITU", "2PC", "quorum"] {
+            assert!(s.contains(sys), "missing {sys}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! E11 — spatial consistency criteria (§5.1 extension).
+//!
+//! The paper: "in order to implement the other spatial consistency
+//! criteria, replica control methods would need to explicitly include
+//! these factors." We include them ([`esr_core::spatial`]) and measure
+//! the interesting one: **MaxValueDeviation** promises that an admitted
+//! query's answer is within D value units of the converged truth.
+//!
+//! Setup: COMMU, additive workload (deviations are exact), mid-flight
+//! probes under a sweep of deviation budgets. For every admitted probe
+//! we compare the answer against the authoritative state (all submitted
+//! updates applied) and check `answer error ≤ D`.
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::spatial::{answer_deviation, SpatialSpec};
+use esr_core::value::Value;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_sim::time::Duration;
+
+use crate::gen::{KeyDist, UpdateMix, WorkloadGen};
+use crate::metrics::CountSummary;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E11Params {
+    /// Deviation budgets (value units) to sweep.
+    pub budgets: Vec<u64>,
+    /// Replica count.
+    pub sites: usize,
+    /// Objects.
+    pub objects: u64,
+    /// Probes per budget.
+    pub probes: usize,
+    /// Updates between probes.
+    pub updates_per_probe: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E11Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            budgets: vec![0, 10, 50, u64::MAX],
+            sites: 4,
+            objects: 4,
+            probes: 25,
+            updates_per_probe: 3,
+            seed: 111,
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            budgets: vec![0, 5, 10, 25, 50, 100, u64::MAX],
+            probes: 200,
+            ..Self::quick()
+        }
+    }
+}
+
+/// One row.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// The deviation budget (`u64::MAX` = unbounded).
+    pub budget: u64,
+    /// Probes admitted by the criterion.
+    pub admitted: usize,
+    /// Total probes.
+    pub probes: usize,
+    /// Measured answer error (value units) across admitted probes.
+    pub answer_error: CountSummary,
+    /// Admitted probes whose measured error exceeded the budget (must
+    /// be 0).
+    pub violations: usize,
+}
+
+/// Runs the sweep.
+pub fn run(p: &E11Params) -> Vec<E11Row> {
+    let read_set: Vec<ObjectId> = (0..p.objects).map(ObjectId).collect();
+    let mut rows = Vec::new();
+    for &budget in &p.budgets {
+        let cfg = ClusterConfig::new(Method::Commu)
+            .with_sites(p.sites)
+            .with_link(LinkConfig::reliable(LatencyModel::Uniform(
+                Duration::from_millis(1),
+                Duration::from_millis(60),
+            )))
+            .with_seed(p.seed);
+        let mut cluster = SimCluster::new(cfg);
+        let mut gen = WorkloadGen::new(
+            p.objects,
+            KeyDist::Uniform,
+            UpdateMix::Increments,
+            p.sites as u64,
+            Duration::from_millis(2),
+            p.seed,
+        );
+        let mut admitted = 0;
+        let mut errors = Vec::new();
+        let mut violations = 0;
+        for q in 0..p.probes {
+            for _ in 0..p.updates_per_probe {
+                let u = gen.next_update();
+                let t = cluster.now() + u.gap;
+                cluster.advance_to(t);
+                cluster.submit_update(SiteId(u.origin_index), u.ops);
+            }
+            for _ in 0..2 {
+                cluster.step();
+            }
+            let site = SiteId(q as u64 % p.sites as u64);
+            let out =
+                cluster.try_query_spatial(site, &read_set, SpatialSpec::MaxValueDeviation(budget));
+            if out.admitted {
+                admitted += 1;
+                // Authoritative truth: all submitted updates applied.
+                let oracle = cluster.expected_state();
+                let truth: Vec<Value> = read_set
+                    .iter()
+                    .map(|o| oracle.get(o).cloned().unwrap_or_default())
+                    .collect();
+                let err = answer_deviation(&out.values, &truth);
+                if err > budget {
+                    violations += 1;
+                }
+                errors.push(err);
+            }
+        }
+        cluster.run_until_quiescent();
+        assert!(cluster.converged());
+        rows.push(E11Row {
+            budget,
+            admitted,
+            probes: p.probes,
+            answer_error: CountSummary::of(&errors),
+            violations,
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(p: &E11Params, rows: &[E11Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E11: spatial value-deviation bound — COMMU, {} sites, {} probes per budget\n",
+        p.sites, p.probes
+    ));
+    out.push_str(&format!(
+        "{:>10}  {:>10}  {:>9}  {:>9}  {:>10}\n",
+        "budget", "admitted", "err-mean", "err-max", "violations"
+    ));
+    for r in rows {
+        let b = if r.budget == u64::MAX {
+            "inf".to_string()
+        } else {
+            r.budget.to_string()
+        };
+        out.push_str(&format!(
+            "{:>10}  {:>10}  {:>9}  {:>9}  {:>10}\n",
+            b,
+            format!("{}/{}", r.admitted, r.probes),
+            r.answer_error.mean,
+            r.answer_error.max,
+            r.violations
+        ));
+    }
+    out
+}
+
+/// The claim: no admitted query's measured error ever exceeds its
+/// declared value-deviation budget, and looser budgets admit more.
+pub fn claim_holds(rows: &[E11Row]) -> bool {
+    let sound = rows.iter().all(|r| r.violations == 0);
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[0].budget > w[1].budget || w[0].admitted <= w[1].admitted);
+    sound && monotone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_budget_bounds_answer_error() {
+        let rows = run(&E11Params::quick());
+        for r in &rows {
+            assert_eq!(
+                r.violations, 0,
+                "budget {} violated (err max {})",
+                r.budget, r.answer_error.max
+            );
+        }
+        assert!(claim_holds(&rows));
+    }
+
+    #[test]
+    fn zero_budget_admits_only_clean_reads() {
+        let rows = run(&E11Params::quick());
+        let strict = rows.iter().find(|r| r.budget == 0).unwrap();
+        assert_eq!(strict.answer_error.max, 0, "admitted at 0 ⇒ exact answer");
+        let unbounded = rows.iter().find(|r| r.budget == u64::MAX).unwrap();
+        assert_eq!(unbounded.admitted, unbounded.probes);
+        assert!(unbounded.admitted >= strict.admitted);
+    }
+
+    #[test]
+    fn experiment_is_not_vacuous() {
+        let rows = run(&E11Params::quick());
+        let unbounded = rows.iter().find(|r| r.budget == u64::MAX).unwrap();
+        assert!(
+            unbounded.answer_error.max > 0,
+            "unbounded probes must actually observe stale answers"
+        );
+    }
+
+    #[test]
+    fn render_shows_budgets() {
+        let p = E11Params::quick();
+        let s = render(&p, &run(&p));
+        assert!(s.contains("inf"));
+        assert!(s.contains("violations"));
+    }
+}

@@ -1,0 +1,226 @@
+//! E4 — epsilon tunes the consistency/availability trade-off.
+//!
+//! The paper's headline claim: "users can reduce the degree of
+//! inconsistency to the desired amount. In the limit, users see strict
+//! 1-copy serializability." We sweep the query epsilon on an ORDUP
+//! cluster under continuous update load and measure what each budget
+//! buys: small epsilons force queries to wait for the global order
+//! (retries, waiting time); large epsilons serve immediately at the cost
+//! of visible inconsistency (the charge). The charge never exceeds the
+//! declared budget.
+
+use esr_core::divergence::EpsilonSpec;
+use esr_core::ids::SiteId;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_sim::time::Duration;
+
+use crate::gen::{KeyDist, UpdateMix, WorkloadGen};
+use crate::metrics::{CountSummary, DurationSummary};
+
+/// Parameters for the sweep.
+#[derive(Debug, Clone)]
+pub struct E4Params {
+    /// Replica count.
+    pub sites: usize,
+    /// Number of objects.
+    pub objects: u64,
+    /// Updates submitted between consecutive queries.
+    pub updates_per_query: usize,
+    /// Queries issued per epsilon setting.
+    pub queries: usize,
+    /// The epsilon budgets to sweep (`u64::MAX` = unbounded).
+    pub epsilons: Vec<u64>,
+    /// Mean one-way link latency.
+    pub latency: Duration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E4Params {
+    /// Test-sized parameters (sub-second).
+    pub fn quick() -> Self {
+        Self {
+            sites: 4,
+            objects: 8,
+            updates_per_query: 3,
+            queries: 20,
+            epsilons: vec![0, 2, u64::MAX],
+            latency: Duration::from_millis(10),
+            seed: 41,
+        }
+    }
+
+    /// Full parameters for the published table.
+    pub fn full() -> Self {
+        Self {
+            sites: 4,
+            objects: 16,
+            updates_per_query: 4,
+            queries: 200,
+            epsilons: vec![0, 1, 2, 4, 8, 16, u64::MAX],
+            latency: Duration::from_millis(10),
+            seed: 41,
+        }
+    }
+}
+
+/// One row of the E4 table.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// The epsilon budget (`u64::MAX` printed as `inf`).
+    pub epsilon: u64,
+    /// Queries served on the first attempt (no waiting).
+    pub served_immediately: usize,
+    /// Total retry loops across all queries.
+    pub total_retries: u64,
+    /// Waiting time (issue → served).
+    pub wait: DurationSummary,
+    /// Inconsistency charged to queries.
+    pub charge: CountSummary,
+}
+
+/// Runs the sweep.
+pub fn run(p: &E4Params) -> Vec<E4Row> {
+    let mut rows = Vec::new();
+    for &epsilon in &p.epsilons {
+        let cfg = ClusterConfig::new(Method::OrdupSeq)
+            .with_sites(p.sites)
+            .with_link(LinkConfig::reliable(LatencyModel::Exponential(p.latency)))
+            .with_seed(p.seed);
+        let mut cluster = SimCluster::new(cfg);
+        let mut gen = WorkloadGen::new(
+            p.objects,
+            KeyDist::Zipf(0.99),
+            UpdateMix::Increments,
+            p.sites as u64,
+            Duration::from_millis(2),
+            p.seed,
+        );
+        let mut served_immediately = 0;
+        let mut total_retries = 0;
+        let mut waits = Vec::new();
+        let mut charges = Vec::new();
+        for _ in 0..p.queries {
+            for _ in 0..p.updates_per_query {
+                let u = gen.next_update();
+                let t = cluster.now() + u.gap;
+                cluster.advance_to(t);
+                cluster.submit_update(SiteId(u.origin_index), u.ops);
+            }
+            let read_set = gen.next_read_set(2);
+            let site = SiteId(gen.rng().below(p.sites as u64));
+            let issued = cluster.now();
+            let report = cluster.query_with_retry(site, &read_set, EpsilonSpec::bounded(epsilon));
+            if report.retries == 0 {
+                served_immediately += 1;
+            }
+            total_retries += report.retries;
+            waits.push(report.served_at - issued);
+            charges.push(report.charged);
+            assert!(
+                report.charged <= epsilon,
+                "charge {} exceeded declared epsilon {}",
+                report.charged,
+                epsilon
+            );
+        }
+        cluster.run_until_quiescent();
+        assert!(cluster.converged(), "E4 cluster must converge");
+        rows.push(E4Row {
+            epsilon,
+            served_immediately,
+            total_retries,
+            wait: DurationSummary::of(&waits),
+            charge: CountSummary::of(&charges),
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(p: &E4Params, rows: &[E4Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E4: query epsilon sweep — ORDUP, {} sites, {} queries x {} updates, ~{} links\n",
+        p.sites, p.queries, p.updates_per_query, p.latency
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>10}  {:>9}  {:>12}  {:>12}  {:>11}  {:>10}\n",
+        "epsilon", "immediate", "retries", "wait-mean", "wait-max", "charge-mean", "charge-max"
+    ));
+    for r in rows {
+        let eps = if r.epsilon == u64::MAX {
+            "inf".to_string()
+        } else {
+            r.epsilon.to_string()
+        };
+        out.push_str(&format!(
+            "{:>8}  {:>10}  {:>9}  {:>10}us  {:>10}us  {:>11}  {:>10}\n",
+            eps,
+            r.served_immediately,
+            r.total_retries,
+            r.wait.mean_us,
+            r.wait.max_us,
+            r.charge.mean,
+            r.charge.max
+        ));
+    }
+    out
+}
+
+/// The paper's claim checked by tests: looser budgets never serve fewer
+/// queries immediately, and strict queries import zero inconsistency.
+pub fn claim_holds(rows: &[E4Row]) -> bool {
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[0].epsilon > w[1].epsilon || w[0].served_immediately <= w[1].served_immediately);
+    let strict_clean = rows
+        .iter()
+        .filter(|r| r.epsilon == 0)
+        .all(|r| r.charge.max == 0);
+    monotone && strict_clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_satisfies_claims() {
+        let p = E4Params::quick();
+        let rows = run(&p);
+        assert_eq!(rows.len(), 3);
+        assert!(claim_holds(&rows), "{rows:?}");
+        // The unbounded row must serve everything immediately.
+        let unbounded = rows.iter().find(|r| r.epsilon == u64::MAX).unwrap();
+        assert_eq!(unbounded.served_immediately, p.queries);
+        assert_eq!(unbounded.total_retries, 0);
+    }
+
+    #[test]
+    fn strict_queries_wait_longer_than_unbounded() {
+        let p = E4Params::quick();
+        let rows = run(&p);
+        let strict = rows.iter().find(|r| r.epsilon == 0).unwrap();
+        let unbounded = rows.iter().find(|r| r.epsilon == u64::MAX).unwrap();
+        assert!(
+            strict.wait.mean_us >= unbounded.wait.mean_us,
+            "strict {}us vs unbounded {}us",
+            strict.wait.mean_us,
+            unbounded.wait.mean_us
+        );
+        assert_eq!(unbounded.wait.mean_us, 0, "unbounded queries never wait");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let p = E4Params::quick();
+        let rows = run(&p);
+        let s = render(&p, &rows);
+        assert!(s.contains("inf"));
+        assert!(s.contains("epsilon"));
+        assert!(s.lines().count() >= rows.len() + 2);
+    }
+}

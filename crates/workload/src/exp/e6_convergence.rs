@@ -1,0 +1,250 @@
+//! E6 — convergence to the one-copy oracle at quiescence.
+//!
+//! §2.2: "under ESR all replicas converge to the same 1SR value when the
+//! update MSets queued at individual sites are processed, and the system
+//! reaches a quiescent state." We hammer every method with an
+//! adversarial network — loss, duplication, reordering, and a partition
+//! in the middle of the run — then drain and check (1) all replicas
+//! identical and (2) equal to the serial oracle where one is defined.
+
+use std::collections::BTreeSet;
+
+use esr_core::ids::SiteId;
+use esr_net::faults::{PartitionSchedule, PartitionWindow};
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_sim::time::{Duration, VirtualTime};
+
+use crate::gen::{KeyDist, UpdateMix, WorkloadGen};
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E6Params {
+    /// Methods to exercise.
+    pub methods: Vec<Method>,
+    /// Replica count.
+    pub sites: usize,
+    /// Objects.
+    pub objects: u64,
+    /// Updates to submit.
+    pub updates: usize,
+    /// Seeds (each seed is an independent adversarial run).
+    pub seeds: Vec<u64>,
+}
+
+impl E6Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            methods: Method::ALL.to_vec(),
+            sites: 4,
+            objects: 5,
+            updates: 40,
+            seeds: vec![1, 2],
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            updates: 200,
+            seeds: (1..=10).collect(),
+            ..Self::quick()
+        }
+    }
+}
+
+/// One row (per method, aggregated over seeds).
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Method.
+    pub method: Method,
+    /// Runs performed.
+    pub runs: usize,
+    /// Runs where all replicas converged to identical state.
+    pub converged: usize,
+    /// Runs whose final state matched the serial oracle (only counted
+    /// for methods with a defined oracle).
+    pub oracle_matches: usize,
+    /// Whether the oracle applies to this method.
+    pub oracle_defined: bool,
+    /// Mean virtual time to quiescence, milliseconds.
+    pub mean_quiesce_ms: u64,
+    /// Total updates applied per run.
+    pub updates: usize,
+}
+
+/// Does this driver define an exact serial oracle for the method?
+/// (ORDUP-Lamport's order is its runtime Lamport order, which the driver
+/// does not precompute.)
+fn oracle_defined(method: Method) -> bool {
+    method != Method::OrdupLamport
+}
+
+/// Runs the convergence matrix.
+pub fn run(p: &E6Params) -> Vec<E6Row> {
+    let mut rows = Vec::new();
+    for &method in &p.methods {
+        let mut converged = 0;
+        let mut oracle_matches = 0;
+        let mut total_quiesce_ms = 0;
+        for &seed in &p.seeds {
+            let partition = PartitionSchedule::new(vec![PartitionWindow::split(
+                VirtualTime::from_millis(30),
+                VirtualTime::from_millis(220),
+                (0..p.sites as u64 / 2).map(SiteId).collect::<BTreeSet<_>>(),
+                (p.sites as u64 / 2..p.sites as u64).map(SiteId),
+            )]);
+            let cfg = ClusterConfig::new(method)
+                .with_sites(p.sites)
+                .with_link(LinkConfig {
+                    latency: LatencyModel::Uniform(
+                        Duration::from_millis(1),
+                        Duration::from_millis(50),
+                    ),
+                    drop_prob: 0.2,
+                    duplicate_prob: 0.15,
+                    bandwidth: None,
+                })
+                .with_partitions(partition)
+                .with_seed(seed)
+                .with_abort_prob(if method == Method::Compe { 0.25 } else { 0.0 });
+            let mut cluster = SimCluster::new(cfg);
+            let mix = match method {
+                Method::RituOverwrite | Method::RituMv => UpdateMix::BlindWrites,
+                // ORDUP orders everything, so it converges even for
+                // conflicting families; exercise that.
+                Method::OrdupSeq | Method::OrdupLamport => UpdateMix::IncrMul(30),
+                _ => UpdateMix::Increments,
+            };
+            let mut gen = WorkloadGen::new(
+                p.objects,
+                KeyDist::Uniform,
+                mix,
+                p.sites as u64,
+                Duration::from_millis(2),
+                seed,
+            );
+            for _ in 0..p.updates {
+                let u = gen.next_update();
+                let t = cluster.now() + u.gap;
+                cluster.advance_to(t);
+                if mix == UpdateMix::BlindWrites {
+                    cluster.submit_blind_write(
+                        SiteId(u.origin_index),
+                        u.object,
+                        esr_core::Value::Int(u.value),
+                    );
+                } else {
+                    cluster.submit_update(SiteId(u.origin_index), u.ops);
+                }
+            }
+            let t = cluster.run_until_quiescent();
+            total_quiesce_ms += t.as_millis();
+            if cluster.converged() {
+                converged += 1;
+            }
+            if oracle_defined(method) && cluster.matches_oracle() {
+                oracle_matches += 1;
+            }
+        }
+        rows.push(E6Row {
+            method,
+            runs: p.seeds.len(),
+            converged,
+            oracle_matches,
+            oracle_defined: oracle_defined(method),
+            mean_quiesce_ms: total_quiesce_ms / p.seeds.len() as u64,
+            updates: p.updates,
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(p: &E6Params, rows: &[E6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E6: convergence at quiescence — {} updates/run, {} sites, loss+dup+partition\n",
+        p.updates, p.sites
+    ));
+    out.push_str(&format!(
+        "{:>9}  {:>6}  {:>10}  {:>13}  {:>13}\n",
+        "method", "runs", "converged", "oracle-match", "quiesce-mean"
+    ));
+    for r in rows {
+        let oracle = if r.oracle_defined {
+            format!("{}/{}", r.oracle_matches, r.runs)
+        } else {
+            "n/a".to_string()
+        };
+        out.push_str(&format!(
+            "{:>9}  {:>6}  {:>10}  {:>13}  {:>11}ms\n",
+            r.method.name(),
+            r.runs,
+            format!("{}/{}", r.converged, r.runs),
+            oracle,
+            r.mean_quiesce_ms
+        ));
+    }
+    out
+}
+
+/// The convergence claim: every run of every method converged, and every
+/// oracle-bearing run matched its oracle.
+pub fn claim_holds(rows: &[E6Row]) -> bool {
+    rows.iter().all(|r| {
+        r.converged == r.runs && (!r.oracle_defined || r.oracle_matches == r.runs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_converge_under_adversity() {
+        let p = E6Params::quick();
+        let rows = run(&p);
+        for r in &rows {
+            assert_eq!(
+                r.converged, r.runs,
+                "{} failed to converge in some run",
+                r.method.name()
+            );
+            if r.oracle_defined {
+                assert_eq!(
+                    r.oracle_matches, r.runs,
+                    "{} diverged from the serial oracle",
+                    r.method.name()
+                );
+            }
+        }
+        assert!(claim_holds(&rows));
+    }
+
+    #[test]
+    fn quiescence_happens_after_partition_heals() {
+        let p = E6Params::quick();
+        let rows = run(&p);
+        for r in &rows {
+            assert!(
+                r.mean_quiesce_ms >= 220,
+                "{}: quiesced at {}ms, before the partition healed",
+                r.method.name(),
+                r.mean_quiesce_ms
+            );
+        }
+    }
+
+    #[test]
+    fn render_covers_all_methods() {
+        let p = E6Params::quick();
+        let s = render(&p, &run(&p));
+        for m in Method::ALL {
+            assert!(s.contains(m.name()));
+        }
+        assert!(s.contains("n/a"), "ORDUP-L has no precomputed oracle");
+    }
+}

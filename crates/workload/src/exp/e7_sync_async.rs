@@ -1,0 +1,332 @@
+//! E7 — asynchronous replica control vs synchronous coherency control.
+//!
+//! §1/§2.4: synchronous methods "decrease system availability and
+//! throughput as the size of the system increases" and a commit protocol
+//! "is a big handicap when network links have very low bandwidth or
+//! moderately high latency." Two sweeps quantify that:
+//!
+//! * **latency sweep** — fix 4 sites, grow the one-way link latency;
+//!   compare the client-visible update latency of COMMU (asynchronous:
+//!   local apply, propagation in the background) against 2PC write-all
+//!   and weighted-voting quorums;
+//! * **size sweep** — fix the link, grow the replica count; additionally
+//!   measure conflicting-update throughput (updates to one hot object):
+//!   synchronous methods serialize the whole commit protocol per update,
+//!   COMMU applies them as fast as they arrive.
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_net::faults::PartitionSchedule;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_replica::quorum::QuorumCluster;
+use esr_replica::sync2pc::TwoPcCluster;
+use esr_sim::time::{Duration, VirtualTime};
+
+use crate::metrics::DurationSummary;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E7Params {
+    /// One-way latencies for the latency sweep.
+    pub latencies: Vec<Duration>,
+    /// Replica counts for the size sweep.
+    pub site_counts: Vec<usize>,
+    /// Sites in the latency sweep.
+    pub fixed_sites: usize,
+    /// Link latency in the size sweep.
+    pub fixed_latency: Duration,
+    /// Updates per configuration.
+    pub updates: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E7Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            latencies: vec![Duration::from_millis(1), Duration::from_millis(50)],
+            site_counts: vec![2, 8],
+            fixed_sites: 4,
+            fixed_latency: Duration::from_millis(10),
+            updates: 30,
+            seed: 71,
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            latencies: [1u64, 5, 10, 25, 50, 100]
+                .iter()
+                .map(|&ms| Duration::from_millis(ms))
+                .collect(),
+            site_counts: vec![2, 4, 8, 12, 16],
+            updates: 200,
+            ..Self::quick()
+        }
+    }
+}
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Varied parameter: one-way latency (latency sweep) in ms, or site
+    /// count (size sweep).
+    pub x: u64,
+    /// COMMU client-visible update latency (local apply — effectively
+    /// zero; reported for completeness).
+    pub commu_client: DurationSummary,
+    /// COMMU completion latency (all replicas applied) — background
+    /// propagation the client never waits for.
+    pub commu_completion: DurationSummary,
+    /// 2PC client-visible commit latency.
+    pub twopc_commit: DurationSummary,
+    /// Quorum write latency.
+    pub quorum_write: DurationSummary,
+    /// Conflicting-update makespan (size sweep only): virtual time to
+    /// finish `updates` updates of one hot object.
+    pub hot_makespan_commu_ms: u64,
+    /// 2PC hot-object makespan.
+    pub hot_makespan_twopc_ms: u64,
+}
+
+fn link(latency: Duration) -> LinkConfig {
+    LinkConfig::reliable(LatencyModel::Exponential(latency))
+}
+
+fn measure(
+    sites: usize,
+    latency: Duration,
+    updates: usize,
+    seed: u64,
+    measure_hot: bool,
+) -> E7Row {
+    let gap = Duration::from_millis(5);
+
+    // --- COMMU (asynchronous): submit spread-object updates.
+    let cfg = ClusterConfig::new(Method::Commu)
+        .with_sites(sites)
+        .with_link(link(latency))
+        .with_seed(seed);
+    let mut commu = SimCluster::new(cfg);
+    for i in 0..updates {
+        let t = VirtualTime::from_micros((i as u64) * gap.as_micros());
+        commu.advance_to(t);
+        commu.submit_update(
+            SiteId(i as u64 % sites as u64),
+            vec![ObjectOp::new(ObjectId(i as u64), Operation::Incr(1))],
+        );
+    }
+    commu.run_until_quiescent();
+    assert!(commu.converged());
+    let commu_completion = DurationSummary::of(&commu.stats().completion_latencies);
+    // Client-visible latency of an async update is the local apply: zero
+    // network waits by construction.
+    let commu_client = DurationSummary::of(&vec![Duration::ZERO; updates]);
+
+    // --- 2PC write-all.
+    let mut twopc = TwoPcCluster::new(sites, link(latency), PartitionSchedule::none(), seed);
+    for i in 0..updates {
+        let at = VirtualTime::from_micros((i as u64) * gap.as_micros());
+        twopc.submit_update(
+            SiteId(i as u64 % sites as u64),
+            &[ObjectOp::new(ObjectId(i as u64), Operation::Incr(1))],
+            at,
+        );
+    }
+    let twopc_commit = DurationSummary::of(twopc.latencies());
+
+    // --- Weighted voting.
+    let mut quorum = QuorumCluster::new(sites, link(latency), PartitionSchedule::none(), seed);
+    for i in 0..updates {
+        let at = VirtualTime::from_micros((i as u64) * gap.as_micros());
+        quorum.write(
+            SiteId(i as u64 % sites as u64),
+            ObjectId(i as u64),
+            esr_core::Value::Int(1),
+            at,
+        );
+    }
+    let quorum_write = DurationSummary::of(quorum.write_latencies());
+
+    // --- Hot-object conflicting throughput (size sweep).
+    let (hot_commu, hot_twopc) = if measure_hot {
+        let cfg = ClusterConfig::new(Method::Commu)
+            .with_sites(sites)
+            .with_link(link(latency))
+            .with_seed(seed);
+        let mut c = SimCluster::new(cfg);
+        for i in 0..updates {
+            c.advance_to(VirtualTime::from_micros(i as u64 * 100));
+            c.submit_update(
+                SiteId(i as u64 % sites as u64),
+                vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+            );
+        }
+        let t_commu = c.run_until_quiescent();
+        assert!(c.converged());
+
+        let mut t2 = TwoPcCluster::new(sites, link(latency), PartitionSchedule::none(), seed);
+        let mut last = VirtualTime::ZERO;
+        for i in 0..updates {
+            let at = VirtualTime::from_micros(i as u64 * 100);
+            let r = t2.submit_update(
+                SiteId(i as u64 % sites as u64),
+                &[ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+                at,
+            );
+            last = last.max(r.completed);
+        }
+        (t_commu.as_millis(), last.as_millis())
+    } else {
+        (0, 0)
+    };
+
+    E7Row {
+        x: 0,
+        commu_client,
+        commu_completion,
+        twopc_commit,
+        quorum_write,
+        hot_makespan_commu_ms: hot_commu,
+        hot_makespan_twopc_ms: hot_twopc,
+    }
+}
+
+/// Runs the latency sweep.
+pub fn run_latency_sweep(p: &E7Params) -> Vec<E7Row> {
+    p.latencies
+        .iter()
+        .map(|&l| {
+            let mut row = measure(p.fixed_sites, l, p.updates, p.seed, false);
+            row.x = l.as_micros() / 1_000;
+            row
+        })
+        .collect()
+}
+
+/// Runs the size sweep (includes the hot-object makespan).
+pub fn run_size_sweep(p: &E7Params) -> Vec<E7Row> {
+    p.site_counts
+        .iter()
+        .map(|&n| {
+            let mut row = measure(n, p.fixed_latency, p.updates, p.seed, true);
+            row.x = n as u64;
+            row
+        })
+        .collect()
+}
+
+/// Renders both sweeps.
+pub fn render(p: &E7Params, latency_rows: &[E7Row], size_rows: &[E7Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E7a: update latency vs link latency — {} sites, {} updates each\n",
+        p.fixed_sites, p.updates
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>12}  {:>14}  {:>12}  {:>12}\n",
+        "link-ms", "COMMU-client", "COMMU-complete", "2PC-commit", "quorum-write"
+    ));
+    for r in latency_rows {
+        out.push_str(&format!(
+            "{:>8}  {:>10}us  {:>12}us  {:>10}us  {:>10}us\n",
+            r.x,
+            r.commu_client.mean_us,
+            r.commu_completion.mean_us,
+            r.twopc_commit.mean_us,
+            r.quorum_write.mean_us
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "E7b: scaling with replica count — {} links, {} updates each, plus hot-object makespan\n",
+        p.fixed_latency, p.updates
+    ));
+    out.push_str(&format!(
+        "{:>6}  {:>14}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+        "sites", "COMMU-complete", "2PC-commit", "quorum-write", "hot-COMMU", "hot-2PC"
+    ));
+    for r in size_rows {
+        out.push_str(&format!(
+            "{:>6}  {:>12}us  {:>10}us  {:>10}us  {:>10}ms  {:>10}ms\n",
+            r.x,
+            r.commu_completion.mean_us,
+            r.twopc_commit.mean_us,
+            r.quorum_write.mean_us,
+            r.hot_makespan_commu_ms,
+            r.hot_makespan_twopc_ms
+        ));
+    }
+    out
+}
+
+/// The paper's claims: the async client never waits on the network, the
+/// synchronous commit cost grows with latency, and hot-object throughput
+/// under 2PC collapses relative to COMMU.
+pub fn claim_holds(latency_rows: &[E7Row], size_rows: &[E7Row]) -> bool {
+    let async_free = latency_rows.iter().all(|r| r.commu_client.mean_us == 0);
+    let sync_grows = latency_rows
+        .windows(2)
+        .all(|w| w[0].twopc_commit.mean_us < w[1].twopc_commit.mean_us);
+    let hot_gap = size_rows
+        .iter()
+        .all(|r| r.hot_makespan_twopc_ms > r.hot_makespan_commu_ms);
+    async_free && sync_grows && hot_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_beats_sync_and_gap_grows_with_latency() {
+        let p = E7Params::quick();
+        let rows = run_latency_sweep(&p);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.commu_client.mean_us, 0, "async client never waits");
+            assert!(
+                r.twopc_commit.mean_us > 0,
+                "2PC always pays round trips"
+            );
+            assert!(
+                r.quorum_write.mean_us > 0,
+                "quorum writes pay round trips"
+            );
+        }
+        // The synchronous penalty grows with link latency.
+        assert!(rows[1].twopc_commit.mean_us > rows[0].twopc_commit.mean_us);
+        assert!(rows[1].quorum_write.mean_us > rows[0].quorum_write.mean_us);
+    }
+
+    #[test]
+    fn sync_latency_grows_with_sites_and_hot_object_serializes() {
+        let p = E7Params::quick();
+        let rows = run_size_sweep(&p);
+        assert!(rows[1].twopc_commit.mean_us > rows[0].twopc_commit.mean_us);
+        for r in &rows {
+            assert!(
+                r.hot_makespan_twopc_ms > r.hot_makespan_commu_ms,
+                "2PC hot makespan {}ms must exceed COMMU {}ms",
+                r.hot_makespan_twopc_ms,
+                r.hot_makespan_commu_ms
+            );
+        }
+    }
+
+    #[test]
+    fn combined_claims_hold_and_render() {
+        let p = E7Params::quick();
+        let lat = run_latency_sweep(&p);
+        let size = run_size_sweep(&p);
+        assert!(claim_holds(&lat, &size));
+        let s = render(&p, &lat, &size);
+        assert!(s.contains("E7a"));
+        assert!(s.contains("E7b"));
+        assert!(s.contains("2PC-commit"));
+    }
+}

@@ -1,0 +1,244 @@
+//! E8 — the cost of compensation (COMPE, §4).
+//!
+//! §4.1's analysis: when everything after the aborted MSet commutes with
+//! it, the compensation MSet applies directly (one operation per write);
+//! otherwise "we need to undo and redo the entire log" suffix — the
+//! `Inc·Mul·Div·Dec·Mul = Mul` example. We sweep the abort rate under a
+//! purely commutative mix (distributed cluster) and a conflicting
+//! `Inc`/`Mul` mix (single replica, where COMPE is well-defined without
+//! an ordering layer), and report how many operations each abort cost.
+
+use esr_core::ids::SiteId;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_sim::time::Duration;
+
+use crate::gen::{KeyDist, UpdateMix, WorkloadGen};
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E8Params {
+    /// Abort probabilities to sweep, in percent.
+    pub abort_pcts: Vec<u64>,
+    /// Updates per configuration.
+    pub updates: usize,
+    /// Objects.
+    pub objects: u64,
+    /// Sites for the commutative (distributed) runs.
+    pub sites: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E8Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            abort_pcts: vec![0, 25, 50],
+            updates: 60,
+            objects: 4,
+            sites: 3,
+            seed: 81,
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            abort_pcts: vec![0, 5, 10, 25, 50],
+            updates: 400,
+            ..Self::quick()
+        }
+    }
+}
+
+/// One row.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Abort probability (percent).
+    pub abort_pct: u64,
+    /// Operation mix label ("commutative" or "inc+mul").
+    pub mix: &'static str,
+    /// Sites in the run.
+    pub sites: usize,
+    /// Aborts decided.
+    pub aborts: u64,
+    /// Compensations via the commutative fast path.
+    pub fast: u64,
+    /// Compensations requiring suffix rollback.
+    pub suffix: u64,
+    /// Operations undone, total.
+    pub ops_undone: u64,
+    /// Operations replayed, total.
+    pub ops_replayed: u64,
+}
+
+impl E8Row {
+    /// Average operations (undo + replay) spent per abort at one
+    /// replica.
+    pub fn ops_per_compensation(&self) -> f64 {
+        let comps = self.fast + self.suffix;
+        if comps == 0 {
+            return 0.0;
+        }
+        (self.ops_undone + self.ops_replayed) as f64 / comps as f64
+    }
+}
+
+fn run_one(p: &E8Params, abort_pct: u64, mix: UpdateMix, sites: usize) -> E8Row {
+    let cfg = ClusterConfig::new(Method::Compe)
+        .with_sites(sites)
+        .with_link(LinkConfig::reliable(LatencyModel::Uniform(
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+        )))
+        .with_seed(p.seed)
+        .with_abort_prob(abort_pct as f64 / 100.0);
+    let mut cluster = SimCluster::new(cfg);
+    let mut gen = WorkloadGen::new(
+        p.objects,
+        KeyDist::Uniform,
+        mix,
+        sites as u64,
+        Duration::from_millis(2),
+        p.seed,
+    );
+    for _ in 0..p.updates {
+        let u = gen.next_update();
+        let t = cluster.now() + u.gap;
+        cluster.advance_to(t);
+        cluster.submit_update(SiteId(u.origin_index), u.ops);
+    }
+    cluster.run_until_quiescent();
+    assert!(cluster.converged(), "COMPE run diverged");
+    assert!(
+        cluster.matches_oracle(),
+        "COMPE final state must equal the committed-only oracle"
+    );
+    let s = cluster.stats();
+    E8Row {
+        abort_pct,
+        mix: match mix {
+            UpdateMix::Increments => "commutative",
+            _ => "inc+mul",
+        },
+        sites,
+        aborts: s.aborts,
+        fast: s.fast_compensations,
+        suffix: s.suffix_rollbacks,
+        ops_undone: s.ops_undone,
+        ops_replayed: s.ops_replayed,
+    }
+}
+
+/// Runs both mixes across the abort sweep.
+pub fn run(p: &E8Params) -> Vec<E8Row> {
+    let mut rows = Vec::new();
+    for &pct in &p.abort_pcts {
+        rows.push(run_one(p, pct, UpdateMix::Increments, p.sites));
+    }
+    for &pct in &p.abort_pcts {
+        // Conflicting mixes need an ordering layer for multi-replica
+        // convergence (the paper treats method combinations as out of
+        // scope), so the inc+mul runs use a single replica to isolate
+        // pure compensation cost.
+        rows.push(run_one(p, pct, UpdateMix::IncrMul(40), 1));
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(p: &E8Params, rows: &[E8Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E8: compensation cost — COMPE, {} updates per run\n",
+        p.updates
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>12}  {:>6}  {:>7}  {:>6}  {:>7}  {:>8}  {:>9}  {:>9}\n",
+        "abort%", "mix", "sites", "aborts", "fast", "suffix", "undone", "replayed", "ops/comp"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}  {:>12}  {:>6}  {:>7}  {:>6}  {:>7}  {:>8}  {:>9}  {:>9.2}\n",
+            r.abort_pct,
+            r.mix,
+            r.sites,
+            r.aborts,
+            r.fast,
+            r.suffix,
+            r.ops_undone,
+            r.ops_replayed,
+            r.ops_per_compensation()
+        ));
+    }
+    out
+}
+
+/// §4's analysis, checked: commutative aborts never trigger suffix
+/// rollback, and the conflicting mix pays strictly more operations per
+/// compensation once aborts occur.
+pub fn claim_holds(rows: &[E8Row]) -> bool {
+    let commutative_fast = rows
+        .iter()
+        .filter(|r| r.mix == "commutative")
+        .all(|r| r.suffix == 0 && r.ops_replayed == 0);
+    let mixed_pays_more = rows
+        .iter()
+        .filter(|r| r.mix == "inc+mul" && r.suffix > 0)
+        .all(|r| r.ops_per_compensation() > 1.0);
+    commutative_fast && mixed_pays_more
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutative_aborts_use_fast_path_only() {
+        let rows = run(&E8Params::quick());
+        for r in rows.iter().filter(|r| r.mix == "commutative") {
+            assert_eq!(r.suffix, 0, "commutative mix must never suffix-rollback");
+            assert_eq!(r.ops_replayed, 0);
+            if r.abort_pct == 0 {
+                assert_eq!(r.aborts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_mix_triggers_suffix_rollbacks() {
+        let rows = run(&E8Params::quick());
+        let heavy: Vec<_> = rows
+            .iter()
+            .filter(|r| r.mix == "inc+mul" && r.abort_pct == 50)
+            .collect();
+        assert!(!heavy.is_empty());
+        assert!(
+            heavy.iter().any(|r| r.suffix > 0),
+            "50% aborts on inc+mul must hit the suffix path: {heavy:?}"
+        );
+        assert!(claim_holds(&rows));
+    }
+
+    #[test]
+    fn cost_grows_with_abort_rate_on_conflicting_mix() {
+        let rows = run(&E8Params::quick());
+        let total_ops = |pct: u64| {
+            rows.iter()
+                .find(|r| r.mix == "inc+mul" && r.abort_pct == pct)
+                .map(|r| r.ops_undone + r.ops_replayed)
+                .unwrap()
+        };
+        assert!(total_ops(50) > total_ops(0), "more aborts, more repair work");
+    }
+
+    #[test]
+    fn render_has_both_mixes() {
+        let p = E8Params::quick();
+        let s = render(&p, &run(&p));
+        assert!(s.contains("commutative"));
+        assert!(s.contains("inc+mul"));
+    }
+}

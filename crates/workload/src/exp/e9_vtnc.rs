@@ -1,0 +1,230 @@
+//! E9 — RITU multiversion: staleness vs inconsistency budget.
+//!
+//! §3.3: a query may read versions newer than the VTNC, charging one
+//! inconsistency unit per such read; once its counter hits the limit it
+//! reads at the VTNC (SR, possibly stale). Sweeping the budget shows the
+//! dial: epsilon 0 reads are always serializable but lag the newest
+//! version; larger budgets buy freshness. Blind-write values are
+//! monotonically increasing integers, so `newest_value − returned_value`
+//! measures the staleness in "writes behind".
+
+use esr_core::divergence::EpsilonSpec;
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::value::Value;
+use esr_net::latency::LatencyModel;
+use esr_net::topology::LinkConfig;
+use esr_replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr_sim::time::Duration;
+
+use crate::metrics::CountSummary;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct E9Params {
+    /// Epsilon budgets to sweep.
+    pub epsilons: Vec<u64>,
+    /// Replica count.
+    pub sites: usize,
+    /// Blind writes per epsilon setting.
+    pub writes: usize,
+    /// Queries per epsilon setting.
+    pub queries: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl E9Params {
+    /// Test-sized parameters.
+    pub fn quick() -> Self {
+        Self {
+            epsilons: vec![0, 2, u64::MAX],
+            sites: 4,
+            writes: 40,
+            queries: 20,
+            seed: 91,
+        }
+    }
+
+    /// Full parameters.
+    pub fn full() -> Self {
+        Self {
+            epsilons: vec![0, 1, 2, 4, 8, u64::MAX],
+            writes: 300,
+            queries: 100,
+            ..Self::quick()
+        }
+    }
+}
+
+/// One row.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Budget (`u64::MAX` = unbounded).
+    pub epsilon: u64,
+    /// Staleness in writes-behind across queries.
+    pub staleness: CountSummary,
+    /// Queries that returned the globally newest value.
+    pub fresh: usize,
+    /// Total queries.
+    pub queries: usize,
+    /// Inconsistency charged.
+    pub charge: CountSummary,
+}
+
+/// Objects the workload spreads over; each query reads all of them, so
+/// the budget meaningfully rations how many fresh (above-VTNC) reads a
+/// query may take.
+const OBJECTS: u64 = 4;
+
+/// Runs the sweep. Writes round-robin over `OBJECTS` (4) objects carrying
+/// a monotonically increasing value; queries read the full object set
+/// mid-flight.
+pub fn run(p: &E9Params) -> Vec<E9Row> {
+    let read_set: Vec<ObjectId> = (0..OBJECTS).map(ObjectId).collect();
+    let mut rows = Vec::new();
+    for &epsilon in &p.epsilons {
+        let cfg = ClusterConfig::new(Method::RituMv)
+            .with_sites(p.sites)
+            .with_link(LinkConfig::reliable(LatencyModel::Uniform(
+                Duration::from_millis(5),
+                Duration::from_millis(60),
+            )))
+            .with_seed(p.seed);
+        let mut cluster = SimCluster::new(cfg);
+        let mut staleness = Vec::new();
+        let mut charges = Vec::new();
+        let mut fresh = 0;
+        let mut newest = vec![0i64; OBJECTS as usize];
+        let writes_per_query = p.writes.div_ceil(p.queries).max(1);
+        let mut written = 0usize;
+        for q in 0..p.queries {
+            for _ in 0..writes_per_query {
+                if written >= p.writes {
+                    break;
+                }
+                written += 1;
+                let obj = (written as u64) % OBJECTS;
+                newest[obj as usize] = written as i64;
+                let origin = SiteId(written as u64 % p.sites as u64);
+                let t = cluster.now() + Duration::from_millis(2);
+                cluster.advance_to(t);
+                cluster.submit_blind_write(origin, ObjectId(obj), Value::Int(written as i64));
+            }
+            // Let some, but not all, propagation happen.
+            for _ in 0..3 {
+                cluster.step();
+            }
+            let site = SiteId(q as u64 % p.sites as u64);
+            let out = cluster.try_query(site, &read_set, EpsilonSpec::bounded(epsilon));
+            assert!(out.admitted, "RITU-MV queries never reject");
+            let total_stale: u64 = out
+                .values
+                .iter()
+                .zip(newest.iter())
+                .map(|(v, &nw)| (nw - v.as_int().unwrap_or(0)).max(0) as u64)
+                .sum();
+            staleness.push(total_stale);
+            charges.push(out.charged);
+            if total_stale == 0 {
+                fresh += 1;
+            }
+            assert!(out.charged <= epsilon, "charge exceeded budget");
+        }
+        cluster.run_until_quiescent();
+        assert!(cluster.converged());
+        rows.push(E9Row {
+            epsilon,
+            staleness: CountSummary::of(&staleness),
+            fresh,
+            queries: p.queries,
+            charge: CountSummary::of(&charges),
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(p: &E9Params, rows: &[E9Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E9: RITU-MV staleness vs budget — {} sites, {} writes, {} queries per setting\n",
+        p.sites, p.writes, p.queries
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>11}  {:>10}  {:>8}  {:>11}  {:>10}\n",
+        "epsilon", "stale-mean", "stale-max", "fresh", "charge-mean", "charge-max"
+    ));
+    for r in rows {
+        let eps = if r.epsilon == u64::MAX {
+            "inf".to_string()
+        } else {
+            r.epsilon.to_string()
+        };
+        out.push_str(&format!(
+            "{:>8}  {:>11}  {:>10}  {:>8}  {:>11}  {:>10}\n",
+            eps,
+            r.staleness.mean,
+            r.staleness.max,
+            format!("{}/{}", r.fresh, r.queries),
+            r.charge.mean,
+            r.charge.max
+        ));
+    }
+    out
+}
+
+/// The dial works: a larger budget never reads staler on average, and
+/// unbounded queries charge whenever they read past the VTNC.
+pub fn claim_holds(rows: &[E9Row]) -> bool {
+    rows.windows(2).all(|w| {
+        w[0].epsilon > w[1].epsilon || w[0].staleness.mean >= w[1].staleness.mean
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_budget_reads_fresher() {
+        let rows = run(&E9Params::quick());
+        let strict = rows.iter().find(|r| r.epsilon == 0).unwrap();
+        let unbounded = rows.iter().find(|r| r.epsilon == u64::MAX).unwrap();
+        assert!(
+            unbounded.staleness.mean <= strict.staleness.mean,
+            "unbounded mean {} vs strict mean {}",
+            unbounded.staleness.mean,
+            strict.staleness.mean
+        );
+        assert!(
+            unbounded.fresh >= strict.fresh,
+            "freshness must not drop with budget"
+        );
+        assert!(claim_holds(&rows));
+    }
+
+    #[test]
+    fn strict_queries_charge_nothing() {
+        let rows = run(&E9Params::quick());
+        let strict = rows.iter().find(|r| r.epsilon == 0).unwrap();
+        assert_eq!(strict.charge.max, 0);
+    }
+
+    #[test]
+    fn unbounded_queries_actually_pay_for_freshness() {
+        let rows = run(&E9Params::quick());
+        let unbounded = rows.iter().find(|r| r.epsilon == u64::MAX).unwrap();
+        assert!(
+            unbounded.charge.total > 0,
+            "mid-flight fresh reads must charge at least once"
+        );
+    }
+
+    #[test]
+    fn render_shows_all_budgets() {
+        let p = E9Params::quick();
+        let s = render(&p, &run(&p));
+        assert!(s.contains("inf"));
+        assert!(s.contains("stale-mean"));
+    }
+}

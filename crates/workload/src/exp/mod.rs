@@ -1,0 +1,35 @@
+//! The experiment suite (DESIGN.md §4, EXPERIMENTS.md).
+//!
+//! Each experiment is a pure function from parameters to rows, plus a
+//! renderer that prints the table the harness binary emits. Every
+//! experiment has `quick()` parameters (used by integration tests, a few
+//! hundred milliseconds) and `full()` parameters (used by
+//! `cargo run -p esr-bench --bin experiments`).
+//!
+//! * [`table1`] — regenerates the paper's Table 1 from behavioural
+//!   probes (E1);
+//! * [`e4_epsilon`] — epsilon tunes the consistency/availability
+//!   trade-off down to strict SR (E4);
+//! * [`e5_bound`] — the divergence-control charge bounds the true query
+//!   error (E5);
+//! * [`e6_convergence`] — convergence to the 1SR oracle at quiescence
+//!   under adversarial delivery (E6);
+//! * [`e7_sync_async`] — asynchronous replica control vs synchronous
+//!   coherency control as latency and system size grow (E7);
+//! * [`e8_compensation`] — COMPE's compensation cost: commutative fast
+//!   path vs suffix rollback (E8);
+//! * [`e9_vtnc`] — RITU multiversion: staleness vs inconsistency budget
+//!   (E9);
+//! * [`e10_partition`] — availability under network partition (E10);
+//! * [`e11_spatial`] — the §5.1 spatial value-deviation criterion
+//!   bounds the answer error of admitted queries (E11, extension).
+
+pub mod e10_partition;
+pub mod e11_spatial;
+pub mod e4_epsilon;
+pub mod e5_bound;
+pub mod e6_convergence;
+pub mod e7_sync_async;
+pub mod e8_compensation;
+pub mod e9_vtnc;
+pub mod table1;

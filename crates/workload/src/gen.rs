@@ -1,0 +1,362 @@
+//! Workload generation: key distributions and operation mixes.
+//!
+//! Experiments drive clusters with synthetic workloads: a key chooser
+//! (uniform or Zipf-skewed), an operation mix, and an arrival process.
+//! Everything draws from the deterministic [`DetRng`], so a workload is
+//! reproduced exactly by its seed.
+
+use esr_core::ids::ObjectId;
+use esr_core::op::{ObjectOp, Operation};
+use esr_sim::rng::DetRng;
+use esr_sim::time::Duration;
+
+/// How keys (objects) are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every object equally likely.
+    Uniform,
+    /// Zipf-skewed with the given exponent (`theta` ≈ 0.99 is the YCSB
+    /// default; larger = more skew).
+    Zipf(f64),
+}
+
+/// A key chooser over `n` objects.
+#[derive(Debug, Clone)]
+pub struct KeyChooser {
+    n: u64,
+    /// Cumulative probabilities for Zipf; empty for uniform.
+    cdf: Vec<f64>,
+}
+
+impl KeyChooser {
+    /// Builds a chooser over objects `0..n`.
+    pub fn new(n: u64, dist: KeyDist) -> Self {
+        assert!(n > 0, "need at least one object");
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf(theta) => {
+                let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+        };
+        Self { n, cdf }
+    }
+
+    /// Number of objects.
+    pub fn objects(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one object.
+    pub fn pick(&self, rng: &mut DetRng) -> ObjectId {
+        if self.cdf.is_empty() {
+            return ObjectId(rng.below(self.n));
+        }
+        let u = rng.unit();
+        let idx = self.cdf.partition_point(|&p| p < u);
+        ObjectId(idx.min(self.n as usize - 1) as u64)
+    }
+
+    /// Draws a read set of `k` *distinct* objects (k clamped to n).
+    pub fn pick_distinct(&self, rng: &mut DetRng, k: usize) -> Vec<ObjectId> {
+        let k = k.min(self.n as usize);
+        let mut out = Vec::with_capacity(k);
+        let mut guard = 0;
+        while out.len() < k {
+            let o = self.pick(rng);
+            if !out.contains(&o) {
+                out.push(o);
+            }
+            guard += 1;
+            if guard > 100 * k {
+                // Heavy skew can make distinct draws slow; fall back to a
+                // deterministic fill.
+                for i in 0..self.n {
+                    let o = ObjectId(i);
+                    if out.len() < k && !out.contains(&o) {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which update operations a workload issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMix {
+    /// Pure commutative increments (COMMU-friendly).
+    Increments,
+    /// Increments mixed with multiplies (conflicting families — the
+    /// paper's `Inc`/`Mul` example); the `u64` is the percentage of
+    /// multiplies (0–100).
+    IncrMul(u64),
+    /// Blind timestamped writes (RITU workloads). The cluster stamps
+    /// versions; the generator just picks keys and values.
+    BlindWrites,
+}
+
+/// One generated update request.
+#[derive(Debug, Clone)]
+pub struct UpdateRequest {
+    /// Site where the client originates the update.
+    pub origin_index: u64,
+    /// Generated operations (empty for `BlindWrites`, where the cluster
+    /// stamps a fresh version; use `object`/`value` instead).
+    pub ops: Vec<ObjectOp>,
+    /// Target object (blind writes).
+    pub object: ObjectId,
+    /// Value to write (blind writes).
+    pub value: i64,
+    /// Think time before the next request.
+    pub gap: Duration,
+}
+
+/// The workload generator.
+///
+/// ```
+/// use esr_sim::time::Duration;
+/// use esr_workload::gen::{KeyDist, UpdateMix, WorkloadGen};
+///
+/// let mut generator = WorkloadGen::new(
+///     16, KeyDist::Zipf(0.99), UpdateMix::Increments, 4,
+///     Duration::from_millis(5), 42,
+/// );
+/// let update = generator.next_update();
+/// assert!(update.origin_index < 4);
+/// assert_eq!(update.ops.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    keys: KeyChooser,
+    mix: UpdateMix,
+    sites: u64,
+    mean_gap: Duration,
+    rng: DetRng,
+    issued: u64,
+}
+
+impl WorkloadGen {
+    /// A generator over `objects` objects and `sites` sites, issuing one
+    /// update per `mean_gap` on average (exponential gaps).
+    pub fn new(
+        objects: u64,
+        dist: KeyDist,
+        mix: UpdateMix,
+        sites: u64,
+        mean_gap: Duration,
+        seed: u64,
+    ) -> Self {
+        Self {
+            keys: KeyChooser::new(objects, dist),
+            mix,
+            sites,
+            mean_gap,
+            rng: DetRng::new(seed),
+            issued: 0,
+        }
+    }
+
+    /// The key chooser (for queries that should share the distribution).
+    pub fn keys(&self) -> &KeyChooser {
+        &self.keys
+    }
+
+    /// Access the generator's RNG (for auxiliary draws that must stay
+    /// deterministic with the workload).
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Generates the next update request.
+    pub fn next_update(&mut self) -> UpdateRequest {
+        self.issued += 1;
+        let origin_index = self.rng.below(self.sites);
+        let object = self.keys.pick(&mut self.rng);
+        let value = self.issued as i64;
+        let ops = match self.mix {
+            UpdateMix::Increments => vec![ObjectOp::new(
+                object,
+                Operation::Incr(1 + self.rng.below(10) as i64),
+            )],
+            UpdateMix::IncrMul(mul_pct) => {
+                if self.rng.below(100) < mul_pct {
+                    vec![ObjectOp::new(
+                        object,
+                        Operation::MulBy(1 + self.rng.below(3) as i64),
+                    )]
+                } else {
+                    vec![ObjectOp::new(
+                        object,
+                        Operation::Incr(1 + self.rng.below(10) as i64),
+                    )]
+                }
+            }
+            UpdateMix::BlindWrites => Vec::new(),
+        };
+        let gap = if self.mean_gap == Duration::ZERO {
+            Duration::ZERO
+        } else {
+            self.rng.exponential(self.mean_gap)
+        };
+        UpdateRequest {
+            origin_index,
+            ops,
+            object,
+            value,
+            gap,
+        }
+    }
+
+    /// Generates a query read set of `k` distinct keys.
+    pub fn next_read_set(&mut self, k: usize) -> Vec<ObjectId> {
+        let keys = self.keys.clone();
+        keys.pick_distinct(&mut self.rng, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_all_keys() {
+        let c = KeyChooser::new(10, KeyDist::Uniform);
+        let mut rng = DetRng::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[c.pick(&mut rng).raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_prefers_low_keys() {
+        let c = KeyChooser::new(100, KeyDist::Zipf(0.99));
+        let mut rng = DetRng::new(2);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[c.pick(&mut rng).raw() as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 5,
+            "key 0 ({}) must dominate key 50 ({})",
+            counts[0],
+            counts[50]
+        );
+        // Still a valid distribution: every draw lands in range.
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_high_theta_is_more_skewed() {
+        let mut rng = DetRng::new(3);
+        let mild = KeyChooser::new(50, KeyDist::Zipf(0.5));
+        let harsh = KeyChooser::new(50, KeyDist::Zipf(2.0));
+        let head = |c: &KeyChooser, rng: &mut DetRng| {
+            (0..10_000).filter(|_| c.pick(rng).raw() == 0).count()
+        };
+        let mild_head = head(&mild, &mut rng);
+        let harsh_head = head(&harsh, &mut rng);
+        assert!(harsh_head > mild_head * 2, "{harsh_head} vs {mild_head}");
+    }
+
+    #[test]
+    fn pick_distinct_returns_unique_keys() {
+        let c = KeyChooser::new(20, KeyDist::Zipf(1.5));
+        let mut rng = DetRng::new(4);
+        for _ in 0..100 {
+            let set = c.pick_distinct(&mut rng, 5);
+            assert_eq!(set.len(), 5);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "duplicates in {set:?}");
+        }
+    }
+
+    #[test]
+    fn pick_distinct_clamps_to_population() {
+        let c = KeyChooser::new(3, KeyDist::Uniform);
+        let mut rng = DetRng::new(5);
+        let set = c.pick_distinct(&mut rng, 10);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let make = || {
+            let mut g = WorkloadGen::new(
+                10,
+                KeyDist::Uniform,
+                UpdateMix::Increments,
+                4,
+                Duration::from_millis(5),
+                42,
+            );
+            (0..20).map(|_| g.next_update().ops).collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn incr_mul_mix_respects_percentage() {
+        let mut g = WorkloadGen::new(
+            5,
+            KeyDist::Uniform,
+            UpdateMix::IncrMul(30),
+            2,
+            Duration::ZERO,
+            7,
+        );
+        let muls = (0..5000)
+            .filter(|_| {
+                matches!(
+                    g.next_update().ops[0].op,
+                    Operation::MulBy(_)
+                )
+            })
+            .count();
+        assert!((1200..1800).contains(&muls), "got {muls} muls out of 5000");
+    }
+
+    #[test]
+    fn blind_writes_have_no_ops_but_carry_key_value() {
+        let mut g = WorkloadGen::new(
+            5,
+            KeyDist::Uniform,
+            UpdateMix::BlindWrites,
+            2,
+            Duration::ZERO,
+            7,
+        );
+        let u = g.next_update();
+        assert!(u.ops.is_empty());
+        assert!(u.object.raw() < 5);
+        assert_eq!(u.value, 1);
+    }
+
+    #[test]
+    fn origins_spread_over_sites() {
+        let mut g = WorkloadGen::new(
+            5,
+            KeyDist::Uniform,
+            UpdateMix::Increments,
+            4,
+            Duration::ZERO,
+            9,
+        );
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[g.next_update().origin_index as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,18 @@
+//! # esr-workload — workloads, metrics, and the experiment suite
+//!
+//! Synthetic workload generation (uniform/Zipf key choice, operation
+//! mixes, exponential think times), metric summaries, and the drivers
+//! for every experiment in EXPERIMENTS.md: Table 1 regeneration plus
+//! E4–E10. The `esr-bench` harness binary prints the tables these
+//! drivers produce; the integration tests assert the claims on
+//! test-sized parameters.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exp;
+pub mod gen;
+pub mod metrics;
+
+pub use gen::{KeyChooser, KeyDist, UpdateMix, WorkloadGen};
+pub use metrics::{throughput, CountSummary, DurationSummary};

@@ -1,0 +1,97 @@
+//! The high-level ET interface: sessions, budgets, and propagation
+//! specifications (§2.1's "users need not explicitly deal with the
+//! theoretical conditions" + §5.1's propagation classes).
+//!
+//! ```text
+//! cargo run --example newsroom_sessions
+//! ```
+//!
+//! A newsroom tracks page-view counters. Three producers with different
+//! propagation contracts feed the same replicated counters:
+//!
+//! * the live site uses **immediate** propagation;
+//! * the mobile app batches under a **deadline** (deferred);
+//! * the archive crawler reports **periodically** (independent).
+//!
+//! Editors read through the fluent query builder at whatever consistency
+//! they need.
+
+use esr::core::{ObjectId, ObjectOp, Operation, SiteId};
+use esr::replica::api::Session;
+use esr::replica::cluster::{ClusterConfig, Method, SimCluster};
+use esr::replica::etspec::{PropagationClass, SpecPipe};
+use esr::sim::time::{Duration, VirtualTime};
+
+const FRONT_PAGE: ObjectId = ObjectId(0);
+const ARTICLE: ObjectId = ObjectId(1);
+
+fn main() {
+    let cluster = SimCluster::new(ClusterConfig::new(Method::Commu).with_sites(3).with_seed(17));
+    let mut session = Session::new(cluster);
+
+    let mut live = SpecPipe::new(PropagationClass::Immediate);
+    let mut mobile = SpecPipe::new(PropagationClass::Deferred {
+        deadline: Duration::from_millis(50),
+    });
+    let mut crawler = SpecPipe::new(PropagationClass::Independent {
+        period: Duration::from_millis(200),
+    });
+
+    // One simulated second of traffic.
+    for ms in (0..1000u64).step_by(10) {
+        session.cluster_mut().advance_to(VirtualTime::from_millis(ms));
+        let hit = |obj| vec![ObjectOp::new(obj, Operation::Incr(1))];
+        // Live hits go out at once.
+        live.offer(session.cluster_mut(), SiteId(0), hit(FRONT_PAGE));
+        // Mobile hits buffer up to 50 ms.
+        mobile.offer(session.cluster_mut(), SiteId(1), hit(ARTICLE));
+        // The crawler reports both counters, flushed every 200 ms.
+        if ms % 50 == 0 {
+            crawler.offer(session.cluster_mut(), SiteId(2), hit(FRONT_PAGE));
+        }
+        mobile.poll(session.cluster_mut());
+        crawler.poll(session.cluster_mut());
+    }
+    println!(
+        "submitted: live={}, mobile={} (buffered {}), crawler={} (buffered {})",
+        live.submitted(),
+        mobile.submitted(),
+        mobile.buffered(),
+        crawler.submitted(),
+        crawler.buffered()
+    );
+
+    // A live dashboard reads with a generous budget…
+    let dash = session
+        .query(SiteId(2))
+        .read(FRONT_PAGE)
+        .read(ARTICLE)
+        .epsilon(50)
+        .execute();
+    println!(
+        "dashboard (eps=50): front={} article={} admitted={} charged={}",
+        dash.values.first().cloned().unwrap_or_default(),
+        dash.values.get(1).cloned().unwrap_or_default(),
+        dash.admitted,
+        dash.charged
+    );
+
+    // End of day: flush the batching pipes and run the strict audit.
+    mobile.flush(session.cluster_mut());
+    crawler.flush(session.cluster_mut());
+    assert!(session.settle(), "replicas converge at quiescence");
+    let audit = session
+        .query(SiteId(0))
+        .read(FRONT_PAGE)
+        .read(ARTICLE)
+        .strict()
+        .wait();
+    println!(
+        "strict audit: front={} article={} (charged {})",
+        audit.values[0], audit.values[1], audit.charged
+    );
+    assert_eq!(audit.charged, 0);
+    assert_eq!(audit.values[0].as_int(), Some(100 + 20), "live + crawler hits");
+    assert_eq!(audit.values[1].as_int(), Some(100), "mobile hits");
+    println!("all 220 page views accounted for, every replica agrees");
+}

@@ -1,0 +1,131 @@
+//! Exhaustive small-case verification: enumerate *every* interleaving of
+//! small ET sets and check the theory on each one — no sampling, no
+//! luck. These are the ground-truth counterparts of the randomized
+//! property tests.
+
+use std::collections::BTreeMap;
+
+use esr::core::history::interleavings;
+use esr::core::overlap::all_errors_within_overlap;
+use esr::core::serializability::{
+    is_epsilon_serializable, is_final_state_serializable, is_serializable,
+};
+use esr::core::{EtBuilder, EtKind, Value};
+
+/// Two conflicting update ETs (the paper's Inc/Mul pair) and one query.
+fn inc_mul_query() -> Vec<esr::core::EpsilonTransaction> {
+    vec![
+        EtBuilder::new(1u64).incr(0u64, 10).incr(1u64, 1).build(),
+        EtBuilder::new(2u64).mul(0u64, 2).mul(1u64, 3).build(),
+        EtBuilder::new(3u64).read(0u64).read(1u64).build(),
+    ]
+}
+
+#[test]
+fn every_interleaving_respects_the_overlap_bound() {
+    // 6!/(2!2!2!) = 90 interleavings; the bound must hold in each.
+    let all = interleavings(&inc_mul_query());
+    assert_eq!(all.len(), 90);
+    for h in &all {
+        assert!(all_errors_within_overlap(h), "bound broken in {h}");
+    }
+}
+
+#[test]
+fn epsilon_serial_iff_update_projection_serializable() {
+    // Definition check on every interleaving: the ε-serial test must
+    // coincide with "delete queries, test SR".
+    for h in interleavings(&inc_mul_query()) {
+        assert_eq!(
+            is_epsilon_serializable(&h),
+            is_serializable(&h.project_updates()),
+            "definitions disagree on {h}"
+        );
+    }
+}
+
+#[test]
+fn conflict_sr_implies_final_state_sr_exhaustively() {
+    for h in interleavings(&inc_mul_query()) {
+        if is_serializable(&h) {
+            assert!(
+                is_final_state_serializable(&h, &BTreeMap::new()),
+                "graph said SR but no serial order matches: {h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn some_interleavings_are_esr_but_not_sr() {
+    // The whole point of ESR: strictly more histories are admissible.
+    let all = interleavings(&inc_mul_query());
+    let sr = all.iter().filter(|h| is_serializable(h)).count();
+    let esr = all.iter().filter(|h| is_epsilon_serializable(h)).count();
+    assert!(esr > sr, "ESR admits {esr}, SR admits {sr}");
+    // Sanity: serial update orders with the query anywhere are ε-serial.
+    assert!(esr >= 30, "at least the serial-update interleavings");
+}
+
+#[test]
+fn commutative_updates_make_everything_epsilon_serial() {
+    // Two increment-only update ETs commute: every single interleaving
+    // is ε-serial (and in fact SR under the commutativity-aware test).
+    let ets = vec![
+        EtBuilder::new(1u64).incr(0u64, 5).incr(1u64, 5).build(),
+        EtBuilder::new(2u64).incr(0u64, 7).incr(1u64, 7).build(),
+        EtBuilder::new(3u64).read(0u64).read(1u64).build(),
+    ];
+    let all = interleavings(&ets);
+    assert_eq!(all.len(), 90);
+    for h in &all {
+        assert!(is_epsilon_serializable(h), "{h}");
+        assert!(
+            is_serializable(&h.project_updates()),
+            "commuting updates are always SR: {h}"
+        );
+    }
+}
+
+#[test]
+fn every_interleaving_of_commuting_updates_converges() {
+    // Final state identical across all interleavings of commuting ETs.
+    let ets = vec![
+        EtBuilder::new(1u64).incr(0u64, 5).decr(1u64, 2).build(),
+        EtBuilder::new(2u64).incr(0u64, 7).decr(1u64, 4).build(),
+    ];
+    let mut finals = std::collections::BTreeSet::new();
+    for h in interleavings(&ets) {
+        let ex = h.execute(&BTreeMap::new()).expect("executes");
+        finals.insert(format!("{:?}", ex.final_state));
+    }
+    assert_eq!(finals.len(), 1, "convergence under all {finals:?}");
+}
+
+#[test]
+fn conflicting_updates_diverge_without_ordering() {
+    // The counterpoint: Inc/Mul interleavings reach different final
+    // states — exactly why ORDUP (or COMPE) is needed for such mixes.
+    let ets = vec![
+        EtBuilder::new(1u64).incr(0u64, 10).build(),
+        EtBuilder::new(2u64).mul(0u64, 2).build(),
+    ];
+    let mut finals = std::collections::BTreeSet::new();
+    for h in interleavings(&ets) {
+        let ex = h.execute(&BTreeMap::new()).expect("executes");
+        finals.insert(ex.final_state[&esr::core::ObjectId(0)].clone());
+    }
+    assert_eq!(
+        finals,
+        [Value::Int(10), Value::Int(20)].into_iter().collect(),
+        "two orders, two outcomes"
+    );
+}
+
+#[test]
+fn query_kind_is_preserved_in_every_interleaving() {
+    for h in interleavings(&inc_mul_query()) {
+        assert_eq!(h.kind_of(esr::core::EtId(3)), Some(EtKind::Query));
+        assert_eq!(h.kind_of(esr::core::EtId(1)), Some(EtKind::Update));
+    }
+}

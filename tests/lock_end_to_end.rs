@@ -1,0 +1,198 @@
+//! End-to-end locking: drive transaction mixes through the ET lock
+//! manager under each protocol, record the history that the grants
+//! admit, and check it with the serializability machinery — Table 2/3
+//! semantics verified at the history level, not just the cell level.
+
+use esr::core::history::History;
+use esr::core::lock::{LockManager, LockMode, LockOutcome, Protocol};
+use esr::core::serializability::{is_epsilon_serializable, is_serializable};
+use esr::core::{EtId, ObjectId, ObjectOp, Operation, Value};
+
+/// A scripted transaction: its lock mode class and operations.
+struct Script {
+    et: EtId,
+    is_query: bool,
+    ops: Vec<ObjectOp>,
+}
+
+/// Executes scripts round-robin, one operation per turn: each operation
+/// first acquires its lock (skipping the turn if queued), then appends
+/// to the history; a finished script releases its locks. Returns the
+/// admitted history.
+fn run_scripts(protocol: Protocol, scripts: Vec<Script>) -> History {
+    let mut manager = LockManager::new(protocol);
+    let mut history = History::new();
+    let mut cursors = vec![0usize; scripts.len()];
+    let mut done = vec![false; scripts.len()];
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (i, script) in scripts.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let Some(op) = script.ops.get(cursors[i]) else {
+                manager.release_all(script.et);
+                done[i] = true;
+                progress = true;
+                continue;
+            };
+            let mode = if script.is_query {
+                LockMode::RQ
+            } else if op.op.is_write() {
+                LockMode::WU
+            } else {
+                LockMode::RU
+            };
+            // Skip if this ET is already waiting on this object.
+            if manager.waiting(script.et, op.object) {
+                continue;
+            }
+            match manager.acquire(script.et, op.object, mode, Some(op.op.clone())) {
+                Ok(LockOutcome::Granted) => {
+                    history.push(script.et, op.clone());
+                    cursors[i] += 1;
+                    progress = true;
+                }
+                Ok(LockOutcome::Queued) => {}
+                Err(_) => {
+                    // Deadlock victim: abort by releasing (simplified —
+                    // its partial history stays, as a query-free reader).
+                    manager.release_all(script.et);
+                    done[i] = true;
+                    progress = true;
+                }
+            }
+        }
+    }
+    history
+}
+
+fn update(et: u64, ops: Vec<ObjectOp>) -> Script {
+    Script {
+        et: EtId(et),
+        is_query: false,
+        ops,
+    }
+}
+
+fn query(et: u64, objects: &[u64]) -> Script {
+    Script {
+        et: EtId(et),
+        is_query: true,
+        ops: objects
+            .iter()
+            .map(|&o| ObjectOp::new(ObjectId(o), Operation::Read))
+            .collect(),
+    }
+}
+
+fn w(obj: u64, v: i64) -> ObjectOp {
+    ObjectOp::new(ObjectId(obj), Operation::Write(Value::Int(v)))
+}
+
+fn r(obj: u64) -> ObjectOp {
+    ObjectOp::new(ObjectId(obj), Operation::Read)
+}
+
+fn inc(obj: u64, n: i64) -> ObjectOp {
+    ObjectOp::new(ObjectId(obj), Operation::Incr(n))
+}
+
+#[test]
+fn standard_2pl_histories_are_serializable() {
+    let h = run_scripts(
+        Protocol::Standard2pl,
+        vec![
+            update(1, vec![r(0), w(0, 1), w(1, 1)]),
+            update(2, vec![r(1), w(1, 2), w(2, 2)]),
+            update(3, vec![r(2), w(2, 3)]),
+        ],
+    );
+    assert!(is_serializable(&h), "2PL admits only SR histories: {h}");
+}
+
+#[test]
+fn ordup_histories_are_epsilon_serializable() {
+    // Queries interleave freely under Table 2; updates stay SR.
+    let h = run_scripts(
+        Protocol::Ordup,
+        vec![
+            update(1, vec![w(0, 1), w(1, 1)]),
+            query(10, &[0, 1]),
+            update(2, vec![r(0), w(0, 2)]),
+            query(11, &[1, 0]),
+        ],
+    );
+    assert!(
+        is_epsilon_serializable(&h),
+        "ORDUP histories must be ε-serial: {h}"
+    );
+    // The update projection alone is SR.
+    assert!(is_serializable(&h.project_updates()));
+}
+
+#[test]
+fn commu_admits_more_but_stays_epsilon_serializable() {
+    let scripts = |proto_marker: u64| {
+        vec![
+            update(proto_marker + 1, vec![inc(0, 5), inc(1, 1)]),
+            update(proto_marker + 2, vec![inc(0, 3), inc(1, 2)]),
+            query(proto_marker + 10, &[0, 1]),
+        ]
+    };
+    let h_commu = run_scripts(Protocol::Commu, scripts(0));
+    assert!(is_epsilon_serializable(&h_commu));
+    // Commutativity-aware SR holds even for the whole log here, since
+    // increments commute and queries only read.
+    assert!(is_serializable(&h_commu.project_updates()));
+
+    // COMMU finishes the commuting updates concurrently; standard 2PL
+    // serializes them — compare granted-immediately counts.
+    let mut commu = LockManager::new(Protocol::Commu);
+    let mut std2pl = LockManager::new(Protocol::Standard2pl);
+    commu
+        .acquire(EtId(1), ObjectId(0), LockMode::WU, Some(Operation::Incr(5)))
+        .unwrap();
+    std2pl
+        .acquire(EtId(1), ObjectId(0), LockMode::WU, Some(Operation::Incr(5)))
+        .unwrap();
+    let commu_second = commu
+        .acquire(EtId(2), ObjectId(0), LockMode::WU, Some(Operation::Incr(3)))
+        .unwrap();
+    let std_second = std2pl
+        .acquire(EtId(2), ObjectId(0), LockMode::WU, Some(Operation::Incr(3)))
+        .unwrap();
+    assert_eq!(commu_second, LockOutcome::Granted);
+    assert_eq!(std_second, LockOutcome::Queued);
+}
+
+#[test]
+fn queries_never_stall_under_et_protocols() {
+    for protocol in [Protocol::Ordup, Protocol::Commu] {
+        let h = run_scripts(
+            protocol,
+            vec![
+                update(1, vec![w(0, 1), w(1, 1), w(2, 1)]),
+                query(10, &[0, 1, 2]),
+                query(11, &[2, 1, 0]),
+            ],
+        );
+        // Both queries completed all three reads.
+        assert_eq!(h.events_of(EtId(10)).len(), 3, "{protocol}: {h}");
+        assert_eq!(h.events_of(EtId(11)).len(), 3, "{protocol}: {h}");
+        assert!(is_epsilon_serializable(&h), "{protocol}: {h}");
+    }
+}
+
+#[test]
+fn standard_2pl_blocks_queries_behind_writers() {
+    // Under plain 2PL, the query cannot finish until the writer
+    // releases — the round-robin driver interleaves them accordingly,
+    // and the resulting history is fully SR (no ε needed).
+    let h = run_scripts(
+        Protocol::Standard2pl,
+        vec![update(1, vec![w(0, 1), w(1, 1)]), query(10, &[0, 1])],
+    );
+    assert!(is_serializable(&h));
+}

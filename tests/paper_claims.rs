@@ -1,0 +1,82 @@
+//! Integration: every experiment in the suite upholds its paper claim on
+//! test-sized parameters, and the regenerated tables match the paper.
+
+use esr::workload::exp::{
+    e10_partition, e4_epsilon, e5_bound, e6_convergence, e7_sync_async, e8_compensation, e9_vtnc,
+    table1,
+};
+
+#[test]
+fn table1_regenerates_from_probes() {
+    let cols = table1::run();
+    let rendered = table1::render(&cols);
+    // The four columns and four dimensions of the paper's Table 1.
+    for needle in [
+        "ORDUP",
+        "COMMU",
+        "RITU",
+        "COMPE",
+        "message delivery",
+        "operation semantics",
+        "operation value",
+        "query only",
+        "query & update",
+        "at update",
+        "doesn't matter",
+        "at read",
+    ] {
+        assert!(rendered.contains(needle), "table 1 missing {needle:?}");
+    }
+}
+
+#[test]
+fn e4_epsilon_dial_tunes_down_to_strict_sr() {
+    let p = e4_epsilon::E4Params::quick();
+    let rows = e4_epsilon::run(&p);
+    assert!(e4_epsilon::claim_holds(&rows));
+}
+
+#[test]
+fn e5_error_never_exceeds_charge() {
+    let p = e5_bound::E5Params::quick();
+    let rows = e5_bound::run(&p);
+    assert!(e5_bound::claim_holds(&rows));
+    // And the experiment is not vacuous.
+    assert!(rows.iter().map(|r| r.charge.total).sum::<u64>() > 0);
+}
+
+#[test]
+fn e6_all_methods_converge_to_the_oracle() {
+    let p = e6_convergence::E6Params::quick();
+    let rows = e6_convergence::run(&p);
+    assert!(e6_convergence::claim_holds(&rows));
+}
+
+#[test]
+fn e7_async_beats_synchronous_coherency_control() {
+    let p = e7_sync_async::E7Params::quick();
+    let lat = e7_sync_async::run_latency_sweep(&p);
+    let size = e7_sync_async::run_size_sweep(&p);
+    assert!(e7_sync_async::claim_holds(&lat, &size));
+}
+
+#[test]
+fn e8_compensation_costs_match_section_4_analysis() {
+    let p = e8_compensation::E8Params::quick();
+    let rows = e8_compensation::run(&p);
+    assert!(e8_compensation::claim_holds(&rows));
+}
+
+#[test]
+fn e9_vtnc_budget_buys_freshness() {
+    let p = e9_vtnc::E9Params::quick();
+    let rows = e9_vtnc::run(&p);
+    assert!(e9_vtnc::claim_holds(&rows));
+}
+
+#[test]
+fn e10_async_stays_available_under_partition() {
+    let p = e10_partition::E10Params::quick();
+    let rows = e10_partition::run(&p);
+    assert!(e10_partition::claim_holds(&rows));
+}

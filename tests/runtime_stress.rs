@@ -1,0 +1,171 @@
+//! Integration stress of the thread-per-site runtime: many concurrent
+//! submitters, mixed queries, commit/abort races, convergence at
+//! quiescence under real scheduling nondeterminism.
+
+use std::sync::Arc;
+use std::thread;
+
+use esr::core::{EpsilonSpec, ObjectId, ObjectOp, Operation, SiteId, Value};
+use esr::runtime::{Cluster, RtMethod};
+
+#[test]
+fn commu_heavy_concurrency_converges_to_exact_sum() {
+    let cluster = Arc::new(Cluster::new(RtMethod::Commu, 4));
+    let threads = 8u64;
+    let per_thread = 100u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let c = Arc::clone(&cluster);
+        handles.push(thread::spawn(move || {
+            for i in 0..per_thread {
+                c.submit_update(
+                    SiteId(t % 4),
+                    vec![ObjectOp::new(ObjectId(i % 4), Operation::Incr(1))],
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.quiesce();
+    assert!(cluster.converged());
+    let snap = cluster.snapshot_of(SiteId(2));
+    let total: i64 = snap.values().filter_map(|v| v.as_int()).sum();
+    assert_eq!(total, (threads * per_thread) as i64);
+}
+
+#[test]
+fn ordup_non_commutative_stream_agrees_across_threads() {
+    let cluster = Arc::new(Cluster::new(RtMethod::Ordup, 3));
+    // Two racing submitters issue conflicting families; whatever global
+    // order the sequencer picks, all replicas must agree on it.
+    let c1 = Arc::clone(&cluster);
+    let h1 = thread::spawn(move || {
+        for _ in 0..50 {
+            c1.submit_update(SiteId(0), vec![ObjectOp::new(ObjectId(0), Operation::Incr(3))]);
+        }
+    });
+    let c2 = Arc::clone(&cluster);
+    let h2 = thread::spawn(move || {
+        for _ in 0..20 {
+            c2.submit_update(SiteId(1), vec![ObjectOp::new(ObjectId(0), Operation::MulBy(2))]);
+        }
+    });
+    h1.join().unwrap();
+    h2.join().unwrap();
+    cluster.quiesce();
+    assert!(cluster.converged(), "replicas disagree on the global order");
+}
+
+#[test]
+fn ritu_concurrent_blind_writes_pick_one_winner() {
+    let cluster = Arc::new(Cluster::new(RtMethod::Ritu, 3));
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let c = Arc::clone(&cluster);
+        handles.push(thread::spawn(move || {
+            for i in 0..30u64 {
+                c.submit_blind_write(SiteId(t % 3), ObjectId(0), Value::Int((t * 100 + i) as i64));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.quiesce();
+    assert!(cluster.converged());
+    // The winner carries the globally newest version — some write from
+    // the run, identical on every replica.
+    let winner = cluster.snapshot_of(SiteId(0))[&ObjectId(0)].clone();
+    assert!(winner.as_int().is_some());
+}
+
+#[test]
+fn compe_concurrent_aborts_leave_only_committed_effects() {
+    let cluster = Arc::new(Cluster::new(RtMethod::Compe, 3));
+    let mut committed_sum = 0i64;
+    let mut ets = Vec::new();
+    for i in 0..60u64 {
+        let amount = 1 + (i % 7) as i64;
+        let et = cluster.submit_update(
+            SiteId(i % 3),
+            vec![ObjectOp::new(ObjectId(0), Operation::Incr(amount))],
+        );
+        ets.push((et, amount, i % 3 == 0));
+    }
+    // Resolve in a scrambled order: every third update aborts.
+    for (et, amount, abort) in ets.iter().rev() {
+        if *abort {
+            cluster.abort(*et);
+        } else {
+            cluster.commit(*et);
+            committed_sum += amount;
+        }
+    }
+    cluster.quiesce();
+    assert!(cluster.converged());
+    assert_eq!(
+        cluster.snapshot_of(SiteId(1))[&ObjectId(0)],
+        Value::Int(committed_sum)
+    );
+}
+
+#[test]
+fn strict_queries_match_quiescent_state() {
+    let cluster = Cluster::new(RtMethod::Commu, 4);
+    for i in 0..40u64 {
+        cluster.submit_update(
+            SiteId(i % 4),
+            vec![ObjectOp::new(ObjectId(0), Operation::Incr(2))],
+        );
+    }
+    let strict = cluster.query_blocking(SiteId(3), &[ObjectId(0)], EpsilonSpec::STRICT);
+    assert!(strict.admitted);
+    assert_eq!(strict.charged, 0);
+    assert_eq!(strict.values[0], Value::Int(80));
+}
+
+#[test]
+fn bounded_queries_respect_budget_under_load() {
+    let cluster = Arc::new(Cluster::new(RtMethod::Commu, 4));
+    let c = Arc::clone(&cluster);
+    let writer = thread::spawn(move || {
+        for i in 0..200u64 {
+            c.submit_update(
+                SiteId(i % 4),
+                vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+            );
+        }
+    });
+    let mut max_charge = 0;
+    for _ in 0..100 {
+        let out = cluster.query(SiteId(1), &[ObjectId(0)], EpsilonSpec::bounded(5));
+        if out.admitted {
+            max_charge = max_charge.max(out.charged);
+            assert!(out.charged <= 5, "budget violated: {}", out.charged);
+        }
+    }
+    writer.join().unwrap();
+    cluster.quiesce();
+    assert!(cluster.converged());
+}
+
+#[test]
+fn mixed_object_workload_with_multi_op_msets() {
+    let cluster = Cluster::new(RtMethod::Commu, 3);
+    for i in 0..50u64 {
+        cluster.submit_update(
+            SiteId(i % 3),
+            vec![
+                ObjectOp::new(ObjectId(0), Operation::Decr(1)),
+                ObjectOp::new(ObjectId(1), Operation::Incr(1)),
+            ],
+        );
+    }
+    cluster.quiesce();
+    assert!(cluster.converged());
+    let snap = cluster.snapshot_of(SiteId(0));
+    assert_eq!(snap[&ObjectId(0)], Value::Int(-50));
+    assert_eq!(snap[&ObjectId(1)], Value::Int(50));
+}

@@ -1,0 +1,127 @@
+//! Property tests for sagas: arbitrary interleavings of multi-step
+//! sagas with random commit/abort decisions always leave exactly the
+//! committed sagas' effects, identically on every replica.
+
+use proptest::prelude::*;
+
+use esr::core::{EpsilonSpec, ObjectId, ObjectOp, Operation, SiteId, Value};
+use esr::replica::cluster::{ClusterConfig, Method};
+use esr::replica::saga::{SagaCoordinator, SagaState};
+
+/// A random saga script: each saga has 1–4 steps, each step increments
+/// one of 3 objects by 1–9 from one of 3 sites.
+#[derive(Debug, Clone)]
+struct SagaScript {
+    steps: Vec<(u64, u64, i64)>, // (origin, object, amount)
+    commit: bool,
+}
+
+fn arb_saga() -> impl Strategy<Value = SagaScript> {
+    (
+        prop::collection::vec((0u64..3, 0u64..3, 1i64..10), 1..5),
+        any::<bool>(),
+    )
+        .prop_map(|(steps, commit)| SagaScript { steps, commit })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn committed_sagas_survive_aborted_sagas_vanish(
+        scripts in prop::collection::vec(arb_saga(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut co = SagaCoordinator::new(
+            ClusterConfig::new(Method::Compe).with_sites(3).with_seed(seed),
+        );
+        // Interleave: begin all sagas, round-robin their steps, then
+        // resolve in reverse order of beginning.
+        let ids: Vec<_> = scripts.iter().map(|_| co.begin()).collect();
+        let max_steps = scripts.iter().map(|s| s.steps.len()).max().unwrap_or(0);
+        for round in 0..max_steps {
+            for (script, &id) in scripts.iter().zip(&ids) {
+                if let Some(&(origin, object, amount)) = script.steps.get(round) {
+                    co.step(
+                        id,
+                        SiteId(origin),
+                        vec![ObjectOp::new(ObjectId(object), Operation::Incr(amount))],
+                    );
+                }
+            }
+        }
+        for (script, &id) in scripts.iter().zip(&ids).rev() {
+            if script.commit {
+                co.commit(id);
+            } else {
+                co.abort(id);
+            }
+        }
+        co.cluster_mut().run_until_quiescent();
+        prop_assert!(co.cluster().converged());
+
+        // Expected state: sum of committed sagas' increments per object.
+        let mut expected = [0i64; 3];
+        for script in &scripts {
+            if script.commit {
+                for &(_, object, amount) in &script.steps {
+                    expected[object as usize] += amount;
+                }
+            }
+        }
+        let snap = co.cluster().snapshot_of(SiteId(0));
+        for (obj, &want) in expected.iter().enumerate() {
+            let got = snap
+                .get(&ObjectId(obj as u64))
+                .cloned()
+                .unwrap_or_default()
+                .as_int()
+                .unwrap();
+            prop_assert_eq!(got, want, "object {} wrong", obj);
+        }
+
+        // States settled; strict queries now admit everywhere.
+        for site in 0..3u64 {
+            let out = co.cluster_mut().try_query(
+                SiteId(site),
+                &[ObjectId(0), ObjectId(1), ObjectId(2)],
+                EpsilonSpec::STRICT,
+            );
+            prop_assert!(out.admitted, "strict query refused at quiescence");
+        }
+        for (script, &id) in scripts.iter().zip(&ids) {
+            let want = if script.commit {
+                SagaState::Committed
+            } else {
+                SagaState::Aborted
+            };
+            prop_assert_eq!(co.state(id), Some(want));
+        }
+    }
+
+    /// While any saga is open, a query touching its write set is charged
+    /// at least the number of open steps on those objects.
+    #[test]
+    fn open_sagas_keep_queries_charged(amounts in prop::collection::vec(1i64..10, 1..4)) {
+        let mut co = SagaCoordinator::new(
+            ClusterConfig::new(Method::Compe).with_sites(3).with_seed(1),
+        );
+        let saga = co.begin();
+        for &a in &amounts {
+            co.step(saga, SiteId(0), vec![ObjectOp::new(ObjectId(0), Operation::Incr(a))]);
+        }
+        co.cluster_mut().run_until_quiescent();
+        let out = co
+            .cluster_mut()
+            .try_query(SiteId(1), &[ObjectId(0)], EpsilonSpec::UNBOUNDED);
+        prop_assert_eq!(out.charged, amounts.len() as u64);
+        co.commit(saga);
+        co.cluster_mut().run_until_quiescent();
+        let out = co
+            .cluster_mut()
+            .try_query(SiteId(1), &[ObjectId(0)], EpsilonSpec::UNBOUNDED);
+        prop_assert_eq!(out.charged, 0, "counters release at saga end");
+        let total: i64 = amounts.iter().sum();
+        prop_assert_eq!(out.values[0].clone(), Value::Int(total));
+    }
+}

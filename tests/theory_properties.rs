@@ -1,0 +1,162 @@
+//! Property-based tests of the ESR theory (esr-core).
+//!
+//! The conflict-graph serializability test is validated against the
+//! exponential brute-force oracle; the overlap theorem (error ≤ overlap)
+//! is checked on arbitrary histories; the operation algebra's
+//! commutativity and compensation laws hold for arbitrary operands.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use esr::core::history::{History, HistoryEvent};
+use esr::core::overlap::{all_errors_within_overlap, imported_inconsistency, overlap_set};
+use esr::core::serializability::{
+    is_epsilon_serializable, is_final_state_serializable, is_serializable, serialization_order,
+};
+use esr::core::{EtId, EtKind, ObjectId, ObjectOp, Operation, Value};
+
+/// Integer-typed operations only, so any interleaving executes cleanly.
+fn arb_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        Just(Operation::Read),
+        (-50i64..50).prop_map(|v| Operation::Write(Value::Int(v))),
+        (1i64..10).prop_map(Operation::Incr),
+        (1i64..10).prop_map(Operation::Decr),
+        (1i64..4).prop_map(Operation::MulBy),
+    ]
+}
+
+fn arb_event(max_ets: u64, max_objects: u64) -> impl Strategy<Value = HistoryEvent> {
+    (1..=max_ets, 0..max_objects, arb_op()).prop_map(|(et, obj, op)| {
+        HistoryEvent::new(EtId(et), ObjectOp::new(ObjectId(obj), op))
+    })
+}
+
+fn arb_history() -> impl Strategy<Value = History> {
+    prop::collection::vec(arb_event(5, 3), 0..14).prop_map(History::from_events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: conflict-serializable histories are final-state
+    /// serializable (the serial order produced by the graph works).
+    #[test]
+    fn conflict_sr_implies_final_state_sr(h in arb_history()) {
+        if is_serializable(&h) {
+            prop_assert!(is_final_state_serializable(&h, &BTreeMap::new()));
+        }
+    }
+
+    /// Stronger: the topological order itself reproduces the final state.
+    #[test]
+    fn serialization_order_reproduces_final_state(h in arb_history()) {
+        if let Some(order) = serialization_order(&h) {
+            let programs = h.programs();
+            let ordered: Vec<_> = order
+                .iter()
+                .map(|et| programs.iter().find(|p| p.id == *et).expect("et exists").clone())
+                .collect();
+            let serial = History::serial(&ordered);
+            let a = h.execute(&BTreeMap::new()).expect("int ops execute");
+            let b = serial.execute(&BTreeMap::new()).expect("int ops execute");
+            prop_assert_eq!(a.final_state, b.final_state);
+        }
+    }
+
+    /// The overlap theorem (§2.1): the inconsistency a query actually
+    /// imported is always inside its overlap set.
+    #[test]
+    fn imported_error_is_within_overlap(h in arb_history()) {
+        prop_assert!(all_errors_within_overlap(&h));
+        for et in h.ets() {
+            if h.kind_of(et) == Some(EtKind::Query) {
+                prop_assert!(imported_inconsistency(&h, et).is_subset(&overlap_set(&h, et)));
+            }
+        }
+    }
+
+    /// Deleting query ETs can only help: an SR history stays ε-serial.
+    #[test]
+    fn sr_implies_epsilon_serializable(h in arb_history()) {
+        if is_serializable(&h) {
+            prop_assert!(is_epsilon_serializable(&h));
+        }
+    }
+
+    /// The update projection contains no query-ET events.
+    #[test]
+    fn projection_drops_exactly_queries(h in arb_history()) {
+        let p = h.project_updates();
+        for et in p.ets() {
+            prop_assert_eq!(h.kind_of(et), Some(EtKind::Update));
+        }
+        // And every update event survives.
+        let update_events = h
+            .events()
+            .iter()
+            .filter(|e| h.kind_of(e.et) == Some(EtKind::Update))
+            .count();
+        prop_assert_eq!(p.len(), update_events);
+    }
+
+    /// Commutativity is symmetric for arbitrary operand values.
+    #[test]
+    fn commutativity_is_symmetric(a in arb_op(), b in arb_op()) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+    }
+
+    /// Declared-commutative integer operations really commute as state
+    /// transformers (on overflow-free operands).
+    #[test]
+    fn declared_commutative_ops_commute_on_values(
+        a in arb_op(),
+        b in arb_op(),
+        start in -1000i64..1000,
+    ) {
+        prop_assume!(a.is_write() && b.is_write());
+        if a.commutes_with(&b) {
+            let x = ObjectId(0);
+            let v = Value::Int(start);
+            let ab = b.apply(x, &a.apply(x, &v).unwrap()).unwrap();
+            let ba = a.apply(x, &b.apply(x, &v).unwrap()).unwrap();
+            prop_assert_eq!(ab, ba, "{} vs {}", a, b);
+        }
+    }
+
+    /// Compensations are exact inverses wherever they are defined.
+    #[test]
+    fn compensation_round_trips(op in arb_op(), start in -10_000i64..10_000) {
+        if let Some(comp) = op.compensation() {
+            let x = ObjectId(0);
+            let v = Value::Int(start);
+            let forward = op.apply(x, &v).unwrap();
+            let back = comp.apply(x, &forward).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+
+    /// Overlap sets only ever contain update ETs, never the query itself.
+    #[test]
+    fn overlap_contains_only_updates(h in arb_history()) {
+        for et in h.ets() {
+            let o = overlap_set(&h, et);
+            prop_assert!(!o.contains(&et));
+            for u in o {
+                prop_assert_eq!(h.kind_of(u), Some(EtKind::Update));
+            }
+        }
+    }
+}
+
+/// The paper's example log (1) is the canonical fixture: not SR, but
+/// ε-serial, with `Q3` overlapping `U2`.
+#[test]
+fn paper_example_log_is_the_canonical_fixture() {
+    let h = History::paper_example_log1();
+    assert!(!is_serializable(&h));
+    assert!(is_epsilon_serializable(&h));
+    let overlap = overlap_set(&h, EtId(3));
+    assert!(overlap.contains(&EtId(2)));
+}
