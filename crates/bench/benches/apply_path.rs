@@ -4,6 +4,13 @@
 //! ORDUP's hold-back bookkeeping vs COMMU's immediate apply vs RITU's
 //! LWW arbitration vs RITU-MV's version install vs COMPE's before-image
 //! logging. This is the "MSet processing" step of §2.4 in isolation.
+//!
+//! Each method is measured twice: `deliver` feeds MSets one at a time
+//! (the seed behaviour), `deliver_batch` feeds the same stream in
+//! [`BATCH`]-sized chunks, exercising the coalescing fast paths — COMMU
+//! folds commuting ops per object, RITU-LWW reduces each object to its
+//! max-timestamp write, RITU-MV installs versions in grouped runs, and
+//! ORDUP drains its hold-back once per chunk.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -17,17 +24,36 @@ use esr_replica::ordup::OrdupSite;
 use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
 use esr_replica::site::ReplicaSite;
 
-const N: u64 = 1_000;
-const OBJECTS: u64 = 64;
+const N: u64 = 16_384;
+/// Operations per update MSet — a multi-object update ET, the shape §2.2
+/// assumes (an MSet is a *set* of replica maintenance operations).
+const OPS_PER_MSET: u64 = 16;
+/// Chunk size for the batched variants — the backlog a site drains in
+/// one step when it falls behind (or catches up after a partition).
+const BATCH: usize = 2048;
+/// Each BATCH-sized window of update ETs works over its own REGION of
+/// the keyspace — the temporal locality a shifting hot set produces. The
+/// store grows to N/BATCH × REGION objects (16 K here, past cache-resident
+/// size), while every chunk still carries BATCH × OPS_PER_MSET / REGION
+/// ≈ 16 same-object repetitions for the coalescing fast paths to fold.
+const REGION: u64 = 2048;
+
+fn object_for(i: u64, j: u64) -> ObjectId {
+    // Fibonacci-hash scramble: objects within a window are drawn
+    // pseudo-randomly from its REGION (an update ET writes scattered
+    // keys, not a consecutive range), deterministically across runs.
+    let window = i / BATCH as u64;
+    let k = (i * OPS_PER_MSET + j).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ObjectId(window * REGION + (k >> 32) % REGION)
+}
 
 fn inc_msets() -> Vec<MSet> {
     (0..N)
         .map(|i| {
-            MSet::new(
-                EtId(i),
-                SiteId(1),
-                vec![ObjectOp::new(ObjectId(i % OBJECTS), Operation::Incr(1))],
-            )
+            let ops = (0..OPS_PER_MSET)
+                .map(|j| ObjectOp::new(object_for(i, j), Operation::Incr(1)))
+                .collect();
+            MSet::new(EtId(i), SiteId(1), ops)
         })
         .collect()
 }
@@ -35,24 +61,25 @@ fn inc_msets() -> Vec<MSet> {
 fn tw_msets() -> Vec<MSet> {
     (0..N)
         .map(|i| {
-            MSet::new(
-                EtId(i),
-                SiteId(1),
-                vec![ObjectOp::new(
-                    ObjectId(i % OBJECTS),
-                    Operation::TimestampedWrite(
-                        VersionTs::new(i + 1, ClientId(0)),
-                        Value::Int(i as i64),
-                    ),
-                )],
-            )
+            let ops = (0..OPS_PER_MSET)
+                .map(|j| {
+                    ObjectOp::new(
+                        object_for(i, j),
+                        Operation::TimestampedWrite(
+                            VersionTs::new(i + 1, ClientId(0)),
+                            Value::Int(i as i64),
+                        ),
+                    )
+                })
+                .collect();
+            MSet::new(EtId(i), SiteId(1), ops)
         })
         .collect()
 }
 
 fn bench_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("apply_path");
-    group.throughput(criterion::Throughput::Elements(N));
+    group.throughput(criterion::Throughput::Elements(N * OPS_PER_MSET));
 
     group.bench_function(BenchmarkId::new("deliver", "ORDUP-inorder"), |b| {
         let msets: Vec<MSet> = inc_msets()
@@ -127,6 +154,84 @@ fn bench_apply(c: &mut Criterion) {
                 s.deliver(black_box(m.clone()));
             }
             // Commit everything so the log drains like a healthy run.
+            for i in 0..N {
+                s.commit(EtId(i));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "ORDUP-inorder"), |b| {
+        let msets: Vec<MSet> = inc_msets()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.sequenced(SeqNo(i as u64)))
+            .collect();
+        b.iter(|| {
+            let mut s = OrdupSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "ORDUP-reversed"), |b| {
+        let mut msets: Vec<MSet> = inc_msets()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.sequenced(SeqNo(i as u64)))
+            .collect();
+        msets.reverse();
+        b.iter(|| {
+            let mut s = OrdupSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "COMMU"), |b| {
+        let msets = inc_msets();
+        b.iter(|| {
+            let mut s = CommuSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "RITU-lww"), |b| {
+        let msets = tw_msets();
+        b.iter(|| {
+            let mut s = RituOverwriteSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "RITU-mv"), |b| {
+        let msets = tw_msets();
+        b.iter(|| {
+            let mut s = RituMvSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
+            black_box(s.applied())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("deliver_batch", "COMPE"), |b| {
+        let msets = inc_msets();
+        b.iter(|| {
+            let mut s = CompeSite::new(SiteId(0));
+            for chunk in msets.chunks(BATCH) {
+                s.deliver_batch(black_box(chunk.to_vec()));
+            }
             for i in 0..N {
                 s.commit(EtId(i));
             }

@@ -82,13 +82,20 @@ impl DeviationTracker {
     }
 
     /// Registers an in-flight update: its write operations and targets.
-    pub fn begin(&mut self, et: EtId, writes: impl IntoIterator<Item = (ObjectId, Operation)>) {
+    /// Accepts owned or borrowed operations — callers on the delivery
+    /// path hand references and avoid cloning.
+    pub fn begin<B: std::borrow::Borrow<Operation>>(
+        &mut self,
+        et: EtId,
+        writes: impl IntoIterator<Item = (ObjectId, B)>,
+    ) {
         let mut contributions = Vec::new();
         for (object, op) in writes {
+            let op = op.borrow();
             if !op.is_write() {
                 continue;
             }
-            let dev = worst_case_deviation(&op);
+            let dev = worst_case_deviation(op);
             let p = self.pending.entry(object).or_default();
             p.operations += 1;
             p.deviation = p.deviation.saturating_add(dev);

@@ -115,6 +115,9 @@ impl SiteImpl {
     fn deliver(&mut self, mset: MSet) {
         dispatch!(self, s => s.deliver(mset))
     }
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        dispatch!(self, s => s.deliver_batch(msets))
+    }
     fn query(&mut self, read_set: &[ObjectId], c: &mut InconsistencyCounter) -> QueryOutcome {
         dispatch!(self, s => s.query(read_set, c))
     }
@@ -463,27 +466,17 @@ impl SimCluster {
                 } else {
                     self.net.plan_send(origin, coordinator, now)[0].at
                 };
+                let mut deliveries: Vec<(VirtualTime, SiteId)> = Vec::new();
                 for to in self.site_ids() {
                     if to == coordinator {
-                        self.sched.schedule_at(
-                            stamped_at,
-                            Event::Deliver {
-                                to,
-                                mset: mset.clone(),
-                            },
-                        );
+                        deliveries.push((stamped_at, to));
                     } else {
                         for d in self.net.plan_send(coordinator, to, stamped_at) {
-                            self.sched.schedule_at(
-                                d.at,
-                                Event::Deliver {
-                                    to,
-                                    mset: mset.clone(),
-                                },
-                            );
+                            deliveries.push((d.at, to));
                         }
                     }
                 }
+                self.schedule_deliveries(deliveries, mset);
             }
             Method::OrdupLamport => {
                 let ts = self.send_clocks[origin.raw() as usize].tick();
@@ -513,7 +506,7 @@ impl SimCluster {
             .collect();
         self.global_counters.begin_update(et, write_set);
         self.deviation
-            .begin(et, ops.iter().map(|o| (o.object, o.op.clone())));
+            .begin(et, ops.iter().map(|o| (o.object, &o.op)));
         self.submissions.insert(
             et,
             Submission {
@@ -594,7 +587,7 @@ impl SimCluster {
             .collect();
         self.global_counters.begin_update(et, write_set);
         self.deviation
-            .begin(et, ops.iter().map(|o| (o.object, o.op.clone())));
+            .begin(et, ops.iter().map(|o| (o.object, &o.op)));
         self.submissions.insert(
             et,
             Submission {
@@ -635,26 +628,33 @@ impl SimCluster {
     /// bandwidth-limited links charge serialization delay and congest.
     fn broadcast_from(&mut self, origin: SiteId, at: VirtualTime, mset: MSet) {
         let bytes = mset.wire_size();
+        let mut deliveries: Vec<(VirtualTime, SiteId)> = Vec::new();
         for to in self.site_ids() {
             if to == origin {
-                self.sched.schedule_at(
-                    at,
-                    Event::Deliver {
-                        to,
-                        mset: mset.clone(),
-                    },
-                );
+                deliveries.push((at, to));
             } else {
                 for d in self.net.plan_send_sized(origin, to, at, bytes) {
-                    self.sched.schedule_at(
-                        d.at,
-                        Event::Deliver {
-                            to,
-                            mset: mset.clone(),
-                        },
-                    );
+                    deliveries.push((d.at, to));
                 }
             }
+        }
+        self.schedule_deliveries(deliveries, mset);
+    }
+
+    /// Schedules one `Deliver` per planned `(time, site)` pair, cloning
+    /// the MSet for all but the last — the payload moves into the final
+    /// event instead of being cloned once per destination and dropped at
+    /// the end.
+    fn schedule_deliveries(&mut self, deliveries: Vec<(VirtualTime, SiteId)>, mset: MSet) {
+        let n = deliveries.len();
+        let mut mset = Some(mset);
+        for (i, (at, to)) in deliveries.into_iter().enumerate() {
+            let m = if i + 1 == n {
+                mset.take().expect("one payload per delivery run")
+            } else {
+                mset.as_ref().expect("payload lives until the last delivery").clone()
+            };
+            self.sched.schedule_at(at, Event::Deliver { to, mset: m });
         }
     }
 
@@ -667,9 +667,8 @@ impl SimCluster {
 
     fn handle(&mut self, now: VirtualTime, event: Event) {
         match &event {
-            Event::Deliver { to, mset } => {
-                self.trace
-                    .record(now, &format!("site/{}", to.raw()), format!("deliver {mset}"));
+            Event::Deliver { .. } => {
+                // Traced per MSet inside the batch drain below.
             }
             Event::Ack { et, from } => {
                 self.trace
@@ -694,19 +693,43 @@ impl SimCluster {
         }
         match event {
             Event::Deliver { to, mset } => {
-                let already = self.site(to).has_applied(mset.et);
-                if let SiteImpl::OrdupLamport(_) = self.site(to) {
-                    if let crate::mset::OrderTag::Lamport { ts, .. } = mset.order {
-                        self.send_clocks[to.raw() as usize].observe(ts);
+                // Drain every further delivery bound for this site at
+                // this same instant: consecutive same-time deliveries at
+                // the queue head become ONE deliver_batch call, letting
+                // the method's batch fast path coalesce work. Stopping
+                // at the first non-matching event preserves the global
+                // event order for everything else.
+                let mut batch = vec![mset];
+                while let Some((_, extra)) = self.sched.next_event_if(|at, e| {
+                    at == now && matches!(e, Event::Deliver { to: t, .. } if *t == to)
+                }) {
+                    let Event::Deliver { mset, .. } = extra else {
+                        unreachable!("predicate admits only deliveries");
+                    };
+                    batch.push(mset);
+                }
+                let lamport = matches!(self.site(to), SiteImpl::OrdupLamport(_));
+                for m in &batch {
+                    self.trace
+                        .record(now, &format!("site/{}", to.raw()), format!("deliver {m}"));
+                    if lamport {
+                        if let crate::mset::OrderTag::Lamport { ts, .. } = m.order {
+                            self.send_clocks[to.raw() as usize].observe(ts);
+                        }
                     }
                 }
-                self.site_mut(to).deliver(mset);
-                let _ = already;
+                if batch.len() == 1 {
+                    let single = batch.pop().expect("batch holds the popped event");
+                    self.site_mut(to).deliver(single);
+                } else {
+                    self.site_mut(to).deliver_batch(batch);
+                }
                 if self.tracks_completion() {
                     // A delivery can apply several held-back MSets at
-                    // once (ORDUP drains its hold-back queue), so scan
-                    // for everything newly applied at this site and ack
-                    // each back to its coordinator (the origin site).
+                    // once (ORDUP drains its hold-back queue, a batch
+                    // applies many), so scan for everything newly applied
+                    // at this site and ack each back to its coordinator
+                    // (the origin site).
                     let newly_applied: Vec<(EtId, SiteId)> = self
                         .submissions
                         .iter()

@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 
 use esr_core::divergence::{InconsistencyCounter, LockCounters};
 use esr_core::ids::{EtId, ObjectId, SiteId};
+use esr_core::op::Operation;
 use esr_core::value::Value;
+use esr_storage::shard::FastIdMap;
 use esr_storage::store::ObjectStore;
 
 use crate::mset::MSet;
@@ -34,7 +36,7 @@ pub struct CommuSite {
     store: ObjectStore,
     counters: LockCounters,
     /// ETs applied at this site (for duplicate suppression).
-    applied_ets: BTreeMap<EtId, ()>,
+    applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
 }
 
@@ -45,7 +47,7 @@ impl CommuSite {
             site,
             store: ObjectStore::new(),
             counters: LockCounters::new(),
-            applied_ets: BTreeMap::new(),
+            applied_ets: FastIdMap::default(),
             applied: 0,
         }
     }
@@ -104,6 +106,62 @@ impl ReplicaSite for CommuSite {
         self.counters.begin_update(mset.et, mset.write_set());
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
+    }
+
+    /// Batch fast path: commuting operations are folded per object
+    /// before the store is touched. A per-object accumulator streams the
+    /// batch in delivery order — N `Incr`s on one object become one net
+    /// `Incr` held in the accumulator (the greedy adjacent fold of
+    /// `coalesce_ops`, applied per object's subsequence); a non-foldable
+    /// successor flushes the pending op to the store first, preserving
+    /// per-object order. The drain then touches each object's slot once
+    /// per batch instead of once per operation. Lock-counter bookkeeping
+    /// is registered in bulk through [`LockCounters::begin_updates`].
+    ///
+    /// Equivalence: COMMU admits reordering *across* MSets by
+    /// definition, and the store's per-op effects are confined to
+    /// `op.object`, so regrouping by object is exact; per-object order
+    /// is kept for the non-commuting pairs an MSet may legally carry
+    /// internally. Lock-counter bookkeeping stays per MSet.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        use std::collections::hash_map::Entry;
+        let mut acc: FastIdMap<ObjectId, Operation> = FastIdMap::default();
+        let mut regs: Vec<(EtId, Vec<ObjectId>)> = Vec::new();
+        for mset in &msets {
+            if self.applied_ets.contains_key(&mset.et) {
+                continue; // duplicate (earlier delivery or earlier in batch)
+            }
+            regs.push((mset.et, mset.write_set_vec()));
+            for op in &mset.ops {
+                if matches!(op.op, Operation::Read) {
+                    continue;
+                }
+                match acc.entry(op.object) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(op.op.clone());
+                    }
+                    Entry::Occupied(mut slot) => match slot.get().fold_with(&op.op) {
+                        Some(folded) => {
+                            slot.insert(folded);
+                        }
+                        None => {
+                            let prev = slot.insert(op.op.clone());
+                            self.store
+                                .apply_op_run(op.object, std::iter::once(&prev))
+                                .expect("commutative MSet must apply cleanly");
+                        }
+                    },
+                }
+            }
+            self.applied_ets.insert(mset.et, ());
+            self.applied += 1;
+        }
+        self.counters.begin_updates(regs);
+        for (object, op) in acc {
+            self.store
+                .apply_op_run(object, std::iter::once(&op))
+                .expect("commutative MSet must apply cleanly");
+        }
     }
 
     fn has_applied(&self, et: EtId) -> bool {

@@ -122,6 +122,23 @@ impl CompeSite {
         self.compensations += 1;
         Some(report)
     }
+
+    /// Applies and logs a buffered run of at-risk MSets in one
+    /// [`RecoveryLog::apply_msets`] call (reserving log storage once),
+    /// keeping one record per ET so individual aborts stay
+    /// compensatable.
+    fn flush_at_risk(&mut self, run: &mut Vec<MSet>) {
+        if run.is_empty() {
+            return;
+        }
+        self.log
+            .apply_msets(
+                &mut self.store,
+                run.iter().map(|m| (m.et, m.ops.as_slice())),
+            )
+            .expect("optimistic MSet must apply cleanly");
+        run.clear();
+    }
 }
 
 impl ReplicaSite for CompeSite {
@@ -154,6 +171,39 @@ impl ReplicaSite for CompeSite {
             }
             Some(_) => {} // duplicate, or an abort that arrived first
         }
+    }
+
+    /// Batch fast path: consecutive at-risk MSets are logged and applied
+    /// through one batch-wise recovery-log call. The log keeps one
+    /// record per ET (aborts target individual ETs) and before-images
+    /// are recorded in exact delivery order — a commit-pending MSet in
+    /// the middle of the batch flushes the buffered run first so the
+    /// log's history stays faithful.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        let mut run: Vec<MSet> = Vec::new();
+        for mset in msets {
+            match self.seen.get(&mset.et) {
+                None => {
+                    self.seen.insert(mset.et, Disposition::AtRisk);
+                    self.applied += 1;
+                    run.push(mset);
+                }
+                Some(Disposition::CommitPending) => {
+                    // Keep store/log application order identical to
+                    // sequential delivery.
+                    self.flush_at_risk(&mut run);
+                    for op in &mset.ops {
+                        self.store
+                            .apply(op)
+                            .expect("committed MSet must apply cleanly");
+                    }
+                    self.seen.insert(mset.et, Disposition::Committed);
+                    self.applied += 1;
+                }
+                Some(_) => {} // duplicate, or an abort that arrived first
+            }
+        }
+        self.flush_at_risk(&mut run);
     }
 
     fn has_applied(&self, et: EtId) -> bool {

@@ -31,6 +31,8 @@ use esr_core::ids::{LamportTs, ObjectId, SeqNo, SiteId};
 use esr_core::value::Value;
 use esr_storage::store::ObjectStore;
 
+use esr_storage::shard::FastIdSet;
+
 use crate::mset::{MSet, OrderTag};
 use crate::site::{QueryOutcome, ReplicaSite};
 
@@ -44,7 +46,7 @@ pub struct OrdupSite {
     /// Delivered MSets waiting for their predecessors.
     holdback: BTreeMap<SeqNo, MSet>,
     /// ETs whose MSets have been applied.
-    applied_ets: std::collections::BTreeSet<esr_core::ids::EtId>,
+    applied_ets: FastIdSet<esr_core::ids::EtId>,
     /// Total MSets applied (for reporting).
     applied: u64,
 }
@@ -57,7 +59,7 @@ impl OrdupSite {
             store: ObjectStore::new(),
             next_seq: SeqNo::ZERO,
             holdback: BTreeMap::new(),
-            applied_ets: std::collections::BTreeSet::new(),
+            applied_ets: FastIdSet::default(),
             applied: 0,
         }
     }
@@ -88,16 +90,22 @@ impl OrdupSite {
         horizon.raw().saturating_sub(self.next_seq.raw())
     }
 
+    /// Applies `mset` assuming it carries exactly `next_seq` — the dense
+    /// in-order hot path, which never touches the hold-back map.
+    fn apply_next(&mut self, mset: MSet) {
+        for op in &mset.ops {
+            self.store
+                .apply(op)
+                .expect("update MSet must apply cleanly at every replica");
+        }
+        self.applied_ets.insert(mset.et);
+        self.next_seq = self.next_seq.next();
+        self.applied += 1;
+    }
+
     fn drain(&mut self) {
         while let Some(mset) = self.holdback.remove(&self.next_seq) {
-            for op in &mset.ops {
-                self.store
-                    .apply(op)
-                    .expect("update MSet must apply cleanly at every replica");
-            }
-            self.applied_ets.insert(mset.et);
-            self.next_seq = self.next_seq.next();
-            self.applied += 1;
+            self.apply_next(mset);
         }
     }
 }
@@ -118,8 +126,38 @@ impl ReplicaSite for OrdupSite {
         if seq < self.next_seq {
             return; // duplicate of an already-applied MSet
         }
-        self.holdback.entry(seq).or_insert(mset);
-        self.drain();
+        if seq == self.next_seq {
+            self.apply_next(mset);
+            if !self.holdback.is_empty() {
+                self.drain(); // this was a gap-filler: successors may unblock
+            }
+        } else {
+            self.holdback.entry(seq).or_insert(mset);
+        }
+    }
+
+    /// Batch fast path: the dense in-order prefix of the batch is applied
+    /// inline (no hold-back traffic at all); only MSets arriving ahead of
+    /// a gap are parked, and each gap-filler drains whatever it unblocks.
+    /// The sequence numbers are consumed in exactly the dense order the
+    /// one-at-a-time path would consume them.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        for mset in msets {
+            let OrderTag::Sequenced(seq) = mset.order else {
+                panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
+            };
+            if seq < self.next_seq {
+                continue; // duplicate of an already-applied MSet
+            }
+            if seq == self.next_seq {
+                self.apply_next(mset);
+                if !self.holdback.is_empty() {
+                    self.drain();
+                }
+            } else {
+                self.holdback.entry(seq).or_insert(mset);
+            }
+        }
     }
 
     fn has_applied(&self, et: esr_core::ids::EtId) -> bool {
@@ -172,7 +210,7 @@ pub struct OrdupLamportSite {
     last_seen: BTreeMap<SiteId, LamportTs>,
     /// Timestamp-ordered hold-back of reassembled MSets.
     holdback: BTreeMap<LamportTs, MSet>,
-    applied_ets: std::collections::BTreeSet<esr_core::ids::EtId>,
+    applied_ets: FastIdSet<esr_core::ids::EtId>,
     applied: u64,
 }
 
@@ -187,7 +225,7 @@ impl OrdupLamportSite {
             fifo_buffer: BTreeMap::new(),
             last_seen: BTreeMap::new(),
             holdback: BTreeMap::new(),
-            applied_ets: std::collections::BTreeSet::new(),
+            applied_ets: FastIdSet::default(),
             applied: 0,
         }
     }
@@ -207,6 +245,38 @@ impl OrdupLamportSite {
             *e = ts;
         }
         self.drain_stable();
+    }
+
+    /// FIFO-reassembles one delivered MSet into the timestamp hold-back
+    /// without draining — the shared front half of [`ReplicaSite::deliver`]
+    /// and [`ReplicaSite::deliver_batch`].
+    fn ingest(&mut self, mset: MSet) {
+        let OrderTag::Lamport { ts, fifo } = mset.order else {
+            panic!("ORDUP-Lamport site received non-Lamport MSet {mset}");
+        };
+        let origin = mset.origin;
+        let next = self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
+        if fifo < *next {
+            return; // duplicate
+        }
+        self.fifo_buffer.entry((origin, fifo)).or_insert(mset);
+        // Reassemble this origin's FIFO order.
+        while let Some(m) = self
+            .fifo_buffer
+            .remove(&(origin, *self.fifo_next.get(&origin).expect("inserted above")))
+        {
+            let OrderTag::Lamport { ts: mts, .. } = m.order else {
+                unreachable!("buffered MSets are Lamport-tagged");
+            };
+            let next = self.fifo_next.get_mut(&origin).expect("inserted above");
+            *next = next.next();
+            let seen = self.last_seen.entry(origin).or_insert(mts);
+            if mts > *seen {
+                *seen = mts;
+            }
+            self.holdback.insert(mts, m);
+        }
+        let _ = ts;
     }
 
     fn stable_horizon(&self) -> Option<LamportTs> {
@@ -250,32 +320,18 @@ impl ReplicaSite for OrdupLamportSite {
     }
 
     fn deliver(&mut self, mset: MSet) {
-        let OrderTag::Lamport { ts, fifo } = mset.order else {
-            panic!("ORDUP-Lamport site received non-Lamport MSet {mset}");
-        };
-        let origin = mset.origin;
-        let next = self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
-        if fifo < *next {
-            return; // duplicate
+        self.ingest(mset);
+        self.drain_stable();
+    }
+
+    /// Batch fast path: ingest (FIFO-reassemble) every MSet first, then
+    /// run stability once. Ingestion only ever *raises* the stable
+    /// horizon, so a single drain at the end applies exactly the MSets
+    /// the per-delivery drains would have, in the same timestamp order.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        for mset in msets {
+            self.ingest(mset);
         }
-        self.fifo_buffer.entry((origin, fifo)).or_insert(mset);
-        // Reassemble this origin's FIFO order.
-        while let Some(m) = self
-            .fifo_buffer
-            .remove(&(origin, *self.fifo_next.get(&origin).expect("inserted above")))
-        {
-            let OrderTag::Lamport { ts: mts, .. } = m.order else {
-                unreachable!("buffered MSets are Lamport-tagged");
-            };
-            let next = self.fifo_next.get_mut(&origin).expect("inserted above");
-            *next = next.next();
-            let seen = self.last_seen.entry(origin).or_insert(mts);
-            if mts > *seen {
-                *seen = mts;
-            }
-            self.holdback.insert(mts, m);
-        }
-        let _ = ts;
         self.drain_stable();
     }
 

@@ -15,6 +15,7 @@
 //!   query whose budget is exhausted falls back to the stable VTNC
 //!   version instead of being rejected.
 
+use std::collections::hash_map::Entry;
 use std::collections::BTreeMap;
 
 use esr_core::divergence::{InconsistencyCounter, LockCounters};
@@ -22,6 +23,7 @@ use esr_core::ids::{EtId, ObjectId, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_core::value::Value;
 use esr_storage::mvstore::MvStore;
+use esr_storage::shard::FastIdMap;
 use esr_storage::store::LwwStore;
 
 use crate::mset::MSet;
@@ -33,7 +35,7 @@ pub struct RituOverwriteSite {
     site: SiteId,
     store: LwwStore,
     counters: LockCounters,
-    applied_ets: BTreeMap<EtId, ()>,
+    applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
 }
 
@@ -44,7 +46,7 @@ impl RituOverwriteSite {
             site,
             store: LwwStore::new(),
             counters: LockCounters::new(),
-            applied_ets: BTreeMap::new(),
+            applied_ets: FastIdMap::default(),
             applied: 0,
         }
     }
@@ -90,6 +92,58 @@ impl ReplicaSite for RituOverwriteSite {
         self.applied += 1;
     }
 
+    /// Batch fast path: the batch's timestamped writes are reduced to
+    /// the maximum-version write per object before the store is touched,
+    /// so each object is arbitrated once per batch instead of once per
+    /// write. Exact because LWW arbitration is an idempotent,
+    /// commutative max — any application order, including pre-reduction,
+    /// converges to the same (version, value) pair. Lock-counter
+    /// bookkeeping stays per MSet.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        // Reduce the batch to the max-version write per object *by
+        // reference* — values are cloned only for the winners that
+        // actually reach the store, one per object instead of one per
+        // write. Within-batch ties keep the earlier write, matching the
+        // strict-`>` arbitration of the one-at-a-time path.
+        let mut best: FastIdMap<ObjectId, (VersionTs, &Value)> = FastIdMap::default();
+        let mut regs: Vec<(EtId, Vec<ObjectId>)> = Vec::new();
+        let mut fresh: Vec<bool> = Vec::with_capacity(msets.len());
+        for mset in &msets {
+            let new = !self.applied_ets.contains_key(&mset.et);
+            fresh.push(new);
+            if !new {
+                continue; // duplicate (earlier delivery or earlier in batch)
+            }
+            regs.push((mset.et, mset.write_set_vec()));
+            self.applied_ets.insert(mset.et, ());
+            self.applied += 1;
+        }
+        for (mset, _) in msets.iter().zip(&fresh).filter(|(_, f)| **f) {
+            for op in &mset.ops {
+                debug_assert!(
+                    matches!(op.op, Operation::TimestampedWrite(_, _) | Operation::Read),
+                    "RITU MSets carry only timestamped writes, got {op}"
+                );
+                if let Operation::TimestampedWrite(ts, v) = &op.op {
+                    match best.entry(op.object) {
+                        Entry::Occupied(mut slot) => {
+                            if *ts > slot.get().0 {
+                                slot.insert((*ts, v));
+                            }
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert((*ts, v));
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.begin_updates(regs);
+        for (object, (ts, value)) in best {
+            self.store.apply_timestamped(object, ts, value.clone());
+        }
+    }
+
     fn has_applied(&self, et: EtId) -> bool {
         self.applied_ets.contains_key(&et)
     }
@@ -124,7 +178,7 @@ impl ReplicaSite for RituOverwriteSite {
 pub struct RituMvSite {
     site: SiteId,
     store: MvStore,
-    applied_ets: BTreeMap<EtId, ()>,
+    applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
 }
 
@@ -134,7 +188,7 @@ impl RituMvSite {
         Self {
             site,
             store: MvStore::new(),
-            applied_ets: BTreeMap::new(),
+            applied_ets: FastIdMap::default(),
             applied: 0,
         }
     }
@@ -192,6 +246,40 @@ impl ReplicaSite for RituMvSite {
         }
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
+    }
+
+    /// Batch fast path: the batch's installs are grouped by object so
+    /// each object's version chain is located once per batch. Installs
+    /// are keyed by version timestamp and idempotent, so regrouping is
+    /// exact. The VTNC is untouched — visibility advances arrive as
+    /// separate certification messages.
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        // Installs are bucketed per object in arrival order — no sort,
+        // and per-object order is preserved, so duplicate-timestamp
+        // resolution stays deterministic (first install of a timestamp
+        // wins, as in the one-at-a-time path).
+        let mut groups: FastIdMap<ObjectId, Vec<(VersionTs, Value)>> = FastIdMap::default();
+        for mset in msets {
+            if self.applied_ets.contains_key(&mset.et) {
+                continue; // duplicate (earlier delivery or earlier in batch)
+            }
+            for op in mset.ops {
+                match op.op {
+                    Operation::TimestampedWrite(ts, v) => {
+                        groups.entry(op.object).or_default().push((ts, v));
+                    }
+                    Operation::Read => {}
+                    other => panic!("RITU-MV MSet carries non-timestamped write {other}"),
+                }
+            }
+            self.applied_ets.insert(mset.et, ());
+            self.applied += 1;
+        }
+        self.store.install_batch(
+            groups
+                .into_iter()
+                .flat_map(|(object, vs)| vs.into_iter().map(move |(ts, v)| (object, ts, v))),
+        );
     }
 
     fn has_applied(&self, et: EtId) -> bool {

@@ -1,0 +1,281 @@
+//! Batch/single delivery equivalence properties.
+//!
+//! For every replica control method, `deliver_batch` is an optimization,
+//! not a semantic change: partitioning an MSet stream into *any* sequence
+//! of batches must leave a site in exactly the state one-at-a-time
+//! delivery produces. The properties below drive a batched site and a
+//! sequential site through the same randomized stream (shuffles,
+//! duplicates, gaps) under a random partition, and after **every** chunk
+//! compare the full observable state: the store snapshot, the hold-back
+//! backlog, and `has_applied` for every ET. The `has_applied` check is
+//! what makes the cluster-level divergence metrics line up — both
+//! `divergent_updates` and `missing_updates` are functions of the
+//! submission table and per-site `has_applied` alone, so agreement here
+//! is agreement there for any read set.
+
+use esr_core::ids::{ClientId, EtId, LamportTs, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::commu::CommuSite;
+use esr_replica::compe::CompeSite;
+use esr_replica::mset::MSet;
+use esr_replica::ordup::{OrdupLamportSite, OrdupSite};
+use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
+use esr_replica::site::ReplicaSite;
+use proptest::prelude::*;
+
+/// Deterministic generator for stream shaping (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.below(i as u64 + 1) as usize);
+        }
+    }
+
+    /// Appends duplicates of ~25% of the stream's elements at random
+    /// positions — redelivery is normal under at-least-once transport
+    /// and both paths must suppress it identically.
+    fn sprinkle_duplicates(&mut self, stream: &mut Vec<MSet>) {
+        for _ in 0..stream.len() / 4 {
+            let src = self.below(stream.len() as u64) as usize;
+            let dup = stream[src].clone();
+            let at = self.below(stream.len() as u64 + 1) as usize;
+            stream.insert(at, dup);
+        }
+    }
+
+    /// Cuts `n` items into random contiguous chunks (some possibly
+    /// empty is fine — an empty batch must be a no-op).
+    fn cuts(&mut self, n: usize) -> Vec<usize> {
+        let mut cuts = vec![0, n];
+        for _ in 0..self.below(6) {
+            cuts.push(self.below(n as u64 + 1) as usize);
+        }
+        cuts.sort_unstable();
+        cuts
+    }
+
+    /// A mixed op on an integer-valued object: additive and
+    /// multiplicative families plus blind overwrites, so streams carry
+    /// both foldable runs and fold boundaries for the coalescers.
+    fn int_op(&mut self) -> Operation {
+        match self.below(5) {
+            0 => Operation::Incr(self.below(9) as i64 - 4),
+            1 => Operation::Decr(self.below(5) as i64),
+            2 => Operation::MulBy(1 + self.below(3) as i64),
+            3 => Operation::Write(Value::Int(self.below(100) as i64)),
+            _ => Operation::Read,
+        }
+    }
+
+    fn int_mset(&mut self, et: u64, objects: u64) -> MSet {
+        let ops = (0..1 + self.below(4))
+            .map(|_| ObjectOp::new(ObjectId(self.below(objects)), self.int_op()))
+            .collect();
+        MSet::new(EtId(et), SiteId(9), ops)
+    }
+
+    fn tw_mset(&mut self, et: u64, objects: u64) -> MSet {
+        let ops = (0..1 + self.below(4))
+            .map(|_| {
+                ObjectOp::new(
+                    ObjectId(self.below(objects)),
+                    Operation::TimestampedWrite(
+                        VersionTs::new(self.below(40), ClientId(self.below(3))),
+                        Value::Int(et as i64),
+                    ),
+                )
+            })
+            .collect();
+        MSet::new(EtId(et), SiteId(9), ops)
+    }
+}
+
+/// Drives `single` one MSet at a time and `batched` through
+/// `deliver_batch` chunks of the same stream, asserting observable
+/// equality at every chunk boundary.
+fn assert_equivalent<S: ReplicaSite>(
+    mut single: S,
+    mut batched: S,
+    stream: &[MSet],
+    cuts: &[usize],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let all_ets: Vec<EtId> = stream.iter().map(|m| m.et).collect();
+    for w in cuts.windows(2) {
+        let chunk = &stream[w[0]..w[1]];
+        for m in chunk {
+            single.deliver(m.clone());
+        }
+        batched.deliver_batch(chunk.to_vec());
+        prop_assert_eq!(single.snapshot(), batched.snapshot());
+        prop_assert_eq!(single.backlog(), batched.backlog());
+        for &et in &all_ets {
+            prop_assert_eq!(
+                single.has_applied(et),
+                batched.has_applied(et),
+                "has_applied({:?}) diverged after chunk {}..{}",
+                et,
+                w[0],
+                w[1]
+            );
+        }
+    }
+    Ok(())
+}
+
+const OBJECTS: u64 = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ordup_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..40) {
+        let mut g = Gen(seed);
+        let mut stream: Vec<MSet> = (0..n as u64)
+            .map(|i| g.int_mset(i, OBJECTS).sequenced(SeqNo(i)))
+            .collect();
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        assert_equivalent(
+            OrdupSite::new(SiteId(0)),
+            OrdupSite::new(SiteId(1)),
+            &stream,
+            &cuts,
+        )?;
+    }
+
+    #[test]
+    fn ordup_lamport_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..20) {
+        let mut g = Gen(seed);
+        let origins = [SiteId(0), SiteId(1)];
+        // Each origin emits a FIFO run with strictly increasing Lamport
+        // timestamps; interleaving across origins is then shuffled.
+        let mut stream: Vec<MSet> = Vec::new();
+        for (o, &origin) in origins.iter().enumerate() {
+            for f in 0..n as u64 {
+                let et = (o as u64) * 10_000 + f;
+                let ts = LamportTs::new(1 + f * 2 + g.below(2), origin);
+                let mut m = g.int_mset(et, OBJECTS);
+                m.origin = origin;
+                stream.push(m.lamport(ts, SeqNo(f)));
+            }
+        }
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        assert_equivalent(
+            OrdupLamportSite::new(SiteId(7), origins.to_vec()),
+            OrdupLamportSite::new(SiteId(8), origins.to_vec()),
+            &stream,
+            &cuts,
+        )?;
+    }
+
+    #[test]
+    fn commu_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..40) {
+        let mut g = Gen(seed);
+        let mut stream: Vec<MSet> = (0..n as u64).map(|i| g.int_mset(i, OBJECTS)).collect();
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        assert_equivalent(
+            CommuSite::new(SiteId(0)),
+            CommuSite::new(SiteId(1)),
+            &stream,
+            &cuts,
+        )?;
+    }
+
+    #[test]
+    fn ritu_lww_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..40) {
+        let mut g = Gen(seed);
+        let mut stream: Vec<MSet> = (0..n as u64).map(|i| g.tw_mset(i, OBJECTS)).collect();
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        assert_equivalent(
+            RituOverwriteSite::new(SiteId(0)),
+            RituOverwriteSite::new(SiteId(1)),
+            &stream,
+            &cuts,
+        )?;
+    }
+
+    #[test]
+    fn ritu_mv_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..40) {
+        let mut g = Gen(seed);
+        let mut stream: Vec<MSet> = (0..n as u64).map(|i| g.tw_mset(i, OBJECTS)).collect();
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        assert_equivalent(
+            RituMvSite::new(SiteId(0)),
+            RituMvSite::new(SiteId(1)),
+            &stream,
+            &cuts,
+        )?;
+    }
+
+    #[test]
+    fn compe_batch_equivalence(seed in 0u64..u64::MAX, n in 1usize..30) {
+        let mut g = Gen(seed);
+        let mut stream: Vec<MSet> = (0..n as u64).map(|i| g.int_mset(i, OBJECTS)).collect();
+        g.shuffle(&mut stream);
+        g.sprinkle_duplicates(&mut stream);
+        let cuts = g.cuts(stream.len());
+        let mut single = CompeSite::new(SiteId(0));
+        let mut batched = CompeSite::new(SiteId(1));
+        // Some commit notices race ahead of their MSets: both paths
+        // must apply those directly as committed state.
+        for i in 0..n as u64 {
+            if g.below(5) == 0 {
+                single.commit(EtId(i));
+                batched.commit(EtId(i));
+            }
+        }
+        for w in cuts.windows(2) {
+            let chunk = &stream[w[0]..w[1]];
+            for m in chunk {
+                single.deliver(m.clone());
+            }
+            batched.deliver_batch(chunk.to_vec());
+            prop_assert_eq!(single.snapshot(), batched.snapshot());
+            prop_assert_eq!(single.at_risk(), batched.at_risk());
+        }
+        // Resolve every ET the same way on both sites: the surviving
+        // state and the compensation count must agree.
+        for i in 0..n as u64 {
+            if g.below(3) == 0 {
+                let a = single.abort(EtId(i));
+                let b = batched.abort(EtId(i));
+                prop_assert_eq!(a.is_some(), b.is_some());
+            } else {
+                single.commit(EtId(i));
+                batched.commit(EtId(i));
+            }
+        }
+        prop_assert_eq!(single.snapshot(), batched.snapshot());
+        prop_assert_eq!(single.at_risk(), 0);
+        prop_assert_eq!(batched.at_risk(), 0);
+        prop_assert_eq!(single.compensations(), batched.compensations());
+        for i in 0..n as u64 {
+            prop_assert_eq!(single.has_applied(EtId(i)), batched.has_applied(EtId(i)));
+        }
+    }
+}

@@ -64,6 +64,15 @@ impl SiteState {
             SiteState::Compe(s) => s.deliver(mset),
         }
     }
+    fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        match self {
+            SiteState::Ordup(s) => s.deliver_batch(msets),
+            SiteState::Commu(s) => s.deliver_batch(msets),
+            SiteState::Ritu(s) => s.deliver_batch(msets),
+            SiteState::RituMv(s) => s.deliver_batch(msets),
+            SiteState::Compe(s) => s.deliver_batch(msets),
+        }
+    }
     fn query(&mut self, rs: &[ObjectId], c: &mut InconsistencyCounter) -> QueryOutcome {
         match self {
             SiteState::Ordup(s) => s.query(rs, c),
@@ -244,23 +253,67 @@ impl Cluster {
                         RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
                         RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
                     };
-                    while let Ok(msg) = rx.recv() {
+                    // One message may be carried over from a drain that
+                    // stopped at a non-matching message.
+                    let mut carried: Option<SiteMsg> = None;
+                    loop {
+                        let msg = match carried.take() {
+                            Some(m) => m,
+                            None => match rx.recv() {
+                                Ok(m) => m,
+                                Err(_) => break,
+                            },
+                        };
                         match msg {
                             SiteMsg::Deliver(mset) => {
-                                let et = mset.et;
-                                let version = mset
-                                    .ops
-                                    .iter()
-                                    .filter_map(|o| match &o.op {
-                                        Operation::TimestampedWrite(ts, _) => Some(*ts),
-                                        _ => None,
-                                    })
-                                    .max();
-                                let before = state.has_applied(et);
-                                state.deliver(mset);
-                                if !before && state.has_applied(et) {
-                                    if let Some(t) = &tracker {
-                                        let _ = t.send(TrackerMsg::Applied { et, version });
+                                // Drain the run of deliveries already
+                                // queued behind this one so the site
+                                // absorbs them through the method's
+                                // batch fast path; the first
+                                // non-delivery stops the run and is
+                                // processed next, preserving order.
+                                let mut batch = vec![mset];
+                                loop {
+                                    match rx.try_recv() {
+                                        Ok(SiteMsg::Deliver(m)) => batch.push(m),
+                                        Ok(other) => {
+                                            carried = Some(other);
+                                            break;
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                                // ETs this batch may newly apply, deduped
+                                // in arrival order (a duplicate delivery
+                                // must not produce a second ack).
+                                let mut candidates: Vec<(EtId, Option<VersionTs>)> = Vec::new();
+                                for m in &batch {
+                                    if state.has_applied(m.et)
+                                        || candidates.iter().any(|(e, _)| *e == m.et)
+                                    {
+                                        continue;
+                                    }
+                                    let version = m
+                                        .ops
+                                        .iter()
+                                        .filter_map(|o| match &o.op {
+                                            Operation::TimestampedWrite(ts, _) => Some(*ts),
+                                            _ => None,
+                                        })
+                                        .max();
+                                    candidates.push((m.et, version));
+                                }
+                                if batch.len() == 1 {
+                                    let single = batch.pop().expect("single-element batch");
+                                    state.deliver(single);
+                                } else {
+                                    state.deliver_batch(batch);
+                                }
+                                if let Some(t) = &tracker {
+                                    for (et, version) in candidates {
+                                        if state.has_applied(et) {
+                                            let _ = t.send(TrackerMsg::Applied { et, version });
+                                        }
                                     }
                                 }
                             }
@@ -270,8 +323,23 @@ impl Cluster {
                                 _ => {}
                             },
                             SiteMsg::AdvanceVtnc(ts) => {
+                                // The horizon is monotone, so a queued
+                                // run of advances collapses to its max.
+                                let mut horizon = ts;
+                                loop {
+                                    match rx.try_recv() {
+                                        Ok(SiteMsg::AdvanceVtnc(t2)) => {
+                                            horizon = horizon.max(t2);
+                                        }
+                                        Ok(other) => {
+                                            carried = Some(other);
+                                            break;
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
                                 if let SiteState::RituMv(s) = &mut state {
-                                    s.advance_vtnc(ts);
+                                    s.advance_vtnc(horizon);
                                 }
                             }
                             SiteMsg::Commit(et) => {

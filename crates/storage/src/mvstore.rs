@@ -13,6 +13,8 @@ use std::collections::BTreeMap;
 use esr_core::ids::{ObjectId, VersionTs};
 use esr_core::value::Value;
 
+use crate::shard::ShardMap;
+
 /// A read served by the multiversion store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionedRead {
@@ -47,8 +49,10 @@ pub struct VersionedRead {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MvStore {
-    /// Per-object version chains, ordered by version timestamp.
-    chains: BTreeMap<ObjectId, BTreeMap<VersionTs, Value>>,
+    /// Per-object version chains, ordered by version timestamp. The
+    /// outer map is sharded (hot on the apply path); each chain stays a
+    /// `BTreeMap` because reads range-scan it by version.
+    chains: ShardMap<BTreeMap<VersionTs, Value>>,
     /// Visibility horizon: versions `<= vtnc` are stable.
     vtnc: VersionTs,
 }
@@ -56,7 +60,7 @@ pub struct MvStore {
 impl Default for MvStore {
     fn default() -> Self {
         Self {
-            chains: BTreeMap::new(),
+            chains: ShardMap::new(),
             vtnc: VersionTs::MIN,
         }
     }
@@ -91,13 +95,40 @@ impl MvStore {
             .or_insert(value);
     }
 
+    /// Installs a batch of versions grouped by object, so each object's
+    /// chain is located once per batch rather than once per write.
+    /// `installs` must be sorted (or at least grouped) by object for the
+    /// grouping to take effect; ungrouped input is still correct, just
+    /// not faster. Duplicate timestamps are ignored as in
+    /// [`MvStore::install`].
+    pub fn install_batch(
+        &mut self,
+        installs: impl IntoIterator<Item = (ObjectId, VersionTs, Value)>,
+    ) {
+        // Stream consecutive same-object runs straight into the chain —
+        // no intermediate per-run vectors; each run locates its chain
+        // exactly once.
+        let mut it = installs.into_iter().peekable();
+        while let Some((object, ts, value)) = it.next() {
+            let chain = self.chains.entry(object).or_default();
+            chain.entry(ts).or_insert(value);
+            while let Some(&(next, _, _)) = it.peek() {
+                if next != object {
+                    break;
+                }
+                let (_, ts, value) = it.next().expect("peeked");
+                chain.entry(ts).or_insert(value);
+            }
+        }
+    }
+
     /// COMPE support: removes the version installed at `ts`, as if the
     /// update never ran. Returns the removed value.
     pub fn remove_version(&mut self, object: ObjectId, ts: VersionTs) -> Option<Value> {
-        let chain = self.chains.get_mut(&object)?;
+        let chain = self.chains.get_mut(object)?;
         let removed = chain.remove(&ts);
         if chain.is_empty() {
-            self.chains.remove(&object);
+            self.chains.remove(object);
         }
         removed
     }
@@ -105,7 +136,7 @@ impl MvStore {
     /// COMPE's alternative compensation: overwrite the version at `ts`
     /// with the previous value, keeping the timestamp.
     pub fn replace_version(&mut self, object: ObjectId, ts: VersionTs, value: Value) -> bool {
-        match self.chains.get_mut(&object).and_then(|c| c.get_mut(&ts)) {
+        match self.chains.get_mut(object).and_then(|c| c.get_mut(&ts)) {
             Some(slot) => {
                 *slot = value;
                 true
@@ -125,7 +156,7 @@ impl MvStore {
     pub fn read_at(&self, object: ObjectId, horizon: VersionTs) -> VersionedRead {
         let found = self
             .chains
-            .get(&object)
+            .get(object)
             .and_then(|c| c.range(..=horizon).next_back())
             .map(|(ts, v)| (*ts, v.clone()));
         match found {
@@ -148,7 +179,7 @@ impl MvStore {
     pub fn read_latest(&self, object: ObjectId) -> VersionedRead {
         let found = self
             .chains
-            .get(&object)
+            .get(object)
             .and_then(|c| c.iter().next_back())
             .map(|(ts, v)| (*ts, v.clone()));
         match found {
@@ -167,13 +198,13 @@ impl MvStore {
 
     /// Number of versions held for `object`.
     pub fn version_count(&self, object: ObjectId) -> usize {
-        self.chains.get(&object).map_or(0, |c| c.len())
+        self.chains.get(object).map_or(0, |c| c.len())
     }
 
     /// All versions of `object`, oldest first.
     pub fn versions(&self, object: ObjectId) -> Vec<(VersionTs, Value)> {
         self.chains
-            .get(&object)
+            .get(object)
             .map(|c| c.iter().map(|(t, v)| (*t, v.clone())).collect())
             .unwrap_or_default()
     }
@@ -280,6 +311,27 @@ mod tests {
         }
         assert_eq!(a.snapshot_latest(), b.snapshot_latest());
         assert_eq!(a.versions(X), b.versions(X));
+    }
+
+    #[test]
+    fn install_batch_matches_sequential_installs() {
+        let y = ObjectId(1);
+        let batch = [
+            (X, vts(2), Value::Int(20)),
+            (X, vts(1), Value::Int(10)),
+            (y, vts(5), Value::Int(50)),
+            (X, vts(2), Value::Int(99)), // duplicate ts: ignored
+        ];
+        let mut seq = MvStore::new();
+        for (o, t, v) in batch.iter() {
+            seq.install(*o, *t, v.clone());
+        }
+        let mut batched = MvStore::new();
+        batched.install_batch(batch.iter().cloned());
+        assert_eq!(batched.snapshot_latest(), seq.snapshot_latest());
+        assert_eq!(batched.versions(X), seq.versions(X));
+        assert_eq!(batched.version_count(X), 2);
+        assert_eq!(batched.read_latest(y).value, Value::Int(50));
     }
 
     #[test]

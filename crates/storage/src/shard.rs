@@ -1,0 +1,219 @@
+//! N-way sharded hash maps for the hot per-object stores.
+//!
+//! The single-version and multiversion stores keep one entry per object
+//! on the apply path; a `BTreeMap` pays pointer-chasing and rebalancing
+//! per touch. [`ShardMap`] spreads objects over a fixed power-of-two
+//! number of `HashMap` shards selected by a Fibonacci hash of the object
+//! id — O(1) lookups now, and a layout that later PRs can lock per shard
+//! for concurrent apply. Deterministic iteration (tests, oracle checks,
+//! snapshots) is preserved by collecting into a `BTreeMap` at the
+//! snapshot boundary, never on the apply path.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use esr_core::ids::ObjectId;
+
+/// log2 of the shard count.
+pub const SHARD_BITS: u32 = 4;
+/// Number of shards in every [`ShardMap`].
+pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// The shard an object maps to. Fibonacci hashing spreads the dense,
+/// small object ids workloads use across all shards.
+#[inline]
+pub fn shard_of(object: ObjectId) -> usize {
+    (object.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_BITS)) as usize
+}
+
+/// A multiply-xorshift hasher for the id-keyed accumulator maps on the
+/// batch apply path. Those maps hash every operation in a batch exactly
+/// once, so SipHash's per-call cost is measurable; ids are plain
+/// counters (already uniform after a Fibonacci multiply), so one
+/// multiply plus a shift mixes them fine. Not DoS-resistant — use only
+/// for transient internal maps, never for anything fed by a network
+/// peer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastIdHasher(u64);
+
+impl std::hash::Hasher for FastIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys (FNV-1a); id types hit the
+        // fixed-width paths below.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+/// `BuildHasher` for [`FastIdHasher`].
+pub type FastIdBuildHasher = std::hash::BuildHasherDefault<FastIdHasher>;
+
+/// A `HashMap` keyed by an id type, using [`FastIdHasher`].
+pub type FastIdMap<K, V> = HashMap<K, V, FastIdBuildHasher>;
+
+/// A `HashSet` keyed by an id type, using [`FastIdHasher`].
+pub type FastIdSet<K> = std::collections::HashSet<K, FastIdBuildHasher>;
+
+/// A fixed-fanout sharded map from [`ObjectId`] to `V`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap<V> {
+    shards: Vec<HashMap<ObjectId, V>>,
+}
+
+impl<V> Default for ShardMap<V> {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+impl<V> ShardMap<V> {
+    /// Creates an empty map with all [`SHARD_COUNT`] shards allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the value stored for `object`, if any.
+    #[inline]
+    pub fn get(&self, object: ObjectId) -> Option<&V> {
+        self.shards[shard_of(object)].get(&object)
+    }
+
+    /// Mutable lookup of the value stored for `object`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, object: ObjectId) -> Option<&mut V> {
+        self.shards[shard_of(object)].get_mut(&object)
+    }
+
+    /// Inserts a value for `object`, returning the previous one if any.
+    #[inline]
+    pub fn insert(&mut self, object: ObjectId, value: V) -> Option<V> {
+        self.shards[shard_of(object)].insert(object, value)
+    }
+
+    /// Removes and returns the value stored for `object`, if any.
+    #[inline]
+    pub fn remove(&mut self, object: ObjectId) -> Option<V> {
+        self.shards[shard_of(object)].remove(&object)
+    }
+
+    /// Entry API into the shard that owns `object`.
+    #[inline]
+    pub fn entry(&mut self, object: ObjectId) -> Entry<'_, ObjectId, V> {
+        self.shards[shard_of(object)].entry(object)
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Unordered iteration over all entries (apply-path use only; for
+    /// anything user-visible go through [`ShardMap::to_btree`]).
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &V)> {
+        self.shards.iter().flat_map(HashMap::iter)
+    }
+
+    /// Unordered mutable iteration over all values.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.shards.iter_mut().flat_map(HashMap::values_mut)
+    }
+
+    /// Deterministically ordered snapshot of all entries.
+    pub fn to_btree<U>(&self, mut f: impl FnMut(&V) -> U) -> BTreeMap<ObjectId, U> {
+        self.iter().map(|(k, v)| (*k, f(v))).collect()
+    }
+}
+
+impl<V> FromIterator<(ObjectId, V)> for ShardMap<V> {
+    fn from_iter<I: IntoIterator<Item = (ObjectId, V)>>(iter: I) -> Self {
+        let mut map = Self::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m = ShardMap::new();
+        for i in 0..100u64 {
+            assert_eq!(m.insert(ObjectId(i), i * 10), None);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(ObjectId(7)), Some(&70));
+        assert_eq!(m.insert(ObjectId(7), 71), Some(70));
+        assert_eq!(m.remove(ObjectId(7)), Some(71));
+        assert_eq!(m.get(ObjectId(7)), None);
+        assert_eq!(m.len(), 99);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn dense_ids_spread_over_shards() {
+        let mut hit = [false; SHARD_COUNT];
+        for i in 0..256u64 {
+            hit[shard_of(ObjectId(i))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all shards used by dense ids");
+    }
+
+    #[test]
+    fn to_btree_is_ordered_and_complete() {
+        let m: ShardMap<u64> = (0..50u64).rev().map(|i| (ObjectId(i), i)).collect();
+        let b = m.to_btree(|v| *v);
+        assert_eq!(b.len(), 50);
+        let keys: Vec<u64> = b.keys().map(|k| k.raw()).collect();
+        let sorted: Vec<u64> = (0..50).collect();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn fast_id_map_round_trips() {
+        let mut m: FastIdMap<ObjectId, u64> = FastIdMap::default();
+        for i in 0..1000u64 {
+            m.insert(ObjectId(i), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&ObjectId(123)), Some(&123));
+        let mut s: FastIdSet<ObjectId> = FastIdSet::default();
+        assert!(s.insert(ObjectId(1)));
+        assert!(!s.insert(ObjectId(1)));
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a: ShardMap<u64> = (0..20u64).map(|i| (ObjectId(i), i)).collect();
+        let b: ShardMap<u64> = (0..20u64).rev().map(|i| (ObjectId(i), i)).collect();
+        assert_eq!(a, b, "insertion order must not matter");
+    }
+}

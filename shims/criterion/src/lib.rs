@@ -1,0 +1,401 @@
+//! Offline shim for `criterion`.
+//!
+//! A compact wall-clock benchmark harness exposing the criterion API
+//! subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `throughput` /
+//! `sample_size` / `bench_function` / `bench_with_input`, and bencher
+//! `iter` / `iter_with_setup`. No statistics beyond best-of-N samples —
+//! adequate for tracking relative perf between code paths in one run.
+//!
+//! CLI (args after `cargo bench -- ...`):
+//! * `--test`    run every benchmark body once and skip measurement;
+//! * `--json [PATH]` write results as JSON (default `BENCH_<bin>.json`);
+//! * `--bench` (passed by cargo) and unknown flags are ignored;
+//! * any bare token is a substring filter on benchmark ids.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work accounted per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Runs the measured routine the harness-chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    ns_per_iter: f64,
+    per_sec: Option<(String, f64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+/// The harness entry point, constructed by `criterion_main!`.
+pub struct Criterion {
+    mode: Mode,
+    json_path: Option<String>,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            json_path: None,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn default_json_path() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    // Strip cargo's trailing `-<hash>` disambiguator if present.
+    let stem = match stem.rsplit_once('-') {
+        Some((head, tail))
+            if tail.len() >= 8 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            head.to_string()
+        }
+        _ => stem,
+    };
+    format!("BENCH_{stem}.json")
+}
+
+impl Criterion {
+    /// Builds a harness from the process CLI arguments.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => c.mode = Mode::TestOnce,
+                "--json" => {
+                    let path = match args.peek() {
+                        Some(next) if !next.starts_with('-') => args.next().unwrap(),
+                        _ => default_json_path(),
+                    };
+                    c.json_path = Some(path);
+                }
+                "--bench" => {}
+                other if other.starts_with('-') => {
+                    // Unknown flag (cargo/libtest compat): swallow a value
+                    // if one follows in `--flag value` form.
+                    if other.starts_with("--") && !other.contains('=') {
+                        if let Some(next) = args.peek() {
+                            if !next.starts_with('-') {
+                                args.next();
+                            }
+                        }
+                    }
+                }
+                filter => c.filter = Some(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, None, 10, f);
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.mode == Mode::TestOnce {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("Testing {id} ... ok");
+            return;
+        }
+
+        // Calibration pass: estimate per-iteration cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1);
+        // Aim for ~60ms per sample, bounded to keep total time sane.
+        let iters = (60_000_000u128 / per_iter).clamp(1, 5_000_000) as u64;
+
+        let samples = samples.clamp(2, 30);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+
+        let per_sec = throughput.map(|t| {
+            let (unit, count) = match t {
+                Throughput::Elements(n) => ("elem/s", n),
+                Throughput::Bytes(n) => ("B/s", n),
+            };
+            (unit.to_string(), count as f64 * 1e9 / best)
+        });
+        match &per_sec {
+            Some((unit, rate)) => println!(
+                "{id:<48} time: {best:>12.1} ns/iter  thrpt: {rate:>14.0} {unit}"
+            ),
+            None => println!("{id:<48} time: {best:>12.1} ns/iter"),
+        }
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: best,
+            per_sec,
+        });
+    }
+
+    /// Prints the run summary and writes the JSON report if requested.
+    pub fn final_summary(&mut self) {
+        if self.mode == Mode::TestOnce || self.results.is_empty() {
+            return;
+        }
+        if let Some(path) = &self.json_path {
+            let mut out = String::from("{\n  \"benchmarks\": [\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let comma = if i + 1 == self.results.len() { "" } else { "," };
+                let rate = match &r.per_sec {
+                    Some((unit, rate)) => {
+                        format!(", \"rate\": {rate:.1}, \"rate_unit\": \"{unit}\"")
+                    }
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {{\"id\": \"{}\", \"ns_per_iter\": {:.2}{}}}{}",
+                    r.id, r.ns_per_iter, rate, comma
+                );
+            }
+            out.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("criterion shim: failed to write {path}: {e}");
+            } else {
+                println!("wrote benchmark report to {path}");
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let (t, s) = (self.throughput, self.sample_size);
+        self.criterion.run_one(id, t, s, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let (t, s) = (self.throughput, self.sample_size);
+        self.criterion.run_one(id, t, s, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4));
+            g.sample_size(2);
+            g.bench_function(BenchmarkId::new("sum", "small"), |b| {
+                b.iter(|| (0..32u64).sum::<u64>())
+            });
+            g.bench_with_input(BenchmarkId::new("len", 3), &vec![1, 2, 3], |b, v| {
+                b.iter(|| v.len())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].id.starts_with("g/sum"));
+        assert!(c.results[0].ns_per_iter > 0.0);
+        let (unit, rate) = c.results[0].per_sec.clone().unwrap();
+        assert_eq!(unit, "elem/s");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_recording() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| ());
+            runs += 1;
+        });
+        assert_eq!(runs, 1);
+        assert!(c.results.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline shim for `crossbeam` (channel module only).
+//!
+//! Backed by `std::sync::mpsc`. The one semantic difference: `bounded(n)`
+//! returns an unbounded channel, i.e. sends never block on capacity. The
+//! workspace only uses `bounded(1)` for single-shot reply channels, where
+//! the distinction is unobservable.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// The receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking iterator over the messages currently queued.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+
+        /// Blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Creates a "bounded" channel. Capacity is not enforced by this shim
+    /// (sends never block); see the crate docs.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn round_trip_and_try_iter() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv().unwrap(), 0);
+        let rest: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(rest, vec![1, 2, 3, 4]);
+        assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn bounded_reply_channel() {
+        let (tx, rx) = bounded(1);
+        let t = std::thread::spawn(move || tx.send(42u64).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        t.join().unwrap();
+    }
+}

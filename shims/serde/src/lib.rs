@@ -1,0 +1,28 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace uses serde purely as derive-site decoration (no code
+//! serializes through it yet — the wire formats are hand-rolled in
+//! `esr-storage`/tests). `Serialize`/`Deserialize` are marker traits
+//! blanket-implemented for every type, and the re-exported derives
+//! expand to nothing, so existing `#[derive(Serialize, Deserialize)]`
+//! sites compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}
+
+pub mod ser {}
