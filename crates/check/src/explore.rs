@@ -1,0 +1,144 @@
+//! Bounded schedule exploration: run one workload under many distinct,
+//! deterministic interleavings.
+//!
+//! Each exploration installs a fresh [`TokenSched`] as the probe gate,
+//! runs the workload closure on the driver thread, shuts the scheduler
+//! down, drains the trace, and only then runs the workload's teardown
+//! (dropping a `Cluster` joins its threads — doing that while the gate
+//! still serializes turns would deadlock, because a joined thread needs
+//! the token to finish its final receive).
+//!
+//! A watchdog thread (plain `std` primitives — deliberately outside the
+//! instrumented shims) force-releases the gate if a schedule wedges, so
+//! a scheduling bug degrades into a flagged timeout instead of a hung
+//! checker.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use esr_sim::probe;
+use esr_sim::probe::SyncEvent;
+
+use crate::sched::{Policy, TokenSched};
+
+/// Hard per-run wall-clock limit before the watchdog frees the gate.
+pub const WATCHDOG_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runaway backstop: maximum scheduler turns per run.
+pub const MAX_STEPS: u64 = 2_000_000;
+
+/// One schedule to explore: a policy plus the seed driving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleSpec {
+    /// Seed for the policy's random choices.
+    pub seed: u64,
+    /// The scheduling policy.
+    pub policy: Policy,
+}
+
+/// A deterministic matrix of `n` distinct schedules derived from `seed`:
+/// the first few are fixed round-robin quanta (the systematic part),
+/// the rest seeded random walks with varying preemption pressure (the
+/// bounded-preemption enumeration part).
+pub fn schedule_matrix(seed: u64, n: u64) -> Vec<ScheduleSpec> {
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let s = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            | 1;
+        let policy = match i % 4 {
+            0 => Policy::RoundRobin {
+                quantum: 1 + (i / 4 % 7) as u32,
+            },
+            1 => Policy::RandomWalk { p: 0.75 },
+            2 => Policy::RandomWalk { p: 0.25 },
+            _ => Policy::RandomWalk { p: 0.05 },
+        };
+        out.push(ScheduleSpec { seed: s, policy });
+    }
+    out
+}
+
+/// The result of one explored run.
+#[derive(Debug)]
+pub struct Explored<T> {
+    /// Whatever the workload returned.
+    pub value: T,
+    /// The recorded synchronization trace.
+    pub trace: Vec<SyncEvent>,
+    /// True when the watchdog or the step cap had to free the gate —
+    /// the schedule wedged or ran away, itself a finding.
+    pub forced_stop: bool,
+    /// Scheduler turns granted.
+    pub steps: u64,
+}
+
+/// Runs `workload` under one controlled schedule.
+///
+/// `expected` is the number of participating threads (driver included);
+/// no turn is granted until all of them have registered, which makes
+/// the interleaving a pure function of `spec`. The workload returns its
+/// evidence plus a teardown closure; the teardown (joining cluster and
+/// helper threads) runs after the gate is released.
+///
+/// The probe is process-global: callers must not run two explorations
+/// concurrently (the CLI is single-threaded; tests serialize on a
+/// mutex).
+pub fn run_scheduled<T>(
+    spec: ScheduleSpec,
+    expected: usize,
+    workload: impl FnOnce() -> (T, Box<dyn FnOnce()>),
+) -> Explored<T> {
+    let sched = Arc::new(TokenSched::new(
+        spec.policy,
+        spec.seed,
+        expected,
+        MAX_STEPS,
+    ));
+    // The driver joins via its own first instrumented operation like
+    // every other participant (`expected` counts it). Pre-registering it
+    // would let the gate open while the driver is still in free code,
+    // making its first reach a pass-through or a parked grant depending
+    // on OS timing — a policy-decision leak that changes the schedule.
+    probe::set_thread_key("driver");
+
+    // Watchdog on plain std primitives; signalled (not joined) from the
+    // driver so a wedged schedule cannot also wedge the watchdog.
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let wsched = Arc::clone(&sched);
+    let watchdog = std::thread::Builder::new()
+        .name("esr-check-watchdog".into())
+        .spawn(move || {
+            if done_rx.recv_timeout(WATCHDOG_TIMEOUT).is_err() {
+                wsched.force_shutdown();
+            }
+        })
+        .unwrap_or_else(|e| panic!("spawn watchdog: {e}"));
+
+    probe::start_scheduled(Arc::clone(&sched) as Arc<dyn probe::Gate>);
+    let (value, teardown) = workload();
+    sched.shutdown();
+    let trace = probe::stop();
+    teardown();
+
+    let _ = done_tx.send(());
+    let _ = watchdog.join();
+
+    Explored {
+        value,
+        trace,
+        forced_stop: sched.was_forced(),
+        steps: sched.steps(),
+    }
+}
+
+/// Runs `workload` in plain record mode (no gate): events are logged
+/// but threads run free. Used by the hand-built canary harnesses whose
+/// verdicts do not depend on the interleaving.
+pub fn run_recorded<T>(workload: impl FnOnce() -> T) -> (T, Vec<SyncEvent>) {
+    probe::start_recording();
+    let value = workload();
+    let trace = probe::stop();
+    (value, trace)
+}

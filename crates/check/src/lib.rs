@@ -1,0 +1,29 @@
+//! `esr-check`: concurrency analysis for the ESR thread runtime.
+//!
+//! Three layers, composed by the `esr-check` binary:
+//!
+//! 1. **Trace detectors** ([`race`]) — FastTrack-style happens-before
+//!    data-race detection and lock-order-inversion analysis over the
+//!    synchronization traces the instrumented shims record.
+//! 2. **Schedule explorer** ([`sched`], [`explore`]) — a loom-style
+//!    cooperative token scheduler installed as the probe gate, driving
+//!    the real [`esr_runtime::Cluster`] through hundreds of distinct,
+//!    seed-deterministic interleavings.
+//! 3. **ESR safety oracles** ([`oracles`]) — per-run judgments of the
+//!    method-specific ESR guarantees (ORDUP order conformance, COMMU
+//!    commutativity closure, RITU monotonicity, VTNC horizon safety,
+//!    COMPE resolution, epsilon accounting, replica convergence).
+//!
+//! [`canary`] holds the seeded-defect self-tests that gate the clean
+//! sweep: the checker first proves it *can* catch each defect class,
+//! then certifies the unmutated runtime clean across the requested
+//! schedule budget.
+//!
+//! The probe hub is process-global, so explorations must not overlap;
+//! the binary runs them sequentially and tests serialize on a mutex.
+
+pub mod canary;
+pub mod explore;
+pub mod oracles;
+pub mod race;
+pub mod sched;

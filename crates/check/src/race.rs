@@ -1,0 +1,323 @@
+//! Trace analysis: FastTrack-style happens-before race detection and
+//! lock-order-inversion detection over a recorded [`SyncEvent`] trace.
+//!
+//! The detector replays the trace in recorded order, maintaining one
+//! vector clock per thread and joining clocks across every
+//! synchronization edge the shims report:
+//!
+//! * **channels** — each send captures the sender's clock keyed by
+//!   `(channel, message number)`; the matching receive joins it. The
+//!   message number travels *with* the message, so the pairing is exact
+//!   under any interleaving.
+//! * **locks** — each release joins the holder's clock into the lock's
+//!   clock; each acquire joins the lock's clock into the acquirer's.
+//! * **atomics** — every access joins through the cell's clock in trace
+//!   order (SeqCst in the shims, so trace order is modification order).
+//!
+//! Annotated memory accesses ([`SyncOp::MemRead`] / [`SyncOp::MemWrite`])
+//! are then checked FastTrack-style: a write must happen-after every
+//! prior access of the location; a read must happen-after the last
+//! write. Unordered pairs are data races.
+//!
+//! Lock-order inversion is a separate pass over the same trace: every
+//! acquisition made while other locks are held contributes `held → new`
+//! edges tagged with the *other* locks held at that moment (the guard
+//! set); two opposite edges from different threads whose guard sets are
+//! disjoint (no common gate lock) are a potential deadlock.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use esr_sim::probe::{SyncEvent, SyncOp};
+use esr_sim::vclock::{Epoch, VectorClock};
+
+/// The kind of defect a [`Finding`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Two unordered accesses to one location, at least one a write.
+    DataRace,
+    /// Opposite lock-acquisition orders with no common gate lock.
+    LockInversion,
+}
+
+/// One defect found in a trace.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What class of defect this is.
+    pub kind: FindingKind,
+    /// Human-readable description with thread names and trace positions.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.detail)
+    }
+}
+
+/// Last-access bookkeeping for one annotated memory location.
+#[derive(Debug, Default)]
+struct LocState {
+    /// Epoch of the last write (thread index + clock), if any.
+    last_write: Option<(usize, Epoch, u64)>,
+    /// Per-thread clock of reads since the last write, with the trace
+    /// seq of each thread's latest read.
+    reads: BTreeMap<usize, (u64, u64)>,
+}
+
+/// FastTrack-style happens-before race detector.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    /// Thread key → dense index, in first-appearance order.
+    threads: BTreeMap<Arc<str>, usize>,
+    names: Vec<Arc<str>>,
+    clocks: Vec<VectorClock>,
+    /// (channel, message) → sender clock snapshot.
+    in_flight: BTreeMap<(u64, u64), VectorClock>,
+    /// Lock id → accumulated release clock.
+    lock_clocks: BTreeMap<u64, VectorClock>,
+    /// Atomic cell id → accumulated access clock.
+    cell_clocks: BTreeMap<u64, VectorClock>,
+    /// Annotated memory locations.
+    locs: BTreeMap<u64, LocState>,
+    findings: Vec<Finding>,
+    /// Locations already reported (one finding per location).
+    reported: BTreeSet<u64>,
+}
+
+impl RaceDetector {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzes a full trace and returns the findings.
+    pub fn analyze(events: &[SyncEvent]) -> Vec<Finding> {
+        let mut d = Self::new();
+        for e in events {
+            d.step(e);
+        }
+        d.findings
+    }
+
+    fn thread_index(&mut self, key: &Arc<str>) -> usize {
+        if let Some(&i) = self.threads.get(key) {
+            return i;
+        }
+        let i = self.names.len();
+        self.threads.insert(Arc::clone(key), i);
+        self.names.push(Arc::clone(key));
+        let mut vc = VectorClock::new();
+        // Each thread is born at clock 1 in its own component.
+        vc.set(i, 1);
+        self.clocks.push(vc);
+        i
+    }
+
+    /// Advances the thread's own component — called after operations
+    /// that publish its clock (sends, releases, atomic writes), so later
+    /// operations are distinguishable from the published prefix.
+    fn bump(&mut self, t: usize) {
+        let c = self.clocks[t].get(t);
+        self.clocks[t].set(t, c + 1);
+    }
+
+    fn step(&mut self, e: &SyncEvent) {
+        let t = self.thread_index(&e.thread);
+        match e.op {
+            SyncOp::ChanSend { chan, msg } => {
+                self.in_flight
+                    .insert((chan, msg), self.clocks[t].clone());
+                self.bump(t);
+            }
+            SyncOp::ChanRecv { chan, msg } => {
+                // msg == 0: the message predates recording; no edge.
+                if let Some(vc) = self.in_flight.remove(&(chan, msg)) {
+                    self.clocks[t].join(&vc);
+                }
+            }
+            SyncOp::LockAcquire { lock } | SyncOp::RwReadAcquire { lock } => {
+                if let Some(vc) = self.lock_clocks.get(&lock) {
+                    self.clocks[t].join(vc);
+                }
+            }
+            SyncOp::LockRelease { lock } | SyncOp::RwReadRelease { lock } => {
+                let vc = self.clocks[t].clone();
+                self.lock_clocks
+                    .entry(lock)
+                    .and_modify(|l| l.join(&vc))
+                    .or_insert(vc);
+                self.bump(t);
+            }
+            SyncOp::AtomicLoad { cell } | SyncOp::AtomicStore { cell } | SyncOp::AtomicRmw { cell } => {
+                // SeqCst accesses synchronize in trace order: join both
+                // ways through the cell's clock.
+                if let Some(vc) = self.cell_clocks.get(&cell) {
+                    self.clocks[t].join(vc);
+                }
+                let vc = self.clocks[t].clone();
+                self.cell_clocks
+                    .entry(cell)
+                    .and_modify(|c| c.join(&vc))
+                    .or_insert(vc);
+                self.bump(t);
+            }
+            SyncOp::MemRead { loc } => self.check_read(t, loc, e.seq),
+            SyncOp::MemWrite { loc } => self.check_write(t, loc, e.seq),
+        }
+    }
+
+    fn report(&mut self, loc: u64, detail: String) {
+        if self.reported.insert(loc) {
+            self.findings.push(Finding {
+                kind: FindingKind::DataRace,
+                detail,
+            });
+        }
+    }
+
+    fn check_read(&mut self, t: usize, loc: u64, seq: u64) {
+        let clock = self.clocks[t].clone();
+        let my_clock = clock.get(t);
+        let state = self.locs.entry(loc).or_default();
+        let mut race: Option<String> = None;
+        if let Some((wt, we, wseq)) = &state.last_write {
+            if *wt != t && !we.before(&clock) {
+                race = Some(format!(
+                    "location {loc}: write by '{}' (trace #{wseq}) unordered with \
+                     read by '{}' (trace #{seq})",
+                    self.names[*wt], self.names[t],
+                ));
+            }
+        }
+        state.reads.insert(t, (my_clock, seq));
+        if let Some(detail) = race {
+            self.report(loc, detail);
+        }
+    }
+
+    fn check_write(&mut self, t: usize, loc: u64, seq: u64) {
+        let clock = self.clocks[t].clone();
+        let state = self.locs.entry(loc).or_default();
+        let mut race: Option<String> = None;
+        if let Some((wt, we, wseq)) = &state.last_write {
+            if *wt != t && !we.before(&clock) {
+                race = Some(format!(
+                    "location {loc}: write by '{}' (trace #{wseq}) unordered with \
+                     write by '{}' (trace #{seq})",
+                    self.names[*wt], self.names[t],
+                ));
+            }
+        }
+        if race.is_none() {
+            for (&rt, &(rc, rseq)) in &state.reads {
+                if rt != t && !clock.covers(rt, rc) {
+                    race = Some(format!(
+                        "location {loc}: read by '{}' (trace #{rseq}) unordered with \
+                         write by '{}' (trace #{seq})",
+                        self.names[rt], self.names[t],
+                    ));
+                    break;
+                }
+            }
+        }
+        state.last_write = Some((
+            t,
+            Epoch {
+                thread: t,
+                clock: clock.get(t),
+            },
+            seq,
+        ));
+        state.reads.clear();
+        if let Some(detail) = race {
+            self.report(loc, detail);
+        }
+    }
+}
+
+/// Witnesses for one ordered lock pair: the guard set held at the
+/// acquisition, and the acquiring thread.
+type EdgeWitnesses = Vec<(BTreeSet<u64>, Arc<str>)>;
+
+/// Lock-order-inversion detector: builds the acquired-while-holding
+/// graph and reports opposite-order pairs with disjoint guard sets.
+#[derive(Debug, Default)]
+pub struct LockOrderDetector {
+    /// Per-thread stack of currently held lock ids.
+    held: BTreeMap<Arc<str>, Vec<u64>>,
+    /// (first, then) → witnesses.
+    edges: BTreeMap<(u64, u64), EdgeWitnesses>,
+}
+
+impl LockOrderDetector {
+    /// Analyzes a full trace and returns inversion findings.
+    pub fn analyze(events: &[SyncEvent]) -> Vec<Finding> {
+        let mut d = Self::default();
+        for e in events {
+            d.step(e);
+        }
+        d.findings()
+    }
+
+    fn step(&mut self, e: &SyncEvent) {
+        match e.op {
+            SyncOp::LockAcquire { lock } | SyncOp::RwReadAcquire { lock } => {
+                let held = self.held.entry(Arc::clone(&e.thread)).or_default();
+                let snapshot: Vec<u64> = held.clone();
+                for &h in &snapshot {
+                    if h == lock {
+                        continue; // re-entrant patterns: no self edge
+                    }
+                    let guards: BTreeSet<u64> = snapshot
+                        .iter()
+                        .copied()
+                        .filter(|&g| g != h && g != lock)
+                        .collect();
+                    self.edges
+                        .entry((h, lock))
+                        .or_default()
+                        .push((guards, Arc::clone(&e.thread)));
+                }
+                held.push(lock);
+            }
+            SyncOp::LockRelease { lock } | SyncOp::RwReadRelease { lock } => {
+                if let Some(held) = self.held.get_mut(&e.thread) {
+                    if let Some(pos) = held.iter().rposition(|&l| l == lock) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for (&(a, b), ab_wit) in &self.edges {
+            if a >= b {
+                continue; // canonical orientation; the (b, a) entry pairs with us
+            }
+            let Some(ba_wit) = self.edges.get(&(b, a)) else {
+                continue;
+            };
+            let inversion = ab_wit.iter().any(|(g1, t1)| {
+                ba_wit
+                    .iter()
+                    .any(|(g2, t2)| t1 != t2 && g1.intersection(g2).next().is_none())
+            });
+            if inversion && seen.insert((a, b)) {
+                out.push(Finding {
+                    kind: FindingKind::LockInversion,
+                    detail: format!(
+                        "locks {a} and {b} acquired in opposite orders by \
+                         different threads with no common gate lock"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,303 @@
+//! The cooperative token scheduler (loom-style, built on our shims).
+//!
+//! Installed as the probe [`Gate`], it serializes every participating
+//! thread onto one runnable thread at a time: each instrumented
+//! operation first calls `reach`, which blocks until the scheduler
+//! grants the thread the token. Every `reach` is a preemption point, so
+//! the scheduling policy fully determines the interleaving — and with a
+//! seeded policy the same seed replays the same schedule exactly.
+//!
+//! Threads are identified by their stable probe keys (thread names),
+//! kept in a `BTreeMap` so every choice iterates candidates in a
+//! deterministic order. No turn is granted until `expected` distinct
+//! threads have registered, which pins the start state regardless of OS
+//! spawn timing.
+//!
+//! A thread whose operation cannot complete calls `yield_blocked`: it
+//! is parked in a *blocked* state the scheduler deprioritizes —
+//! runnable threads are always preferred; when none exist the blocked
+//! threads are polled round-robin (their operations are `try_` +
+//! retry loops, so re-granting one lets it re-poll).
+//!
+//! Participating threads must stay inside instrumented operations until
+//! [`TokenSched::shutdown`] — a participant that simply exits (or
+//! blocks natively) while holding or awaiting the token would stall the
+//! schedule; the workloads in this crate keep finished helper threads
+//! parked on a stop channel instead. `shutdown` (idempotent; also
+//! triggered by the step cap) releases every parked thread to free-run.
+//!
+//! This mutex/condvar core deliberately uses `std::sync` directly —
+//! going through the instrumented `parking_lot` shim here would recurse
+//! into the probe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use esr_sim::probe::Gate;
+use esr_sim::DetRng;
+
+/// A scheduling policy: how the explorer picks the next thread at each
+/// preemption point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Run each thread for `quantum` consecutive operations, then rotate
+    /// to the next registered thread in name order.
+    RoundRobin {
+        /// Operations per turn before rotating.
+        quantum: u32,
+    },
+    /// At every operation, preempt to a uniformly random runnable thread
+    /// with probability `p`.
+    RandomWalk {
+        /// Preemption probability per operation.
+        p: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    Blocked,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Registered participants (name → run state), name-ordered.
+    threads: std::collections::BTreeMap<String, RunState>,
+    /// Who holds the token (None until `expected` threads registered).
+    active: Option<String>,
+    rng: DetRng,
+    policy: Policy,
+    /// Operations left in the active thread's round-robin quantum.
+    quantum_left: u32,
+    /// Turns granted so far.
+    steps: u64,
+    shutdown: bool,
+}
+
+impl State {
+    /// Picks the next token holder. Round-robin prefers runnable
+    /// threads (in name order), polling blocked ones only when nothing
+    /// is runnable; the random walk draws uniformly over *all*
+    /// registered threads — without that, an always-runnable producer
+    /// monopolizes the token and consumers only ever run after every
+    /// send is already enqueued, hiding all producer/consumer
+    /// interleavings (a blocked thread that wins merely re-polls and
+    /// yields, which costs one step). `exclude` biases away from the
+    /// caller but is overridden when it is the only thread.
+    fn pick(&mut self, exclude: Option<&str>) {
+        let uniform = matches!(self.policy, Policy::RandomWalk { .. });
+        let runnable: Vec<&String> = self
+            .threads
+            .iter()
+            .filter(|(n, s)| {
+                (uniform || **s == RunState::Runnable) && Some(n.as_str()) != exclude
+            })
+            .map(|(n, _)| n)
+            .collect();
+        let pool: Vec<String> = if runnable.is_empty() {
+            self.threads
+                .keys()
+                .filter(|n| Some(n.as_str()) != exclude)
+                .cloned()
+                .collect()
+        } else {
+            runnable.into_iter().cloned().collect()
+        };
+        let chosen = if pool.is_empty() {
+            exclude.map(str::to_owned)
+        } else {
+            let i = match self.policy {
+                Policy::RoundRobin { .. } => {
+                    // Next name after the current active, cyclically.
+                    match &self.active {
+                        Some(cur) => pool
+                            .iter()
+                            .position(|n| n.as_str() > cur.as_str())
+                            .unwrap_or(0),
+                        None => 0,
+                    }
+                }
+                Policy::RandomWalk { .. } => self.rng.below(pool.len() as u64) as usize,
+            };
+            Some(pool[i].clone())
+        };
+        if let Some(c) = &chosen {
+            // A blocked thread that wins the token gets to retry.
+            self.threads.insert(c.clone(), RunState::Runnable);
+        }
+        self.active = chosen;
+        if let Policy::RoundRobin { quantum } = self.policy {
+            self.quantum_left = quantum.max(1);
+        }
+    }
+
+    /// Policy decision at the active thread's preemption point: `true`
+    /// to preempt now.
+    fn should_preempt(&mut self) -> bool {
+        match self.policy {
+            Policy::RoundRobin { .. } => {
+                if self.quantum_left <= 1 {
+                    true
+                } else {
+                    self.quantum_left -= 1;
+                    false
+                }
+            }
+            Policy::RandomWalk { p } => self.rng.chance(p),
+        }
+    }
+}
+
+/// The scheduler: a token passed between registered threads at
+/// instrumented-operation granularity.
+pub struct TokenSched {
+    state: Mutex<State>,
+    cv: Condvar,
+    expected: usize,
+    max_steps: u64,
+    /// Set when `shutdown` was forced (watchdog timeout or step cap)
+    /// rather than reached by normal completion.
+    forced: AtomicBool,
+}
+
+impl TokenSched {
+    /// A scheduler expecting `expected` participants, granting at most
+    /// `max_steps` turns before forcing shutdown (runaway backstop).
+    pub fn new(policy: Policy, seed: u64, expected: usize, max_steps: u64) -> Self {
+        Self {
+            state: Mutex::new(State {
+                threads: std::collections::BTreeMap::new(),
+                active: None,
+                rng: DetRng::new(seed),
+                policy,
+                quantum_left: 0,
+                steps: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            expected,
+            max_steps,
+            forced: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Pre-registers a participant that has not reached the gate yet
+    /// (the driver registers itself before spawning the workload so the
+    /// expected-count gate can open deterministically).
+    pub fn register(&self, name: &str) {
+        let mut s = self.lock();
+        s.threads.entry(name.to_owned()).or_insert(RunState::Runnable);
+        self.cv.notify_all();
+    }
+
+    /// Releases every parked thread; the run continues uninstrumented
+    /// contention-free (shims fall back to plain polling). Idempotent.
+    pub fn shutdown(&self) {
+        let mut s = self.lock();
+        s.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Like [`TokenSched::shutdown`] but marks the stop as forced
+    /// (watchdog / step cap): [`TokenSched::was_forced`] reports it.
+    pub fn force_shutdown(&self) {
+        let mut s = self.lock();
+        if !s.shutdown {
+            s.shutdown = true;
+            self.forced.store(true, Ordering::SeqCst);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Did a watchdog or the step cap force the shutdown?
+    pub fn was_forced(&self) -> bool {
+        self.forced.load(Ordering::SeqCst)
+    }
+
+    /// Turns granted over the whole run.
+    pub fn steps(&self) -> u64 {
+        self.lock().steps
+    }
+
+    /// Common wait loop: parks until this thread holds the token (or
+    /// shutdown), counting the grant as one step.
+    fn await_token(&self, mut s: std::sync::MutexGuard<'_, State>, me: &str) {
+        loop {
+            if s.shutdown {
+                return;
+            }
+            if s.active.as_deref() == Some(me) {
+                s.steps += 1;
+                if s.steps >= self.max_steps {
+                    s.shutdown = true;
+                    self.forced.store(true, Ordering::SeqCst);
+                    self.cv.notify_all();
+                }
+                return;
+            }
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+impl Gate for TokenSched {
+    fn reach(&self, thread: &str) {
+        let mut s = self.lock();
+        if s.shutdown {
+            return;
+        }
+        s.threads.insert(thread.to_owned(), RunState::Runnable);
+        if s.active.is_none() {
+            // Start gate. Which thread registers last is OS-timing noise,
+            // so the opening reach must not consume a policy decision —
+            // otherwise the rng stream (and with it the whole schedule)
+            // would depend on registration order. The opener just picks
+            // the first holder and parks like everyone else.
+            if s.threads.len() >= self.expected {
+                s.pick(None);
+            }
+            self.cv.notify_all();
+            self.await_token(s, thread);
+            return;
+        }
+        self.cv.notify_all();
+        if s.active.as_deref() == Some(thread) && s.should_preempt() {
+            s.pick(Some(thread));
+            self.cv.notify_all();
+        }
+        self.await_token(s, thread);
+    }
+
+    fn yield_blocked(&self, thread: &str) {
+        let mut s = self.lock();
+        if s.shutdown {
+            return;
+        }
+        s.threads.insert(thread.to_owned(), RunState::Blocked);
+        if s.active.as_deref() == Some(thread) {
+            s.pick(Some(thread));
+        }
+        self.cv.notify_all();
+        self.await_token(s, thread);
+    }
+}
+
+impl std::fmt::Debug for TokenSched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenSched")
+            .field("expected", &self.expected)
+            .field("max_steps", &self.max_steps)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,311 @@
+//! Detector unit tests over hand-built event traces (exact expected
+//! verdicts), plus explorer regression tests against the live runtime.
+//!
+//! The probe hub is process-global, so every test that records or
+//! schedules serializes on [`PROBE`].
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use esr_check::explore::{run_scheduled, schedule_matrix, ScheduleSpec};
+use esr_check::oracles::{self};
+use esr_check::race::{FindingKind, LockOrderDetector, RaceDetector};
+use esr_check::sched::Policy;
+use esr_runtime::{RtCanary, RtMethod};
+use esr_sim::probe::{SyncEvent, SyncOp};
+
+fn probe_lock() -> std::sync::MutexGuard<'static, ()> {
+    static PROBE: OnceLock<Mutex<()>> = OnceLock::new();
+    match PROBE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Builds a trace from `(thread, op)` pairs, assigning dense seqs.
+fn trace(ops: &[(&str, SyncOp)]) -> Vec<SyncEvent> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, (t, op))| SyncEvent {
+            seq: i as u64,
+            thread: Arc::from(*t),
+            op: *op,
+        })
+        .collect()
+}
+
+const LOC: u64 = 7;
+const CHAN: u64 = 1;
+const LOCK_A: u64 = 10;
+const LOCK_B: u64 = 11;
+const GATE: u64 = 12;
+
+#[test]
+fn known_race_two_unordered_writes() {
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("b", SyncOp::MemWrite { loc: LOC }),
+    ]);
+    let f = RaceDetector::analyze(&t);
+    assert_eq!(f.len(), 1, "exactly one finding: {f:?}");
+    assert_eq!(f[0].kind, FindingKind::DataRace);
+    assert!(f[0].detail.contains("location 7"), "{}", f[0].detail);
+}
+
+#[test]
+fn known_race_read_vs_write() {
+    // a writes, synchronizes to b (send/recv); b reads (fine), then c
+    // writes with no edge from b's read: write-after-read race.
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("a", SyncOp::ChanSend { chan: CHAN, msg: 1 }),
+        ("b", SyncOp::ChanRecv { chan: CHAN, msg: 1 }),
+        ("b", SyncOp::MemRead { loc: LOC }),
+        ("c", SyncOp::MemWrite { loc: LOC }),
+    ]);
+    let f = RaceDetector::analyze(&t);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].kind, FindingKind::DataRace);
+}
+
+#[test]
+fn race_free_message_passing() {
+    // Classic happens-before chain: write → send → recv → write.
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("a", SyncOp::ChanSend { chan: CHAN, msg: 1 }),
+        ("b", SyncOp::ChanRecv { chan: CHAN, msg: 1 }),
+        ("b", SyncOp::MemWrite { loc: LOC }),
+        ("b", SyncOp::MemRead { loc: LOC }),
+    ]);
+    assert!(RaceDetector::analyze(&t).is_empty());
+}
+
+#[test]
+fn race_free_barrier_pattern() {
+    // Two workers write distinct data, then meet at a barrier built
+    // from two channels (each sends to the coordinator, which replies
+    // to both); after the barrier each may read the other's slot.
+    let t = trace(&[
+        ("w1", SyncOp::MemWrite { loc: 100 }),
+        ("w2", SyncOp::MemWrite { loc: 200 }),
+        ("w1", SyncOp::ChanSend { chan: 1, msg: 1 }),
+        ("w2", SyncOp::ChanSend { chan: 2, msg: 1 }),
+        ("co", SyncOp::ChanRecv { chan: 1, msg: 1 }),
+        ("co", SyncOp::ChanRecv { chan: 2, msg: 1 }),
+        ("co", SyncOp::ChanSend { chan: 3, msg: 1 }),
+        ("co", SyncOp::ChanSend { chan: 4, msg: 1 }),
+        ("w1", SyncOp::ChanRecv { chan: 3, msg: 1 }),
+        ("w2", SyncOp::ChanRecv { chan: 4, msg: 1 }),
+        ("w1", SyncOp::MemRead { loc: 200 }),
+        ("w2", SyncOp::MemRead { loc: 100 }),
+    ]);
+    assert!(
+        RaceDetector::analyze(&t).is_empty(),
+        "barrier pattern must be race-free"
+    );
+}
+
+#[test]
+fn mutex_discipline_is_race_free() {
+    let t = trace(&[
+        ("a", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("a", SyncOp::LockRelease { lock: LOCK_A }),
+        ("b", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("b", SyncOp::MemWrite { loc: LOC }),
+        ("b", SyncOp::LockRelease { lock: LOCK_A }),
+    ]);
+    assert!(RaceDetector::analyze(&t).is_empty());
+}
+
+#[test]
+fn atomic_sync_orders_accesses() {
+    // Release/acquire through an atomic cell: a's write is visible.
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("a", SyncOp::AtomicStore { cell: 5 }),
+        ("b", SyncOp::AtomicLoad { cell: 5 }),
+        ("b", SyncOp::MemRead { loc: LOC }),
+    ]);
+    assert!(RaceDetector::analyze(&t).is_empty());
+}
+
+#[test]
+fn one_finding_per_location() {
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("b", SyncOp::MemWrite { loc: LOC }),
+        ("c", SyncOp::MemWrite { loc: LOC }),
+        ("a", SyncOp::MemWrite { loc: 8 }),
+        ("b", SyncOp::MemWrite { loc: 8 }),
+    ]);
+    let f = RaceDetector::analyze(&t);
+    assert_eq!(f.len(), 2, "one finding per racy location: {f:?}");
+}
+
+#[test]
+fn known_lock_inversion() {
+    let t = trace(&[
+        ("a", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_A }),
+        ("b", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("b", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("b", SyncOp::LockRelease { lock: LOCK_A }),
+        ("b", SyncOp::LockRelease { lock: LOCK_B }),
+    ]);
+    let f = LockOrderDetector::analyze(&t);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].kind, FindingKind::LockInversion);
+}
+
+#[test]
+fn gate_lock_suppresses_inversion() {
+    // Same opposite orders, but both nestings happen under a common
+    // gate lock — the deadlock is impossible and must not be reported.
+    let t = trace(&[
+        ("a", SyncOp::LockAcquire { lock: GATE }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_A }),
+        ("a", SyncOp::LockRelease { lock: GATE }),
+        ("b", SyncOp::LockAcquire { lock: GATE }),
+        ("b", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("b", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("b", SyncOp::LockRelease { lock: LOCK_A }),
+        ("b", SyncOp::LockRelease { lock: LOCK_B }),
+        ("b", SyncOp::LockRelease { lock: GATE }),
+    ]);
+    assert!(LockOrderDetector::analyze(&t).is_empty());
+}
+
+#[test]
+fn same_thread_opposite_orders_is_not_inversion() {
+    let t = trace(&[
+        ("a", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_B }),
+        ("a", SyncOp::LockRelease { lock: LOCK_A }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_B }),
+        ("a", SyncOp::LockAcquire { lock: LOCK_A }),
+        ("a", SyncOp::LockRelease { lock: LOCK_A }),
+        ("a", SyncOp::LockRelease { lock: LOCK_B }),
+    ]);
+    assert!(LockOrderDetector::analyze(&t).is_empty());
+}
+
+#[test]
+fn unpaired_recv_creates_no_edge() {
+    // msg 0 marks a message sent before recording started: the recv
+    // must not be treated as synchronizing with anything.
+    let t = trace(&[
+        ("a", SyncOp::MemWrite { loc: LOC }),
+        ("b", SyncOp::ChanRecv { chan: CHAN, msg: 0 }),
+        ("b", SyncOp::MemWrite { loc: LOC }),
+    ]);
+    assert_eq!(RaceDetector::analyze(&t).len(), 1);
+}
+
+// ---- live explorer regressions ----
+
+/// `Cluster::quiesce` must terminate under the explorer's most hostile
+/// schedules. The watchdog (and step cap) turn a hang into
+/// `forced_stop`; any forced stop here is a liveness regression.
+#[test]
+fn quiesce_terminates_under_worst_schedules() {
+    let _g = probe_lock();
+    // The adversarial corner: single-op quanta and near-always preempt.
+    let hostile = [
+        ScheduleSpec {
+            seed: 0xDEAD_BEEF,
+            policy: Policy::RoundRobin { quantum: 1 },
+        },
+        ScheduleSpec {
+            seed: 0xDEAD_BEEF,
+            policy: Policy::RandomWalk { p: 0.95 },
+        },
+        ScheduleSpec {
+            seed: 0x5EED,
+            policy: Policy::RandomWalk { p: 0.95 },
+        },
+    ];
+    for m in [RtMethod::Ordup, RtMethod::Commu, RtMethod::RituMv] {
+        for spec in hostile {
+            let e = run_scheduled(spec, oracles::expected_threads(m), || {
+                oracles::run_workload(m, RtCanary::None)
+            });
+            assert!(
+                !e.forced_stop,
+                "{m:?} under {spec:?} wedged after {} steps",
+                e.steps
+            );
+            assert!(oracles::check(&e.value).is_empty());
+        }
+    }
+}
+
+/// Same seed ⇒ same schedule ⇒ same trace and step count, run to run.
+#[test]
+fn same_seed_replays_identical_schedule() {
+    let _g = probe_lock();
+    let spec = schedule_matrix(42, 3)[2];
+    let run = || {
+        let e = run_scheduled(spec, oracles::expected_threads(RtMethod::Commu), || {
+            oracles::run_workload(RtMethod::Commu, RtCanary::None)
+        });
+        let ops: Vec<String> = e
+            .trace
+            .iter()
+            .map(|ev| format!("{}:{:?}", ev.thread, ev.op))
+            .collect();
+        (e.steps, ops)
+    };
+    let (s1, t1) = run();
+    let (s2, t2) = run();
+    assert_eq!(s1, s2, "step counts must replay exactly");
+    assert_eq!(t1, t2, "traces must replay exactly");
+}
+
+/// The seeded runtime canaries must stay detectable — if a refactor
+/// silently breaks a fault-injection path, this is the tripwire.
+#[test]
+fn runtime_canaries_stay_detectable() {
+    let _g = probe_lock();
+    for case in &esr_check::canary::RT_CANARIES {
+        assert!(
+            esr_check::canary::expose(case, 0xC0FF_EE00, 48).is_some(),
+            "canary '{}' no longer caught by oracle `{}`",
+            case.name,
+            case.oracle
+        );
+    }
+}
+
+/// The clean runtime must produce zero findings of any kind across a
+/// spread of schedules for every method.
+#[test]
+fn clean_runtime_is_clean() {
+    let _g = probe_lock();
+    for m in [
+        RtMethod::Ordup,
+        RtMethod::Commu,
+        RtMethod::Ritu,
+        RtMethod::RituMv,
+        RtMethod::Compe,
+    ] {
+        for spec in schedule_matrix(7, 6) {
+            let e = run_scheduled(spec, oracles::expected_threads(m), || {
+                oracles::run_workload(m, RtCanary::None)
+            });
+            assert!(!e.forced_stop, "{m:?} {spec:?} wedged");
+            let oracle_findings = oracles::check(&e.value);
+            assert!(oracle_findings.is_empty(), "{m:?} {spec:?}: {oracle_findings:?}");
+            let races = RaceDetector::analyze(&e.trace);
+            assert!(races.is_empty(), "{m:?} {spec:?}: {races:?}");
+            let inversions = LockOrderDetector::analyze(&e.trace);
+            assert!(inversions.is_empty(), "{m:?} {spec:?}: {inversions:?}");
+        }
+    }
+}

@@ -609,6 +609,7 @@ impl SimCluster {
     /// Decides the outcome of a pending COMPE update: broadcasts
     /// commit/abort notices from the coordinator at the current time.
     /// Panics if `et` is unknown.
+    #[expect(clippy::expect_used, reason = "resolving an unknown ET is a caller bug; the panic is the documented contract")]
     pub fn resolve(&mut self, et: EtId, commit: bool) {
         assert_eq!(self.config.method, Method::Compe);
         let now = self.now();
@@ -645,6 +646,7 @@ impl SimCluster {
     /// the MSet for all but the last — the payload moves into the final
     /// event instead of being cloned once per destination and dropped at
     /// the end.
+    #[expect(clippy::expect_used, reason = "the payload Option is taken exactly once, on the final destination")]
     fn schedule_deliveries(&mut self, deliveries: Vec<(VirtualTime, SiteId)>, mset: MSet) {
         let n = deliveries.len();
         let mut mset = Some(mset);
@@ -719,8 +721,9 @@ impl SimCluster {
                     }
                 }
                 if batch.len() == 1 {
-                    let single = batch.pop().expect("batch holds the popped event");
-                    self.site_mut(to).deliver(single);
+                    if let Some(single) = batch.pop() {
+                        self.site_mut(to).deliver(single);
+                    }
                 } else {
                     self.site_mut(to).deliver_batch(batch);
                 }
@@ -1122,6 +1125,7 @@ impl SimCluster {
     /// (committed) update in its serialization order — sequence order for
     /// ORDUP, version order for RITU, submission order for the
     /// commutative methods (any order yields the same state).
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     pub fn expected_state(&self) -> BTreeMap<ObjectId, Value> {
         let mut subs: Vec<(&EtId, &Submission)> = self
             .submissions

@@ -38,6 +38,8 @@ pub struct CommuSite {
     /// ETs applied at this site (for duplicate suppression).
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    /// Opt-in oracle audit: ETs in application order.
+    audit: Option<Vec<EtId>>,
 }
 
 impl CommuSite {
@@ -49,12 +51,25 @@ impl CommuSite {
             counters: LockCounters::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            audit: None,
         }
     }
 
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Turns on the audit log consumed by the `esr-check` COMMU
+    /// commutativity oracle: ETs recorded in application order.
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    /// The audit log (empty unless [`CommuSite::enable_audit`] was
+    /// called before deliveries began).
+    pub fn audit_log(&self) -> &[EtId] {
+        self.audit.as_deref().unwrap_or(&[])
     }
 
     /// Handles the completion notice for `et`: every replica has applied
@@ -94,6 +109,7 @@ impl ReplicaSite for CommuSite {
         self.site
     }
 
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
             return; // duplicate delivery
@@ -104,6 +120,9 @@ impl ReplicaSite for CommuSite {
                 .expect("commutative MSet must apply cleanly");
         }
         self.counters.begin_update(mset.et, mset.write_set());
+        if let Some(log) = &mut self.audit {
+            log.push(mset.et);
+        }
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
     }
@@ -123,6 +142,7 @@ impl ReplicaSite for CommuSite {
     /// `op.object`, so regrouping by object is exact; per-object order
     /// is kept for the non-commuting pairs an MSet may legally carry
     /// internally. Lock-counter bookkeeping stays per MSet.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
         use std::collections::hash_map::Entry;
         let mut acc: FastIdMap<ObjectId, Operation> = FastIdMap::default();
@@ -152,6 +172,9 @@ impl ReplicaSite for CommuSite {
                         }
                     },
                 }
+            }
+            if let Some(log) = &mut self.audit {
+                log.push(mset.et);
             }
             self.applied_ets.insert(mset.et, ());
             self.applied += 1;

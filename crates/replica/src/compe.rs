@@ -39,6 +39,22 @@ pub struct CompeSite {
     seen: BTreeMap<EtId, Disposition>,
     applied: u64,
     compensations: u64,
+    /// Opt-in oracle audit: lifecycle events in the order they happened.
+    audit: Option<Vec<(EtId, CompeEvent)>>,
+}
+
+/// One lifecycle event on the COMPE audit log (see
+/// [`CompeSite::enable_audit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompeEvent {
+    /// MSet applied optimistically (entered the risk window).
+    Applied,
+    /// Commit notice resolved an at-risk MSet.
+    Committed,
+    /// Abort notice compensated an at-risk MSet.
+    Compensated,
+    /// Late MSet dropped because its abort arrived first.
+    Suppressed,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +80,28 @@ impl CompeSite {
             seen: BTreeMap::new(),
             applied: 0,
             compensations: 0,
+            audit: None,
+        }
+    }
+
+    /// Turns on the audit log consumed by the `esr-check` COMPE
+    /// compensability oracle: every apply / commit / compensate /
+    /// suppress is recorded in order, so the oracle can check each
+    /// optimistic apply was eventually resolved and each abort either
+    /// compensated or suppressed.
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    /// The audit log (empty unless [`CompeSite::enable_audit`] was
+    /// called before traffic began).
+    pub fn audit_log(&self) -> &[(EtId, CompeEvent)] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    fn note(&mut self, et: EtId, ev: CompeEvent) {
+        if let Some(log) = &mut self.audit {
+            log.push((et, ev));
         }
     }
 
@@ -90,6 +128,7 @@ impl CompeSite {
             Some(d @ Disposition::AtRisk) => {
                 *d = Disposition::Committed;
                 self.log.commit(et);
+                self.note(et, CompeEvent::Committed);
             }
             Some(_) => {}
             None => {
@@ -102,6 +141,7 @@ impl CompeSite {
     /// or `None` when the ET was never applied here (or already
     /// resolved) — an abort for an unseen ET is recorded so a late MSet
     /// delivery is suppressed.
+    #[expect(clippy::expect_used, reason = "an at-risk ET is on the log and its before-images re-apply cleanly; anything else is log corruption")]
     pub fn abort(&mut self, et: EtId) -> Option<RollbackReport> {
         match self.seen.get(&et) {
             Some(Disposition::AtRisk) => {}
@@ -110,6 +150,7 @@ impl CompeSite {
                 // Abort raced ahead of the MSet: remember so the MSet is
                 // dropped on arrival.
                 self.seen.insert(et, Disposition::Aborted);
+                self.note(et, CompeEvent::Suppressed);
                 return None;
             }
         }
@@ -120,6 +161,7 @@ impl CompeSite {
             .expect("at-risk ET must be on the log")
             .expect("compensation ops apply cleanly");
         self.compensations += 1;
+        self.note(et, CompeEvent::Compensated);
         Some(report)
     }
 
@@ -127,6 +169,7 @@ impl CompeSite {
     /// [`RecoveryLog::apply_msets`] call (reserving log storage once),
     /// keeping one record per ET so individual aborts stay
     /// compensatable.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn flush_at_risk(&mut self, run: &mut Vec<MSet>) {
         if run.is_empty() {
             return;
@@ -150,6 +193,7 @@ impl ReplicaSite for CompeSite {
         self.site
     }
 
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
         match self.seen.get(&mset.et) {
             None => {
@@ -158,6 +202,7 @@ impl ReplicaSite for CompeSite {
                     .expect("optimistic MSet must apply cleanly");
                 self.seen.insert(mset.et, Disposition::AtRisk);
                 self.applied += 1;
+                self.note(mset.et, CompeEvent::Applied);
             }
             Some(Disposition::CommitPending) => {
                 // Already committed globally: apply without logging.
@@ -168,6 +213,8 @@ impl ReplicaSite for CompeSite {
                 }
                 self.seen.insert(mset.et, Disposition::Committed);
                 self.applied += 1;
+                self.note(mset.et, CompeEvent::Applied);
+                self.note(mset.et, CompeEvent::Committed);
             }
             Some(_) => {} // duplicate, or an abort that arrived first
         }
@@ -179,6 +226,7 @@ impl ReplicaSite for CompeSite {
     /// are recorded in exact delivery order — a commit-pending MSet in
     /// the middle of the batch flushes the buffered run first so the
     /// log's history stays faithful.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
         let mut run: Vec<MSet> = Vec::new();
         for mset in msets {
@@ -186,6 +234,7 @@ impl ReplicaSite for CompeSite {
                 None => {
                     self.seen.insert(mset.et, Disposition::AtRisk);
                     self.applied += 1;
+                    self.note(mset.et, CompeEvent::Applied);
                     run.push(mset);
                 }
                 Some(Disposition::CommitPending) => {
@@ -199,6 +248,8 @@ impl ReplicaSite for CompeSite {
                     }
                     self.seen.insert(mset.et, Disposition::Committed);
                     self.applied += 1;
+                    self.note(mset.et, CompeEvent::Applied);
+                    self.note(mset.et, CompeEvent::Committed);
                 }
                 Some(_) => {} // duplicate, or an abort that arrived first
             }

@@ -127,11 +127,12 @@ impl SpecPipe {
             PropagationClass::Immediate | PropagationClass::PotentiallyInconsistent => Vec::new(),
             PropagationClass::Deferred { deadline } => {
                 let mut out = Vec::new();
-                while let Some(front) = self.buffer.front() {
-                    if front.offered_at + deadline > now {
-                        break;
-                    }
-                    let b = self.buffer.pop_front().expect("peeked");
+                while self
+                    .buffer
+                    .front()
+                    .is_some_and(|front| front.offered_at + deadline <= now)
+                {
+                    let Some(b) = self.buffer.pop_front() else { break };
                     self.submitted += 1;
                     out.push(cluster.submit_update(b.origin, b.ops));
                 }

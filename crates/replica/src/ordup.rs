@@ -49,6 +49,8 @@ pub struct OrdupSite {
     applied_ets: FastIdSet<esr_core::ids::EtId>,
     /// Total MSets applied (for reporting).
     applied: u64,
+    /// Opt-in oracle audit: `(et, seq)` in actual application order.
+    audit: Option<Vec<(esr_core::ids::EtId, SeqNo)>>,
 }
 
 impl OrdupSite {
@@ -61,7 +63,47 @@ impl OrdupSite {
             holdback: BTreeMap::new(),
             applied_ets: FastIdSet::default(),
             applied: 0,
+            audit: None,
         }
+    }
+
+    /// Turns on the audit log consumed by the `esr-check` ORDUP
+    /// global-order oracle: every applied MSet is recorded as
+    /// `(et, seq)` in the order it reached the store.
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    /// The audit log (empty unless [`OrdupSite::enable_audit`] was
+    /// called before deliveries began).
+    pub fn audit_log(&self) -> &[(esr_core::ids::EtId, SeqNo)] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    /// **Fault injection for `esr-check` canaries** ("the sequencer
+    /// check disabled"): applies the MSet immediately in arrival order,
+    /// bypassing the hold-back queue entirely. The audit log keeps the
+    /// MSet's real sequence number, so the global-order oracle sees the
+    /// out-of-order application this shortcut causes. Never call this
+    /// outside a checker run.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
+    pub fn apply_unchecked(&mut self, mset: MSet) {
+        let OrderTag::Sequenced(seq) = mset.order else {
+            panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
+        };
+        if self.applied_ets.contains(&mset.et) {
+            return;
+        }
+        for op in &mset.ops {
+            self.store
+                .apply(op)
+                .expect("update MSet must apply cleanly at every replica");
+        }
+        if let Some(log) = &mut self.audit {
+            log.push((mset.et, seq));
+        }
+        self.applied_ets.insert(mset.et);
+        self.applied += 1;
     }
 
     /// The next sequence number this site is waiting for.
@@ -92,11 +134,15 @@ impl OrdupSite {
 
     /// Applies `mset` assuming it carries exactly `next_seq` — the dense
     /// in-order hot path, which never touches the hold-back map.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn apply_next(&mut self, mset: MSet) {
         for op in &mset.ops {
             self.store
                 .apply(op)
                 .expect("update MSet must apply cleanly at every replica");
+        }
+        if let Some(log) = &mut self.audit {
+            log.push((mset.et, self.next_seq));
         }
         self.applied_ets.insert(mset.et);
         self.next_seq = self.next_seq.next();
@@ -255,27 +301,24 @@ impl OrdupLamportSite {
             panic!("ORDUP-Lamport site received non-Lamport MSet {mset}");
         };
         let origin = mset.origin;
-        let next = self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
-        if fifo < *next {
+        let mut cursor = *self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
+        if fifo < cursor {
             return; // duplicate
         }
         self.fifo_buffer.entry((origin, fifo)).or_insert(mset);
         // Reassemble this origin's FIFO order.
-        while let Some(m) = self
-            .fifo_buffer
-            .remove(&(origin, *self.fifo_next.get(&origin).expect("inserted above")))
-        {
+        while let Some(m) = self.fifo_buffer.remove(&(origin, cursor)) {
             let OrderTag::Lamport { ts: mts, .. } = m.order else {
                 unreachable!("buffered MSets are Lamport-tagged");
             };
-            let next = self.fifo_next.get_mut(&origin).expect("inserted above");
-            *next = next.next();
+            cursor = cursor.next();
             let seen = self.last_seen.entry(origin).or_insert(mts);
             if mts > *seen {
                 *seen = mts;
             }
             self.holdback.insert(mts, m);
         }
+        self.fifo_next.insert(origin, cursor);
         let _ = ts;
     }
 
@@ -290,15 +333,16 @@ impl OrdupLamportSite {
             .flatten()
     }
 
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn drain_stable(&mut self) {
         let Some(horizon) = self.stable_horizon() else {
             return;
         };
-        while let Some((&ts, _)) = self.holdback.iter().next() {
-            if ts > horizon {
+        while let Some(entry) = self.holdback.first_entry() {
+            if *entry.key() > horizon {
                 break;
             }
-            let mset = self.holdback.remove(&ts).expect("peeked");
+            let mset = entry.remove();
             for op in &mset.ops {
                 self.store
                     .apply(op)

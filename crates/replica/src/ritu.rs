@@ -24,7 +24,7 @@ use esr_core::op::Operation;
 use esr_core::value::Value;
 use esr_storage::mvstore::MvStore;
 use esr_storage::shard::FastIdMap;
-use esr_storage::store::LwwStore;
+use esr_storage::store::{LwwOutcome, LwwStore};
 
 use crate::mset::MSet;
 use crate::site::{QueryOutcome, ReplicaSite};
@@ -37,6 +37,9 @@ pub struct RituOverwriteSite {
     counters: LockCounters,
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    /// Opt-in oracle audit: winning installs `(object, version)` in the
+    /// order they reached the store.
+    audit: Option<Vec<(ObjectId, VersionTs)>>,
 }
 
 impl RituOverwriteSite {
@@ -48,12 +51,28 @@ impl RituOverwriteSite {
             counters: LockCounters::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            audit: None,
         }
     }
 
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Turns on the audit log consumed by the `esr-check` RITU
+    /// timestamp-monotonicity oracle: every *winning* install is
+    /// recorded as `(object, version)` in store order — losers
+    /// (older-version writes the LWW arbitration ignores) never appear,
+    /// so per-object versions must be strictly increasing.
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(Vec::new);
+    }
+
+    /// The audit log (empty unless [`RituOverwriteSite::enable_audit`]
+    /// was called before deliveries began).
+    pub fn audit_log(&self) -> &[(ObjectId, VersionTs)] {
+        self.audit.as_deref().unwrap_or(&[])
     }
 
     /// Completion notice (see [`crate::commu::CommuSite::complete`]).
@@ -76,6 +95,7 @@ impl ReplicaSite for RituOverwriteSite {
         self.site
     }
 
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
             return;
@@ -85,7 +105,18 @@ impl ReplicaSite for RituOverwriteSite {
                 matches!(op.op, Operation::TimestampedWrite(_, _) | Operation::Read),
                 "RITU MSets carry only timestamped writes, got {op}"
             );
-            self.store.apply(op).expect("RITU op applies cleanly");
+            match &op.op {
+                Operation::TimestampedWrite(ts, v) => {
+                    let outcome = self.store.apply_timestamped(op.object, *ts, v.clone());
+                    if let (LwwOutcome::Applied, Some(log)) = (outcome, &mut self.audit) {
+                        log.push((op.object, *ts));
+                    }
+                }
+                Operation::Read => {}
+                _ => {
+                    self.store.apply(op).expect("RITU op applies cleanly");
+                }
+            }
         }
         self.counters.begin_update(mset.et, mset.write_set());
         self.applied_ets.insert(mset.et, ());
@@ -140,7 +171,10 @@ impl ReplicaSite for RituOverwriteSite {
         }
         self.counters.begin_updates(regs);
         for (object, (ts, value)) in best {
-            self.store.apply_timestamped(object, ts, value.clone());
+            let outcome = self.store.apply_timestamped(object, ts, value.clone());
+            if let (LwwOutcome::Applied, Some(log)) = (outcome, &mut self.audit) {
+                log.push((object, ts));
+            }
         }
     }
 
@@ -173,6 +207,41 @@ impl ReplicaSite for RituOverwriteSite {
     }
 }
 
+/// Audit state for the `esr-check` VTNC-safety oracle (opt-in via
+/// [`RituMvSite::enable_audit`]).
+#[derive(Debug, Default)]
+struct MvAudit {
+    /// Global version times installed locally (the cluster driver mints
+    /// them densely from 1 via its version clock).
+    installed: std::collections::BTreeSet<u64>,
+    /// Largest `t` such that every time in `1..=t` is installed locally.
+    contig: u64,
+    /// Every VTNC target this site was asked to advance to, in arrival
+    /// order (before monotone clamping by the store).
+    vtnc_log: Vec<VersionTs>,
+    /// Advances whose target exceeded the locally installed contiguous
+    /// prefix — unsafe certifications: a version at or below the new
+    /// horizon had not yet been installed here, so a "stable" read could
+    /// miss it.
+    vtnc_violations: u64,
+}
+
+impl MvAudit {
+    fn note_install(&mut self, ts: VersionTs) {
+        self.installed.insert(ts.time);
+        while self.installed.contains(&(self.contig + 1)) {
+            self.contig += 1;
+        }
+    }
+
+    fn note_advance(&mut self, to: VersionTs) {
+        self.vtnc_log.push(to);
+        if to.time > self.contig {
+            self.vtnc_violations += 1;
+        }
+    }
+}
+
 /// RITU in multiversion mode with VTNC visibility control.
 #[derive(Debug)]
 pub struct RituMvSite {
@@ -180,6 +249,7 @@ pub struct RituMvSite {
     store: MvStore,
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    audit: Option<MvAudit>,
 }
 
 impl RituMvSite {
@@ -190,6 +260,7 @@ impl RituMvSite {
             store: MvStore::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            audit: None,
         }
     }
 
@@ -207,7 +278,33 @@ impl RituMvSite {
     /// every version at or below `to` is installed at every replica and
     /// no smaller version can ever be created.
     pub fn advance_vtnc(&mut self, to: VersionTs) {
+        if let Some(audit) = &mut self.audit {
+            audit.note_advance(to);
+        }
         self.store.advance_vtnc(to);
+    }
+
+    /// Turns on the audit consumed by the `esr-check` VTNC-safety
+    /// oracle: installs are tracked against the dense global version
+    /// times so each `advance_vtnc` can be judged safe (target within
+    /// the locally installed contiguous prefix) or not.
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(MvAudit::default());
+        }
+    }
+
+    /// Number of VTNC advances whose target exceeded the locally
+    /// installed contiguous version prefix (0 unless
+    /// [`RituMvSite::enable_audit`] was called before traffic began).
+    pub fn vtnc_violations(&self) -> u64 {
+        self.audit.as_ref().map_or(0, |a| a.vtnc_violations)
+    }
+
+    /// Every VTNC target received, in arrival order (empty without
+    /// audit). The oracle checks this sequence is non-decreasing.
+    pub fn vtnc_targets(&self) -> &[VersionTs] {
+        self.audit.as_ref().map_or(&[], |a| a.vtnc_log.as_slice())
     }
 
     /// Direct access to the underlying multiversion store (for COMPE
@@ -239,6 +336,9 @@ impl ReplicaSite for RituMvSite {
             match &op.op {
                 Operation::TimestampedWrite(ts, v) => {
                     self.store.install(op.object, *ts, v.clone());
+                    if let Some(audit) = &mut self.audit {
+                        audit.note_install(*ts);
+                    }
                 }
                 Operation::Read => {}
                 other => panic!("RITU-MV MSet carries non-timestamped write {other}"),
@@ -266,6 +366,9 @@ impl ReplicaSite for RituMvSite {
             for op in mset.ops {
                 match op.op {
                     Operation::TimestampedWrite(ts, v) => {
+                        if let Some(audit) = &mut self.audit {
+                            audit.note_install(ts);
+                        }
                         groups.entry(op.object).or_default().push((ts, v));
                     }
                     Operation::Read => {}

@@ -118,21 +118,19 @@ impl SagaCoordinator {
     /// pending until the saga ends.
     ///
     /// Panics if the saga is unknown or no longer active.
+    #[expect(clippy::expect_used, reason = "an unknown saga id is a caller bug; the panic is the documented contract")]
     pub fn step(&mut self, saga: SagaId, origin: SiteId, ops: Vec<ObjectOp>) -> EtId {
         let record = self.sagas.get_mut(&saga).expect("unknown saga");
         assert_eq!(record.state, SagaState::Active, "saga already finished");
         let et = self.cluster.submit_update_pending(origin, ops);
-        self.sagas
-            .get_mut(&saga)
-            .expect("checked above")
-            .steps
-            .push(et);
+        record.steps.push(et);
         et
     }
 
     /// Commits the saga: every step's outcome is confirmed, in execution
     /// order. Lock-counters release as the commit notices reach every
     /// replica.
+    #[expect(clippy::expect_used, reason = "an unknown saga id is a caller bug; the panic is the documented contract")]
     pub fn commit(&mut self, saga: SagaId) {
         let steps = {
             let record = self.sagas.get_mut(&saga).expect("unknown saga");
@@ -147,6 +145,7 @@ impl SagaCoordinator {
 
     /// Aborts the saga: completed steps are compensated in **reverse**
     /// order — the saga recovery discipline.
+    #[expect(clippy::expect_used, reason = "an unknown saga id is a caller bug; the panic is the documented contract")]
     pub fn abort(&mut self, saga: SagaId) {
         let steps = {
             let record = self.sagas.get_mut(&saga).expect("unknown saga");

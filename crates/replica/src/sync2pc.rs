@@ -100,6 +100,7 @@ impl TwoPcCluster {
     /// Returns the full timing report. The state of every replica is
     /// updated atomically (write-all): after this call all replicas agree
     /// on the new values.
+    #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     pub fn submit_update(
         &mut self,
         origin: SiteId,

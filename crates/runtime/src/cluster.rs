@@ -11,10 +11,10 @@
 //! guarantee.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+
 use std::thread::JoinHandle;
 
+use crossbeam::atomic::AtomicCell;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
@@ -22,11 +22,19 @@ use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
 use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 use esr_replica::commu::CommuSite;
-use esr_replica::compe::CompeSite;
+use esr_replica::compe::{CompeEvent, CompeSite};
 use esr_replica::mset::MSet;
 use esr_replica::ordup::OrdupSite;
 use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
 use esr_replica::site::{QueryOutcome, ReplicaSite};
+use esr_sim::probe;
+
+/// Logical shared-memory location namespace for the per-site protocol
+/// state, annotated via [`probe::mem_read`] / [`probe::mem_write`] so
+/// checked runs prove site state stays thread-confined (each location
+/// is only ever touched by its owning site thread — any cross-thread
+/// access without a happens-before edge is a race finding).
+const SITE_STATE_LOC: u64 = 1 << 48;
 
 /// Replica control methods available in the thread runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +52,51 @@ pub enum RtMethod {
     /// Compensation-based backward control (commit/abort driven by the
     /// client through [`Cluster::commit`] / [`Cluster::abort`]).
     Compe,
+}
+
+/// Seeded defect canaries for `esr-check`: each one disables a single
+/// safety mechanism the checker's oracles must then flag. Production
+/// clusters always run [`RtCanary::None`]; the other variants exist so
+/// the checking pipeline can prove it *would* catch each defect class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RtCanary {
+    /// No fault injected (the only variant production code should use).
+    #[default]
+    None,
+    /// ORDUP sites apply MSets in arrival order, bypassing the
+    /// sequencer hold-back — the ORDUP global-order oracle must flag
+    /// out-of-order applications.
+    OrdupSequencerDisabled,
+    /// Sites answer queries with an unbounded budget regardless of the
+    /// declared `EpsilonSpec` — the epsilon-accounting oracle must flag
+    /// admitted queries whose charge exceeds their declared bound.
+    EpsilonIgnored,
+    /// The tracker certifies a VTNC advance on the *first* site ack
+    /// instead of waiting for all sites — the VTNC-safety oracle must
+    /// flag advances past a site's installed prefix.
+    VtncEagerCertify,
+}
+
+/// Per-site oracle evidence extracted after a run via
+/// [`Cluster::audit_of`] (populated only for clusters built with
+/// [`Cluster::checked`]; fields irrelevant to the method in force stay
+/// empty).
+#[derive(Debug, Clone, Default)]
+pub struct SiteAudit {
+    /// ORDUP: `(et, seq)` in application order.
+    pub ordup_order: Vec<(EtId, SeqNo)>,
+    /// COMMU: ETs in application order.
+    pub commu_order: Vec<EtId>,
+    /// RITU overwrite: winning installs `(object, version)` in store
+    /// order.
+    pub ritu_installs: Vec<(ObjectId, VersionTs)>,
+    /// RITU-MV: every VTNC target received, in arrival order.
+    pub vtnc_targets: Vec<VersionTs>,
+    /// RITU-MV: advances whose target exceeded the locally installed
+    /// contiguous version prefix.
+    pub vtnc_violations: u64,
+    /// COMPE: lifecycle events in order.
+    pub compe_events: Vec<(EtId, CompeEvent)>,
 }
 
 enum SiteState {
@@ -110,6 +163,29 @@ impl SiteState {
             SiteState::Compe(s) => s.has_applied(et),
         }
     }
+    fn enable_audit(&mut self) {
+        match self {
+            SiteState::Ordup(s) => s.enable_audit(),
+            SiteState::Commu(s) => s.enable_audit(),
+            SiteState::Ritu(s) => s.enable_audit(),
+            SiteState::RituMv(s) => s.enable_audit(),
+            SiteState::Compe(s) => s.enable_audit(),
+        }
+    }
+    fn audit(&self) -> SiteAudit {
+        let mut a = SiteAudit::default();
+        match self {
+            SiteState::Ordup(s) => a.ordup_order = s.audit_log().to_vec(),
+            SiteState::Commu(s) => a.commu_order = s.audit_log().to_vec(),
+            SiteState::Ritu(s) => a.ritu_installs = s.audit_log().to_vec(),
+            SiteState::RituMv(s) => {
+                a.vtnc_targets = s.vtnc_targets().to_vec();
+                a.vtnc_violations = s.vtnc_violations();
+            }
+            SiteState::Compe(s) => a.compe_events = s.audit_log().to_vec(),
+        }
+        a
+    }
 }
 
 enum SiteMsg {
@@ -132,6 +208,9 @@ enum SiteMsg {
     HasApplied {
         et: EtId,
         reply: Sender<bool>,
+    },
+    Audit {
+        reply: Sender<SiteAudit>,
     },
     Shutdown,
 }
@@ -163,15 +242,30 @@ pub struct Cluster {
     site_threads: Vec<JoinHandle<()>>,
     tracker_sender: Option<Sender<TrackerMsg>>,
     tracker_thread: Option<JoinHandle<()>>,
-    sequencer: Arc<AtomicU64>,
-    version_clock: Arc<AtomicU64>,
-    next_et: AtomicU64,
+    sequencer: AtomicCell,
+    version_clock: AtomicCell,
+    // Instrumented (an ET allocation is a preemption point): concurrent
+    // submitters' ET numbering must be schedule-determined, not a free
+    // race the explorer cannot replay.
+    next_et: AtomicCell,
     n: usize,
 }
 
 impl Cluster {
     /// Spawns `n` site threads running `method`.
     pub fn new(method: RtMethod, n: usize) -> Self {
+        Self::build(method, n, false, RtCanary::None)
+    }
+
+    /// Spawns a cluster with per-site oracle audits enabled and an
+    /// optional canary fault injected — the constructor `esr-check`
+    /// drives. Pass [`RtCanary::None`] for a faithful (audited but
+    /// unmutated) cluster.
+    pub fn checked(method: RtMethod, n: usize, canary: RtCanary) -> Self {
+        Self::build(method, n, true, canary)
+    }
+
+    fn build(method: RtMethod, n: usize, audit: bool, canary: RtCanary) -> Self {
         assert!(n > 0);
         let mut site_senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<SiteMsg>> = Vec::with_capacity(n);
@@ -189,6 +283,14 @@ impl Cluster {
         ) {
             let (ttx, trx) = unbounded::<TrackerMsg>();
             let senders = site_senders.clone();
+            // VtncEagerCertify canary: certify on the first ack instead
+            // of waiting for every site — the injected defect the
+            // VTNC-safety oracle must catch.
+            let acks_needed = if canary == RtCanary::VtncEagerCertify {
+                1
+            } else {
+                n
+            };
             let handle = std::thread::Builder::new()
                 .name("esr-tracker".into())
                 .spawn(move || {
@@ -205,8 +307,10 @@ impl Cluster {
                             TrackerMsg::Applied { et, version } => {
                                 let e = counts.entry(et).or_insert((0, version));
                                 e.0 += 1;
-                                if e.0 == senders.len() {
-                                    let (_, version) = counts.remove(&et).expect("present");
+                                if e.0 >= acks_needed {
+                                    let Some((_, version)) = counts.remove(&et) else {
+                                        continue;
+                                    };
                                     if method == RtMethod::RituMv {
                                         if let Some(v) = version {
                                             fully_installed.insert(v.time, v);
@@ -233,7 +337,7 @@ impl Cluster {
                         }
                     }
                 })
-                .expect("spawn tracker");
+                .unwrap_or_else(|e| panic!("spawn tracker thread: {e}"));
             (Some(ttx), Some(handle))
         } else {
             (None, None)
@@ -253,6 +357,12 @@ impl Cluster {
                         RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
                         RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
                     };
+                    if audit {
+                        state.enable_audit();
+                    }
+                    // Logical location of this site's protocol state for
+                    // the race detector: only this thread may touch it.
+                    let state_loc = SITE_STATE_LOC + i as u64;
                     // One message may be carried over from a drain that
                     // stopped at a non-matching message.
                     let mut carried: Option<SiteMsg> = None;
@@ -303,11 +413,29 @@ impl Cluster {
                                         .max();
                                     candidates.push((m.et, version));
                                 }
-                                if batch.len() == 1 {
-                                    let single = batch.pop().expect("single-element batch");
-                                    state.deliver(single);
-                                } else {
-                                    state.deliver_batch(batch);
+                                probe::mem_write(state_loc);
+                                match (&mut state, canary) {
+                                    // Canary: bypass the ORDUP hold-back
+                                    // and apply in raw arrival order —
+                                    // the global-order oracle must flag
+                                    // the resulting sequence gaps.
+                                    (
+                                        SiteState::Ordup(s),
+                                        RtCanary::OrdupSequencerDisabled,
+                                    ) => {
+                                        for m in batch.drain(..) {
+                                            s.apply_unchecked(m);
+                                        }
+                                    }
+                                    _ => {
+                                        if batch.len() == 1 {
+                                            if let Some(single) = batch.pop() {
+                                                state.deliver(single);
+                                            }
+                                        } else {
+                                            state.deliver_batch(batch);
+                                        }
+                                    }
                                 }
                                 if let Some(t) = &tracker {
                                     for (et, version) in candidates {
@@ -317,11 +445,14 @@ impl Cluster {
                                     }
                                 }
                             }
-                            SiteMsg::Complete(et) => match &mut state {
-                                SiteState::Commu(s) => s.complete(et),
-                                SiteState::Ritu(s) => s.complete(et),
-                                _ => {}
-                            },
+                            SiteMsg::Complete(et) => {
+                                probe::mem_write(state_loc);
+                                match &mut state {
+                                    SiteState::Commu(s) => s.complete(et),
+                                    SiteState::Ritu(s) => s.complete(et),
+                                    _ => {}
+                                }
+                            }
                             SiteMsg::AdvanceVtnc(ts) => {
                                 // The horizon is monotone, so a queued
                                 // run of advances collapses to its max.
@@ -338,16 +469,19 @@ impl Cluster {
                                         Err(_) => break,
                                     }
                                 }
+                                probe::mem_write(state_loc);
                                 if let SiteState::RituMv(s) = &mut state {
                                     s.advance_vtnc(horizon);
                                 }
                             }
                             SiteMsg::Commit(et) => {
+                                probe::mem_write(state_loc);
                                 if let SiteState::Compe(s) = &mut state {
                                     s.commit(et);
                                 }
                             }
                             SiteMsg::Abort(et) => {
+                                probe::mem_write(state_loc);
                                 if let SiteState::Compe(s) = &mut state {
                                     s.abort(et);
                                 }
@@ -357,23 +491,40 @@ impl Cluster {
                                 epsilon,
                                 reply,
                             } => {
-                                let mut counter = InconsistencyCounter::new(epsilon);
+                                probe::mem_write(state_loc);
+                                // Canary: ignore the declared budget —
+                                // the epsilon-accounting oracle must
+                                // flag admitted queries whose charge
+                                // exceeds the spec the client declared.
+                                let spec = if canary == RtCanary::EpsilonIgnored {
+                                    EpsilonSpec::UNBOUNDED
+                                } else {
+                                    epsilon
+                                };
+                                let mut counter = InconsistencyCounter::new(spec);
                                 let _ = reply.send(state.query(&read_set, &mut counter));
                             }
                             SiteMsg::Snapshot { reply } => {
+                                probe::mem_read(state_loc);
                                 let _ = reply.send(state.snapshot());
                             }
                             SiteMsg::Settled { reply } => {
+                                probe::mem_read(state_loc);
                                 let _ = reply.send(state.settled());
                             }
                             SiteMsg::HasApplied { et, reply } => {
+                                probe::mem_read(state_loc);
                                 let _ = reply.send(state.has_applied(et));
+                            }
+                            SiteMsg::Audit { reply } => {
+                                probe::mem_read(state_loc);
+                                let _ = reply.send(state.audit());
                             }
                             SiteMsg::Shutdown => break,
                         }
                     }
                 })
-                .expect("spawn site");
+                .unwrap_or_else(|e| panic!("spawn site thread {i}: {e}"));
             site_threads.push(handle);
         }
 
@@ -383,9 +534,9 @@ impl Cluster {
             site_threads,
             tracker_sender,
             tracker_thread,
-            sequencer: Arc::new(AtomicU64::new(0)),
-            version_clock: Arc::new(AtomicU64::new(0)),
-            next_et: AtomicU64::new(1),
+            sequencer: AtomicCell::new(0),
+            version_clock: AtomicCell::new(0),
+            next_et: AtomicCell::new(1),
             n,
         }
     }
@@ -401,7 +552,7 @@ impl Cluster {
     }
 
     fn fresh_et(&self) -> EtId {
-        EtId(self.next_et.fetch_add(1, Ordering::Relaxed))
+        EtId(self.next_et.fetch_add(1))
     }
 
     /// Submits an update ET originating at `origin`; the MSet fans out to
@@ -410,7 +561,7 @@ impl Cluster {
         let et = self.fresh_et();
         let mset = match self.method {
             RtMethod::Ordup => {
-                let seq = SeqNo(self.sequencer.fetch_add(1, Ordering::SeqCst));
+                let seq = SeqNo(self.sequencer.fetch_add(1));
                 MSet::new(et, origin, ops).sequenced(seq)
             }
             _ => MSet::new(et, origin, ops),
@@ -423,7 +574,7 @@ impl Cluster {
 
     /// Stamps and submits a RITU blind write.
     pub fn submit_blind_write(&self, origin: SiteId, object: ObjectId, value: Value) -> EtId {
-        let t = self.version_clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let t = self.version_clock.fetch_add(1) + 1;
         let ts = VersionTs::new(t, ClientId(origin.raw()));
         self.submit_update(
             origin,
@@ -445,18 +596,36 @@ impl Cluster {
         }
     }
 
-    /// Runs a query ET at one site with the given budget. Blocks only for
-    /// the rendezvous with the site thread, not for consistency.
-    pub fn query(&self, site: SiteId, read_set: &[ObjectId], epsilon: EpsilonSpec) -> QueryOutcome {
+    /// One request/reply rendezvous with a site thread. Degrades instead
+    /// of panicking when the site is already down (shutdown raced the
+    /// caller): `fallback` supplies the answer a dead site gives.
+    fn rendezvous<T>(
+        &self,
+        site: SiteId,
+        make: impl FnOnce(Sender<T>) -> SiteMsg,
+        fallback: impl FnOnce() -> T,
+    ) -> T {
         let (tx, rx) = bounded(1);
-        self.site_senders[site.raw() as usize]
-            .send(SiteMsg::Query {
-                read_set: read_set.to_vec(),
+        if self.site_senders[site.raw() as usize].send(make(tx)).is_err() {
+            return fallback();
+        }
+        rx.recv().unwrap_or_else(|_| fallback())
+    }
+
+    /// Runs a query ET at one site with the given budget. Blocks only for
+    /// the rendezvous with the site thread, not for consistency. A query
+    /// against a shut-down cluster is rejected (never panics).
+    pub fn query(&self, site: SiteId, read_set: &[ObjectId], epsilon: EpsilonSpec) -> QueryOutcome {
+        let read_set = read_set.to_vec();
+        self.rendezvous(
+            site,
+            move |reply| SiteMsg::Query {
+                read_set,
                 epsilon,
-                reply: tx,
-            })
-            .expect("site thread alive");
-        rx.recv().expect("site thread replies")
+                reply,
+            },
+            QueryOutcome::rejected,
+        )
     }
 
     /// Retries a query until its budget admits it (the synchronous
@@ -477,36 +646,35 @@ impl Cluster {
         }
     }
 
-    /// A site's full snapshot.
+    /// A site's full snapshot (empty once the cluster is shut down).
     pub fn snapshot_of(&self, site: SiteId) -> BTreeMap<ObjectId, Value> {
-        let (tx, rx) = bounded(1);
-        self.site_senders[site.raw() as usize]
-            .send(SiteMsg::Snapshot { reply: tx })
-            .expect("site thread alive");
-        rx.recv().expect("site thread replies")
+        self.rendezvous(site, |reply| SiteMsg::Snapshot { reply }, BTreeMap::new)
     }
 
-    /// Has `site` applied `et` yet?
+    /// The oracle audit of one site — meaningful only on clusters built
+    /// with [`Cluster::checked`]; otherwise every log is empty.
+    pub fn audit_of(&self, site: SiteId) -> SiteAudit {
+        self.rendezvous(site, |reply| SiteMsg::Audit { reply }, SiteAudit::default)
+    }
+
+    /// Has `site` applied `et` yet? (`false` once shut down.)
     pub fn has_applied(&self, site: SiteId, et: EtId) -> bool {
-        let (tx, rx) = bounded(1);
-        self.site_senders[site.raw() as usize]
-            .send(SiteMsg::HasApplied { et, reply: tx })
-            .expect("site thread alive");
-        rx.recv().expect("site thread replies")
+        self.rendezvous(site, |reply| SiteMsg::HasApplied { et, reply }, || false)
     }
 
     /// Blocks until every site reports settled twice in a row (no
     /// backlog, no in-flight updates) — the quiescent state at which ESR
-    /// guarantees all replicas are identical.
+    /// guarantees all replicas are identical. Dead sites (cluster
+    /// already shut down) count as settled, so this always terminates.
     pub fn quiesce(&self) {
         let mut stable_rounds = 0;
         while stable_rounds < 2 {
             let all_settled = (0..self.n).all(|i| {
-                let (tx, rx) = bounded(1);
-                self.site_senders[i]
-                    .send(SiteMsg::Settled { reply: tx })
-                    .expect("site thread alive");
-                rx.recv().expect("site thread replies")
+                self.rendezvous(
+                    SiteId(i as u64),
+                    |reply| SiteMsg::Settled { reply },
+                    || true,
+                )
             });
             if all_settled {
                 stable_rounds += 1;
@@ -550,6 +718,7 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     const X: ObjectId = ObjectId(0);
 

@@ -14,4 +14,4 @@
 
 pub mod cluster;
 
-pub use cluster::{Cluster, RtMethod};
+pub use cluster::{Cluster, RtCanary, RtMethod, SiteAudit};

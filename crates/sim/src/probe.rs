@@ -1,0 +1,455 @@
+//! Global concurrency instrumentation hub (the `checked` mode spine).
+//!
+//! The offline shims (`shims/crossbeam`, `shims/parking_lot`) report
+//! every channel send/receive, lock acquire/release, and atomic access
+//! here when a checked run is active. `esr-check` consumes the recorded
+//! [`SyncEvent`] trace (happens-before analysis, race detection) and may
+//! additionally install a [`Gate`] — a cooperative scheduler that
+//! serializes the process onto one runnable thread at a time so the same
+//! workload can be replayed under many distinct, deterministic
+//! interleavings.
+//!
+//! Three modes, stored in one process-global atomic:
+//!
+//! * **off** (default) — every probe call is a single relaxed atomic
+//!   load; the shims behave exactly like their uninstrumented selves.
+//! * **record** — synchronization events are appended to a global log.
+//! * **scheduled** — record, plus every instrumented operation first
+//!   parks on the installed [`Gate`] until the scheduler grants the
+//!   thread its turn.
+//!
+//! Identities are *epoch-tagged*: each `start_*` call begins a new run
+//! epoch, and per-object ids (channels, locks, atomic cells) as well as
+//! per-channel message counters reset with it, so identical runs produce
+//! identical traces regardless of what earlier runs allocated.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Instrumentation disabled (the default).
+const MODE_OFF: u8 = 0;
+/// Record synchronization events.
+const MODE_RECORD: u8 = 1;
+/// Record events and serialize threads through the installed [`Gate`].
+const MODE_SCHED: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_OFF);
+
+/// Run epoch, bumped by every `start_*`; epoch 0 never runs.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Bits of an epoch-tagged slot reserved for the counter/id payload.
+const PAYLOAD_BITS: u32 = 40;
+const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+
+/// One synchronization (or annotated memory) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// A channel send; `msg` is the per-channel, per-epoch message
+    /// number the matching receive will observe.
+    ChanSend {
+        /// Channel id.
+        chan: u64,
+        /// Message number within this run.
+        msg: u64,
+    },
+    /// A channel receive of message `msg` (0 when the message was sent
+    /// before recording started — no happens-before edge available).
+    ChanRecv {
+        /// Channel id.
+        chan: u64,
+        /// Message number matched to the send, 0 if unpaired.
+        msg: u64,
+    },
+    /// Mutex (or write-lock) acquired.
+    LockAcquire {
+        /// Lock id.
+        lock: u64,
+    },
+    /// Mutex (or write-lock) released.
+    LockRelease {
+        /// Lock id.
+        lock: u64,
+    },
+    /// Read-side of an RwLock acquired.
+    RwReadAcquire {
+        /// Lock id.
+        lock: u64,
+    },
+    /// Read-side of an RwLock released.
+    RwReadRelease {
+        /// Lock id.
+        lock: u64,
+    },
+    /// Atomic load from a cell.
+    AtomicLoad {
+        /// Cell id.
+        cell: u64,
+    },
+    /// Atomic store to a cell.
+    AtomicStore {
+        /// Cell id.
+        cell: u64,
+    },
+    /// Atomic read-modify-write (fetch_add etc.) on a cell.
+    AtomicRmw {
+        /// Cell id.
+        cell: u64,
+    },
+    /// Annotated read of a logical shared-memory location.
+    MemRead {
+        /// Location id (chosen by the annotating code).
+        loc: u64,
+    },
+    /// Annotated write of a logical shared-memory location.
+    MemWrite {
+        /// Location id (chosen by the annotating code).
+        loc: u64,
+    },
+}
+
+/// One recorded event: who did what, in global trace order.
+#[derive(Debug, Clone)]
+pub struct SyncEvent {
+    /// Position in the trace (dense from 0 within one run).
+    pub seq: u64,
+    /// Stable thread key (thread name, or an explicit override).
+    pub thread: Arc<str>,
+    /// The operation.
+    pub op: SyncOp,
+}
+
+/// The cooperative scheduler interface a checker installs for
+/// *scheduled* mode. Implementations serialize execution: at most one
+/// participating thread runs between consecutive `reach` calls.
+pub trait Gate: Send + Sync {
+    /// Called before every instrumented operation; blocks until the
+    /// scheduler makes this thread the active one. This is the
+    /// preemption point.
+    fn reach(&self, thread: &str);
+    /// Called when the thread's operation cannot complete right now
+    /// (empty channel, contended lock): the scheduler should hand the
+    /// turn to another runnable thread before the caller retries.
+    fn yield_blocked(&self, thread: &str);
+}
+
+struct Hub {
+    log: Mutex<LogInner>,
+    gate: Mutex<Option<Arc<dyn Gate>>>,
+}
+
+struct LogInner {
+    events: Vec<SyncEvent>,
+}
+
+fn hub() -> &'static Hub {
+    static HUB: OnceLock<Hub> = OnceLock::new();
+    HUB.get_or_init(|| Hub {
+        log: Mutex::new(LogInner { events: Vec::new() }),
+        gate: Mutex::new(None),
+    })
+}
+
+fn lock_log(h: &Hub) -> std::sync::MutexGuard<'_, LogInner> {
+    match h.log.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn lock_gate(h: &Hub) -> std::sync::MutexGuard<'_, Option<Arc<dyn Gate>>> {
+    match h.gate.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Is any instrumentation active? One relaxed load — the fast path the
+/// shims take on every operation.
+#[inline]
+pub fn recording() -> bool {
+    MODE.load(Ordering::Relaxed) != MODE_OFF
+}
+
+/// Is a scheduler gate installed and serializing threads?
+#[inline]
+pub fn scheduling() -> bool {
+    MODE.load(Ordering::Relaxed) == MODE_SCHED
+}
+
+/// Begins a recording run: clears the log, bumps the run epoch.
+pub fn start_recording() {
+    let h = hub();
+    lock_log(h).events.clear();
+    *lock_gate(h) = None;
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    MODE.store(MODE_RECORD, Ordering::SeqCst);
+}
+
+/// Begins a scheduled run: like [`start_recording`], plus installs the
+/// gate every instrumented operation will park on.
+pub fn start_scheduled(gate: Arc<dyn Gate>) {
+    let h = hub();
+    lock_log(h).events.clear();
+    *lock_gate(h) = Some(gate);
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    MODE.store(MODE_SCHED, Ordering::SeqCst);
+}
+
+/// Stops instrumentation and drains the recorded trace. When a gate was
+/// installed the caller must release its parked threads (e.g. a
+/// scheduler `shutdown`) *before* calling this, or they stay parked.
+pub fn stop() -> Vec<SyncEvent> {
+    let h = hub();
+    MODE.store(MODE_OFF, Ordering::SeqCst);
+    *lock_gate(h) = None;
+    std::mem::take(&mut lock_log(h).events)
+}
+
+thread_local! {
+    static THREAD_KEY: std::cell::RefCell<Option<Arc<str>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Overrides the current thread's stable key (by default its name).
+/// Checker drivers call this so the controlling thread has a fixed
+/// identity ("driver") independent of the test harness's thread name.
+pub fn set_thread_key(key: &str) {
+    THREAD_KEY.with(|k| *k.borrow_mut() = Some(Arc::from(key)));
+}
+
+/// The current thread's stable key: the override if set, else the OS
+/// thread name, else `"anon"`. Scheduled workloads must name every
+/// participating thread uniquely.
+pub fn thread_key() -> Arc<str> {
+    THREAD_KEY.with(|k| {
+        let mut k = k.borrow_mut();
+        if let Some(key) = k.as_ref() {
+            return Arc::clone(key);
+        }
+        let key: Arc<str> = match std::thread::current().name() {
+            Some(name) => Arc::from(name),
+            None => Arc::from("anon"),
+        };
+        *k = Some(Arc::clone(&key));
+        Arc::clone(&key)
+    })
+}
+
+/// Records one event and returns its trace sequence number. No-op
+/// (returning 0) when recording is off.
+pub fn record(op: SyncOp) -> u64 {
+    if !recording() {
+        return 0;
+    }
+    let h = hub();
+    let mut log = lock_log(h);
+    let seq = log.events.len() as u64;
+    let thread = thread_key();
+    log.events.push(SyncEvent { seq, thread, op });
+    seq
+}
+
+/// Parks at the scheduler gate (scheduled mode only): the preemption
+/// point in front of every instrumented operation.
+pub fn reach() {
+    if !scheduling() {
+        return;
+    }
+    let gate = lock_gate(hub()).clone();
+    if let Some(g) = gate {
+        g.reach(&thread_key());
+    }
+}
+
+/// Tells the scheduler this thread's operation would block; yields the
+/// turn to another runnable thread before the caller retries.
+pub fn yield_blocked() {
+    if !scheduling() {
+        return;
+    }
+    let gate = lock_gate(hub()).clone();
+    if let Some(g) = gate {
+        g.yield_blocked(&thread_key());
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+// ---- epoch-tagged id and counter slots -------------------------------
+
+/// Global id wells, one per object class, reset (by epoch tagging) at
+/// every `start_*`.
+static CHAN_IDS: AtomicU64 = AtomicU64::new(0);
+static LOCK_IDS: AtomicU64 = AtomicU64::new(0);
+static CELL_IDS: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_from(well: &AtomicU64, epoch: u64) -> u64 {
+    loop {
+        let cur = well.load(Ordering::Relaxed);
+        let (e, n) = (cur >> PAYLOAD_BITS, cur & PAYLOAD_MASK);
+        let next_n = if e == epoch { n + 1 } else { 1 };
+        let next = (epoch << PAYLOAD_BITS) | next_n;
+        if well
+            .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return next_n;
+        }
+    }
+}
+
+/// Classes of instrumented objects with their own id wells.
+#[derive(Debug, Clone, Copy)]
+pub enum IdClass {
+    /// Channels (one id per sender/receiver pair).
+    Channel,
+    /// Mutexes and RwLocks.
+    Lock,
+    /// Atomic cells.
+    Cell,
+}
+
+/// Returns this object's id for the current run, lazily assigning one
+/// from the class's well. `slot` is an epoch-tagged cache the object
+/// embeds; ids are dense from 1 within a run, and an object first seen
+/// in a new run gets a fresh id (its cached one is from a dead epoch).
+pub fn object_id(class: IdClass, slot: &AtomicU64) -> u64 {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    let cur = slot.load(Ordering::Relaxed);
+    if cur >> PAYLOAD_BITS == epoch {
+        return cur & PAYLOAD_MASK;
+    }
+    let well = match class {
+        IdClass::Channel => &CHAN_IDS,
+        IdClass::Lock => &LOCK_IDS,
+        IdClass::Cell => &CELL_IDS,
+    };
+    let id = fresh_from(well, epoch);
+    let tagged = (epoch << PAYLOAD_BITS) | id;
+    // Another thread may have assigned concurrently; first one wins so
+    // all users agree on the id.
+    match slot.compare_exchange(cur, tagged, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => id,
+        Err(winner) if winner >> PAYLOAD_BITS == epoch => winner & PAYLOAD_MASK,
+        Err(_) => id,
+    }
+}
+
+/// Advances an epoch-tagged per-object counter (e.g. a channel's message
+/// numbers): dense from 1 within the current run.
+pub fn epoch_counter_next(slot: &AtomicU64) -> u64 {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    fresh_from(slot, epoch)
+}
+
+/// Annotates a read of logical shared-memory location `loc`. Library
+/// code marks the handful of places it touches cross-thread state so the
+/// race detector has data accesses to order.
+pub fn mem_read(loc: u64) {
+    if recording() {
+        reach();
+        record(SyncOp::MemRead { loc });
+    }
+}
+
+/// Annotates a write of logical shared-memory location `loc`.
+pub fn mem_write(loc: u64) {
+    if recording() {
+        reach();
+        record(SyncOp::MemWrite { loc });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Probe state is process-global; these tests run in the esr-sim test
+    // binary alongside nothing else that records, but still serialize on
+    // a local mutex so they cannot interleave with each other.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        match GUARD.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _g = locked();
+        assert!(!recording());
+        assert_eq!(record(SyncOp::MemRead { loc: 1 }), 0);
+        assert!(stop().is_empty());
+    }
+
+    #[test]
+    fn record_mode_captures_ordered_events() {
+        let _g = locked();
+        start_recording();
+        record(SyncOp::MemWrite { loc: 7 });
+        record(SyncOp::MemRead { loc: 7 });
+        let events = stop();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert!(matches!(events[0].op, SyncOp::MemWrite { loc: 7 }));
+        assert!(!recording());
+    }
+
+    #[test]
+    fn ids_reset_per_epoch() {
+        let _g = locked();
+        start_recording();
+        let slot_a = AtomicU64::new(0);
+        let slot_b = AtomicU64::new(0);
+        let a1 = object_id(IdClass::Channel, &slot_a);
+        let b1 = object_id(IdClass::Channel, &slot_b);
+        assert_eq!((a1, b1), (1, 2));
+        assert_eq!(object_id(IdClass::Channel, &slot_a), 1, "cached");
+        stop();
+        start_recording();
+        let slot_c = AtomicU64::new(0);
+        assert_eq!(
+            object_id(IdClass::Channel, &slot_c),
+            1,
+            "new epoch restarts the well"
+        );
+        assert_eq!(
+            object_id(IdClass::Channel, &slot_a),
+            2,
+            "stale cached id is re-assigned"
+        );
+        stop();
+    }
+
+    #[test]
+    fn epoch_counter_dense_per_run() {
+        let _g = locked();
+        start_recording();
+        let slot = AtomicU64::new(0);
+        assert_eq!(epoch_counter_next(&slot), 1);
+        assert_eq!(epoch_counter_next(&slot), 2);
+        stop();
+        start_recording();
+        assert_eq!(epoch_counter_next(&slot), 1);
+        stop();
+    }
+
+    #[test]
+    fn thread_key_defaults_to_thread_name() {
+        let _g = locked();
+        std::thread::Builder::new()
+            .name("probe-key-test".into())
+            .spawn(|| {
+                assert_eq!(&*thread_key(), "probe-key-test");
+                set_thread_key("override");
+                assert_eq!(&*thread_key(), "override");
+            })
+            .expect("spawn")
+            .join()
+            .expect("join");
+    }
+}

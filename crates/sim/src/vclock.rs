@@ -1,0 +1,186 @@
+//! Vector clocks over dense thread indices.
+//!
+//! The concurrency checker (`esr-check`) tracks happens-before with
+//! vector clocks: one logical clock per participating thread, joined at
+//! every synchronization edge (channel message, lock hand-off, atomic
+//! read-modify-write). The clock lives here, next to the other shared
+//! trace types, so both the instrumented shims' consumers and the
+//! detector agree on its semantics.
+//!
+//! Threads are identified by *dense indices* (0, 1, 2, …) assigned by
+//! whoever builds the clocks — the detector interns thread names into
+//! indices before processing a trace. Clocks grow on demand; a missing
+//! component reads as zero.
+
+use std::fmt;
+
+/// A vector clock: component `i` counts the synchronization steps of
+/// thread `i` that are known to happen before the clock's owner's
+/// current point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock component of thread `i` (zero when never seen).
+    pub fn get(&self, i: usize) -> u64 {
+        self.components.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sets thread `i`'s component to `v`, growing the vector as needed.
+    pub fn set(&mut self, i: usize, v: u64) {
+        if self.components.len() <= i {
+            self.components.resize(i + 1, 0);
+        }
+        self.components[i] = v;
+    }
+
+    /// Increments thread `i`'s component by one and returns the new
+    /// value — the owner's step counter after a local event.
+    pub fn tick(&mut self, i: usize) -> u64 {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+        v
+    }
+
+    /// Pointwise maximum with `other` — the join at a synchronization
+    /// edge (message receive, lock acquire).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// True when every component of `self` is ≤ the matching component
+    /// of `other`: everything known here happened before there.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// True when an *epoch* — thread `i` at step `v` — is ordered before
+    /// this clock. The FastTrack fast path: most race checks compare one
+    /// epoch against one clock, not two full vectors.
+    pub fn covers(&self, i: usize, v: u64) -> bool {
+        v <= self.get(i)
+    }
+
+    /// Number of allocated components (threads seen so far).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no component has ever been set.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A FastTrack epoch: one thread's clock value at one event, the compact
+/// representation of "last write" metadata when a single writer
+/// dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// The thread index.
+    pub thread: usize,
+    /// That thread's clock at the event.
+    pub clock: u64,
+}
+
+impl Epoch {
+    /// An epoch ordered before everything (clock zero).
+    pub const ZERO: Epoch = Epoch {
+        thread: 0,
+        clock: 0,
+    };
+
+    /// True when this epoch happens before the point described by `vc`.
+    pub fn before(&self, vc: &VectorClock) -> bool {
+        vc.covers(self.thread, self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn leq_orders_causally_related_clocks() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        // Concurrent clocks: neither ≤ the other.
+        let mut c = VectorClock::new();
+        c.set(1, 9);
+        assert!(!b.leq(&c));
+        assert!(!c.leq(&b));
+    }
+
+    #[test]
+    fn tick_increments_own_component() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.tick(3), 1);
+        assert_eq!(a.tick(3), 2);
+        assert_eq!(a.get(3), 2);
+        assert_eq!(a.get(0), 0);
+    }
+
+    #[test]
+    fn epoch_before_clock() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 4);
+        assert!(Epoch { thread: 1, clock: 4 }.before(&vc));
+        assert!(!Epoch { thread: 1, clock: 5 }.before(&vc));
+        assert!(Epoch::ZERO.before(&VectorClock::new()));
+    }
+
+    #[test]
+    fn display_compact() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 2);
+        assert_eq!(vc.to_string(), "⟨0,2⟩");
+    }
+}

@@ -112,11 +112,7 @@ impl MvStore {
         while let Some((object, ts, value)) = it.next() {
             let chain = self.chains.entry(object).or_default();
             chain.entry(ts).or_insert(value);
-            while let Some(&(next, _, _)) = it.peek() {
-                if next != object {
-                    break;
-                }
-                let (_, ts, value) = it.next().expect("peeked");
+            while let Some((_, ts, value)) = it.next_if(|&(next, _, _)| next == object) {
                 chain.entry(ts).or_insert(value);
             }
         }

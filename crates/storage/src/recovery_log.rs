@@ -243,6 +243,7 @@ impl RecoveryLog {
         Some(self.compensate_at(store, idx))
     }
 
+    #[expect(clippy::expect_used, reason = "only self-compensatable writes are logged, checked at append time")]
     fn compensate_at(
         &mut self,
         store: &mut ObjectStore,

@@ -207,6 +207,7 @@ impl FileQueue {
 }
 
 impl StableQueue for FileQueue {
+    #[expect(clippy::expect_used, reason = "a failed append to the backing file leaves the queue unusable; panicking is the recovery story")]
     fn enqueue(&mut self, payload: Bytes) -> EntryId {
         let id = EntryId(self.next_id);
         self.next_id += 1;
@@ -241,6 +242,7 @@ impl StableQueue for FileQueue {
         Some(e.attempts)
     }
 
+    #[expect(clippy::expect_used, reason = "a failed append to the backing file leaves the queue unusable; panicking is the recovery story")]
     fn ack(&mut self, id: EntryId) -> bool {
         if self.entries.remove(&id).is_none() {
             return false;
