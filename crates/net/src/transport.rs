@@ -111,6 +111,17 @@ impl Network {
         self
     }
 
+    /// Overrides the reliable-send attempt cap. The chaos runtime plans
+    /// fates in *logical tick* time (one tick per queue entry) where
+    /// partition windows span a handful of ticks, so it lowers the cap
+    /// to fail fast on a misconfigured plan instead of spinning through
+    /// the default 100 000 attempts.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts > 0);
+        self.max_attempts = max_attempts;
+        self
+    }
+
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topology

@@ -38,6 +38,7 @@ pub struct CommuSite {
     /// ETs applied at this site (for duplicate suppression).
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    redelivered: u64,
     /// Opt-in oracle audit: ETs in application order.
     audit: Option<Vec<EtId>>,
 }
@@ -51,6 +52,7 @@ impl CommuSite {
             counters: LockCounters::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            redelivered: 0,
             audit: None,
         }
     }
@@ -58,6 +60,12 @@ impl CommuSite {
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Duplicate deliveries this site suppressed (each one is proof the
+    /// idempotency guard fired under at-least-once delivery).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// Turns on the audit log consumed by the `esr-check` COMMU
@@ -112,6 +120,7 @@ impl ReplicaSite for CommuSite {
     #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
+            self.redelivered += 1;
             return; // duplicate delivery
         }
         for op in &mset.ops {
@@ -149,6 +158,7 @@ impl ReplicaSite for CommuSite {
         let mut regs: Vec<(EtId, Vec<ObjectId>)> = Vec::new();
         for mset in &msets {
             if self.applied_ets.contains_key(&mset.et) {
+                self.redelivered += 1;
                 continue; // duplicate (earlier delivery or earlier in batch)
             }
             regs.push((mset.et, mset.write_set_vec()));
@@ -259,6 +269,24 @@ mod tests {
         assert_eq!(s.snapshot()[&X], Value::Int(5));
         assert_eq!(s.applied(), 1);
         assert_eq!(s.lock_counter(X), 1, "counter raised once");
+    }
+
+    #[test]
+    fn redelivery_storm_is_idempotent_and_counted() {
+        let msets = [inc(1, X, 5), inc(2, X, 7), inc(3, Y, 1)];
+        let mut s = CommuSite::new(SiteId(0));
+        for m in msets.iter().chain(msets.iter().rev()).chain(msets.iter()) {
+            s.deliver(m.clone());
+        }
+        assert_eq!(s.snapshot()[&X], Value::Int(12), "each Incr applied once");
+        assert_eq!(s.applied(), 3);
+        assert_eq!(s.redelivered(), 6);
+        assert_eq!(s.lock_counter(X), 2, "counters raised once per ET");
+        // Batch path counts duplicates too.
+        let mut b = CommuSite::new(SiteId(1));
+        b.deliver_batch(msets.iter().chain(msets.iter()).cloned().collect());
+        assert_eq!(b.snapshot(), s.snapshot());
+        assert_eq!(b.redelivered(), 3);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub struct CompeSite {
     seen: BTreeMap<EtId, Disposition>,
     applied: u64,
     compensations: u64,
+    redelivered: u64,
     /// Opt-in oracle audit: lifecycle events in the order they happened.
     audit: Option<Vec<(EtId, CompeEvent)>>,
 }
@@ -80,6 +81,7 @@ impl CompeSite {
             seen: BTreeMap::new(),
             applied: 0,
             compensations: 0,
+            redelivered: 0,
             audit: None,
         }
     }
@@ -113,6 +115,14 @@ impl CompeSite {
     /// Total aborts compensated.
     pub fn compensations(&self) -> u64 {
         self.compensations
+    }
+
+    /// Duplicate deliveries this site suppressed — re-arrivals of an ET
+    /// already applied here (at risk or committed). Late MSets dropped
+    /// because their abort arrived first are *not* counted: those are
+    /// first deliveries, suppressed for a different reason.
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// Number of MSets still at risk of rollback.
@@ -216,7 +226,10 @@ impl ReplicaSite for CompeSite {
                 self.note(mset.et, CompeEvent::Applied);
                 self.note(mset.et, CompeEvent::Committed);
             }
-            Some(_) => {} // duplicate, or an abort that arrived first
+            Some(Disposition::AtRisk) | Some(Disposition::Committed) => {
+                self.redelivered += 1; // duplicate of an applied MSet
+            }
+            Some(Disposition::Aborted) => {} // abort arrived first: suppress
         }
     }
 
@@ -251,7 +264,10 @@ impl ReplicaSite for CompeSite {
                     self.note(mset.et, CompeEvent::Applied);
                     self.note(mset.et, CompeEvent::Committed);
                 }
-                Some(_) => {} // duplicate, or an abort that arrived first
+                Some(Disposition::AtRisk) | Some(Disposition::Committed) => {
+                    self.redelivered += 1; // duplicate of an applied MSet
+                }
+                Some(Disposition::Aborted) => {} // abort arrived first
             }
         }
         self.flush_at_risk(&mut run);
@@ -358,6 +374,28 @@ mod tests {
         assert_eq!(s.snapshot()[&X], Value::Int(0), "equals Mul(x,2) alone");
         s.commit(EtId(2));
         assert_eq!(s.at_risk(), 0);
+    }
+
+    #[test]
+    fn redelivery_storm_is_idempotent_and_counted() {
+        let msets = [inc(1, X, 10), mul(2, X, 2), inc(3, X, 7)];
+        let mut s = CompeSite::new(SiteId(0));
+        for m in msets.iter().chain(msets.iter().rev()) {
+            s.deliver(m.clone());
+        }
+        assert_eq!(s.snapshot()[&X], Value::Int(27), "((0+10)*2)+7, each once");
+        assert_eq!(s.applied(), 3);
+        assert_eq!(s.redelivered(), 3);
+        assert_eq!(s.at_risk(), 3, "one log record per ET despite duplicates");
+        // Duplicates after commit are still suppressed and counted.
+        s.commit(EtId(1));
+        s.deliver(msets[0].clone());
+        assert_eq!(s.redelivered(), 4);
+        assert_eq!(s.snapshot()[&X], Value::Int(27));
+        // A suppressed late MSet (abort-first) is NOT a redelivery.
+        assert!(s.abort(EtId(9)).is_none());
+        s.deliver(inc(9, X, 100));
+        assert_eq!(s.redelivered(), 4);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod ritu;
 pub mod saga;
 pub mod site;
 pub mod sync2pc;
+pub mod wire;
 
 pub use api::{QueryBuilder, Session, UpdateBuilder};
 pub use cluster::{ClusterConfig, ClusterStats, Method, QueryReport, SimCluster};
@@ -42,3 +43,4 @@ pub use saga::{SagaCoordinator, SagaId, SagaState};
 pub use quorum::{QuorumCluster, QuorumReport};
 pub use site::{QueryOutcome, ReplicaSite};
 pub use sync2pc::{TwoPcCluster, TwoPcReport};
+pub use wire::{decode_mset, encode_mset, WireError};

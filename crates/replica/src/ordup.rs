@@ -49,6 +49,9 @@ pub struct OrdupSite {
     applied_ets: FastIdSet<esr_core::ids::EtId>,
     /// Total MSets applied (for reporting).
     applied: u64,
+    /// Duplicate deliveries recognized and suppressed (at-least-once
+    /// transport makes these routine, not errors).
+    redelivered: u64,
     /// Opt-in oracle audit: `(et, seq)` in actual application order.
     audit: Option<Vec<(esr_core::ids::EtId, SeqNo)>>,
 }
@@ -63,6 +66,7 @@ impl OrdupSite {
             holdback: BTreeMap::new(),
             applied_ets: FastIdSet::default(),
             applied: 0,
+            redelivered: 0,
             audit: None,
         }
     }
@@ -92,6 +96,7 @@ impl OrdupSite {
             panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
         };
         if self.applied_ets.contains(&mset.et) {
+            self.redelivered += 1;
             return;
         }
         for op in &mset.ops {
@@ -121,6 +126,12 @@ impl OrdupSite {
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Duplicate deliveries this site suppressed (each one is proof the
+    /// idempotency guard fired under at-least-once delivery).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// How many globally sequenced updates this site has **not** yet
@@ -170,6 +181,7 @@ impl ReplicaSite for OrdupSite {
             panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
         };
         if seq < self.next_seq {
+            self.redelivered += 1;
             return; // duplicate of an already-applied MSet
         }
         if seq == self.next_seq {
@@ -177,8 +189,10 @@ impl ReplicaSite for OrdupSite {
             if !self.holdback.is_empty() {
                 self.drain(); // this was a gap-filler: successors may unblock
             }
-        } else {
-            self.holdback.entry(seq).or_insert(mset);
+        } else if self.holdback.insert(seq, mset).is_some() {
+            // Same seq = same MSet (the sequencer never reuses a number),
+            // so replacing the held-back copy with its duplicate is a no-op.
+            self.redelivered += 1;
         }
     }
 
@@ -193,6 +207,7 @@ impl ReplicaSite for OrdupSite {
                 panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
             };
             if seq < self.next_seq {
+                self.redelivered += 1;
                 continue; // duplicate of an already-applied MSet
             }
             if seq == self.next_seq {
@@ -200,8 +215,8 @@ impl ReplicaSite for OrdupSite {
                 if !self.holdback.is_empty() {
                     self.drain();
                 }
-            } else {
-                self.holdback.entry(seq).or_insert(mset);
+            } else if self.holdback.insert(seq, mset).is_some() {
+                self.redelivered += 1; // duplicate of a held-back MSet
             }
         }
     }
@@ -258,6 +273,7 @@ pub struct OrdupLamportSite {
     holdback: BTreeMap<LamportTs, MSet>,
     applied_ets: FastIdSet<esr_core::ids::EtId>,
     applied: u64,
+    redelivered: u64,
 }
 
 impl OrdupLamportSite {
@@ -273,12 +289,19 @@ impl OrdupLamportSite {
             holdback: BTreeMap::new(),
             applied_ets: FastIdSet::default(),
             applied: 0,
+            redelivered: 0,
         }
     }
 
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Duplicate deliveries this site suppressed (each one is proof the
+    /// idempotency guard fired under at-least-once delivery).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// Records a heartbeat from `origin` carrying its current clock:
@@ -303,9 +326,14 @@ impl OrdupLamportSite {
         let origin = mset.origin;
         let mut cursor = *self.fifo_next.entry(origin).or_insert(SeqNo::ZERO);
         if fifo < cursor {
+            self.redelivered += 1;
             return; // duplicate
         }
-        self.fifo_buffer.entry((origin, fifo)).or_insert(mset);
+        if self.fifo_buffer.contains_key(&(origin, fifo)) {
+            self.redelivered += 1;
+            return; // duplicate of a buffered MSet
+        }
+        self.fifo_buffer.insert((origin, fifo), mset);
         // Reassemble this origin's FIFO order.
         while let Some(m) = self.fifo_buffer.remove(&(origin, cursor)) {
             let OrderTag::Lamport { ts: mts, .. } = m.order else {
@@ -458,6 +486,28 @@ mod tests {
     }
 
     #[test]
+    fn redelivery_storm_is_idempotent_and_counted() {
+        let msets = [
+            mset_seq(1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]),
+            mset_seq(2, 1, vec![ObjectOp::new(X, Operation::MulBy(3))]),
+            mset_seq(3, 2, vec![ObjectOp::new(X, Operation::Decr(5))]),
+        ];
+        let mut clean = OrdupSite::new(SiteId(0));
+        for m in &msets {
+            clean.deliver(m.clone());
+        }
+        // Stormed replica: every MSet three times, interleaved both ways.
+        let mut stormed = OrdupSite::new(SiteId(1));
+        for m in msets.iter().chain(msets.iter().rev()).chain(msets.iter()) {
+            stormed.deliver(m.clone());
+        }
+        assert_eq!(stormed.snapshot(), clean.snapshot());
+        assert_eq!(stormed.applied(), 3, "each MSet applied exactly once");
+        assert_eq!(stormed.redelivered(), 6, "six duplicates suppressed");
+        assert_eq!(clean.redelivered(), 0);
+    }
+
+    #[test]
     fn query_charges_per_conflicting_heldback_mset() {
         let mut s = OrdupSite::new(SiteId(0));
         s.deliver(mset_seq(1, 1, vec![ObjectOp::new(X, Operation::Incr(1))]));
@@ -586,6 +636,25 @@ mod tests {
         assert_eq!(b, c);
         // ts order: Inc(10)@1.0, Mul(2)@1.1, Dec(4)@3.0 → (0+10)*2-4 = 16.
         assert_eq!(a[&X], Value::Int(16));
+    }
+
+    #[test]
+    fn lamport_redelivery_storm_is_idempotent_and_counted() {
+        let msets = [
+            lam(1, 0, 1, 0, vec![ObjectOp::new(X, Operation::Incr(10))]),
+            lam(2, 1, 1, 0, vec![ObjectOp::new(X, Operation::MulBy(2))]),
+            lam(3, 0, 3, 1, vec![ObjectOp::new(X, Operation::Decr(4))]),
+        ];
+        let origins = vec![SiteId(0), SiteId(1)];
+        let mut s = OrdupLamportSite::new(SiteId(2), origins);
+        for m in msets.iter().chain(msets.iter().rev()) {
+            s.deliver(m.clone());
+        }
+        s.heartbeat(SiteId(0), LamportTs::new(100, SiteId(0)));
+        s.heartbeat(SiteId(1), LamportTs::new(100, SiteId(1)));
+        assert_eq!(s.applied(), 3);
+        assert_eq!(s.redelivered(), 3, "the reversed pass was all duplicates");
+        assert_eq!(s.snapshot()[&X], Value::Int(16), "(0+10)*2-4");
     }
 
     #[test]

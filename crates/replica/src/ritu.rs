@@ -37,6 +37,7 @@ pub struct RituOverwriteSite {
     counters: LockCounters,
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    redelivered: u64,
     /// Opt-in oracle audit: winning installs `(object, version)` in the
     /// order they reached the store.
     audit: Option<Vec<(ObjectId, VersionTs)>>,
@@ -51,6 +52,7 @@ impl RituOverwriteSite {
             counters: LockCounters::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            redelivered: 0,
             audit: None,
         }
     }
@@ -58,6 +60,12 @@ impl RituOverwriteSite {
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Duplicate deliveries this site suppressed (each one is proof the
+    /// idempotency guard fired under at-least-once delivery).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// Turns on the audit log consumed by the `esr-check` RITU
@@ -98,6 +106,7 @@ impl ReplicaSite for RituOverwriteSite {
     #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
+            self.redelivered += 1;
             return;
         }
         for op in &mset.ops {
@@ -143,6 +152,7 @@ impl ReplicaSite for RituOverwriteSite {
             let new = !self.applied_ets.contains_key(&mset.et);
             fresh.push(new);
             if !new {
+                self.redelivered += 1;
                 continue; // duplicate (earlier delivery or earlier in batch)
             }
             regs.push((mset.et, mset.write_set_vec()));
@@ -249,6 +259,7 @@ pub struct RituMvSite {
     store: MvStore,
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
+    redelivered: u64,
     audit: Option<MvAudit>,
 }
 
@@ -260,6 +271,7 @@ impl RituMvSite {
             store: MvStore::new(),
             applied_ets: FastIdMap::default(),
             applied: 0,
+            redelivered: 0,
             audit: None,
         }
     }
@@ -267,6 +279,12 @@ impl RituMvSite {
     /// Total MSets applied.
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// Duplicate deliveries this site suppressed (each one is proof the
+    /// idempotency guard fired under at-least-once delivery).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
     }
 
     /// The current VTNC.
@@ -330,6 +348,7 @@ impl ReplicaSite for RituMvSite {
 
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
+            self.redelivered += 1;
             return;
         }
         for op in &mset.ops {
@@ -361,6 +380,7 @@ impl ReplicaSite for RituMvSite {
         let mut groups: FastIdMap<ObjectId, Vec<(VersionTs, Value)>> = FastIdMap::default();
         for mset in msets {
             if self.applied_ets.contains_key(&mset.et) {
+                self.redelivered += 1;
                 continue; // duplicate (earlier delivery or earlier in batch)
             }
             for op in mset.ops {
@@ -481,6 +501,31 @@ mod tests {
         s.deliver(m.clone());
         s.deliver(m);
         assert_eq!(s.applied(), 1);
+    }
+
+    #[test]
+    fn overwrite_redelivery_storm_is_idempotent_and_counted() {
+        let msets = [tw(1, X, 1, 10), tw(2, X, 3, 30), tw(3, X, 2, 20)];
+        let mut s = RituOverwriteSite::new(SiteId(0));
+        for m in msets.iter().chain(msets.iter().rev()) {
+            s.deliver(m.clone());
+        }
+        assert_eq!(s.snapshot()[&X], Value::Int(30));
+        assert_eq!(s.applied(), 3);
+        assert_eq!(s.redelivered(), 3);
+    }
+
+    #[test]
+    fn mv_redelivery_storm_is_idempotent_and_counted() {
+        let msets = [tw(1, X, 2, 20), tw(2, X, 1, 10), tw(3, Y, 1, 5)];
+        let mut s = RituMvSite::new(SiteId(0));
+        for m in msets.iter().chain(msets.iter()).chain(msets.iter()) {
+            s.deliver(m.clone());
+        }
+        assert_eq!(s.applied(), 3);
+        assert_eq!(s.redelivered(), 6);
+        assert_eq!(s.version_count(X), 2, "no duplicate versions installed");
+        assert_eq!(s.snapshot()[&X], Value::Int(20));
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Wire codec for [`MSet`]s.
+//!
+//! The chaos runtime backs outbound delivery with durable
+//! [`esr_storage::stable_queue::FileQueue`]s whose payloads are opaque
+//! bytes, and each site keeps a durable apply journal of the MSets it has
+//! applied. Both need a complete, self-describing MSet encoding — every
+//! [`Operation`] and [`Value`] variant plus all three [`OrderTag`]
+//! shapes — so a site restarted after a crash can reconstruct exactly
+//! the updates it had seen.
+//!
+//! The format is a simple tagged binary layout (big-endian integers, no
+//! compression): stable within this workspace, not a cross-version
+//! interchange format. Decoding is total: any byte slice either yields
+//! an MSet or a [`WireError`], never a panic — torn queue tails surface
+//! as errors the recovery path can skip.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use esr_core::ids::{ClientId, EtId, LamportTs, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+
+use crate::mset::{MSet, OrderTag};
+
+/// Why a byte payload failed to decode as an MSet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure was complete.
+    Truncated,
+    /// An unknown tag byte for the given field.
+    BadTag {
+        /// Which field carried the tag ("order", "op", "value").
+        field: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length prefix exceeded the remaining payload (corrupt frame).
+    BadLength,
+    /// Embedded text was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadTag { field, tag } => write!(f, "unknown {field} tag {tag:#04x}"),
+            WireError::BadLength => write!(f, "length prefix exceeds payload"),
+            WireError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const ORDER_UNORDERED: u8 = 0;
+const ORDER_SEQUENCED: u8 = 1;
+const ORDER_LAMPORT: u8 = 2;
+
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_INCR: u8 = 2;
+const OP_DECR: u8 = 3;
+const OP_MULBY: u8 = 4;
+const OP_DIVBY: u8 = 5;
+const OP_INSERT: u8 = 6;
+const OP_REMOVE: u8 = 7;
+const OP_TSWRITE: u8 = 8;
+
+const VAL_INT: u8 = 0;
+const VAL_TEXT: u8 = 1;
+const VAL_SET: u8 = 2;
+
+/// Encodes an MSet into a self-contained byte payload.
+pub fn encode_mset(mset: &MSet) -> Bytes {
+    let mut b = BytesMut::with_capacity(32 + 16 * mset.ops.len());
+    b.put_u64(mset.et.raw());
+    b.put_u64(mset.origin.raw());
+    match mset.order {
+        OrderTag::Unordered => b.put_u8(ORDER_UNORDERED),
+        OrderTag::Sequenced(seq) => {
+            b.put_u8(ORDER_SEQUENCED);
+            b.put_u64(seq.raw());
+        }
+        OrderTag::Lamport { ts, fifo } => {
+            b.put_u8(ORDER_LAMPORT);
+            b.put_u64(ts.counter);
+            b.put_u64(ts.site.raw());
+            b.put_u64(fifo.raw());
+        }
+    }
+    b.put_u32(mset.ops.len() as u32);
+    for op in &mset.ops {
+        b.put_u64(op.object.raw());
+        encode_op(&mut b, &op.op);
+    }
+    b.freeze()
+}
+
+fn encode_op(b: &mut BytesMut, op: &Operation) {
+    match op {
+        Operation::Read => b.put_u8(OP_READ),
+        Operation::Write(v) => {
+            b.put_u8(OP_WRITE);
+            encode_value(b, v);
+        }
+        Operation::Incr(n) => {
+            b.put_u8(OP_INCR);
+            b.put_i64(*n);
+        }
+        Operation::Decr(n) => {
+            b.put_u8(OP_DECR);
+            b.put_i64(*n);
+        }
+        Operation::MulBy(k) => {
+            b.put_u8(OP_MULBY);
+            b.put_i64(*k);
+        }
+        Operation::DivBy(k) => {
+            b.put_u8(OP_DIVBY);
+            b.put_i64(*k);
+        }
+        Operation::InsertElem(e) => {
+            b.put_u8(OP_INSERT);
+            b.put_i64(*e);
+        }
+        Operation::RemoveElem(e) => {
+            b.put_u8(OP_REMOVE);
+            b.put_i64(*e);
+        }
+        Operation::TimestampedWrite(ts, v) => {
+            b.put_u8(OP_TSWRITE);
+            b.put_u64(ts.time);
+            b.put_u64(ts.client.raw());
+            encode_value(b, v);
+        }
+    }
+}
+
+fn encode_value(b: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            b.put_u8(VAL_INT);
+            b.put_i64(*i);
+        }
+        Value::Text(s) => {
+            b.put_u8(VAL_TEXT);
+            b.put_u32(s.len() as u32);
+            b.put_slice(s.as_bytes());
+        }
+        Value::Set(s) => {
+            b.put_u8(VAL_SET);
+            b.put_u32(s.len() as u32);
+            for e in s {
+                b.put_i64(*e);
+            }
+        }
+    }
+}
+
+/// Decodes an MSet produced by [`encode_mset`].
+pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
+    let mut b = payload.clone();
+    let et = EtId(get_u64(&mut b)?);
+    let origin = SiteId(get_u64(&mut b)?);
+    let order = match get_u8(&mut b)? {
+        ORDER_UNORDERED => OrderTag::Unordered,
+        ORDER_SEQUENCED => OrderTag::Sequenced(SeqNo(get_u64(&mut b)?)),
+        ORDER_LAMPORT => {
+            let counter = get_u64(&mut b)?;
+            let site = SiteId(get_u64(&mut b)?);
+            let fifo = SeqNo(get_u64(&mut b)?);
+            OrderTag::Lamport {
+                ts: LamportTs::new(counter, site),
+                fifo,
+            }
+        }
+        tag => return Err(WireError::BadTag { field: "order", tag }),
+    };
+    let n = get_u32(&mut b)? as usize;
+    // Each op is at least 9 bytes; reject absurd counts up front so a
+    // corrupt length cannot trigger a huge allocation.
+    if n > b.remaining() {
+        return Err(WireError::BadLength);
+    }
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let object = ObjectId(get_u64(&mut b)?);
+        let op = decode_op(&mut b)?;
+        ops.push(ObjectOp::new(object, op));
+    }
+    let mut mset = MSet::new(et, origin, ops);
+    mset.order = order;
+    Ok(mset)
+}
+
+fn decode_op(b: &mut Bytes) -> Result<Operation, WireError> {
+    Ok(match get_u8(b)? {
+        OP_READ => Operation::Read,
+        OP_WRITE => Operation::Write(decode_value(b)?),
+        OP_INCR => Operation::Incr(get_i64(b)?),
+        OP_DECR => Operation::Decr(get_i64(b)?),
+        OP_MULBY => Operation::MulBy(get_i64(b)?),
+        OP_DIVBY => Operation::DivBy(get_i64(b)?),
+        OP_INSERT => Operation::InsertElem(get_i64(b)?),
+        OP_REMOVE => Operation::RemoveElem(get_i64(b)?),
+        OP_TSWRITE => {
+            let time = get_u64(b)?;
+            let client = ClientId(get_u64(b)?);
+            let v = decode_value(b)?;
+            Operation::TimestampedWrite(VersionTs::new(time, client), v)
+        }
+        tag => return Err(WireError::BadTag { field: "op", tag }),
+    })
+}
+
+fn decode_value(b: &mut Bytes) -> Result<Value, WireError> {
+    Ok(match get_u8(b)? {
+        VAL_INT => Value::Int(get_i64(b)?),
+        VAL_TEXT => {
+            let len = get_u32(b)? as usize;
+            if b.remaining() < len {
+                return Err(WireError::BadLength);
+            }
+            let raw = b.copy_to_bytes(len);
+            let s = std::str::from_utf8(raw.as_ref()).map_err(|_| WireError::BadUtf8)?;
+            Value::Text(s.to_string())
+        }
+        VAL_SET => {
+            let len = get_u32(b)? as usize;
+            if b.remaining() < len.saturating_mul(8) {
+                return Err(WireError::BadLength);
+            }
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..len {
+                set.insert(get_i64(b)?);
+            }
+            Value::Set(set)
+        }
+        tag => return Err(WireError::BadTag { field: "value", tag }),
+    })
+}
+
+fn get_u8(b: &mut Bytes) -> Result<u8, WireError> {
+    if b.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut Bytes) -> Result<u32, WireError> {
+    if b.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u32())
+}
+
+fn get_u64(b: &mut Bytes) -> Result<u64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_u64())
+}
+
+fn get_i64(b: &mut Bytes) -> Result<i64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(b.get_i64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn roundtrip(mset: &MSet) {
+        let bytes = encode_mset(mset);
+        let back = decode_mset(&bytes).expect("decode");
+        assert_eq!(&back, mset);
+    }
+
+    #[test]
+    fn every_operation_variant_round_trips() {
+        let ops = vec![
+            ObjectOp::new(ObjectId(0), Operation::Read),
+            ObjectOp::new(ObjectId(1), Operation::Write(Value::Int(-7))),
+            ObjectOp::new(ObjectId(2), Operation::Incr(i64::MAX)),
+            ObjectOp::new(ObjectId(3), Operation::Decr(i64::MIN + 1)),
+            ObjectOp::new(ObjectId(4), Operation::MulBy(3)),
+            ObjectOp::new(ObjectId(5), Operation::DivBy(-2)),
+            ObjectOp::new(ObjectId(6), Operation::InsertElem(42)),
+            ObjectOp::new(ObjectId(7), Operation::RemoveElem(-42)),
+            ObjectOp::new(
+                ObjectId(8),
+                Operation::TimestampedWrite(
+                    VersionTs::new(99, ClientId(3)),
+                    Value::Text("héllo".into()),
+                ),
+            ),
+            ObjectOp::new(
+                ObjectId(9),
+                Operation::Write(Value::Set(BTreeSet::from([-1, 0, 7]))),
+            ),
+        ];
+        roundtrip(&MSet::new(EtId(12), SiteId(2), ops));
+    }
+
+    #[test]
+    fn every_order_tag_round_trips() {
+        let ops = vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))];
+        roundtrip(&MSet::new(EtId(1), SiteId(0), ops.clone()));
+        roundtrip(&MSet::new(EtId(2), SiteId(1), ops.clone()).sequenced(SeqNo(77)));
+        roundtrip(
+            &MSet::new(EtId(3), SiteId(2), ops)
+                .lamport(LamportTs::new(5, SiteId(2)), SeqNo(4)),
+        );
+    }
+
+    #[test]
+    fn empty_mset_round_trips() {
+        roundtrip(&MSet::new(EtId(0), SiteId(0), vec![]));
+    }
+
+    #[test]
+    fn truncation_at_any_prefix_is_an_error_not_a_panic() {
+        let mset = MSet::new(
+            EtId(5),
+            SiteId(1),
+            vec![
+                ObjectOp::new(ObjectId(1), Operation::Write(Value::Text("abc".into()))),
+                ObjectOp::new(
+                    ObjectId(2),
+                    Operation::TimestampedWrite(
+                        VersionTs::new(8, ClientId(1)),
+                        Value::Set(BTreeSet::from([1, 2])),
+                    ),
+                ),
+            ],
+        )
+        .sequenced(SeqNo(3));
+        let bytes = encode_mset(&mset);
+        for cut in 0..bytes.len() {
+            let prefix = Bytes::copy_from_slice(&bytes.as_slice()[..cut]);
+            assert!(
+                decode_mset(&prefix).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        assert!(decode_mset(&bytes).is_ok());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mset = MSet::new(
+            EtId(1),
+            SiteId(0),
+            vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+        );
+        let mut raw = encode_mset(&mset).to_vec();
+        // Byte 16 is the order tag.
+        raw[16] = 0xEE;
+        assert!(matches!(
+            decode_mset(&Bytes::from(raw)),
+            Err(WireError::BadTag { field: "order", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_op_count_is_rejected_without_allocation_blowup() {
+        let mset = MSet::new(EtId(1), SiteId(0), vec![]);
+        let mut raw = encode_mset(&mset).to_vec();
+        // Last four bytes are the op count.
+        let n = raw.len();
+        raw[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_mset(&Bytes::from(raw)), Err(WireError::BadLength));
+    }
+}

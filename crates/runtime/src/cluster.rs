@@ -9,13 +9,22 @@
 //! the local replica has, and `quiesce` waits for the system to settle —
 //! at which point all replicas are identical, the ESR convergence
 //! guarantee.
+//!
+//! Clusters built with [`Cluster::chaos`] additionally route every
+//! update through the fault-injection relays of [`crate::chaos`]
+//! (seeded drops, duplicates, partition windows, durable at-least-once
+//! queues) and support [`Cluster::crash`] / [`Cluster::restart`], with
+//! recovery driven by the per-site journal and shared control log of
+//! [`crate::recovery`].
 
-use std::collections::BTreeMap;
-
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::atomic::AtomicCell;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
 
 use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
 use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
@@ -27,7 +36,12 @@ use esr_replica::mset::MSet;
 use esr_replica::ordup::OrdupSite;
 use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
 use esr_replica::site::{QueryOutcome, ReplicaSite};
+use esr_replica::wire::encode_mset;
 use esr_sim::probe;
+use esr_storage::stable_queue::EntryId;
+
+use crate::chaos::{self, ChaosStats, FaultPlan, RelayHandle, RelayMsg, TraceEvent};
+use crate::recovery::{ApplyJournal, ControlLog, ControlReplay, Decision};
 
 /// Logical shared-memory location namespace for the per-site protocol
 /// state, annotated via [`probe::mem_read`] / [`probe::mem_write`] so
@@ -78,9 +92,10 @@ pub enum RtCanary {
 }
 
 /// Per-site oracle evidence extracted after a run via
-/// [`Cluster::audit_of`] (populated only for clusters built with
-/// [`Cluster::checked`]; fields irrelevant to the method in force stay
-/// empty).
+/// [`Cluster::audit_of`]. The protocol logs are populated only for
+/// clusters built with [`Cluster::checked`]; the chaos counters
+/// (`redelivered`, `journaled`, `link_*`) are always live on chaos
+/// clusters, proving the injected faults actually fired.
 #[derive(Debug, Clone, Default)]
 pub struct SiteAudit {
     /// ORDUP: `(et, seq)` in application order.
@@ -97,6 +112,18 @@ pub struct SiteAudit {
     pub vtnc_violations: u64,
     /// COMPE: lifecycle events in order.
     pub compe_events: Vec<(EtId, CompeEvent)>,
+    /// Duplicate deliveries this site's idempotency guards suppressed.
+    pub redelivered: u64,
+    /// MSets durably journalled at this site (chaos clusters only).
+    pub journaled: u64,
+    /// Planned retry attempts on links into this site (chaos only).
+    pub link_retries: u64,
+    /// Ack-timeout re-sends on links into this site (chaos only).
+    pub link_resends: u64,
+    /// Attempts dropped on links into this site (chaos only).
+    pub link_dropped: u64,
+    /// Planned duplicate copies on links into this site (chaos only).
+    pub link_duplicated: u64,
 }
 
 enum SiteState {
@@ -163,6 +190,15 @@ impl SiteState {
             SiteState::Compe(s) => s.has_applied(et),
         }
     }
+    fn redelivered(&self) -> u64 {
+        match self {
+            SiteState::Ordup(s) => s.redelivered(),
+            SiteState::Commu(s) => s.redelivered(),
+            SiteState::Ritu(s) => s.redelivered(),
+            SiteState::RituMv(s) => s.redelivered(),
+            SiteState::Compe(s) => s.redelivered(),
+        }
+    }
     fn enable_audit(&mut self) {
         match self {
             SiteState::Ordup(s) => s.enable_audit(),
@@ -184,12 +220,48 @@ impl SiteState {
             }
             SiteState::Compe(s) => a.compe_events = s.audit_log().to_vec(),
         }
+        a.redelivered = self.redelivered();
         a
+    }
+
+    /// Replays recovered control-plane broadcasts after a journal
+    /// replay: completion notices, the certified VTNC horizon, and COMPE
+    /// decisions in their original order. Everything here is idempotent,
+    /// so notices the site already processed before crashing are
+    /// harmless to replay.
+    fn replay_control(&mut self, r: &ControlReplay) {
+        for &et in &r.completed {
+            match self {
+                SiteState::Commu(s) => s.complete(et),
+                SiteState::Ritu(s) => s.complete(et),
+                _ => {}
+            }
+        }
+        if let (SiteState::RituMv(s), Some(v)) = (&mut *self, r.vtnc_max) {
+            s.advance_vtnc(v);
+        }
+        if let SiteState::Compe(s) = self {
+            for d in &r.decisions {
+                match d {
+                    Decision::Commit(et) => s.commit(*et),
+                    Decision::Abort(et) => {
+                        let _ = s.abort(*et);
+                    }
+                }
+            }
+        }
     }
 }
 
 enum SiteMsg {
     Deliver(MSet),
+    /// A relay-delivered MSet under chaos: journal, apply, then ack back
+    /// through `ack` so the relay can retire the durable entry.
+    ChaosDeliver {
+        mset: MSet,
+        entry: EntryId,
+        ack: Sender<RelayMsg>,
+    },
     Complete(EtId),
     AdvanceVtnc(VersionTs),
     Commit(EtId),
@@ -212,12 +284,40 @@ enum SiteMsg {
     Audit {
         reply: Sender<SiteAudit>,
     },
+    /// Tear the site thread down mid-stream (chaos): everything still in
+    /// the channel is lost, exactly like a process kill; durable state
+    /// (journal) survives for [`Cluster::restart`].
+    Crash,
     Shutdown,
 }
 
 enum TrackerMsg {
     Applied { et: EtId, version: Option<VersionTs> },
     Shutdown,
+}
+
+type SharedSenders = Arc<RwLock<Vec<Sender<SiteMsg>>>>;
+
+/// Everything a site thread needs besides its receiver; bundled so
+/// [`Cluster::restart`] can respawn a site with identical wiring.
+#[derive(Clone)]
+struct SiteSpawn {
+    method: RtMethod,
+    audit: bool,
+    canary: RtCanary,
+    tracker: Option<Sender<TrackerMsg>>,
+    /// Journal path + shared control log; `Some` only under chaos.
+    chaos: Option<(PathBuf, Arc<ControlLog>)>,
+}
+
+/// The chaos machinery attached to a cluster built with
+/// [`Cluster::chaos`].
+struct ChaosRuntime {
+    /// Relay per directed link, indexed `from * n + to`.
+    relays: Vec<RelayHandle>,
+    control: Arc<ControlLog>,
+    crashes: u64,
+    restarts: u64,
 }
 
 /// A running thread-per-site cluster.
@@ -238,8 +338,10 @@ enum TrackerMsg {
 /// ```
 pub struct Cluster {
     method: RtMethod,
-    site_senders: Vec<Sender<SiteMsg>>,
-    site_threads: Vec<JoinHandle<()>>,
+    /// Senders shared with the tracker and the relays so
+    /// [`Cluster::restart`] can swap a crashed site's channel in place.
+    site_senders: SharedSenders,
+    site_threads: Vec<Option<JoinHandle<()>>>,
     tracker_sender: Option<Sender<TrackerMsg>>,
     tracker_thread: Option<JoinHandle<()>>,
     sequencer: AtomicCell,
@@ -249,12 +351,261 @@ pub struct Cluster {
     // race the explorer cannot replay.
     next_et: AtomicCell,
     n: usize,
+    spawn_cfg: SiteSpawn,
+    chaos: Option<ChaosRuntime>,
+}
+
+fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()> {
+    let id = SiteId(i as u64);
+    std::thread::Builder::new()
+        .name(format!("esr-site-{i}"))
+        .spawn(move || {
+            let SiteSpawn {
+                method,
+                audit,
+                canary,
+                tracker,
+                chaos,
+            } = cfg;
+            let mut state = match method {
+                RtMethod::Ordup => SiteState::Ordup(OrdupSite::new(id)),
+                RtMethod::Commu => SiteState::Commu(CommuSite::new(id)),
+                RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
+                RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
+                RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
+            };
+            if audit {
+                state.enable_audit();
+            }
+            // Chaos recovery: rebuild from the durable journal (every
+            // MSet this incarnation or a predecessor accepted), then
+            // replay the control log to recover broadcasts that died
+            // with a crashed predecessor's channel. Journal replay must
+            // NOT re-notify the tracker — it already counted these
+            // applies before the crash.
+            let mut journal: Option<ApplyJournal> = None;
+            let mut journaled: HashSet<EtId> = HashSet::new();
+            if let Some((journal_path, control)) = &chaos {
+                let j = ApplyJournal::open(journal_path).unwrap_or_else(|e| {
+                    panic!("open site journal {}: {e}", journal_path.display())
+                });
+                for mset in j.replay() {
+                    journaled.insert(mset.et);
+                    state.deliver(mset);
+                }
+                state.replay_control(&control.snapshot());
+                journal = Some(j);
+            }
+            // Logical location of this site's protocol state for
+            // the race detector: only this thread may touch it.
+            let state_loc = SITE_STATE_LOC + i as u64;
+            // One message may be carried over from a drain that
+            // stopped at a non-matching message.
+            let mut carried: Option<SiteMsg> = None;
+            loop {
+                let msg = match carried.take() {
+                    Some(m) => m,
+                    None => match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    },
+                };
+                match msg {
+                    SiteMsg::Deliver(mset) => {
+                        // Drain the run of deliveries already
+                        // queued behind this one so the site
+                        // absorbs them through the method's
+                        // batch fast path; the first
+                        // non-delivery stops the run and is
+                        // processed next, preserving order.
+                        let mut batch = vec![mset];
+                        loop {
+                            match rx.try_recv() {
+                                Ok(SiteMsg::Deliver(m)) => batch.push(m),
+                                Ok(other) => {
+                                    carried = Some(other);
+                                    break;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        // ETs this batch may newly apply, deduped
+                        // in arrival order (a duplicate delivery
+                        // must not produce a second ack).
+                        let mut candidates: Vec<(EtId, Option<VersionTs>)> = Vec::new();
+                        for m in &batch {
+                            if state.has_applied(m.et)
+                                || candidates.iter().any(|(e, _)| *e == m.et)
+                            {
+                                continue;
+                            }
+                            let version = m
+                                .ops
+                                .iter()
+                                .filter_map(|o| match &o.op {
+                                    Operation::TimestampedWrite(ts, _) => Some(*ts),
+                                    _ => None,
+                                })
+                                .max();
+                            candidates.push((m.et, version));
+                        }
+                        probe::mem_write(state_loc);
+                        match (&mut state, canary) {
+                            // Canary: bypass the ORDUP hold-back
+                            // and apply in raw arrival order —
+                            // the global-order oracle must flag
+                            // the resulting sequence gaps.
+                            (
+                                SiteState::Ordup(s),
+                                RtCanary::OrdupSequencerDisabled,
+                            ) => {
+                                for m in batch.drain(..) {
+                                    s.apply_unchecked(m);
+                                }
+                            }
+                            _ => {
+                                if batch.len() == 1 {
+                                    if let Some(single) = batch.pop() {
+                                        state.deliver(single);
+                                    }
+                                } else {
+                                    state.deliver_batch(batch);
+                                }
+                            }
+                        }
+                        if let Some(t) = &tracker {
+                            for (et, version) in candidates {
+                                if state.has_applied(et) {
+                                    let _ = t.send(TrackerMsg::Applied { et, version });
+                                }
+                            }
+                        }
+                    }
+                    SiteMsg::ChaosDeliver { mset, entry, ack } => {
+                        probe::mem_write(state_loc);
+                        let et = mset.et;
+                        // Write-ahead: journal before applying, so an
+                        // acked entry is never lost to a crash. The
+                        // `journaled` set (not `has_applied`) gates the
+                        // append — an ORDUP MSet can be journalled yet
+                        // still held back.
+                        if !journaled.contains(&et) {
+                            if let Some(j) = &mut journal {
+                                j.record(&mset);
+                            }
+                            journaled.insert(et);
+                        }
+                        let before = state.has_applied(et);
+                        let version = mset
+                            .ops
+                            .iter()
+                            .filter_map(|o| match &o.op {
+                                Operation::TimestampedWrite(ts, _) => Some(*ts),
+                                _ => None,
+                            })
+                            .max();
+                        state.deliver(mset);
+                        // Notify the tracker only on the transition to
+                        // applied: duplicates and journal replays must
+                        // not inflate the per-ET ack count.
+                        if !before && state.has_applied(et) {
+                            if let Some(t) = &tracker {
+                                let _ = t.send(TrackerMsg::Applied { et, version });
+                            }
+                        }
+                        // Ack-after-journal+apply: the relay may now
+                        // retire the durable entry.
+                        let _ = ack.send(RelayMsg::Ack { entry });
+                    }
+                    SiteMsg::Complete(et) => {
+                        probe::mem_write(state_loc);
+                        match &mut state {
+                            SiteState::Commu(s) => s.complete(et),
+                            SiteState::Ritu(s) => s.complete(et),
+                            _ => {}
+                        }
+                    }
+                    SiteMsg::AdvanceVtnc(ts) => {
+                        // The horizon is monotone, so a queued
+                        // run of advances collapses to its max.
+                        let mut horizon = ts;
+                        loop {
+                            match rx.try_recv() {
+                                Ok(SiteMsg::AdvanceVtnc(t2)) => {
+                                    horizon = horizon.max(t2);
+                                }
+                                Ok(other) => {
+                                    carried = Some(other);
+                                    break;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        probe::mem_write(state_loc);
+                        if let SiteState::RituMv(s) = &mut state {
+                            s.advance_vtnc(horizon);
+                        }
+                    }
+                    SiteMsg::Commit(et) => {
+                        probe::mem_write(state_loc);
+                        if let SiteState::Compe(s) = &mut state {
+                            s.commit(et);
+                        }
+                    }
+                    SiteMsg::Abort(et) => {
+                        probe::mem_write(state_loc);
+                        if let SiteState::Compe(s) = &mut state {
+                            s.abort(et);
+                        }
+                    }
+                    SiteMsg::Query {
+                        read_set,
+                        epsilon,
+                        reply,
+                    } => {
+                        probe::mem_write(state_loc);
+                        // Canary: ignore the declared budget —
+                        // the epsilon-accounting oracle must
+                        // flag admitted queries whose charge
+                        // exceeds the spec the client declared.
+                        let spec = if canary == RtCanary::EpsilonIgnored {
+                            EpsilonSpec::UNBOUNDED
+                        } else {
+                            epsilon
+                        };
+                        let mut counter = InconsistencyCounter::new(spec);
+                        let _ = reply.send(state.query(&read_set, &mut counter));
+                    }
+                    SiteMsg::Snapshot { reply } => {
+                        probe::mem_read(state_loc);
+                        let _ = reply.send(state.snapshot());
+                    }
+                    SiteMsg::Settled { reply } => {
+                        probe::mem_read(state_loc);
+                        let _ = reply.send(state.settled());
+                    }
+                    SiteMsg::HasApplied { et, reply } => {
+                        probe::mem_read(state_loc);
+                        let _ = reply.send(state.has_applied(et));
+                    }
+                    SiteMsg::Audit { reply } => {
+                        probe::mem_read(state_loc);
+                        let mut a = state.audit();
+                        a.journaled = journal.as_ref().map_or(0, ApplyJournal::entries);
+                        let _ = reply.send(a);
+                    }
+                    SiteMsg::Crash => break,
+                    SiteMsg::Shutdown => break,
+                }
+            }
+        })
+        .unwrap_or_else(|e| panic!("spawn site thread {i}: {e}"))
 }
 
 impl Cluster {
     /// Spawns `n` site threads running `method`.
     pub fn new(method: RtMethod, n: usize) -> Self {
-        Self::build(method, n, false, RtCanary::None)
+        Self::build(method, n, false, RtCanary::None, None)
     }
 
     /// Spawns a cluster with per-site oracle audits enabled and an
@@ -262,18 +613,37 @@ impl Cluster {
     /// drives. Pass [`RtCanary::None`] for a faithful (audited but
     /// unmutated) cluster.
     pub fn checked(method: RtMethod, n: usize, canary: RtCanary) -> Self {
-        Self::build(method, n, true, canary)
+        Self::build(method, n, true, canary, None)
     }
 
-    fn build(method: RtMethod, n: usize, audit: bool, canary: RtCanary) -> Self {
+    /// Spawns a chaos cluster: every update MSet travels through a
+    /// durable per-link relay that injects the seeded faults of `plan`,
+    /// and sites journal accepted MSets under `dir` so
+    /// [`Cluster::crash`] / [`Cluster::restart`] can lose and rebuild a
+    /// site mid-run. `dir` is created if missing and must be private to
+    /// this cluster (queue and journal files are keyed by site index).
+    pub fn chaos(method: RtMethod, n: usize, plan: FaultPlan, dir: impl AsRef<Path>) -> Self {
+        Self::build(method, n, false, RtCanary::None, Some((plan, dir.as_ref().to_path_buf())))
+    }
+
+    fn build(
+        method: RtMethod,
+        n: usize,
+        audit: bool,
+        canary: RtCanary,
+        chaos: Option<(FaultPlan, PathBuf)>,
+    ) -> Self {
         assert!(n > 0);
-        let mut site_senders = Vec::with_capacity(n);
+        let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<SiteMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
-            site_senders.push(tx);
+            senders.push(tx);
             receivers.push(rx);
         }
+        let site_senders: SharedSenders = Arc::new(RwLock::new(senders));
+        let control = Arc::new(ControlLog::new());
+        let chaos_control = chaos.as_ref().map(|_| Arc::clone(&control));
 
         // Completion tracker (COMMU/RITU lock-counter release): counts
         // per-ET applies and broadcasts Complete once all sites report.
@@ -282,7 +652,8 @@ impl Cluster {
             RtMethod::Commu | RtMethod::Ritu | RtMethod::RituMv
         ) {
             let (ttx, trx) = unbounded::<TrackerMsg>();
-            let senders = site_senders.clone();
+            let senders = Arc::clone(&site_senders);
+            let control = chaos_control.clone();
             // VtncEagerCertify canary: certify on the first ack instead
             // of waiting for every site — the injected defect the
             // VTNC-safety oracle must catch.
@@ -321,13 +692,23 @@ impl Cluster {
                                                 next_time += 1;
                                             }
                                             if let Some(h) = horizon {
-                                                for s in &senders {
+                                                // Log before broadcasting
+                                                // so a site crashing now
+                                                // recovers the notice at
+                                                // restart.
+                                                if let Some(c) = &control {
+                                                    c.note_vtnc(h);
+                                                }
+                                                for s in senders.read().iter() {
                                                     let _ = s.send(SiteMsg::AdvanceVtnc(h));
                                                 }
                                             }
                                         }
                                     } else {
-                                        for s in &senders {
+                                        if let Some(c) = &control {
+                                            c.note_complete(et);
+                                        }
+                                        for s in senders.read().iter() {
                                             let _ = s.send(SiteMsg::Complete(et));
                                         }
                                     }
@@ -343,190 +724,69 @@ impl Cluster {
             (None, None)
         };
 
-        let mut site_threads = Vec::with_capacity(n);
-        for (i, rx) in receivers.into_iter().enumerate() {
-            let id = SiteId(i as u64);
-            let tracker = tracker_sender.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("esr-site-{i}"))
-                .spawn(move || {
-                    let mut state = match method {
-                        RtMethod::Ordup => SiteState::Ordup(OrdupSite::new(id)),
-                        RtMethod::Commu => SiteState::Commu(CommuSite::new(id)),
-                        RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
-                        RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
-                        RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
+        let chaos_dir = chaos.as_ref().map(|(_, dir)| {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("create chaos dir {}: {e}", dir.display()));
+            dir.clone()
+        });
+        let spawn_cfg = SiteSpawn {
+            method,
+            audit,
+            canary,
+            tracker: tracker_sender.clone(),
+            chaos: chaos_dir
+                .as_ref()
+                .map(|dir| (dir.clone(), Arc::clone(&control))),
+        };
+        let site_threads = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let mut cfg = spawn_cfg.clone();
+                if let Some((dir, control)) = cfg.chaos.take() {
+                    cfg.chaos = Some((dir.join(format!("site-{i}.journal")), control));
+                }
+                Some(spawn_site(i, rx, cfg))
+            })
+            .collect();
+
+        // Relays: one durable queue + fate planner per directed link
+        // (self-links included — an origin's copy to itself rides the
+        // same machinery, just never partitioned).
+        let chaos = chaos.map(|(plan, dir)| {
+            let mut relays = Vec::with_capacity(n * n);
+            for from in 0..n {
+                for to in 0..n {
+                    let (tx, rx) = unbounded::<RelayMsg>();
+                    let ack_tx = tx.clone();
+                    let senders = Arc::clone(&site_senders);
+                    let deliver = move |mset: MSet, entry: EntryId| {
+                        let site = { senders.read()[to].clone() };
+                        site.send(SiteMsg::ChaosDeliver {
+                            mset,
+                            entry,
+                            ack: ack_tx.clone(),
+                        })
+                        .is_ok()
                     };
-                    if audit {
-                        state.enable_audit();
-                    }
-                    // Logical location of this site's protocol state for
-                    // the race detector: only this thread may touch it.
-                    let state_loc = SITE_STATE_LOC + i as u64;
-                    // One message may be carried over from a drain that
-                    // stopped at a non-matching message.
-                    let mut carried: Option<SiteMsg> = None;
-                    loop {
-                        let msg = match carried.take() {
-                            Some(m) => m,
-                            None => match rx.recv() {
-                                Ok(m) => m,
-                                Err(_) => break,
-                            },
-                        };
-                        match msg {
-                            SiteMsg::Deliver(mset) => {
-                                // Drain the run of deliveries already
-                                // queued behind this one so the site
-                                // absorbs them through the method's
-                                // batch fast path; the first
-                                // non-delivery stops the run and is
-                                // processed next, preserving order.
-                                let mut batch = vec![mset];
-                                loop {
-                                    match rx.try_recv() {
-                                        Ok(SiteMsg::Deliver(m)) => batch.push(m),
-                                        Ok(other) => {
-                                            carried = Some(other);
-                                            break;
-                                        }
-                                        Err(_) => break,
-                                    }
-                                }
-                                // ETs this batch may newly apply, deduped
-                                // in arrival order (a duplicate delivery
-                                // must not produce a second ack).
-                                let mut candidates: Vec<(EtId, Option<VersionTs>)> = Vec::new();
-                                for m in &batch {
-                                    if state.has_applied(m.et)
-                                        || candidates.iter().any(|(e, _)| *e == m.et)
-                                    {
-                                        continue;
-                                    }
-                                    let version = m
-                                        .ops
-                                        .iter()
-                                        .filter_map(|o| match &o.op {
-                                            Operation::TimestampedWrite(ts, _) => Some(*ts),
-                                            _ => None,
-                                        })
-                                        .max();
-                                    candidates.push((m.et, version));
-                                }
-                                probe::mem_write(state_loc);
-                                match (&mut state, canary) {
-                                    // Canary: bypass the ORDUP hold-back
-                                    // and apply in raw arrival order —
-                                    // the global-order oracle must flag
-                                    // the resulting sequence gaps.
-                                    (
-                                        SiteState::Ordup(s),
-                                        RtCanary::OrdupSequencerDisabled,
-                                    ) => {
-                                        for m in batch.drain(..) {
-                                            s.apply_unchecked(m);
-                                        }
-                                    }
-                                    _ => {
-                                        if batch.len() == 1 {
-                                            if let Some(single) = batch.pop() {
-                                                state.deliver(single);
-                                            }
-                                        } else {
-                                            state.deliver_batch(batch);
-                                        }
-                                    }
-                                }
-                                if let Some(t) = &tracker {
-                                    for (et, version) in candidates {
-                                        if state.has_applied(et) {
-                                            let _ = t.send(TrackerMsg::Applied { et, version });
-                                        }
-                                    }
-                                }
-                            }
-                            SiteMsg::Complete(et) => {
-                                probe::mem_write(state_loc);
-                                match &mut state {
-                                    SiteState::Commu(s) => s.complete(et),
-                                    SiteState::Ritu(s) => s.complete(et),
-                                    _ => {}
-                                }
-                            }
-                            SiteMsg::AdvanceVtnc(ts) => {
-                                // The horizon is monotone, so a queued
-                                // run of advances collapses to its max.
-                                let mut horizon = ts;
-                                loop {
-                                    match rx.try_recv() {
-                                        Ok(SiteMsg::AdvanceVtnc(t2)) => {
-                                            horizon = horizon.max(t2);
-                                        }
-                                        Ok(other) => {
-                                            carried = Some(other);
-                                            break;
-                                        }
-                                        Err(_) => break,
-                                    }
-                                }
-                                probe::mem_write(state_loc);
-                                if let SiteState::RituMv(s) = &mut state {
-                                    s.advance_vtnc(horizon);
-                                }
-                            }
-                            SiteMsg::Commit(et) => {
-                                probe::mem_write(state_loc);
-                                if let SiteState::Compe(s) = &mut state {
-                                    s.commit(et);
-                                }
-                            }
-                            SiteMsg::Abort(et) => {
-                                probe::mem_write(state_loc);
-                                if let SiteState::Compe(s) = &mut state {
-                                    s.abort(et);
-                                }
-                            }
-                            SiteMsg::Query {
-                                read_set,
-                                epsilon,
-                                reply,
-                            } => {
-                                probe::mem_write(state_loc);
-                                // Canary: ignore the declared budget —
-                                // the epsilon-accounting oracle must
-                                // flag admitted queries whose charge
-                                // exceeds the spec the client declared.
-                                let spec = if canary == RtCanary::EpsilonIgnored {
-                                    EpsilonSpec::UNBOUNDED
-                                } else {
-                                    epsilon
-                                };
-                                let mut counter = InconsistencyCounter::new(spec);
-                                let _ = reply.send(state.query(&read_set, &mut counter));
-                            }
-                            SiteMsg::Snapshot { reply } => {
-                                probe::mem_read(state_loc);
-                                let _ = reply.send(state.snapshot());
-                            }
-                            SiteMsg::Settled { reply } => {
-                                probe::mem_read(state_loc);
-                                let _ = reply.send(state.settled());
-                            }
-                            SiteMsg::HasApplied { et, reply } => {
-                                probe::mem_read(state_loc);
-                                let _ = reply.send(state.has_applied(et));
-                            }
-                            SiteMsg::Audit { reply } => {
-                                probe::mem_read(state_loc);
-                                let _ = reply.send(state.audit());
-                            }
-                            SiteMsg::Shutdown => break,
-                        }
-                    }
-                })
-                .unwrap_or_else(|e| panic!("spawn site thread {i}: {e}"));
-            site_threads.push(handle);
-        }
+                    relays.push(chaos::spawn_relay(
+                        SiteId(from as u64),
+                        SiteId(to as u64),
+                        n,
+                        plan.clone(),
+                        dir.join(format!("link-{from}-{to}.queue")),
+                        (tx, rx),
+                        deliver,
+                    ));
+                }
+            }
+            ChaosRuntime {
+                relays,
+                control,
+                crashes: 0,
+                restarts: 0,
+            }
+        });
 
         Self {
             method,
@@ -538,6 +798,8 @@ impl Cluster {
             version_clock: AtomicCell::new(0),
             next_et: AtomicCell::new(1),
             n,
+            spawn_cfg,
+            chaos,
         }
     }
 
@@ -555,8 +817,15 @@ impl Cluster {
         EtId(self.next_et.fetch_add(1))
     }
 
+    fn sender_of(&self, site: SiteId) -> Sender<SiteMsg> {
+        self.site_senders.read()[site.raw() as usize].clone()
+    }
+
     /// Submits an update ET originating at `origin`; the MSet fans out to
     /// every site asynchronously. Returns immediately with the ET id.
+    /// On a chaos cluster the copies travel through the per-link durable
+    /// relays (encoded with the wire codec) instead of being handed to
+    /// the site channels directly.
     pub fn submit_update(&self, origin: SiteId, ops: Vec<ObjectOp>) -> EtId {
         let et = self.fresh_et();
         let mset = match self.method {
@@ -566,8 +835,18 @@ impl Cluster {
             }
             _ => MSet::new(et, origin, ops),
         };
-        for s in &self.site_senders {
-            let _ = s.send(SiteMsg::Deliver(mset.clone()));
+        if let Some(c) = &self.chaos {
+            let bytes = encode_mset(&mset);
+            let from = origin.raw() as usize;
+            for to in 0..self.n {
+                let _ = c.relays[from * self.n + to]
+                    .sender
+                    .send(RelayMsg::Send(bytes.clone()));
+            }
+        } else {
+            for s in self.site_senders.read().iter() {
+                let _ = s.send(SiteMsg::Deliver(mset.clone()));
+            }
         }
         et
     }
@@ -582,23 +861,75 @@ impl Cluster {
         )
     }
 
-    /// COMPE: broadcasts a commit decision for `et`.
+    /// COMPE: broadcasts a commit decision for `et`. Control-plane
+    /// traffic is not chaos-injected, but under chaos the decision is
+    /// logged first so a crashed site recovers it at restart.
     pub fn commit(&self, et: EtId) {
-        for s in &self.site_senders {
+        if let Some(c) = &self.chaos {
+            c.control.note_decision(Decision::Commit(et));
+        }
+        for s in self.site_senders.read().iter() {
             let _ = s.send(SiteMsg::Commit(et));
         }
     }
 
-    /// COMPE: broadcasts an abort decision for `et`.
+    /// COMPE: broadcasts an abort decision for `et` (logged first under
+    /// chaos, like [`Cluster::commit`]).
     pub fn abort(&self, et: EtId) {
-        for s in &self.site_senders {
+        if let Some(c) = &self.chaos {
+            c.control.note_decision(Decision::Abort(et));
+        }
+        for s in self.site_senders.read().iter() {
             let _ = s.send(SiteMsg::Abort(et));
         }
     }
 
+    /// Crashes a site: the thread is torn down mid-stream and every
+    /// message still in its channel — deliveries, completion notices,
+    /// pending acks — is lost, as in a process kill. Durable state (the
+    /// site's journal) survives. Only meaningful on chaos clusters;
+    /// relays keep retrying the dead site until [`Cluster::restart`].
+    pub fn crash(&mut self, site: SiteId) {
+        assert!(self.chaos.is_some(), "crash() requires a chaos cluster");
+        let i = site.raw() as usize;
+        let sender = self.sender_of(site);
+        let _ = sender.send(SiteMsg::Crash);
+        if let Some(h) = self.site_threads[i].take() {
+            let _ = h.join();
+        }
+        if let Some(c) = &mut self.chaos {
+            c.crashes += 1;
+        }
+    }
+
+    /// Restarts a crashed site: a fresh thread rebuilds the replica by
+    /// replaying its durable journal, then the shared control log, and
+    /// finally catches up on everything it missed through the relays'
+    /// ack-timeout re-sends. The new channel is swapped into the shared
+    /// sender table so the tracker and relays reach the new incarnation.
+    pub fn restart(&mut self, site: SiteId) {
+        assert!(self.chaos.is_some(), "restart() requires a chaos cluster");
+        let i = site.raw() as usize;
+        assert!(
+            self.site_threads[i].is_none(),
+            "restart() of a site that is still running"
+        );
+        let (tx, rx) = unbounded();
+        self.site_senders.write()[i] = tx;
+        let mut cfg = self.spawn_cfg.clone();
+        if let Some((dir, control)) = cfg.chaos.take() {
+            cfg.chaos = Some((dir.join(format!("site-{i}.journal")), control));
+        }
+        self.site_threads[i] = Some(spawn_site(i, rx, cfg));
+        if let Some(c) = &mut self.chaos {
+            c.restarts += 1;
+        }
+    }
+
     /// One request/reply rendezvous with a site thread. Degrades instead
-    /// of panicking when the site is already down (shutdown raced the
-    /// caller): `fallback` supplies the answer a dead site gives.
+    /// of panicking when the site is already down (shutdown or crash
+    /// raced the caller): `fallback` supplies the answer a dead site
+    /// gives.
     fn rendezvous<T>(
         &self,
         site: SiteId,
@@ -606,7 +937,7 @@ impl Cluster {
         fallback: impl FnOnce() -> T,
     ) -> T {
         let (tx, rx) = bounded(1);
-        if self.site_senders[site.raw() as usize].send(make(tx)).is_err() {
+        if self.sender_of(site).send(make(tx)).is_err() {
             return fallback();
         }
         rx.recv().unwrap_or_else(|_| fallback())
@@ -651,10 +982,23 @@ impl Cluster {
         self.rendezvous(site, |reply| SiteMsg::Snapshot { reply }, BTreeMap::new)
     }
 
-    /// The oracle audit of one site — meaningful only on clusters built
-    /// with [`Cluster::checked`]; otherwise every log is empty.
+    /// The oracle audit of one site. Protocol logs are meaningful only
+    /// on clusters built with [`Cluster::checked`]; the chaos counters
+    /// (`redelivered`, `journaled`, and the `link_*` fields aggregated
+    /// over this site's inbound relays) are live on any chaos cluster.
     pub fn audit_of(&self, site: SiteId) -> SiteAudit {
-        self.rendezvous(site, |reply| SiteMsg::Audit { reply }, SiteAudit::default)
+        let mut a = self.rendezvous(site, |reply| SiteMsg::Audit { reply }, SiteAudit::default);
+        if let Some(c) = &self.chaos {
+            for r in c.relays.iter().filter(|r| r.to == site) {
+                if let Some(s) = r.status() {
+                    a.link_retries += s.retries;
+                    a.link_resends += s.resends;
+                    a.link_dropped += s.stats.dropped_attempts;
+                    a.link_duplicated += s.stats.duplicated;
+                }
+            }
+        }
+        a
     }
 
     /// Has `site` applied `et` yet? (`false` once shut down.)
@@ -662,25 +1006,72 @@ impl Cluster {
         self.rendezvous(site, |reply| SiteMsg::HasApplied { et, reply }, || false)
     }
 
+    /// Aggregated fault counters across every relay, plus crash/restart
+    /// counts. Zeroes on non-chaos clusters.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut agg = ChaosStats::default();
+        if let Some(c) = &self.chaos {
+            for r in &c.relays {
+                if let Some(s) = r.status() {
+                    agg.absorb(&s);
+                }
+            }
+            agg.crashes = c.crashes;
+            agg.restarts = c.restarts;
+        }
+        agg
+    }
+
+    /// The deterministic fault trace: every planned link-level fate,
+    /// sorted by (from, to, entry). Two runs with the same
+    /// [`FaultPlan`] and submission order produce identical traces
+    /// regardless of thread scheduling. Empty on non-chaos clusters.
+    pub fn fault_trace(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        if let Some(c) = &self.chaos {
+            for r in &c.relays {
+                if let Some(s) = r.status() {
+                    events.extend(s.trace);
+                }
+            }
+        }
+        events.sort_unstable();
+        events
+    }
+
     /// Blocks until every site reports settled twice in a row (no
     /// backlog, no in-flight updates) — the quiescent state at which ESR
-    /// guarantees all replicas are identical. Dead sites (cluster
-    /// already shut down) count as settled, so this always terminates.
+    /// guarantees all replicas are identical. On a chaos cluster this
+    /// additionally requires every relay queue to be drained (all
+    /// entries acked), so call [`Cluster::restart`] for any crashed
+    /// site first: a dead site can never ack and quiesce would spin.
+    /// Dead sites on a *shut-down* cluster count as settled, so shutdown
+    /// paths always terminate.
     pub fn quiesce(&self) {
         let mut stable_rounds = 0;
         while stable_rounds < 2 {
-            let all_settled = (0..self.n).all(|i| {
-                self.rendezvous(
-                    SiteId(i as u64),
-                    |reply| SiteMsg::Settled { reply },
-                    || true,
-                )
-            });
+            let relays_drained = match &self.chaos {
+                Some(c) => c
+                    .relays
+                    .iter()
+                    .all(|r| r.status().is_none_or(|s| s.pending == 0)),
+                None => true,
+            };
+            let all_settled = relays_drained
+                && (0..self.n).all(|i| {
+                    self.rendezvous(
+                        SiteId(i as u64),
+                        |reply| SiteMsg::Settled { reply },
+                        || true,
+                    )
+                });
             if all_settled {
                 stable_rounds += 1;
             } else {
                 stable_rounds = 0;
-                std::thread::yield_now();
+                // A short sleep, not a hot yield: on a chaos cluster the
+                // status polls would otherwise flood the relay channels.
+                std::thread::sleep(std::time::Duration::from_micros(500));
             }
         }
     }
@@ -692,13 +1083,26 @@ impl Cluster {
         (1..self.n).all(|i| self.snapshot_of(SiteId(i as u64)) == first)
     }
 
-    /// Stops all threads. Called automatically on drop.
+    /// Stops all threads. Called automatically on drop. Relays go down
+    /// first so no new deliveries race the site shutdown.
     pub fn shutdown(&mut self) {
-        for s in &self.site_senders {
+        if let Some(c) = &mut self.chaos {
+            for r in &c.relays {
+                let _ = r.sender.send(RelayMsg::Shutdown);
+            }
+            for r in &mut c.relays {
+                if let Some(h) = r.thread.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+        for s in self.site_senders.read().iter() {
             let _ = s.send(SiteMsg::Shutdown);
         }
-        for h in self.site_threads.drain(..) {
-            let _ = h.join();
+        for h in &mut self.site_threads {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
         }
         if let Some(t) = self.tracker_sender.take() {
             let _ = t.send(TrackerMsg::Shutdown);
@@ -828,6 +1232,18 @@ mod tests {
         c.quiesce();
         c.shutdown();
         c.shutdown();
+    }
+
+    #[test]
+    fn non_chaos_cluster_reports_zero_chaos_stats() {
+        let c = Cluster::new(RtMethod::Commu, 2);
+        c.submit_update(SiteId(0), incr(1));
+        c.quiesce();
+        assert_eq!(c.chaos_stats(), ChaosStats::default());
+        assert!(c.fault_trace().is_empty());
+        let a = c.audit_of(SiteId(0));
+        assert_eq!(a.journaled, 0);
+        assert_eq!(a.redelivered, 0);
     }
 }
 

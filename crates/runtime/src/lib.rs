@@ -8,10 +8,19 @@
 //! this runtime provides exactly that with the crates available in this
 //! workspace (threads + channels instead of an async executor — the
 //! protocol state machines are identical).
+//!
+//! The [`chaos`] module adds a seeded fault-injection transport
+//! (drops, duplicates, partition windows, durable at-least-once link
+//! queues) and [`recovery`] the journal/control-log machinery behind
+//! [`Cluster::crash`] / [`Cluster::restart`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
+pub mod recovery;
 
+pub use chaos::{render_trace, ChaosStats, FaultPlan, TraceEvent};
 pub use cluster::{Cluster, RtCanary, RtMethod, SiteAudit};
+pub use recovery::{ApplyJournal, ControlLog, Decision};

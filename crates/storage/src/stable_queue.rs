@@ -126,6 +126,13 @@ pub struct FileQueue {
 impl FileQueue {
     /// Opens (or creates) a queue file, recovering unacknowledged
     /// entries.
+    ///
+    /// A torn tail (a record cut short by a crash mid-append) or a
+    /// corrupt record stops replay *and truncates the file back to the
+    /// last fully-valid record*. Without the truncation, records
+    /// appended after the garbage tail would be unreachable on the
+    /// following reopen — replay stops at the first bad byte, so
+    /// durably-enqueued entries would silently vanish.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut entries = BTreeMap::new();
@@ -133,8 +140,14 @@ impl FileQueue {
         if path.exists() {
             let mut buf = Vec::new();
             File::open(&path)?.read_to_end(&mut buf)?;
+            let total = buf.len() as u64;
             let mut cursor = Bytes::from(buf);
-            while cursor.remaining() >= 9 {
+            // Byte offset of the end of the last record replayed intact.
+            let mut valid_len = 0u64;
+            loop {
+                if cursor.remaining() < 9 {
+                    break;
+                }
                 let tag = cursor.get_u8();
                 let id = cursor.get_u64();
                 match tag {
@@ -155,13 +168,21 @@ impl FileQueue {
                             },
                         );
                         next_id = next_id.max(id + 1);
+                        valid_len += 13 + len as u64;
                     }
                     TAG_ACK => {
                         entries.remove(&EntryId(id));
                         next_id = next_id.max(id + 1);
+                        valid_len += 9;
                     }
                     _ => break, // corrupt record: stop replay
                 }
+            }
+            if valid_len < total {
+                // Drop the torn/corrupt tail so future appends land
+                // directly after the last valid record.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid_len)?;
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -358,6 +379,32 @@ mod tests {
         let q2 = FileQueue::open(&path).unwrap();
         assert_eq!(q2.len(), 1, "torn tail discarded, good record kept");
         assert_eq!(q2.pending(1)[0].1.as_ref(), b"good");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_truncates_torn_tail_so_later_appends_survive() {
+        let path = tmpdir().join("torn-then-append.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        q.enqueue(Bytes::from_static(b"first"));
+        drop(q);
+        // Crash mid-append leaves a partial record at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[TAG_ENQUEUE, 9, 9, 9, 9]).unwrap();
+        }
+        // Reopen (must truncate the garbage) and append a new record.
+        let mut q2 = FileQueue::open(&path).unwrap();
+        assert_eq!(q2.len(), 1);
+        q2.enqueue(Bytes::from_static(b"second"));
+        drop(q2);
+        // The record appended after the torn tail is recoverable.
+        let q3 = FileQueue::open(&path).unwrap();
+        assert_eq!(q3.len(), 2, "append after torn tail must survive reopen");
+        let payloads: Vec<Bytes> = q3.pending(10).into_iter().map(|(_, p)| p).collect();
+        assert!(payloads.iter().any(|p| p.as_ref() == b"second"));
         std::fs::remove_file(&path).unwrap();
     }
 
