@@ -12,6 +12,7 @@
 
 pub mod faults;
 pub mod latency;
+pub mod rpc;
 pub mod topology;
 pub mod transport;
 

@@ -1,0 +1,375 @@
+//! Durable outbound links: the "persistently retry message delivery
+//! until successful" half of the paper's stable-queue contract (§2.2),
+//! over a real TCP connection.
+//!
+//! A [`Link`] pairs a [`StableQueue`] with a background connection
+//! thread. `send` durably enqueues *before* returning, so a message
+//! survives the sender crashing right after; the thread then drains the
+//! queue over TCP, retransmitting every unacknowledged entry each time
+//! the connection is (re)established — at-least-once delivery, with the
+//! receiver responsible for idempotency. Acknowledgements (empty
+//! envelopes echoing the entry id) retire queue entries.
+//!
+//! Reconnection uses capped exponential backoff and re-resolves the
+//! peer address on every attempt, so a daemon that restarts on a new
+//! ephemeral port is picked up as soon as it republishes its address.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use esr_storage::stable_queue::{EntryId, StableQueue};
+
+use super::frame::{read_frame, seal, unseal, write_frame, KIND_PEER, NO_ENTRY};
+
+/// Reconnect backoff shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Delay after the first failure.
+    pub initial: Duration,
+    /// Cap for the doubling delay.
+    pub max: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            initial: Duration::from_millis(20),
+            max: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Re-resolves the peer's current address (daemons republish their
+/// listen address on every boot).
+pub type Resolver = Box<dyn Fn() -> Option<SocketAddr> + Send>;
+
+type SharedQueue = Arc<Mutex<Box<dyn StableQueue + Send>>>;
+
+enum LinkCmd {
+    Nudge,
+    Shutdown,
+}
+
+/// A durable at-least-once link to one peer.
+pub struct Link {
+    queue: SharedQueue,
+    cmd: Sender<LinkCmd>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Link {
+    /// Spawns the connection thread. `hello` is sent (outside the
+    /// durable contract) every time a connection is established, so the
+    /// receiver learns who is dialing before any queued traffic.
+    pub fn spawn(queue: Box<dyn StableQueue + Send>, resolve: Resolver, hello: Bytes) -> Self {
+        Self::spawn_with(queue, resolve, hello, Backoff::default())
+    }
+
+    /// [`Link::spawn`] with an explicit backoff shape (tests tighten it).
+    pub fn spawn_with(
+        queue: Box<dyn StableQueue + Send>,
+        resolve: Resolver,
+        hello: Bytes,
+        backoff: Backoff,
+    ) -> Self {
+        let queue: SharedQueue = Arc::new(Mutex::new(queue));
+        let (cmd, rx) = mpsc::channel();
+        let worker_queue = Arc::clone(&queue);
+        let thread = std::thread::spawn(move || {
+            run_link(&worker_queue, &resolve, &hello, backoff, &rx);
+        });
+        Self {
+            queue,
+            cmd,
+            thread: Some(thread),
+        }
+    }
+
+    /// Durably enqueues `payload` and nudges the connection thread.
+    /// Returns once the bytes are in the stable queue — delivery
+    /// happens (and keeps being retried) in the background.
+    pub fn send(&self, payload: Bytes) -> EntryId {
+        let id = lock_queue(&self.queue).enqueue(payload);
+        let _ = self.cmd.send(LinkCmd::Nudge);
+        id
+    }
+
+    /// Entries enqueued but not yet acknowledged by the peer.
+    pub fn pending(&self) -> usize {
+        lock_queue(&self.queue).len()
+    }
+
+    /// Stops the connection thread (queued entries stay durable).
+    pub fn shutdown(mut self) {
+        let _ = self.cmd.send(LinkCmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Link {
+    fn drop(&mut self) {
+        let _ = self.cmd.send(LinkCmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn lock_queue(q: &SharedQueue) -> std::sync::MutexGuard<'_, Box<dyn StableQueue + Send>> {
+    match q.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One established connection: the write half plus the reader thread's
+/// ack feed.
+struct Conn {
+    stream: TcpStream,
+    acks: Receiver<u64>,
+}
+
+fn dial(resolve: &Resolver, hello: &Bytes) -> Option<Conn> {
+    let addr = resolve()?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut write_half = stream.try_clone().ok()?;
+    write_half.write_all(&[KIND_PEER]).ok()?;
+    write_frame(&mut write_half, &seal(NO_ENTRY, hello)).ok()?;
+
+    // Blocking reader thread: turns incoming ack envelopes into channel
+    // messages, exits when the socket dies. (A read timeout on the main
+    // thread could desync mid-frame; a dedicated blocking reader cannot.)
+    let (ack_tx, acks) = mpsc::channel();
+    let mut read_half = stream;
+    std::thread::spawn(move || loop {
+        match read_frame(&mut read_half) {
+            Ok(frame) => {
+                if let Ok(env) = unseal(frame) {
+                    if env.is_ack() && ack_tx.send(env.entry).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    });
+    Some(Conn {
+        stream: write_half,
+        acks,
+    })
+}
+
+fn run_link(
+    queue: &SharedQueue,
+    resolve: &Resolver,
+    hello: &Bytes,
+    backoff: Backoff,
+    cmd: &Receiver<LinkCmd>,
+) {
+    let mut conn: Option<Conn> = None;
+    let mut delay = backoff.initial;
+    // Highest entry transmitted on the *current* connection; resets on
+    // reconnect so every unacknowledged entry is retransmitted.
+    let mut sent_high: Option<EntryId> = None;
+
+    loop {
+        // Wait for work (a nudge, an ack to reap, or a retry tick).
+        match cmd.recv_timeout(Duration::from_millis(20)) {
+            Ok(LinkCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                if let Some(c) = conn {
+                    let _ = c.stream.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+            Ok(LinkCmd::Nudge) | Err(RecvTimeoutError::Timeout) => {}
+        }
+
+        // (Re)connect if needed.
+        if conn.is_none() {
+            match dial(resolve, hello) {
+                Some(c) => {
+                    conn = Some(c);
+                    delay = backoff.initial;
+                    sent_high = None;
+                }
+                None => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(backoff.max);
+                    continue;
+                }
+            }
+        }
+
+        let mut broken = false;
+        if let Some(c) = conn.as_mut() {
+            // Reap acknowledgements first so the pending scan below
+            // skips retired entries. The reader thread exiting (its
+            // channel hanging up) is how a peer-side close is detected
+            // even when there is nothing to write.
+            loop {
+                match c.acks.try_recv() {
+                    Ok(entry) => {
+                        lock_queue(queue).ack(EntryId(entry));
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+
+            // Transmit everything past the high-water mark of this
+            // connection, oldest first.
+            while !broken {
+                let batch = lock_queue(queue).pending_after(sent_high, 32);
+                if batch.is_empty() {
+                    break;
+                }
+                for (id, payload) in batch {
+                    lock_queue(queue).record_attempt(id);
+                    if write_frame(&mut c.stream, &seal(id.0, &payload)).is_err() {
+                        broken = true;
+                        break;
+                    }
+                    sent_high = Some(id);
+                }
+            }
+            if broken {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+        if broken {
+            conn = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_storage::stable_queue::MemQueue;
+    use std::net::TcpListener;
+
+    fn tight_backoff() -> Backoff {
+        Backoff {
+            initial: Duration::from_millis(5),
+            max: Duration::from_millis(40),
+        }
+    }
+
+    /// Accepts one connection, checks the handshake, and returns the
+    /// stream positioned after the hello frame.
+    fn accept_peer(listener: &TcpListener) -> (TcpStream, Vec<u8>) {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut kind = [0u8; 1];
+        std::io::Read::read_exact(&mut s, &mut kind).unwrap();
+        assert_eq!(kind[0], KIND_PEER);
+        let hello = unseal(read_frame(&mut s).unwrap()).unwrap();
+        assert_eq!(hello.entry, NO_ENTRY);
+        (s, hello.payload)
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("condition not reached within 5s");
+    }
+
+    #[test]
+    fn delivers_and_retires_on_ack() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let link = Link::spawn_with(
+            Box::new(MemQueue::new()),
+            Box::new(move || Some(addr)),
+            Bytes::from_static(b"hi"),
+            tight_backoff(),
+        );
+        link.send(Bytes::from_static(b"alpha"));
+        link.send(Bytes::from_static(b"beta"));
+
+        let (mut s, hello) = accept_peer(&listener);
+        assert_eq!(hello, b"hi");
+        for expect in [b"alpha".as_slice(), b"beta".as_slice()] {
+            let env = unseal(read_frame(&mut s).unwrap()).unwrap();
+            assert_eq!(env.payload, expect);
+            write_frame(&mut s, &super::super::frame::seal_ack(env.entry)).unwrap();
+        }
+        wait_until(|| link.pending() == 0);
+        link.shutdown();
+    }
+
+    #[test]
+    fn retransmits_unacked_entries_after_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let link = Link::spawn_with(
+            Box::new(MemQueue::new()),
+            Box::new(move || Some(addr)),
+            Bytes::from_static(b"h"),
+            tight_backoff(),
+        );
+        link.send(Bytes::from_static(b"one"));
+        link.send(Bytes::from_static(b"two"));
+
+        // First incarnation: read both, ack only the first, then die.
+        {
+            let (mut s, _) = accept_peer(&listener);
+            let first = unseal(read_frame(&mut s).unwrap()).unwrap();
+            assert_eq!(first.payload, b"one");
+            let _second = read_frame(&mut s).unwrap();
+            write_frame(&mut s, &super::super::frame::seal_ack(first.entry)).unwrap();
+            // Give the ack a moment to land before the drop closes us.
+            wait_until(|| link.pending() == 1);
+            let _ = s.shutdown(Shutdown::Both);
+        }
+
+        // Second incarnation: the unacked entry comes back.
+        let (mut s, _) = accept_peer(&listener);
+        let env = unseal(read_frame(&mut s).unwrap()).unwrap();
+        assert_eq!(env.payload, b"two");
+        write_frame(&mut s, &super::super::frame::seal_ack(env.entry)).unwrap();
+        wait_until(|| link.pending() == 0);
+        link.shutdown();
+    }
+
+    #[test]
+    fn survives_peer_absence_until_it_appears() {
+        // Reserve an address, then close the listener so the first
+        // dials fail; entries queue durably in the meantime.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let link = Link::spawn_with(
+            Box::new(MemQueue::new()),
+            Box::new(move || Some(addr)),
+            Bytes::from_static(b"h"),
+            tight_backoff(),
+        );
+        link.send(Bytes::from_static(b"late"));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(link.pending(), 1);
+
+        let listener = TcpListener::bind(addr).unwrap();
+        let (mut s, _) = accept_peer(&listener);
+        let env = unseal(read_frame(&mut s).unwrap()).unwrap();
+        assert_eq!(env.payload, b"late");
+        write_frame(&mut s, &super::super::frame::seal_ack(env.entry)).unwrap();
+        wait_until(|| link.pending() == 0);
+        link.shutdown();
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte-level framing for the esr-rpc transport.
+//!
+//! Two layers, both payload-agnostic (this crate never sees the frame
+//! *contents* — those are encoded by `esr-replica`'s wire codec):
+//!
+//! 1. **Length-prefixed frames** over any `Read`/`Write` stream: a
+//!    big-endian `u32` length followed by that many payload bytes, with
+//!    a hard size cap so a corrupt or hostile peer cannot force a huge
+//!    allocation.
+//! 2. **Link envelopes** inside each frame: a big-endian `u64` queue
+//!    entry id followed by the opaque message bytes. Durable links tag
+//!    each message with the sender's stable-queue entry id; the
+//!    receiver echoes the id back in an *empty* envelope as the
+//!    transport-level acknowledgement. [`NO_ENTRY`] marks messages
+//!    outside the at-least-once contract (handshakes, request/reply
+//!    traffic), which are never acknowledged.
+//!
+//! Immediately after connecting, a dialer writes a single connection
+//! kind byte ([`KIND_PEER`] or [`KIND_CLIENT`]) so the accepting daemon
+//! knows which plane the stream belongs to before any frame arrives.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload, applied on both sides.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Envelope entry id marking a message outside the durable-queue
+/// contract: never acknowledged, never retransmitted.
+pub const NO_ENTRY: u64 = u64::MAX;
+
+/// Connection kind byte: a peer daemon's durable link.
+pub const KIND_PEER: u8 = b'P';
+
+/// Connection kind byte: a client (library or `esrctl`) request stream.
+pub const KIND_CLIENT: u8 = b'C';
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Blocks until a complete frame
+/// arrives or the stream errors; a clean EOF before the length prefix
+/// surfaces as [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// A link envelope: which durable queue entry (if any) the message
+/// rides on, plus the opaque message bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The sender-side queue entry id, or [`NO_ENTRY`].
+    pub entry: u64,
+    /// The message bytes (empty for a transport acknowledgement).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Is this a transport-level acknowledgement (an echoed entry id
+    /// with no message)?
+    pub fn is_ack(&self) -> bool {
+        self.entry != NO_ENTRY && self.payload.is_empty()
+    }
+}
+
+/// Wraps message bytes in a link envelope.
+pub fn seal(entry: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&entry.to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Builds the transport acknowledgement for queue entry `entry`.
+pub fn seal_ack(entry: u64) -> Vec<u8> {
+    seal(entry, &[])
+}
+
+/// Splits a frame back into its link envelope.
+pub fn unseal(frame: Vec<u8>) -> io::Result<Envelope> {
+    if frame.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame shorter than its envelope header",
+        ));
+    }
+    let mut entry = [0u8; 8];
+    entry.copy_from_slice(&frame[..8]);
+    let mut payload = frame;
+    payload.drain(..8);
+    Ok(Envelope {
+        entry: u64::from_be_bytes(entry),
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 300]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![0xAB; 300]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_ack_shape() {
+        let sealed = seal(42, b"payload");
+        let env = unseal(sealed).unwrap();
+        assert_eq!(env.entry, 42);
+        assert_eq!(env.payload, b"payload");
+        assert!(!env.is_ack());
+
+        let ack = unseal(seal_ack(42)).unwrap();
+        assert!(ack.is_ack());
+        assert_eq!(ack.entry, 42);
+
+        let hello = unseal(seal(NO_ENTRY, b"h")).unwrap();
+        assert!(!hello.is_ack());
+
+        assert!(unseal(vec![1, 2, 3]).is_err());
+    }
+}

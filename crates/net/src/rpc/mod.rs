@@ -1,0 +1,18 @@
+//! esr-rpc: the real-network transport under the replicated system.
+//!
+//! Where the rest of this crate *plans* deliveries in virtual time for
+//! the simulator, this module moves actual bytes: length-prefixed
+//! frames over `std::net::TcpStream` ([`frame`]) and durable
+//! at-least-once outbound links that drain a stable queue with
+//! reconnect + exponential backoff ([`conn`]). Payloads stay opaque
+//! here — `esr-replica`'s wire codec defines their contents, and the
+//! `esrd` daemon in `esr-runtime` wires both into a running site.
+
+pub mod conn;
+pub mod frame;
+
+pub use conn::{Backoff, Link, Resolver};
+pub use frame::{
+    read_frame, seal, seal_ack, unseal, write_frame, Envelope, KIND_CLIENT, KIND_PEER, MAX_FRAME,
+    NO_ENTRY,
+};

@@ -20,7 +20,9 @@ use esr_core::ids::{ClientId, EtId, LamportTs, ObjectId, SeqNo, SiteId, VersionT
 use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 
+use crate::compe::CompeEvent;
 use crate::mset::{MSet, OrderTag};
+use crate::site::QueryOutcome;
 
 /// Why a byte payload failed to decode as an MSet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +76,11 @@ const VAL_SET: u8 = 2;
 /// Encodes an MSet into a self-contained byte payload.
 pub fn encode_mset(mset: &MSet) -> Bytes {
     let mut b = BytesMut::with_capacity(32 + 16 * mset.ops.len());
+    encode_mset_into(&mut b, mset);
+    b.freeze()
+}
+
+fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
     b.put_u64(mset.et.raw());
     b.put_u64(mset.origin.raw());
     match mset.order {
@@ -92,9 +99,8 @@ pub fn encode_mset(mset: &MSet) -> Bytes {
     b.put_u32(mset.ops.len() as u32);
     for op in &mset.ops {
         b.put_u64(op.object.raw());
-        encode_op(&mut b, &op.op);
+        encode_op(b, &op.op);
     }
-    b.freeze()
 }
 
 fn encode_op(b: &mut BytesMut, op: &Operation) {
@@ -161,15 +167,19 @@ fn encode_value(b: &mut BytesMut, v: &Value) {
 /// Decodes an MSet produced by [`encode_mset`].
 pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
     let mut b = payload.clone();
-    let et = EtId(get_u64(&mut b)?);
-    let origin = SiteId(get_u64(&mut b)?);
-    let order = match get_u8(&mut b)? {
+    decode_mset_from(&mut b)
+}
+
+fn decode_mset_from(b: &mut Bytes) -> Result<MSet, WireError> {
+    let et = EtId(get_u64(b)?);
+    let origin = SiteId(get_u64(b)?);
+    let order = match get_u8(b)? {
         ORDER_UNORDERED => OrderTag::Unordered,
-        ORDER_SEQUENCED => OrderTag::Sequenced(SeqNo(get_u64(&mut b)?)),
+        ORDER_SEQUENCED => OrderTag::Sequenced(SeqNo(get_u64(b)?)),
         ORDER_LAMPORT => {
-            let counter = get_u64(&mut b)?;
-            let site = SiteId(get_u64(&mut b)?);
-            let fifo = SeqNo(get_u64(&mut b)?);
+            let counter = get_u64(b)?;
+            let site = SiteId(get_u64(b)?);
+            let fifo = SeqNo(get_u64(b)?);
             OrderTag::Lamport {
                 ts: LamportTs::new(counter, site),
                 fifo,
@@ -177,7 +187,7 @@ pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
         }
         tag => return Err(WireError::BadTag { field: "order", tag }),
     };
-    let n = get_u32(&mut b)? as usize;
+    let n = get_u32(b)? as usize;
     // Each op is at least 9 bytes; reject absurd counts up front so a
     // corrupt length cannot trigger a huge allocation.
     if n > b.remaining() {
@@ -185,8 +195,8 @@ pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
     }
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
-        let object = ObjectId(get_u64(&mut b)?);
-        let op = decode_op(&mut b)?;
+        let object = ObjectId(get_u64(b)?);
+        let op = decode_op(b)?;
         ops.push(ObjectOp::new(object, op));
     }
     let mut mset = MSet::new(et, origin, ops);
@@ -267,6 +277,520 @@ fn get_i64(b: &mut Bytes) -> Result<i64, WireError> {
         return Err(WireError::Truncated);
     }
     Ok(b.get_i64())
+}
+
+// ---------------------------------------------------------------------------
+// esr-rpc control frames
+// ---------------------------------------------------------------------------
+//
+// The networked runtime (`esrd` / `esrctl`, `crates/net::rpc`) speaks a
+// frame protocol whose payloads are encoded here, next to the MSet codec
+// they embed. Same guarantees as the MSet codec: self-describing tagged
+// binary, big-endian, and **total decoding** — any byte slice yields a
+// [`Frame`] or a [`WireError`], never a panic, so a hostile or corrupt
+// peer can at worst be disconnected.
+
+const FRAME_HELLO: u8 = 0x01;
+const FRAME_MSET: u8 = 0x02;
+const FRAME_ACK: u8 = 0x03;
+const FRAME_APPLIED: u8 = 0x04;
+const FRAME_COMPLETE: u8 = 0x05;
+const FRAME_VTNC: u8 = 0x06;
+const FRAME_DECISION: u8 = 0x07;
+const FRAME_CONTROL_SNAPSHOT: u8 = 0x08;
+const FRAME_SUBMIT: u8 = 0x10;
+const FRAME_SUBMIT_OK: u8 = 0x11;
+const FRAME_QUERY: u8 = 0x12;
+const FRAME_QUERY_OK: u8 = 0x13;
+const FRAME_SNAPSHOT: u8 = 0x14;
+const FRAME_SNAPSHOT_OK: u8 = 0x15;
+const FRAME_STATUS: u8 = 0x16;
+const FRAME_STATUS_OK: u8 = 0x17;
+const FRAME_AUDIT: u8 = 0x18;
+const FRAME_AUDIT_OK: u8 = 0x19;
+const FRAME_DECISION_OK: u8 = 0x1A;
+
+const COMPE_APPLIED: u8 = 0;
+const COMPE_COMMITTED: u8 = 1;
+const COMPE_COMPENSATED: u8 = 2;
+const COMPE_SUPPRESSED: u8 = 3;
+
+/// The wire form of a site's oracle audit (the subset of
+/// `esr_runtime::SiteAudit` a daemon can answer for itself: its protocol
+/// logs and durability counters; relay-side link counters live with the
+/// sender).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireAudit {
+    /// ORDUP: `(et, seq)` in application order.
+    pub ordup_order: Vec<(EtId, SeqNo)>,
+    /// COMMU: ETs in application order.
+    pub commu_order: Vec<EtId>,
+    /// RITU overwrite: winning installs `(object, version)`.
+    pub ritu_installs: Vec<(ObjectId, VersionTs)>,
+    /// RITU-MV: every VTNC target received, in arrival order.
+    pub vtnc_targets: Vec<VersionTs>,
+    /// RITU-MV: advances past the locally installed prefix.
+    pub vtnc_violations: u64,
+    /// COMPE: lifecycle events in order.
+    pub compe_events: Vec<(EtId, CompeEvent)>,
+    /// Duplicate deliveries suppressed by idempotency guards.
+    pub redelivered: u64,
+    /// MSets durably journalled at this site.
+    pub journaled: u64,
+}
+
+/// One message of the esr-rpc protocol.
+///
+/// Peer-plane frames (`Hello` through `ControlSnapshot`) travel between
+/// `esrd` daemons over durable per-link queues; client-plane frames
+/// (`Submit` onward) are request/reply pairs between `esrctl` (or the
+/// client library) and one daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Peer handshake: the dialing site announces its id and boot epoch
+    /// (incremented at every daemon start, so the coordinator can spot a
+    /// restarted incarnation and resend its control snapshot).
+    Hello {
+        /// The dialing site.
+        site: SiteId,
+        /// That site's boot count.
+        epoch: u64,
+    },
+    /// Update propagation: one MSet, exactly as the simulator and the
+    /// thread runtime ship it.
+    MSet(MSet),
+    /// Durable-link acknowledgement: the receiver journalled and applied
+    /// the frame carried by queue entry `entry`; the sender may retire it.
+    Ack {
+        /// The sender-side queue entry being acknowledged.
+        entry: u64,
+    },
+    /// Completion evidence for the coordinator's tracker: `site` has
+    /// applied `et` (carrying the max written version for VTNC).
+    Applied {
+        /// The reporting site.
+        site: SiteId,
+        /// The applied update ET.
+        et: EtId,
+        /// Its max timestamped-write version, when RITU-MV needs one.
+        version: Option<VersionTs>,
+    },
+    /// Completion notice: every site has applied `et` (releases COMMU /
+    /// RITU lock-counters).
+    Complete {
+        /// The fully-propagated ET.
+        et: EtId,
+    },
+    /// VTNC certificate: every version up to `ts` is installed at every
+    /// site; strict RITU-MV reads may serve it.
+    Vtnc {
+        /// The certified horizon.
+        ts: VersionTs,
+    },
+    /// COMPE outcome decision for `et`.
+    Decision {
+        /// The decided ET.
+        et: EtId,
+        /// `true` = commit, `false` = abort (compensate).
+        commit: bool,
+    },
+    /// Control-plane recovery snapshot, sent by the coordinator to a
+    /// (re)connecting site: the broadcasts a crashed incarnation may
+    /// have lost with its process. All replay is idempotent.
+    ControlSnapshot {
+        /// ETs whose completion notice has been broadcast.
+        completed: Vec<EtId>,
+        /// COMPE decisions in broadcast order (`(et, commit)`).
+        decisions: Vec<(EtId, bool)>,
+        /// The furthest certified VTNC horizon.
+        vtnc_max: Option<VersionTs>,
+    },
+    /// Client → daemon: submit a fully-stamped update MSet originating
+    /// at this site (ET id, order tag, and version stamps are assigned
+    /// by the client library).
+    Submit(MSet),
+    /// Reply to [`Frame::Submit`].
+    SubmitOk {
+        /// The accepted ET.
+        et: EtId,
+    },
+    /// Client → daemon: run a query ET against the local replica.
+    Query {
+        /// Objects to read.
+        read_set: Vec<ObjectId>,
+        /// The epsilon budget (`u64::MAX` = unbounded).
+        epsilon_limit: u64,
+    },
+    /// Reply to [`Frame::Query`].
+    QueryOk(QueryOutcome),
+    /// Client → daemon: request the full replica snapshot.
+    Snapshot,
+    /// Reply to [`Frame::Snapshot`] (sorted by object id).
+    SnapshotOk {
+        /// The replica contents.
+        entries: Vec<(ObjectId, Value)>,
+    },
+    /// Client → daemon: settledness probe (the quiesce building block).
+    Status,
+    /// Reply to [`Frame::Status`].
+    StatusOk {
+        /// Site state machine settled (nothing held back or at risk).
+        settled: bool,
+        /// Unacknowledged entries across all outbound links.
+        outbound_pending: u64,
+        /// The daemon's boot epoch.
+        epoch: u64,
+    },
+    /// Client → daemon: request the site's audit.
+    Audit,
+    /// Reply to [`Frame::Audit`].
+    AuditOk(WireAudit),
+    /// Reply to [`Frame::Decision`] on the client plane.
+    DecisionOk {
+        /// The decided ET.
+        et: EtId,
+    },
+}
+
+fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
+    match v {
+        None => b.put_u8(0),
+        Some(ts) => {
+            b.put_u8(1);
+            b.put_u64(ts.time);
+            b.put_u64(ts.client.raw());
+        }
+    }
+}
+
+fn decode_version_opt(b: &mut Bytes) -> Result<Option<VersionTs>, WireError> {
+    match get_u8(b)? {
+        0 => Ok(None),
+        1 => {
+            let time = get_u64(b)?;
+            let client = ClientId(get_u64(b)?);
+            Ok(Some(VersionTs::new(time, client)))
+        }
+        tag => Err(WireError::BadTag { field: "option", tag }),
+    }
+}
+
+/// Reads an element count and checks it against the bytes actually
+/// left (at `min_elem` bytes each), so a corrupt count cannot trigger a
+/// huge allocation.
+fn get_count(b: &mut Bytes, min_elem: usize) -> Result<usize, WireError> {
+    let n = get_u32(b)? as usize;
+    if n.saturating_mul(min_elem) > b.remaining() {
+        return Err(WireError::BadLength);
+    }
+    Ok(n)
+}
+
+/// Encodes a frame into a self-contained byte payload.
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Hello { site, epoch } => {
+            b.put_u8(FRAME_HELLO);
+            b.put_u64(site.raw());
+            b.put_u64(*epoch);
+        }
+        Frame::MSet(mset) => {
+            b.put_u8(FRAME_MSET);
+            encode_mset_into(&mut b, mset);
+        }
+        Frame::Ack { entry } => {
+            b.put_u8(FRAME_ACK);
+            b.put_u64(*entry);
+        }
+        Frame::Applied { site, et, version } => {
+            b.put_u8(FRAME_APPLIED);
+            b.put_u64(site.raw());
+            b.put_u64(et.raw());
+            encode_version_opt(&mut b, version);
+        }
+        Frame::Complete { et } => {
+            b.put_u8(FRAME_COMPLETE);
+            b.put_u64(et.raw());
+        }
+        Frame::Vtnc { ts } => {
+            b.put_u8(FRAME_VTNC);
+            b.put_u64(ts.time);
+            b.put_u64(ts.client.raw());
+        }
+        Frame::Decision { et, commit } => {
+            b.put_u8(FRAME_DECISION);
+            b.put_u64(et.raw());
+            b.put_u8(u8::from(*commit));
+        }
+        Frame::ControlSnapshot {
+            completed,
+            decisions,
+            vtnc_max,
+        } => {
+            b.put_u8(FRAME_CONTROL_SNAPSHOT);
+            b.put_u32(completed.len() as u32);
+            for et in completed {
+                b.put_u64(et.raw());
+            }
+            b.put_u32(decisions.len() as u32);
+            for (et, commit) in decisions {
+                b.put_u64(et.raw());
+                b.put_u8(u8::from(*commit));
+            }
+            encode_version_opt(&mut b, vtnc_max);
+        }
+        Frame::Submit(mset) => {
+            b.put_u8(FRAME_SUBMIT);
+            encode_mset_into(&mut b, mset);
+        }
+        Frame::SubmitOk { et } => {
+            b.put_u8(FRAME_SUBMIT_OK);
+            b.put_u64(et.raw());
+        }
+        Frame::Query {
+            read_set,
+            epsilon_limit,
+        } => {
+            b.put_u8(FRAME_QUERY);
+            b.put_u64(*epsilon_limit);
+            b.put_u32(read_set.len() as u32);
+            for o in read_set {
+                b.put_u64(o.raw());
+            }
+        }
+        Frame::QueryOk(out) => {
+            b.put_u8(FRAME_QUERY_OK);
+            b.put_u8(u8::from(out.admitted));
+            b.put_u64(out.charged);
+            b.put_u32(out.values.len() as u32);
+            for v in &out.values {
+                encode_value(&mut b, v);
+            }
+        }
+        Frame::Snapshot => {
+            b.put_u8(FRAME_SNAPSHOT);
+        }
+        Frame::SnapshotOk { entries } => {
+            b.put_u8(FRAME_SNAPSHOT_OK);
+            b.put_u32(entries.len() as u32);
+            for (o, v) in entries {
+                b.put_u64(o.raw());
+                encode_value(&mut b, v);
+            }
+        }
+        Frame::Status => {
+            b.put_u8(FRAME_STATUS);
+        }
+        Frame::StatusOk {
+            settled,
+            outbound_pending,
+            epoch,
+        } => {
+            b.put_u8(FRAME_STATUS_OK);
+            b.put_u8(u8::from(*settled));
+            b.put_u64(*outbound_pending);
+            b.put_u64(*epoch);
+        }
+        Frame::Audit => {
+            b.put_u8(FRAME_AUDIT);
+        }
+        Frame::AuditOk(a) => {
+            b.put_u8(FRAME_AUDIT_OK);
+            b.put_u32(a.ordup_order.len() as u32);
+            for (et, seq) in &a.ordup_order {
+                b.put_u64(et.raw());
+                b.put_u64(seq.raw());
+            }
+            b.put_u32(a.commu_order.len() as u32);
+            for et in &a.commu_order {
+                b.put_u64(et.raw());
+            }
+            b.put_u32(a.ritu_installs.len() as u32);
+            for (o, ts) in &a.ritu_installs {
+                b.put_u64(o.raw());
+                b.put_u64(ts.time);
+                b.put_u64(ts.client.raw());
+            }
+            b.put_u32(a.vtnc_targets.len() as u32);
+            for ts in &a.vtnc_targets {
+                b.put_u64(ts.time);
+                b.put_u64(ts.client.raw());
+            }
+            b.put_u64(a.vtnc_violations);
+            b.put_u32(a.compe_events.len() as u32);
+            for (et, ev) in &a.compe_events {
+                b.put_u64(et.raw());
+                b.put_u8(match ev {
+                    CompeEvent::Applied => COMPE_APPLIED,
+                    CompeEvent::Committed => COMPE_COMMITTED,
+                    CompeEvent::Compensated => COMPE_COMPENSATED,
+                    CompeEvent::Suppressed => COMPE_SUPPRESSED,
+                });
+            }
+            b.put_u64(a.redelivered);
+            b.put_u64(a.journaled);
+        }
+        Frame::DecisionOk { et } => {
+            b.put_u8(FRAME_DECISION_OK);
+            b.put_u64(et.raw());
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes a frame produced by [`encode_frame`]. Total: any byte slice
+/// yields a frame or an error, never a panic.
+pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
+    let mut b = payload.clone();
+    let frame = match get_u8(&mut b)? {
+        FRAME_HELLO => Frame::Hello {
+            site: SiteId(get_u64(&mut b)?),
+            epoch: get_u64(&mut b)?,
+        },
+        FRAME_MSET => Frame::MSet(decode_mset_from(&mut b)?),
+        FRAME_ACK => Frame::Ack {
+            entry: get_u64(&mut b)?,
+        },
+        FRAME_APPLIED => Frame::Applied {
+            site: SiteId(get_u64(&mut b)?),
+            et: EtId(get_u64(&mut b)?),
+            version: decode_version_opt(&mut b)?,
+        },
+        FRAME_COMPLETE => Frame::Complete {
+            et: EtId(get_u64(&mut b)?),
+        },
+        FRAME_VTNC => {
+            let time = get_u64(&mut b)?;
+            let client = ClientId(get_u64(&mut b)?);
+            Frame::Vtnc {
+                ts: VersionTs::new(time, client),
+            }
+        }
+        FRAME_DECISION => Frame::Decision {
+            et: EtId(get_u64(&mut b)?),
+            commit: decode_bool(&mut b)?,
+        },
+        FRAME_CONTROL_SNAPSHOT => {
+            let n = get_count(&mut b, 8)?;
+            let mut completed = Vec::with_capacity(n);
+            for _ in 0..n {
+                completed.push(EtId(get_u64(&mut b)?));
+            }
+            let n = get_count(&mut b, 9)?;
+            let mut decisions = Vec::with_capacity(n);
+            for _ in 0..n {
+                let et = EtId(get_u64(&mut b)?);
+                decisions.push((et, decode_bool(&mut b)?));
+            }
+            Frame::ControlSnapshot {
+                completed,
+                decisions,
+                vtnc_max: decode_version_opt(&mut b)?,
+            }
+        }
+        FRAME_SUBMIT => Frame::Submit(decode_mset_from(&mut b)?),
+        FRAME_SUBMIT_OK => Frame::SubmitOk {
+            et: EtId(get_u64(&mut b)?),
+        },
+        FRAME_QUERY => {
+            let epsilon_limit = get_u64(&mut b)?;
+            let n = get_count(&mut b, 8)?;
+            let mut read_set = Vec::with_capacity(n);
+            for _ in 0..n {
+                read_set.push(ObjectId(get_u64(&mut b)?));
+            }
+            Frame::Query {
+                read_set,
+                epsilon_limit,
+            }
+        }
+        FRAME_QUERY_OK => {
+            let admitted = decode_bool(&mut b)?;
+            let charged = get_u64(&mut b)?;
+            let n = get_count(&mut b, 5)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(decode_value(&mut b)?);
+            }
+            Frame::QueryOk(QueryOutcome {
+                values,
+                charged,
+                admitted,
+            })
+        }
+        FRAME_SNAPSHOT => Frame::Snapshot,
+        FRAME_SNAPSHOT_OK => {
+            let n = get_count(&mut b, 13)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let o = ObjectId(get_u64(&mut b)?);
+                entries.push((o, decode_value(&mut b)?));
+            }
+            Frame::SnapshotOk { entries }
+        }
+        FRAME_STATUS => Frame::Status,
+        FRAME_STATUS_OK => Frame::StatusOk {
+            settled: decode_bool(&mut b)?,
+            outbound_pending: get_u64(&mut b)?,
+            epoch: get_u64(&mut b)?,
+        },
+        FRAME_AUDIT => Frame::Audit,
+        FRAME_AUDIT_OK => {
+            let mut a = WireAudit::default();
+            let n = get_count(&mut b, 16)?;
+            for _ in 0..n {
+                let et = EtId(get_u64(&mut b)?);
+                a.ordup_order.push((et, SeqNo(get_u64(&mut b)?)));
+            }
+            let n = get_count(&mut b, 8)?;
+            for _ in 0..n {
+                a.commu_order.push(EtId(get_u64(&mut b)?));
+            }
+            let n = get_count(&mut b, 24)?;
+            for _ in 0..n {
+                let o = ObjectId(get_u64(&mut b)?);
+                let time = get_u64(&mut b)?;
+                let client = ClientId(get_u64(&mut b)?);
+                a.ritu_installs.push((o, VersionTs::new(time, client)));
+            }
+            let n = get_count(&mut b, 16)?;
+            for _ in 0..n {
+                let time = get_u64(&mut b)?;
+                let client = ClientId(get_u64(&mut b)?);
+                a.vtnc_targets.push(VersionTs::new(time, client));
+            }
+            a.vtnc_violations = get_u64(&mut b)?;
+            let n = get_count(&mut b, 9)?;
+            for _ in 0..n {
+                let et = EtId(get_u64(&mut b)?);
+                let ev = match get_u8(&mut b)? {
+                    COMPE_APPLIED => CompeEvent::Applied,
+                    COMPE_COMMITTED => CompeEvent::Committed,
+                    COMPE_COMPENSATED => CompeEvent::Compensated,
+                    COMPE_SUPPRESSED => CompeEvent::Suppressed,
+                    tag => return Err(WireError::BadTag { field: "compe", tag }),
+                };
+                a.compe_events.push((et, ev));
+            }
+            a.redelivered = get_u64(&mut b)?;
+            a.journaled = get_u64(&mut b)?;
+            Frame::AuditOk(a)
+        }
+        FRAME_DECISION_OK => Frame::DecisionOk {
+            et: EtId(get_u64(&mut b)?),
+        },
+        tag => return Err(WireError::BadTag { field: "frame", tag }),
+    };
+    Ok(frame)
+}
+
+fn decode_bool(b: &mut Bytes) -> Result<bool, WireError> {
+    match get_u8(b)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(WireError::BadTag { field: "bool", tag }),
+    }
 }
 
 #[cfg(test)]
@@ -374,5 +898,152 @@ mod tests {
         let n = raw.len();
         raw[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
         assert_eq!(decode_mset(&Bytes::from(raw)), Err(WireError::BadLength));
+    }
+
+    fn roundtrip_frame(frame: &Frame) {
+        let bytes = encode_frame(frame);
+        let back = decode_frame(&bytes).expect("decode frame");
+        assert_eq!(&back, frame);
+    }
+
+    fn sample_mset() -> MSet {
+        MSet::new(
+            EtId(12),
+            SiteId(2),
+            vec![
+                ObjectOp::new(ObjectId(1), Operation::Incr(3)),
+                ObjectOp::new(
+                    ObjectId(2),
+                    Operation::TimestampedWrite(
+                        VersionTs::new(5, ClientId(1)),
+                        Value::Text("x".into()),
+                    ),
+                ),
+            ],
+        )
+        .sequenced(SeqNo(4))
+    }
+
+    #[test]
+    fn every_frame_variant_round_trips() {
+        let frames = [
+            Frame::Hello {
+                site: SiteId(3),
+                epoch: 7,
+            },
+            Frame::MSet(sample_mset()),
+            Frame::Ack { entry: u64::MAX },
+            Frame::Applied {
+                site: SiteId(1),
+                et: EtId(9),
+                version: None,
+            },
+            Frame::Applied {
+                site: SiteId(2),
+                et: EtId(10),
+                version: Some(VersionTs::new(44, ClientId(6))),
+            },
+            Frame::Complete { et: EtId(11) },
+            Frame::Vtnc {
+                ts: VersionTs::new(17, ClientId(0)),
+            },
+            Frame::Decision {
+                et: EtId(13),
+                commit: true,
+            },
+            Frame::ControlSnapshot {
+                completed: vec![EtId(1), EtId(2)],
+                decisions: vec![(EtId(3), true), (EtId(4), false)],
+                vtnc_max: Some(VersionTs::new(9, ClientId(2))),
+            },
+            Frame::ControlSnapshot {
+                completed: vec![],
+                decisions: vec![],
+                vtnc_max: None,
+            },
+            Frame::Submit(sample_mset()),
+            Frame::SubmitOk { et: EtId(12) },
+            Frame::Query {
+                read_set: vec![ObjectId(1), ObjectId(2)],
+                epsilon_limit: u64::MAX,
+            },
+            Frame::QueryOk(QueryOutcome {
+                values: vec![Value::Int(-4), Value::Set(BTreeSet::from([1, 2]))],
+                charged: 3,
+                admitted: true,
+            }),
+            Frame::QueryOk(QueryOutcome::rejected()),
+            Frame::Snapshot,
+            Frame::SnapshotOk {
+                entries: vec![(ObjectId(0), Value::Int(1)), (ObjectId(1), Value::Text("t".into()))],
+            },
+            Frame::Status,
+            Frame::StatusOk {
+                settled: true,
+                outbound_pending: 5,
+                epoch: 2,
+            },
+            Frame::Audit,
+            Frame::AuditOk(WireAudit {
+                ordup_order: vec![(EtId(1), SeqNo(0)), (EtId(2), SeqNo(1))],
+                commu_order: vec![EtId(3)],
+                ritu_installs: vec![(ObjectId(7), VersionTs::new(3, ClientId(1)))],
+                vtnc_targets: vec![VersionTs::new(3, ClientId(1))],
+                vtnc_violations: 1,
+                compe_events: vec![
+                    (EtId(4), CompeEvent::Applied),
+                    (EtId(4), CompeEvent::Committed),
+                    (EtId(5), CompeEvent::Compensated),
+                    (EtId(6), CompeEvent::Suppressed),
+                ],
+                redelivered: 2,
+                journaled: 8,
+            }),
+            Frame::AuditOk(WireAudit::default()),
+            Frame::DecisionOk { et: EtId(13) },
+        ];
+        for frame in &frames {
+            roundtrip_frame(frame);
+        }
+    }
+
+    #[test]
+    fn frame_truncation_at_any_prefix_is_an_error_not_a_panic() {
+        let frame = Frame::ControlSnapshot {
+            completed: vec![EtId(1)],
+            decisions: vec![(EtId(2), false)],
+            vtnc_max: Some(VersionTs::new(4, ClientId(1))),
+        };
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            let prefix = Bytes::copy_from_slice(&bytes.as_slice()[..cut]);
+            assert!(
+                decode_frame(&prefix).is_err(),
+                "frame prefix of {cut} bytes decoded successfully"
+            );
+        }
+        assert!(decode_frame(&bytes).is_ok());
+    }
+
+    #[test]
+    fn unknown_frame_tag_is_rejected() {
+        let raw = Bytes::from(vec![0xEEu8, 0, 0, 0]);
+        assert!(matches!(
+            decode_frame(&raw),
+            Err(WireError::BadTag { field: "frame", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_frame_count_is_rejected_without_allocation_blowup() {
+        let frame = Frame::Query {
+            read_set: vec![],
+            epsilon_limit: 0,
+        };
+        let mut raw = encode_frame(&frame).to_vec();
+        // Last four bytes are the read-set count.
+        let n = raw.len();
+        raw[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_frame(&Bytes::from(raw)), Err(WireError::BadLength));
     }
 }

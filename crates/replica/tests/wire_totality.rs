@@ -1,0 +1,162 @@
+//! Decode-totality properties for the wire codec.
+//!
+//! The esr-rpc transport hands `decode_frame`/`decode_mset` whatever a
+//! socket (or a torn durable-queue tail) produced, so the codec must be
+//! total: *any* byte slice yields a value or a [`WireError`], never a
+//! panic or an unbounded allocation. The properties below throw
+//! arbitrary byte soup, mutated valid encodings, and truncated prefixes
+//! at both decoders, and check that every valid encoding round-trips.
+
+use bytes::Bytes;
+use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::mset::MSet;
+use esr_replica::site::QueryOutcome;
+use esr_replica::wire::{
+    decode_frame, decode_mset, encode_frame, encode_mset, Frame, WireAudit,
+};
+use proptest::prelude::*;
+
+/// A small strategy-free frame generator: maps an index + a handful of
+/// integers onto every variant family, so shrinking stays readable.
+fn frame_from(seed: u64, variant: u8) -> Frame {
+    let et = EtId(seed % 97);
+    let site = SiteId(seed % 5);
+    let ts = VersionTs::new(seed % 41, ClientId(seed % 7));
+    let mset = MSet::new(
+        et,
+        site,
+        vec![
+            ObjectOp::new(ObjectId(seed % 13), Operation::Incr(seed as i64 % 9)),
+            ObjectOp::new(
+                ObjectId(seed % 11),
+                Operation::TimestampedWrite(ts, Value::Int(seed as i64)),
+            ),
+        ],
+    )
+    .sequenced(SeqNo(seed % 17));
+    match variant % 16 {
+        0 => Frame::Hello {
+            site,
+            epoch: seed,
+        },
+        1 => Frame::MSet(mset),
+        2 => Frame::Ack { entry: seed },
+        3 => Frame::Applied {
+            site,
+            et,
+            version: if seed.is_multiple_of(2) { Some(ts) } else { None },
+        },
+        4 => Frame::Complete { et },
+        5 => Frame::Vtnc { ts },
+        6 => Frame::Decision {
+            et,
+            commit: seed.is_multiple_of(2),
+        },
+        7 => Frame::ControlSnapshot {
+            completed: (0..seed % 4).map(EtId).collect(),
+            decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
+            vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
+        8 => Frame::Submit(mset),
+        9 => Frame::SubmitOk { et },
+        10 => Frame::Query {
+            read_set: (0..seed % 5).map(ObjectId).collect(),
+            epsilon_limit: seed,
+        },
+        11 => Frame::QueryOk(QueryOutcome {
+            values: vec![Value::Int(seed as i64), Value::Text("q".into())],
+            charged: seed % 9,
+            admitted: seed.is_multiple_of(2),
+        }),
+        12 => Frame::SnapshotOk {
+            entries: (0..seed % 4)
+                .map(|i| (ObjectId(i), Value::Int(i as i64)))
+                .collect(),
+        },
+        13 => Frame::StatusOk {
+            settled: seed.is_multiple_of(2),
+            outbound_pending: seed % 23,
+            epoch: seed % 7,
+        },
+        14 => Frame::AuditOk(WireAudit {
+            ordup_order: (0..seed % 3).map(|i| (EtId(i), SeqNo(i))).collect(),
+            commu_order: (0..seed % 4).map(EtId).collect(),
+            ritu_installs: vec![(ObjectId(seed % 13), ts)],
+            vtnc_targets: vec![ts],
+            vtnc_violations: seed % 3,
+            compe_events: vec![],
+            redelivered: seed % 5,
+            journaled: seed % 31,
+        }),
+        _ => Frame::DecisionOk { et },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the frame decoder.
+    #[test]
+    fn decode_frame_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&Bytes::from(bytes));
+    }
+
+    /// Arbitrary bytes never panic the MSet decoder.
+    #[test]
+    fn decode_mset_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_mset(&Bytes::from(bytes));
+    }
+
+    /// Every frame family round-trips through encode/decode.
+    #[test]
+    fn frames_round_trip(seed in any::<u64>(), variant in any::<u8>()) {
+        let frame = frame_from(seed, variant);
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame(&bytes), Ok(frame));
+    }
+
+    /// Single-byte corruption of a valid encoding is total: it decodes
+    /// to *some* frame or errors, and never panics.
+    #[test]
+    fn mutated_frames_never_panic(
+        seed in any::<u64>(),
+        variant in any::<u8>(),
+        at in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let frame = frame_from(seed, variant);
+        let mut raw = encode_frame(&frame).to_vec();
+        let i = (at % raw.len() as u64) as usize;
+        raw[i] = byte;
+        let _ = decode_frame(&Bytes::from(raw));
+    }
+
+    /// Every strict prefix of a valid frame encoding fails to decode
+    /// (no silent short reads), and never panics.
+    #[test]
+    fn truncated_frames_error(
+        seed in any::<u64>(),
+        variant in any::<u8>(),
+        at in any::<u64>(),
+    ) {
+        let frame = frame_from(seed, variant);
+        let raw = encode_frame(&frame);
+        let cut = (at % raw.len() as u64) as usize;
+        let prefix = Bytes::copy_from_slice(&raw.as_slice()[..cut]);
+        prop_assert!(decode_frame(&prefix).is_err());
+    }
+
+    /// MSet encodings embedded in frames agree with the bare codec.
+    #[test]
+    fn mset_frame_agrees_with_bare_codec(seed in any::<u64>()) {
+        let frame = frame_from(seed, 1);
+        if let Frame::MSet(mset) = &frame {
+            let bare = encode_mset(mset);
+            let framed = encode_frame(&frame);
+            // Frame = 1 tag byte + the bare MSet encoding.
+            prop_assert_eq!(&framed.as_slice()[1..], bare.as_slice());
+        }
+    }
+}

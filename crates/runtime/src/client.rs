@@ -1,0 +1,168 @@
+//! Client library for talking to a running `esrd` site daemon.
+//!
+//! [`RpcClient`] speaks the client plane of the wire protocol: one
+//! request frame per round trip, carried in [`NO_ENTRY`] envelopes (the
+//! client plane is not durable — durability starts once the daemon has
+//! journalled a submitted update and answered `SubmitOk`). Both
+//! `esrctl` and the multi-process harness ([`crate::proc_cluster`]) are
+//! built on it.
+//!
+//! Connections are cheap loopback sockets; harness code opens a fresh
+//! client per request so a daemon restart (new port, republished
+//! address file) never wedges a cached connection.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use esr_core::ids::{EtId, ObjectId, SiteId};
+use esr_core::value::Value;
+use esr_net::rpc::{read_frame, seal, unseal, write_frame, KIND_CLIENT, NO_ENTRY};
+use esr_replica::mset::MSet;
+use esr_replica::site::QueryOutcome;
+use esr_replica::wire::{decode_frame, encode_frame, Frame};
+
+use crate::daemon::resolve_addr;
+use crate::state::SiteAudit;
+
+/// A daemon's health summary, as reported by a `Status` round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStatus {
+    /// Is the site's protocol state settled (no backlog, nothing at
+    /// risk)?
+    pub settled: bool,
+    /// Entries still pending in the daemon's outbound durable queues.
+    pub outbound_pending: u64,
+    /// The daemon's boot epoch (increments across restarts).
+    pub epoch: u64,
+}
+
+/// A connected client-plane session with one daemon.
+pub struct RpcClient {
+    stream: TcpStream,
+}
+
+fn bad_reply(got: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply frame: {got:?}"),
+    )
+}
+
+impl RpcClient {
+    /// Connects to a daemon at `addr` and identifies as a client.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&[KIND_CLIENT])?;
+        Ok(Self { stream })
+    }
+
+    /// Resolves site `site`'s published address under `dir` — waiting
+    /// up to `timeout` for the daemon to come up — and connects.
+    pub fn connect_dir(dir: &Path, site: SiteId, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(addr) = resolve_addr(dir, site) {
+                // The address file may be stale (a freshly killed
+                // daemon); treat connect failure as "not up yet".
+                if let Ok(c) = Self::connect(addr) {
+                    return Ok(c);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("site {} not reachable within {timeout:?}", site.raw()),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn call(&mut self, request: &Frame) -> io::Result<Frame> {
+        let bytes = encode_frame(request);
+        write_frame(&mut self.stream, &seal(NO_ENTRY, &bytes))?;
+        let env = unseal(read_frame(&mut self.stream)?)?;
+        decode_frame(&Bytes::from(env.payload))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Submits an update ET. Returns once the daemon has journalled it
+    /// and enqueued it to every peer.
+    pub fn submit(&mut self, mset: MSet) -> io::Result<EtId> {
+        match self.call(&Frame::Submit(mset))? {
+            Frame::SubmitOk { et } => Ok(et),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Runs a query ET with an epsilon budget of `epsilon_limit`.
+    pub fn query(&mut self, read_set: &[ObjectId], epsilon_limit: u64) -> io::Result<QueryOutcome> {
+        let request = Frame::Query {
+            read_set: read_set.to_vec(),
+            epsilon_limit,
+        };
+        match self.call(&request)? {
+            Frame::QueryOk(outcome) => Ok(outcome),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// The site's full replica snapshot (convergence oracle input).
+    pub fn snapshot(&mut self) -> io::Result<BTreeMap<ObjectId, Value>> {
+        match self.call(&Frame::Snapshot)? {
+            Frame::SnapshotOk { entries } => Ok(entries.into_iter().collect()),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// The daemon's settledness/queue-depth/epoch summary.
+    pub fn status(&mut self) -> io::Result<DaemonStatus> {
+        match self.call(&Frame::Status)? {
+            Frame::StatusOk {
+                settled,
+                outbound_pending,
+                epoch,
+            } => Ok(DaemonStatus {
+                settled,
+                outbound_pending,
+                epoch,
+            }),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// The site's oracle audit (protocol logs, redelivery and journal
+    /// counters; the link counters stay zero — they are a
+    /// chaos-transport concept).
+    pub fn audit(&mut self) -> io::Result<SiteAudit> {
+        match self.call(&Frame::Audit)? {
+            Frame::AuditOk(w) => Ok(SiteAudit {
+                ordup_order: w.ordup_order,
+                commu_order: w.commu_order,
+                ritu_installs: w.ritu_installs,
+                vtnc_targets: w.vtnc_targets,
+                vtnc_violations: w.vtnc_violations,
+                compe_events: w.compe_events,
+                redelivered: w.redelivered,
+                journaled: w.journaled,
+                ..SiteAudit::default()
+            }),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Issues a COMPE commit/abort decision for `et` (routed to the
+    /// coordinator and broadcast from there).
+    pub fn decide(&mut self, et: EtId, commit: bool) -> io::Result<()> {
+        match self.call(&Frame::Decision { et, commit })? {
+            Frame::DecisionOk { .. } => Ok(()),
+            other => Err(bad_reply(&other)),
+        }
+    }
+}

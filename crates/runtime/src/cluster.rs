@@ -30,18 +30,15 @@ use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
 use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
 use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
-use esr_replica::commu::CommuSite;
-use esr_replica::compe::{CompeEvent, CompeSite};
 use esr_replica::mset::MSet;
-use esr_replica::ordup::OrdupSite;
-use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
-use esr_replica::site::{QueryOutcome, ReplicaSite};
+use esr_replica::site::QueryOutcome;
 use esr_replica::wire::encode_mset;
 use esr_sim::probe;
 use esr_storage::stable_queue::EntryId;
 
 use crate::chaos::{self, ChaosStats, FaultPlan, RelayHandle, RelayMsg, TraceEvent};
-use crate::recovery::{ApplyJournal, ControlLog, ControlReplay, Decision};
+use crate::recovery::{ApplyJournal, ControlLog, Decision};
+use crate::state::{RtMethod, SiteAudit, SiteState};
 
 /// Logical shared-memory location namespace for the per-site protocol
 /// state, annotated via [`probe::mem_read`] / [`probe::mem_write`] so
@@ -50,23 +47,25 @@ use crate::recovery::{ApplyJournal, ControlLog, ControlReplay, Decision};
 /// access without a happens-before edge is a race finding).
 const SITE_STATE_LOC: u64 = 1 << 48;
 
-/// Replica control methods available in the thread runtime.
+/// A quiesce wait that did not settle before its deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RtMethod {
-    /// ORDUP with an atomic global sequencer.
-    Ordup,
-    /// Commutative operations.
-    Commu,
-    /// RITU last-writer-wins overwrite.
-    Ritu,
-    /// RITU multiversion with VTNC visibility: the tracker thread acts
-    /// as the certifier, advancing the horizon once a version is
-    /// installed at every replica.
-    RituMv,
-    /// Compensation-based backward control (commit/abort driven by the
-    /// client through [`Cluster::commit`] / [`Cluster::abort`]).
-    Compe,
+pub struct QuiesceTimeout {
+    /// How long the wait actually lasted.
+    pub waited: std::time::Duration,
 }
+
+impl std::fmt::Display for QuiesceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster did not quiesce within {:.1}s (crashed site never restarted, \
+             partition outlasting the deadline, or a protocol bug)",
+            self.waited.as_secs_f64()
+        )
+    }
+}
+
+impl std::error::Error for QuiesceTimeout {}
 
 /// Seeded defect canaries for `esr-check`: each one disables a single
 /// safety mechanism the checker's oracles must then flag. Production
@@ -89,168 +88,6 @@ pub enum RtCanary {
     /// instead of waiting for all sites — the VTNC-safety oracle must
     /// flag advances past a site's installed prefix.
     VtncEagerCertify,
-}
-
-/// Per-site oracle evidence extracted after a run via
-/// [`Cluster::audit_of`]. The protocol logs are populated only for
-/// clusters built with [`Cluster::checked`]; the chaos counters
-/// (`redelivered`, `journaled`, `link_*`) are always live on chaos
-/// clusters, proving the injected faults actually fired.
-#[derive(Debug, Clone, Default)]
-pub struct SiteAudit {
-    /// ORDUP: `(et, seq)` in application order.
-    pub ordup_order: Vec<(EtId, SeqNo)>,
-    /// COMMU: ETs in application order.
-    pub commu_order: Vec<EtId>,
-    /// RITU overwrite: winning installs `(object, version)` in store
-    /// order.
-    pub ritu_installs: Vec<(ObjectId, VersionTs)>,
-    /// RITU-MV: every VTNC target received, in arrival order.
-    pub vtnc_targets: Vec<VersionTs>,
-    /// RITU-MV: advances whose target exceeded the locally installed
-    /// contiguous version prefix.
-    pub vtnc_violations: u64,
-    /// COMPE: lifecycle events in order.
-    pub compe_events: Vec<(EtId, CompeEvent)>,
-    /// Duplicate deliveries this site's idempotency guards suppressed.
-    pub redelivered: u64,
-    /// MSets durably journalled at this site (chaos clusters only).
-    pub journaled: u64,
-    /// Planned retry attempts on links into this site (chaos only).
-    pub link_retries: u64,
-    /// Ack-timeout re-sends on links into this site (chaos only).
-    pub link_resends: u64,
-    /// Attempts dropped on links into this site (chaos only).
-    pub link_dropped: u64,
-    /// Planned duplicate copies on links into this site (chaos only).
-    pub link_duplicated: u64,
-}
-
-enum SiteState {
-    Ordup(OrdupSite),
-    Commu(CommuSite),
-    Ritu(RituOverwriteSite),
-    RituMv(RituMvSite),
-    Compe(CompeSite),
-}
-
-impl SiteState {
-    fn deliver(&mut self, mset: MSet) {
-        match self {
-            SiteState::Ordup(s) => s.deliver(mset),
-            SiteState::Commu(s) => s.deliver(mset),
-            SiteState::Ritu(s) => s.deliver(mset),
-            SiteState::RituMv(s) => s.deliver(mset),
-            SiteState::Compe(s) => s.deliver(mset),
-        }
-    }
-    fn deliver_batch(&mut self, msets: Vec<MSet>) {
-        match self {
-            SiteState::Ordup(s) => s.deliver_batch(msets),
-            SiteState::Commu(s) => s.deliver_batch(msets),
-            SiteState::Ritu(s) => s.deliver_batch(msets),
-            SiteState::RituMv(s) => s.deliver_batch(msets),
-            SiteState::Compe(s) => s.deliver_batch(msets),
-        }
-    }
-    fn query(&mut self, rs: &[ObjectId], c: &mut InconsistencyCounter) -> QueryOutcome {
-        match self {
-            SiteState::Ordup(s) => s.query(rs, c),
-            SiteState::Commu(s) => s.query(rs, c),
-            SiteState::Ritu(s) => s.query(rs, c),
-            SiteState::RituMv(s) => s.query(rs, c),
-            SiteState::Compe(s) => s.query(rs, c),
-        }
-    }
-    fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
-        match self {
-            SiteState::Ordup(s) => s.snapshot(),
-            SiteState::Commu(s) => s.snapshot(),
-            SiteState::Ritu(s) => s.snapshot(),
-            SiteState::RituMv(s) => s.snapshot(),
-            SiteState::Compe(s) => s.snapshot(),
-        }
-    }
-    /// Is this site settled (nothing held back, nothing in flight)?
-    fn settled(&self) -> bool {
-        match self {
-            SiteState::Ordup(s) => s.backlog() == 0,
-            SiteState::Commu(s) => s.quiescent(),
-            SiteState::Ritu(s) => s.backlog() == 0,
-            SiteState::RituMv(s) => s.backlog() == 0,
-            SiteState::Compe(s) => s.at_risk() == 0,
-        }
-    }
-    fn has_applied(&self, et: EtId) -> bool {
-        match self {
-            SiteState::Ordup(s) => s.has_applied(et),
-            SiteState::Commu(s) => s.has_applied(et),
-            SiteState::Ritu(s) => s.has_applied(et),
-            SiteState::RituMv(s) => s.has_applied(et),
-            SiteState::Compe(s) => s.has_applied(et),
-        }
-    }
-    fn redelivered(&self) -> u64 {
-        match self {
-            SiteState::Ordup(s) => s.redelivered(),
-            SiteState::Commu(s) => s.redelivered(),
-            SiteState::Ritu(s) => s.redelivered(),
-            SiteState::RituMv(s) => s.redelivered(),
-            SiteState::Compe(s) => s.redelivered(),
-        }
-    }
-    fn enable_audit(&mut self) {
-        match self {
-            SiteState::Ordup(s) => s.enable_audit(),
-            SiteState::Commu(s) => s.enable_audit(),
-            SiteState::Ritu(s) => s.enable_audit(),
-            SiteState::RituMv(s) => s.enable_audit(),
-            SiteState::Compe(s) => s.enable_audit(),
-        }
-    }
-    fn audit(&self) -> SiteAudit {
-        let mut a = SiteAudit::default();
-        match self {
-            SiteState::Ordup(s) => a.ordup_order = s.audit_log().to_vec(),
-            SiteState::Commu(s) => a.commu_order = s.audit_log().to_vec(),
-            SiteState::Ritu(s) => a.ritu_installs = s.audit_log().to_vec(),
-            SiteState::RituMv(s) => {
-                a.vtnc_targets = s.vtnc_targets().to_vec();
-                a.vtnc_violations = s.vtnc_violations();
-            }
-            SiteState::Compe(s) => a.compe_events = s.audit_log().to_vec(),
-        }
-        a.redelivered = self.redelivered();
-        a
-    }
-
-    /// Replays recovered control-plane broadcasts after a journal
-    /// replay: completion notices, the certified VTNC horizon, and COMPE
-    /// decisions in their original order. Everything here is idempotent,
-    /// so notices the site already processed before crashing are
-    /// harmless to replay.
-    fn replay_control(&mut self, r: &ControlReplay) {
-        for &et in &r.completed {
-            match self {
-                SiteState::Commu(s) => s.complete(et),
-                SiteState::Ritu(s) => s.complete(et),
-                _ => {}
-            }
-        }
-        if let (SiteState::RituMv(s), Some(v)) = (&mut *self, r.vtnc_max) {
-            s.advance_vtnc(v);
-        }
-        if let SiteState::Compe(s) = self {
-            for d in &r.decisions {
-                match d {
-                    Decision::Commit(et) => s.commit(*et),
-                    Decision::Abort(et) => {
-                        let _ = s.abort(*et);
-                    }
-                }
-            }
-        }
-    }
 }
 
 enum SiteMsg {
@@ -367,13 +204,7 @@ fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()>
                 tracker,
                 chaos,
             } = cfg;
-            let mut state = match method {
-                RtMethod::Ordup => SiteState::Ordup(OrdupSite::new(id)),
-                RtMethod::Commu => SiteState::Commu(CommuSite::new(id)),
-                RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
-                RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
-                RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
-            };
+            let mut state = SiteState::new(method, id);
             if audit {
                 state.enable_audit();
             }
@@ -519,11 +350,7 @@ fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()>
                     }
                     SiteMsg::Complete(et) => {
                         probe::mem_write(state_loc);
-                        match &mut state {
-                            SiteState::Commu(s) => s.complete(et),
-                            SiteState::Ritu(s) => s.complete(et),
-                            _ => {}
-                        }
+                        state.complete(et);
                     }
                     SiteMsg::AdvanceVtnc(ts) => {
                         // The horizon is monotone, so a queued
@@ -542,21 +369,15 @@ fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()>
                             }
                         }
                         probe::mem_write(state_loc);
-                        if let SiteState::RituMv(s) = &mut state {
-                            s.advance_vtnc(horizon);
-                        }
+                        state.advance_vtnc(horizon);
                     }
                     SiteMsg::Commit(et) => {
                         probe::mem_write(state_loc);
-                        if let SiteState::Compe(s) = &mut state {
-                            s.commit(et);
-                        }
+                        state.commit(et);
                     }
                     SiteMsg::Abort(et) => {
                         probe::mem_write(state_loc);
-                        if let SiteState::Compe(s) = &mut state {
-                            s.abort(et);
-                        }
+                        state.abort(et);
                     }
                     SiteMsg::Query {
                         read_set,
@@ -1047,9 +868,28 @@ impl Cluster {
     /// site first: a dead site can never ack and quiesce would spin.
     /// Dead sites on a *shut-down* cluster count as settled, so shutdown
     /// paths always terminate.
+    ///
+    /// Panics if the cluster fails to settle within a generous default
+    /// deadline (two minutes) — use [`Cluster::quiesce_within`] to
+    /// handle the timeout instead.
     pub fn quiesce(&self) {
+        self.quiesce_within(std::time::Duration::from_secs(120))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Cluster::quiesce`] with an explicit deadline: returns
+    /// `Err(QuiesceTimeout)` instead of spinning forever when the
+    /// cluster cannot settle (a crashed-and-never-restarted site, a
+    /// partition window outlasting the deadline, a protocol bug).
+    pub fn quiesce_within(&self, deadline: std::time::Duration) -> Result<(), QuiesceTimeout> {
+        let start = std::time::Instant::now();
         let mut stable_rounds = 0;
         while stable_rounds < 2 {
+            if start.elapsed() > deadline {
+                return Err(QuiesceTimeout {
+                    waited: start.elapsed(),
+                });
+            }
             let relays_drained = match &self.chaos {
                 Some(c) => c
                     .relays
@@ -1074,6 +914,7 @@ impl Cluster {
                 std::thread::sleep(std::time::Duration::from_micros(500));
             }
         }
+        Ok(())
     }
 
     /// True when all replicas expose identical values (call after

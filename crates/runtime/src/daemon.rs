@@ -1,0 +1,633 @@
+//! The `esrd` site daemon: one replica-control site behind real
+//! sockets.
+//!
+//! A daemon hosts one [`SiteState`] (any of the five methods), accepts
+//! peer and client connections on a loopback TCP listener, and drives
+//! durable outbound [`Link`]s — one per peer site — that persistently
+//! retry delivery until acknowledged (the paper's §2.2 stable-queue
+//! contract, over a real network). Every accepted update MSet is
+//! write-ahead journalled *before* it is applied or acknowledged, so a
+//! `kill -9` never loses an acked update: the next incarnation replays
+//! the journal, re-announces its applies, and catches up on everything
+//! it missed through the peers' at-least-once queues.
+//!
+//! ## Topology and the coordinator
+//!
+//! Site 0 doubles as the **coordinator**: the networked analogue of the
+//! thread runtime's completion tracker. Peers send it
+//! [`Frame::Applied`] evidence; once every site has applied an ET it
+//! broadcasts [`Frame::Complete`] (COMMU/RITU lock-counter release) or
+//! advances the VTNC horizon ([`Frame::Vtnc`], RITU-MV) over the
+//! durable links. COMPE decisions are routed through it the same way.
+//! Because control broadcasts ride the durable queues, a site that was
+//! dead during a broadcast still receives it after restarting; on every
+//! peer (re)handshake the coordinator additionally re-sends a
+//! [`Frame::ControlSnapshot`] so a recovering site converges even if
+//! its queue files were lost. Coordinator fault tolerance is an
+//! explicit non-goal of this layer (see DESIGN.md §11): the harnesses
+//! never kill site 0.
+//!
+//! ## Discovery
+//!
+//! Daemons bind an ephemeral loopback port and publish it at
+//! `<dir>/site-<i>.addr` (atomic tmp+rename write). Links re-resolve
+//! the address file on every dial, so a restarted peer on a new port is
+//! found as soon as it republishes. `<dir>/site-<i>.epoch` counts boots
+//! and is echoed in the handshake.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
+use esr_core::ids::{EtId, SiteId, VersionTs};
+use esr_core::op::Operation;
+use esr_net::rpc::{
+    read_frame, seal, seal_ack, unseal, write_frame, Link, KIND_CLIENT, KIND_PEER, NO_ENTRY,
+};
+use esr_replica::mset::MSet;
+use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
+use esr_storage::stable_queue::FileQueue;
+
+use crate::recovery::ApplyJournal;
+use crate::state::{RtMethod, SiteState};
+
+/// Everything a daemon needs to come up.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// This site's id (site 0 is the coordinator).
+    pub site: SiteId,
+    /// Total number of sites in the cluster.
+    pub sites: usize,
+    /// The replica control method to run.
+    pub method: RtMethod,
+    /// The cluster directory: address files, journals, and link queue
+    /// files all live here (shared by every site of one cluster).
+    pub dir: PathBuf,
+}
+
+/// The coordinator's completion/certification state (site 0 only).
+struct Coordinator {
+    n: usize,
+    method: RtMethod,
+    /// Per-ET apply evidence: which sites reported, and the max
+    /// timestamped-write version seen (for VTNC).
+    counts: BTreeMap<EtId, (HashSet<SiteId>, Option<VersionTs>)>,
+    /// ETs whose completion already broadcast — late or duplicate
+    /// `Applied` reports (redelivery, restart re-announcements) land
+    /// here and are dropped.
+    done: HashSet<EtId>,
+    /// Broadcast log, replayed to recovering peers as a snapshot.
+    completed_log: Vec<EtId>,
+    decided: HashSet<EtId>,
+    decisions_log: Vec<(EtId, bool)>,
+    /// VTNC certification: fully-installed version times awaiting the
+    /// dense-prefix scan (the version clock hands out 1, 2, 3, …).
+    fully_installed: BTreeMap<u64, VersionTs>,
+    next_time: u64,
+    vtnc_max: Option<VersionTs>,
+}
+
+impl Coordinator {
+    fn new(n: usize, method: RtMethod) -> Self {
+        Self {
+            n,
+            method,
+            counts: BTreeMap::new(),
+            done: HashSet::new(),
+            completed_log: Vec::new(),
+            decided: HashSet::new(),
+            decisions_log: Vec::new(),
+            fully_installed: BTreeMap::new(),
+            next_time: 1,
+            vtnc_max: None,
+        }
+    }
+
+    /// Absorbs one apply report; returns the control broadcasts it
+    /// triggers (computed under the lock, sent outside it).
+    fn on_applied(&mut self, site: SiteId, et: EtId, version: Option<VersionTs>) -> Vec<Frame> {
+        if !self.method.tracks_completion() || self.done.contains(&et) {
+            return Vec::new();
+        }
+        let e = self.counts.entry(et).or_insert_with(|| (HashSet::new(), None));
+        e.0.insert(site);
+        e.1 = e.1.max(version);
+        if e.0.len() < self.n {
+            return Vec::new();
+        }
+        let version = self.counts.remove(&et).and_then(|(_, v)| v);
+        self.done.insert(et);
+        if self.method == RtMethod::RituMv {
+            let Some(v) = version else { return Vec::new() };
+            self.fully_installed.insert(v.time, v);
+            let mut horizon = None;
+            while let Some(v) = self.fully_installed.remove(&self.next_time) {
+                horizon = Some(v);
+                self.next_time += 1;
+            }
+            match horizon {
+                Some(h) => {
+                    self.vtnc_max = Some(self.vtnc_max.map_or(h, |m| m.max(h)));
+                    vec![Frame::Vtnc { ts: h }]
+                }
+                None => Vec::new(),
+            }
+        } else {
+            self.completed_log.push(et);
+            vec![Frame::Complete { et }]
+        }
+    }
+
+    /// Absorbs a COMPE decision; returns the broadcast (once per ET).
+    fn on_decision(&mut self, et: EtId, commit: bool) -> Vec<Frame> {
+        if !self.decided.insert(et) {
+            return Vec::new();
+        }
+        self.decisions_log.push((et, commit));
+        vec![Frame::Decision { et, commit }]
+    }
+
+    /// The recovery snapshot sent to a (re)connecting peer.
+    fn control_state(&self) -> Frame {
+        Frame::ControlSnapshot {
+            completed: self.completed_log.clone(),
+            decisions: self.decisions_log.clone(),
+            vtnc_max: self.vtnc_max,
+        }
+    }
+}
+
+/// Write-ahead journal plus the set of ETs already in it.
+struct Journal {
+    journal: ApplyJournal,
+    journaled: HashSet<EtId>,
+}
+
+/// A running site daemon. Construct with [`Daemon::start`]; the accept
+/// loop and link threads run in the background until the process exits.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    epoch: u64,
+    addr: SocketAddr,
+    state: Mutex<SiteState>,
+    journal: Mutex<Journal>,
+    /// Durable outbound links, indexed by target site (`None` at our
+    /// own slot).
+    links: Vec<Option<Link>>,
+    /// Completion/certification state; `Some` only on site 0.
+    coord: Option<Mutex<Coordinator>>,
+}
+
+/// The address file published by site `site` under `dir`.
+pub fn addr_path(dir: &Path, site: SiteId) -> PathBuf {
+    dir.join(format!("site-{}.addr", site.raw()))
+}
+
+fn epoch_path(dir: &Path, site: SiteId) -> PathBuf {
+    dir.join(format!("site-{}.epoch", site.raw()))
+}
+
+fn journal_path(dir: &Path, site: SiteId) -> PathBuf {
+    dir.join(format!("site-{}.journal", site.raw()))
+}
+
+fn queue_path(dir: &Path, from: SiteId, to: SiteId) -> PathBuf {
+    dir.join(format!("link-{}-{}.queue", from.raw(), to.raw()))
+}
+
+/// Atomic publish: write to a tmp file, then rename into place, so a
+/// concurrent reader never observes a torn address.
+fn publish(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads the address a peer most recently published (`None` while the
+/// peer is down or not yet up — the link keeps retrying).
+pub fn resolve_addr(dir: &Path, site: SiteId) -> Option<SocketAddr> {
+    std::fs::read_to_string(addr_path(dir, site))
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// The max timestamped-write version in an MSet (the VTNC install
+/// evidence an `Applied` report carries).
+fn max_version(mset: &MSet) -> Option<VersionTs> {
+    mset.ops
+        .iter()
+        .filter_map(|o| match &o.op {
+            Operation::TimestampedWrite(ts, _) => Some(*ts),
+            _ => None,
+        })
+        .max()
+}
+
+fn wire_audit(a: crate::state::SiteAudit, journaled: u64) -> WireAudit {
+    WireAudit {
+        ordup_order: a.ordup_order,
+        commu_order: a.commu_order,
+        ritu_installs: a.ritu_installs,
+        vtnc_targets: a.vtnc_targets,
+        vtnc_violations: a.vtnc_violations,
+        compe_events: a.compe_events,
+        redelivered: a.redelivered,
+        journaled,
+    }
+}
+
+impl Daemon {
+    /// Boots the daemon: bumps the epoch, replays the journal, spawns
+    /// the outbound links, binds a loopback listener, publishes its
+    /// address, and starts accepting. Returns the running handle (the
+    /// background threads live until process exit).
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<Arc<Self>> {
+        assert!(cfg.sites > 0 && (cfg.site.raw() as usize) < cfg.sites);
+        std::fs::create_dir_all(&cfg.dir)?;
+
+        // Boot epoch: crashed incarnations are distinguishable.
+        let epoch = std::fs::read_to_string(epoch_path(&cfg.dir, cfg.site))
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+            + 1;
+        publish(&epoch_path(&cfg.dir, cfg.site), &epoch.to_string())?;
+
+        // Recovery: replay the write-ahead journal into a fresh state
+        // machine. Remember what was already applied — those ETs are
+        // re-announced to the coordinator below, because the previous
+        // incarnation may have died before its `Applied` report was
+        // durably enqueued.
+        let mut state = SiteState::new(cfg.method, cfg.site);
+        state.enable_audit();
+        let journal = ApplyJournal::open(journal_path(&cfg.dir, cfg.site))?;
+        let mut journaled = HashSet::new();
+        let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
+        for mset in journal.replay() {
+            journaled.insert(mset.et);
+            let version = max_version(&mset);
+            let et = mset.et;
+            state.deliver(mset);
+            if state.has_applied(et) {
+                recovered.push((et, version));
+            }
+        }
+
+        // Durable outbound links, one per peer. The hello frame carries
+        // our id + epoch; the coordinator answers a peer hello with a
+        // control snapshot.
+        let hello = encode_frame(&Frame::Hello {
+            site: cfg.site,
+            epoch,
+        });
+        let mut links = Vec::with_capacity(cfg.sites);
+        for j in 0..cfg.sites {
+            let to = SiteId(j as u64);
+            if to == cfg.site {
+                links.push(None);
+                continue;
+            }
+            let queue = FileQueue::open(queue_path(&cfg.dir, cfg.site, to))?;
+            let dir = cfg.dir.clone();
+            links.push(Some(Link::spawn(
+                Box::new(queue),
+                Box::new(move || resolve_addr(&dir, to)),
+                hello.clone(),
+            )));
+        }
+
+        let coord = (cfg.site == SiteId(0))
+            .then(|| Mutex::new(Coordinator::new(cfg.sites, cfg.method)));
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+
+        let daemon = Arc::new(Self {
+            epoch,
+            addr,
+            state: Mutex::new(state),
+            journal: Mutex::new(Journal { journal, journaled }),
+            links,
+            coord,
+            cfg,
+        });
+
+        // Re-announce recovered applies (the coordinator deduplicates).
+        for (et, version) in recovered {
+            daemon.report_applied(et, version);
+        }
+
+        // Publish last: a resolvable address implies a daemon ready to
+        // accept.
+        publish(
+            &addr_path(&daemon.cfg.dir, daemon.cfg.site),
+            &addr.to_string(),
+        )?;
+
+        let accept = Arc::clone(&daemon);
+        std::thread::Builder::new()
+            .name(format!("esrd-accept-{}", daemon.cfg.site.raw()))
+            .spawn(move || {
+                for stream in listener.incoming().flatten() {
+                    let d = Arc::clone(&accept);
+                    let _ = std::thread::Builder::new()
+                        .name("esrd-conn".into())
+                        .spawn(move || d.handle_connection(stream));
+                }
+            })
+            .unwrap_or_else(|e| panic!("spawn accept thread: {e}"));
+
+        Ok(daemon)
+    }
+
+    /// The loopback address this daemon accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This incarnation's boot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn handle_connection(self: &Arc<Self>, mut stream: TcpStream) {
+        let mut kind = [0u8; 1];
+        if stream.read_exact(&mut kind).is_err() {
+            return;
+        }
+        match kind[0] {
+            KIND_PEER => self.serve_peer(stream),
+            KIND_CLIENT => self.serve_client(stream),
+            _ => {}
+        }
+    }
+
+    /// Peer plane: durable envelopes in, transport acks out. The ack is
+    /// written only after journal + apply, so the sender retires an
+    /// entry only once its effect is crash-durable here.
+    fn serve_peer(self: &Arc<Self>, mut stream: TcpStream) {
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(f) => f,
+                Err(_) => return,
+            };
+            let Ok(env) = unseal(frame) else { return };
+            match decode_frame(&Bytes::from(env.payload)) {
+                Ok(f) => self.handle_peer_frame(f),
+                Err(_) => {
+                    // A corrupt frame is dropped; acking it anyway
+                    // prevents an infinite retransmit of a poisoned
+                    // entry.
+                }
+            }
+            if env.entry != NO_ENTRY && write_frame(&mut stream, &seal_ack(env.entry)).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn handle_peer_frame(&self, frame: Frame) {
+        match frame {
+            Frame::Hello { site, .. } => {
+                // Coordinator: answer every peer (re)handshake with the
+                // control snapshot — idempotent replay that covers a
+                // recovering site whose queue files were lost.
+                if let Some(coord) = &self.coord {
+                    let snapshot = coord.lock().control_state();
+                    self.send_to(site, &snapshot);
+                }
+            }
+            Frame::MSet(mset) => self.accept_mset(mset),
+            Frame::Applied { site, et, version } => {
+                let broadcasts = match &self.coord {
+                    Some(c) => c.lock().on_applied(site, et, version),
+                    None => Vec::new(),
+                };
+                for b in broadcasts {
+                    self.broadcast_control(&b);
+                }
+            }
+            Frame::Complete { et } => self.state.lock().complete(et),
+            Frame::Vtnc { ts } => self.state.lock().advance_vtnc(ts),
+            Frame::Decision { et, commit } => {
+                if self.coord.is_some() {
+                    // A peer forwarded a client's decision to us.
+                    self.decide(et, commit);
+                } else {
+                    // The coordinator's broadcast: apply it here (calling
+                    // `decide` would bounce it straight back).
+                    let mut st = self.state.lock();
+                    if commit {
+                        st.commit(et);
+                    } else {
+                        st.abort(et);
+                    }
+                }
+            }
+            Frame::ControlSnapshot {
+                completed,
+                decisions,
+                vtnc_max,
+            } => {
+                let mut st = self.state.lock();
+                for et in completed {
+                    st.complete(et);
+                }
+                for (et, commit) in decisions {
+                    if commit {
+                        st.commit(et);
+                    } else {
+                        st.abort(et);
+                    }
+                }
+                if let Some(v) = vtnc_max {
+                    st.advance_vtnc(v);
+                }
+            }
+            // Client-plane or transport-layer frames have no business
+            // on a peer link; ignore them.
+            _ => {}
+        }
+    }
+
+    /// Client plane: one request frame in, one reply frame out.
+    fn serve_client(self: &Arc<Self>, mut stream: TcpStream) {
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(f) => f,
+                Err(_) => return,
+            };
+            let Ok(env) = unseal(frame) else { return };
+            let Ok(request) = decode_frame(&Bytes::from(env.payload)) else {
+                return;
+            };
+            let reply = self.handle_client_request(request);
+            let bytes = encode_frame(&reply);
+            if write_frame(&mut stream, &seal(NO_ENTRY, &bytes)).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn handle_client_request(&self, request: Frame) -> Frame {
+        match request {
+            Frame::Submit(mset) => {
+                let et = mset.et;
+                // Fan the update out to every peer over the durable
+                // links, then absorb it locally (journal + apply +
+                // report).
+                let bytes = encode_frame(&Frame::MSet(mset.clone()));
+                for j in 0..self.cfg.sites {
+                    if SiteId(j as u64) != self.cfg.site {
+                        self.send_bytes(SiteId(j as u64), bytes.clone());
+                    }
+                }
+                self.accept_mset(mset);
+                Frame::SubmitOk { et }
+            }
+            Frame::Query {
+                read_set,
+                epsilon_limit,
+            } => {
+                let mut counter =
+                    InconsistencyCounter::new(EpsilonSpec::bounded(epsilon_limit));
+                Frame::QueryOk(self.state.lock().query(&read_set, &mut counter))
+            }
+            Frame::Snapshot => Frame::SnapshotOk {
+                entries: self.state.lock().snapshot().into_iter().collect(),
+            },
+            Frame::Status => Frame::StatusOk {
+                settled: self.state.lock().settled(),
+                outbound_pending: self
+                    .links
+                    .iter()
+                    .flatten()
+                    .map(|l| l.pending() as u64)
+                    .sum(),
+                epoch: self.epoch,
+            },
+            Frame::Audit => {
+                let a = self.state.lock().audit();
+                let journaled = self.journal.lock().journal.entries();
+                Frame::AuditOk(wire_audit(a, journaled))
+            }
+            Frame::Decision { et, commit } => {
+                self.decide(et, commit);
+                Frame::DecisionOk { et }
+            }
+            // Anything else is a protocol error; answer with an empty
+            // status so the client sees *a* frame and can give up.
+            _ => Frame::StatusOk {
+                settled: false,
+                outbound_pending: 0,
+                epoch: self.epoch,
+            },
+        }
+    }
+
+    /// Journal (write-ahead), apply, and report the apply — the one
+    /// path every update takes, whether it arrived from a client
+    /// (origin) or a peer link (propagation).
+    fn accept_mset(&self, mset: MSet) {
+        let et = mset.et;
+        let version = max_version(&mset);
+        {
+            let mut j = self.journal.lock();
+            if !j.journaled.contains(&et) {
+                j.journal.record(&mset);
+                j.journaled.insert(et);
+            }
+        }
+        let newly_applied = {
+            let mut st = self.state.lock();
+            let before = st.has_applied(et);
+            st.deliver(mset);
+            !before && st.has_applied(et)
+        };
+        if newly_applied {
+            self.report_applied(et, version);
+        }
+    }
+
+    /// Routes apply evidence to the coordinator (inline when we *are*
+    /// the coordinator, over the durable link otherwise).
+    fn report_applied(&self, et: EtId, version: Option<VersionTs>) {
+        if !self.cfg.method.tracks_completion() {
+            return;
+        }
+        match &self.coord {
+            Some(c) => {
+                let broadcasts = c.lock().on_applied(self.cfg.site, et, version);
+                for b in broadcasts {
+                    self.broadcast_control(&b);
+                }
+            }
+            None => self.send_to(
+                SiteId(0),
+                &Frame::Applied {
+                    site: self.cfg.site,
+                    et,
+                    version,
+                },
+            ),
+        }
+    }
+
+    /// A COMPE commit/abort decision. The coordinator logs and
+    /// broadcasts it; any other site forwards it to the coordinator
+    /// over its durable link (the broadcast will come back around).
+    fn decide(&self, et: EtId, commit: bool) {
+        match &self.coord {
+            Some(c) => {
+                let broadcasts = c.lock().on_decision(et, commit);
+                for b in broadcasts {
+                    self.broadcast_control(&b);
+                }
+            }
+            None => self.send_to(SiteId(0), &Frame::Decision { et, commit }),
+        }
+    }
+
+    /// Applies a control broadcast locally and enqueues it to every
+    /// peer (durable, so a currently-dead site receives it on revival).
+    fn broadcast_control(&self, frame: &Frame) {
+        match *frame {
+            Frame::Complete { et } => self.state.lock().complete(et),
+            Frame::Vtnc { ts } => self.state.lock().advance_vtnc(ts),
+            Frame::Decision { et, commit } => {
+                let mut st = self.state.lock();
+                if commit {
+                    st.commit(et);
+                } else {
+                    st.abort(et);
+                }
+            }
+            _ => {}
+        }
+        let bytes = encode_frame(frame);
+        for j in 0..self.cfg.sites {
+            let to = SiteId(j as u64);
+            if to != self.cfg.site {
+                self.send_bytes(to, bytes.clone());
+            }
+        }
+    }
+
+    fn send_to(&self, to: SiteId, frame: &Frame) {
+        self.send_bytes(to, encode_frame(frame));
+    }
+
+    fn send_bytes(&self, to: SiteId, bytes: Bytes) {
+        if let Some(Some(link)) = self.links.get(to.raw() as usize) {
+            link.send(bytes);
+        }
+    }
+}

@@ -18,9 +18,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod client;
 pub mod cluster;
+pub mod daemon;
+pub mod proc_cluster;
 pub mod recovery;
+pub mod state;
 
 pub use chaos::{render_trace, ChaosStats, FaultPlan, TraceEvent};
-pub use cluster::{Cluster, RtCanary, RtMethod, SiteAudit};
+pub use client::RpcClient;
+pub use cluster::{Cluster, QuiesceTimeout, RtCanary};
+pub use daemon::{Daemon, DaemonConfig};
+pub use proc_cluster::ProcCluster;
 pub use recovery::{ApplyJournal, ControlLog, Decision};
+pub use state::{RtMethod, SiteAudit, SiteState};

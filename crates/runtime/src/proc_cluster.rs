@@ -1,0 +1,262 @@
+//! Multi-process cluster harness: N real `esrd` daemons on loopback.
+//!
+//! [`ProcCluster`] is the process-level analogue of
+//! [`crate::cluster::Cluster`]: it spawns one `esrd` OS process per
+//! site (all sharing a cluster directory for discovery, journals, and
+//! durable link queues), stamps and submits ETs through the client
+//! plane, and reuses the same convergence oracles — quiesce until every
+//! site reports settled with drained queues, then compare full replica
+//! snapshots. Because the sites are real processes, [`ProcCluster::kill`]
+//! is a genuine `SIGKILL`: no destructors, no flushes, exactly the
+//! failure model the paper's stable-queue argument is about.
+//!
+//! Client-side stamping mirrors the thread runtime's atomics: ET ids
+//! from 1, the ORDUP sequencer from 0, the RITU version clock handing
+//! out 1, 2, 3, … — a single-harness (single-client) assumption that is
+//! an explicit non-goal to lift at this layer (DESIGN.md §11).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::mset::MSet;
+
+use crate::client::{DaemonStatus, RpcClient};
+use crate::cluster::QuiesceTimeout;
+use crate::state::{RtMethod, SiteAudit};
+
+/// How long to wait for a daemon to come up / answer before calling it
+/// unreachable.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running cluster of `esrd` processes.
+pub struct ProcCluster {
+    esrd: PathBuf,
+    dir: PathBuf,
+    method: RtMethod,
+    n: usize,
+    children: Vec<Option<Child>>,
+    next_et: AtomicU64,
+    sequencer: AtomicU64,
+    version_clock: AtomicU64,
+}
+
+impl ProcCluster {
+    /// Spawns `n` daemons running `method` under `dir`, using the
+    /// `esrd` binary at `esrd` (tests use `env!("CARGO_BIN_EXE_esrd")`).
+    /// Blocks until every site answers a status round trip.
+    pub fn spawn(
+        esrd: impl AsRef<Path>,
+        dir: impl AsRef<Path>,
+        method: RtMethod,
+        n: usize,
+    ) -> io::Result<Self> {
+        assert!(n > 0, "a cluster needs at least one site");
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut cluster = Self {
+            esrd: esrd.as_ref().to_path_buf(),
+            dir,
+            method,
+            n,
+            children: Vec::new(),
+            next_et: AtomicU64::new(1),
+            sequencer: AtomicU64::new(0),
+            version_clock: AtomicU64::new(0),
+        };
+        for i in 0..n {
+            let child = cluster.spawn_site(SiteId(i as u64))?;
+            cluster.children.push(Some(child));
+        }
+        for i in 0..n {
+            cluster.status_of(SiteId(i as u64))?;
+        }
+        Ok(cluster)
+    }
+
+    fn spawn_site(&self, site: SiteId) -> io::Result<Child> {
+        Command::new(&self.esrd)
+            .arg("--site")
+            .arg(site.raw().to_string())
+            .arg("--sites")
+            .arg(self.n.to_string())
+            .arg("--method")
+            .arg(self.method.name())
+            .arg("--dir")
+            .arg(&self.dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.n
+    }
+
+    /// The method this cluster runs.
+    pub fn method(&self) -> RtMethod {
+        self.method
+    }
+
+    /// The shared cluster directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Opens a fresh client-plane connection to `site`, waiting for the
+    /// daemon to be reachable.
+    pub fn client(&self, site: SiteId) -> io::Result<RpcClient> {
+        RpcClient::connect_dir(&self.dir, site, CONNECT_TIMEOUT)
+    }
+
+    fn fresh_et(&self) -> EtId {
+        EtId(self.next_et.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Stamps and submits an update ET at `origin`; the daemon journals
+    /// it and fans it out to the peers over the durable links.
+    pub fn submit_update(&self, origin: SiteId, ops: Vec<ObjectOp>) -> io::Result<EtId> {
+        let et = self.fresh_et();
+        let mset = match self.method {
+            RtMethod::Ordup => {
+                let seq = SeqNo(self.sequencer.fetch_add(1, Ordering::Relaxed));
+                MSet::new(et, origin, ops).sequenced(seq)
+            }
+            _ => MSet::new(et, origin, ops),
+        };
+        self.client(origin)?.submit(mset)
+    }
+
+    /// Stamps and submits a RITU blind write.
+    pub fn submit_blind_write(
+        &self,
+        origin: SiteId,
+        object: ObjectId,
+        value: Value,
+    ) -> io::Result<EtId> {
+        let t = self.version_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let ts = VersionTs::new(t, ClientId(origin.raw()));
+        self.submit_update(
+            origin,
+            vec![ObjectOp::new(object, Operation::TimestampedWrite(ts, value))],
+        )
+    }
+
+    /// COMPE: issues a commit decision (routed via the coordinator).
+    pub fn commit(&self, et: EtId) -> io::Result<()> {
+        self.client(SiteId(0))?.decide(et, true)
+    }
+
+    /// COMPE: issues an abort decision (routed via the coordinator).
+    pub fn abort(&self, et: EtId) -> io::Result<()> {
+        self.client(SiteId(0))?.decide(et, false)
+    }
+
+    /// `SIGKILL`s a site's daemon process mid-flight — no shutdown
+    /// path runs. Its journal, queue files, and (stale) address file
+    /// stay on disk; peers keep retrying until [`ProcCluster::restart`].
+    pub fn kill(&mut self, site: SiteId) {
+        if let Some(mut child) = self.children[site.raw() as usize].take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Respawns a killed site. The new incarnation bumps its epoch,
+    /// replays its journal, re-announces its applies, and republishes
+    /// its address so peers reconnect.
+    pub fn restart(&mut self, site: SiteId) -> io::Result<()> {
+        assert!(
+            self.children[site.raw() as usize].is_none(),
+            "restart() of a live site"
+        );
+        self.children[site.raw() as usize] = Some(self.spawn_site(site)?);
+        self.status_of(site).map(|_| ())
+    }
+
+    /// One status round trip against `site` (fresh connection, so this
+    /// also doubles as a liveness probe after restarts).
+    pub fn status_of(&self, site: SiteId) -> io::Result<DaemonStatus> {
+        self.client(site)?.status()
+    }
+
+    /// Blocks until every site reports settled protocol state and
+    /// empty outbound queues for two consecutive polls, or the deadline
+    /// passes. Mirrors [`crate::cluster::Cluster::quiesce_within`].
+    pub fn quiesce_within(&self, deadline: Duration) -> Result<(), QuiesceTimeout> {
+        let start = Instant::now();
+        let mut stable_rounds = 0;
+        loop {
+            let mut quiet = true;
+            for i in 0..self.n {
+                match self.status_of(SiteId(i as u64)) {
+                    Ok(s) if s.settled && s.outbound_pending == 0 => {}
+                    _ => {
+                        quiet = false;
+                        break;
+                    }
+                }
+            }
+            stable_rounds = if quiet { stable_rounds + 1 } else { 0 };
+            if stable_rounds >= 2 {
+                return Ok(());
+            }
+            if start.elapsed() >= deadline {
+                return Err(QuiesceTimeout {
+                    waited: start.elapsed(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    }
+
+    /// Quiesces with the default two-minute deadline, panicking on
+    /// timeout (test-harness convenience).
+    pub fn quiesce(&self) {
+        self.quiesce_within(Duration::from_secs(120))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// The full replica snapshot at `site`.
+    pub fn snapshot_of(&self, site: SiteId) -> io::Result<BTreeMap<ObjectId, Value>> {
+        self.client(site)?.snapshot()
+    }
+
+    /// The oracle audit at `site`.
+    pub fn audit_of(&self, site: SiteId) -> io::Result<SiteAudit> {
+        self.client(site)?.audit()
+    }
+
+    /// Do all sites hold identical replica snapshots? (Call after
+    /// [`ProcCluster::quiesce`].)
+    pub fn converged(&self) -> io::Result<bool> {
+        let reference = self.snapshot_of(SiteId(0))?;
+        for i in 1..self.n {
+            if self.snapshot_of(SiteId(i as u64))? != reference {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Kills every daemon (cluster teardown).
+    pub fn shutdown(&mut self) {
+        for i in 0..self.n {
+            self.kill(SiteId(i as u64));
+        }
+    }
+}
+
+impl Drop for ProcCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

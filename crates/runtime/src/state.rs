@@ -1,0 +1,292 @@
+//! The method-dispatched site state machine shared by every runtime.
+//!
+//! [`SiteState`] wraps one of the five replica-control site
+//! implementations behind a uniform surface, so the thread cluster
+//! ([`crate::cluster`]), the networked daemon ([`crate::daemon`]), and
+//! recovery ([`crate::recovery`]) all drive *the same* protocol code —
+//! the transports differ, the state machines cannot.
+
+use std::collections::BTreeMap;
+
+use esr_core::divergence::InconsistencyCounter;
+use esr_core::ids::{EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::value::Value;
+use esr_replica::commu::CommuSite;
+use esr_replica::compe::{CompeEvent, CompeSite};
+use esr_replica::mset::MSet;
+use esr_replica::ordup::OrdupSite;
+use esr_replica::ritu::{RituMvSite, RituOverwriteSite};
+use esr_replica::site::{QueryOutcome, ReplicaSite};
+
+use crate::recovery::{ControlReplay, Decision};
+
+/// Replica control methods available in the runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtMethod {
+    /// ORDUP with an atomic global sequencer.
+    Ordup,
+    /// Commutative operations.
+    Commu,
+    /// RITU last-writer-wins overwrite.
+    Ritu,
+    /// RITU multiversion with VTNC visibility: the tracker (thread
+    /// runtime) or coordinator site (process runtime) acts as the
+    /// certifier, advancing the horizon once a version is installed at
+    /// every replica.
+    RituMv,
+    /// Compensation-based backward control (commit/abort driven by the
+    /// client).
+    Compe,
+}
+
+impl RtMethod {
+    /// All five methods, for parameterized tests and harnesses.
+    pub const ALL: [RtMethod; 5] = [
+        RtMethod::Ordup,
+        RtMethod::Commu,
+        RtMethod::Ritu,
+        RtMethod::RituMv,
+        RtMethod::Compe,
+    ];
+
+    /// The lowercase CLI name (`esrd --method <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RtMethod::Ordup => "ordup",
+            RtMethod::Commu => "commu",
+            RtMethod::Ritu => "ritu",
+            RtMethod::RituMv => "ritu-mv",
+            RtMethod::Compe => "compe",
+        }
+    }
+
+    /// Parses a CLI name produced by [`RtMethod::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// Does this method use the completion/certification control plane
+    /// (per-ET applies tracked, completion or VTNC broadcasts issued)?
+    pub fn tracks_completion(self) -> bool {
+        matches!(self, RtMethod::Commu | RtMethod::Ritu | RtMethod::RituMv)
+    }
+}
+
+/// Per-site oracle evidence extracted after a run. The protocol logs
+/// are populated only when audits are enabled; the chaos counters
+/// (`redelivered`, `journaled`, `link_*`) are live on chaos clusters,
+/// proving the injected faults actually fired.
+#[derive(Debug, Clone, Default)]
+pub struct SiteAudit {
+    /// ORDUP: `(et, seq)` in application order.
+    pub ordup_order: Vec<(EtId, SeqNo)>,
+    /// COMMU: ETs in application order.
+    pub commu_order: Vec<EtId>,
+    /// RITU overwrite: winning installs `(object, version)` in store
+    /// order.
+    pub ritu_installs: Vec<(ObjectId, VersionTs)>,
+    /// RITU-MV: every VTNC target received, in arrival order.
+    pub vtnc_targets: Vec<VersionTs>,
+    /// RITU-MV: advances whose target exceeded the locally installed
+    /// contiguous version prefix.
+    pub vtnc_violations: u64,
+    /// COMPE: lifecycle events in order.
+    pub compe_events: Vec<(EtId, CompeEvent)>,
+    /// Duplicate deliveries this site's idempotency guards suppressed.
+    pub redelivered: u64,
+    /// MSets durably journalled at this site (chaos/process runtimes).
+    pub journaled: u64,
+    /// Planned retry attempts on links into this site (chaos only).
+    pub link_retries: u64,
+    /// Ack-timeout re-sends on links into this site (chaos only).
+    pub link_resends: u64,
+    /// Attempts dropped on links into this site (chaos only).
+    pub link_dropped: u64,
+    /// Planned duplicate copies on links into this site (chaos only).
+    pub link_duplicated: u64,
+}
+
+/// One site's protocol state machine, dispatching over the method.
+pub enum SiteState {
+    /// ORDUP site.
+    Ordup(OrdupSite),
+    /// COMMU site.
+    Commu(CommuSite),
+    /// RITU last-writer-wins site.
+    Ritu(RituOverwriteSite),
+    /// RITU multiversion site.
+    RituMv(RituMvSite),
+    /// COMPE site.
+    Compe(CompeSite),
+}
+
+impl SiteState {
+    /// A fresh site running `method`.
+    pub fn new(method: RtMethod, id: SiteId) -> Self {
+        match method {
+            RtMethod::Ordup => SiteState::Ordup(OrdupSite::new(id)),
+            RtMethod::Commu => SiteState::Commu(CommuSite::new(id)),
+            RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
+            RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
+            RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
+        }
+    }
+
+    /// Delivers one MSet (idempotent under redelivery).
+    pub fn deliver(&mut self, mset: MSet) {
+        match self {
+            SiteState::Ordup(s) => s.deliver(mset),
+            SiteState::Commu(s) => s.deliver(mset),
+            SiteState::Ritu(s) => s.deliver(mset),
+            SiteState::RituMv(s) => s.deliver(mset),
+            SiteState::Compe(s) => s.deliver(mset),
+        }
+    }
+
+    /// Delivers a batch through the method's coalescing fast path.
+    pub fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        match self {
+            SiteState::Ordup(s) => s.deliver_batch(msets),
+            SiteState::Commu(s) => s.deliver_batch(msets),
+            SiteState::Ritu(s) => s.deliver_batch(msets),
+            SiteState::RituMv(s) => s.deliver_batch(msets),
+            SiteState::Compe(s) => s.deliver_batch(msets),
+        }
+    }
+
+    /// Runs a query ET against the local replica under `c`'s budget.
+    pub fn query(&mut self, rs: &[ObjectId], c: &mut InconsistencyCounter) -> QueryOutcome {
+        match self {
+            SiteState::Ordup(s) => s.query(rs, c),
+            SiteState::Commu(s) => s.query(rs, c),
+            SiteState::Ritu(s) => s.query(rs, c),
+            SiteState::RituMv(s) => s.query(rs, c),
+            SiteState::Compe(s) => s.query(rs, c),
+        }
+    }
+
+    /// The full replica snapshot.
+    pub fn snapshot(&self) -> BTreeMap<ObjectId, Value> {
+        match self {
+            SiteState::Ordup(s) => s.snapshot(),
+            SiteState::Commu(s) => s.snapshot(),
+            SiteState::Ritu(s) => s.snapshot(),
+            SiteState::RituMv(s) => s.snapshot(),
+            SiteState::Compe(s) => s.snapshot(),
+        }
+    }
+
+    /// Is this site settled (nothing held back, nothing at risk)?
+    pub fn settled(&self) -> bool {
+        match self {
+            SiteState::Ordup(s) => s.backlog() == 0,
+            SiteState::Commu(s) => s.quiescent(),
+            SiteState::Ritu(s) => s.backlog() == 0,
+            SiteState::RituMv(s) => s.backlog() == 0,
+            SiteState::Compe(s) => s.at_risk() == 0,
+        }
+    }
+
+    /// Has this site applied `et`?
+    pub fn has_applied(&self, et: EtId) -> bool {
+        match self {
+            SiteState::Ordup(s) => s.has_applied(et),
+            SiteState::Commu(s) => s.has_applied(et),
+            SiteState::Ritu(s) => s.has_applied(et),
+            SiteState::RituMv(s) => s.has_applied(et),
+            SiteState::Compe(s) => s.has_applied(et),
+        }
+    }
+
+    /// Duplicate deliveries suppressed so far.
+    pub fn redelivered(&self) -> u64 {
+        match self {
+            SiteState::Ordup(s) => s.redelivered(),
+            SiteState::Commu(s) => s.redelivered(),
+            SiteState::Ritu(s) => s.redelivered(),
+            SiteState::RituMv(s) => s.redelivered(),
+            SiteState::Compe(s) => s.redelivered(),
+        }
+    }
+
+    /// Turns on the per-method audit log.
+    pub fn enable_audit(&mut self) {
+        match self {
+            SiteState::Ordup(s) => s.enable_audit(),
+            SiteState::Commu(s) => s.enable_audit(),
+            SiteState::Ritu(s) => s.enable_audit(),
+            SiteState::RituMv(s) => s.enable_audit(),
+            SiteState::Compe(s) => s.enable_audit(),
+        }
+    }
+
+    /// Extracts the oracle audit (protocol logs + redelivery counter;
+    /// the caller fills in transport-side fields).
+    pub fn audit(&self) -> SiteAudit {
+        let mut a = SiteAudit::default();
+        match self {
+            SiteState::Ordup(s) => a.ordup_order = s.audit_log().to_vec(),
+            SiteState::Commu(s) => a.commu_order = s.audit_log().to_vec(),
+            SiteState::Ritu(s) => a.ritu_installs = s.audit_log().to_vec(),
+            SiteState::RituMv(s) => {
+                a.vtnc_targets = s.vtnc_targets().to_vec();
+                a.vtnc_violations = s.vtnc_violations();
+            }
+            SiteState::Compe(s) => a.compe_events = s.audit_log().to_vec(),
+        }
+        a.redelivered = self.redelivered();
+        a
+    }
+
+    /// Completion notice: every site has applied `et` (releases the
+    /// COMMU/RITU lock-counters; a no-op for the other methods).
+    pub fn complete(&mut self, et: EtId) {
+        match self {
+            SiteState::Commu(s) => s.complete(et),
+            SiteState::Ritu(s) => s.complete(et),
+            _ => {}
+        }
+    }
+
+    /// VTNC certificate: advances the RITU-MV visibility horizon (a
+    /// no-op for the other methods; monotone, so replays are harmless).
+    pub fn advance_vtnc(&mut self, ts: VersionTs) {
+        if let SiteState::RituMv(s) = self {
+            s.advance_vtnc(ts);
+        }
+    }
+
+    /// COMPE commit decision (no-op for the other methods).
+    pub fn commit(&mut self, et: EtId) {
+        if let SiteState::Compe(s) = self {
+            s.commit(et);
+        }
+    }
+
+    /// COMPE abort decision (no-op for the other methods).
+    pub fn abort(&mut self, et: EtId) {
+        if let SiteState::Compe(s) = self {
+            let _ = s.abort(et);
+        }
+    }
+
+    /// Replays recovered control-plane broadcasts after a journal
+    /// replay: completion notices, the certified VTNC horizon, and COMPE
+    /// decisions in their original order. Everything here is idempotent,
+    /// so notices the site already processed before crashing are
+    /// harmless to replay.
+    pub fn replay_control(&mut self, r: &ControlReplay) {
+        for &et in &r.completed {
+            self.complete(et);
+        }
+        if let Some(v) = r.vtnc_max {
+            self.advance_vtnc(v);
+        }
+        for d in &r.decisions {
+            match d {
+                Decision::Commit(et) => self.commit(*et),
+                Decision::Abort(et) => self.abort(*et),
+            }
+        }
+    }
+}

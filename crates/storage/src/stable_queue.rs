@@ -35,6 +35,14 @@ pub trait StableQueue {
     /// The unacknowledged entries, oldest first, up to `max`.
     fn pending(&self, max: usize) -> Vec<(EntryId, Bytes)>;
 
+    /// The unacknowledged entries with ids strictly greater than
+    /// `after`, oldest first, up to `max` — the cursor a draining
+    /// sender uses to pick up where its last transmission stopped
+    /// without rescanning (or re-sending) everything still awaiting
+    /// acknowledgement. `after = None` starts from the head, so
+    /// `pending_after(None, max)` equals `pending(max)`.
+    fn pending_after(&self, after: Option<EntryId>, max: usize) -> Vec<(EntryId, Bytes)>;
+
     /// Records a delivery attempt (for retry/backoff accounting).
     /// Returns the new attempt count, or `None` for unknown entries.
     fn record_attempt(&mut self, id: EntryId) -> Option<u32>;
@@ -94,6 +102,10 @@ impl StableQueue for MemQueue {
             .collect()
     }
 
+    fn pending_after(&self, after: Option<EntryId>, max: usize) -> Vec<(EntryId, Bytes)> {
+        pending_after_of(&self.entries, after, max)
+    }
+
     fn record_attempt(&mut self, id: EntryId) -> Option<u32> {
         let e = self.entries.get_mut(&id)?;
         e.attempts += 1;
@@ -107,6 +119,23 @@ impl StableQueue for MemQueue {
     fn len(&self) -> usize {
         self.entries.len()
     }
+}
+
+/// Shared `pending_after` walk over an entry map: everything strictly
+/// beyond the cursor, oldest first.
+fn pending_after_of(
+    entries: &BTreeMap<EntryId, Entry>,
+    after: Option<EntryId>,
+    max: usize,
+) -> Vec<(EntryId, Bytes)> {
+    let range = match after {
+        Some(id) => entries.range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded)),
+        None => entries.range(..),
+    };
+    range
+        .take(max)
+        .map(|(id, e)| (*id, e.payload.clone()))
+        .collect()
 }
 
 // File record framing: one byte tag, eight byte id, then for ENQUEUE a
@@ -257,6 +286,10 @@ impl StableQueue for FileQueue {
             .collect()
     }
 
+    fn pending_after(&self, after: Option<EntryId>, max: usize) -> Vec<(EntryId, Bytes)> {
+        pending_after_of(&self.entries, after, max)
+    }
+
     fn record_attempt(&mut self, id: EntryId) -> Option<u32> {
         let e = self.entries.get_mut(&id)?;
         e.attempts += 1;
@@ -319,6 +352,43 @@ mod tests {
         assert_eq!(q.record_attempt(a), Some(2));
         q.ack(a);
         assert_eq!(q.record_attempt(a), None);
+    }
+
+    #[test]
+    fn pending_after_is_a_cursor_over_unacked_entries() {
+        let mut q = MemQueue::new();
+        let ids: Vec<EntryId> = (0..5).map(|i| q.enqueue(Bytes::from(vec![i]))).collect();
+        // From the head it matches pending().
+        assert_eq!(q.pending_after(None, 10), q.pending(10));
+        // Strictly-after semantics: the cursor entry itself is excluded.
+        let tail = q.pending_after(Some(ids[2]), 10);
+        assert_eq!(
+            tail.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![ids[3], ids[4]]
+        );
+        // Acked entries vanish from the walk; max is respected.
+        q.ack(ids[3]);
+        assert_eq!(q.pending_after(Some(ids[0]), 10).len(), 3);
+        assert_eq!(q.pending_after(Some(ids[0]), 1).len(), 1);
+        // A cursor past the end yields nothing.
+        assert!(q.pending_after(Some(ids[4]), 10).is_empty());
+    }
+
+    #[test]
+    fn file_pending_after_survives_reopen() {
+        let path = tmpdir().join("cursor.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        let a = q.enqueue(Bytes::from_static(b"a"));
+        let _b = q.enqueue(Bytes::from_static(b"b"));
+        let c = q.enqueue(Bytes::from_static(b"c"));
+        drop(q);
+        let q2 = FileQueue::open(&path).unwrap();
+        let tail = q2.pending_after(Some(a), 10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[1].0, c);
+        assert_eq!(tail[1].1.as_ref(), b"c");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

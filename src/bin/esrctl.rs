@@ -1,0 +1,224 @@
+//! `esrctl` — command-line client for a running `esrd` site daemon.
+//!
+//! ```text
+//! esrctl --dir /tmp/cluster --site 0 status
+//! esrctl --dir /tmp/cluster --site 0 submit --et 1 7 incr 5
+//! esrctl --dir /tmp/cluster --site 0 query 7
+//! esrctl --dir /tmp/cluster --site 0 audit
+//! esrctl --dir /tmp/cluster --site 0 decide 1 commit
+//! ```
+//!
+//! Talks the client plane of the wire protocol via
+//! [`esr_runtime::RpcClient`]: submit update ETs, run bounded-epsilon
+//! queries, dump replica snapshots, read the site's oracle audit, and
+//! issue COMPE decisions. ET/sequence stamping is the caller's job
+//! (`--et`, `--seq`): the daemons are deliberately stamp-agnostic.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
+use esr_core::op::{ObjectOp, Operation};
+use esr_core::value::Value;
+use esr_replica::mset::MSet;
+use esr_runtime::RpcClient;
+
+const USAGE: &str = "\
+usage: esrctl --dir <path> --site <i> <command>
+commands:
+  status
+  snapshot
+  audit
+  query <object>... [--epsilon <n>]
+  submit --et <n> [--seq <n>] <object> <op> <args>
+      ops: write <int> | incr <n> | decr <n> | mul <n>
+           | tswrite <time> <client> <int>
+  decide <et> <commit|abort>";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("esrctl: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("bad {what}: '{s}'")))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut site: Option<u64> = None;
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = it.next().map(PathBuf::from),
+            "--site" => site = it.next().map(|s| parse(&s, "--site")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ => rest.push(a),
+        }
+    }
+
+    let dir = dir.unwrap_or_else(|| fail("--dir is required"));
+    let site = SiteId(site.unwrap_or_else(|| fail("--site is required")));
+    let Some((command, args)) = rest.split_first() else {
+        fail("no command given")
+    };
+
+    let mut client = RpcClient::connect_dir(&dir, site, Duration::from_secs(5))
+        .unwrap_or_else(|e| {
+            eprintln!("esrctl: cannot reach site {}: {e}", site.raw());
+            exit(1);
+        });
+
+    let result = run(&mut client, command, args);
+    if let Err(e) = result {
+        eprintln!("esrctl: {e}");
+        exit(1);
+    }
+}
+
+fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Result<()> {
+    match command {
+        "status" => {
+            let s = client.status()?;
+            println!(
+                "settled={} outbound_pending={} epoch={}",
+                s.settled, s.outbound_pending, s.epoch
+            );
+        }
+        "snapshot" => {
+            for (object, value) in client.snapshot()? {
+                println!("{}\t{:?}", object.raw(), value);
+            }
+        }
+        "audit" => {
+            let a = client.audit()?;
+            println!("redelivered={} journaled={}", a.redelivered, a.journaled);
+            for (et, seq) in &a.ordup_order {
+                println!("ordup\tet={}\tseq={}", et.raw(), seq.0);
+            }
+            for et in &a.commu_order {
+                println!("commu\tet={}", et.raw());
+            }
+            for (object, ts) in &a.ritu_installs {
+                println!(
+                    "ritu\tobject={}\tts={}:{}",
+                    object.raw(),
+                    ts.time,
+                    ts.client.raw()
+                );
+            }
+            for ts in &a.vtnc_targets {
+                println!("vtnc\tts={}:{}", ts.time, ts.client.raw());
+            }
+            if a.vtnc_violations > 0 {
+                println!("vtnc_violations={}", a.vtnc_violations);
+            }
+            for (et, event) in &a.compe_events {
+                println!("compe\tet={}\t{event:?}", et.raw());
+            }
+        }
+        "query" => {
+            let mut epsilon = u64::MAX;
+            let mut objects = Vec::new();
+            let mut i = 0;
+            while i < args.len() {
+                if args[i] == "--epsilon" {
+                    epsilon = parse(args.get(i + 1).map_or("", |s| s), "--epsilon");
+                    i += 2;
+                } else {
+                    objects.push(ObjectId(parse(&args[i], "object id")));
+                    i += 1;
+                }
+            }
+            if objects.is_empty() {
+                fail("query needs at least one object id");
+            }
+            let outcome = client.query(&objects, epsilon)?;
+            println!("admitted={} charged={}", outcome.admitted, outcome.charged);
+            for (object, value) in objects.iter().zip(outcome.values.iter()) {
+                println!("{}\t{value:?}", object.raw());
+            }
+        }
+        "submit" => {
+            let mut et: Option<u64> = None;
+            let mut seq: Option<u64> = None;
+            let mut pos: Vec<&String> = Vec::new();
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--et" => {
+                        et = Some(parse(args.get(i + 1).map_or("", |s| s), "--et"));
+                        i += 2;
+                    }
+                    "--seq" => {
+                        seq = Some(parse(args.get(i + 1).map_or("", |s| s), "--seq"));
+                        i += 2;
+                    }
+                    _ => {
+                        pos.push(&args[i]);
+                        i += 1;
+                    }
+                }
+            }
+            let et = EtId(et.unwrap_or_else(|| fail("submit needs --et")));
+            let (object, op) = parse_op(&pos);
+            let mut mset = MSet::new(et, SiteId(0), vec![ObjectOp::new(object, op)]);
+            if let Some(s) = seq {
+                mset = mset.sequenced(SeqNo(s));
+            }
+            let accepted = client.submit(mset)?;
+            println!("submitted et={}", accepted.raw());
+        }
+        "decide" => {
+            let [et, verdict] = args else {
+                fail("decide needs <et> <commit|abort>")
+            };
+            let commit = match verdict.as_str() {
+                "commit" => true,
+                "abort" => false,
+                other => fail(&format!("bad decision '{other}'")),
+            };
+            let et = EtId(parse(et, "et"));
+            client.decide(et, commit)?;
+            println!("decided et={} commit={commit}", et.raw());
+        }
+        other => fail(&format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn parse_op(pos: &[&String]) -> (ObjectId, Operation) {
+    let [object, op, args @ ..] = pos else {
+        fail("submit needs <object> <op> <args>")
+    };
+    let object = ObjectId(parse(object, "object id"));
+    let int = |i: usize, what: &str| -> i64 {
+        parse(pos.get(i + 2).map_or("", |s| s.as_str()), what)
+    };
+    let operation = match op.as_str() {
+        "write" => Operation::Write(Value::Int(int(0, "write value"))),
+        "incr" => Operation::Incr(int(0, "incr amount")),
+        "decr" => Operation::Decr(int(0, "decr amount")),
+        "mul" => Operation::MulBy(int(0, "mul factor")),
+        "tswrite" => {
+            let time: u64 = parse(args.first().map_or("", |s| s.as_str()), "tswrite time");
+            let client: u64 = parse(args.get(1).map_or("", |s| s.as_str()), "tswrite client");
+            let value = int(2, "tswrite value");
+            Operation::TimestampedWrite(
+                VersionTs::new(time, ClientId(client)),
+                Value::Int(value),
+            )
+        }
+        other => fail(&format!("unknown op '{other}'")),
+    };
+    (object, operation)
+}

@@ -1,0 +1,263 @@
+//! Multi-process integration: real `esrd` daemons on loopback TCP.
+//!
+//! Each scenario spawns a 3-site cluster of OS processes, streams
+//! updates through the client plane, `SIGKILL`s one site mid-stream,
+//! keeps submitting while it is dead (the survivors' durable link
+//! queues buffer everything), restarts it, and then requires the full
+//! ESR guarantee: at quiescence all replicas are identical and equal to
+//! what a fault-free single-site run produces. This is the same oracle
+//! as the thread-runtime chaos tests — the transport is the only thing
+//! that changed, and that is the point.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use esr::core::{EtId, ObjectId, ObjectOp, Operation, SiteId, Value};
+use esr::runtime::{ProcCluster, RtMethod};
+
+const X: ObjectId = ObjectId(0);
+const Y: ObjectId = ObjectId(1);
+const N: usize = 3;
+const PHASE: u64 = 8; // updates submitted before and after the kill
+const QUIESCE: Duration = Duration::from_secs(60);
+
+fn esrd() -> &'static str {
+    env!("CARGO_BIN_EXE_esrd")
+}
+
+/// A unique private directory for one cluster (addr files, epochs,
+/// journals, link queues).
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("esr-proc-{}-{tag}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Submits update `i`, originating it at one of `origins` (phase 2
+/// passes only the living sites — a killed daemon cannot accept
+/// submissions, unlike the thread runtime where submission bypasses the
+/// site). Ops are chosen per method so the final state is independent
+/// of delivery order.
+fn submit(c: &ProcCluster, method: RtMethod, i: u64, origins: &[u64]) -> EtId {
+    let origin = SiteId(origins[i as usize % origins.len()]);
+    let result = match method {
+        RtMethod::Ordup => {
+            if i % 3 == 2 {
+                c.submit_update(origin, vec![ObjectOp::new(X, Operation::MulBy(2))])
+            } else {
+                c.submit_update(
+                    origin,
+                    vec![
+                        ObjectOp::new(X, Operation::Incr(i as i64 + 1)),
+                        ObjectOp::new(Y, Operation::Incr(1)),
+                    ],
+                )
+            }
+        }
+        RtMethod::Commu | RtMethod::Compe => c.submit_update(
+            origin,
+            vec![
+                ObjectOp::new(X, Operation::Incr(i as i64 + 1)),
+                ObjectOp::new(Y, Operation::Incr(1)),
+            ],
+        ),
+        RtMethod::Ritu | RtMethod::RituMv => c.submit_blind_write(origin, X, Value::Int(i as i64)),
+    };
+    result.unwrap_or_else(|e| panic!("{method:?}: submit {i} failed: {e}"))
+}
+
+/// What a fault-free, single-site execution of the scenario yields.
+fn expected_final(method: RtMethod) -> BTreeMap<ObjectId, Value> {
+    let mut x = 0i64;
+    let mut y = 0i64;
+    match method {
+        RtMethod::Ordup => {
+            for i in 0..2 * PHASE {
+                if i % 3 == 2 {
+                    x *= 2;
+                } else {
+                    x += i as i64 + 1;
+                    y += 1;
+                }
+            }
+        }
+        RtMethod::Commu => {
+            for i in 0..2 * PHASE {
+                x += i as i64 + 1;
+                y += 1;
+            }
+        }
+        RtMethod::Compe => {
+            // Odd submissions abort and are compensated away.
+            for i in (0..2 * PHASE).step_by(2) {
+                x += i as i64 + 1;
+                y += 1;
+            }
+        }
+        RtMethod::Ritu | RtMethod::RituMv => {
+            // LWW: the last-stamped write wins everywhere.
+            let mut m = BTreeMap::new();
+            m.insert(X, Value::Int(2 * PHASE as i64 - 1));
+            return m;
+        }
+    }
+    let mut m = BTreeMap::new();
+    m.insert(X, Value::Int(x));
+    m.insert(Y, Value::Int(y));
+    m
+}
+
+/// The full scenario: phase 1, `SIGKILL` site 1, phase 2 through the
+/// survivors, restart, COMPE decisions, quiesce, converge, compare.
+fn assert_proc_scenario(method: RtMethod, tag: &str) {
+    let dir = fresh_dir(tag);
+    let mut c = ProcCluster::spawn(esrd(), &dir, method, N)
+        .unwrap_or_else(|e| panic!("{method:?}: spawn failed: {e}"));
+    let mut ets = Vec::new();
+    for i in 0..PHASE {
+        ets.push(submit(&c, method, i, &[0, 1, 2]));
+    }
+    c.kill(SiteId(1));
+    for i in PHASE..2 * PHASE {
+        ets.push(submit(&c, method, i, &[0, 2]));
+    }
+    c.restart(SiteId(1))
+        .unwrap_or_else(|e| panic!("{method:?}: restart failed: {e}"));
+    if method == RtMethod::Compe {
+        // Commit even submissions, abort odd ones. Decisions issued
+        // while site 1 was down reach it anyway: the coordinator's
+        // broadcast sits in a durable queue until the revived daemon
+        // acks it.
+        for (i, et) in ets.iter().enumerate() {
+            let r = if i % 2 == 0 { c.commit(*et) } else { c.abort(*et) };
+            r.unwrap_or_else(|e| panic!("{method:?}: decision {i} failed: {e}"));
+        }
+    }
+    c.quiesce_within(QUIESCE)
+        .unwrap_or_else(|e| panic!("{method:?}: {e}"));
+    assert!(
+        c.converged().unwrap_or_else(|e| panic!("{method:?}: {e}")),
+        "{method:?}: replicas diverged"
+    );
+    let expected = expected_final(method);
+    for i in 0..N {
+        let snap = c
+            .snapshot_of(SiteId(i as u64))
+            .unwrap_or_else(|e| panic!("{method:?}: snapshot {i}: {e}"));
+        assert_eq!(snap, expected, "{method:?}: site {i} final state wrong");
+    }
+    // The kill was real: the revived site runs in a fresh epoch, and
+    // every site holds a full journal of all updates.
+    let status = c.status_of(SiteId(1)).expect("status of revived site");
+    assert_eq!(status.epoch, 2, "{method:?}: restart did not bump the epoch");
+    for i in 0..N {
+        let audit = c
+            .audit_of(SiteId(i as u64))
+            .unwrap_or_else(|e| panic!("{method:?}: audit {i}: {e}"));
+        assert_eq!(
+            audit.journaled,
+            2 * PHASE,
+            "{method:?}: site {i} journal incomplete"
+        );
+    }
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ordup_survives_kill9_and_restart() {
+    assert_proc_scenario(RtMethod::Ordup, "ordup");
+}
+
+#[test]
+fn commu_survives_kill9_and_restart() {
+    assert_proc_scenario(RtMethod::Commu, "commu");
+}
+
+#[test]
+fn ritu_survives_kill9_and_restart() {
+    assert_proc_scenario(RtMethod::Ritu, "ritu");
+}
+
+#[test]
+fn ritu_mv_survives_kill9_and_restart() {
+    assert_proc_scenario(RtMethod::RituMv, "ritu-mv");
+}
+
+#[test]
+fn compe_survives_kill9_and_restart() {
+    assert_proc_scenario(RtMethod::Compe, "compe");
+}
+
+#[test]
+fn journal_replay_alone_restores_acknowledged_state() {
+    // Quiesce first so nothing is in flight, then SIGKILL and restart:
+    // the revived daemon has only its journal to rebuild from (the
+    // peers' queues are empty), and must come back bit-identical.
+    let dir = fresh_dir("journal");
+    let mut c = ProcCluster::spawn(esrd(), &dir, RtMethod::Commu, N).expect("spawn");
+    for i in 0..PHASE {
+        submit(&c, RtMethod::Commu, i, &[0, 1, 2]);
+    }
+    c.quiesce_within(QUIESCE).expect("quiesce before kill");
+    let before = c.snapshot_of(SiteId(1)).expect("snapshot before kill");
+    c.kill(SiteId(1));
+    c.restart(SiteId(1)).expect("restart");
+    c.quiesce_within(QUIESCE).expect("quiesce after restart");
+    assert_eq!(
+        c.snapshot_of(SiteId(1)).expect("snapshot after restart"),
+        before,
+        "journal replay lost acknowledged state"
+    );
+    assert!(c.converged().expect("converged"));
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn esrctl_submits_and_audits_a_live_daemon() {
+    // The CLI end of the acceptance criteria: drive a 2-site cluster
+    // purely through the esrctl binary — submit at site 0, watch the
+    // update propagate to site 1, and read its audit log back.
+    let esrctl = env!("CARGO_BIN_EXE_esrctl");
+    let dir = fresh_dir("esrctl");
+    let mut c = ProcCluster::spawn(esrd(), &dir, RtMethod::Commu, 2).expect("spawn");
+    let ctl = |args: &[&str]| -> String {
+        let out = Command::new(esrctl)
+            .arg("--dir")
+            .arg(&dir)
+            .args(args)
+            .output()
+            .expect("run esrctl");
+        assert!(
+            out.status.success(),
+            "esrctl {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        ctl(&["--site", "0", "submit", "--et", "1", "7", "incr", "5"]).trim(),
+        "submitted et=1"
+    );
+    assert_eq!(
+        ctl(&["--site", "0", "submit", "--et", "2", "7", "incr", "3"]).trim(),
+        "submitted et=2"
+    );
+    c.quiesce_within(QUIESCE).expect("quiesce");
+    let snapshot = ctl(&["--site", "1", "snapshot"]);
+    assert_eq!(snapshot.trim(), "7\tInt(8)");
+    let audit = ctl(&["--site", "1", "audit"]);
+    assert!(
+        audit.contains("journaled=2") && audit.contains("commu\tet=1"),
+        "unexpected audit output:\n{audit}"
+    );
+    let query = ctl(&["--site", "1", "query", "7"]);
+    assert!(query.contains("admitted=true"), "query rejected:\n{query}");
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
