@@ -147,10 +147,10 @@ impl LockCounters {
     }
 
     /// Raises the counter of every object in `write_set` on behalf of
-    /// update ET `et`.
-    pub fn begin_update(&mut self, et: EtId, write_set: impl IntoIterator<Item = ObjectId>) {
+    /// update ET `et`. Returns the highest counter value reached.
+    pub fn begin_update(&mut self, et: EtId, write_set: impl IntoIterator<Item = ObjectId>) -> u64 {
         let objs: Vec<ObjectId> = write_set.into_iter().collect();
-        self.begin_updates(std::iter::once((et, objs)));
+        self.begin_updates(std::iter::once((et, objs)))
     }
 
     /// Registers a batch of updates at once — equivalent to calling
@@ -162,7 +162,15 @@ impl LockCounters {
     /// pair. Correct because counters are plain sums: `+= k` for `k`
     /// registrations of the same object commutes with any interleaving
     /// of the per-update calls.
-    pub fn begin_updates(&mut self, updates: impl IntoIterator<Item = (EtId, Vec<ObjectId>)>) {
+    ///
+    /// Returns the highest counter value reached across the touched
+    /// objects (0 for an empty batch) — the batch's lock-counter
+    /// high-water mark, available here for free because every updated
+    /// counter passes through this loop anyway.
+    pub fn begin_updates(
+        &mut self,
+        updates: impl IntoIterator<Item = (EtId, Vec<ObjectId>)>,
+    ) -> u64 {
         use std::collections::btree_map::Entry;
         let mut touched: Vec<ObjectId> = Vec::new();
         for (et, objs) in updates {
@@ -175,6 +183,7 @@ impl LockCounters {
             }
         }
         touched.sort_unstable();
+        let mut high_water = 0;
         let mut i = 0;
         while i < touched.len() {
             let o = touched[i];
@@ -182,9 +191,12 @@ impl LockCounters {
             while end < touched.len() && touched[end] == o {
                 end += 1;
             }
-            *self.counters.entry(o).or_insert(0) += (end - i) as u64;
+            let c = self.counters.entry(o).or_insert(0);
+            *c += (end - i) as u64;
+            high_water = high_water.max(*c);
             i = end;
         }
+        high_water
     }
 
     /// Lowers the counters raised by `et`. Idempotent: a second call for

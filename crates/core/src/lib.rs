@@ -30,7 +30,9 @@
 //! * [`tso`] — basic-timestamp divergence control: TO for update ETs,
 //!   charged out-of-order reads for query ETs (§3.1);
 //! * [`spatial`] — the §5.1 spatial consistency criteria: bounding
-//!   queries by pending operations, value deviation, or changed items.
+//!   queries by pending operations, value deviation, or changed items;
+//! * [`fastid`] — a cheap non-cryptographic hasher for id-keyed
+//!   internal maps (shared by the storage and observability layers).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +40,7 @@
 pub mod divergence;
 pub mod error;
 pub mod et;
+pub mod fastid;
 pub mod history;
 pub mod ids;
 pub mod lock;
@@ -51,6 +54,7 @@ pub mod value;
 pub use divergence::{Admission, EpsilonSpec, InconsistencyCounter, LockCounters};
 pub use error::{CoreError, CoreResult};
 pub use et::{EpsilonTransaction, EtBuilder, EtKind};
+pub use fastid::{FastIdBuildHasher, FastIdHasher, FastIdMap, FastIdSet};
 pub use history::{interleavings, History, HistoryEvent};
 pub use ids::{ClientId, EtId, LamportTs, MsgId, ObjectId, SeqNo, SiteId, VersionTs};
 pub use lock::{Compat, LockManager, LockMode, LockOutcome, Protocol};

@@ -19,9 +19,10 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use esr_obs::LinkInstruments;
 use esr_storage::stable_queue::{EntryId, StableQueue};
 
 use super::frame::{read_frame, seal, unseal, write_frame, KIND_PEER, NO_ENTRY};
@@ -77,11 +78,25 @@ impl Link {
         hello: Bytes,
         backoff: Backoff,
     ) -> Self {
+        Self::spawn_observed(queue, resolve, hello, backoff, LinkInstruments::default())
+    }
+
+    /// [`Link::spawn_with`] plus a metrics bundle: the connection thread
+    /// ticks dials, sends, retransmits, and acks, and keeps the queue
+    /// depth/age gauges current (wall-clock age — this thread already
+    /// lives in real time).
+    pub fn spawn_observed(
+        queue: Box<dyn StableQueue + Send>,
+        resolve: Resolver,
+        hello: Bytes,
+        backoff: Backoff,
+        obs: LinkInstruments,
+    ) -> Self {
         let queue: SharedQueue = Arc::new(Mutex::new(queue));
         let (cmd, rx) = mpsc::channel();
         let worker_queue = Arc::clone(&queue);
         let thread = std::thread::spawn(move || {
-            run_link(&worker_queue, &resolve, &hello, backoff, &rx);
+            run_link(&worker_queue, &resolve, &hello, backoff, &rx, &obs);
         });
         Self {
             queue,
@@ -173,12 +188,18 @@ fn run_link(
     hello: &Bytes,
     backoff: Backoff,
     cmd: &Receiver<LinkCmd>,
+    obs: &LinkInstruments,
 ) {
     let mut conn: Option<Conn> = None;
     let mut delay = backoff.initial;
     // Highest entry transmitted on the *current* connection; resets on
     // reconnect so every unacknowledged entry is retransmitted.
     let mut sent_high: Option<EntryId> = None;
+    // Highest entry ever transmitted on *any* connection: anything at or
+    // below it written again is a retransmit, not a first send.
+    let mut sent_ever: Option<EntryId> = None;
+    // Start of the current non-empty stretch, for the queue-age gauge.
+    let mut backlog_since: Option<Instant> = None;
 
     loop {
         // Wait for work (a nudge, an ack to reap, or a retry tick).
@@ -199,6 +220,7 @@ fn run_link(
                     conn = Some(c);
                     delay = backoff.initial;
                     sent_high = None;
+                    obs.dialed();
                 }
                 None => {
                     std::thread::sleep(delay);
@@ -218,6 +240,7 @@ fn run_link(
                 match c.acks.try_recv() {
                     Ok(entry) => {
                         lock_queue(queue).ack(EntryId(entry));
+                        obs.acked(1);
                     }
                     Err(mpsc::TryRecvError::Empty) => break,
                     Err(mpsc::TryRecvError::Disconnected) => {
@@ -240,6 +263,12 @@ fn run_link(
                         broken = true;
                         break;
                     }
+                    if sent_ever.is_some_and(|h| id.0 <= h.0) {
+                        obs.retransmitted(1);
+                    } else {
+                        obs.sent(1);
+                        sent_ever = Some(id);
+                    }
                     sent_high = Some(id);
                 }
             }
@@ -249,6 +278,17 @@ fn run_link(
         }
         if broken {
             conn = None;
+        }
+
+        if obs.is_attached() {
+            let depth = lock_queue(queue).len() as u64;
+            if depth == 0 {
+                backlog_since = None;
+            } else if backlog_since.is_none() {
+                backlog_since = Some(Instant::now());
+            }
+            let age = backlog_since.map_or(0, |t| t.elapsed().as_micros() as u64);
+            obs.queue(depth, age);
         }
     }
 }

@@ -1,0 +1,40 @@
+//! # esr-obs — observability for the ESR runtimes
+//!
+//! The paper's claims are all about *bounded* quantities: a query's
+//! accumulated epsilon never exceeds its limit, COMMU lock-counters
+//! return to zero at quiescence, RITU sites trail the newest certified
+//! version by a finite lag, replicas diverge only while updates are in
+//! flight. This crate makes those quantities observable at runtime
+//! instead of only post-hoc in test oracles:
+//!
+//! * [`MetricsRegistry`] — a lock-cheap registry of counters, gauges,
+//!   and histograms. Registration takes a mutex (rare); every handle is
+//!   a plain atomic afterwards, so the apply hot path pays a few
+//!   relaxed atomic ops per *batch*. Snapshots are deterministic: the
+//!   series map is ordered, the rendering is integer-only, and nothing
+//!   in the registry reads a wall clock — under the sim's virtual clock
+//!   the same seed yields a byte-identical [`MetricsSnapshot`].
+//! * [`SiteInstruments`] / [`LinkInstruments`] — pre-registered handle
+//!   bundles threaded through the five replica-site implementations and
+//!   the TCP link manager. Both are no-ops when detached (`Default`),
+//!   so uninstrumented paths pay one branch.
+//! * [`EventRing`] — a bounded in-memory ring of causally ordered
+//!   structured trace events (the daemon's flight recorder), dumpable
+//!   over the wire via `esrctl trace`.
+//!
+//! Zero dependencies beyond `esr-core` (for the shared
+//! [`esr_core::fastid`] hasher); no wall-clock reads anywhere — callers
+//! supply timestamps where they want them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod events;
+pub mod instruments;
+pub mod registry;
+
+pub use events::{EventRing, TraceEvent};
+pub use instruments::{GaugeFamily, LinkInstruments, SiteInstruments};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleValue, SeriesSample,
+};

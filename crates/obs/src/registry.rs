@@ -1,0 +1,464 @@
+//! The metrics registry: named series of counters, gauges, and
+//! histograms with deterministic snapshots and Prometheus-text
+//! rendering.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost.** A handle ([`Counter`], [`Gauge`]) is one
+//!    `Arc<Atomic*>`; updating it is a relaxed atomic RMW. The registry
+//!    mutex is taken only at registration (site boot, link spawn) and
+//!    at snapshot time — never per MSet.
+//! 2. **Determinism.** Series are keyed in a `BTreeMap` by
+//!    `(name, sorted labels)`, values are integers, and the registry
+//!    never reads a clock. Two runs that perform the same instrument
+//!    updates in the same order render byte-identical snapshots — the
+//!    property the sim-determinism test pins down.
+//! 3. **No dependencies.** `std` atomics and collections only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Histogram bucket upper bounds are `2^0, 2^1, …, 2^(BUCKET_POWERS-1)`
+/// (microseconds in every current use), plus a `+Inf` overflow bucket.
+pub const BUCKET_POWERS: usize = 21;
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell; a `Default` counter is a
+/// detached cell not attached to any registry (useful as a no-op).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+///
+/// Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKET_POWERS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A histogram over power-of-two buckets (plus `+Inf`).
+///
+/// Used only on wall-clocked paths (daemon apply/RPC latency); the sim
+/// never records into one, keeping sim snapshots clock-free.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = (u64::BITS - v.saturating_sub(1).leading_zeros()) as usize;
+        let idx = idx.min(BUCKET_POWERS); // overflow → +Inf bucket
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSample {
+        let mut buckets = [0u64; BUCKET_POWERS + 1];
+        for (slot, cell) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        HistogramSample {
+            buckets,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// `(name, sorted labels)` — the `BTreeMap` key, so snapshot order is
+/// total and stable.
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut ls: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    ls.sort();
+    (name.to_owned(), ls)
+}
+
+/// The registry: a shared, ordered map from series key to instrument.
+///
+/// Cloning is cheap (an `Arc`); every layer of a cluster shares one.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    series: Arc<Mutex<BTreeMap<SeriesKey, Instrument>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<SeriesKey, Instrument>> {
+        // A poisoned registry still holds consistent atomics; recover.
+        self.series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers (or retrieves) a counter for `name` + `labels`.
+    ///
+    /// Re-registering the same series returns a handle to the same
+    /// cell. Registering a name that exists with a different instrument
+    /// kind returns a fresh detached handle (the registry keeps the
+    /// original) — a programming error surfaced by tests, not a panic.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge for `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram for `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    }
+
+    /// A deterministic point-in-time snapshot of every series, ordered
+    /// by `(name, labels)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        let samples = map
+            .iter()
+            .map(|((name, labels), inst)| SeriesSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match inst {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// Renders the current state as Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSample {
+    /// Metric name (e.g. `esr_msets_applied_total`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// A sampled instrument value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets + sum + count.
+    Histogram(HistogramSample),
+}
+
+/// Snapshot of one histogram's cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Per-bucket (non-cumulative) observation counts; the last slot is
+    /// the `+Inf` overflow bucket.
+    pub buckets: [u64; BUCKET_POWERS + 1],
+    /// Sum of observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A deterministic, ordered snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All series, ordered by `(name, labels)`.
+    pub samples: Vec<SeriesSample>,
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Looks up a sampled value by name and labels (labels in any
+    /// order). Histograms answer with their count.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let (_, want) = series_key(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| match &s.value {
+                SampleValue::Counter(v) => i64::try_from(*v).unwrap_or(i64::MAX),
+                SampleValue::Gauge(v) => *v,
+                SampleValue::Histogram(h) => i64::try_from(h.count).unwrap_or(i64::MAX),
+            })
+    }
+
+    /// Every sample of `name`, across all label sets.
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SeriesSample> + 'a {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// Renders Prometheus text exposition format: one
+    /// `name{labels} value` line per counter/gauge, cumulative
+    /// `_bucket`/`_sum`/`_count` lines per histogram. Integer-only and
+    /// ordered, so equal snapshots render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&s.name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&s.name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        cum += b;
+                        let bound = if i < BUCKET_POWERS {
+                            (1u64 << i).to_string()
+                        } else {
+                            "+Inf".to_owned()
+                        };
+                        let _ = write!(out, "{}_bucket", s.name);
+                        write_labels(&mut out, &s.labels, Some(("le", &bound)));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{}_sum", s.name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {}", h.sum);
+                    let _ = write!(out, "{}_count", s.name);
+                    write_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("hits_total", &[("site", "0")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same series → same cell.
+        let c2 = r.counter("hits_total", &[("site", "0")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = r.gauge("depth", &[]);
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.set_max(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("x", &[]);
+        c.inc();
+        let g = r.gauge("x", &[]);
+        g.set(99);
+        assert_eq!(c.get(), 1, "original untouched");
+        assert_eq!(r.snapshot().value("x", &[]), Some(1));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2, "0 and 1 in the first bucket");
+        assert_eq!(s.buckets[1], 1, "2 in the <=2 bucket");
+        assert_eq!(s.buckets[2], 2, "3 and 4 in the <=4 bucket");
+        assert_eq!(s.buckets[10], 1, "1000 in the <=1024 bucket");
+        assert_eq!(s.buckets[BUCKET_POWERS], 1, "u64::MAX overflows to +Inf");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = MetricsRegistry::new();
+        r.counter("z_total", &[]).inc();
+        r.gauge("a_gauge", &[("site", "1")]).set(-2);
+        r.gauge("a_gauge", &[("site", "0")]).set(5);
+        let text = r.render();
+        assert_eq!(
+            text,
+            "a_gauge{site=\"0\"} 5\na_gauge{site=\"1\"} -2\nz_total 1\n"
+        );
+        // Same updates → byte-identical render.
+        let r2 = MetricsRegistry::new();
+        r2.gauge("a_gauge", &[("site", "0")]).set(5);
+        r2.gauge("a_gauge", &[("site", "1")]).set(-2);
+        r2.counter("z_total", &[]).inc();
+        assert_eq!(r2.render(), text);
+        assert_eq!(r2.snapshot(), r.snapshot());
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_micros", &[]);
+        h.record(1);
+        h.record(3);
+        let text = r.render();
+        assert!(text.contains("lat_micros_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"4\"} 2\n"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("lat_micros_sum 4\n"), "{text}");
+        assert!(text.contains("lat_micros_count 2\n"), "{text}");
+    }
+}

@@ -30,6 +30,7 @@ use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 use esr_net::topology::{LinkConfig, Topology};
 use esr_net::transport::{NetStats, Network};
+use esr_obs::{Counter, Gauge, GaugeFamily, MetricsRegistry, SiteInstruments};
 use esr_net::PartitionSchedule;
 use esr_sim::clock::LamportClock;
 use esr_sim::rng::DetRng;
@@ -129,6 +130,9 @@ impl SiteImpl {
     }
     fn has_applied(&self, et: EtId) -> bool {
         dispatch!(self, s => s.has_applied(et))
+    }
+    fn attach_metrics(&mut self, obs: SiteInstruments) {
+        dispatch!(self, s => s.attach_metrics(obs))
     }
 }
 
@@ -329,6 +333,27 @@ pub struct SimCluster {
     /// Acks already scheduled, so delivery rescans don't re-send them.
     acks_scheduled: std::collections::BTreeSet<(EtId, SiteId)>,
     stats: ClusterStats,
+    /// Shared metrics registry — every site bundle registers here; the
+    /// snapshot is deterministic under the sim clock (the registry never
+    /// reads wall time).
+    metrics: MetricsRegistry,
+    /// Clones of each site's instrument bundle, so the cluster can set
+    /// the authoritative per-query epsilon gauges (the admission
+    /// decision for most methods happens here, not in the site).
+    site_obs: Vec<SiteInstruments>,
+    /// Per-site replica divergence vs. the global outcome
+    /// (`esr_divergence`), refreshed by [`SimCluster::refresh_metrics`].
+    divergence_gauge: GaugeFamily,
+    /// Per-site VTNC lag in version-clock ticks (`esr_vtnc_lag`,
+    /// RITU-MV only).
+    vtnc_lag_gauge: GaugeFamily,
+    /// `esr_updates_submitted_total{method=…}`.
+    obs_updates: Counter,
+    /// `esr_overlap_inflight`: updates currently raised in the global
+    /// lock-counters (the overlap set queries are charged against).
+    obs_overlap_inflight: Gauge,
+    /// `esr_quiescence_progress_permille`: 1000 × resolved / submitted.
+    obs_quiescence: Gauge,
 }
 
 impl SimCluster {
@@ -340,19 +365,38 @@ impl SimCluster {
         let net = Network::new(topology, root.fork(1))
             .with_partitions(config.partitions.clone());
         let site_ids: Vec<SiteId> = (0..config.sites as u64).map(SiteId).collect();
+        let metrics = MetricsRegistry::new();
+        let mut site_obs = Vec::with_capacity(config.sites);
         let sites = site_ids
             .iter()
-            .map(|&id| match config.method {
-                Method::OrdupSeq => SiteImpl::OrdupSeq(OrdupSite::new(id)),
-                Method::OrdupLamport => {
-                    SiteImpl::OrdupLamport(OrdupLamportSite::new(id, site_ids.clone()))
-                }
-                Method::Commu => SiteImpl::Commu(CommuSite::new(id)),
-                Method::RituOverwrite => SiteImpl::RituOverwrite(RituOverwriteSite::new(id)),
-                Method::RituMv => SiteImpl::RituMv(RituMvSite::new(id)),
-                Method::Compe => SiteImpl::Compe(CompeSite::new(id)),
+            .map(|&id| {
+                let mut site = match config.method {
+                    Method::OrdupSeq => SiteImpl::OrdupSeq(OrdupSite::new(id)),
+                    Method::OrdupLamport => {
+                        SiteImpl::OrdupLamport(OrdupLamportSite::new(id, site_ids.clone()))
+                    }
+                    Method::Commu => SiteImpl::Commu(CommuSite::new(id)),
+                    Method::RituOverwrite => {
+                        SiteImpl::RituOverwrite(RituOverwriteSite::new(id))
+                    }
+                    Method::RituMv => SiteImpl::RituMv(RituMvSite::new(id)),
+                    Method::Compe => SiteImpl::Compe(CompeSite::new(id)),
+                };
+                let obs =
+                    SiteInstruments::for_site(&metrics, config.method.name(), id.raw());
+                site_obs.push(obs.clone());
+                site.attach_metrics(obs);
+                site
             })
             .collect();
+        let divergence_gauge = GaugeFamily::new(&metrics, "esr_divergence");
+        let vtnc_lag_gauge = GaugeFamily::new(&metrics, "esr_vtnc_lag");
+        let obs_updates = metrics.counter(
+            "esr_updates_submitted_total",
+            &[("method", config.method.name())],
+        );
+        let obs_overlap_inflight = metrics.gauge("esr_overlap_inflight", &[]);
+        let obs_quiescence = metrics.gauge("esr_quiescence_progress_permille", &[]);
         Self {
             sites,
             net,
@@ -371,6 +415,13 @@ impl SimCluster {
             trace: Trace::disabled(),
             acks_scheduled: std::collections::BTreeSet::new(),
             stats: ClusterStats::default(),
+            metrics,
+            site_obs,
+            divergence_gauge,
+            vtnc_lag_gauge,
+            obs_updates,
+            obs_overlap_inflight,
+            obs_quiescence,
             config,
         }
     }
@@ -414,6 +465,64 @@ impl SimCluster {
     /// Run statistics.
     pub fn stats(&self) -> &ClusterStats {
         &self.stats
+    }
+
+    /// The cluster's metrics registry. Per-site series update live on
+    /// the apply/query paths; the cluster-computed gauges (divergence,
+    /// VTNC lag, overlap, quiescence progress) update on
+    /// [`SimCluster::refresh_metrics`], which
+    /// [`SimCluster::run_until_quiescent`] calls at the end of a run.
+    /// Snapshots are deterministic: same seed, same workload —
+    /// byte-identical [`MetricsRegistry::render`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Recomputes the cluster-derived gauges at the current instant:
+    ///
+    /// * `esr_divergence{site}` — updates whose disposition at the site
+    ///   disagrees with the global outcome (the true per-site error,
+    ///   experiment E5); 0 everywhere at quiescence.
+    /// * `esr_vtnc_lag{site}` — version-clock ticks between the global
+    ///   version clock and the site's certified VTNC horizon (RITU-MV).
+    /// * `esr_overlap_inflight` — size of the in-flight overlap set in
+    ///   the global lock-counters.
+    /// * `esr_quiescence_progress_permille` — 1000 × resolved updates /
+    ///   submitted updates (1000 when nothing was submitted).
+    pub fn refresh_metrics(&self) {
+        let objects: Vec<ObjectId> = self
+            .submissions
+            .values()
+            .flat_map(|sub| sub.ops.iter())
+            .filter(|o| o.op.is_write())
+            .map(|o| o.object)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for site in self.site_ids() {
+            let d = self.divergent_updates(site, &objects);
+            self.divergence_gauge
+                .set(site.raw(), i64::try_from(d).unwrap_or(i64::MAX));
+            if let SiteImpl::RituMv(s) = self.site(site) {
+                let lag = self.next_version_time.saturating_sub(s.vtnc().time);
+                self.vtnc_lag_gauge
+                    .set(site.raw(), i64::try_from(lag).unwrap_or(i64::MAX));
+            }
+        }
+        self.obs_overlap_inflight
+            .set(i64::try_from(self.global_counters.in_flight()).unwrap_or(i64::MAX));
+        let total = self.submissions.len();
+        let resolved = self
+            .submissions
+            .iter()
+            .filter(|(et, sub)| {
+                let survives = sub.commit || self.config.method != Method::Compe;
+                !survives || self.sites.iter().all(|s| s.has_applied(**et))
+            })
+            .count();
+        // An empty cluster is vacuously quiescent.
+        let permille = (resolved * 1000).checked_div(total).map_or(1000, |p| p as i64);
+        self.obs_quiescence.set(permille);
     }
 
     /// The site ids.
@@ -521,6 +630,7 @@ impl SimCluster {
             },
         );
         self.stats.updates += 1;
+        self.obs_updates.inc();
         et
     }
 
@@ -603,6 +713,7 @@ impl SimCluster {
             },
         );
         self.stats.updates += 1;
+        self.obs_updates.inc();
         et
     }
 
@@ -947,6 +1058,7 @@ impl SimCluster {
                 self.deviation.end(et);
             }
         }
+        self.refresh_metrics();
         self.now()
     }
 
@@ -970,10 +1082,13 @@ impl SimCluster {
         epsilon: EpsilonSpec,
     ) -> QueryOutcome {
         let mut counter = InconsistencyCounter::new(epsilon);
+        let ritu_mv = self.config.method == Method::RituMv;
+        let mut attempted_charge = 0;
         let out = match (self.config.method, &mut self.sites[site.raw() as usize]) {
             (Method::OrdupSeq, SiteImpl::OrdupSeq(s)) => {
                 let token = self.next_seq;
                 let charge = s.gap_to(token);
+                attempted_charge = charge;
                 if counter.charge(charge).is_admitted() {
                     let mut unbounded = InconsistencyCounter::new(EpsilonSpec::UNBOUNDED);
                     let values = s.query(read_set, &mut unbounded).values;
@@ -991,6 +1106,7 @@ impl SimCluster {
                 let charge = self
                     .global_counters
                     .inconsistency_of_set(read_set.iter().copied());
+                attempted_charge = charge;
                 if counter.charge(charge).is_admitted() {
                     let mut unbounded = InconsistencyCounter::new(EpsilonSpec::UNBOUNDED);
                     let values = s.query(read_set, &mut unbounded).values;
@@ -1004,6 +1120,20 @@ impl SimCluster {
                 }
             }
         };
+        // For every method but RITU-MV the admission decision is made
+        // here, against the *global* divergence control — the site only
+        // ever sees an unbounded wrapper. Stamp the authoritative charge
+        // and limit onto the site's epsilon gauges (last write wins over
+        // the site's internal view), and count rejections the site never
+        // saw.
+        if !ritu_mv {
+            let obs = &self.site_obs[site.raw() as usize];
+            if out.admitted {
+                obs.query_gauges(out.charged, epsilon.limit);
+            } else {
+                obs.query(attempted_charge, epsilon.limit, false);
+            }
+        }
         if out.admitted {
             self.stats.queries_served += 1;
             self.stats.total_charged += out.charged;

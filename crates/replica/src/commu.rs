@@ -23,6 +23,7 @@ use esr_core::divergence::{InconsistencyCounter, LockCounters};
 use esr_core::ids::{EtId, ObjectId, SiteId};
 use esr_core::op::Operation;
 use esr_core::value::Value;
+use esr_obs::SiteInstruments;
 use esr_storage::shard::FastIdMap;
 use esr_storage::store::ObjectStore;
 
@@ -41,6 +42,8 @@ pub struct CommuSite {
     redelivered: u64,
     /// Opt-in oracle audit: ETs in application order.
     audit: Option<Vec<EtId>>,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 impl CommuSite {
@@ -54,7 +57,14 @@ impl CommuSite {
             applied: 0,
             redelivered: 0,
             audit: None,
+            obs: SiteInstruments::default(),
         }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries and queries
+    /// tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        self.obs = obs;
     }
 
     /// Total MSets applied.
@@ -121,6 +131,7 @@ impl ReplicaSite for CommuSite {
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
             self.redelivered += 1;
+            self.obs.delivered(1, 0, 1);
             return; // duplicate delivery
         }
         for op in &mset.ops {
@@ -128,12 +139,14 @@ impl ReplicaSite for CommuSite {
                 .apply(op)
                 .expect("commutative MSet must apply cleanly");
         }
-        self.counters.begin_update(mset.et, mset.write_set());
+        let high_water = self.counters.begin_update(mset.et, mset.write_set());
+        self.obs.lock_counter_high_water(high_water);
         if let Some(log) = &mut self.audit {
             log.push(mset.et);
         }
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
+        self.obs.delivered(1, 1, 0);
     }
 
     /// Batch fast path: commuting operations are folded per object
@@ -154,6 +167,8 @@ impl ReplicaSite for CommuSite {
     #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
         use std::collections::hash_map::Entry;
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         let mut acc: FastIdMap<ObjectId, Operation> = FastIdMap::default();
         let mut regs: Vec<(EtId, Vec<ObjectId>)> = Vec::new();
         for mset in &msets {
@@ -189,12 +204,19 @@ impl ReplicaSite for CommuSite {
             self.applied_ets.insert(mset.et, ());
             self.applied += 1;
         }
-        self.counters.begin_updates(regs);
+        let high_water = self.counters.begin_updates(regs);
+        self.obs.lock_counter_high_water(high_water);
         for (object, op) in acc {
             self.store
                 .apply_op_run(object, std::iter::once(&op))
                 .expect("commutative MSet must apply cleanly");
         }
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
     }
 
     fn has_applied(&self, et: EtId) -> bool {
@@ -208,8 +230,10 @@ impl ReplicaSite for CommuSite {
     ) -> QueryOutcome {
         let charge = self.counters.inconsistency_of_set(read_set.iter().copied());
         if !counter.charge(charge).is_admitted() {
+            self.obs.query(charge, counter.spec().limit, false);
             return QueryOutcome::rejected();
         }
+        self.obs.query(charge, counter.spec().limit, true);
         QueryOutcome {
             values: read_set.iter().map(|&o| self.store.get(o)).collect(),
             charged: charge,

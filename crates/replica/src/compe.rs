@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use esr_core::divergence::InconsistencyCounter;
 use esr_core::ids::{EtId, ObjectId, SiteId};
 use esr_core::value::Value;
+use esr_obs::SiteInstruments;
 use esr_storage::recovery_log::{RecoveryLog, RollbackReport};
 use esr_storage::store::ObjectStore;
 
@@ -42,6 +43,8 @@ pub struct CompeSite {
     redelivered: u64,
     /// Opt-in oracle audit: lifecycle events in the order they happened.
     audit: Option<Vec<(EtId, CompeEvent)>>,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 /// One lifecycle event on the COMPE audit log (see
@@ -83,7 +86,14 @@ impl CompeSite {
             compensations: 0,
             redelivered: 0,
             audit: None,
+            obs: SiteInstruments::default(),
         }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries, decisions, and
+    /// queries tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        self.obs = obs;
     }
 
     /// Turns on the audit log consumed by the `esr-check` COMPE
@@ -139,6 +149,7 @@ impl CompeSite {
                 *d = Disposition::Committed;
                 self.log.commit(et);
                 self.note(et, CompeEvent::Committed);
+                self.obs.set_at_risk(self.log.at_risk() as u64);
             }
             Some(_) => {}
             None => {
@@ -172,6 +183,8 @@ impl CompeSite {
             .expect("compensation ops apply cleanly");
         self.compensations += 1;
         self.note(et, CompeEvent::Compensated);
+        self.obs.compensations(1);
+        self.obs.set_at_risk(self.log.at_risk() as u64);
         Some(report)
     }
 
@@ -205,6 +218,7 @@ impl ReplicaSite for CompeSite {
 
     #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver(&mut self, mset: MSet) {
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
         match self.seen.get(&mset.et) {
             None => {
                 self.log
@@ -231,6 +245,12 @@ impl ReplicaSite for CompeSite {
             }
             Some(Disposition::Aborted) => {} // abort arrived first: suppress
         }
+        self.obs.delivered(
+            1,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs.set_at_risk(self.log.at_risk() as u64);
     }
 
     /// Batch fast path: consecutive at-risk MSets are logged and applied
@@ -241,6 +261,8 @@ impl ReplicaSite for CompeSite {
     /// log's history stays faithful.
     #[expect(clippy::expect_used, reason = "a rejected apply is replica-state corruption; panicking is the documented contract")]
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         let mut run: Vec<MSet> = Vec::new();
         for mset in msets {
             match self.seen.get(&mset.et) {
@@ -271,6 +293,13 @@ impl ReplicaSite for CompeSite {
             }
         }
         self.flush_at_risk(&mut run);
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs.set_at_risk(self.log.at_risk() as u64);
     }
 
     fn has_applied(&self, et: EtId) -> bool {
@@ -298,8 +327,10 @@ impl ReplicaSite for CompeSite {
             })
             .count() as u64;
         if !counter.charge(charge).is_admitted() {
+            self.obs.query(charge, counter.spec().limit, false);
             return QueryOutcome::rejected();
         }
+        self.obs.query(charge, counter.spec().limit, true);
         QueryOutcome {
             values: read_set.iter().map(|&o| self.store.get(o)).collect(),
             charged: charge,

@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use esr_core::divergence::InconsistencyCounter;
 use esr_core::ids::{LamportTs, ObjectId, SeqNo, SiteId};
 use esr_core::value::Value;
+use esr_obs::SiteInstruments;
 use esr_storage::store::ObjectStore;
 
 use esr_storage::shard::FastIdSet;
@@ -54,6 +55,8 @@ pub struct OrdupSite {
     redelivered: u64,
     /// Opt-in oracle audit: `(et, seq)` in actual application order.
     audit: Option<Vec<(esr_core::ids::EtId, SeqNo)>>,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 impl OrdupSite {
@@ -68,7 +71,14 @@ impl OrdupSite {
             applied: 0,
             redelivered: 0,
             audit: None,
+            obs: SiteInstruments::default(),
         }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries and queries
+    /// tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        self.obs = obs;
     }
 
     /// Turns on the audit log consumed by the `esr-check` ORDUP
@@ -180,11 +190,10 @@ impl ReplicaSite for OrdupSite {
         let OrderTag::Sequenced(seq) = mset.order else {
             panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
         };
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
         if seq < self.next_seq {
-            self.redelivered += 1;
-            return; // duplicate of an already-applied MSet
-        }
-        if seq == self.next_seq {
+            self.redelivered += 1; // duplicate of an already-applied MSet
+        } else if seq == self.next_seq {
             self.apply_next(mset);
             if !self.holdback.is_empty() {
                 self.drain(); // this was a gap-filler: successors may unblock
@@ -194,6 +203,12 @@ impl ReplicaSite for OrdupSite {
             // so replacing the held-back copy with its duplicate is a no-op.
             self.redelivered += 1;
         }
+        self.obs.delivered(
+            1,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs.set_backlog(self.holdback.len() as u64);
     }
 
     /// Batch fast path: the dense in-order prefix of the batch is applied
@@ -202,6 +217,8 @@ impl ReplicaSite for OrdupSite {
     /// The sequence numbers are consumed in exactly the dense order the
     /// one-at-a-time path would consume them.
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         for mset in msets {
             let OrderTag::Sequenced(seq) = mset.order else {
                 panic!("ORDUP sequencer site received non-sequenced MSet {mset}");
@@ -219,6 +236,13 @@ impl ReplicaSite for OrdupSite {
                 self.redelivered += 1; // duplicate of a held-back MSet
             }
         }
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs.set_backlog(self.holdback.len() as u64);
     }
 
     fn has_applied(&self, et: esr_core::ids::EtId) -> bool {
@@ -238,8 +262,10 @@ impl ReplicaSite for OrdupSite {
             .filter(|m| m.touches(read_set))
             .count() as u64;
         if !counter.charge(charge).is_admitted() {
+            self.obs.query(charge, counter.spec().limit, false);
             return QueryOutcome::rejected();
         }
+        self.obs.query(charge, counter.spec().limit, true);
         QueryOutcome {
             values: read_set.iter().map(|&o| self.store.get(o)).collect(),
             charged: charge,
@@ -274,6 +300,8 @@ pub struct OrdupLamportSite {
     applied_ets: FastIdSet<esr_core::ids::EtId>,
     applied: u64,
     redelivered: u64,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 impl OrdupLamportSite {
@@ -290,7 +318,14 @@ impl OrdupLamportSite {
             applied_ets: FastIdSet::default(),
             applied: 0,
             redelivered: 0,
+            obs: SiteInstruments::default(),
         }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries and queries
+    /// tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        self.obs = obs;
     }
 
     /// Total MSets applied.
@@ -309,11 +344,15 @@ impl OrdupLamportSite {
     /// when `origin` has gone quiet. The cluster driver broadcasts
     /// heartbeats during quiesce.
     pub fn heartbeat(&mut self, origin: SiteId, ts: LamportTs) {
+        let before_applied = self.applied;
         let e = self.last_seen.entry(origin).or_insert(ts);
         if ts > *e {
             *e = ts;
         }
         self.drain_stable();
+        self.obs.delivered(0, self.applied - before_applied, 0);
+        self.obs
+            .set_backlog((self.holdback.len() + self.fifo_buffer.len()) as u64);
     }
 
     /// FIFO-reassembles one delivered MSet into the timestamp hold-back
@@ -392,8 +431,16 @@ impl ReplicaSite for OrdupLamportSite {
     }
 
     fn deliver(&mut self, mset: MSet) {
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
         self.ingest(mset);
         self.drain_stable();
+        self.obs.delivered(
+            1,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs
+            .set_backlog((self.holdback.len() + self.fifo_buffer.len()) as u64);
     }
 
     /// Batch fast path: ingest (FIFO-reassemble) every MSet first, then
@@ -401,10 +448,20 @@ impl ReplicaSite for OrdupLamportSite {
     /// horizon, so a single drain at the end applies exactly the MSets
     /// the per-delivery drains would have, in the same timestamp order.
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         for mset in msets {
             self.ingest(mset);
         }
         self.drain_stable();
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.obs
+            .set_backlog((self.holdback.len() + self.fifo_buffer.len()) as u64);
     }
 
     fn has_applied(&self, et: esr_core::ids::EtId) -> bool {
@@ -422,8 +479,10 @@ impl ReplicaSite for OrdupLamportSite {
             .filter(|m| m.touches(read_set))
             .count() as u64;
         if !counter.charge(charge).is_admitted() {
+            self.obs.query(charge, counter.spec().limit, false);
             return QueryOutcome::rejected();
         }
+        self.obs.query(charge, counter.spec().limit, true);
         QueryOutcome {
             values: read_set.iter().map(|&o| self.store.get(o)).collect(),
             charged: charge,

@@ -22,6 +22,7 @@ use esr_core::divergence::{InconsistencyCounter, LockCounters};
 use esr_core::ids::{EtId, ObjectId, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_core::value::Value;
+use esr_obs::SiteInstruments;
 use esr_storage::mvstore::MvStore;
 use esr_storage::shard::FastIdMap;
 use esr_storage::store::{LwwOutcome, LwwStore};
@@ -41,6 +42,8 @@ pub struct RituOverwriteSite {
     /// Opt-in oracle audit: winning installs `(object, version)` in the
     /// order they reached the store.
     audit: Option<Vec<(ObjectId, VersionTs)>>,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 impl RituOverwriteSite {
@@ -54,7 +57,14 @@ impl RituOverwriteSite {
             applied: 0,
             redelivered: 0,
             audit: None,
+            obs: SiteInstruments::default(),
         }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries and queries
+    /// tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        self.obs = obs;
     }
 
     /// Total MSets applied.
@@ -107,6 +117,7 @@ impl ReplicaSite for RituOverwriteSite {
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
             self.redelivered += 1;
+            self.obs.delivered(1, 0, 1);
             return;
         }
         for op in &mset.ops {
@@ -127,9 +138,11 @@ impl ReplicaSite for RituOverwriteSite {
                 }
             }
         }
-        self.counters.begin_update(mset.et, mset.write_set());
+        let high_water = self.counters.begin_update(mset.et, mset.write_set());
+        self.obs.lock_counter_high_water(high_water);
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
+        self.obs.delivered(1, 1, 0);
     }
 
     /// Batch fast path: the batch's timestamped writes are reduced to
@@ -145,6 +158,8 @@ impl ReplicaSite for RituOverwriteSite {
         // actually reach the store, one per object instead of one per
         // write. Within-batch ties keep the earlier write, matching the
         // strict-`>` arbitration of the one-at-a-time path.
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         let mut best: FastIdMap<ObjectId, (VersionTs, &Value)> = FastIdMap::default();
         let mut regs: Vec<(EtId, Vec<ObjectId>)> = Vec::new();
         let mut fresh: Vec<bool> = Vec::with_capacity(msets.len());
@@ -179,13 +194,20 @@ impl ReplicaSite for RituOverwriteSite {
                 }
             }
         }
-        self.counters.begin_updates(regs);
+        let high_water = self.counters.begin_updates(regs);
+        self.obs.lock_counter_high_water(high_water);
         for (object, (ts, value)) in best {
             let outcome = self.store.apply_timestamped(object, ts, value.clone());
             if let (LwwOutcome::Applied, Some(log)) = (outcome, &mut self.audit) {
                 log.push((object, ts));
             }
         }
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
     }
 
     fn has_applied(&self, et: EtId) -> bool {
@@ -199,8 +221,10 @@ impl ReplicaSite for RituOverwriteSite {
     ) -> QueryOutcome {
         let charge = self.counters.inconsistency_of_set(read_set.iter().copied());
         if !counter.charge(charge).is_admitted() {
+            self.obs.query(charge, counter.spec().limit, false);
             return QueryOutcome::rejected();
         }
+        self.obs.query(charge, counter.spec().limit, true);
         QueryOutcome {
             values: read_set.iter().map(|&o| self.store.get(o)).collect(),
             charged: charge,
@@ -260,7 +284,11 @@ pub struct RituMvSite {
     applied_ets: FastIdMap<EtId, ()>,
     applied: u64,
     redelivered: u64,
+    /// Largest version time installed locally (for the lag gauge).
+    newest_installed: u64,
     audit: Option<MvAudit>,
+    /// Metrics bundle (no-op until attached).
+    obs: SiteInstruments,
 }
 
 impl RituMvSite {
@@ -272,7 +300,27 @@ impl RituMvSite {
             applied_ets: FastIdMap::default(),
             applied: 0,
             redelivered: 0,
+            newest_installed: 0,
             audit: None,
+            obs: SiteInstruments::default(),
+        }
+    }
+
+    /// Attaches a metrics bundle: subsequent deliveries, VTNC advances,
+    /// and queries tick its series (a detached bundle costs one branch).
+    pub fn attach_metrics(&mut self, obs: SiteInstruments) {
+        obs.set_vtnc(self.store.vtnc().time);
+        obs.set_vtnc_lag(self.newest_installed.saturating_sub(self.store.vtnc().time));
+        self.obs = obs;
+    }
+
+    /// Re-ticks the horizon and lag gauges after an install or advance.
+    fn tick_vtnc_gauges(&self) {
+        if self.obs.is_attached() {
+            let horizon = self.store.vtnc().time;
+            self.obs.set_vtnc(horizon);
+            self.obs
+                .set_vtnc_lag(self.newest_installed.saturating_sub(horizon));
         }
     }
 
@@ -300,6 +348,7 @@ impl RituMvSite {
             audit.note_advance(to);
         }
         self.store.advance_vtnc(to);
+        self.tick_vtnc_gauges();
     }
 
     /// Turns on the audit consumed by the `esr-check` VTNC-safety
@@ -349,12 +398,14 @@ impl ReplicaSite for RituMvSite {
     fn deliver(&mut self, mset: MSet) {
         if self.applied_ets.contains_key(&mset.et) {
             self.redelivered += 1;
+            self.obs.delivered(1, 0, 1);
             return;
         }
         for op in &mset.ops {
             match &op.op {
                 Operation::TimestampedWrite(ts, v) => {
                     self.store.install(op.object, *ts, v.clone());
+                    self.newest_installed = self.newest_installed.max(ts.time);
                     if let Some(audit) = &mut self.audit {
                         audit.note_install(*ts);
                     }
@@ -365,6 +416,8 @@ impl ReplicaSite for RituMvSite {
         }
         self.applied_ets.insert(mset.et, ());
         self.applied += 1;
+        self.obs.delivered(1, 1, 0);
+        self.tick_vtnc_gauges();
     }
 
     /// Batch fast path: the batch's installs are grouped by object so
@@ -377,6 +430,8 @@ impl ReplicaSite for RituMvSite {
         // and per-object order is preserved, so duplicate-timestamp
         // resolution stays deterministic (first install of a timestamp
         // wins, as in the one-at-a-time path).
+        let (before_applied, before_redelivered) = (self.applied, self.redelivered);
+        let batch_len = msets.len() as u64;
         let mut groups: FastIdMap<ObjectId, Vec<(VersionTs, Value)>> = FastIdMap::default();
         for mset in msets {
             if self.applied_ets.contains_key(&mset.et) {
@@ -389,6 +444,7 @@ impl ReplicaSite for RituMvSite {
                         if let Some(audit) = &mut self.audit {
                             audit.note_install(ts);
                         }
+                        self.newest_installed = self.newest_installed.max(ts.time);
                         groups.entry(op.object).or_default().push((ts, v));
                     }
                     Operation::Read => {}
@@ -403,6 +459,13 @@ impl ReplicaSite for RituMvSite {
                 .into_iter()
                 .flat_map(|(object, vs)| vs.into_iter().map(move |(ts, v)| (object, ts, v))),
         );
+        self.obs.batch(batch_len);
+        self.obs.delivered(
+            batch_len,
+            self.applied - before_applied,
+            self.redelivered - before_redelivered,
+        );
+        self.tick_vtnc_gauges();
     }
 
     fn has_applied(&self, et: EtId) -> bool {
@@ -433,6 +496,7 @@ impl ReplicaSite for RituMvSite {
                 values.push(latest.value);
             }
         }
+        self.obs.query(charged, counter.spec().limit, true);
         QueryOutcome {
             values,
             charged,

@@ -309,6 +309,10 @@ const FRAME_STATUS_OK: u8 = 0x17;
 const FRAME_AUDIT: u8 = 0x18;
 const FRAME_AUDIT_OK: u8 = 0x19;
 const FRAME_DECISION_OK: u8 = 0x1A;
+const FRAME_METRICS: u8 = 0x1B;
+const FRAME_METRICS_OK: u8 = 0x1C;
+const FRAME_TRACE: u8 = 0x1D;
+const FRAME_TRACE_OK: u8 = 0x1E;
 
 const COMPE_APPLIED: u8 = 0;
 const COMPE_COMMITTED: u8 = 1;
@@ -450,6 +454,41 @@ pub enum Frame {
         /// The decided ET.
         et: EtId,
     },
+    /// Client → daemon: scrape the metrics registry.
+    Metrics,
+    /// Reply to [`Frame::Metrics`]: the registry rendered as Prometheus
+    /// text exposition format.
+    MetricsOk {
+        /// The rendered scrape body.
+        text: String,
+    },
+    /// Client → daemon: dump the in-memory trace-event ring.
+    TraceDump,
+    /// Reply to [`Frame::TraceDump`]: the retained events, oldest first,
+    /// as `(seq, micros, component, message)`, plus how many older
+    /// events the bounded ring already evicted.
+    TraceOk {
+        /// Events evicted before the oldest retained one.
+        dropped: u64,
+        /// The retained events.
+        events: Vec<(u64, u64, String, String)>,
+    },
+}
+
+fn encode_text(b: &mut BytesMut, s: &str) {
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn decode_text(b: &mut Bytes) -> Result<String, WireError> {
+    let len = get_u32(b)? as usize;
+    if b.remaining() < len {
+        return Err(WireError::BadLength);
+    }
+    let raw = b.copy_to_bytes(len);
+    std::str::from_utf8(raw.as_ref())
+        .map(str::to_owned)
+        .map_err(|_| WireError::BadUtf8)
 }
 
 fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
@@ -635,6 +674,27 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             b.put_u8(FRAME_DECISION_OK);
             b.put_u64(et.raw());
         }
+        Frame::Metrics => {
+            b.put_u8(FRAME_METRICS);
+        }
+        Frame::MetricsOk { text } => {
+            b.put_u8(FRAME_METRICS_OK);
+            encode_text(&mut b, text);
+        }
+        Frame::TraceDump => {
+            b.put_u8(FRAME_TRACE);
+        }
+        Frame::TraceOk { dropped, events } => {
+            b.put_u8(FRAME_TRACE_OK);
+            b.put_u64(*dropped);
+            b.put_u32(events.len() as u32);
+            for (seq, micros, component, message) in events {
+                b.put_u64(*seq);
+                b.put_u64(*micros);
+                encode_text(&mut b, component);
+                encode_text(&mut b, message);
+            }
+        }
     }
     b.freeze()
 }
@@ -780,6 +840,25 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
         FRAME_DECISION_OK => Frame::DecisionOk {
             et: EtId(get_u64(&mut b)?),
         },
+        FRAME_METRICS => Frame::Metrics,
+        FRAME_METRICS_OK => Frame::MetricsOk {
+            text: decode_text(&mut b)?,
+        },
+        FRAME_TRACE => Frame::TraceDump,
+        FRAME_TRACE_OK => {
+            let dropped = get_u64(&mut b)?;
+            // Each event is at least 24 bytes (two u64s + two counts).
+            let n = get_count(&mut b, 24)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let seq = get_u64(&mut b)?;
+                let micros = get_u64(&mut b)?;
+                let component = decode_text(&mut b)?;
+                let message = decode_text(&mut b)?;
+                events.push((seq, micros, component, message));
+            }
+            Frame::TraceOk { dropped, events }
+        }
         tag => return Err(WireError::BadTag { field: "frame", tag }),
     };
     Ok(frame)
@@ -1001,6 +1080,23 @@ mod tests {
             }),
             Frame::AuditOk(WireAudit::default()),
             Frame::DecisionOk { et: EtId(13) },
+            Frame::Metrics,
+            Frame::MetricsOk {
+                text: "esr_msets_applied_total{site=\"0\"} 3\n".to_owned(),
+            },
+            Frame::MetricsOk { text: String::new() },
+            Frame::TraceDump,
+            Frame::TraceOk {
+                dropped: 4,
+                events: vec![
+                    (5, 1_000, "apply".to_owned(), "deliver et=5".to_owned()),
+                    (6, 2_000, "rpc".to_owned(), "query admitted".to_owned()),
+                ],
+            },
+            Frame::TraceOk {
+                dropped: 0,
+                events: vec![],
+            },
         ];
         for frame in &frames {
             roundtrip_frame(frame);
@@ -1009,20 +1105,31 @@ mod tests {
 
     #[test]
     fn frame_truncation_at_any_prefix_is_an_error_not_a_panic() {
-        let frame = Frame::ControlSnapshot {
-            completed: vec![EtId(1)],
-            decisions: vec![(EtId(2), false)],
-            vtnc_max: Some(VersionTs::new(4, ClientId(1))),
-        };
-        let bytes = encode_frame(&frame);
-        for cut in 0..bytes.len() {
-            let prefix = Bytes::copy_from_slice(&bytes.as_slice()[..cut]);
-            assert!(
-                decode_frame(&prefix).is_err(),
-                "frame prefix of {cut} bytes decoded successfully"
-            );
+        let frames = [
+            Frame::ControlSnapshot {
+                completed: vec![EtId(1)],
+                decisions: vec![(EtId(2), false)],
+                vtnc_max: Some(VersionTs::new(4, ClientId(1))),
+            },
+            Frame::MetricsOk {
+                text: "esr_backlog{site=\"1\"} 2\n".to_owned(),
+            },
+            Frame::TraceOk {
+                dropped: 1,
+                events: vec![(2, 30, "apply".to_owned(), "x".to_owned())],
+            },
+        ];
+        for frame in &frames {
+            let bytes = encode_frame(frame);
+            for cut in 0..bytes.len() {
+                let prefix = Bytes::copy_from_slice(&bytes.as_slice()[..cut]);
+                assert!(
+                    decode_frame(&prefix).is_err(),
+                    "frame prefix of {cut} bytes decoded successfully"
+                );
+            }
+            assert!(decode_frame(&bytes).is_ok());
         }
-        assert!(decode_frame(&bytes).is_ok());
     }
 
     #[test]

@@ -165,4 +165,25 @@ impl RpcClient {
             other => Err(bad_reply(&other)),
         }
     }
+
+    /// Scrapes the daemon's metrics registry in Prometheus text format.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Frame::Metrics)? {
+            Frame::MetricsOk { text } => Ok(text),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Dumps the daemon's in-memory trace ring: the number of events the
+    /// bounded ring dropped, and the retained events in order.
+    pub fn trace(&mut self) -> io::Result<(u64, Vec<WireTraceEvent>)> {
+        match self.call(&Frame::TraceDump)? {
+            Frame::TraceOk { dropped, events } => Ok((dropped, events)),
+            other => Err(bad_reply(&other)),
+        }
+    }
 }
+
+/// One trace-ring event as it crosses the wire:
+/// `(seq, micros-since-boot, component, message)`.
+pub type WireTraceEvent = (u64, u64, String, String);

@@ -30,6 +30,7 @@ use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
 use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
 use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
+use esr_obs::{GaugeFamily, MetricsRegistry, SiteInstruments};
 use esr_replica::mset::MSet;
 use esr_replica::site::QueryOutcome;
 use esr_replica::wire::encode_mset;
@@ -48,10 +49,15 @@ use crate::state::{RtMethod, SiteAudit, SiteState};
 const SITE_STATE_LOC: u64 = 1 << 48;
 
 /// A quiesce wait that did not settle before its deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuiesceTimeout {
     /// How long the wait actually lasted.
     pub waited: std::time::Duration,
+    /// Pending work observed per site at the deadline: the site's inbox
+    /// depth (thread runtime) or its reported apply backlog (process
+    /// runtime). `None` when the site could not be reached — usually
+    /// the site that is wedging the quiesce.
+    pub site_queues: Vec<Option<u64>>,
 }
 
 impl std::fmt::Display for QuiesceTimeout {
@@ -59,9 +65,19 @@ impl std::fmt::Display for QuiesceTimeout {
         write!(
             f,
             "cluster did not quiesce within {:.1}s (crashed site never restarted, \
-             partition outlasting the deadline, or a protocol bug)",
+             partition outlasting the deadline, or a protocol bug); per-site queue depths: [",
             self.waited.as_secs_f64()
-        )
+        )?;
+        for (i, q) in self.site_queues.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match q {
+                Some(d) => write!(f, "site {i}: {d}")?,
+                None => write!(f, "site {i}: unreachable")?,
+            }
+        }
+        write!(f, "]")
     }
 }
 
@@ -145,6 +161,10 @@ struct SiteSpawn {
     tracker: Option<Sender<TrackerMsg>>,
     /// Journal path + shared control log; `Some` only under chaos.
     chaos: Option<(PathBuf, Arc<ControlLog>)>,
+    /// Shared registry: each incarnation of a site re-registers the same
+    /// series (same labels → same cells), so counters survive
+    /// crash/restart cycles.
+    metrics: MetricsRegistry,
 }
 
 /// The chaos machinery attached to a cluster built with
@@ -190,6 +210,14 @@ pub struct Cluster {
     n: usize,
     spawn_cfg: SiteSpawn,
     chaos: Option<ChaosRuntime>,
+    metrics: MetricsRegistry,
+    /// `esr_divergence{site}`: objects where the site's quiesced value
+    /// disagrees with the cluster consensus (see
+    /// [`Cluster::refresh_metrics`]).
+    divergence_gauge: GaugeFamily,
+    /// `esr_site_queue_depth{site}`: the site inbox depth, sampled by
+    /// the quiesce polls and [`Cluster::refresh_metrics`].
+    queue_depth_gauge: GaugeFamily,
 }
 
 fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()> {
@@ -203,8 +231,18 @@ fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()>
                 canary,
                 tracker,
                 chaos,
+                metrics,
             } = cfg;
             let mut state = SiteState::new(method, id);
+            state.attach_metrics(SiteInstruments::for_site(
+                &metrics,
+                method.name(),
+                id.raw(),
+            ));
+            let replays = metrics.counter(
+                "esr_recovery_replays_total",
+                &[("site", &id.raw().to_string())],
+            );
             if audit {
                 state.enable_audit();
             }
@@ -223,6 +261,7 @@ fn spawn_site(i: usize, rx: Receiver<SiteMsg>, cfg: SiteSpawn) -> JoinHandle<()>
                 for mset in j.replay() {
                     journaled.insert(mset.et);
                     state.deliver(mset);
+                    replays.inc();
                 }
                 state.replay_control(&control.snapshot());
                 journal = Some(j);
@@ -455,6 +494,7 @@ impl Cluster {
         chaos: Option<(FaultPlan, PathBuf)>,
     ) -> Self {
         assert!(n > 0);
+        let metrics = MetricsRegistry::new();
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<SiteMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -558,6 +598,7 @@ impl Cluster {
             chaos: chaos_dir
                 .as_ref()
                 .map(|dir| (dir.clone(), Arc::clone(&control))),
+            metrics: metrics.clone(),
         };
         let site_threads = receivers
             .into_iter()
@@ -621,6 +662,9 @@ impl Cluster {
             n,
             spawn_cfg,
             chaos,
+            divergence_gauge: GaugeFamily::new(&metrics, "esr_divergence"),
+            queue_depth_gauge: GaugeFamily::new(&metrics, "esr_site_queue_depth"),
+            metrics,
         }
     }
 
@@ -888,8 +932,10 @@ impl Cluster {
             if start.elapsed() > deadline {
                 return Err(QuiesceTimeout {
                     waited: start.elapsed(),
+                    site_queues: self.sample_queue_depths(),
                 });
             }
+            self.sample_queue_depths();
             let relays_drained = match &self.chaos {
                 Some(c) => c
                     .relays
@@ -914,6 +960,7 @@ impl Cluster {
                 std::thread::sleep(std::time::Duration::from_micros(500));
             }
         }
+        self.refresh_metrics();
         Ok(())
     }
 
@@ -922,6 +969,61 @@ impl Cluster {
     pub fn converged(&self) -> bool {
         let first = self.snapshot_of(SiteId(0));
         (1..self.n).all(|i| self.snapshot_of(SiteId(i as u64)) == first)
+    }
+
+    /// The cluster's metrics registry. Per-site protocol series update
+    /// live; the cluster-derived gauges (divergence, queue depth) are
+    /// refreshed by the quiesce polls and [`Cluster::refresh_metrics`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Recomputes the cluster-derived gauges:
+    ///
+    /// * `esr_divergence{site}` — objects whose value at the site
+    ///   differs from the cluster consensus (the snapshot the largest
+    ///   number of sites agree on, zero values stripped). 0 everywhere
+    ///   once the cluster has quiesced and converged — including after
+    ///   crash/restart recovery.
+    /// * `esr_site_queue_depth{site}` — current inbox depth.
+    pub fn refresh_metrics(&self) {
+        fn normalize(m: BTreeMap<ObjectId, Value>) -> BTreeMap<ObjectId, Value> {
+            m.into_iter().filter(|(_, v)| *v != Value::ZERO).collect()
+        }
+        let snaps: Vec<BTreeMap<ObjectId, Value>> = (0..self.n)
+            .map(|i| normalize(self.snapshot_of(SiteId(i as u64))))
+            .collect();
+        let consensus = snaps
+            .iter()
+            .max_by_key(|cand| snaps.iter().filter(|s| s == cand).count())
+            .cloned()
+            .unwrap_or_default();
+        for (i, snap) in snaps.iter().enumerate() {
+            let differing = snap
+                .iter()
+                .filter(|(k, v)| consensus.get(k) != Some(v))
+                .count()
+                + consensus.keys().filter(|k| !snap.contains_key(k)).count();
+            self.divergence_gauge
+                .set(i as u64, i64::try_from(differing).unwrap_or(i64::MAX));
+        }
+        self.sample_queue_depths();
+    }
+
+    /// Samples every site's inbox depth into `esr_site_queue_depth` and
+    /// returns the depths.
+    fn sample_queue_depths(&self) -> Vec<Option<u64>> {
+        self.site_senders
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let depth = s.len() as u64;
+                self.queue_depth_gauge
+                    .set(i as u64, i64::try_from(depth).unwrap_or(i64::MAX));
+                Some(depth)
+            })
+            .collect()
     }
 
     /// Stops all threads. Called automatically on drop. Relays go down

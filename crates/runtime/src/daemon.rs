@@ -40,6 +40,7 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -48,8 +49,10 @@ use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
 use esr_core::ids::{EtId, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_net::rpc::{
-    read_frame, seal, seal_ack, unseal, write_frame, Link, KIND_CLIENT, KIND_PEER, NO_ENTRY,
+    read_frame, seal, seal_ack, unseal, write_frame, Backoff, Link, KIND_CLIENT, KIND_PEER,
+    NO_ENTRY,
 };
+use esr_obs::{EventRing, Histogram, LinkInstruments, MetricsRegistry, SiteInstruments};
 use esr_replica::mset::MSet;
 use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
 use esr_storage::stable_queue::FileQueue;
@@ -182,6 +185,16 @@ pub struct Daemon {
     links: Vec<Option<Link>>,
     /// Completion/certification state; `Some` only on site 0.
     coord: Option<Mutex<Coordinator>>,
+    /// This incarnation's metrics; scraped via [`Frame::Metrics`].
+    metrics: MetricsRegistry,
+    /// Bounded structured-event ring; dumped via [`Frame::TraceDump`].
+    trace: EventRing,
+    /// Boot instant — trace timestamps are micros since boot.
+    boot: Instant,
+    /// Wall-clock journal+apply latency per accepted MSet.
+    apply_latency: Histogram,
+    /// Wall-clock client-plane request handling latency.
+    rpc_latency: Histogram,
 }
 
 /// The address file published by site `site` under `dir`.
@@ -266,8 +279,18 @@ impl Daemon {
         // re-announced to the coordinator below, because the previous
         // incarnation may have died before its `Applied` report was
         // durably enqueued.
+        let boot = Instant::now();
+        let metrics = MetricsRegistry::new();
+        let trace = EventRing::default();
+        let site_label = cfg.site.raw().to_string();
         let mut state = SiteState::new(cfg.method, cfg.site);
         state.enable_audit();
+        state.attach_metrics(SiteInstruments::for_site(
+            &metrics,
+            cfg.method.name(),
+            cfg.site.raw(),
+        ));
+        let replays = metrics.counter("esr_recovery_replays_total", &[("site", &site_label)]);
         let journal = ApplyJournal::open(journal_path(&cfg.dir, cfg.site))?;
         let mut journaled = HashSet::new();
         let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
@@ -276,10 +299,16 @@ impl Daemon {
             let version = max_version(&mset);
             let et = mset.et;
             state.deliver(mset);
+            replays.inc();
             if state.has_applied(et) {
                 recovered.push((et, version));
             }
         }
+        trace.record(
+            0,
+            "boot",
+            format!("epoch {epoch}: replayed {} journal entries", journaled.len()),
+        );
 
         // Durable outbound links, one per peer. The hello frame carries
         // our id + epoch; the coordinator answers a peer hello with a
@@ -297,10 +326,16 @@ impl Daemon {
             }
             let queue = FileQueue::open(queue_path(&cfg.dir, cfg.site, to))?;
             let dir = cfg.dir.clone();
-            links.push(Some(Link::spawn(
+            let link_obs = LinkInstruments::for_link(
+                &metrics,
+                &format!("{}->{}", cfg.site.raw(), to.raw()),
+            );
+            links.push(Some(Link::spawn_observed(
                 Box::new(queue),
                 Box::new(move || resolve_addr(&dir, to)),
                 hello.clone(),
+                Backoff::default(),
+                link_obs,
             )));
         }
 
@@ -310,6 +345,9 @@ impl Daemon {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
 
+        let apply_latency =
+            metrics.histogram("esr_apply_latency_micros", &[("site", &site_label)]);
+        let rpc_latency = metrics.histogram("esr_rpc_latency_micros", &[("site", &site_label)]);
         let daemon = Arc::new(Self {
             epoch,
             addr,
@@ -318,6 +356,11 @@ impl Daemon {
             links,
             coord,
             cfg,
+            metrics,
+            trace,
+            boot,
+            apply_latency,
+            rpc_latency,
         });
 
         // Re-announce recovered applies (the coordinator deduplicates).
@@ -396,7 +439,8 @@ impl Daemon {
 
     fn handle_peer_frame(&self, frame: Frame) {
         match frame {
-            Frame::Hello { site, .. } => {
+            Frame::Hello { site, epoch } => {
+                self.trace_event("peer", format!("hello from site {} epoch {epoch}", site.raw()));
                 // Coordinator: answer every peer (re)handshake with the
                 // control snapshot — idempotent replay that covers a
                 // recovering site whose queue files were lost.
@@ -469,7 +513,10 @@ impl Daemon {
             let Ok(request) = decode_frame(&Bytes::from(env.payload)) else {
                 return;
             };
+            let started = Instant::now();
             let reply = self.handle_client_request(request);
+            self.rpc_latency
+                .record(started.elapsed().as_micros() as u64);
             let bytes = encode_frame(&reply);
             if write_frame(&mut stream, &seal(NO_ENTRY, &bytes)).is_err() {
                 return;
@@ -523,6 +570,18 @@ impl Daemon {
                 self.decide(et, commit);
                 Frame::DecisionOk { et }
             }
+            Frame::Metrics => Frame::MetricsOk {
+                text: self.metrics.render(),
+            },
+            Frame::TraceDump => Frame::TraceOk {
+                dropped: self.trace.dropped(),
+                events: self
+                    .trace
+                    .entries()
+                    .into_iter()
+                    .map(|e| (e.seq, e.micros, e.component, e.message))
+                    .collect(),
+            },
             // Anything else is a protocol error; answer with an empty
             // status so the client sees *a* frame and can give up.
             _ => Frame::StatusOk {
@@ -539,6 +598,7 @@ impl Daemon {
     fn accept_mset(&self, mset: MSet) {
         let et = mset.et;
         let version = max_version(&mset);
+        let started = Instant::now();
         {
             let mut j = self.journal.lock();
             if !j.journaled.contains(&et) {
@@ -552,9 +612,25 @@ impl Daemon {
             st.deliver(mset);
             !before && st.has_applied(et)
         };
+        self.apply_latency
+            .record(started.elapsed().as_micros() as u64);
+        self.trace_event(
+            "apply",
+            format!(
+                "et {} {}",
+                et.0,
+                if newly_applied { "applied" } else { "held/duplicate" }
+            ),
+        );
         if newly_applied {
             self.report_applied(et, version);
         }
+    }
+
+    /// Records a structured trace event stamped micros-since-boot.
+    fn trace_event(&self, component: &str, message: String) {
+        self.trace
+            .record(self.boot.elapsed().as_micros() as u64, component, message);
     }
 
     /// Routes apply evidence to the coordinator (inline when we *are*
@@ -600,9 +676,19 @@ impl Daemon {
     /// peer (durable, so a currently-dead site receives it on revival).
     fn broadcast_control(&self, frame: &Frame) {
         match *frame {
-            Frame::Complete { et } => self.state.lock().complete(et),
-            Frame::Vtnc { ts } => self.state.lock().advance_vtnc(ts),
+            Frame::Complete { et } => {
+                self.trace_event("control", format!("complete et {}", et.0));
+                self.state.lock().complete(et);
+            }
+            Frame::Vtnc { ts } => {
+                self.trace_event("control", format!("vtnc -> time {}", ts.time));
+                self.state.lock().advance_vtnc(ts);
+            }
             Frame::Decision { et, commit } => {
+                self.trace_event(
+                    "control",
+                    format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
+                );
                 let mut st = self.state.lock();
                 if commit {
                     st.commit(et);

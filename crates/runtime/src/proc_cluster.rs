@@ -27,7 +27,7 @@ use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 use esr_replica::mset::MSet;
 
-use crate::client::{DaemonStatus, RpcClient};
+use crate::client::{DaemonStatus, RpcClient, WireTraceEvent};
 use crate::cluster::QuiesceTimeout;
 use crate::state::{RtMethod, SiteAudit};
 
@@ -210,8 +210,19 @@ impl ProcCluster {
                 return Ok(());
             }
             if start.elapsed() >= deadline {
+                // Per-site pending work at the deadline: the daemon's
+                // outbound durable-queue depth, or None for a site that
+                // no longer answers (the usual wedge).
+                let site_queues = (0..self.n)
+                    .map(|i| {
+                        self.status_of(SiteId(i as u64))
+                            .ok()
+                            .map(|s| s.outbound_pending)
+                    })
+                    .collect();
                 return Err(QuiesceTimeout {
                     waited: start.elapsed(),
+                    site_queues,
                 });
             }
             std::thread::sleep(Duration::from_millis(40));
@@ -233,6 +244,16 @@ impl ProcCluster {
     /// The oracle audit at `site`.
     pub fn audit_of(&self, site: SiteId) -> io::Result<SiteAudit> {
         self.client(site)?.audit()
+    }
+
+    /// Scrapes `site`'s metrics in Prometheus text format.
+    pub fn metrics_of(&self, site: SiteId) -> io::Result<String> {
+        self.client(site)?.metrics()
+    }
+
+    /// Dumps `site`'s trace ring: `(dropped, events)`.
+    pub fn trace_of(&self, site: SiteId) -> io::Result<(u64, Vec<WireTraceEvent>)> {
+        self.client(site)?.trace()
     }
 
     /// Do all sites hold identical replica snapshots? (Call after

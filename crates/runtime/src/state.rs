@@ -209,6 +209,18 @@ impl SiteState {
         }
     }
 
+    /// Attaches a per-site metrics bundle; the site ticks its delivery,
+    /// backlog, and epsilon series from then on.
+    pub fn attach_metrics(&mut self, obs: esr_obs::SiteInstruments) {
+        match self {
+            SiteState::Ordup(s) => s.attach_metrics(obs),
+            SiteState::Commu(s) => s.attach_metrics(obs),
+            SiteState::Ritu(s) => s.attach_metrics(obs),
+            SiteState::RituMv(s) => s.attach_metrics(obs),
+            SiteState::Compe(s) => s.attach_metrics(obs),
+        }
+    }
+
     /// Turns on the per-method audit log.
     pub fn enable_audit(&mut self) {
         match self {

@@ -26,51 +26,10 @@ pub fn shard_of(object: ObjectId) -> usize {
     (object.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_BITS)) as usize
 }
 
-/// A multiply-xorshift hasher for the id-keyed accumulator maps on the
-/// batch apply path. Those maps hash every operation in a batch exactly
-/// once, so SipHash's per-call cost is measurable; ids are plain
-/// counters (already uniform after a Fibonacci multiply), so one
-/// multiply plus a shift mixes them fine. Not DoS-resistant — use only
-/// for transient internal maps, never for anything fed by a network
-/// peer.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FastIdHasher(u64);
-
-impl std::hash::Hasher for FastIdHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-integer keys (FNV-1a); id types hit the
-        // fixed-width paths below.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^= h >> 29;
-        self.0 = h;
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.write_u64(u64::from(n));
-    }
-}
-
-/// `BuildHasher` for [`FastIdHasher`].
-pub type FastIdBuildHasher = std::hash::BuildHasherDefault<FastIdHasher>;
-
-/// A `HashMap` keyed by an id type, using [`FastIdHasher`].
-pub type FastIdMap<K, V> = HashMap<K, V, FastIdBuildHasher>;
-
-/// A `HashSet` keyed by an id type, using [`FastIdHasher`].
-pub type FastIdSet<K> = std::collections::HashSet<K, FastIdBuildHasher>;
+// The fast id hasher lives in esr-core (shared with esr-obs since
+// PR 5); re-exported here so existing `esr_storage::shard::FastIdMap`
+// callers keep compiling unchanged.
+pub use esr_core::fastid::{FastIdBuildHasher, FastIdHasher, FastIdMap, FastIdSet};
 
 /// A fixed-fanout sharded map from [`ObjectId`] to `V`.
 #[derive(Debug, Clone, PartialEq, Eq)]

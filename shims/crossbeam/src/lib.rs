@@ -30,6 +30,8 @@ pub mod channel {
         id: AtomicU64,
         /// Epoch-tagged message counter (dense from 1 per checked run).
         msgs: AtomicU64,
+        /// Messages sent but not yet received (crossbeam's `len()`).
+        depth: AtomicU64,
     }
 
     impl ChanMeta {
@@ -37,6 +39,7 @@ pub mod channel {
             Self {
                 id: AtomicU64::new(0),
                 msgs: AtomicU64::new(0),
+                depth: AtomicU64::new(0),
             }
         }
 
@@ -62,9 +65,26 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Messages currently queued (sent but not yet received). Like
+        /// crossbeam's `Sender::len`, a racy snapshot.
+        pub fn len(&self) -> usize {
+            self.meta.depth.load(std::sync::atomic::Ordering::Relaxed) as usize
+        }
+
+        /// Whether the queue is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             if !probe::recording() {
-                return self.inner.send((0, msg)).map_err(|e| SendError(e.0 .1));
+                let r = self.inner.send((0, msg)).map_err(|e| SendError(e.0 .1));
+                if r.is_ok() {
+                    self.meta
+                        .depth
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                return r;
             }
             probe::reach();
             let chan = self.meta.id();
@@ -74,6 +94,9 @@ pub mod channel {
                 .send((stamp, msg))
                 .map_err(|e| SendError(e.0 .1));
             if result.is_ok() {
+                self.meta
+                    .depth
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 probe::record(SyncOp::ChanSend { chan, msg: stamp });
             }
             result
@@ -89,6 +112,13 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         fn note_recv(&self, stamp: u64) {
+            // Saturating: a receiver handed a message sent before this
+            // shim tracked depth must not wrap the counter.
+            let _ = self.meta.depth.fetch_update(
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+                |d| Some(d.saturating_sub(1)),
+            );
             if probe::recording() {
                 probe::record(SyncOp::ChanRecv {
                     chan: self.meta.id(),

@@ -6,6 +6,8 @@
 //! esrctl --dir /tmp/cluster --site 0 query 7
 //! esrctl --dir /tmp/cluster --site 0 audit
 //! esrctl --dir /tmp/cluster --site 0 decide 1 commit
+//! esrctl --dir /tmp/cluster --site 0 metrics
+//! esrctl --dir /tmp/cluster --site 0 trace
 //! ```
 //!
 //! Talks the client plane of the wire protocol via
@@ -14,6 +16,7 @@
 //! issue COMPE decisions. ET/sequence stamping is the caller's job
 //! (`--et`, `--seq`): the daemons are deliberately stamp-agnostic.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Duration;
@@ -30,6 +33,8 @@ commands:
   status
   snapshot
   audit
+  metrics
+  trace
   query <object>... [--epsilon <n>]
   submit --et <n> [--seq <n>] <object> <op> <args>
       ops: write <int> | incr <n> | decr <n> | mul <n>
@@ -80,6 +85,11 @@ fn main() {
 
     let result = run(&mut client, command, args);
     if let Err(e) = result {
+        // A reader that stops early (`esrctl trace | head`) closes our
+        // stdout; that is not an error.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            return;
+        }
         eprintln!("esrctl: {e}");
         exit(1);
     }
@@ -95,8 +105,23 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
             );
         }
         "snapshot" => {
+            let mut out = std::io::stdout().lock();
             for (object, value) in client.snapshot()? {
-                println!("{}\t{:?}", object.raw(), value);
+                writeln!(out, "{}\t{:?}", object.raw(), value)?;
+            }
+        }
+        "metrics" => {
+            let mut out = std::io::stdout().lock();
+            write!(out, "{}", client.metrics()?)?;
+        }
+        "trace" => {
+            let (dropped, events) = client.trace()?;
+            if dropped > 0 {
+                eprintln!("(ring dropped {dropped} older events)");
+            }
+            let mut out = std::io::stdout().lock();
+            for (seq, micros, component, message) in events {
+                writeln!(out, "{seq}\t{micros}us\t{component}\t{message}")?;
             }
         }
         "audit" => {

@@ -14,12 +14,14 @@
 //! * [`replica`] — the four replica-control methods (ORDUP, COMMU, RITU,
 //!   COMPE) plus synchronous baselines (2PC write-all, weighted voting);
 //! * [`runtime`] — thread-per-site runtime with real concurrency;
+//! * [`obs`] — zero-dependency metrics registry and event tracing;
 //! * [`workload`] — generators, metrics, and experiment drivers.
 
 #![warn(missing_docs)]
 
 pub use esr_core as core;
 pub use esr_net as net;
+pub use esr_obs as obs;
 pub use esr_replica as replica;
 pub use esr_runtime as runtime;
 pub use esr_sim as sim;

@@ -261,3 +261,103 @@ fn esrctl_submits_and_audits_a_live_daemon() {
     c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn esrctl_metrics_scrapes_live_series_from_every_site() {
+    // Observability acceptance: a live 3-site RITU-MV cluster must
+    // answer `esrctl metrics` at every site with the per-site MSet,
+    // epsilon, VTNC-lag, and link queue-depth series, and `esrctl
+    // trace` must show the structured event ring.
+    let esrctl = env!("CARGO_BIN_EXE_esrctl");
+    let dir = fresh_dir("metrics");
+    let mut c = ProcCluster::spawn(esrd(), &dir, RtMethod::RituMv, N).expect("spawn");
+    for i in 0..6u64 {
+        c.submit_blind_write(SiteId(i % N as u64), X, Value::Int(i as i64))
+            .expect("submit");
+    }
+    c.quiesce_within(QUIESCE).expect("quiesce");
+    for s in 0..N {
+        // A bounded query so the epsilon gauges reflect a real admission.
+        let out = c
+            .client(SiteId(s as u64))
+            .expect("client")
+            .query(&[X], 1_000)
+            .expect("query");
+        assert!(out.admitted);
+    }
+
+    let ctl = |args: &[&str]| -> String {
+        let out = Command::new(esrctl)
+            .arg("--dir")
+            .arg(&dir)
+            .args(args)
+            .output()
+            .expect("run esrctl");
+        assert!(
+            out.status.success(),
+            "esrctl {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    for s in 0..N {
+        let site = s.to_string();
+        let text = ctl(&["--site", &site, "metrics"]);
+        let site_labels = format!("{{method=\"ritu-mv\",site=\"{site}\"}}");
+        for series in [
+            "esr_msets_delivered_total",
+            "esr_msets_applied_total",
+            "esr_query_epsilon_charged",
+            "esr_query_epsilon_limit",
+            "esr_vtnc_time",
+            "esr_vtnc_lag",
+        ] {
+            assert!(
+                text.contains(&format!("{series}{site_labels}")),
+                "site {s}: metrics scrape is missing {series}:\n{text}"
+            );
+        }
+        assert!(
+            text.contains(&format!("esr_msets_applied_total{site_labels} 6")),
+            "site {s} must report all 6 applies:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("esr_vtnc_lag{site_labels} 0")),
+            "site {s} VTNC lag must be 0 at quiescence:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("esr_query_epsilon_limit{site_labels} 1000")),
+            "site {s} must report the admitted query's limit:\n{text}"
+        );
+        // One outbound link per peer, with its durable-queue gauges.
+        for peer in 0..N {
+            if peer == s {
+                continue;
+            }
+            assert!(
+                text.contains(&format!(
+                    "esr_link_queue_depth{{link=\"{s}->{peer}\"}}"
+                )),
+                "site {s}: no queue-depth series for link to {peer}:\n{text}"
+            );
+        }
+        assert!(
+            text.contains("esr_recovery_replays_total"),
+            "site {s}: recovery replay counter missing:\n{text}"
+        );
+        assert!(
+            text.contains("esr_apply_latency_micros_count")
+                && text.contains("esr_rpc_latency_micros_count"),
+            "site {s}: latency histograms missing:\n{text}"
+        );
+
+        let trace = ctl(&["--site", &site, "trace"]);
+        assert!(
+            trace.contains("boot") && trace.contains("apply"),
+            "site {s}: trace ring missing boot/apply events:\n{trace}"
+        );
+    }
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
