@@ -2,30 +2,34 @@
 //! until successful" half of the paper's stable-queue contract (§2.2),
 //! over a real TCP connection.
 //!
-//! A [`Link`] pairs a [`StableQueue`] with a background connection
-//! thread. `send` durably enqueues *before* returning, so a message
-//! survives the sender crashing right after; the thread then drains the
-//! queue over TCP, retransmitting every unacknowledged entry each time
-//! the connection is (re)established — at-least-once delivery, with the
-//! receiver responsible for idempotency. Acknowledgements (empty
-//! envelopes echoing the entry id) retire queue entries.
+//! A [`Link`] pairs a [`StableQueue`] with a connection state machine
+//! that runs on a poll-driven [`Reactor`] ([`super::reactor`]). `send`
+//! durably enqueues *before* returning, so a message survives the
+//! sender crashing right after; the reactor then drains the queue over
+//! TCP, retransmitting every unacknowledged entry each time the
+//! connection is (re)established — at-least-once delivery, with the
+//! receiver responsible for idempotency. Acknowledgements (envelopes
+//! echoing one or more entry ids, [`super::frame::seal_acks`]) retire
+//! queue entries.
 //!
 //! Reconnection uses capped exponential backoff and re-resolves the
 //! peer address on every attempt, so a daemon that restarts on a new
 //! ephemeral port is picked up as soon as it republishes its address.
+//!
+//! A standalone `spawn` owns a private single-link reactor (one thread,
+//! as before); a daemon instead runs all of its links *and* its RPC
+//! plane on one shared reactor via [`Link::attach`] — one I/O thread
+//! total, regardless of cluster size or client fan-in.
 
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use esr_obs::LinkInstruments;
 use esr_storage::stable_queue::{EntryId, StableQueue};
 
-use super::frame::{read_frame, seal, unseal, write_frame, KIND_PEER, NO_ENTRY};
+use super::reactor::{lock_queue, LinkSpec, Reactor, ReactorHandle, SharedQueue};
 
 /// Reconnect backoff shape.
 #[derive(Debug, Clone, Copy)]
@@ -49,24 +53,22 @@ impl Default for Backoff {
 /// listen address on every boot).
 pub type Resolver = Box<dyn Fn() -> Option<SocketAddr> + Send>;
 
-type SharedQueue = Arc<Mutex<Box<dyn StableQueue + Send>>>;
-
-enum LinkCmd {
-    Nudge,
-    Shutdown,
-}
-
 /// A durable at-least-once link to one peer.
 pub struct Link {
     queue: SharedQueue,
-    cmd: Sender<LinkCmd>,
-    thread: Option<JoinHandle<()>>,
+    reactor: ReactorHandle,
+    token: u64,
+    /// A private reactor when this link was spawned standalone; shared-
+    /// reactor links (daemons) leave this empty. Declared last so the
+    /// token is deregistered before the owned thread joins.
+    owned: Option<Reactor>,
 }
 
 impl Link {
-    /// Spawns the connection thread. `hello` is sent (outside the
-    /// durable contract) every time a connection is established, so the
-    /// receiver learns who is dialing before any queued traffic.
+    /// Spawns a standalone link on its own reactor. `hello` is sent
+    /// (outside the durable contract) every time a connection is
+    /// established, so the receiver learns who is dialing before any
+    /// queued traffic.
     pub fn spawn(queue: Box<dyn StableQueue + Send>, resolve: Resolver, hello: Bytes) -> Self {
         Self::spawn_with(queue, resolve, hello, Backoff::default())
     }
@@ -81,10 +83,10 @@ impl Link {
         Self::spawn_observed(queue, resolve, hello, backoff, LinkInstruments::default())
     }
 
-    /// [`Link::spawn_with`] plus a metrics bundle: the connection thread
-    /// ticks dials, sends, retransmits, and acks, and keeps the queue
-    /// depth/age gauges current (wall-clock age — this thread already
-    /// lives in real time).
+    /// [`Link::spawn_with`] plus a metrics bundle: the reactor ticks
+    /// dials, sends, retransmits, and acks, and keeps the queue
+    /// depth/age gauges current (wall-clock age — the reactor lives in
+    /// real time).
     pub fn spawn_observed(
         queue: Box<dyn StableQueue + Send>,
         resolve: Resolver,
@@ -92,25 +94,47 @@ impl Link {
         backoff: Backoff,
         obs: LinkInstruments,
     ) -> Self {
+        let reactor =
+            Reactor::new().unwrap_or_else(|e| panic!("spawn link reactor: {e}"));
+        let mut link = Self::attach(&reactor, queue, resolve, hello, backoff, obs);
+        link.owned = Some(reactor);
+        link
+    }
+
+    /// Registers this link on an existing reactor instead of spawning
+    /// one — the daemon multiplexes every link and its whole RPC plane
+    /// on a single reactor thread.
+    pub fn attach(
+        reactor: &Reactor,
+        queue: Box<dyn StableQueue + Send>,
+        resolve: Resolver,
+        hello: Bytes,
+        backoff: Backoff,
+        obs: LinkInstruments,
+    ) -> Self {
         let queue: SharedQueue = Arc::new(Mutex::new(queue));
-        let (cmd, rx) = mpsc::channel();
-        let worker_queue = Arc::clone(&queue);
-        let thread = std::thread::spawn(move || {
-            run_link(&worker_queue, &resolve, &hello, backoff, &rx, &obs);
+        let handle = reactor.handle();
+        let token = handle.add_link(LinkSpec {
+            queue: Arc::clone(&queue),
+            resolve,
+            hello,
+            backoff,
+            obs,
         });
         Self {
             queue,
-            cmd,
-            thread: Some(thread),
+            reactor: handle,
+            token,
+            owned: None,
         }
     }
 
-    /// Durably enqueues `payload` and nudges the connection thread.
-    /// Returns once the bytes are in the stable queue — delivery
-    /// happens (and keeps being retried) in the background.
+    /// Durably enqueues `payload` and nudges the reactor. Returns once
+    /// the bytes are in the stable queue — delivery happens (and keeps
+    /// being retried) in the background.
     pub fn send(&self, payload: Bytes) -> EntryId {
         let id = lock_queue(&self.queue).enqueue(payload);
-        let _ = self.cmd.send(LinkCmd::Nudge);
+        self.reactor.nudge(self.token);
         id
     }
 
@@ -119,185 +143,26 @@ impl Link {
         lock_queue(&self.queue).len()
     }
 
-    /// Stops the connection thread (queued entries stay durable).
-    pub fn shutdown(mut self) {
-        let _ = self.cmd.send(LinkCmd::Shutdown);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+    /// Deregisters the link (queued entries stay durable). A standalone
+    /// link's private reactor is joined before returning.
+    pub fn shutdown(self) {
+        drop(self);
     }
 }
 
 impl Drop for Link {
     fn drop(&mut self) {
-        let _ = self.cmd.send(LinkCmd::Shutdown);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-fn lock_queue(q: &SharedQueue) -> std::sync::MutexGuard<'_, Box<dyn StableQueue + Send>> {
-    match q.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// One established connection: the write half plus the reader thread's
-/// ack feed.
-struct Conn {
-    stream: TcpStream,
-    acks: Receiver<u64>,
-}
-
-fn dial(resolve: &Resolver, hello: &Bytes) -> Option<Conn> {
-    let addr = resolve()?;
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
-    stream.set_nodelay(true).ok()?;
-    let mut write_half = stream.try_clone().ok()?;
-    write_half.write_all(&[KIND_PEER]).ok()?;
-    write_frame(&mut write_half, &seal(NO_ENTRY, hello)).ok()?;
-
-    // Blocking reader thread: turns incoming ack envelopes into channel
-    // messages, exits when the socket dies. (A read timeout on the main
-    // thread could desync mid-frame; a dedicated blocking reader cannot.)
-    let (ack_tx, acks) = mpsc::channel();
-    let mut read_half = stream;
-    std::thread::spawn(move || loop {
-        match read_frame(&mut read_half) {
-            Ok(frame) => {
-                if let Ok(env) = unseal(frame) {
-                    if env.is_ack() && ack_tx.send(env.entry).is_err() {
-                        return;
-                    }
-                }
-            }
-            Err(_) => return,
-        }
-    });
-    Some(Conn {
-        stream: write_half,
-        acks,
-    })
-}
-
-fn run_link(
-    queue: &SharedQueue,
-    resolve: &Resolver,
-    hello: &Bytes,
-    backoff: Backoff,
-    cmd: &Receiver<LinkCmd>,
-    obs: &LinkInstruments,
-) {
-    let mut conn: Option<Conn> = None;
-    let mut delay = backoff.initial;
-    // Highest entry transmitted on the *current* connection; resets on
-    // reconnect so every unacknowledged entry is retransmitted.
-    let mut sent_high: Option<EntryId> = None;
-    // Highest entry ever transmitted on *any* connection: anything at or
-    // below it written again is a retransmit, not a first send.
-    let mut sent_ever: Option<EntryId> = None;
-    // Start of the current non-empty stretch, for the queue-age gauge.
-    let mut backlog_since: Option<Instant> = None;
-
-    loop {
-        // Wait for work (a nudge, an ack to reap, or a retry tick).
-        match cmd.recv_timeout(Duration::from_millis(20)) {
-            Ok(LinkCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
-                if let Some(c) = conn {
-                    let _ = c.stream.shutdown(Shutdown::Both);
-                }
-                return;
-            }
-            Ok(LinkCmd::Nudge) | Err(RecvTimeoutError::Timeout) => {}
-        }
-
-        // (Re)connect if needed.
-        if conn.is_none() {
-            match dial(resolve, hello) {
-                Some(c) => {
-                    conn = Some(c);
-                    delay = backoff.initial;
-                    sent_high = None;
-                    obs.dialed();
-                }
-                None => {
-                    std::thread::sleep(delay);
-                    delay = (delay * 2).min(backoff.max);
-                    continue;
-                }
-            }
-        }
-
-        let mut broken = false;
-        if let Some(c) = conn.as_mut() {
-            // Reap acknowledgements first so the pending scan below
-            // skips retired entries. The reader thread exiting (its
-            // channel hanging up) is how a peer-side close is detected
-            // even when there is nothing to write.
-            loop {
-                match c.acks.try_recv() {
-                    Ok(entry) => {
-                        lock_queue(queue).ack(EntryId(entry));
-                        obs.acked(1);
-                    }
-                    Err(mpsc::TryRecvError::Empty) => break,
-                    Err(mpsc::TryRecvError::Disconnected) => {
-                        broken = true;
-                        break;
-                    }
-                }
-            }
-
-            // Transmit everything past the high-water mark of this
-            // connection, oldest first.
-            while !broken {
-                let batch = lock_queue(queue).pending_after(sent_high, 32);
-                if batch.is_empty() {
-                    break;
-                }
-                for (id, payload) in batch {
-                    lock_queue(queue).record_attempt(id);
-                    if write_frame(&mut c.stream, &seal(id.0, &payload)).is_err() {
-                        broken = true;
-                        break;
-                    }
-                    if sent_ever.is_some_and(|h| id.0 <= h.0) {
-                        obs.retransmitted(1);
-                    } else {
-                        obs.sent(1);
-                        sent_ever = Some(id);
-                    }
-                    sent_high = Some(id);
-                }
-            }
-            if broken {
-                let _ = c.stream.shutdown(Shutdown::Both);
-            }
-        }
-        if broken {
-            conn = None;
-        }
-
-        if obs.is_attached() {
-            let depth = lock_queue(queue).len() as u64;
-            if depth == 0 {
-                backlog_since = None;
-            } else if backlog_since.is_none() {
-                backlog_since = Some(Instant::now());
-            }
-            let age = backlog_since.map_or(0, |t| t.elapsed().as_micros() as u64);
-            obs.queue(depth, age);
-        }
+        self.reactor.remove(self.token);
+        // `owned` (if any) drops after this: shutdown + join.
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::frame::{read_frame, unseal, write_frame, KIND_PEER, NO_ENTRY};
     use super::*;
     use esr_storage::stable_queue::MemQueue;
-    use std::net::TcpListener;
+    use std::net::{Shutdown, TcpListener, TcpStream};
 
     fn tight_backoff() -> Backoff {
         Backoff {
@@ -409,6 +274,29 @@ mod tests {
         let env = unseal(read_frame(&mut s).unwrap()).unwrap();
         assert_eq!(env.payload, b"late");
         write_frame(&mut s, &super::super::frame::seal_ack(env.entry)).unwrap();
+        wait_until(|| link.pending() == 0);
+        link.shutdown();
+    }
+
+    #[test]
+    fn batched_ack_retires_many_entries_at_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let link = Link::spawn_with(
+            Box::new(MemQueue::new()),
+            Box::new(move || Some(addr)),
+            Bytes::from_static(b"hi"),
+            tight_backoff(),
+        );
+        let ids: Vec<u64> = (0..5)
+            .map(|i| link.send(Bytes::from(vec![i])).0)
+            .collect();
+
+        let (mut s, _) = accept_peer(&listener);
+        for _ in 0..5 {
+            read_frame(&mut s).unwrap();
+        }
+        write_frame(&mut s, &super::super::frame::seal_acks(&ids)).unwrap();
         wait_until(|| link.pending() == 0);
         link.shutdown();
     }

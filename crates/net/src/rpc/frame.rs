@@ -76,10 +76,28 @@ pub struct Envelope {
 }
 
 impl Envelope {
-    /// Is this a transport-level acknowledgement (an echoed entry id
-    /// with no message)?
+    /// Is this a *single-entry* transport acknowledgement (an echoed
+    /// entry id with no message)? Batched acknowledgements carry extra
+    /// ids in the payload — [`Envelope::ack_ids`] covers both shapes.
     pub fn is_ack(&self) -> bool {
         self.entry != NO_ENTRY && self.payload.is_empty()
+    }
+
+    /// The queue entries this envelope acknowledges: the carried entry
+    /// id plus any batched ids packed into the payload as big-endian
+    /// `u64`s ([`seal_acks`]). `None` when the envelope is not an
+    /// acknowledgement (no entry id, or a payload that is not a whole
+    /// number of ids).
+    pub fn ack_ids(&self) -> Option<impl Iterator<Item = u64> + '_> {
+        if self.entry == NO_ENTRY || !self.payload.len().is_multiple_of(8) {
+            return None;
+        }
+        let batched = self.payload.chunks_exact(8).map(|chunk| {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(chunk);
+            u64::from_be_bytes(id)
+        });
+        Some(batched.chain(std::iter::once(self.entry)))
     }
 }
 
@@ -94,6 +112,25 @@ pub fn seal(entry: u64, payload: &[u8]) -> Vec<u8> {
 /// Builds the transport acknowledgement for queue entry `entry`.
 pub fn seal_ack(entry: u64) -> Vec<u8> {
     seal(entry, &[])
+}
+
+/// Builds one transport acknowledgement covering every entry in `ids`:
+/// the envelope rides the last id and the remaining ids are packed into
+/// the payload as big-endian `u64`s, so N applied entries cost one
+/// frame instead of N. A single-id batch is byte-identical to
+/// [`seal_ack`], and [`Envelope::ack_ids`] recovers the full set on the
+/// other side. An empty batch degenerates to a [`NO_ENTRY`] ack, which
+/// every receiver ignores.
+pub fn seal_acks(ids: &[u64]) -> Vec<u8> {
+    let Some((&last, rest)) = ids.split_last() else {
+        return seal_ack(NO_ENTRY);
+    };
+    let mut buf = Vec::with_capacity(8 + 8 * rest.len());
+    buf.extend_from_slice(&last.to_be_bytes());
+    for id in rest {
+        buf.extend_from_slice(&id.to_be_bytes());
+    }
+    buf
 }
 
 /// Splits a frame back into its link envelope.
@@ -162,5 +199,30 @@ mod tests {
         assert!(!hello.is_ack());
 
         assert!(unseal(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn batched_acks_pack_and_recover_every_id() {
+        // One id: byte-identical to the legacy single ack.
+        assert_eq!(seal_acks(&[7]), seal_ack(7));
+
+        let env = unseal(seal_acks(&[3, 9, 27])).unwrap();
+        assert_eq!(env.entry, 27, "envelope rides the last id");
+        let ids: Vec<u64> = env.ack_ids().unwrap().collect();
+        assert_eq!(ids, vec![3, 9, 27]);
+
+        // A legacy single ack still parses through ack_ids.
+        let single = unseal(seal_ack(42)).unwrap();
+        assert_eq!(single.ack_ids().unwrap().collect::<Vec<_>>(), vec![42]);
+
+        // Non-ack envelopes yield nothing.
+        assert!(unseal(seal(NO_ENTRY, b"hello")).unwrap().ack_ids().is_none());
+        let odd = unseal(seal(5, b"xyz")).unwrap();
+        assert!(odd.ack_ids().is_none(), "payload not a whole set of ids");
+
+        // The empty-batch degenerate form is ignored by every receiver.
+        let empty = unseal(seal_acks(&[])).unwrap();
+        assert!(empty.ack_ids().is_none());
+        assert!(!empty.is_ack());
     }
 }

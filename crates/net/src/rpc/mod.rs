@@ -2,17 +2,22 @@
 //!
 //! Where the rest of this crate *plans* deliveries in virtual time for
 //! the simulator, this module moves actual bytes: length-prefixed
-//! frames over `std::net::TcpStream` ([`frame`]) and durable
-//! at-least-once outbound links that drain a stable queue with
-//! reconnect + exponential backoff ([`conn`]). Payloads stay opaque
-//! here — `esr-replica`'s wire codec defines their contents, and the
-//! `esrd` daemon in `esr-runtime` wires both into a running site.
+//! frames over `std::net::TcpStream` ([`frame`]), a poll-driven
+//! readiness loop multiplexing every socket on one thread ([`reactor`]
+//! over the thin [`sys`] FFI), and durable at-least-once outbound links
+//! that drain a stable queue with reconnect + exponential backoff
+//! ([`conn`]). Payloads stay opaque here — `esr-replica`'s wire codec
+//! defines their contents, and the `esrd` daemon in `esr-runtime` wires
+//! both into a running site.
 
 pub mod conn;
 pub mod frame;
+pub mod reactor;
+pub mod sys;
 
 pub use conn::{Backoff, Link, Resolver};
 pub use frame::{
-    read_frame, seal, seal_ack, unseal, write_frame, Envelope, KIND_CLIENT, KIND_PEER, MAX_FRAME,
-    NO_ENTRY,
+    read_frame, seal, seal_ack, seal_acks, unseal, write_frame, Envelope, KIND_CLIENT, KIND_PEER,
+    MAX_FRAME, NO_ENTRY,
 };
+pub use reactor::{ConnKind, Reactor, ReactorHandle, RpcService, WRITE_BUF_CAP};

@@ -7,7 +7,8 @@
 //! call), which is what every site starts with until a cluster or
 //! daemon attaches metrics.
 //!
-//! [`LinkInstruments`] does the same for one directed TCP link, and
+//! [`LinkInstruments`] does the same for one directed TCP link,
+//! [`ReactorInstruments`] for a daemon's poll-driven I/O reactor, and
 //! [`GaugeFamily`] lazily registers one gauge per site id (divergence,
 //! VTNC lag) keyed through the shared [`esr_core::fastid`] hasher.
 
@@ -15,7 +16,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use esr_core::fastid::FastIdMap;
 
-use crate::registry::{Counter, Gauge, MetricsRegistry};
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Largest epsilon limit a gauge can represent; `u64` limits at or
 /// above this (the UNBOUNDED spec) clamp here.
@@ -279,6 +280,83 @@ impl LinkInstruments {
     }
 }
 
+#[derive(Debug)]
+struct ReactorCells {
+    connections: Gauge,
+    wakeups: Counter,
+    poll_micros: Histogram,
+    ack_batch: Histogram,
+}
+
+/// Instrument bundle for one poll-driven I/O reactor: how many sockets
+/// it is multiplexing, how often the readiness loop wakes, how long
+/// each `poll(2)` call blocks, and how many queue entries each outgoing
+/// acknowledgement frame retires. No-op until attached.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorInstruments {
+    cells: Option<Arc<ReactorCells>>,
+}
+
+impl ReactorInstruments {
+    /// Registers the reactor series family.
+    pub fn for_registry(registry: &MetricsRegistry) -> Self {
+        Self {
+            cells: Some(Arc::new(ReactorCells {
+                connections: registry.gauge("esr_reactor_connections", &[]),
+                wakeups: registry.counter("esr_reactor_wakeups_total", &[]),
+                poll_micros: registry.histogram("esr_reactor_poll_micros", &[]),
+                ack_batch: registry.histogram("esr_ack_batch_size", &[]),
+            })),
+        }
+    }
+
+    /// Whether this bundle is attached to a registry.
+    pub fn is_attached(&self) -> bool {
+        self.cells.is_some()
+    }
+
+    /// One accepted connection entered the readiness loop.
+    #[inline]
+    pub fn connection_opened(&self) {
+        if let Some(c) = &self.cells {
+            c.connections.add(1);
+        }
+    }
+
+    /// One connection left the readiness loop.
+    #[inline]
+    pub fn connection_closed(&self) {
+        if let Some(c) = &self.cells {
+            c.connections.add(-1);
+        }
+    }
+
+    /// One readiness wake-up (a `poll` return with at least one ready
+    /// descriptor).
+    #[inline]
+    pub fn wakeup(&self) {
+        if let Some(c) = &self.cells {
+            c.wakeups.inc();
+        }
+    }
+
+    /// How long one `poll(2)` call blocked, in microseconds.
+    #[inline]
+    pub fn poll_tick(&self, micros: u64) {
+        if let Some(c) = &self.cells {
+            c.poll_micros.record(micros);
+        }
+    }
+
+    /// One acknowledgement frame retiring `n` queue entries.
+    #[inline]
+    pub fn ack_batch(&self, n: u64) {
+        if let Some(c) = &self.cells {
+            c.ack_batch.record(n);
+        }
+    }
+}
+
 /// A family of gauges sharing a name, one per site id — lazily
 /// registered on first touch. Used for cluster-computed per-site series
 /// (replica divergence, VTNC lag) where the set of sites is dynamic.
@@ -335,6 +413,31 @@ mod tests {
         assert!(!link.is_attached());
         link.queue(4, 100);
         link.sent(2);
+        let reactor = ReactorInstruments::default();
+        assert!(!reactor.is_attached());
+        reactor.connection_opened();
+        reactor.wakeup();
+        reactor.poll_tick(5);
+        reactor.ack_batch(3);
+    }
+
+    #[test]
+    fn reactor_bundle_updates_series() {
+        let r = MetricsRegistry::new();
+        let obs = ReactorInstruments::for_registry(&r);
+        assert!(obs.is_attached());
+        obs.connection_opened();
+        obs.connection_opened();
+        obs.connection_closed();
+        obs.wakeup();
+        obs.wakeup();
+        obs.ack_batch(4);
+        let snap = r.snapshot();
+        assert_eq!(snap.value("esr_reactor_connections", &[]), Some(1));
+        assert_eq!(snap.value("esr_reactor_wakeups_total", &[]), Some(2));
+        // Histograms answer value() with their observation count.
+        assert_eq!(snap.value("esr_ack_batch_size", &[]), Some(1));
+        assert!(r.render().contains("esr_ack_batch_size_sum 4"));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod instruments;
 pub mod registry;
 
 pub use events::{EventRing, TraceEvent};
-pub use instruments::{GaugeFamily, LinkInstruments, SiteInstruments};
+pub use instruments::{GaugeFamily, LinkInstruments, ReactorInstruments, SiteInstruments};
 pub use registry::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleValue, SeriesSample,
 };

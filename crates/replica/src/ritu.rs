@@ -386,6 +386,41 @@ impl RituMvSite {
     }
 }
 
+/// Sentinel "no next install" link in [`GroupedInstalls`]' arena.
+const GROUP_NIL: u32 = u32::MAX;
+
+/// Streams one batch's installs grouped by object, walking the
+/// per-object linked chains [`RituMvSite::deliver_batch`] threaded
+/// through its flat arena. Each object's installs come out contiguously
+/// and in arrival order, which is exactly what
+/// [`MvStore::install_batch`]'s run detection wants.
+struct GroupedInstalls {
+    /// `(timestamp, value, next-link)` per install; `value` is taken
+    /// when the install is yielded.
+    arena: Vec<(VersionTs, Option<Value>, u32)>,
+    /// First install of each object, in first-touch order.
+    heads: std::vec::IntoIter<(ObjectId, u32)>,
+    object: ObjectId,
+    cursor: u32,
+}
+
+impl Iterator for GroupedInstalls {
+    type Item = (ObjectId, VersionTs, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == GROUP_NIL {
+            let (object, head) = self.heads.next()?;
+            self.object = object;
+            self.cursor = head;
+        }
+        let slot = &mut self.arena[self.cursor as usize];
+        let (ts, next) = (slot.0, slot.2);
+        let value = slot.1.take()?;
+        self.cursor = next;
+        Some((self.object, ts, value))
+    }
+}
+
 impl ReplicaSite for RituMvSite {
     fn method_name(&self) -> &'static str {
         "RITU-MV"
@@ -426,13 +461,20 @@ impl ReplicaSite for RituMvSite {
     /// exact. The VTNC is untouched — visibility advances arrive as
     /// separate certification messages.
     fn deliver_batch(&mut self, msets: Vec<MSet>) {
-        // Installs are bucketed per object in arrival order — no sort,
-        // and per-object order is preserved, so duplicate-timestamp
+        // Installs are threaded into per-object linked chains inside one
+        // flat arena — no sort, no per-object Vec allocations, and
+        // per-object arrival order is preserved, so duplicate-timestamp
         // resolution stays deterministic (first install of a timestamp
-        // wins, as in the one-at-a-time path).
+        // wins, as in the one-at-a-time path). Grouping this way costs
+        // one hash probe per op; the payoff is one chain lookup per
+        // *object* (instead of per op) inside the store.
         let (before_applied, before_redelivered) = (self.applied, self.redelivered);
         let batch_len = msets.len() as u64;
-        let mut groups: FastIdMap<ObjectId, Vec<(VersionTs, Value)>> = FastIdMap::default();
+        let total_ops: usize = msets.iter().map(|m| m.ops.len()).sum();
+        assert!(total_ops < GROUP_NIL as usize, "batch exceeds arena index width");
+        let mut arena: Vec<(VersionTs, Option<Value>, u32)> = Vec::with_capacity(total_ops);
+        let mut tails: FastIdMap<ObjectId, u32> = FastIdMap::default();
+        let mut heads: Vec<(ObjectId, u32)> = Vec::new();
         for mset in msets {
             if self.applied_ets.contains_key(&mset.et) {
                 self.redelivered += 1;
@@ -445,7 +487,18 @@ impl ReplicaSite for RituMvSite {
                             audit.note_install(ts);
                         }
                         self.newest_installed = self.newest_installed.max(ts.time);
-                        groups.entry(op.object).or_default().push((ts, v));
+                        let idx = arena.len() as u32;
+                        arena.push((ts, Some(v), GROUP_NIL));
+                        match tails.entry(op.object) {
+                            Entry::Occupied(mut tail) => {
+                                arena[*tail.get() as usize].2 = idx;
+                                *tail.get_mut() = idx;
+                            }
+                            Entry::Vacant(slot) => {
+                                slot.insert(idx);
+                                heads.push((op.object, idx));
+                            }
+                        }
                     }
                     Operation::Read => {}
                     other => panic!("RITU-MV MSet carries non-timestamped write {other}"),
@@ -454,11 +507,12 @@ impl ReplicaSite for RituMvSite {
             self.applied_ets.insert(mset.et, ());
             self.applied += 1;
         }
-        self.store.install_batch(
-            groups
-                .into_iter()
-                .flat_map(|(object, vs)| vs.into_iter().map(move |(ts, v)| (object, ts, v))),
-        );
+        self.store.install_batch(GroupedInstalls {
+            arena,
+            heads: heads.into_iter(),
+            object: ObjectId(0),
+            cursor: GROUP_NIL,
+        });
         self.obs.batch(batch_len);
         self.obs.delivered(
             batch_len,

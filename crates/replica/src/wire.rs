@@ -165,12 +165,15 @@ fn encode_value(b: &mut BytesMut, v: &Value) {
 }
 
 /// Decodes an MSet produced by [`encode_mset`].
+///
+/// Decoding walks a plain slice cursor over the payload — no refcounted
+/// sub-buffers, and embedded text costs exactly one `String` allocation.
 pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
-    let mut b = payload.clone();
+    let mut b = payload.as_ref();
     decode_mset_from(&mut b)
 }
 
-fn decode_mset_from(b: &mut Bytes) -> Result<MSet, WireError> {
+fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
     let et = EtId(get_u64(b)?);
     let origin = SiteId(get_u64(b)?);
     let order = match get_u8(b)? {
@@ -204,7 +207,7 @@ fn decode_mset_from(b: &mut Bytes) -> Result<MSet, WireError> {
     Ok(mset)
 }
 
-fn decode_op(b: &mut Bytes) -> Result<Operation, WireError> {
+fn decode_op(b: &mut &[u8]) -> Result<Operation, WireError> {
     Ok(match get_u8(b)? {
         OP_READ => Operation::Read,
         OP_WRITE => Operation::Write(decode_value(b)?),
@@ -224,18 +227,10 @@ fn decode_op(b: &mut Bytes) -> Result<Operation, WireError> {
     })
 }
 
-fn decode_value(b: &mut Bytes) -> Result<Value, WireError> {
+fn decode_value(b: &mut &[u8]) -> Result<Value, WireError> {
     Ok(match get_u8(b)? {
         VAL_INT => Value::Int(get_i64(b)?),
-        VAL_TEXT => {
-            let len = get_u32(b)? as usize;
-            if b.remaining() < len {
-                return Err(WireError::BadLength);
-            }
-            let raw = b.copy_to_bytes(len);
-            let s = std::str::from_utf8(raw.as_ref()).map_err(|_| WireError::BadUtf8)?;
-            Value::Text(s.to_string())
-        }
+        VAL_TEXT => Value::Text(decode_text(b)?),
         VAL_SET => {
             let len = get_u32(b)? as usize;
             if b.remaining() < len.saturating_mul(8) {
@@ -251,28 +246,28 @@ fn decode_value(b: &mut Bytes) -> Result<Value, WireError> {
     })
 }
 
-fn get_u8(b: &mut Bytes) -> Result<u8, WireError> {
+fn get_u8(b: &mut &[u8]) -> Result<u8, WireError> {
     if b.remaining() < 1 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u8())
 }
 
-fn get_u32(b: &mut Bytes) -> Result<u32, WireError> {
+fn get_u32(b: &mut &[u8]) -> Result<u32, WireError> {
     if b.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u32())
 }
 
-fn get_u64(b: &mut Bytes) -> Result<u64, WireError> {
+fn get_u64(b: &mut &[u8]) -> Result<u64, WireError> {
     if b.remaining() < 8 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u64())
 }
 
-fn get_i64(b: &mut Bytes) -> Result<i64, WireError> {
+fn get_i64(b: &mut &[u8]) -> Result<i64, WireError> {
     if b.remaining() < 8 {
         return Err(WireError::Truncated);
     }
@@ -480,15 +475,15 @@ fn encode_text(b: &mut BytesMut, s: &str) {
     b.put_slice(s.as_bytes());
 }
 
-fn decode_text(b: &mut Bytes) -> Result<String, WireError> {
+fn decode_text(b: &mut &[u8]) -> Result<String, WireError> {
     let len = get_u32(b)? as usize;
-    if b.remaining() < len {
+    if b.len() < len {
         return Err(WireError::BadLength);
     }
-    let raw = b.copy_to_bytes(len);
-    std::str::from_utf8(raw.as_ref())
-        .map(str::to_owned)
-        .map_err(|_| WireError::BadUtf8)
+    let (raw, rest) = b.split_at(len);
+    let s = std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)?;
+    *b = rest;
+    Ok(s.to_owned())
 }
 
 fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
@@ -502,7 +497,7 @@ fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
     }
 }
 
-fn decode_version_opt(b: &mut Bytes) -> Result<Option<VersionTs>, WireError> {
+fn decode_version_opt(b: &mut &[u8]) -> Result<Option<VersionTs>, WireError> {
     match get_u8(b)? {
         0 => Ok(None),
         1 => {
@@ -517,7 +512,7 @@ fn decode_version_opt(b: &mut Bytes) -> Result<Option<VersionTs>, WireError> {
 /// Reads an element count and checks it against the bytes actually
 /// left (at `min_elem` bytes each), so a corrupt count cannot trigger a
 /// huge allocation.
-fn get_count(b: &mut Bytes, min_elem: usize) -> Result<usize, WireError> {
+fn get_count(b: &mut &[u8], min_elem: usize) -> Result<usize, WireError> {
     let n = get_u32(b)? as usize;
     if n.saturating_mul(min_elem) > b.remaining() {
         return Err(WireError::BadLength);
@@ -702,7 +697,7 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
 /// Decodes a frame produced by [`encode_frame`]. Total: any byte slice
 /// yields a frame or an error, never a panic.
 pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
-    let mut b = payload.clone();
+    let mut b = payload.as_ref();
     let frame = match get_u8(&mut b)? {
         FRAME_HELLO => Frame::Hello {
             site: SiteId(get_u64(&mut b)?),
@@ -864,7 +859,7 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-fn decode_bool(b: &mut Bytes) -> Result<bool, WireError> {
+fn decode_bool(b: &mut &[u8]) -> Result<bool, WireError> {
     match get_u8(b)? {
         0 => Ok(false),
         1 => Ok(true),

@@ -5,7 +5,13 @@
 //! peer and client connections on a loopback TCP listener, and drives
 //! durable outbound [`Link`]s — one per peer site — that persistently
 //! retry delivery until acknowledged (the paper's §2.2 stable-queue
-//! contract, over a real network). Every accepted update MSet is
+//! contract, over a real network). All of the daemon's I/O — the
+//! listener, every accepted connection, and every outbound link —
+//! multiplexes onto one poll-driven [`Reactor`] thread; an accepted
+//! connection costs a buffer pair, not an OS thread, so client fan-in
+//! scales to thousands of concurrent sockets. A peer connection's
+//! envelopes are dispatched in readiness-cycle batches and answered
+//! with a single batched ack frame. Every accepted update MSet is
 //! write-ahead journalled *before* it is applied or acknowledged, so a
 //! `kill -9` never loses an acked update: the next incarnation replays
 //! the journal, re-announces its applies, and catches up on everything
@@ -36,8 +42,7 @@
 //! and is echoed in the handshake.
 
 use std::collections::{BTreeMap, HashSet};
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,10 +54,12 @@ use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
 use esr_core::ids::{EtId, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_net::rpc::{
-    read_frame, seal, seal_ack, unseal, write_frame, Backoff, Link, KIND_CLIENT, KIND_PEER,
+    seal, seal_acks, write_frame, Backoff, ConnKind, Envelope, Link, Reactor, RpcService,
     NO_ENTRY,
 };
-use esr_obs::{EventRing, Histogram, LinkInstruments, MetricsRegistry, SiteInstruments};
+use esr_obs::{
+    EventRing, Histogram, LinkInstruments, MetricsRegistry, ReactorInstruments, SiteInstruments,
+};
 use esr_replica::mset::MSet;
 use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
 use esr_storage::stable_queue::FileQueue;
@@ -172,8 +179,9 @@ struct Journal {
     journaled: HashSet<EtId>,
 }
 
-/// A running site daemon. Construct with [`Daemon::start`]; the accept
-/// loop and link threads run in the background until the process exits.
+/// A running site daemon. Construct with [`Daemon::start`]; one
+/// reactor thread drives all of its I/O in the background until the
+/// process exits.
 pub struct Daemon {
     cfg: DaemonConfig,
     epoch: u64,
@@ -183,6 +191,12 @@ pub struct Daemon {
     /// Durable outbound links, indexed by target site (`None` at our
     /// own slot).
     links: Vec<Option<Link>>,
+    /// The poll-driven I/O thread every socket of this daemon runs on.
+    /// Declared after `links` so they deregister before it joins.
+    reactor: Reactor,
+    /// Reactor metrics bundle (kept here to tick ack-batch sizes from
+    /// the service dispatch).
+    robs: ReactorInstruments,
     /// Completion/certification state; `Some` only on site 0.
     coord: Option<Mutex<Coordinator>>,
     /// This incarnation's metrics; scraped via [`Frame::Metrics`].
@@ -259,9 +273,10 @@ fn wire_audit(a: crate::state::SiteAudit, journaled: u64) -> WireAudit {
 
 impl Daemon {
     /// Boots the daemon: bumps the epoch, replays the journal, spawns
-    /// the outbound links, binds a loopback listener, publishes its
-    /// address, and starts accepting. Returns the running handle (the
-    /// background threads live until process exit).
+    /// the reactor, attaches the outbound links to it, binds a loopback
+    /// listener, publishes its address, and starts accepting. Returns
+    /// the running handle (the reactor thread lives until process
+    /// exit).
     pub fn start(cfg: DaemonConfig) -> std::io::Result<Arc<Self>> {
         assert!(cfg.sites > 0 && (cfg.site.raw() as usize) < cfg.sites);
         std::fs::create_dir_all(&cfg.dir)?;
@@ -310,9 +325,15 @@ impl Daemon {
             format!("epoch {epoch}: replayed {} journal entries", journaled.len()),
         );
 
-        // Durable outbound links, one per peer. The hello frame carries
-        // our id + epoch; the coordinator answers a peer hello with a
-        // control snapshot.
+        // One reactor thread multiplexes every socket this daemon owns:
+        // the listener, each accepted connection, and each outbound
+        // link below.
+        let robs = ReactorInstruments::for_registry(&metrics);
+        let reactor = Reactor::with_instruments(robs.clone())?;
+
+        // Durable outbound links, one per peer, all sharing the
+        // reactor. The hello frame carries our id + epoch; the
+        // coordinator answers a peer hello with a control snapshot.
         let hello = encode_frame(&Frame::Hello {
             site: cfg.site,
             epoch,
@@ -330,7 +351,8 @@ impl Daemon {
                 &metrics,
                 &format!("{}->{}", cfg.site.raw(), to.raw()),
             );
-            links.push(Some(Link::spawn_observed(
+            links.push(Some(Link::attach(
+                &reactor,
                 Box::new(queue),
                 Box::new(move || resolve_addr(&dir, to)),
                 hello.clone(),
@@ -354,6 +376,8 @@ impl Daemon {
             state: Mutex::new(state),
             journal: Mutex::new(Journal { journal, journaled }),
             links,
+            reactor,
+            robs,
             coord,
             cfg,
             metrics,
@@ -375,18 +399,9 @@ impl Daemon {
             &addr.to_string(),
         )?;
 
-        let accept = Arc::clone(&daemon);
-        std::thread::Builder::new()
-            .name(format!("esrd-accept-{}", daemon.cfg.site.raw()))
-            .spawn(move || {
-                for stream in listener.incoming().flatten() {
-                    let d = Arc::clone(&accept);
-                    let _ = std::thread::Builder::new()
-                        .name("esrd-conn".into())
-                        .spawn(move || d.handle_connection(stream));
-                }
-            })
-            .unwrap_or_else(|e| panic!("spawn accept thread: {e}"));
+        daemon
+            .reactor
+            .serve(listener, Arc::clone(&daemon) as Arc<dyn RpcService>);
 
         Ok(daemon)
     }
@@ -399,42 +414,6 @@ impl Daemon {
     /// This incarnation's boot epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
-    }
-
-    fn handle_connection(self: &Arc<Self>, mut stream: TcpStream) {
-        let mut kind = [0u8; 1];
-        if stream.read_exact(&mut kind).is_err() {
-            return;
-        }
-        match kind[0] {
-            KIND_PEER => self.serve_peer(stream),
-            KIND_CLIENT => self.serve_client(stream),
-            _ => {}
-        }
-    }
-
-    /// Peer plane: durable envelopes in, transport acks out. The ack is
-    /// written only after journal + apply, so the sender retires an
-    /// entry only once its effect is crash-durable here.
-    fn serve_peer(self: &Arc<Self>, mut stream: TcpStream) {
-        loop {
-            let frame = match read_frame(&mut stream) {
-                Ok(f) => f,
-                Err(_) => return,
-            };
-            let Ok(env) = unseal(frame) else { return };
-            match decode_frame(&Bytes::from(env.payload)) {
-                Ok(f) => self.handle_peer_frame(f),
-                Err(_) => {
-                    // A corrupt frame is dropped; acking it anyway
-                    // prevents an infinite retransmit of a poisoned
-                    // entry.
-                }
-            }
-            if env.entry != NO_ENTRY && write_frame(&mut stream, &seal_ack(env.entry)).is_err() {
-                return;
-            }
-        }
     }
 
     fn handle_peer_frame(&self, frame: Frame) {
@@ -499,28 +478,6 @@ impl Daemon {
             // Client-plane or transport-layer frames have no business
             // on a peer link; ignore them.
             _ => {}
-        }
-    }
-
-    /// Client plane: one request frame in, one reply frame out.
-    fn serve_client(self: &Arc<Self>, mut stream: TcpStream) {
-        loop {
-            let frame = match read_frame(&mut stream) {
-                Ok(f) => f,
-                Err(_) => return,
-            };
-            let Ok(env) = unseal(frame) else { return };
-            let Ok(request) = decode_frame(&Bytes::from(env.payload)) else {
-                return;
-            };
-            let started = Instant::now();
-            let reply = self.handle_client_request(request);
-            self.rpc_latency
-                .record(started.elapsed().as_micros() as u64);
-            let bytes = encode_frame(&reply);
-            if write_frame(&mut stream, &seal(NO_ENTRY, &bytes)).is_err() {
-                return;
-            }
         }
     }
 
@@ -714,6 +671,57 @@ impl Daemon {
     fn send_bytes(&self, to: SiteId, bytes: Bytes) {
         if let Some(Some(link)) = self.links.get(to.raw() as usize) {
             link.send(bytes);
+        }
+    }
+}
+
+/// The daemon's inbound planes, dispatched in batches on the reactor
+/// thread.
+impl RpcService for Daemon {
+    fn handle_batch(&self, kind: ConnKind, envs: Vec<Envelope>, out: &mut Vec<u8>) -> bool {
+        match kind {
+            // Peer plane: durable envelopes in, one batched ack frame
+            // out. The ack is written only after journal + apply, so
+            // the sender retires an entry only once its effect is
+            // crash-durable here.
+            ConnKind::Peer => {
+                let mut acks = Vec::with_capacity(envs.len());
+                for env in envs {
+                    let entry = env.entry;
+                    match decode_frame(&Bytes::from(env.payload)) {
+                        Ok(f) => self.handle_peer_frame(f),
+                        Err(_) => {
+                            // A corrupt frame is dropped; acking it
+                            // anyway prevents an infinite retransmit of
+                            // a poisoned entry.
+                        }
+                    }
+                    if entry != NO_ENTRY {
+                        acks.push(entry);
+                    }
+                }
+                if !acks.is_empty() {
+                    self.robs.ack_batch(acks.len() as u64);
+                    let _ = write_frame(out, &seal_acks(&acks));
+                }
+                true
+            }
+            // Client plane: one request frame in, one reply frame out,
+            // in order. A malformed request closes the connection.
+            ConnKind::Client => {
+                for env in envs {
+                    let Ok(request) = decode_frame(&Bytes::from(env.payload)) else {
+                        return false;
+                    };
+                    let started = Instant::now();
+                    let reply = self.handle_client_request(request);
+                    self.rpc_latency
+                        .record(started.elapsed().as_micros() as u64);
+                    let bytes = encode_frame(&reply);
+                    let _ = write_frame(out, &seal(NO_ENTRY, &bytes));
+                }
+                true
+            }
         }
     }
 }

@@ -23,7 +23,10 @@
 //! fully-resolved *prefix* of the log is pruned; dropping records from
 //! the middle would silently corrupt later rollbacks.
 
+use std::collections::VecDeque;
+
 use esr_core::error::CoreResult;
+use esr_core::fastid::FastIdMap;
 use esr_core::ids::EtId;
 use esr_core::op::ObjectOp;
 use esr_core::value::Value;
@@ -98,7 +101,20 @@ pub struct RollbackReport {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryLog {
-    records: Vec<LogRecord>,
+    records: VecDeque<LogRecord>,
+    /// Absolute sequence number of `records[0]`. Pruning the resolved
+    /// prefix advances it, so entries in `unresolved` stay valid without
+    /// rewriting them.
+    base: u64,
+    /// Absolute sequence numbers of each ET's unresolved records, oldest
+    /// first. Lets [`RecoveryLog::commit`] and
+    /// [`RecoveryLog::compensate`] locate their target without scanning
+    /// the whole window — the scan made a commit storm over a deep log
+    /// quadratic.
+    unresolved: FastIdMap<EtId, Vec<u64>>,
+    /// Count of unresolved records, kept so [`RecoveryLog::at_risk`] is
+    /// O(1) on the delivery hot path.
+    at_risk_count: usize,
 }
 
 impl RecoveryLog {
@@ -160,12 +176,30 @@ impl RecoveryLog {
                 }
             }
         }
-        self.records.push(LogRecord {
+        if !resolved {
+            let abs = self.base + self.records.len() as u64;
+            self.unresolved.entry(et).or_default().push(abs);
+            self.at_risk_count += 1;
+        }
+        self.records.push_back(LogRecord {
             et,
             ops: applied,
             resolved,
         });
         Ok(())
+    }
+
+    /// Drops one unresolved-index entry (the record at absolute position
+    /// `abs`) when that record resolves or is drained.
+    fn remove_unresolved(&mut self, et: EtId, abs: u64) {
+        if let Some(idxs) = self.unresolved.get_mut(&et) {
+            let before = idxs.len();
+            idxs.retain(|&a| a != abs);
+            self.at_risk_count -= before - idxs.len();
+            if idxs.is_empty() {
+                self.unresolved.remove(&et);
+            }
+        }
     }
 
     /// Records currently in the log window (including resolved records
@@ -181,12 +215,12 @@ impl RecoveryLog {
 
     /// Number of MSets still at risk of rollback.
     pub fn at_risk(&self) -> usize {
-        self.records.iter().filter(|r| !r.resolved).count()
+        self.at_risk_count
     }
 
     /// The logged records, oldest first.
-    pub fn records(&self) -> &[LogRecord] {
-        &self.records
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter()
     }
 
     /// The at-risk (unresolved) records, oldest first.
@@ -198,23 +232,23 @@ impl RecoveryLog {
     /// method must remember the executed MSets until there is no risk of
     /// rollback", and a resolved prefix carries no such risk.
     fn prune(&mut self) {
-        let keep_from = self
-            .records
-            .iter()
-            .position(|r| !r.resolved)
-            .unwrap_or(self.records.len());
-        self.records.drain(..keep_from);
+        while self.records.front().is_some_and(|r| r.resolved) {
+            self.records.pop_front();
+            self.base += 1;
+        }
     }
 
     /// Marks an ET's MSet as globally committed. Returns `true` if a
     /// record changed state.
     pub fn commit(&mut self, et: EtId) -> bool {
-        let mut changed = false;
-        for r in &mut self.records {
-            if r.et == et && !r.resolved {
-                r.resolved = true;
-                changed = true;
-            }
+        let Some(idxs) = self.unresolved.remove(&et) else {
+            return false;
+        };
+        let changed = !idxs.is_empty();
+        for abs in idxs {
+            let i = (abs - self.base) as usize;
+            self.records[i].resolved = true;
+            self.at_risk_count -= 1;
         }
         self.prune();
         changed
@@ -236,10 +270,8 @@ impl RecoveryLog {
         store: &mut ObjectStore,
         et: EtId,
     ) -> Option<CoreResult<RollbackReport>> {
-        let idx = self
-            .records
-            .iter()
-            .position(|r| r.et == et && !r.resolved)?;
+        let abs = *self.unresolved.get(&et)?.first()?;
+        let idx = (abs - self.base) as usize;
         Some(self.compensate_at(store, idx))
     }
 
@@ -255,7 +287,7 @@ impl RecoveryLog {
                 .ops
                 .iter()
                 .all(|a| !a.op.op.is_write() || a.op.op.compensation().is_some());
-            let suffix_commutes = self.records[idx + 1..].iter().all(|later| {
+            let suffix_commutes = self.records.range(idx + 1..).all(|later| {
                 later.ops.iter().all(|l| {
                     target
                         .ops
@@ -288,6 +320,7 @@ impl RecoveryLog {
                 .collect();
             let undone = comp_ops.len();
             self.records[idx].resolved = true;
+            self.remove_unresolved(et, self.base + idx as u64);
             self.apply_internal(store, et, &comp_ops, true)?;
             self.prune();
             return Ok(RollbackReport {
@@ -301,7 +334,7 @@ impl RecoveryLog {
         // including the target, via before-images (sound because the log
         // records every state change since the oldest at-risk record)...
         let mut undone = 0;
-        for rec in self.records[idx..].iter().rev() {
+        for rec in self.records.range(idx..).rev() {
             for a in rec.ops.iter().rev() {
                 if a.op.op.is_write() {
                     store.put(a.op.object, a.before.clone());
@@ -312,7 +345,13 @@ impl RecoveryLog {
         // ...drop the target, then replay the survivors in order,
         // re-recording fresh before-images and preserving their
         // resolution status.
+        let cut = self.base + idx as u64;
         let suffix: Vec<LogRecord> = self.records.drain(idx..).collect();
+        for (k, rec) in suffix.iter().enumerate() {
+            if !rec.resolved {
+                self.remove_unresolved(rec.et, cut + k as u64);
+            }
+        }
         let mut replayed = 0;
         for rec in suffix.into_iter().skip(1) {
             let resolved = rec.resolved;
@@ -351,8 +390,9 @@ mod tests {
             .unwrap();
         assert_eq!(store.get(X), Value::Int(10));
         assert_eq!(log.at_risk(), 1);
-        assert_eq!(log.records()[0].ops[0].before, Value::Int(0));
-        assert!(!log.records()[0].resolved);
+        let first = log.records().next().unwrap();
+        assert_eq!(first.ops[0].before, Value::Int(0));
+        assert!(!first.resolved);
     }
 
     #[test]

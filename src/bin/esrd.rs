@@ -16,7 +16,13 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use esr_core::ids::SiteId;
+use esr_net::rpc::sys::raise_nofile_limit;
 use esr_runtime::{Daemon, DaemonConfig, RtMethod};
+
+/// Descriptor headroom requested at boot: the poll-driven reactor
+/// happily multiplexes thousands of client sockets on one thread, so
+/// the default soft limit (often 1024) is the first thing to run out.
+const WANT_NOFILE: u64 = 32_768;
 
 const USAGE: &str = "usage: esrd --site <i> --sites <n> --method \
                      <ordup|commu|ritu|ritu-mv|compe> --dir <path>";
@@ -66,6 +72,14 @@ fn main() {
     };
     if (cfg.site.raw() as usize) >= cfg.sites {
         fail("--site must be < --sites");
+    }
+
+    match raise_nofile_limit(WANT_NOFILE) {
+        Ok(limit) if limit < WANT_NOFILE => {
+            eprintln!("esrd: fd limit capped at {limit}; heavy fan-in may exhaust it");
+        }
+        Err(e) => eprintln!("esrd: could not raise fd limit: {e}"),
+        _ => {}
     }
 
     let site = cfg.site;
