@@ -1,0 +1,52 @@
+//! Ad-hoc sweep sizing: `cargo run --release -p esr-check --example
+//! model_stats -- <method> <crashes> <dups> [budget]`.
+
+use esr_check::model::explore::{explore, Sweep};
+use esr_check::model::ModelCfg;
+use esr_runtime::state::RtMethod;
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    match s.parse() {
+        Ok(v) => v,
+        Err(_) => panic!("bad {what}: {s}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let method = match args[0].as_str() {
+        "ordup" => RtMethod::Ordup,
+        "commu" => RtMethod::Commu,
+        "ritu" => RtMethod::Ritu,
+        "ritumv" => RtMethod::RituMv,
+        "compe" => RtMethod::Compe,
+        other => panic!("unknown method {other}"),
+    };
+    let mut cfg = ModelCfg::standard(method);
+    cfg.max_crashes = num(&args[1], "crashes");
+    cfg.max_dups = num(&args[2], "dups");
+    let budget = args.get(3).map_or(40_000_000, |b| num(b, "budget"));
+    if let Some(updates) = args.get(4) {
+        let n: usize = num(updates, "updates");
+        cfg.workload.truncate(n);
+        cfg.decisions.retain(|(et, _)| cfg.workload.iter().any(|m| m.et == *et));
+    }
+    let start = std::time::Instant::now();
+    match explore(&cfg, budget) {
+        Sweep::Clean(s) => println!(
+            "{method:?} clean: exec={} states={} pruned={} depth={} in {:?}",
+            s.executions,
+            s.states,
+            s.sleep_pruned,
+            s.max_depth,
+            start.elapsed()
+        ),
+        Sweep::Failed(f) => println!("{method:?} FAILED: {:?}\n{:?}", f.findings, f.schedule),
+        Sweep::BudgetExceeded(s) => println!(
+            "{method:?} budget exceeded: exec={} states={} in {:?}",
+            s.executions,
+            s.states,
+            start.elapsed()
+        ),
+    }
+}

@@ -1,0 +1,436 @@
+//! Replication-aware trace certification over `esr-obs` EventRing
+//! dumps.
+//!
+//! A live esrd site records its protocol decisions as structured
+//! events (the `Effect::Trace` grammar of `esr_runtime::ctrl`); this
+//! module replays a set of per-site dumps against the per-method
+//! visibility and convergence specs, turning any chaos or proc-cluster
+//! run into a *checked* execution. The spec style follows Enea et
+//! al.'s replication-aware linearizability — per-replica causal
+//! histories checked against the method's visibility contract — and
+//! Perrin et al.'s update consistency for the cross-site agreement
+//! checks.
+//!
+//! ## Event grammar (component → message)
+//!
+//! * `apply` / `replay` — `et N applied[ v=T][ seq=S]` or
+//!   `et N held/duplicate`
+//! * `control` — `complete et N` | `vtnc -> time T` | `commit et N` |
+//!   `abort et N`
+//! * anything else (`boot`, `peer`) is ignored.
+//!
+//! A dump covers one *incarnation*: the ring dies with the process,
+//! and a recovered site re-records its journal replays (`replay`
+//! events) and snapshot-replayed control traffic at boot, so the
+//! causal prefix a check needs is present after restarts too.
+//!
+//! ## Checks
+//!
+//! Per site (causal, in ring-sequence order):
+//! 1. **apply-before-complete** (COMMU/RITU): an ET's completion
+//!    notice implies every site applied it — so *this* site must have
+//!    an apply for it earlier in its own history.
+//! 2. **no double apply** (all): an ET never effectively applies twice
+//!    in one incarnation (idempotency-guard violations).
+//! 3. **VTNC monotonicity** (RITU-MV): certified horizons never
+//!    regress.
+//! 4. **VTNC visibility** (RITU-MV): when the horizon reaches `T`,
+//!    this site has already installed a version `>= T` (the
+//!    coordinator only certifies what every site reported installed).
+//! 5. **ORDUP order**: sequenced applies appear in increasing global
+//!    sequence order.
+//! 6. **decision conflict** (COMPE): no ET both commits and aborts at
+//!    one site.
+//!
+//! Cross-site (only when every dump is loss-free, `dropped == 0`):
+//! 7. **applied-set agreement** (non-COMPE): quiesced sites applied
+//!    the same ET set.
+//! 8. **completed-set agreement** (COMMU): quiesced sites saw the same
+//!    completion notices.
+//! 9. **outcome agreement** (COMPE): an ET's commit/abort outcome is
+//!    consistent across sites.
+//!
+//! Ring overflow (`dropped > 0`) downgrades gracefully: history-prefix
+//! checks that would false-positive on an evicted prefix are skipped
+//! for that site, and cross-site checks are skipped entirely.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use esr_runtime::state::RtMethod;
+
+/// One site's EventRing dump, in ring-sequence (per-site causal)
+/// order.
+#[derive(Debug, Clone)]
+pub struct SiteTrace {
+    /// The dumping site.
+    pub site: u64,
+    /// Events evicted by the bounded ring before the dump.
+    pub dropped: u64,
+    /// `(component, message)` pairs in seq order.
+    pub events: Vec<(String, String)>,
+}
+
+impl SiteTrace {
+    /// Builds a trace from a raw `Frame::TraceOk` dump
+    /// (`(seq, micros, component, message)` tuples), restoring seq
+    /// order.
+    pub fn from_dump(site: u64, dropped: u64, mut dump: Vec<(u64, u64, String, String)>) -> Self {
+        dump.sort_by_key(|e| e.0);
+        Self {
+            site,
+            dropped,
+            events: dump.into_iter().map(|(_, _, c, m)| (c, m)).collect(),
+        }
+    }
+}
+
+/// One certification violation.
+#[derive(Debug, Clone)]
+pub struct CertFinding {
+    /// The offending site (`None` for cross-site checks).
+    pub site: Option<u64>,
+    /// Which spec clause fired.
+    pub check: &'static str,
+    /// What the certifier saw.
+    pub detail: String,
+}
+
+/// A parsed protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    Applied { et: u64, v: Option<u64>, seq: Option<u64> },
+    Held,
+    Complete { et: u64 },
+    Vtnc { t: u64 },
+    Decision { et: u64, commit: bool },
+}
+
+fn parse_event(component: &str, message: &str) -> Option<Ev> {
+    match component {
+        "apply" | "replay" => {
+            let rest = message.strip_prefix("et ")?;
+            let (et_str, tail) = rest.split_once(' ')?;
+            let et = et_str.parse().ok()?;
+            if tail.starts_with("held/duplicate") {
+                return Some(Ev::Held);
+            }
+            if !tail.starts_with("applied") {
+                return None;
+            }
+            let mut v = None;
+            let mut seq = None;
+            for tok in tail.split_whitespace().skip(1) {
+                if let Some(t) = tok.strip_prefix("v=") {
+                    v = t.parse().ok();
+                } else if let Some(s) = tok.strip_prefix("seq=") {
+                    seq = s.parse().ok();
+                }
+            }
+            Some(Ev::Applied { et, v, seq })
+        }
+        "control" => {
+            if let Some(rest) = message.strip_prefix("complete et ") {
+                return Some(Ev::Complete { et: rest.parse().ok()? });
+            }
+            if let Some(rest) = message.strip_prefix("vtnc -> time ") {
+                return Some(Ev::Vtnc { t: rest.parse().ok()? });
+            }
+            if let Some(rest) = message.strip_prefix("commit et ") {
+                return Some(Ev::Decision { et: rest.parse().ok()?, commit: true });
+            }
+            if let Some(rest) = message.strip_prefix("abort et ") {
+                return Some(Ev::Decision { et: rest.parse().ok()?, commit: false });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Per-site digest accumulated while replaying a trace.
+#[derive(Debug, Default)]
+struct SiteDigest {
+    applied: BTreeSet<u64>,
+    completed: BTreeSet<u64>,
+    committed: BTreeSet<u64>,
+    aborted: BTreeSet<u64>,
+}
+
+/// Certifies a set of quiescent-site dumps against `method`'s spec.
+/// Returns every violation found (empty = certified).
+pub fn certify(method: RtMethod, traces: &[SiteTrace]) -> Vec<CertFinding> {
+    let mut findings = Vec::new();
+    let mut digests: Vec<SiteDigest> = Vec::new();
+
+    for trace in traces {
+        let mut d = SiteDigest::default();
+        let lossless = trace.dropped == 0;
+        let mut max_installed: Option<u64> = None;
+        let mut vtnc_last: Option<u64> = None;
+        let mut last_seq: Option<u64> = None;
+        for (component, message) in &trace.events {
+            let Some(ev) = parse_event(component, message) else {
+                continue;
+            };
+            match ev {
+                Ev::Applied { et, v, seq } => {
+                    if !d.applied.insert(et) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "no-double-apply",
+                            detail: format!("et {et} effectively applied twice"),
+                        });
+                    }
+                    if let Some(t) = v {
+                        max_installed = Some(max_installed.map_or(t, |m| m.max(t)));
+                    }
+                    if let Some(s) = seq {
+                        if last_seq.is_some_and(|p| p >= s) {
+                            findings.push(CertFinding {
+                                site: Some(trace.site),
+                                check: "ordup-order",
+                                detail: format!(
+                                    "seq {s} applied after {:?}",
+                                    last_seq
+                                ),
+                            });
+                        }
+                        last_seq = Some(s);
+                    }
+                }
+                Ev::Held => {}
+                Ev::Complete { et } => {
+                    d.completed.insert(et);
+                    if lossless && !d.applied.contains(&et) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "apply-before-complete",
+                            detail: format!(
+                                "completion of et {et} arrived before its apply"
+                            ),
+                        });
+                    }
+                }
+                Ev::Vtnc { t } => {
+                    if vtnc_last.is_some_and(|p| p > t) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "vtnc-monotone",
+                            detail: format!("horizon regressed {vtnc_last:?} -> {t}"),
+                        });
+                    }
+                    vtnc_last = Some(t);
+                    if lossless && max_installed.is_none_or(|m| m < t) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "vtnc-visibility",
+                            detail: format!(
+                                "horizon {t} certified but max installed version is {max_installed:?}"
+                            ),
+                        });
+                    }
+                }
+                Ev::Decision { et, commit } => {
+                    if commit {
+                        d.committed.insert(et);
+                    } else {
+                        d.aborted.insert(et);
+                    }
+                }
+            }
+        }
+        if let Some(et) = d.committed.intersection(&d.aborted).next() {
+            findings.push(CertFinding {
+                site: Some(trace.site),
+                check: "decision-conflict",
+                detail: format!("et {et} both committed and aborted"),
+            });
+        }
+        digests.push(d);
+    }
+
+    // Cross-site agreement only when no ring lost history.
+    if traces.iter().all(|t| t.dropped == 0) && digests.len() > 1 {
+        if method != RtMethod::Compe {
+            agree(
+                &mut findings,
+                traces,
+                &digests,
+                "applied-set-agreement",
+                |d| &d.applied,
+            );
+        }
+        if method == RtMethod::Commu {
+            agree(
+                &mut findings,
+                traces,
+                &digests,
+                "completed-set-agreement",
+                |d| &d.completed,
+            );
+        }
+        if method == RtMethod::Compe {
+            let mut outcome: BTreeMap<u64, bool> = BTreeMap::new();
+            for (trace, d) in traces.iter().zip(&digests) {
+                for (&et, commit) in d
+                    .committed
+                    .iter()
+                    .map(|et| (et, true))
+                    .chain(d.aborted.iter().map(|et| (et, false)))
+                {
+                    if *outcome.entry(et).or_insert(commit) != commit {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "outcome-agreement",
+                            detail: format!("et {et} outcome disagrees across sites"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+fn agree(
+    findings: &mut Vec<CertFinding>,
+    traces: &[SiteTrace],
+    digests: &[SiteDigest],
+    check: &'static str,
+    set: impl Fn(&SiteDigest) -> &BTreeSet<u64>,
+) {
+    let first = set(&digests[0]);
+    for (trace, d) in traces.iter().zip(digests).skip(1) {
+        if set(d) != first {
+            findings.push(CertFinding {
+                site: Some(trace.site),
+                check,
+                detail: format!(
+                    "site {} set {:?} != site {} set {:?}",
+                    trace.site,
+                    set(d),
+                    traces[0].site,
+                    first
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(c: &str, m: &str) -> (String, String) {
+        (c.to_string(), m.to_string())
+    }
+
+    fn site(site: u64, events: Vec<(String, String)>) -> SiteTrace {
+        SiteTrace { site, dropped: 0, events }
+    }
+
+    #[test]
+    fn clean_commu_run_certifies() {
+        let traces = vec![
+            site(0, vec![ev("apply", "et 1 applied"), ev("control", "complete et 1")]),
+            site(1, vec![ev("apply", "et 1 applied"), ev("control", "complete et 1")]),
+        ];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
+    }
+
+    #[test]
+    fn complete_before_apply_is_flagged() {
+        let traces = vec![site(
+            1,
+            vec![ev("control", "complete et 1"), ev("apply", "et 1 applied")],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "apply-before-complete"));
+    }
+
+    #[test]
+    fn vtnc_ahead_of_install_is_flagged() {
+        let traces = vec![site(
+            2,
+            vec![ev("control", "vtnc -> time 2"), ev("apply", "et 1 applied v=2")],
+        )];
+        let f = certify(RtMethod::RituMv, &traces);
+        assert!(f.iter().any(|f| f.check == "vtnc-visibility"));
+    }
+
+    #[test]
+    fn vtnc_regression_is_flagged() {
+        let traces = vec![site(
+            2,
+            vec![
+                ev("apply", "et 1 applied v=2"),
+                ev("control", "vtnc -> time 2"),
+                ev("control", "vtnc -> time 1"),
+            ],
+        )];
+        let f = certify(RtMethod::RituMv, &traces);
+        assert!(f.iter().any(|f| f.check == "vtnc-monotone"));
+    }
+
+    #[test]
+    fn replayed_applies_satisfy_prefix_checks() {
+        // A restarted incarnation: journal replay events precede the
+        // snapshot-replayed completion.
+        let traces = vec![site(
+            1,
+            vec![ev("replay", "et 1 applied"), ev("control", "complete et 1")],
+        )];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
+    }
+
+    #[test]
+    fn applied_set_divergence_is_flagged() {
+        let traces = vec![
+            site(0, vec![ev("apply", "et 1 applied")]),
+            site(1, vec![ev("apply", "et 1 applied"), ev("apply", "et 2 applied")]),
+        ];
+        let f = certify(RtMethod::Ritu, &traces);
+        assert!(f.iter().any(|f| f.check == "applied-set-agreement"));
+    }
+
+    #[test]
+    fn double_apply_is_flagged() {
+        let traces = vec![site(1, vec![ev("apply", "et 1 applied"), ev("apply", "et 1 applied")])];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "no-double-apply"));
+    }
+
+    #[test]
+    fn ordup_misorder_is_flagged() {
+        let traces = vec![site(
+            1,
+            vec![
+                ev("apply", "et 2 applied seq=1"),
+                ev("apply", "et 1 applied seq=0"),
+            ],
+        )];
+        let f = certify(RtMethod::Ordup, &traces);
+        assert!(f.iter().any(|f| f.check == "ordup-order"));
+    }
+
+    #[test]
+    fn conflicting_outcomes_are_flagged() {
+        let traces = vec![
+            site(0, vec![ev("control", "commit et 1")]),
+            site(1, vec![ev("control", "abort et 1")]),
+        ];
+        let f = certify(RtMethod::Compe, &traces);
+        assert!(f.iter().any(|f| f.check == "outcome-agreement"));
+    }
+
+    #[test]
+    fn dropped_rings_downgrade_prefix_checks() {
+        let traces = vec![SiteTrace {
+            site: 1,
+            dropped: 7,
+            events: vec![ev("control", "complete et 1")],
+        }];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
+    }
+}

@@ -19,11 +19,26 @@
 //! then certifies the unmutated runtime clean across the requested
 //! schedule budget.
 //!
+//! Two further layers target the control plane (`esr-check --model`):
+//!
+//! 4. **Exhaustive model checker** ([`model`]) — a stateless
+//!    sleep-set DFS over every delivery/crash/duplication interleaving
+//!    of a 3-site world running the pure [`esr_runtime::ctrl`] step
+//!    functions, with frame-aware fault injection and per-method
+//!    terminal oracles plus recovery idempotence. Its own seeded
+//!    canaries live in [`model::canary`].
+//! 5. **Trace certifier** ([`certify`]) — replication-aware
+//!    certification of `esr-obs` event-ring dumps from live `esrd`
+//!    sites: per-site apply/complete/VTNC/decision causality and
+//!    cross-site agreement, degrading gracefully on ring overflow.
+//!
 //! The probe hub is process-global, so explorations must not overlap;
 //! the binary runs them sequentially and tests serialize on a mutex.
 
 pub mod canary;
+pub mod certify;
 pub mod explore;
+pub mod model;
 pub mod oracles;
 pub mod race;
 pub mod sched;

@@ -2,20 +2,32 @@
 //!
 //! ```text
 //! esr-check [--schedules N] [--seed S] [--skip-canaries]
+//! esr-check --model [--model-budget N]
 //! ```
 //!
-//! Phase 1 proves the checker catches every seeded defect class (two
-//! shim-level harnesses with controls, three runtime fault injections).
-//! Phase 2 sweeps the unmutated runtime across `N` schedules split over
-//! the five replica-control methods, running the race and lock-order
-//! detectors on every trace and the ESR oracles on every run. Exit code
-//! 0 means every canary was caught and the sweep was clean; the summary
-//! ends with a digest that is a pure function of `(--seed, --schedules)`.
+//! Default mode — the schedule explorer: phase 1 proves the checker
+//! catches every seeded defect class (two shim-level harnesses with
+//! controls, three runtime fault injections). Phase 2 sweeps the
+//! unmutated runtime across `N` schedules split over the five
+//! replica-control methods, running the race and lock-order detectors
+//! on every trace and the ESR oracles on every run. Exit code 0 means
+//! every canary was caught and the sweep was clean; the summary ends
+//! with a digest that is a pure function of `(--seed, --schedules)`.
+//!
+//! `--model` runs `esr-model` instead: the exhaustive control-plane
+//! explorer over the pure `NodeCore` step function. Phase 1 hunts the
+//! five seeded control-plane defects; phase 2 sweeps the canary-size
+//! configuration (one update, crash + dup budgets) and the standard
+//! two-update configuration (single-fault passes) clean for every
+//! method.
 
 use std::process::ExitCode;
 
 use esr_check::canary::{self, RT_CANARIES};
 use esr_check::explore::{run_scheduled, schedule_matrix};
+use esr_check::model;
+use esr_check::model::explore::{explore, Sweep};
+use esr_check::model::ModelCfg;
 use esr_check::oracles;
 use esr_check::race::{LockOrderDetector, RaceDetector};
 use esr_runtime::{RtCanary, RtMethod};
@@ -35,6 +47,8 @@ struct Args {
     schedules: u64,
     seed: u64,
     skip_canaries: bool,
+    model: bool,
+    model_budget: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         schedules: 200,
         seed: 1,
         skip_canaries: false,
+        model: false,
+        model_budget: 40_000_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,8 +71,16 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--skip-canaries" => args.skip_canaries = true,
+            "--model" => args.model = true,
+            "--model-budget" => {
+                let v = it.next().ok_or("--model-budget needs a value")?;
+                args.model_budget = v.parse().map_err(|e| format!("--model-budget: {e}"))?;
+            }
             "--help" | "-h" => {
-                println!("usage: esr-check [--schedules N] [--seed S] [--skip-canaries]");
+                println!(
+                    "usage: esr-check [--schedules N] [--seed S] [--skip-canaries]\n\
+                     \x20      esr-check --model [--model-budget N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -165,6 +189,95 @@ fn run_sweep(seed: u64, schedules: u64, digest: &mut Digest) -> u64 {
     findings_total
 }
 
+/// Runs one model sweep, printing the outcome. Returns `true` on a
+/// clean exhaustive pass.
+fn model_sweep(label: &str, cfg: &ModelCfg, budget: u64) -> bool {
+    match explore(cfg, budget) {
+        Sweep::Clean(stats) => {
+            println!(
+                "  [PASS] {label}: clean; {} executions, {} states, depth {}",
+                stats.executions, stats.states, stats.max_depth
+            );
+            true
+        }
+        Sweep::Failed(failure) => {
+            println!("  [FAIL] {label}: oracle failure");
+            for f in &failure.findings {
+                println!("         {}: {}", f.oracle, f.detail);
+            }
+            println!("         schedule: {:?}", failure.schedule);
+            false
+        }
+        Sweep::BudgetExceeded(stats) => {
+            println!(
+                "  [FAIL] {label}: budget exceeded after {} states ({} executions)",
+                stats.states, stats.executions
+            );
+            false
+        }
+    }
+}
+
+/// The `--model` mode: control-plane canary hunts, then exhaustive
+/// clean sweeps (canary-size with the full fault budget, standard size
+/// in single-fault passes).
+fn run_model(budget: u64) -> ExitCode {
+    let mut ok = true;
+    println!("== esr-model: control-plane canary hunt ==");
+    for case in &model::canary::CTRL_CANARIES {
+        match model::canary::expose(case, budget) {
+            Some(failure) => {
+                let by_expected = failure.findings.iter().any(|f| f.oracle == case.oracle);
+                let caught = failure
+                    .findings
+                    .first()
+                    .map(|f| f.oracle)
+                    .unwrap_or("none");
+                if by_expected {
+                    println!(
+                        "  [PASS] {}: caught by `{}` in a {}-transition schedule",
+                        case.name,
+                        case.oracle,
+                        failure.schedule.len()
+                    );
+                } else {
+                    println!(
+                        "  [FAIL] {}: caught, but by `{caught}` instead of `{}`",
+                        case.name, case.oracle
+                    );
+                    ok = false;
+                }
+            }
+            None => {
+                println!("  [FAIL] {}: escaped the exhaustive sweep", case.name);
+                ok = false;
+            }
+        }
+    }
+    println!("== esr-model: clean sweeps ==");
+    for method in METHODS {
+        let mut small = ModelCfg::standard(method);
+        small.workload.truncate(1);
+        small.decisions.retain(|(et, _)| small.workload.iter().any(|m| m.et == *et));
+        ok &= model_sweep(&format!("{method:?} 1-update, crash+dup"), &small, budget);
+        for (crashes, dups) in [(1usize, 0usize), (0, 1)] {
+            let mut cfg = ModelCfg::standard(method);
+            cfg.max_crashes = crashes;
+            cfg.max_dups = dups;
+            let label = format!("{method:?} 2-update, {crashes} crash {dups} dup");
+            ok &= model_sweep(&label, &cfg, budget);
+        }
+    }
+    println!("== summary ==");
+    if ok {
+        println!("  verdict: CLEAN");
+        ExitCode::SUCCESS
+    } else {
+        println!("  verdict: DEFECTS");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -173,6 +286,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.model {
+        return run_model(args.model_budget);
+    }
 
     let canaries_ok = if args.skip_canaries {
         println!("== canary self-test skipped ==");

@@ -1,0 +1,87 @@
+//! Seeded control-plane defects the explorer must catch before a
+//! clean sweep counts (the PR-2 canary discipline applied to
+//! `esr-model`).
+//!
+//! Each case arms one [`CtrlCanary`] variant inside the *same*
+//! `NodeCore` the daemon runs, then asserts the explorer finds at
+//! least one execution where an oracle fires. A canary that survives
+//! the sweep means the checker has a blind spot — the sweep result is
+//! then meaningless and the binary fails.
+
+use esr_core::ids::EtId;
+use esr_runtime::ctrl::CtrlCanary;
+use esr_runtime::state::RtMethod;
+
+use super::explore::{explore, ModelFailure, Sweep};
+use super::ModelCfg;
+
+/// One seeded-defect self-test.
+pub struct CtrlCanaryCase {
+    /// Stable name, printed by the binary.
+    pub name: &'static str,
+    /// The defect to arm.
+    pub canary: CtrlCanary,
+    /// The method whose control plane the defect corrupts.
+    pub method: RtMethod,
+    /// The oracle expected to fire (a failure via any oracle still
+    /// counts as caught, but the expected one documents the defect's
+    /// signature).
+    pub oracle: &'static str,
+}
+
+/// The five control-plane defect classes from the issue.
+pub const CTRL_CANARIES: [CtrlCanaryCase; 5] = [
+    CtrlCanaryCase {
+        name: "lost-completion-after-crash",
+        canary: CtrlCanary::LostCompletionOnRestart,
+        method: RtMethod::Commu,
+        oracle: "settled",
+    },
+    CtrlCanaryCase {
+        name: "double-applied-journal-suffix",
+        canary: CtrlCanary::DoubleReplayedSuffix,
+        method: RtMethod::Commu,
+        oracle: "convergence",
+    },
+    CtrlCanaryCase {
+        name: "stale-vtnc-cert",
+        canary: CtrlCanary::StaleVtncCert,
+        method: RtMethod::RituMv,
+        oracle: "vtnc-safety",
+    },
+    CtrlCanaryCase {
+        name: "non-idempotent-compe-decision-replay",
+        canary: CtrlCanary::DecisionReplayReapplies,
+        method: RtMethod::Compe,
+        oracle: "convergence",
+    },
+    CtrlCanaryCase {
+        name: "reordered-hello-epoch",
+        canary: CtrlCanary::HelloEpochPinned,
+        method: RtMethod::Commu,
+        oracle: "settled",
+    },
+];
+
+/// The (smaller) configuration a canary hunt runs on: one update is
+/// enough to manifest every seeded defect, which keeps each hunt well
+/// inside the exhaustive budget.
+pub fn canary_cfg(case: &CtrlCanaryCase) -> ModelCfg {
+    let mut cfg = ModelCfg::standard(case.method);
+    cfg.workload.truncate(1);
+    cfg.decisions.truncate(1);
+    cfg.decisions.retain(|(et, _)| *et == EtId(1));
+    cfg.canary = Some(case.canary);
+    cfg
+}
+
+/// Hunts for the defect: explores the canary configuration and
+/// returns the first failing execution, or `None` if the sweep came
+/// back clean (the canary escaped — a checker bug).
+pub fn expose(case: &CtrlCanaryCase, max_states: u64) -> Option<Box<ModelFailure>> {
+    let cfg = canary_cfg(case);
+    match explore(&cfg, max_states) {
+        Sweep::Failed(failure) => Some(failure),
+        Sweep::Clean(_) | Sweep::BudgetExceeded(_) => None,
+    }
+}

@@ -1,0 +1,134 @@
+//! Stateless sleep-set DFS over the model's transition system.
+//!
+//! The explorer enumerates schedules by depth-first search with
+//! *replay*: a search node is identified by its transition prefix, and
+//! the world is rebuilt from scratch for each visit (no `Clone` on
+//! protocol state, no hashing of states). Reduction uses classic
+//! sleep sets (Godefroid): after exploring transition `t` at a node,
+//! `t` is added to the sleep set of its later siblings and stays
+//! asleep while independent transitions execute — pruning the
+//! commuted reorderings of independent steps without ever pruning a
+//! distinguishable trace. Two transitions are independent iff they
+//! target different nodes and don't share a fault budget
+//! ([`Tx::independent`]).
+//!
+//! Every terminal state (work done, queues drained) is judged by the
+//! safety oracles plus the recovery-idempotence pass
+//! ([`super::oracles::check_terminal`]); the first failure aborts the
+//! sweep with the offending schedule.
+
+use super::oracles::{self, ModelFinding};
+use super::{ModelCfg, Tx, World};
+
+/// Statistics from a completed (clean) sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Distinct terminal states judged.
+    pub executions: u64,
+    /// Search-tree nodes visited (each costs one prefix replay).
+    pub states: u64,
+    /// Nodes whose entire enabled set was asleep (pruned subtrees).
+    pub sleep_pruned: u64,
+    /// Longest schedule executed.
+    pub max_depth: usize,
+}
+
+/// A failed execution: the schedule that produced it and what the
+/// oracles saw.
+#[derive(Debug, Clone)]
+pub struct ModelFailure {
+    /// The transition sequence from the initial state.
+    pub schedule: Vec<Tx>,
+    /// The oracle findings at (or after) the terminal state.
+    pub findings: Vec<ModelFinding>,
+}
+
+/// Outcome of a sweep.
+pub enum Sweep {
+    /// Every explored execution satisfied every oracle.
+    Clean(SweepStats),
+    /// Some execution failed an oracle.
+    Failed(Box<ModelFailure>),
+    /// The state budget ran out before the sweep finished.
+    BudgetExceeded(SweepStats),
+}
+
+/// Exhaustively explores `cfg` within a budget of `max_states` search
+/// nodes.
+pub fn explore(cfg: &ModelCfg, max_states: u64) -> Sweep {
+    let mut stats = SweepStats::default();
+    let mut prefix = Vec::new();
+    match dfs(cfg, &mut prefix, &[], &mut stats, max_states) {
+        Ok(true) => Sweep::Clean(stats),
+        Ok(false) => Sweep::BudgetExceeded(stats),
+        Err(failure) => Sweep::Failed(failure),
+    }
+}
+
+/// Rebuilds the world at `prefix`.
+fn replay<'a>(cfg: &'a ModelCfg, prefix: &[Tx]) -> World<'a> {
+    let mut world = World::new(cfg);
+    for tx in prefix {
+        world.execute(*tx);
+    }
+    world
+}
+
+/// Returns `Ok(true)` if the subtree was fully explored, `Ok(false)`
+/// on budget exhaustion, `Err` on the first oracle failure.
+fn dfs(
+    cfg: &ModelCfg,
+    prefix: &mut Vec<Tx>,
+    sleep: &[Tx],
+    stats: &mut SweepStats,
+    max_states: u64,
+) -> Result<bool, Box<ModelFailure>> {
+    if stats.states >= max_states {
+        return Ok(false);
+    }
+    stats.states += 1;
+    let mut world = replay(cfg, prefix);
+    let enabled = world.enabled();
+    if enabled.is_empty() {
+        debug_assert!(world.is_terminal(), "stuck non-terminal state");
+        stats.executions += 1;
+        stats.max_depth = stats.max_depth.max(prefix.len());
+        let findings = oracles::check_terminal(cfg, &mut world);
+        if !findings.is_empty() {
+            return Err(Box::new(ModelFailure {
+                schedule: prefix.clone(),
+                findings,
+            }));
+        }
+        return Ok(true);
+    }
+    let explorable = enabled.iter().any(|t| !sleep.contains(t));
+    if !explorable {
+        stats.sleep_pruned += 1;
+        return Ok(true);
+    }
+    let mut complete = true;
+    let mut done: Vec<Tx> = Vec::new();
+    for t in enabled {
+        if sleep.contains(&t) {
+            continue;
+        }
+        // Sleeping siblings stay asleep under `t` only while
+        // independent of it.
+        let child_sleep: Vec<Tx> = sleep
+            .iter()
+            .chain(done.iter())
+            .filter(|s| s.independent(&t, cfg))
+            .copied()
+            .collect();
+        prefix.push(t);
+        let sub = dfs(cfg, prefix, &child_sleep, stats, max_states)?;
+        prefix.pop();
+        complete &= sub;
+        if !complete {
+            return Ok(false);
+        }
+        done.push(t);
+    }
+    Ok(complete)
+}

@@ -1,0 +1,158 @@
+//! Terminal-state safety oracles for the control-plane model.
+//!
+//! Judged at every terminal state the explorer reaches (all work
+//! submitted and decided, every durable queue drained), twice: once
+//! as-is, and once more after crash-recovering every non-coordinator
+//! site and draining again — the recovery-idempotence pass. The
+//! convergence oracle follows Perrin et al.'s update consistency: once
+//! delivery quiesces, every replica must equal the reference produced
+//! by one sequential application of the workload.
+
+use std::collections::BTreeSet;
+
+use esr_core::ids::{ObjectId, SiteId};
+use esr_core::value::Value;
+use esr_replica::compe::CompeEvent;
+use esr_runtime::state::SiteState;
+use std::collections::BTreeMap;
+
+use super::{ModelCfg, World};
+
+/// One oracle violation.
+#[derive(Debug, Clone)]
+pub struct ModelFinding {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+fn finding(oracle: &'static str, detail: String) -> ModelFinding {
+    ModelFinding { oracle, detail }
+}
+
+/// The reference snapshot: one sequential, fault-free application of
+/// the workload (and decisions) to a single fresh site.
+pub fn reference_snapshot(cfg: &ModelCfg) -> BTreeMap<ObjectId, Value> {
+    let mut s = SiteState::new(cfg.method, SiteId(1_000));
+    for m in &cfg.workload {
+        s.deliver(m.clone());
+    }
+    for &(et, commit) in &cfg.decisions {
+        if commit {
+            s.commit(et);
+        } else {
+            s.abort(et);
+        }
+    }
+    s.snapshot()
+}
+
+/// Full terminal judgment: safety oracles, then the
+/// recovery-idempotence pass (crash + recover every non-coordinator
+/// site, drain, re-judge).
+pub fn check_terminal(cfg: &ModelCfg, world: &mut World<'_>) -> Vec<ModelFinding> {
+    let mut findings = check_safety(cfg, world, "");
+    for site in 1..cfg.sites {
+        world.crash_recover(site);
+    }
+    if !world.drain() {
+        findings.push(finding(
+            "recovery-drain",
+            "cluster failed to quiesce after terminal-state recovery".into(),
+        ));
+        return findings;
+    }
+    findings.extend(check_safety(cfg, world, "post-recovery "));
+    findings
+}
+
+/// The safety oracles at a quiescent state.
+pub fn check_safety(cfg: &ModelCfg, world: &World<'_>, phase: &str) -> Vec<ModelFinding> {
+    let mut findings = Vec::new();
+    let reference = reference_snapshot(cfg);
+
+    for (i, node) in world.nodes.iter().enumerate() {
+        // Perrin-style update consistency: quiesced replicas converge
+        // to the sequential reference.
+        let snap = node.core.state.snapshot();
+        if snap != reference {
+            findings.push(finding(
+                "convergence",
+                format!("{phase}site {i} snapshot {snap:?} != reference {reference:?}"),
+            ));
+        }
+        // Nothing may be left held back, locked, or at risk once the
+        // control plane has quiesced.
+        if !node.core.state.settled() {
+            findings.push(finding(
+                "settled",
+                format!("{phase}site {i} not settled at quiescence"),
+            ));
+        }
+        let audit = node.core.state.audit();
+        // ORDUP: application order must follow the global sequence.
+        let seqs: Vec<u64> = audit.ordup_order.iter().map(|(_, s)| s.0).collect();
+        if seqs.windows(2).any(|w| w[0] >= w[1]) {
+            findings.push(finding(
+                "ordup-order",
+                format!("{phase}site {i} applied out of sequence: {seqs:?}"),
+            ));
+        }
+        // RITU-MV: no VTNC advance may ever exceed the locally
+        // installed contiguous prefix.
+        if audit.vtnc_violations > 0 {
+            findings.push(finding(
+                "vtnc-safety",
+                format!(
+                    "{phase}site {i} saw {} VTNC horizon violations",
+                    audit.vtnc_violations
+                ),
+            ));
+        }
+        // COMPE: one outcome per ET at each site.
+        let committed: BTreeSet<_> = audit
+            .compe_events
+            .iter()
+            .filter(|(_, e)| matches!(e, CompeEvent::Committed))
+            .map(|(et, _)| *et)
+            .collect();
+        let compensated: BTreeSet<_> = audit
+            .compe_events
+            .iter()
+            .filter(|(_, e)| matches!(e, CompeEvent::Compensated))
+            .map(|(et, _)| *et)
+            .collect();
+        if let Some(et) = committed.intersection(&compensated).next() {
+            findings.push(finding(
+                "compe-conflict",
+                format!("{phase}site {i} both committed and compensated {et}"),
+            ));
+        }
+    }
+
+    // RITU-MV liveness floor: with every install report delivered, the
+    // coordinator must have certified the full dense prefix.
+    if cfg.method == esr_runtime::state::RtMethod::RituMv {
+        let expected = cfg
+            .workload
+            .iter()
+            .filter_map(esr_runtime::ctrl::max_version)
+            .map(|v| v.time)
+            .max();
+        let horizon = world.nodes[0]
+            .core
+            .coord
+            .as_ref()
+            .and_then(|c| c.vtnc_horizon())
+            .map(|v| v.time);
+        if horizon < expected {
+            findings.push(finding(
+                "vtnc-horizon",
+                format!("{phase}coordinator horizon {horizon:?} < expected {expected:?}"),
+            ));
+        }
+    }
+
+    findings
+}

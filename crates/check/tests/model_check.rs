@@ -1,0 +1,127 @@
+//! `esr-model` end-to-end: the five control-plane canaries must be
+//! caught, the unmutated protocol must sweep clean for every method,
+//! and the traces the model emits must certify.
+
+use esr_check::certify::{certify, SiteTrace};
+use esr_check::model::canary::{canary_cfg, expose, CTRL_CANARIES};
+use esr_check::model::explore::{explore, Sweep};
+use esr_check::model::{ModelCfg, World};
+use esr_runtime::state::RtMethod;
+
+const METHODS: [RtMethod; 5] = [
+    RtMethod::Ordup,
+    RtMethod::Commu,
+    RtMethod::Ritu,
+    RtMethod::RituMv,
+    RtMethod::Compe,
+];
+
+/// Search-node budget for one sweep. The standard 3-site config stays
+/// well inside this (see the printed stats); hitting it is a failure.
+const BUDGET: u64 = 40_000_000;
+
+#[test]
+fn ctrl_canaries_are_caught() {
+    for case in &CTRL_CANARIES {
+        let failure = expose(case, BUDGET).unwrap_or_else(|| {
+            panic!("canary {} escaped the exhaustive sweep", case.name)
+        });
+        assert!(
+            failure.findings.iter().any(|f| f.oracle == case.oracle),
+            "canary {} caught, but not by `{}`: {:?}",
+            case.name,
+            case.oracle,
+            failure.findings
+        );
+        println!(
+            "canary {}: caught by `{}` after schedule of {} transitions",
+            case.name,
+            case.oracle,
+            failure.schedule.len()
+        );
+    }
+}
+
+#[test]
+fn canary_free_configs_sweep_clean_at_canary_size() {
+    // The exact configurations the canary hunts use must be clean when
+    // no defect is armed — otherwise "caught" proves nothing.
+    for case in &CTRL_CANARIES {
+        let mut cfg = canary_cfg(case);
+        cfg.canary = None;
+        match explore(&cfg, BUDGET) {
+            Sweep::Clean(stats) => println!(
+                "{:?} canary-size sweep clean: {} executions, {} states",
+                case.method, stats.executions, stats.states
+            ),
+            Sweep::Failed(failure) => panic!(
+                "{:?} canary-size sweep failed: {:?}\nschedule: {:?}",
+                case.method, failure.findings, failure.schedule
+            ),
+            Sweep::BudgetExceeded(stats) => {
+                panic!("{:?} canary-size sweep blew budget: {stats:?}", case.method)
+            }
+        }
+    }
+}
+
+/// The full two-update sweeps, split into single-fault passes (one
+/// crash XOR one dup per execution; the crash×dup cross-product is
+/// exhausted at canary size above). ~5 minutes in release, so CI runs
+/// this through `esr-check --model`; locally:
+/// `cargo test -p esr-check --release --test model_check -- --ignored`.
+#[test]
+#[ignore = "full sweep; run in release via esr-check --model or -- --ignored"]
+fn standard_configs_sweep_clean() {
+    for method in METHODS {
+        for (crashes, dups) in [(1, 0), (0, 1)] {
+            let mut cfg = ModelCfg::standard(method);
+            cfg.max_crashes = crashes;
+            cfg.max_dups = dups;
+            match explore(&cfg, BUDGET) {
+                Sweep::Clean(stats) => println!(
+                    "{method:?} ({crashes} crash, {dups} dup) sweep clean: \
+                     {} executions, {} states, {} pruned, depth {}",
+                    stats.executions, stats.states, stats.sleep_pruned, stats.max_depth
+                ),
+                Sweep::Failed(failure) => panic!(
+                    "{method:?} ({crashes} crash, {dups} dup) sweep failed: {:?}\nschedule: {:?}",
+                    failure.findings, failure.schedule
+                ),
+                Sweep::BudgetExceeded(stats) => {
+                    panic!("{method:?} ({crashes} crash, {dups} dup) sweep blew budget: {stats:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn model_traces_certify() {
+    // A fault-free run of the standard workload, traced by the model's
+    // per-site rings, must pass the trace certifier for every method.
+    for method in METHODS {
+        let cfg = ModelCfg::standard(method);
+        let mut world = World::new(&cfg);
+        for tx in world.client_schedule() {
+            world.execute(tx);
+            assert!(world.drain(), "{method:?}: failed to drain");
+        }
+        let traces: Vec<SiteTrace> = world
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| SiteTrace {
+                site: i as u64,
+                dropped: 0,
+                events: n
+                    .trace
+                    .iter()
+                    .map(|(c, m)| ((*c).to_string(), m.clone()))
+                    .collect(),
+            })
+            .collect();
+        let findings = certify(method, &traces);
+        assert!(findings.is_empty(), "{method:?}: {findings:?}");
+    }
+}

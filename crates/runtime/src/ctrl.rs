@@ -1,0 +1,854 @@
+//! The pure control-plane core shared by the `esrd` daemon and the
+//! `esr-model` checker.
+//!
+//! Everything the daemon does to protocol state — journal append +
+//! replay, site-0 completion/VTNC/decision coordination, wire-frame
+//! handling, boot recovery — is expressed here as side-effect-free
+//! transitions: [`NodeCore::step`] consumes one [`NodeEvent`] and
+//! returns the ordered list of [`Effect`]s it implies. The daemon
+//! executes those effects against the real world (fsync'd journal,
+//! durable TCP links, the esr-obs event ring); the model checker in
+//! `crates/check` executes them against in-memory queues and explores
+//! every interleaving. Because both run *this* code, the daemon and the
+//! model cannot drift (DESIGN.md §14).
+//!
+//! ## Effect ordering is part of the contract
+//!
+//! Effects must be executed in the order returned. In particular an
+//! [`Effect::Journal`] always precedes the [`Effect::Send`]s that
+//! announce its apply, and the daemon acknowledges an inbound envelope
+//! only after every effect of its step has been executed — that is the
+//! write-ahead discipline that makes a `kill -9` at any point safe:
+//! whatever was acked is journalled, whatever wasn't acked will be
+//! retransmitted by the peer's at-least-once queue.
+//!
+//! ## Seeded defects
+//!
+//! [`CtrlCanary`] enumerates five control-plane defect classes the
+//! model checker must prove it can catch before a clean sweep counts
+//! (the PR-2 canary discipline, applied to this layer). Production
+//! daemons always run with `canary = None`; the variants exist so the
+//! checker can validate its own oracles.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use esr_core::ids::{EtId, SiteId, VersionTs};
+use esr_core::op::Operation;
+use esr_replica::mset::{MSet, OrderTag};
+use esr_replica::wire::Frame;
+
+use crate::state::{RtMethod, SiteState};
+
+/// One input to a site's control-plane state machine.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// A frame delivered on the peer plane (durable link).
+    PeerFrame(Frame),
+    /// A client submitted a fully-stamped update MSet at this site.
+    ClientSubmit(MSet),
+    /// A client issued a COMPE commit/abort decision at this site.
+    ClientDecision {
+        /// The decided ET.
+        et: EtId,
+        /// `true` = commit, `false` = abort (compensate).
+        commit: bool,
+    },
+}
+
+/// One side effect implied by a step, to be executed in order.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// Append this MSet to the durable write-ahead journal. Always
+    /// precedes the `Send`s of the same step (write-ahead), and the
+    /// step's inbound envelope may be acknowledged only after it is
+    /// durable.
+    Journal(MSet),
+    /// Enqueue a frame on the durable at-least-once link to `to`.
+    Send {
+        /// Target site.
+        to: SiteId,
+        /// The frame to deliver.
+        frame: Frame,
+    },
+    /// Record a structured observability event (esr-obs ring). The
+    /// message grammar is part of the trace-certifier contract
+    /// (`esr-check::certify`): apply events carry `v=<time>` /
+    /// `seq=<n>` annotations, control events use the fixed
+    /// `complete et N` / `vtnc -> time T` / `commit et N` /
+    /// `abort et N` forms.
+    Trace {
+        /// Ring component tag (`apply`, `control`, `peer`, `replay`).
+        component: &'static str,
+        /// Human- and certifier-readable event text.
+        message: String,
+    },
+}
+
+/// Seeded control-plane defects for checker self-tests. Production
+/// daemons always run `None`; each variant plants one historical bug
+/// class the `esr-model` explorer must expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlCanary {
+    /// Recovery replays the journal but "forgets" to re-announce the
+    /// recovered applies, so completion evidence that died with the
+    /// previous incarnation's un-enqueued `Applied` report is lost
+    /// forever and the cluster never settles.
+    LostCompletionOnRestart,
+    /// Recovery re-applies the final journal entry a second time
+    /// (bypassing the ET idempotency guard, as if the replay cursor
+    /// double-counted the tail record), silently diverging the replica.
+    DoubleReplayedSuffix,
+    /// The coordinator certifies a VTNC horizon after the *first*
+    /// install report instead of waiting for all `n` sites, publishing
+    /// a visibility horizon that uninstalled sites then violate.
+    StaleVtncCert,
+    /// A replayed/duplicate COMPE commit decision re-applies the
+    /// decided update instead of being absorbed idempotently.
+    DecisionReplayReapplies,
+    /// The coordinator pins each peer's first-seen Hello epoch and
+    /// treats any other epoch as a stale reordering, so a restarted
+    /// incarnation (epoch+1) never receives the control snapshot it
+    /// needs to recover lost completions.
+    HelloEpochPinned,
+}
+
+/// The coordinator's completion/certification state (site 0 only) —
+/// the pure core of what used to live inside the daemon.
+#[derive(Debug)]
+pub struct CoordCore {
+    n: usize,
+    method: RtMethod,
+    /// Per-ET apply evidence: which sites reported, and the max
+    /// timestamped-write version seen (for VTNC).
+    counts: BTreeMap<EtId, (HashSet<SiteId>, Option<VersionTs>)>,
+    /// ETs whose completion already broadcast — late or duplicate
+    /// `Applied` reports (redelivery, restart re-announcements) land
+    /// here and are dropped.
+    done: HashSet<EtId>,
+    /// Broadcast log, replayed to recovering peers as a snapshot.
+    completed_log: Vec<EtId>,
+    decided: HashSet<EtId>,
+    decisions_log: Vec<(EtId, bool)>,
+    /// VTNC certification: fully-installed version times awaiting the
+    /// dense-prefix scan (the version clock hands out 1, 2, 3, …).
+    fully_installed: BTreeMap<u64, VersionTs>,
+    next_time: u64,
+    vtnc_max: Option<VersionTs>,
+    /// First Hello epoch seen per site — only consulted by the
+    /// [`CtrlCanary::HelloEpochPinned`] defect.
+    greeted: BTreeMap<SiteId, u64>,
+    canary: Option<CtrlCanary>,
+}
+
+impl CoordCore {
+    /// A fresh coordinator for an `n`-site cluster.
+    pub fn new(n: usize, method: RtMethod, canary: Option<CtrlCanary>) -> Self {
+        Self {
+            n,
+            method,
+            counts: BTreeMap::new(),
+            done: HashSet::new(),
+            completed_log: Vec::new(),
+            decided: HashSet::new(),
+            decisions_log: Vec::new(),
+            fully_installed: BTreeMap::new(),
+            next_time: 1,
+            vtnc_max: None,
+            greeted: BTreeMap::new(),
+            canary,
+        }
+    }
+
+    /// Absorbs one apply report; returns the control broadcasts it
+    /// triggers.
+    pub fn on_applied(
+        &mut self,
+        site: SiteId,
+        et: EtId,
+        version: Option<VersionTs>,
+    ) -> Vec<Frame> {
+        if !self.method.tracks_completion() || self.done.contains(&et) {
+            return Vec::new();
+        }
+        let e = self.counts.entry(et).or_insert_with(|| (HashSet::new(), None));
+        e.0.insert(site);
+        e.1 = e.1.max(version);
+        // The StaleVtncCert defect certifies off the first report.
+        let quorum = if self.canary == Some(CtrlCanary::StaleVtncCert)
+            && self.method == RtMethod::RituMv
+        {
+            1
+        } else {
+            self.n
+        };
+        if e.0.len() < quorum {
+            return Vec::new();
+        }
+        let version = self.counts.remove(&et).and_then(|(_, v)| v);
+        self.done.insert(et);
+        if self.method == RtMethod::RituMv {
+            let Some(v) = version else { return Vec::new() };
+            self.fully_installed.insert(v.time, v);
+            let mut horizon = None;
+            while let Some(v) = self.fully_installed.remove(&self.next_time) {
+                horizon = Some(v);
+                self.next_time += 1;
+            }
+            match horizon {
+                Some(h) => {
+                    self.vtnc_max = Some(self.vtnc_max.map_or(h, |m| m.max(h)));
+                    vec![Frame::Vtnc { ts: h }]
+                }
+                None => Vec::new(),
+            }
+        } else {
+            self.completed_log.push(et);
+            vec![Frame::Complete { et }]
+        }
+    }
+
+    /// Absorbs a COMPE decision; returns the broadcast (once per ET).
+    pub fn on_decision(&mut self, et: EtId, commit: bool) -> Vec<Frame> {
+        if !self.decided.insert(et) {
+            return Vec::new();
+        }
+        self.decisions_log.push((et, commit));
+        vec![Frame::Decision { et, commit }]
+    }
+
+    /// The recovery snapshot sent to a (re)connecting peer.
+    pub fn control_state(&self) -> Frame {
+        Frame::ControlSnapshot {
+            completed: self.completed_log.clone(),
+            decisions: self.decisions_log.clone(),
+            vtnc_max: self.vtnc_max,
+        }
+    }
+
+    /// Should this Hello be answered with a control snapshot? Always,
+    /// except under the [`CtrlCanary::HelloEpochPinned`] defect, which
+    /// pins the first epoch seen per site and treats every other epoch
+    /// as a stale reordering.
+    fn answer_hello(&mut self, site: SiteId, epoch: u64) -> bool {
+        if self.canary != Some(CtrlCanary::HelloEpochPinned) {
+            return true;
+        }
+        let pinned = *self.greeted.entry(site).or_insert(epoch);
+        pinned == epoch
+    }
+
+    /// The furthest VTNC horizon certified so far.
+    pub fn vtnc_horizon(&self) -> Option<VersionTs> {
+        self.vtnc_max
+    }
+
+    /// ETs whose completion has been broadcast, in broadcast order.
+    pub fn completed(&self) -> &[EtId] {
+        &self.completed_log
+    }
+
+    /// COMPE decisions broadcast so far, in order.
+    pub fn decisions(&self) -> &[(EtId, bool)] {
+        &self.decisions_log
+    }
+}
+
+/// The max timestamped-write version in an MSet (the VTNC install
+/// evidence an `Applied` report carries).
+pub fn max_version(mset: &MSet) -> Option<VersionTs> {
+    mset.ops
+        .iter()
+        .filter_map(|o| match &o.op {
+            Operation::TimestampedWrite(ts, _) => Some(*ts),
+            _ => None,
+        })
+        .max()
+}
+
+/// The ORDUP global sequence number of an MSet, if it carries one.
+fn seq_of(mset: &MSet) -> Option<u64> {
+    match mset.order {
+        OrderTag::Sequenced(s) => Some(s.0),
+        _ => None,
+    }
+}
+
+/// A synthetic ET id used by canaries that re-apply an update under a
+/// fresh identity (bypassing per-ET idempotency guards), far outside
+/// any id a workload would mint.
+const CANARY_ET_BIT: u64 = 1 << 60;
+
+/// One site's complete control-plane state machine: the replica state,
+/// the journalled-ET set, and (on site 0) the coordinator. All protocol
+/// logic of the `esrd` daemon lives here, as pure transitions.
+pub struct NodeCore {
+    /// This site's id (site 0 is the coordinator).
+    pub site: SiteId,
+    /// Total number of sites in the cluster.
+    pub sites: usize,
+    /// The replica control method in force.
+    pub method: RtMethod,
+    /// The replica state machine.
+    pub state: SiteState,
+    /// Completion/certification state; `Some` only on site 0.
+    pub coord: Option<CoordCore>,
+    /// ETs already appended to the write-ahead journal (dedupe guard so
+    /// redeliveries don't journal twice).
+    journaled: BTreeSet<EtId>,
+    /// ETs delivered but still held back (ORDUP sequence gaps), with
+    /// the version/seq metadata their eventual apply trace needs: an
+    /// in-order arrival can release a whole run of held successors,
+    /// and each release must still be traced and reported.
+    held: BTreeMap<EtId, (Option<VersionTs>, Option<u64>)>,
+    /// COMPE decisions this site has already processed — only consulted
+    /// by the [`CtrlCanary::DecisionReplayReapplies`] defect.
+    decisions_seen: BTreeSet<EtId>,
+    /// Journalled MSets stashed for canary re-application (empty unless
+    /// a canary that re-applies updates is armed).
+    canary_msets: BTreeMap<EtId, MSet>,
+    canary: Option<CtrlCanary>,
+}
+
+impl NodeCore {
+    /// A fresh core around an already-prepared replica state (the
+    /// caller enables audits / attaches metrics first so recovery
+    /// replays are observable).
+    pub fn fresh(
+        state: SiteState,
+        method: RtMethod,
+        site: SiteId,
+        sites: usize,
+        canary: Option<CtrlCanary>,
+    ) -> Self {
+        let coord =
+            (site == SiteId(0)).then(|| CoordCore::new(sites, method, canary));
+        Self {
+            site,
+            sites,
+            method,
+            state,
+            coord,
+            journaled: BTreeSet::new(),
+            held: BTreeMap::new(),
+            decisions_seen: BTreeSet::new(),
+            canary_msets: BTreeMap::new(),
+            canary,
+        }
+    }
+
+    /// Boot-time recovery: replays the write-ahead journal into the
+    /// fresh core, then re-announces every recovered apply (the
+    /// previous incarnation may have died before its `Applied` report
+    /// was durably enqueued; the coordinator deduplicates). Returns the
+    /// core plus the effects to execute — the same path for the real
+    /// daemon and the model's crash transitions.
+    pub fn recover(
+        state: SiteState,
+        method: RtMethod,
+        site: SiteId,
+        sites: usize,
+        canary: Option<CtrlCanary>,
+        journal: Vec<MSet>,
+    ) -> (Self, Vec<Effect>) {
+        let mut core = Self::fresh(state, method, site, sites, canary);
+        let mut effects = Vec::new();
+        let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
+        let last = journal.last().cloned();
+        for mset in journal {
+            let et = mset.et;
+            let version = max_version(&mset);
+            let seq = seq_of(&mset);
+            core.journaled.insert(et);
+            if core.canary == Some(CtrlCanary::DecisionReplayReapplies) {
+                core.canary_msets.insert(et, mset.clone());
+            }
+            core.state.deliver(mset);
+            // This entry, plus any held predecessors it unblocked
+            // (the journal records acceptance order, which for ORDUP
+            // can run ahead of the sequence).
+            let mut newly = Vec::new();
+            if core.state.has_applied(et) {
+                newly.push((et, version, seq));
+            } else {
+                core.held.insert(et, (version, seq));
+            }
+            newly.extend(core.take_unblocked());
+            for (et, version, seq) in newly {
+                effects.push(Effect::Trace {
+                    component: "replay",
+                    message: apply_message(et, version, seq),
+                });
+                recovered.push((et, version));
+            }
+        }
+        // Defect: the replay cursor double-counts the tail record,
+        // re-applying it outside the ET idempotency guard.
+        if core.canary == Some(CtrlCanary::DoubleReplayedSuffix) {
+            if let Some(mut dup) = last {
+                dup.et = EtId(dup.et.0 | CANARY_ET_BIT);
+                core.state.deliver(dup);
+            }
+        }
+        // Defect: recovery "forgets" the re-announcement pass.
+        if core.canary != Some(CtrlCanary::LostCompletionOnRestart) {
+            for (et, version) in recovered {
+                let announce = core.report_applied(et, version);
+                effects.extend(announce);
+            }
+        }
+        (core, effects)
+    }
+
+    /// Consumes one event, mutates the core, and returns the ordered
+    /// effects to execute. This is the daemon's whole protocol brain.
+    pub fn step(&mut self, event: NodeEvent) -> Vec<Effect> {
+        match event {
+            NodeEvent::PeerFrame(frame) => self.on_peer_frame(frame),
+            NodeEvent::ClientSubmit(mset) => {
+                // Fan the update out to every peer over the durable
+                // links, then absorb it locally (journal + apply +
+                // report).
+                let mut effects: Vec<Effect> = self
+                    .peers()
+                    .map(|to| Effect::Send {
+                        to,
+                        frame: Frame::MSet(mset.clone()),
+                    })
+                    .collect();
+                effects.extend(self.accept_mset(mset));
+                effects
+            }
+            NodeEvent::ClientDecision { et, commit } => self.decide(et, commit),
+        }
+    }
+
+    fn on_peer_frame(&mut self, frame: Frame) -> Vec<Effect> {
+        match frame {
+            Frame::Hello { site, epoch } => {
+                let mut effects = vec![Effect::Trace {
+                    component: "peer",
+                    message: format!("hello from site {} epoch {epoch}", site.raw()),
+                }];
+                // Coordinator: answer every peer (re)handshake with the
+                // control snapshot — idempotent replay that covers a
+                // recovering site whose queue files were lost.
+                if let Some(coord) = &mut self.coord {
+                    if coord.answer_hello(site, epoch) {
+                        effects.push(Effect::Send {
+                            to: site,
+                            frame: coord.control_state(),
+                        });
+                    }
+                }
+                effects
+            }
+            Frame::MSet(mset) => self.accept_mset(mset),
+            Frame::Applied { site, et, version } => {
+                let broadcasts = match &mut self.coord {
+                    Some(c) => c.on_applied(site, et, version),
+                    None => Vec::new(),
+                };
+                self.broadcast_all(broadcasts)
+            }
+            Frame::Complete { et } => self.apply_complete(et),
+            Frame::Vtnc { ts } => self.apply_vtnc(ts),
+            Frame::Decision { et, commit } => {
+                if self.coord.is_some() {
+                    // A peer forwarded a client's decision to us.
+                    self.decide(et, commit)
+                } else {
+                    // The coordinator's broadcast: apply it here (calling
+                    // `decide` would bounce it straight back).
+                    self.apply_decision(et, commit)
+                }
+            }
+            Frame::ControlSnapshot {
+                completed,
+                decisions,
+                vtnc_max,
+            } => {
+                let mut effects = Vec::new();
+                for et in completed {
+                    effects.extend(self.apply_complete(et));
+                }
+                for (et, commit) in decisions {
+                    effects.extend(self.apply_decision(et, commit));
+                }
+                if let Some(v) = vtnc_max {
+                    effects.extend(self.apply_vtnc(v));
+                }
+                effects
+            }
+            // Client-plane or transport-layer frames have no business
+            // on a peer link; ignore them.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Journal (write-ahead), apply, and report the apply — the one
+    /// path every update takes, whether it arrived from a client
+    /// (origin) or a peer link (propagation).
+    fn accept_mset(&mut self, mset: MSet) -> Vec<Effect> {
+        let et = mset.et;
+        let version = max_version(&mset);
+        let seq = seq_of(&mset);
+        let mut effects = Vec::new();
+        if self.journaled.insert(et) {
+            effects.push(Effect::Journal(mset.clone()));
+        }
+        if self.canary == Some(CtrlCanary::DecisionReplayReapplies) {
+            self.canary_msets.insert(et, mset.clone());
+        }
+        let before = self.state.has_applied(et);
+        self.state.deliver(mset);
+        let newly_applied = !before && self.state.has_applied(et);
+        if !newly_applied && !self.state.has_applied(et) {
+            self.held.insert(et, (version, seq));
+        }
+        effects.push(Effect::Trace {
+            component: "apply",
+            message: if newly_applied {
+                apply_message(et, version, seq)
+            } else {
+                format!("et {} held/duplicate", et.0)
+            },
+        });
+        if newly_applied {
+            let announce = self.report_applied(et, version);
+            effects.extend(announce);
+        }
+        // An in-order arrival may have released held successors: they
+        // are applied *now*, so they are traced and reported now.
+        for (et, version, seq) in self.take_unblocked() {
+            effects.push(Effect::Trace {
+                component: "apply",
+                message: apply_message(et, version, seq),
+            });
+            effects.extend(self.report_applied(et, version));
+        }
+        effects
+    }
+
+    /// Drains every held ET the last delivery unblocked, in sequence
+    /// order (a run of held successors applies lowest-seq first).
+    fn take_unblocked(&mut self) -> Vec<(EtId, Option<VersionTs>, Option<u64>)> {
+        let released: Vec<EtId> = self
+            .held
+            .keys()
+            .filter(|et| self.state.has_applied(**et))
+            .copied()
+            .collect();
+        let mut out: Vec<(EtId, Option<VersionTs>, Option<u64>)> = released
+            .into_iter()
+            .filter_map(|et| {
+                let (version, seq) = self.held.remove(&et)?;
+                Some((et, version, seq))
+            })
+            .collect();
+        out.sort_by_key(|(et, _, seq)| (*seq, *et));
+        out
+    }
+
+    /// Routes apply evidence to the coordinator (inline when we *are*
+    /// the coordinator, over the durable link otherwise).
+    fn report_applied(&mut self, et: EtId, version: Option<VersionTs>) -> Vec<Effect> {
+        if !self.method.tracks_completion() {
+            return Vec::new();
+        }
+        match &mut self.coord {
+            Some(c) => {
+                let broadcasts = c.on_applied(self.site, et, version);
+                self.broadcast_all(broadcasts)
+            }
+            None => vec![Effect::Send {
+                to: SiteId(0),
+                frame: Frame::Applied {
+                    site: self.site,
+                    et,
+                    version,
+                },
+            }],
+        }
+    }
+
+    /// A COMPE commit/abort decision. The coordinator logs and
+    /// broadcasts it; any other site forwards it to the coordinator
+    /// over its durable link (the broadcast will come back around).
+    fn decide(&mut self, et: EtId, commit: bool) -> Vec<Effect> {
+        match &mut self.coord {
+            Some(c) => {
+                let broadcasts = c.on_decision(et, commit);
+                self.broadcast_all(broadcasts)
+            }
+            None => vec![Effect::Send {
+                to: SiteId(0),
+                frame: Frame::Decision { et, commit },
+            }],
+        }
+    }
+
+    fn broadcast_all(&mut self, frames: Vec<Frame>) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for frame in frames {
+            effects.extend(self.broadcast_control(frame));
+        }
+        effects
+    }
+
+    /// Applies a control broadcast locally and enqueues it to every
+    /// peer (durable, so a currently-dead site receives it on revival).
+    fn broadcast_control(&mut self, frame: Frame) -> Vec<Effect> {
+        let mut effects = match frame {
+            Frame::Complete { et } => self.apply_complete(et),
+            Frame::Vtnc { ts } => self.apply_vtnc(ts),
+            Frame::Decision { et, commit } => self.apply_decision(et, commit),
+            _ => Vec::new(),
+        };
+        for to in self.peers() {
+            effects.push(Effect::Send {
+                to,
+                frame: frame.clone(),
+            });
+        }
+        effects
+    }
+
+    fn apply_complete(&mut self, et: EtId) -> Vec<Effect> {
+        self.state.complete(et);
+        vec![Effect::Trace {
+            component: "control",
+            message: format!("complete et {}", et.0),
+        }]
+    }
+
+    fn apply_vtnc(&mut self, ts: VersionTs) -> Vec<Effect> {
+        self.state.advance_vtnc(ts);
+        vec![Effect::Trace {
+            component: "control",
+            message: format!("vtnc -> time {}", ts.time),
+        }]
+    }
+
+    fn apply_decision(&mut self, et: EtId, commit: bool) -> Vec<Effect> {
+        let duplicate = !self.decisions_seen.insert(et);
+        if commit {
+            self.state.commit(et);
+        } else {
+            self.state.abort(et);
+        }
+        // Defect: a replayed/duplicate commit decision re-applies the
+        // decided update under a fresh identity instead of being
+        // absorbed idempotently.
+        if duplicate
+            && commit
+            && self.canary == Some(CtrlCanary::DecisionReplayReapplies)
+        {
+            if let Some(mut dup) = self.canary_msets.get(&et).cloned() {
+                dup.et = EtId(dup.et.0 | CANARY_ET_BIT);
+                self.state.deliver(dup);
+                self.state.commit(EtId(et.0 | CANARY_ET_BIT));
+            }
+        }
+        vec![Effect::Trace {
+            component: "control",
+            message: format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
+        }]
+    }
+
+    /// Every other site, in id order.
+    fn peers(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let me = self.site;
+        (0..self.sites as u64).map(SiteId).filter(move |s| *s != me)
+    }
+
+    /// Number of distinct ETs journalled at this site.
+    pub fn journaled_count(&self) -> u64 {
+        self.journaled.len() as u64
+    }
+}
+
+/// The certifier-facing apply message: `et N applied[ v=T][ seq=S]`.
+fn apply_message(et: EtId, version: Option<VersionTs>, seq: Option<u64>) -> String {
+    let mut m = format!("et {} applied", et.0);
+    if let Some(v) = version {
+        m.push_str(&format!(" v={}", v.time));
+    }
+    if let Some(s) = seq {
+        m.push_str(&format!(" seq={s}"));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::op::ObjectOp;
+    use esr_core::ids::{ObjectId, SeqNo};
+
+    fn incr(et: u64, origin: u64) -> MSet {
+        MSet::new(
+            EtId(et),
+            SiteId(origin),
+            vec![ObjectOp::new(ObjectId(1), Operation::Incr(1))],
+        )
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(SiteId, &Frame)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, frame } => Some((*to, frame)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_journals_before_reporting() {
+        let mut core = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(1)),
+            RtMethod::Commu,
+            SiteId(1),
+            3,
+            None,
+        );
+        let effects = core.step(NodeEvent::ClientSubmit(incr(7, 1)));
+        let journal_at = effects
+            .iter()
+            .position(|e| matches!(e, Effect::Journal(_)));
+        let applied_at = effects.iter().position(
+            |e| matches!(e, Effect::Send { frame: Frame::Applied { .. }, .. }),
+        );
+        assert!(journal_at.is_some() && applied_at.is_some());
+        assert!(journal_at < applied_at, "write-ahead order violated");
+        // Fan-out reaches both peers.
+        let msets = sends(&effects)
+            .iter()
+            .filter(|(_, f)| matches!(f, Frame::MSet(_)))
+            .count();
+        assert_eq!(msets, 2);
+    }
+
+    #[test]
+    fn ordup_unblock_traces_every_released_apply() {
+        // seq=1 arrives first: held. seq=0 then applies AND releases
+        // seq=1 — both applies must be traced in sequence order.
+        let mut core = NodeCore::fresh(
+            SiteState::new(RtMethod::Ordup, SiteId(1)),
+            RtMethod::Ordup,
+            SiteId(1),
+            3,
+            None,
+        );
+        let early = incr(2, 0).sequenced(SeqNo(1));
+        let held = core.step(NodeEvent::PeerFrame(Frame::MSet(early)));
+        assert!(held.iter().any(|e| matches!(
+            e,
+            Effect::Trace { message, .. } if message.contains("held")
+        )));
+        let late = incr(1, 0).sequenced(SeqNo(0));
+        let effects = core.step(NodeEvent::PeerFrame(Frame::MSet(late)));
+        let applies: Vec<&String> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Trace { component: "apply", message } if message.contains("applied") => {
+                    Some(message)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(applies.len(), 2, "release must trace both applies: {effects:?}");
+        assert!(applies[0].contains("seq=0") && applies[1].contains("seq=1"));
+        assert!(core.state.has_applied(EtId(1)) && core.state.has_applied(EtId(2)));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_absorbed() {
+        let mut core = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(1)),
+            RtMethod::Commu,
+            SiteId(1),
+            3,
+            None,
+        );
+        let first = core.step(NodeEvent::PeerFrame(Frame::MSet(incr(7, 0))));
+        assert!(first.iter().any(|e| matches!(e, Effect::Journal(_))));
+        let second = core.step(NodeEvent::PeerFrame(Frame::MSet(incr(7, 0))));
+        assert!(
+            !second.iter().any(|e| matches!(
+                e,
+                Effect::Journal(_) | Effect::Send { .. }
+            )),
+            "redelivery must neither re-journal nor re-announce"
+        );
+    }
+
+    #[test]
+    fn coordinator_completes_after_all_sites() {
+        let mut core = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(0)),
+            RtMethod::Commu,
+            SiteId(0),
+            3,
+            None,
+        );
+        // Local apply counts as site 0's evidence.
+        let e0 = core.step(NodeEvent::PeerFrame(Frame::MSet(incr(7, 1))));
+        assert!(sends(&e0).is_empty());
+        let e1 = core.step(NodeEvent::PeerFrame(Frame::Applied {
+            site: SiteId(1),
+            et: EtId(7),
+            version: None,
+        }));
+        assert!(sends(&e1).is_empty());
+        let e2 = core.step(NodeEvent::PeerFrame(Frame::Applied {
+            site: SiteId(2),
+            et: EtId(7),
+            version: None,
+        }));
+        let s = sends(&e2);
+        assert_eq!(s.len(), 2, "complete broadcast to both peers");
+        assert!(s
+            .iter()
+            .all(|(_, f)| matches!(f, Frame::Complete { et } if *et == EtId(7))));
+    }
+
+    #[test]
+    fn recovery_reannounces_applies() {
+        let (core, effects) = NodeCore::recover(
+            SiteState::new(RtMethod::Commu, SiteId(2)),
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+            vec![incr(1, 0), incr(2, 1)],
+        );
+        assert!(core.state.has_applied(EtId(1)) && core.state.has_applied(EtId(2)));
+        let announced: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    frame: Frame::Applied { et, .. },
+                } => Some((*to, *et)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(announced, vec![(SiteId(0), EtId(1)), (SiteId(0), EtId(2))]);
+    }
+
+    #[test]
+    fn lost_completion_canary_suppresses_reannounce() {
+        let (_, effects) = NodeCore::recover(
+            SiteState::new(RtMethod::Commu, SiteId(2)),
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            Some(CtrlCanary::LostCompletionOnRestart),
+            vec![incr(1, 0)],
+        );
+        assert!(!effects
+            .iter()
+            .any(|e| matches!(e, Effect::Send { .. })));
+    }
+}

@@ -41,7 +41,6 @@
 //! found as soon as it republishes. `<dir>/site-<i>.epoch` counts boots
 //! and is echoed in the handshake.
 
-use std::collections::{BTreeMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -51,8 +50,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use esr_core::divergence::{EpsilonSpec, InconsistencyCounter};
-use esr_core::ids::{EtId, SiteId, VersionTs};
-use esr_core::op::Operation;
+use esr_core::ids::SiteId;
 use esr_net::rpc::{
     seal, seal_acks, write_frame, Backoff, ConnKind, Envelope, Link, Reactor, RpcService,
     NO_ENTRY,
@@ -60,10 +58,10 @@ use esr_net::rpc::{
 use esr_obs::{
     EventRing, Histogram, LinkInstruments, MetricsRegistry, ReactorInstruments, SiteInstruments,
 };
-use esr_replica::mset::MSet;
 use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
 use esr_storage::stable_queue::FileQueue;
 
+use crate::ctrl::{Effect, NodeCore, NodeEvent};
 use crate::recovery::ApplyJournal;
 use crate::state::{RtMethod, SiteState};
 
@@ -81,113 +79,24 @@ pub struct DaemonConfig {
     pub dir: PathBuf,
 }
 
-/// The coordinator's completion/certification state (site 0 only).
-struct Coordinator {
-    n: usize,
-    method: RtMethod,
-    /// Per-ET apply evidence: which sites reported, and the max
-    /// timestamped-write version seen (for VTNC).
-    counts: BTreeMap<EtId, (HashSet<SiteId>, Option<VersionTs>)>,
-    /// ETs whose completion already broadcast — late or duplicate
-    /// `Applied` reports (redelivery, restart re-announcements) land
-    /// here and are dropped.
-    done: HashSet<EtId>,
-    /// Broadcast log, replayed to recovering peers as a snapshot.
-    completed_log: Vec<EtId>,
-    decided: HashSet<EtId>,
-    decisions_log: Vec<(EtId, bool)>,
-    /// VTNC certification: fully-installed version times awaiting the
-    /// dense-prefix scan (the version clock hands out 1, 2, 3, …).
-    fully_installed: BTreeMap<u64, VersionTs>,
-    next_time: u64,
-    vtnc_max: Option<VersionTs>,
-}
-
-impl Coordinator {
-    fn new(n: usize, method: RtMethod) -> Self {
-        Self {
-            n,
-            method,
-            counts: BTreeMap::new(),
-            done: HashSet::new(),
-            completed_log: Vec::new(),
-            decided: HashSet::new(),
-            decisions_log: Vec::new(),
-            fully_installed: BTreeMap::new(),
-            next_time: 1,
-            vtnc_max: None,
-        }
-    }
-
-    /// Absorbs one apply report; returns the control broadcasts it
-    /// triggers (computed under the lock, sent outside it).
-    fn on_applied(&mut self, site: SiteId, et: EtId, version: Option<VersionTs>) -> Vec<Frame> {
-        if !self.method.tracks_completion() || self.done.contains(&et) {
-            return Vec::new();
-        }
-        let e = self.counts.entry(et).or_insert_with(|| (HashSet::new(), None));
-        e.0.insert(site);
-        e.1 = e.1.max(version);
-        if e.0.len() < self.n {
-            return Vec::new();
-        }
-        let version = self.counts.remove(&et).and_then(|(_, v)| v);
-        self.done.insert(et);
-        if self.method == RtMethod::RituMv {
-            let Some(v) = version else { return Vec::new() };
-            self.fully_installed.insert(v.time, v);
-            let mut horizon = None;
-            while let Some(v) = self.fully_installed.remove(&self.next_time) {
-                horizon = Some(v);
-                self.next_time += 1;
-            }
-            match horizon {
-                Some(h) => {
-                    self.vtnc_max = Some(self.vtnc_max.map_or(h, |m| m.max(h)));
-                    vec![Frame::Vtnc { ts: h }]
-                }
-                None => Vec::new(),
-            }
-        } else {
-            self.completed_log.push(et);
-            vec![Frame::Complete { et }]
-        }
-    }
-
-    /// Absorbs a COMPE decision; returns the broadcast (once per ET).
-    fn on_decision(&mut self, et: EtId, commit: bool) -> Vec<Frame> {
-        if !self.decided.insert(et) {
-            return Vec::new();
-        }
-        self.decisions_log.push((et, commit));
-        vec![Frame::Decision { et, commit }]
-    }
-
-    /// The recovery snapshot sent to a (re)connecting peer.
-    fn control_state(&self) -> Frame {
-        Frame::ControlSnapshot {
-            completed: self.completed_log.clone(),
-            decisions: self.decisions_log.clone(),
-            vtnc_max: self.vtnc_max,
-        }
-    }
-}
-
-/// Write-ahead journal plus the set of ETs already in it.
-struct Journal {
-    journal: ApplyJournal,
-    journaled: HashSet<EtId>,
-}
-
 /// A running site daemon. Construct with [`Daemon::start`]; one
 /// reactor thread drives all of its I/O in the background until the
 /// process exits.
+///
+/// All protocol logic lives in the pure [`NodeCore`]
+/// (`crate::ctrl`): the daemon's job is only to feed it events and
+/// execute the effects it returns against the real world — the on-disk
+/// journal, the durable links, and the esr-obs trace ring.
 pub struct Daemon {
     cfg: DaemonConfig,
     epoch: u64,
     addr: SocketAddr,
-    state: Mutex<SiteState>,
-    journal: Mutex<Journal>,
+    /// The pure control-plane state machine (replica state, journalled
+    /// set, and — on site 0 — the coordinator).
+    core: Mutex<NodeCore>,
+    /// The on-disk write-ahead journal the core's `Effect::Journal`
+    /// effects append to. Lock order: `core` before `journal`.
+    journal: Mutex<ApplyJournal>,
     /// Durable outbound links, indexed by target site (`None` at our
     /// own slot).
     links: Vec<Option<Link>>,
@@ -197,8 +106,6 @@ pub struct Daemon {
     /// Reactor metrics bundle (kept here to tick ack-batch sizes from
     /// the service dispatch).
     robs: ReactorInstruments,
-    /// Completion/certification state; `Some` only on site 0.
-    coord: Option<Mutex<Coordinator>>,
     /// This incarnation's metrics; scraped via [`Frame::Metrics`].
     metrics: MetricsRegistry,
     /// Bounded structured-event ring; dumped via [`Frame::TraceDump`].
@@ -246,18 +153,6 @@ pub fn resolve_addr(dir: &Path, site: SiteId) -> Option<SocketAddr> {
         .ok()
 }
 
-/// The max timestamped-write version in an MSet (the VTNC install
-/// evidence an `Applied` report carries).
-fn max_version(mset: &MSet) -> Option<VersionTs> {
-    mset.ops
-        .iter()
-        .filter_map(|o| match &o.op {
-            Operation::TimestampedWrite(ts, _) => Some(*ts),
-            _ => None,
-        })
-        .max()
-}
-
 fn wire_audit(a: crate::state::SiteAudit, journaled: u64) -> WireAudit {
     WireAudit {
         ordup_order: a.ordup_order,
@@ -290,10 +185,11 @@ impl Daemon {
         publish(&epoch_path(&cfg.dir, cfg.site), &epoch.to_string())?;
 
         // Recovery: replay the write-ahead journal into a fresh state
-        // machine. Remember what was already applied — those ETs are
-        // re-announced to the coordinator below, because the previous
-        // incarnation may have died before its `Applied` report was
-        // durably enqueued.
+        // machine via the pure recovery path (`NodeCore::recover`) —
+        // the very code the model checker explores. Recovered applies
+        // are re-announced to the coordinator through the returned
+        // effects, because the previous incarnation may have died
+        // before its `Applied` report was durably enqueued.
         let boot = Instant::now();
         let metrics = MetricsRegistry::new();
         let trace = EventRing::default();
@@ -307,22 +203,22 @@ impl Daemon {
         ));
         let replays = metrics.counter("esr_recovery_replays_total", &[("site", &site_label)]);
         let journal = ApplyJournal::open(journal_path(&cfg.dir, cfg.site))?;
-        let mut journaled = HashSet::new();
-        let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
-        for mset in journal.replay() {
-            journaled.insert(mset.et);
-            let version = max_version(&mset);
-            let et = mset.et;
-            state.deliver(mset);
+        let entries = journal.replay();
+        for _ in &entries {
             replays.inc();
-            if state.has_applied(et) {
-                recovered.push((et, version));
-            }
         }
         trace.record(
             0,
             "boot",
-            format!("epoch {epoch}: replayed {} journal entries", journaled.len()),
+            format!("epoch {epoch}: replayed {} journal entries", entries.len()),
+        );
+        let (core, recovery_effects) = NodeCore::recover(
+            state,
+            cfg.method,
+            cfg.site,
+            cfg.sites,
+            None,
+            entries,
         );
 
         // One reactor thread multiplexes every socket this daemon owns:
@@ -361,9 +257,6 @@ impl Daemon {
             )));
         }
 
-        let coord = (cfg.site == SiteId(0))
-            .then(|| Mutex::new(Coordinator::new(cfg.sites, cfg.method)));
-
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
 
@@ -373,12 +266,11 @@ impl Daemon {
         let daemon = Arc::new(Self {
             epoch,
             addr,
-            state: Mutex::new(state),
-            journal: Mutex::new(Journal { journal, journaled }),
+            core: Mutex::new(core),
+            journal: Mutex::new(journal),
             links,
             reactor,
             robs,
-            coord,
             cfg,
             metrics,
             trace,
@@ -387,10 +279,10 @@ impl Daemon {
             rpc_latency,
         });
 
-        // Re-announce recovered applies (the coordinator deduplicates).
-        for (et, version) in recovered {
-            daemon.report_applied(et, version);
-        }
+        // Execute the recovery effects: replay trace events plus the
+        // re-announcement of recovered applies (the coordinator
+        // deduplicates).
+        daemon.perform(recovery_effects);
 
         // Publish last: a resolvable address implies a daemon ready to
         // accept.
@@ -416,68 +308,36 @@ impl Daemon {
         self.epoch
     }
 
+    /// Feeds one event through the pure core and executes its effects
+    /// in order. The core lock is held across effect execution so that
+    /// a duplicate delivery racing this step cannot be acknowledged
+    /// before this step's journal append is durable.
+    fn dispatch(&self, event: NodeEvent) {
+        let mut core = self.core.lock();
+        let effects = core.step(event);
+        self.perform(effects);
+    }
+
+    /// Executes core effects against the real world, strictly in
+    /// order: journal appends hit disk, sends enqueue on the durable
+    /// links, trace effects land in the esr-obs ring.
+    fn perform(&self, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Journal(mset) => self.journal.lock().record(&mset),
+                Effect::Send { to, frame } => self.send_bytes(to, encode_frame(&frame)),
+                Effect::Trace { component, message } => self.trace_event(component, message),
+            }
+        }
+    }
+
     fn handle_peer_frame(&self, frame: Frame) {
-        match frame {
-            Frame::Hello { site, epoch } => {
-                self.trace_event("peer", format!("hello from site {} epoch {epoch}", site.raw()));
-                // Coordinator: answer every peer (re)handshake with the
-                // control snapshot — idempotent replay that covers a
-                // recovering site whose queue files were lost.
-                if let Some(coord) = &self.coord {
-                    let snapshot = coord.lock().control_state();
-                    self.send_to(site, &snapshot);
-                }
-            }
-            Frame::MSet(mset) => self.accept_mset(mset),
-            Frame::Applied { site, et, version } => {
-                let broadcasts = match &self.coord {
-                    Some(c) => c.lock().on_applied(site, et, version),
-                    None => Vec::new(),
-                };
-                for b in broadcasts {
-                    self.broadcast_control(&b);
-                }
-            }
-            Frame::Complete { et } => self.state.lock().complete(et),
-            Frame::Vtnc { ts } => self.state.lock().advance_vtnc(ts),
-            Frame::Decision { et, commit } => {
-                if self.coord.is_some() {
-                    // A peer forwarded a client's decision to us.
-                    self.decide(et, commit);
-                } else {
-                    // The coordinator's broadcast: apply it here (calling
-                    // `decide` would bounce it straight back).
-                    let mut st = self.state.lock();
-                    if commit {
-                        st.commit(et);
-                    } else {
-                        st.abort(et);
-                    }
-                }
-            }
-            Frame::ControlSnapshot {
-                completed,
-                decisions,
-                vtnc_max,
-            } => {
-                let mut st = self.state.lock();
-                for et in completed {
-                    st.complete(et);
-                }
-                for (et, commit) in decisions {
-                    if commit {
-                        st.commit(et);
-                    } else {
-                        st.abort(et);
-                    }
-                }
-                if let Some(v) = vtnc_max {
-                    st.advance_vtnc(v);
-                }
-            }
-            // Client-plane or transport-layer frames have no business
-            // on a peer link; ignore them.
-            _ => {}
+        let timed = matches!(frame, Frame::MSet(_));
+        let started = Instant::now();
+        self.dispatch(NodeEvent::PeerFrame(frame));
+        if timed {
+            self.apply_latency
+                .record(started.elapsed().as_micros() as u64);
         }
     }
 
@@ -485,16 +345,10 @@ impl Daemon {
         match request {
             Frame::Submit(mset) => {
                 let et = mset.et;
-                // Fan the update out to every peer over the durable
-                // links, then absorb it locally (journal + apply +
-                // report).
-                let bytes = encode_frame(&Frame::MSet(mset.clone()));
-                for j in 0..self.cfg.sites {
-                    if SiteId(j as u64) != self.cfg.site {
-                        self.send_bytes(SiteId(j as u64), bytes.clone());
-                    }
-                }
-                self.accept_mset(mset);
+                let started = Instant::now();
+                self.dispatch(NodeEvent::ClientSubmit(mset));
+                self.apply_latency
+                    .record(started.elapsed().as_micros() as u64);
                 Frame::SubmitOk { et }
             }
             Frame::Query {
@@ -503,13 +357,13 @@ impl Daemon {
             } => {
                 let mut counter =
                     InconsistencyCounter::new(EpsilonSpec::bounded(epsilon_limit));
-                Frame::QueryOk(self.state.lock().query(&read_set, &mut counter))
+                Frame::QueryOk(self.core.lock().state.query(&read_set, &mut counter))
             }
             Frame::Snapshot => Frame::SnapshotOk {
-                entries: self.state.lock().snapshot().into_iter().collect(),
+                entries: self.core.lock().state.snapshot().into_iter().collect(),
             },
             Frame::Status => Frame::StatusOk {
-                settled: self.state.lock().settled(),
+                settled: self.core.lock().state.settled(),
                 outbound_pending: self
                     .links
                     .iter()
@@ -519,12 +373,12 @@ impl Daemon {
                 epoch: self.epoch,
             },
             Frame::Audit => {
-                let a = self.state.lock().audit();
-                let journaled = self.journal.lock().journal.entries();
+                let a = self.core.lock().state.audit();
+                let journaled = self.journal.lock().entries();
                 Frame::AuditOk(wire_audit(a, journaled))
             }
             Frame::Decision { et, commit } => {
-                self.decide(et, commit);
+                self.dispatch(NodeEvent::ClientDecision { et, commit });
                 Frame::DecisionOk { et }
             }
             Frame::Metrics => Frame::MetricsOk {
@@ -549,123 +403,10 @@ impl Daemon {
         }
     }
 
-    /// Journal (write-ahead), apply, and report the apply — the one
-    /// path every update takes, whether it arrived from a client
-    /// (origin) or a peer link (propagation).
-    fn accept_mset(&self, mset: MSet) {
-        let et = mset.et;
-        let version = max_version(&mset);
-        let started = Instant::now();
-        {
-            let mut j = self.journal.lock();
-            if !j.journaled.contains(&et) {
-                j.journal.record(&mset);
-                j.journaled.insert(et);
-            }
-        }
-        let newly_applied = {
-            let mut st = self.state.lock();
-            let before = st.has_applied(et);
-            st.deliver(mset);
-            !before && st.has_applied(et)
-        };
-        self.apply_latency
-            .record(started.elapsed().as_micros() as u64);
-        self.trace_event(
-            "apply",
-            format!(
-                "et {} {}",
-                et.0,
-                if newly_applied { "applied" } else { "held/duplicate" }
-            ),
-        );
-        if newly_applied {
-            self.report_applied(et, version);
-        }
-    }
-
     /// Records a structured trace event stamped micros-since-boot.
     fn trace_event(&self, component: &str, message: String) {
         self.trace
             .record(self.boot.elapsed().as_micros() as u64, component, message);
-    }
-
-    /// Routes apply evidence to the coordinator (inline when we *are*
-    /// the coordinator, over the durable link otherwise).
-    fn report_applied(&self, et: EtId, version: Option<VersionTs>) {
-        if !self.cfg.method.tracks_completion() {
-            return;
-        }
-        match &self.coord {
-            Some(c) => {
-                let broadcasts = c.lock().on_applied(self.cfg.site, et, version);
-                for b in broadcasts {
-                    self.broadcast_control(&b);
-                }
-            }
-            None => self.send_to(
-                SiteId(0),
-                &Frame::Applied {
-                    site: self.cfg.site,
-                    et,
-                    version,
-                },
-            ),
-        }
-    }
-
-    /// A COMPE commit/abort decision. The coordinator logs and
-    /// broadcasts it; any other site forwards it to the coordinator
-    /// over its durable link (the broadcast will come back around).
-    fn decide(&self, et: EtId, commit: bool) {
-        match &self.coord {
-            Some(c) => {
-                let broadcasts = c.lock().on_decision(et, commit);
-                for b in broadcasts {
-                    self.broadcast_control(&b);
-                }
-            }
-            None => self.send_to(SiteId(0), &Frame::Decision { et, commit }),
-        }
-    }
-
-    /// Applies a control broadcast locally and enqueues it to every
-    /// peer (durable, so a currently-dead site receives it on revival).
-    fn broadcast_control(&self, frame: &Frame) {
-        match *frame {
-            Frame::Complete { et } => {
-                self.trace_event("control", format!("complete et {}", et.0));
-                self.state.lock().complete(et);
-            }
-            Frame::Vtnc { ts } => {
-                self.trace_event("control", format!("vtnc -> time {}", ts.time));
-                self.state.lock().advance_vtnc(ts);
-            }
-            Frame::Decision { et, commit } => {
-                self.trace_event(
-                    "control",
-                    format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
-                );
-                let mut st = self.state.lock();
-                if commit {
-                    st.commit(et);
-                } else {
-                    st.abort(et);
-                }
-            }
-            _ => {}
-        }
-        let bytes = encode_frame(frame);
-        for j in 0..self.cfg.sites {
-            let to = SiteId(j as u64);
-            if to != self.cfg.site {
-                self.send_bytes(to, bytes.clone());
-            }
-        }
-    }
-
-    fn send_to(&self, to: SiteId, frame: &Frame) {
-        self.send_bytes(to, encode_frame(frame));
     }
 
     fn send_bytes(&self, to: SiteId, bytes: Bytes) {

@@ -20,6 +20,7 @@
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod ctrl;
 pub mod daemon;
 pub mod proc_cluster;
 pub mod recovery;
@@ -28,6 +29,7 @@ pub mod state;
 pub use chaos::{render_trace, ChaosStats, FaultPlan, TraceEvent};
 pub use client::RpcClient;
 pub use cluster::{Cluster, QuiesceTimeout, RtCanary};
+pub use ctrl::{CoordCore, CtrlCanary, Effect, NodeCore, NodeEvent};
 pub use daemon::{Daemon, DaemonConfig};
 pub use proc_cluster::ProcCluster;
 pub use recovery::{ApplyJournal, ControlLog, Decision};

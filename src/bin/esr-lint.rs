@@ -8,10 +8,22 @@
 //! this lint scans the source:
 //!
 //! * **nondeterministic-time** — `SystemTime` and `Instant::now` are
-//!   rejected in `crates/sim` and `crates/replica` (simulated time
-//!   comes from `VirtualClock`).
-//! * **thread-rng** — `thread_rng`/`ThreadRng` likewise (randomness
-//!   comes from `DetRng` seeds).
+//!   rejected in `crates/sim`, `crates/replica`, and the pure
+//!   control-plane step machine `crates/runtime/src/ctrl.rs`
+//!   (simulated time comes from `VirtualClock`; the step function is
+//!   replayed verbatim by `esr-model`, so *any* ambient input breaks
+//!   the checker's fidelity guarantee).
+//! * **thread-rng** — `thread_rng`/`ThreadRng`/`from_entropy` likewise
+//!   (randomness comes from `DetRng` seeds).
+//! * **protocol scope** (`crates/net`) — the transport may read real
+//!   time for I/O deadlines (`Instant::now` is allowed: reactor poll
+//!   timeouts and retransmit backoff are wall-clock by nature), but
+//!   protocol-*state* decisions must not depend on `SystemTime` or
+//!   ambient randomness, so those tokens are banned. The reactor's
+//!   retransmit backoff is deliberately jitter-free (deterministic
+//!   doubling, 20 ms → 1 s), so no allowlist entry is needed today;
+//!   adding jitter later requires an explicit
+//!   `// lint: allow(thread-rng)` at the draw site.
 //! * **hashmap-iteration** — iterating a `HashMap` inside a function
 //!   whose name suggests a snapshot/serialization path (`snapshot*`,
 //!   `serialize*`, `to_bytes*`, `encode*`, `digest*`) in any workspace
@@ -26,8 +38,18 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Crates where wall-clock and OS randomness are banned outright.
-const TIME_RNG_SCOPES: [&str; 2] = ["crates/sim/src", "crates/replica/src"];
+/// Paths where wall-clock and OS randomness are banned outright.
+const TIME_RNG_SCOPES: [&str; 3] = [
+    "crates/sim/src",
+    "crates/replica/src",
+    "crates/runtime/src/ctrl.rs",
+];
+
+/// Paths where protocol state must stay deterministic but I/O timing
+/// is real: `SystemTime` and ambient RNGs are banned, `Instant::now`
+/// is not (poll deadlines and retransmit backoff legitimately read the
+/// monotonic clock).
+const PROTOCOL_SCOPES: [&str; 1] = ["crates/net/src"];
 
 /// Function-name prefixes marking snapshot/serialization paths.
 const SNAPSHOT_FNS: [&str; 5] = ["snapshot", "serialize", "to_bytes", "encode", "digest"];
@@ -159,36 +181,57 @@ fn fn_name(code: &str) -> Option<String> {
 
 fn scan_file(path: &Path, content: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = content.lines().collect();
-    let in_time_scope = TIME_RNG_SCOPES
-        .iter()
-        .any(|s| path.to_string_lossy().contains(s));
+    let loc = path.to_string_lossy();
+    let in_time_scope = TIME_RNG_SCOPES.iter().any(|s| loc.contains(s));
+    let in_protocol_scope = PROTOCOL_SCOPES.iter().any(|s| loc.contains(s));
 
-    // Pass 1: banned time / RNG tokens.
-    if in_time_scope {
-        for (i, raw) in lines.iter().enumerate() {
-            let code = code_of(raw);
-            for (token, rule, hint) in [
-                (
-                    "SystemTime",
-                    "nondeterministic-time",
-                    "use the simulator's VirtualClock",
-                ),
-                (
-                    "Instant::now",
-                    "nondeterministic-time",
-                    "use the simulator's VirtualClock",
-                ),
-                ("thread_rng", "thread-rng", "use a seeded DetRng"),
-                ("ThreadRng", "thread-rng", "use a seeded DetRng"),
-            ] {
-                if has_token(&code, token) && !allowed(&lines, i, rule) {
-                    findings.push(Finding {
-                        file: path.to_path_buf(),
-                        line: i + 1,
-                        rule,
-                        message: format!("`{token}` in a deterministic crate; {hint}"),
-                    });
-                }
+    // Pass 1: banned time / RNG tokens. The full deterministic scope
+    // bans every ambient input; the protocol scope tolerates the
+    // monotonic clock (I/O deadlines) but nothing else.
+    type Ban = (&'static str, &'static str, &'static str);
+    const FULL_BANS: [Ban; 5] = [
+        (
+            "SystemTime",
+            "nondeterministic-time",
+            "use the simulator's VirtualClock",
+        ),
+        (
+            "Instant::now",
+            "nondeterministic-time",
+            "use the simulator's VirtualClock",
+        ),
+        ("thread_rng", "thread-rng", "use a seeded DetRng"),
+        ("ThreadRng", "thread-rng", "use a seeded DetRng"),
+        ("from_entropy", "thread-rng", "use a seeded DetRng"),
+    ];
+    const PROTOCOL_BANS: [Ban; 4] = [
+        (
+            "SystemTime",
+            "nondeterministic-time",
+            "protocol state must not read wall-clock time; \
+             derive versions from client-supplied timestamps",
+        ),
+        ("thread_rng", "thread-rng", "seed any jitter explicitly"),
+        ("ThreadRng", "thread-rng", "seed any jitter explicitly"),
+        ("from_entropy", "thread-rng", "seed any jitter explicitly"),
+    ];
+    let bans: &[Ban] = if in_time_scope {
+        &FULL_BANS
+    } else if in_protocol_scope {
+        &PROTOCOL_BANS
+    } else {
+        &[]
+    };
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_of(raw);
+        for (token, rule, hint) in bans {
+            if has_token(&code, token) && !allowed(&lines, i, rule) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule,
+                    message: format!("`{token}` in a deterministic scope; {hint}"),
+                });
             }
         }
     }
@@ -311,12 +354,49 @@ mod tests {
     }
 
     #[test]
-    fn allows_wall_clock_outside_scope() {
+    fn allows_monotonic_clock_in_net() {
+        // The transport owns real I/O deadlines: Instant::now is fine.
         let hits = scan_str(
             "crates/net/src/lib.rs",
             "fn now() { let _ = std::time::Instant::now(); }\n",
         );
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn allows_wall_clock_outside_all_scopes() {
+        let hits = scan_str(
+            "crates/workload/src/lib.rs",
+            "fn now() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng_in_net() {
+        let hits = scan_str(
+            "crates/net/src/reactor.rs",
+            "fn stamp() {\n    let t = SystemTime::now();\n    let r = thread_rng();\n}\n",
+        );
+        assert_eq!(hits, ["nondeterministic-time:2", "thread-rng:3"]);
+    }
+
+    #[test]
+    fn flags_entropy_seeding_in_net() {
+        let hits = scan_str(
+            "crates/net/src/link.rs",
+            "fn jitter() {\n    let rng = SmallRng::from_entropy();\n}\n",
+        );
+        assert_eq!(hits, ["thread-rng:2"]);
+    }
+
+    #[test]
+    fn pure_step_machine_bans_even_monotonic_time() {
+        let hits = scan_str(
+            "crates/runtime/src/ctrl.rs",
+            "fn step() {\n    let t = std::time::Instant::now();\n}\n",
+        );
+        assert_eq!(hits, ["nondeterministic-time:2"]);
     }
 
     #[test]

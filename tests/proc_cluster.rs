@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use esr::core::{EtId, ObjectId, ObjectOp, Operation, SiteId, Value};
 use esr::runtime::{ProcCluster, RtMethod};
+use esr_check::certify::{certify, SiteTrace};
 
 const X: ObjectId = ObjectId(0);
 const Y: ObjectId = ObjectId(1);
@@ -111,6 +112,26 @@ fn expected_final(method: RtMethod) -> BTreeMap<ObjectId, Value> {
     m
 }
 
+/// Dumps every site's EventRing and runs the replication-aware trace
+/// certifier over the quiesced cluster: the per-method visibility and
+/// convergence specs must hold on the *live* run's own evidence, not
+/// just on the final snapshots.
+fn certify_cluster(c: &ProcCluster, method: RtMethod, n: usize) {
+    let traces: Vec<SiteTrace> = (0..n)
+        .map(|s| {
+            let (dropped, events) = c
+                .trace_of(SiteId(s as u64))
+                .unwrap_or_else(|e| panic!("{method:?}: trace of site {s}: {e}"));
+            SiteTrace::from_dump(s as u64, dropped, events)
+        })
+        .collect();
+    let findings = certify(method, &traces);
+    assert!(
+        findings.is_empty(),
+        "{method:?}: trace certification failed:\n{findings:#?}"
+    );
+}
+
 /// The full scenario: phase 1, `SIGKILL` site 1, phase 2 through the
 /// survivors, restart, COMPE decisions, quiesce, converge, compare.
 fn assert_proc_scenario(method: RtMethod, tag: &str) {
@@ -164,6 +185,7 @@ fn assert_proc_scenario(method: RtMethod, tag: &str) {
             "{method:?}: site {i} journal incomplete"
         );
     }
+    certify_cluster(&c, method, N);
     c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -214,6 +236,7 @@ fn journal_replay_alone_restores_acknowledged_state() {
         "journal replay lost acknowledged state"
     );
     assert!(c.converged().expect("converged"));
+    certify_cluster(&c, RtMethod::Commu, N);
     c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -358,6 +381,7 @@ fn esrctl_metrics_scrapes_live_series_from_every_site() {
             "site {s}: trace ring missing boot/apply events:\n{trace}"
         );
     }
+    certify_cluster(&c, RtMethod::RituMv, N);
     c.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
