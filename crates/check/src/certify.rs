@@ -41,13 +41,16 @@
 //!    sequence order.
 //! 6. **decision conflict** (COMPE): no ET both commits and aborts at
 //!    one site.
+//! 7. **no duplicate complete**: an ET's completion is announced at
+//!    most once per incarnation — a coordinator handoff must absorb
+//!    prior completions as evidence, not replay them as fresh events.
 //!
 //! Cross-site (only when every dump is loss-free, `dropped == 0`):
-//! 7. **applied-set agreement** (non-COMPE): quiesced sites applied
+//! 8. **applied-set agreement** (non-COMPE): quiesced sites applied
 //!    the same ET set.
-//! 8. **completed-set agreement** (COMMU): quiesced sites saw the same
+//! 9. **completed-set agreement** (COMMU): quiesced sites saw the same
 //!    completion notices.
-//! 9. **outcome agreement** (COMPE): an ET's commit/abort outcome is
+//! 10. **outcome agreement** (COMPE): an ET's commit/abort outcome is
 //!    consistent across sites.
 //!
 //! Ring overflow (`dropped > 0`) downgrades gracefully: history-prefix
@@ -200,7 +203,15 @@ pub fn certify(method: RtMethod, traces: &[SiteTrace]) -> Vec<CertFinding> {
                 }
                 Ev::Held => {}
                 Ev::Complete { et } => {
-                    d.completed.insert(et);
+                    if !d.completed.insert(et) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "no-duplicate-complete",
+                            detail: format!(
+                                "et {et} completed twice in one incarnation"
+                            ),
+                        });
+                    }
                     if lossless && !d.applied.contains(&et) {
                         findings.push(CertFinding {
                             site: Some(trace.site),
@@ -347,6 +358,34 @@ mod tests {
         )];
         let f = certify(RtMethod::Commu, &traces);
         assert!(f.iter().any(|f| f.check == "apply-before-complete"));
+    }
+
+    #[test]
+    fn duplicate_complete_in_one_incarnation_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("apply", "et 1 applied"),
+                ev("control", "complete et 1"),
+                ev("control", "complete et 1"),
+            ],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "no-duplicate-complete"));
+    }
+
+    #[test]
+    fn view_and_client_events_are_ignored() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("view", "install view 1, coordinator site 1"),
+                ev("client", "duplicate submit client 7 seq 1 -> et 1"),
+                ev("apply", "et 1 applied"),
+                ev("control", "complete et 1"),
+            ],
+        )];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!
 //! `--model` runs `esr-model` instead: the exhaustive control-plane
 //! explorer over the pure `NodeCore` step function. Phase 1 hunts the
-//! five seeded control-plane defects; phase 2 sweeps the canary-size
-//! configuration (one update, crash + dup budgets) and the standard
-//! two-update configuration (single-fault passes) clean for every
-//! method.
+//! seven seeded control-plane defects (the two failover defects —
+//! split-brain double-coordinator and completion-lost-in-handoff —
+//! run with a one-suspicion budget so the explorer can drive a view
+//! change). Phase 2 sweeps the canary-size configuration (one update,
+//! crash + dup budgets) and the standard two-update configuration
+//! (single-fault passes) clean for every method, then the one-update
+//! view-change configuration for COMMU (the other methods' failover
+//! sweeps are the ignored full tier of `model_check.rs`).
 
 use std::process::ExitCode;
 
@@ -268,6 +272,19 @@ fn run_model(budget: u64) -> ExitCode {
             ok &= model_sweep(&label, &cfg, budget);
         }
     }
+    // The failover sweep: one update racing one coordinator suspicion
+    // (plus a volatile-loss crash), exercising the whole
+    // view-change/handoff machinery under the split-brain,
+    // view-monotonicity and duplicate-complete oracles. Run for COMMU
+    // only: elections interleave so richly that one method is minutes
+    // of search, and COMMU's config is the one the canary discipline
+    // requires clean (both failover canaries hunt in it). The
+    // method-plane evidence variants (ORDUP holds, RITU-MV horizons,
+    // COMPE decisions crossing a handoff) are the ignored
+    // `view_change_configs_sweep_clean` tier:
+    // `cargo test -p esr-check --release --test model_check -- --ignored`.
+    let vc = ModelCfg::view_change(RtMethod::Commu);
+    ok &= model_sweep("Commu 1-update, view-change", &vc, budget);
     println!("== summary ==");
     if ok {
         println!("  verdict: CLEAN");

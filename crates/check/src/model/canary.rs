@@ -27,39 +27,65 @@ pub struct CtrlCanaryCase {
     /// counts as caught, but the expected one documents the defect's
     /// signature).
     pub oracle: &'static str,
+    /// Does the defect only manifest across a coordinator handoff?
+    /// When set, the hunt configuration grants one `Suspect` budget so
+    /// the explorer can drive a view change.
+    pub needs_view_change: bool,
 }
 
-/// The five control-plane defect classes from the issue.
-pub const CTRL_CANARIES: [CtrlCanaryCase; 5] = [
+/// The seven control-plane defect classes: the original five, plus
+/// the two failover defects a view-change protocol can smuggle in —
+/// a demoted coordinator that keeps acting, and a handoff that
+/// swallows in-flight completions.
+pub const CTRL_CANARIES: [CtrlCanaryCase; 7] = [
     CtrlCanaryCase {
         name: "lost-completion-after-crash",
         canary: CtrlCanary::LostCompletionOnRestart,
         method: RtMethod::Commu,
         oracle: "settled",
+        needs_view_change: false,
     },
     CtrlCanaryCase {
         name: "double-applied-journal-suffix",
         canary: CtrlCanary::DoubleReplayedSuffix,
         method: RtMethod::Commu,
         oracle: "convergence",
+        needs_view_change: false,
     },
     CtrlCanaryCase {
         name: "stale-vtnc-cert",
         canary: CtrlCanary::StaleVtncCert,
         method: RtMethod::RituMv,
         oracle: "vtnc-safety",
+        needs_view_change: false,
     },
     CtrlCanaryCase {
         name: "non-idempotent-compe-decision-replay",
         canary: CtrlCanary::DecisionReplayReapplies,
         method: RtMethod::Compe,
         oracle: "convergence",
+        needs_view_change: false,
     },
     CtrlCanaryCase {
         name: "reordered-hello-epoch",
         canary: CtrlCanary::HelloEpochPinned,
         method: RtMethod::Commu,
         oracle: "settled",
+        needs_view_change: false,
+    },
+    CtrlCanaryCase {
+        name: "split-brain-double-coordinator",
+        canary: CtrlCanary::SplitBrainCoordinator,
+        method: RtMethod::Commu,
+        oracle: "split-brain",
+        needs_view_change: true,
+    },
+    CtrlCanaryCase {
+        name: "completion-lost-in-handoff",
+        canary: CtrlCanary::HandoffDropsCompletions,
+        method: RtMethod::Commu,
+        oracle: "settled",
+        needs_view_change: true,
     },
 ];
 
@@ -67,9 +93,17 @@ pub const CTRL_CANARIES: [CtrlCanaryCase; 5] = [
 /// enough to manifest every seeded defect, which keeps each hunt well
 /// inside the exhaustive budget.
 pub fn canary_cfg(case: &CtrlCanaryCase) -> ModelCfg {
-    let mut cfg = ModelCfg::standard(case.method);
-    cfg.workload.truncate(1);
-    cfg.decisions.truncate(1);
+    // The failover defects need an election to manifest, so their
+    // hunts run on the exact view-change sweep configuration; the
+    // others use the standard configuration cut to one update.
+    let mut cfg = if case.needs_view_change {
+        ModelCfg::view_change(case.method)
+    } else {
+        let mut cfg = ModelCfg::standard(case.method);
+        cfg.workload.truncate(1);
+        cfg.decisions.truncate(1);
+        cfg
+    };
     cfg.decisions.retain(|(et, _)| *et == EtId(1));
     cfg.canary = Some(case.canary);
     cfg

@@ -17,9 +17,19 @@
 //! | `CrashPoint::*`        | `kill -9` between effect executions        |
 //! | crash + recover        | `Daemon::start` boot: epoch bump, journal replay, re-announce, Hello |
 //!
-//! Crashes are restricted to non-coordinator sites: coordinator fault
-//! tolerance is an explicit non-goal of this layer (DESIGN.md §11) and
-//! the live harnesses never kill site 0.
+//! Crash injection follows the configuration's [`CrashPolicy`]: the
+//! standard sweeps probe every durable boundary but never kill a site
+//! holding the coordinator role, while the view-change sweeps
+//! (`max_suspects > 0`, which enables [`Tx::Suspect`] — the model's
+//! time-free stand-in for `SUSPECT_AFTER` missed heartbeats) probe
+//! `AfterAck` volatile loss at the non-role-holders, keeping the
+//! election × delivery interleaving space exhaustively checkable.
+//! Either way, *every* explored terminal state additionally gets a
+//! staggered full-cluster crash/recover from the recovery-idempotence
+//! oracle — coordinator first, then the followers — so coordinator
+//! amnesia is always covered. The durable per-site view
+//! (`Effect::RecordView`) is modelled as a register that survives
+//! crashes, exactly like `site-<i>.view`.
 //!
 //! A crash is atomic crash+recover. That is sound for safety because
 //! the links are sender-side durable: a site that stays down is
@@ -41,13 +51,35 @@ use esr_replica::wire::Frame;
 use esr_runtime::ctrl::{CtrlCanary, Effect, NodeCore, NodeEvent};
 use esr_runtime::state::{RtMethod, SiteState};
 
+/// Where the explorer may spend its crash budget. The standard sweeps
+/// probe every durable boundary but never kill the (fixed) view-0
+/// coordinator; the view-change sweeps let the coordinator role move,
+/// so the policy is expressed against the *role*, not site 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPolicy {
+    /// May a site currently holding the coordinator role crash
+    /// in-schedule? (Independent of this, *every* explored terminal
+    /// state gets a staggered full-cluster crash/recover pass from the
+    /// recovery-idempotence oracle, coordinator included — so
+    /// coordinator amnesia is always covered there.)
+    pub role_holders: bool,
+    /// Probe only `CrashPoint::AfterAck` (pure volatile loss), skipping
+    /// the `Durable(k)` journal-boundary truncations. The
+    /// crash-enriched view-change sweeps set this: durable-boundary
+    /// crashes are method-plane behaviour already exhausted by the
+    /// standard sweeps, while the failover-specific hazards —
+    /// completion evidence lost with a consumed frame, elections
+    /// interleaving with amnesia — live at `AfterAck`.
+    pub afterack_only: bool,
+}
+
 /// A bounded model configuration: the cluster shape, the client
 /// workload, and the fault budgets the explorer may spend.
 #[derive(Debug, Clone)]
 pub struct ModelCfg {
     /// Replica control method in force.
     pub method: RtMethod,
-    /// Number of sites (site 0 is the coordinator).
+    /// Number of sites (site 0 coordinates view 0).
     pub sites: usize,
     /// Update MSets, submitted in index order at `mset.origin`.
     pub workload: Vec<MSet>,
@@ -58,6 +90,22 @@ pub struct ModelCfg {
     pub max_crashes: usize,
     /// Max duplicate deliveries per execution.
     pub max_dups: usize,
+    /// Max coordinator-suspicion injections per execution (each one
+    /// feeds `SuspectCoordinator` to a site, kicking off a view
+    /// change).
+    pub max_suspects: usize,
+    /// Restrict suspicion to one site. `None` lets any non-coordinator
+    /// fire, which squares the election interleaving space; the
+    /// view-change sweeps pin the suspicion to a *non-candidate*
+    /// follower (site 2 for the 0→1 change) so every explored election
+    /// also covers the candidate learning of the change via
+    /// `StartViewChange` rather than initiating it. Which follower
+    /// fires first is the one symmetry the sweep gives up; the
+    /// client-table proptests and the process-level failover battery
+    /// drive elections from arbitrary (and multiple) sites.
+    pub suspect_site: Option<u64>,
+    /// Where the crash budget may be spent.
+    pub crash_policy: CrashPolicy,
     /// Seeded control-plane defect, `None` for the real protocol.
     pub canary: Option<CtrlCanary>,
 }
@@ -79,8 +127,42 @@ impl ModelCfg {
             decisions,
             max_crashes: 1,
             max_dups: 1,
+            max_suspects: 0,
+            suspect_site: None,
+            crash_policy: CrashPolicy {
+                role_holders: false,
+                afterack_only: false,
+            },
             canary: None,
         }
+    }
+
+    /// The bounded view-change configuration for `method`: 1 update
+    /// racing one suspicion (pinned to follower site 2 — see
+    /// [`ModelCfg::suspect_site`]), no duplication, no in-schedule
+    /// crash — the failover sweep of DESIGN.md §15. Crashes are left
+    /// out of the schedule because elections interleave so richly that
+    /// adding them triples an already minutes-long search, while the
+    /// crash coverage lives elsewhere: every terminal state gets the
+    /// staggered full-cluster recovery pass, the durable-boundary
+    /// truncations are the standard sweeps' territory, and the ignored
+    /// full tier re-runs this config crash-enriched (one `AfterAck`
+    /// volatile loss at a non-role-holder, per the preset
+    /// `crash_policy`, which is inert until a caller restores a crash
+    /// budget).
+    pub fn view_change(method: RtMethod) -> Self {
+        let mut cfg = Self::standard(method);
+        cfg.workload.truncate(1);
+        cfg.decisions.truncate(1);
+        cfg.max_crashes = 0;
+        cfg.max_dups = 0;
+        cfg.max_suspects = 1;
+        cfg.suspect_site = Some(2);
+        cfg.crash_policy = CrashPolicy {
+            role_holders: false,
+            afterack_only: true,
+        };
+        cfg
     }
 }
 
@@ -165,6 +247,13 @@ pub enum Tx {
         /// Receiving site.
         to: u8,
     },
+    /// Site `site` suspects the current coordinator and starts a view
+    /// change (the time-free stand-in for `SUSPECT_AFTER` missed
+    /// heartbeat ticks).
+    Suspect {
+        /// The suspecting site.
+        site: u8,
+    },
 }
 
 impl Tx {
@@ -175,6 +264,7 @@ impl Tx {
             Tx::Decide { idx } => decision_site(cfg, idx),
             Tx::Deliver { to, .. } => to,
             Tx::Dup { to, .. } => to,
+            Tx::Suspect { site } => site,
         }
     }
 
@@ -201,6 +291,10 @@ impl Tx {
         if matches!(self, Tx::Dup { .. }) && matches!(other, Tx::Dup { .. }) {
             return false;
         }
+        // Suspicions share a budget too.
+        if matches!(self, Tx::Suspect { .. }) && matches!(other, Tx::Suspect { .. }) {
+            return false;
+        }
         self.target(cfg) != other.target(cfg)
     }
 }
@@ -225,6 +319,14 @@ pub struct ModelNode {
     pub journal: Vec<MSet>,
     /// Boot count, bumped on every recovery.
     pub epoch: u64,
+    /// The durably recorded view — the model's `site-<i>.view` file:
+    /// written by `Effect::RecordView`, survives crashes, fed back to
+    /// `NodeCore::recover`.
+    pub durable_view: u64,
+    /// Views this incarnation booted into / installed, in order (the
+    /// view-monotonicity oracle's evidence; reset on crash like the
+    /// trace).
+    pub view_history: Vec<u64>,
     /// This incarnation's trace events (cleared on crash, like the
     /// real per-process EventRing) — certifier food.
     pub trace: Vec<(&'static str, String)>,
@@ -241,6 +343,7 @@ pub struct World<'a> {
     next_decision: usize,
     crashes_left: usize,
     dups_left: usize,
+    suspects_left: usize,
 }
 
 fn fresh_state(method: RtMethod, site: SiteId) -> SiteState {
@@ -268,6 +371,8 @@ impl<'a> World<'a> {
                     ),
                     journal: Vec::new(),
                     epoch: 1,
+                    durable_view: 0,
+                    view_history: vec![0],
                     trace: Vec::new(),
                 }
             })
@@ -289,6 +394,7 @@ impl<'a> World<'a> {
             next_decision: 0,
             crashes_left: cfg.max_crashes,
             dups_left: cfg.max_dups,
+            suspects_left: cfg.max_suspects,
         }
     }
 
@@ -317,17 +423,27 @@ impl<'a> World<'a> {
     /// `ControlSnapshot`, which recovery schedules already exercise.
     pub fn enabled(&self) -> Vec<Tx> {
         let mut txs = Vec::new();
-        let durable_crash_points = [
-            CrashPoint::Durable(0),
-            CrashPoint::Durable(1),
-            CrashPoint::AfterAck,
-        ];
+        let policy = self.cfg.crash_policy;
+        let durable_crash_points: &[CrashPoint] = if policy.afterack_only {
+            &[CrashPoint::AfterAck]
+        } else {
+            &[
+                CrashPoint::Durable(0),
+                CrashPoint::Durable(1),
+                CrashPoint::AfterAck,
+            ]
+        };
+        // The policy is judged against the role *now*: after a view
+        // change, the old coordinator becomes crashable and the new
+        // one stops being so.
+        let crashable =
+            |site: u64| policy.role_holders || self.nodes[site as usize].core.coord.is_none();
         if self.next_submit < self.cfg.workload.len() {
             let idx = self.next_submit as u8;
             txs.push(Tx::Submit { idx, crash: None });
             let origin = self.cfg.workload[self.next_submit].origin.raw();
-            if self.crashes_left > 0 && origin != 0 {
-                for cp in durable_crash_points {
+            if self.crashes_left > 0 && crashable(origin) {
+                for &cp in durable_crash_points {
                     txs.push(Tx::Submit {
                         idx,
                         crash: Some(cp),
@@ -358,9 +474,9 @@ impl<'a> World<'a> {
                     to: t,
                     crash: None,
                 });
-                if self.crashes_left > 0 && to != 0 {
+                if self.crashes_left > 0 && crashable(to as u64) {
                     if journals {
-                        for cp in durable_crash_points {
+                        for &cp in durable_crash_points {
                             txs.push(Tx::Deliver {
                                 from: f,
                                 to: t,
@@ -377,6 +493,19 @@ impl<'a> World<'a> {
                 }
                 if self.dups_left > 0 && (journals || matches!(head, Frame::Decision { .. })) {
                     txs.push(Tx::Dup { from: f, to: t });
+                }
+            }
+        }
+        if self.suspects_left > 0 {
+            for (i, node) in self.nodes.iter().enumerate() {
+                // A site holding the coordinator role has nothing to
+                // suspect; every other (configured) site may fire.
+                let pinned_elsewhere = self
+                    .cfg
+                    .suspect_site
+                    .is_some_and(|s| s != i as u64);
+                if node.core.coord.is_none() && !pinned_elsewhere {
+                    txs.push(Tx::Suspect { site: i as u8 });
                 }
             }
         }
@@ -452,6 +581,12 @@ impl<'a> World<'a> {
                 self.apply_effects(to, effects, usize::MAX);
                 self.dups_left -= 1;
             }
+            Tx::Suspect { site } => {
+                let site = site as usize;
+                let effects = self.nodes[site].core.step(NodeEvent::SuspectCoordinator);
+                self.apply_effects(site, effects, usize::MAX);
+                self.suspects_left -= 1;
+            }
         }
         if tx.is_crash() {
             self.crashes_left -= 1;
@@ -479,6 +614,18 @@ impl<'a> World<'a> {
                     self.queues[site][to.raw() as usize].push_back(frame);
                     durable += 1;
                 }
+                Effect::RecordView(view) => {
+                    // The durable view register survives crashes, like
+                    // the daemon's atomic `site-<i>.view` write. It is
+                    // itself a durable effect for crash truncation —
+                    // ordered before the sends of the same step.
+                    if durable == durable_budget {
+                        return;
+                    }
+                    self.nodes[site].durable_view = view;
+                    self.nodes[site].view_history.push(view);
+                    durable += 1;
+                }
                 Effect::Trace { component, message } => {
                     self.nodes[site].trace.push((component, message));
                 }
@@ -488,29 +635,44 @@ impl<'a> World<'a> {
 
     /// Atomic crash + recovery of `site`: volatile state is wiped, the
     /// boot epoch bumps, the journal replays through the daemon's own
-    /// pure recovery path (re-announcing recovered applies), and the
-    /// reconnecting link's Hello goes out to the coordinator.
+    /// pure recovery path (re-announcing recovered applies to the
+    /// durable view's coordinator), and the reconnecting link's Hello
+    /// goes out — to the coordinator of the site's durable view, or to
+    /// every peer when the recovering site *is* that coordinator (each
+    /// follower answers a coordinator Hello by re-announcing its
+    /// applies, rebuilding the lost in-memory evidence).
     pub fn crash_recover(&mut self, site: usize) {
         let cfg = self.cfg;
         let node = &mut self.nodes[site];
         node.epoch += 1;
         node.trace.clear();
+        let view = node.durable_view;
         let (core, effects) = NodeCore::recover(
             fresh_state(cfg.method, SiteId(site as u64)),
             cfg.method,
             SiteId(site as u64),
             cfg.sites,
             cfg.canary,
+            view,
             node.journal.clone(),
         );
         node.core = core;
+        node.view_history = vec![view];
         let epoch = node.epoch;
         self.apply_effects(site, effects, usize::MAX);
-        if site != 0 {
-            self.queues[site][0].push_back(Frame::Hello {
-                site: SiteId(site as u64),
-                epoch,
-            });
+        let coordinator = esr_runtime::ctrl::coordinator_of(view, cfg.sites);
+        let hello = Frame::Hello {
+            site: SiteId(site as u64),
+            epoch,
+        };
+        if coordinator.raw() as usize == site {
+            for to in 0..cfg.sites {
+                if to != site {
+                    self.queues[site][to].push_back(hello.clone());
+                }
+            }
+        } else {
+            self.queues[site][coordinator.raw() as usize].push_back(hello);
         }
     }
 

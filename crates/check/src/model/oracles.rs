@@ -2,11 +2,20 @@
 //!
 //! Judged at every terminal state the explorer reaches (all work
 //! submitted and decided, every durable queue drained), twice: once
-//! as-is, and once more after crash-recovering every non-coordinator
-//! site and draining again — the recovery-idempotence pass. The
-//! convergence oracle follows Perrin et al.'s update consistency: once
-//! delivery quiesces, every replica must equal the reference produced
-//! by one sequential application of the workload.
+//! as-is, and once more after crash-recovering every site — including
+//! the acting coordinator — and draining again, the
+//! recovery-idempotence pass. The convergence oracle follows Perrin et
+//! al.'s update consistency: once delivery quiesces, every replica
+//! must equal the reference produced by one sequential application of
+//! the workload.
+//!
+//! Since views made the coordinator role movable, three more oracles
+//! guard the handoff itself: at most one site may hold the coordinator
+//! role for its installed view (`split-brain`), a site's durable view
+//! register may only advance (`view-monotonicity`), and no incarnation
+//! may announce the same completion twice (`duplicate-complete` —
+//! completions crossing a handoff must be absorbed as evidence, not
+//! replayed as fresh events).
 
 use std::collections::BTreeSet;
 
@@ -49,12 +58,32 @@ pub fn reference_snapshot(cfg: &ModelCfg) -> BTreeMap<ObjectId, Value> {
 }
 
 /// Full terminal judgment: safety oracles, then the
-/// recovery-idempotence pass (crash + recover every non-coordinator
-/// site, drain, re-judge).
+/// recovery-idempotence pass: crash + recover every site — the acting
+/// coordinator included — drain, re-judge. The pass is staggered
+/// (coordinator first, then the followers) because completion counts
+/// and decisions are volatile by design: the rebooted coordinator
+/// relearns them from follower re-announcements, and the rebooted
+/// followers from the refreshed coordinator's snapshot. Crashing every
+/// site at once would genuinely erase the decisions.
 pub fn check_terminal(cfg: &ModelCfg, world: &mut World<'_>) -> Vec<ModelFinding> {
     let mut findings = check_safety(cfg, world, "");
-    for site in 1..cfg.sites {
-        world.crash_recover(site);
+    let coordinator = world
+        .nodes
+        .iter()
+        .position(|n| n.core.coord.is_some())
+        .unwrap_or(0);
+    world.crash_recover(coordinator);
+    if !world.drain() {
+        findings.push(finding(
+            "recovery-drain",
+            "cluster failed to quiesce after coordinator recovery".into(),
+        ));
+        return findings;
+    }
+    for site in 0..cfg.sites {
+        if site != coordinator {
+            world.crash_recover(site);
+        }
     }
     if !world.drain() {
         findings.push(finding(
@@ -129,6 +158,50 @@ pub fn check_safety(cfg: &ModelCfg, world: &World<'_>, phase: &str) -> Vec<Model
                 format!("{phase}site {i} both committed and compensated {et}"),
             ));
         }
+        // View changes: the coordinator role belongs to exactly the
+        // site its installed view elects — a node holding a CoordCore
+        // anywhere else (or an elected node without one) is the
+        // split-brain double-coordinator failure mode.
+        let elected = esr_runtime::ctrl::coordinator_of(node.core.view, cfg.sites);
+        let holds_role = node.core.coord.is_some();
+        if holds_role != (elected == SiteId(i as u64)) {
+            findings.push(finding(
+                "split-brain",
+                format!(
+                    "{phase}site {i} at view {} {} the coordinator role, \
+                     but that view elects site {}",
+                    node.core.view,
+                    if holds_role { "holds" } else { "lacks" },
+                    elected.raw()
+                ),
+            ));
+        }
+        // The durable view register only advances; a regression would
+        // let a demoted coordinator resurrect an old incarnation.
+        if node.view_history.windows(2).any(|w| w[0] >= w[1]) {
+            findings.push(finding(
+                "view-monotonicity",
+                format!(
+                    "{phase}site {i} recorded a non-increasing view sequence {:?}",
+                    node.view_history
+                ),
+            ));
+        }
+        // A completion is announced at most once per incarnation: a
+        // handoff must absorb prior completions as evidence, never
+        // replay them as fresh `complete` events.
+        let mut announced = BTreeSet::new();
+        for (component, message) in &node.trace {
+            if *component == "control"
+                && message.starts_with("complete et ")
+                && !announced.insert(message.clone())
+            {
+                findings.push(finding(
+                    "duplicate-complete",
+                    format!("{phase}site {i} traced \"{message}\" twice in one incarnation"),
+                ));
+            }
+        }
     }
 
     // RITU-MV liveness floor: with every install report delivered, the
@@ -140,11 +213,15 @@ pub fn check_safety(cfg: &ModelCfg, world: &World<'_>, phase: &str) -> Vec<Model
             .filter_map(esr_runtime::ctrl::max_version)
             .map(|v| v.time)
             .max();
-        let horizon = world.nodes[0]
-            .core
-            .coord
-            .as_ref()
-            .and_then(|c| c.vtnc_horizon())
+        // The role may have moved: read the horizon from the acting
+        // coordinator — the highest-view node holding a CoordCore (a
+        // split-brain pair is flagged by its own oracle above).
+        let horizon = world
+            .nodes
+            .iter()
+            .filter(|n| n.core.coord.is_some())
+            .max_by_key(|n| n.core.view)
+            .and_then(|n| n.core.coord.as_ref().and_then(|c| c.vtnc_horizon()))
             .map(|v| v.time);
         if horizon < expected {
             findings.push(finding(

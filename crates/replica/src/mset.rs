@@ -11,7 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use esr_core::ids::{EtId, LamportTs, ObjectId, SeqNo, SiteId};
+use esr_core::ids::{ClientId, EtId, LamportTs, ObjectId, SeqNo, SiteId};
 use esr_core::op::ObjectOp;
 
 /// Ordering information carried by an MSet, specific to the replica
@@ -55,6 +55,13 @@ pub struct MSet {
     pub ops: Vec<ObjectOp>,
     /// Method-specific ordering information.
     pub order: OrderTag,
+    /// The submitting client's identity and request sequence number,
+    /// when the client wants exactly-once semantics: sites record
+    /// `(client, seq) -> et` in their client tables so a retried submit
+    /// (after a timeout or a coordinator failover) gets the cached
+    /// reply instead of a double apply.
+    #[serde(default)]
+    pub client: Option<(ClientId, u64)>,
 }
 
 impl MSet {
@@ -65,7 +72,15 @@ impl MSet {
             origin,
             ops,
             order: OrderTag::Unordered,
+            client: None,
         }
+    }
+
+    /// Attaches the submitting client's identity and request sequence
+    /// number (enables exactly-once dedup at every site).
+    pub fn from_client(mut self, client: ClientId, seq: u64) -> Self {
+        self.client = Some((client, seq));
+        self
     }
 
     /// Attaches a sequence number.

@@ -101,6 +101,16 @@ fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
         b.put_u64(op.object.raw());
         encode_op(b, &op.op);
     }
+    // Client identity for exactly-once dedup: a mandatory trailing
+    // presence byte keeps decoding total under truncation.
+    match mset.client {
+        None => b.put_u8(0),
+        Some((client, seq)) => {
+            b.put_u8(1);
+            b.put_u64(client.raw());
+            b.put_u64(seq);
+        }
+    }
 }
 
 fn encode_op(b: &mut BytesMut, op: &Operation) {
@@ -202,8 +212,18 @@ fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
         let op = decode_op(b)?;
         ops.push(ObjectOp::new(object, op));
     }
+    let client = match get_u8(b)? {
+        0 => None,
+        1 => {
+            let client = ClientId(get_u64(b)?);
+            let seq = get_u64(b)?;
+            Some((client, seq))
+        }
+        tag => return Err(WireError::BadTag { field: "client", tag }),
+    };
     let mut mset = MSet::new(et, origin, ops);
     mset.order = order;
+    mset.client = client;
     Ok(mset)
 }
 
@@ -293,6 +313,11 @@ const FRAME_COMPLETE: u8 = 0x05;
 const FRAME_VTNC: u8 = 0x06;
 const FRAME_DECISION: u8 = 0x07;
 const FRAME_CONTROL_SNAPSHOT: u8 = 0x08;
+const FRAME_PING: u8 = 0x09;
+const FRAME_START_VIEW_CHANGE: u8 = 0x0A;
+const FRAME_DO_VIEW_CHANGE: u8 = 0x0B;
+const FRAME_START_VIEW: u8 = 0x0C;
+const FRAME_FORWARD_DECISION: u8 = 0x0D;
 const FRAME_SUBMIT: u8 = 0x10;
 const FRAME_SUBMIT_OK: u8 = 0x11;
 const FRAME_QUERY: u8 = 0x12;
@@ -404,6 +429,66 @@ pub enum Frame {
         /// The furthest certified VTNC horizon.
         vtnc_max: Option<VersionTs>,
     },
+    /// Coordinator heartbeat: the coordinator of `view` is alive.
+    /// Followers count missed pings to drive failure suspicion; a
+    /// receiver that is *ahead* of the pinger replies with its view
+    /// snapshot so a stale ex-coordinator catches up fast.
+    Ping {
+        /// The pinger's current view.
+        view: u64,
+        /// The pinging site (the coordinator of `view`).
+        from: SiteId,
+    },
+    /// View-change phase 1: `from` suspects the coordinator of its
+    /// current view and proposes moving to `view`. A site that collects
+    /// a majority of these joins phase 2.
+    StartViewChange {
+        /// The proposed (higher) view.
+        view: u64,
+        /// The proposing site.
+        from: SiteId,
+    },
+    /// View-change phase 2: `from` has seen a majority of
+    /// `StartViewChange(view)` and sends its control-plane evidence to
+    /// the new coordinator (`view % sites`), who installs the view once
+    /// a majority of these arrive.
+    DoViewChange {
+        /// The view being established.
+        view: u64,
+        /// The reporting site.
+        from: SiteId,
+        /// ETs whose completion `from` has observed, in order.
+        completed: Vec<EtId>,
+        /// COMPE decisions `from` has observed, in order.
+        decisions: Vec<(EtId, bool)>,
+        /// The furthest VTNC horizon `from` has observed.
+        vtnc_max: Option<VersionTs>,
+    },
+    /// View-change phase 3 (and the coordinator's Hello answer): the
+    /// new coordinator announces `view` together with the merged
+    /// control-plane evidence. Receivers at a lower view install it,
+    /// drop any coordinator role, and re-announce their applied ETs.
+    StartView {
+        /// The established view.
+        view: u64,
+        /// Merged completion evidence.
+        completed: Vec<EtId>,
+        /// Merged COMPE decisions.
+        decisions: Vec<(EtId, bool)>,
+        /// Merged VTNC horizon.
+        vtnc_max: Option<VersionTs>,
+    },
+    /// A client's COMPE decision being forwarded toward the coordinator
+    /// of the sender's current view. Unlike the `Decision` broadcast, a
+    /// non-coordinator receiver re-forwards this toward *its* view's
+    /// coordinator, so a decision in flight across a view change is
+    /// never stranded.
+    ForwardDecision {
+        /// The decided ET.
+        et: EtId,
+        /// `true` = commit, `false` = abort (compensate).
+        commit: bool,
+    },
     /// Client → daemon: submit a fully-stamped update MSet originating
     /// at this site (ET id, order tag, and version stamps are assigned
     /// by the client library).
@@ -439,6 +524,10 @@ pub enum Frame {
         outbound_pending: u64,
         /// The daemon's boot epoch.
         epoch: u64,
+        /// The daemon's current view number.
+        view: u64,
+        /// Does this daemon hold the coordinator role right now?
+        coordinator: bool,
     },
     /// Client → daemon: request the site's audit.
     Audit,
@@ -520,6 +609,44 @@ fn get_count(b: &mut &[u8], min_elem: usize) -> Result<usize, WireError> {
     Ok(n)
 }
 
+/// Encodes the `(completed, decisions, vtnc_max)` evidence triple shared
+/// by `ControlSnapshot`, `DoViewChange`, and `StartView`.
+fn encode_evidence(
+    b: &mut BytesMut,
+    completed: &[EtId],
+    decisions: &[(EtId, bool)],
+    vtnc_max: &Option<VersionTs>,
+) {
+    b.put_u32(completed.len() as u32);
+    for et in completed {
+        b.put_u64(et.raw());
+    }
+    b.put_u32(decisions.len() as u32);
+    for (et, commit) in decisions {
+        b.put_u64(et.raw());
+        b.put_u8(u8::from(*commit));
+    }
+    encode_version_opt(b, vtnc_max);
+}
+
+type Evidence = (Vec<EtId>, Vec<(EtId, bool)>, Option<VersionTs>);
+
+fn decode_evidence(b: &mut &[u8]) -> Result<Evidence, WireError> {
+    let n = get_count(b, 8)?;
+    let mut completed = Vec::with_capacity(n);
+    for _ in 0..n {
+        completed.push(EtId(get_u64(b)?));
+    }
+    let n = get_count(b, 9)?;
+    let mut decisions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let et = EtId(get_u64(b)?);
+        decisions.push((et, decode_bool(b)?));
+    }
+    let vtnc_max = decode_version_opt(b)?;
+    Ok((completed, decisions, vtnc_max))
+}
+
 /// Encodes a frame into a self-contained byte payload.
 pub fn encode_frame(frame: &Frame) -> Bytes {
     let mut b = BytesMut::with_capacity(64);
@@ -563,16 +690,44 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             vtnc_max,
         } => {
             b.put_u8(FRAME_CONTROL_SNAPSHOT);
-            b.put_u32(completed.len() as u32);
-            for et in completed {
-                b.put_u64(et.raw());
-            }
-            b.put_u32(decisions.len() as u32);
-            for (et, commit) in decisions {
-                b.put_u64(et.raw());
-                b.put_u8(u8::from(*commit));
-            }
-            encode_version_opt(&mut b, vtnc_max);
+            encode_evidence(&mut b, completed, decisions, vtnc_max);
+        }
+        Frame::Ping { view, from } => {
+            b.put_u8(FRAME_PING);
+            b.put_u64(*view);
+            b.put_u64(from.raw());
+        }
+        Frame::StartViewChange { view, from } => {
+            b.put_u8(FRAME_START_VIEW_CHANGE);
+            b.put_u64(*view);
+            b.put_u64(from.raw());
+        }
+        Frame::DoViewChange {
+            view,
+            from,
+            completed,
+            decisions,
+            vtnc_max,
+        } => {
+            b.put_u8(FRAME_DO_VIEW_CHANGE);
+            b.put_u64(*view);
+            b.put_u64(from.raw());
+            encode_evidence(&mut b, completed, decisions, vtnc_max);
+        }
+        Frame::StartView {
+            view,
+            completed,
+            decisions,
+            vtnc_max,
+        } => {
+            b.put_u8(FRAME_START_VIEW);
+            b.put_u64(*view);
+            encode_evidence(&mut b, completed, decisions, vtnc_max);
+        }
+        Frame::ForwardDecision { et, commit } => {
+            b.put_u8(FRAME_FORWARD_DECISION);
+            b.put_u64(et.raw());
+            b.put_u8(u8::from(*commit));
         }
         Frame::Submit(mset) => {
             b.put_u8(FRAME_SUBMIT);
@@ -620,11 +775,15 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             settled,
             outbound_pending,
             epoch,
+            view,
+            coordinator,
         } => {
             b.put_u8(FRAME_STATUS_OK);
             b.put_u8(u8::from(*settled));
             b.put_u64(*outbound_pending);
             b.put_u64(*epoch);
+            b.put_u64(*view);
+            b.put_u8(u8::from(*coordinator));
         }
         Frame::Audit => {
             b.put_u8(FRAME_AUDIT);
@@ -727,23 +886,47 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             commit: decode_bool(&mut b)?,
         },
         FRAME_CONTROL_SNAPSHOT => {
-            let n = get_count(&mut b, 8)?;
-            let mut completed = Vec::with_capacity(n);
-            for _ in 0..n {
-                completed.push(EtId(get_u64(&mut b)?));
-            }
-            let n = get_count(&mut b, 9)?;
-            let mut decisions = Vec::with_capacity(n);
-            for _ in 0..n {
-                let et = EtId(get_u64(&mut b)?);
-                decisions.push((et, decode_bool(&mut b)?));
-            }
+            let (completed, decisions, vtnc_max) = decode_evidence(&mut b)?;
             Frame::ControlSnapshot {
                 completed,
                 decisions,
-                vtnc_max: decode_version_opt(&mut b)?,
+                vtnc_max,
             }
         }
+        FRAME_PING => Frame::Ping {
+            view: get_u64(&mut b)?,
+            from: SiteId(get_u64(&mut b)?),
+        },
+        FRAME_START_VIEW_CHANGE => Frame::StartViewChange {
+            view: get_u64(&mut b)?,
+            from: SiteId(get_u64(&mut b)?),
+        },
+        FRAME_DO_VIEW_CHANGE => {
+            let view = get_u64(&mut b)?;
+            let from = SiteId(get_u64(&mut b)?);
+            let (completed, decisions, vtnc_max) = decode_evidence(&mut b)?;
+            Frame::DoViewChange {
+                view,
+                from,
+                completed,
+                decisions,
+                vtnc_max,
+            }
+        }
+        FRAME_START_VIEW => {
+            let view = get_u64(&mut b)?;
+            let (completed, decisions, vtnc_max) = decode_evidence(&mut b)?;
+            Frame::StartView {
+                view,
+                completed,
+                decisions,
+                vtnc_max,
+            }
+        }
+        FRAME_FORWARD_DECISION => Frame::ForwardDecision {
+            et: EtId(get_u64(&mut b)?),
+            commit: decode_bool(&mut b)?,
+        },
         FRAME_SUBMIT => Frame::Submit(decode_mset_from(&mut b)?),
         FRAME_SUBMIT_OK => Frame::SubmitOk {
             et: EtId(get_u64(&mut b)?),
@@ -789,6 +972,8 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             settled: decode_bool(&mut b)?,
             outbound_pending: get_u64(&mut b)?,
             epoch: get_u64(&mut b)?,
+            view: get_u64(&mut b)?,
+            coordinator: decode_bool(&mut b)?,
         },
         FRAME_AUDIT => Frame::Audit,
         FRAME_AUDIT_OK => {
@@ -921,6 +1106,12 @@ mod tests {
     }
 
     #[test]
+    fn client_identity_round_trips() {
+        let ops = vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))];
+        roundtrip(&MSet::new(EtId(4), SiteId(1), ops).from_client(ClientId(9), 17));
+    }
+
+    #[test]
     fn truncation_at_any_prefix_is_an_error_not_a_panic() {
         let mset = MSet::new(
             EtId(5),
@@ -968,9 +1159,9 @@ mod tests {
     fn corrupt_op_count_is_rejected_without_allocation_blowup() {
         let mset = MSet::new(EtId(1), SiteId(0), vec![]);
         let mut raw = encode_mset(&mset).to_vec();
-        // Last four bytes are the op count.
+        // The op count sits just before the trailing client byte.
         let n = raw.len();
-        raw[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        raw[n - 5..n - 1].copy_from_slice(&u32::MAX.to_be_bytes());
         assert_eq!(decode_mset(&Bytes::from(raw)), Err(WireError::BadLength));
     }
 
@@ -1035,7 +1226,40 @@ mod tests {
                 decisions: vec![],
                 vtnc_max: None,
             },
+            Frame::Ping {
+                view: 3,
+                from: SiteId(0),
+            },
+            Frame::StartViewChange {
+                view: 4,
+                from: SiteId(2),
+            },
+            Frame::DoViewChange {
+                view: 4,
+                from: SiteId(1),
+                completed: vec![EtId(1), EtId(5)],
+                decisions: vec![(EtId(2), false)],
+                vtnc_max: Some(VersionTs::new(6, ClientId(1))),
+            },
+            Frame::DoViewChange {
+                view: 1,
+                from: SiteId(2),
+                completed: vec![],
+                decisions: vec![],
+                vtnc_max: None,
+            },
+            Frame::StartView {
+                view: 4,
+                completed: vec![EtId(1)],
+                decisions: vec![(EtId(2), true)],
+                vtnc_max: None,
+            },
+            Frame::ForwardDecision {
+                et: EtId(8),
+                commit: false,
+            },
             Frame::Submit(sample_mset()),
+            Frame::Submit(sample_mset().from_client(ClientId(4), 11)),
             Frame::SubmitOk { et: EtId(12) },
             Frame::Query {
                 read_set: vec![ObjectId(1), ObjectId(2)],
@@ -1056,6 +1280,8 @@ mod tests {
                 settled: true,
                 outbound_pending: 5,
                 epoch: 2,
+                view: 3,
+                coordinator: false,
             },
             Frame::Audit,
             Frame::AuditOk(WireAudit {
@@ -1106,6 +1332,20 @@ mod tests {
                 decisions: vec![(EtId(2), false)],
                 vtnc_max: Some(VersionTs::new(4, ClientId(1))),
             },
+            Frame::DoViewChange {
+                view: 2,
+                from: SiteId(1),
+                completed: vec![EtId(1)],
+                decisions: vec![(EtId(2), true)],
+                vtnc_max: Some(VersionTs::new(3, ClientId(0))),
+            },
+            Frame::StartView {
+                view: 2,
+                completed: vec![EtId(1)],
+                decisions: vec![],
+                vtnc_max: None,
+            },
+            Frame::Submit(sample_mset().from_client(ClientId(2), 5)),
             Frame::MetricsOk {
                 text: "esr_backlog{site=\"1\"} 2\n".to_owned(),
             },

@@ -65,6 +65,11 @@ fn corpus(seed: u64) -> Vec<Frame> {
         ],
     )
     .sequenced(SeqNo(seed % 17));
+    let mset = if seed.is_multiple_of(2) {
+        mset.from_client(ClientId(seed % 7), seed % 19)
+    } else {
+        mset
+    };
     vec![
         Frame::Hello { site, epoch: seed },
         Frame::MSet(mset.clone()),
@@ -105,6 +110,8 @@ fn corpus(seed: u64) -> Vec<Frame> {
             settled: seed.is_multiple_of(2),
             outbound_pending: seed % 23,
             epoch: seed % 7,
+            view: seed % 11,
+            coordinator: seed.is_multiple_of(3),
         },
         Frame::AuditOk(WireAudit {
             ordup_order: (0..seed % 3).map(|i| (EtId(i), SeqNo(i))).collect(),
@@ -117,6 +124,31 @@ fn corpus(seed: u64) -> Vec<Frame> {
             journaled: seed % 31,
         }),
         Frame::DecisionOk { et },
+        Frame::Ping {
+            view: seed % 9,
+            from: site,
+        },
+        Frame::StartViewChange {
+            view: seed % 9,
+            from: site,
+        },
+        Frame::DoViewChange {
+            view: seed % 9,
+            from: site,
+            completed: (0..seed % 4).map(EtId).collect(),
+            decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
+            vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
+        Frame::StartView {
+            view: seed % 9,
+            completed: (0..seed % 4).map(EtId).collect(),
+            decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
+            vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
+        Frame::ForwardDecision {
+            et,
+            commit: seed.is_multiple_of(2),
+        },
     ]
 }
 

@@ -36,7 +36,12 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
         ],
     )
     .sequenced(SeqNo(seed % 17));
-    match variant % 16 {
+    let mset = if seed.is_multiple_of(2) {
+        mset.from_client(ClientId(seed % 7), seed % 19)
+    } else {
+        mset
+    };
+    match variant % 20 {
         0 => Frame::Hello {
             site,
             epoch: seed,
@@ -79,6 +84,8 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
             settled: seed.is_multiple_of(2),
             outbound_pending: seed % 23,
             epoch: seed % 7,
+            view: seed % 11,
+            coordinator: seed.is_multiple_of(3),
         },
         14 => Frame::AuditOk(WireAudit {
             ordup_order: (0..seed % 3).map(|i| (EtId(i), SeqNo(i))).collect(),
@@ -90,7 +97,28 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
             redelivered: seed % 5,
             journaled: seed % 31,
         }),
-        _ => Frame::DecisionOk { et },
+        15 => Frame::DecisionOk { et },
+        16 => Frame::Ping {
+            view: seed % 9,
+            from: site,
+        },
+        17 => Frame::StartViewChange {
+            view: seed % 9,
+            from: site,
+        },
+        18 => Frame::DoViewChange {
+            view: seed % 9,
+            from: site,
+            completed: (0..seed % 4).map(EtId).collect(),
+            decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
+            vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
+        _ => Frame::StartView {
+            view: seed % 9,
+            completed: (0..seed % 4).map(EtId).collect(),
+            decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
+            vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
     }
 }
 

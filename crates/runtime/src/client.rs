@@ -39,6 +39,10 @@ pub struct DaemonStatus {
     pub outbound_pending: u64,
     /// The daemon's boot epoch (increments across restarts).
     pub epoch: u64,
+    /// The currently installed view (0 until the first failover).
+    pub view: u64,
+    /// Does this site hold the coordinator role in its view?
+    pub coordinator: bool,
 }
 
 /// A connected client-plane session with one daemon.
@@ -128,10 +132,14 @@ impl RpcClient {
                 settled,
                 outbound_pending,
                 epoch,
+                view,
+                coordinator,
             } => Ok(DaemonStatus {
                 settled,
                 outbound_pending,
                 epoch,
+                view,
+                coordinator,
             }),
             other => Err(bad_reply(&other)),
         }

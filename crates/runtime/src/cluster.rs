@@ -58,6 +58,12 @@ pub struct QuiesceTimeout {
     /// runtime). `None` when the site could not be reached — usually
     /// the site that is wedging the quiesce.
     pub site_queues: Vec<Option<u64>>,
+    /// Which site reported holding the coordinator role at the
+    /// deadline (process runtime; the thread runtime pins the role to
+    /// site 0 and reports `None`). A timeout with no reachable
+    /// coordinator usually means the killed coordinator was never
+    /// restarted and no surviving site suspected it yet.
+    pub coordinator: Option<SiteId>,
 }
 
 impl std::fmt::Display for QuiesceTimeout {
@@ -77,7 +83,11 @@ impl std::fmt::Display for QuiesceTimeout {
                 None => write!(f, "site {i}: unreachable")?,
             }
         }
-        write!(f, "]")
+        write!(f, "]; coordinator role held by ")?;
+        match self.coordinator {
+            Some(s) => write!(f, "site {}", s.raw()),
+            None => write!(f, "no reachable site"),
+        }
     }
 }
 
@@ -933,6 +943,7 @@ impl Cluster {
                 return Err(QuiesceTimeout {
                     waited: start.elapsed(),
                     site_queues: self.sample_queue_depths(),
+                    coordinator: None,
                 });
             }
             self.sample_queue_depths();

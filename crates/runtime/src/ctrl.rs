@@ -2,15 +2,30 @@
 //! `esr-model` checker.
 //!
 //! Everything the daemon does to protocol state — journal append +
-//! replay, site-0 completion/VTNC/decision coordination, wire-frame
-//! handling, boot recovery — is expressed here as side-effect-free
-//! transitions: [`NodeCore::step`] consumes one [`NodeEvent`] and
-//! returns the ordered list of [`Effect`]s it implies. The daemon
-//! executes those effects against the real world (fsync'd journal,
-//! durable TCP links, the esr-obs event ring); the model checker in
-//! `crates/check` executes them against in-memory queues and explores
-//! every interleaving. Because both run *this* code, the daemon and the
-//! model cannot drift (DESIGN.md §14).
+//! replay, coordinator completion/VTNC/decision tracking, view-change
+//! elections, wire-frame handling, boot recovery — is expressed here as
+//! side-effect-free transitions: [`NodeCore::step`] consumes one
+//! [`NodeEvent`] and returns the ordered list of [`Effect`]s it
+//! implies. The daemon executes those effects against the real world
+//! (fsync'd journal, durable TCP links, the esr-obs event ring); the
+//! model checker in `crates/check` executes them against in-memory
+//! queues and explores every interleaving. Because both run *this*
+//! code, the daemon and the model cannot drift (DESIGN.md §14).
+//!
+//! ## The coordinator is elected, not fixed
+//!
+//! The coordinator of view `v` is site `v % sites`; view 0 puts it on
+//! site 0, matching the pre-failover deployments. When the coordinator
+//! stops answering heartbeats ([`Frame::Ping`] counted by
+//! [`NodeEvent::Tick`]s — the core only ever sees tick *counts*, never
+//! a clock, so the lint's determinism scope holds), any site starts a
+//! Viewstamped-Replication-style change (DESIGN.md §15):
+//! `StartViewChange(v+1)` → majority → `DoViewChange` carrying local
+//! control evidence to the new coordinator → majority → `StartView`
+//! broadcast with merged evidence. Installed views are journalled
+//! durably via [`Effect::RecordView`] *before* any frame of the new
+//! view is sent, and every site re-announces its applied ETs to the new
+//! coordinator, so completion evidence survives the handoff.
 //!
 //! ## Effect ordering is part of the contract
 //!
@@ -20,11 +35,13 @@
 //! only after every effect of its step has been executed — that is the
 //! write-ahead discipline that makes a `kill -9` at any point safe:
 //! whatever was acked is journalled, whatever wasn't acked will be
-//! retransmitted by the peer's at-least-once queue.
+//! retransmitted by the peer's at-least-once queue. The same rule
+//! covers [`Effect::RecordView`]: a view is durable before the first
+//! send that presumes it.
 //!
 //! ## Seeded defects
 //!
-//! [`CtrlCanary`] enumerates five control-plane defect classes the
+//! [`CtrlCanary`] enumerates the control-plane defect classes the
 //! model checker must prove it can catch before a clean sweep counts
 //! (the PR-2 canary discipline, applied to this layer). Production
 //! daemons always run with `canary = None`; the variants exist so the
@@ -32,7 +49,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use esr_core::ids::{EtId, SiteId, VersionTs};
+use esr_core::ids::{ClientId, EtId, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_replica::mset::{MSet, OrderTag};
 use esr_replica::wire::Frame;
@@ -53,6 +70,18 @@ pub enum NodeEvent {
         /// `true` = commit, `false` = abort (compensate).
         commit: bool,
     },
+    /// One heartbeat interval elapsed. The daemon's timer thread is the
+    /// only clock the protocol ever sees: the coordinator pings on each
+    /// tick, a follower counts ticks since the last coordinator ping
+    /// and starts a view change after [`SUSPECT_AFTER`] silent ones.
+    /// The model checker never schedules `Tick` — it injects
+    /// [`NodeEvent::SuspectCoordinator`] directly so elections are
+    /// explored without modelling time.
+    Tick,
+    /// Declare the current coordinator failed and start a view change
+    /// (the model checker's time-free stand-in for a run of silent
+    /// ticks).
+    SuspectCoordinator,
 }
 
 /// One side effect implied by a step, to be executed in order.
@@ -70,6 +99,12 @@ pub enum Effect {
         /// The frame to deliver.
         frame: Frame,
     },
+    /// Durably record that this site installed view `v` (atomic
+    /// file write in the daemon, a per-node register in the model).
+    /// Ordered like `Journal`: it precedes every `Send` of the same
+    /// step, so no frame of a view can be observed before the view
+    /// itself would survive a crash.
+    RecordView(u64),
     /// Record a structured observability event (esr-obs ring). The
     /// message grammar is part of the trace-certifier contract
     /// (`esr-check::certify`): apply events carry `v=<time>` /
@@ -77,7 +112,8 @@ pub enum Effect {
     /// `complete et N` / `vtnc -> time T` / `commit et N` /
     /// `abort et N` forms.
     Trace {
-        /// Ring component tag (`apply`, `control`, `peer`, `replay`).
+        /// Ring component tag (`apply`, `control`, `peer`, `replay`,
+        /// `view`, `client`).
         component: &'static str,
         /// Human- and certifier-readable event text.
         message: String,
@@ -110,10 +146,34 @@ pub enum CtrlCanary {
     /// incarnation (epoch+1) never receives the control snapshot it
     /// needs to recover lost completions.
     HelloEpochPinned,
+    /// An ex-coordinator keeps its coordinator role when told about a
+    /// newer view (`StartView` fails to demote it), leaving two live
+    /// coordinators certifying concurrently — the split-brain the
+    /// at-most-one-coordinator oracle must expose.
+    SplitBrainCoordinator,
+    /// The coordinator installing a new view silently marks every ET it
+    /// has applied locally as already completed, so completions whose
+    /// broadcast died with the old coordinator are never re-driven and
+    /// the cluster never settles.
+    HandoffDropsCompletions,
 }
 
-/// The coordinator's completion/certification state (site 0 only) —
-/// the pure core of what used to live inside the daemon.
+/// Which site coordinates view `view` in an `n`-site cluster. View 0
+/// maps to site 0, preserving every pre-failover deployment.
+pub fn coordinator_of(view: u64, sites: usize) -> SiteId {
+    SiteId(view % sites as u64)
+}
+
+/// Heartbeat ticks a follower tolerates without a coordinator ping
+/// before suspecting it (also the stall budget for an in-progress view
+/// change before escalating to the next view). The daemon ticks every
+/// ~250ms, so this is ~3s of silence — comfortably above link connect
+/// backoff on a loaded CI machine, far below test quiesce budgets.
+pub const SUSPECT_AFTER: u32 = 12;
+
+/// The coordinator's completion/certification state (held by the
+/// coordinator of the current view) — the pure core of what used to
+/// live inside the daemon.
 #[derive(Debug)]
 pub struct CoordCore {
     n: usize,
@@ -157,6 +217,55 @@ impl CoordCore {
             greeted: BTreeMap::new(),
             canary,
         }
+    }
+
+    /// A coordinator seeded from merged `DoViewChange` evidence: every
+    /// completion and decision the majority remembers is treated as
+    /// already broadcast (the installer re-broadcasts them in its
+    /// `StartView`), and the VTNC clock resumes *after* the merged
+    /// horizon so the new coordinator never re-certifies below it.
+    pub fn from_handoff(
+        n: usize,
+        method: RtMethod,
+        canary: Option<CtrlCanary>,
+        completed: Vec<EtId>,
+        decisions: Vec<(EtId, bool)>,
+        vtnc_max: Option<VersionTs>,
+    ) -> Self {
+        let mut core = Self::new(n, method, canary);
+        core.done = completed.iter().copied().collect();
+        core.completed_log = completed;
+        core.decided = decisions.iter().map(|(et, _)| *et).collect();
+        core.decisions_log = decisions;
+        core.next_time = vtnc_max.map_or(1, |v| v.time + 1);
+        core.vtnc_max = vtnc_max;
+        core
+    }
+
+    /// Absorbs a completion broadcast observed from another (stale)
+    /// coordinator, so this coordinator's snapshots carry it and a late
+    /// `Applied` quorum for the same ET stays silent.
+    fn note_external_complete(&mut self, et: EtId) {
+        if self.done.insert(et) {
+            self.completed_log.push(et);
+            self.counts.remove(&et);
+        }
+    }
+
+    /// Absorbs a decision broadcast observed from another (stale)
+    /// coordinator (recorded, never re-broadcast).
+    fn note_external_decision(&mut self, et: EtId, commit: bool) {
+        if self.decided.insert(et) {
+            self.decisions_log.push((et, commit));
+        }
+    }
+
+    /// Absorbs a VTNC broadcast observed from another (stale)
+    /// coordinator: the horizon and the dense-prefix clock both move
+    /// past it so certification never runs backwards.
+    fn note_external_vtnc(&mut self, ts: VersionTs) {
+        self.vtnc_max = Some(self.vtnc_max.map_or(ts, |m| m.max(ts)));
+        self.next_time = self.next_time.max(ts.time + 1);
     }
 
     /// Absorbs one apply report; returns the control broadcasts it
@@ -225,6 +334,20 @@ impl CoordCore {
         }
     }
 
+    /// The recovery snapshot as a `StartView` for view `view`: carries
+    /// the same evidence as [`Self::control_state`] and additionally
+    /// pins the receiver to this coordinator's view (a receiver at a
+    /// lower view installs it; one at the same view absorbs the
+    /// evidence idempotently).
+    pub fn view_snapshot(&self, view: u64) -> Frame {
+        Frame::StartView {
+            view,
+            completed: self.completed_log.clone(),
+            decisions: self.decisions_log.clone(),
+            vtnc_max: self.vtnc_max,
+        }
+    }
+
     /// Should this Hello be answered with a control snapshot? Always,
     /// except under the [`CtrlCanary::HelloEpochPinned`] defect, which
     /// pins the first epoch seen per site and treats every other epoch
@@ -278,11 +401,17 @@ fn seq_of(mset: &MSet) -> Option<u64> {
 /// any id a workload would mint.
 const CANARY_ET_BIT: u64 = 1 << 60;
 
+/// The volatile coordinator knowledge a `DoViewChange` ships to the
+/// coordinator-to-be: completions in first-seen order, COMPE decisions
+/// in first-seen order, and the furthest VTNC horizon observed.
+type HandoffEvidence = (Vec<EtId>, Vec<(EtId, bool)>, Option<VersionTs>);
+
 /// One site's complete control-plane state machine: the replica state,
-/// the journalled-ET set, and (on site 0) the coordinator. All protocol
+/// the journalled-ET set, the view-change election machine, and (on
+/// the current view's coordinator) the coordinator core. All protocol
 /// logic of the `esrd` daemon lives here, as pure transitions.
 pub struct NodeCore {
-    /// This site's id (site 0 is the coordinator).
+    /// This site's id.
     pub site: SiteId,
     /// Total number of sites in the cluster.
     pub sites: usize,
@@ -290,8 +419,13 @@ pub struct NodeCore {
     pub method: RtMethod,
     /// The replica state machine.
     pub state: SiteState,
-    /// Completion/certification state; `Some` only on site 0.
+    /// Completion/certification state; `Some` exactly when this site is
+    /// `coordinator_of(view, sites)` (the split-brain canary breaks
+    /// this invariant on purpose).
     pub coord: Option<CoordCore>,
+    /// The currently installed view (durable via
+    /// [`Effect::RecordView`]).
+    pub view: u64,
     /// ETs already appended to the write-ahead journal (dedupe guard so
     /// redeliveries don't journal twice).
     journaled: BTreeSet<EtId>,
@@ -300,9 +434,48 @@ pub struct NodeCore {
     /// in-order arrival can release a whole run of held successors,
     /// and each release must still be traced and reported.
     held: BTreeMap<EtId, (Option<VersionTs>, Option<u64>)>,
-    /// COMPE decisions this site has already processed — only consulted
-    /// by the [`CtrlCanary::DecisionReplayReapplies`] defect.
+    /// COMPE decisions this site has seen, with the decided outcome —
+    /// the idempotency guard for redelivered/re-broadcast decisions and
+    /// this site's decision evidence for `DoViewChange`.
     decisions_seen: BTreeSet<EtId>,
+    /// Decision evidence in first-seen order (what `DoViewChange`
+    /// ships).
+    decisions_order: Vec<(EtId, bool)>,
+    /// Completions this site has seen (dedupe guard for re-broadcasts
+    /// from a recovered or newly-elected coordinator).
+    completed_seen: BTreeSet<EtId>,
+    /// Completion evidence in first-seen order (what `DoViewChange`
+    /// ships).
+    completed_order: Vec<EtId>,
+    /// The furthest VTNC horizon observed (evidence for `DoViewChange`;
+    /// also suppresses re-tracing when a recovered coordinator
+    /// re-certifies an old horizon).
+    vtnc_seen: Option<VersionTs>,
+    /// Every ET this site has applied, with its max install version —
+    /// re-announced wholesale to a newly-elected (or freshly-recovered)
+    /// coordinator so completion tracking survives the handoff.
+    applied_log: BTreeMap<EtId, Option<VersionTs>>,
+    /// Exactly-once client dedup: `(client, request seq) -> et`.
+    /// Rebuilt from the journal on recovery, so a retried submit after
+    /// a crash or failover returns the original ET instead of applying
+    /// twice.
+    client_table: BTreeMap<(u64, u64), EtId>,
+    /// Ticks since the last ping from the current view's coordinator.
+    missed_pings: u32,
+    /// The view this site is currently electing (`0` = none pending;
+    /// always `> view` when pending).
+    vc_target: u64,
+    /// Sites (including self) seen to start the pending view change.
+    svc_from: BTreeSet<SiteId>,
+    /// `DoViewChange` evidence collected by the pending view's
+    /// coordinator-to-be, keyed by sender.
+    dvc: BTreeMap<SiteId, HandoffEvidence>,
+    /// Whether this site already sent its `DoViewChange` for
+    /// `vc_target`.
+    dvc_sent: bool,
+    /// Ticks the pending view change has been stalled (escalates to
+    /// `vc_target + 1` when the coordinator-to-be is dead too).
+    vc_ticks: u32,
     /// Journalled MSets stashed for canary re-application (empty unless
     /// a canary that re-applies updates is armed).
     canary_msets: BTreeMap<EtId, MSet>,
@@ -320,17 +493,44 @@ impl NodeCore {
         sites: usize,
         canary: Option<CtrlCanary>,
     ) -> Self {
-        let coord =
-            (site == SiteId(0)).then(|| CoordCore::new(sites, method, canary));
+        Self::fresh_at_view(state, method, site, sites, canary, 0)
+    }
+
+    /// A fresh core that boots directly into `view` (recovery passes
+    /// the durably recorded view here; a cold boot passes 0). The site
+    /// assumes the coordinator role exactly when the view maps to it.
+    pub fn fresh_at_view(
+        state: SiteState,
+        method: RtMethod,
+        site: SiteId,
+        sites: usize,
+        canary: Option<CtrlCanary>,
+        view: u64,
+    ) -> Self {
+        let coord = (coordinator_of(view, sites) == site)
+            .then(|| CoordCore::new(sites, method, canary));
         Self {
             site,
             sites,
             method,
             state,
             coord,
+            view,
             journaled: BTreeSet::new(),
             held: BTreeMap::new(),
             decisions_seen: BTreeSet::new(),
+            decisions_order: Vec::new(),
+            completed_seen: BTreeSet::new(),
+            completed_order: Vec::new(),
+            vtnc_seen: None,
+            applied_log: BTreeMap::new(),
+            client_table: BTreeMap::new(),
+            missed_pings: 0,
+            vc_target: 0,
+            svc_from: BTreeSet::new(),
+            dvc: BTreeMap::new(),
+            dvc_sent: false,
+            vc_ticks: 0,
             canary_msets: BTreeMap::new(),
             canary,
         }
@@ -348,9 +548,10 @@ impl NodeCore {
         site: SiteId,
         sites: usize,
         canary: Option<CtrlCanary>,
+        view: u64,
         journal: Vec<MSet>,
     ) -> (Self, Vec<Effect>) {
-        let mut core = Self::fresh(state, method, site, sites, canary);
+        let mut core = Self::fresh_at_view(state, method, site, sites, canary, view);
         let mut effects = Vec::new();
         let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
         let last = journal.last().cloned();
@@ -359,6 +560,9 @@ impl NodeCore {
             let version = max_version(&mset);
             let seq = seq_of(&mset);
             core.journaled.insert(et);
+            if let Some((cid, cseq)) = mset.client {
+                core.client_table.insert((cid.raw(), cseq), et);
+            }
             if core.canary == Some(CtrlCanary::DecisionReplayReapplies) {
                 core.canary_msets.insert(et, mset.clone());
             }
@@ -405,6 +609,23 @@ impl NodeCore {
         match event {
             NodeEvent::PeerFrame(frame) => self.on_peer_frame(frame),
             NodeEvent::ClientSubmit(mset) => {
+                // Exactly-once: a retried submit (same client, same
+                // request seq) is answered from the client table — no
+                // journal write, no fan-out, no double apply. The
+                // daemon replies with the cached ET, byte-identical to
+                // the original SubmitOk.
+                if let Some((cid, cseq)) = mset.client {
+                    if let Some(et) = self.cached_et(cid, cseq) {
+                        return vec![Effect::Trace {
+                            component: "client",
+                            message: format!(
+                                "duplicate submit client {} seq {cseq} -> et {}",
+                                cid.raw(),
+                                et.0
+                            ),
+                        }];
+                    }
+                }
                 // Fan the update out to every peer over the durable
                 // links, then absorb it locally (journal + apply +
                 // report).
@@ -419,7 +640,234 @@ impl NodeCore {
                 effects
             }
             NodeEvent::ClientDecision { et, commit } => self.decide(et, commit),
+            NodeEvent::Tick => self.on_tick(),
+            NodeEvent::SuspectCoordinator => {
+                let next = self.view.max(self.vc_target) + 1;
+                self.start_view_change(next)
+            }
         }
+    }
+
+    /// The cached ET for a client request, if this site has journalled
+    /// it (the exactly-once read path the daemon consults before
+    /// dispatching a submit).
+    pub fn cached_et(&self, client: ClientId, seq: u64) -> Option<EtId> {
+        self.client_table.get(&(client.raw(), seq)).copied()
+    }
+
+    /// One heartbeat interval. Coordinators ping; followers count
+    /// silence and eventually suspect; a stalled election escalates
+    /// past a dead coordinator-to-be.
+    fn on_tick(&mut self) -> Vec<Effect> {
+        if self.vc_target > self.view {
+            // Election in progress: give it SUSPECT_AFTER ticks, then
+            // assume the coordinator-to-be is down as well and move on.
+            self.vc_ticks += 1;
+            if self.vc_ticks >= SUSPECT_AFTER {
+                self.vc_ticks = 0;
+                let next = self.vc_target + 1;
+                return self.start_view_change(next);
+            }
+            return Vec::new();
+        }
+        if self.coord.is_some() {
+            return self
+                .peers()
+                .map(|to| Effect::Send {
+                    to,
+                    frame: Frame::Ping {
+                        view: self.view,
+                        from: self.site,
+                    },
+                })
+                .collect();
+        }
+        self.missed_pings += 1;
+        if self.missed_pings >= SUSPECT_AFTER {
+            self.missed_pings = 0;
+            let next = self.view + 1;
+            return self.start_view_change(next);
+        }
+        Vec::new()
+    }
+
+    /// Simple majority of the cluster (self-inclusive).
+    fn majority(&self) -> usize {
+        self.sites / 2 + 1
+    }
+
+    /// Begins (or joins) the election of view `target`. Idempotent per
+    /// target; a higher target supersedes a pending lower one.
+    fn start_view_change(&mut self, target: u64) -> Vec<Effect> {
+        if target <= self.view {
+            return Vec::new();
+        }
+        if target > self.vc_target {
+            self.vc_target = target;
+            self.svc_from.clear();
+            self.dvc.clear();
+            self.dvc_sent = false;
+            self.vc_ticks = 0;
+        }
+        let mut effects = Vec::new();
+        if self.svc_from.insert(self.site) {
+            effects.push(Effect::Trace {
+                component: "view",
+                message: format!("start view change -> view {target}"),
+            });
+            for to in self.peers() {
+                effects.push(Effect::Send {
+                    to,
+                    frame: Frame::StartViewChange {
+                        view: target,
+                        from: self.site,
+                    },
+                });
+            }
+        }
+        effects.extend(self.maybe_send_dvc());
+        effects
+    }
+
+    /// Once a majority has started the pending view change, ship this
+    /// site's control evidence to the new view's coordinator (or file
+    /// it directly when that coordinator is us).
+    fn maybe_send_dvc(&mut self) -> Vec<Effect> {
+        if self.dvc_sent
+            || self.vc_target <= self.view
+            || self.svc_from.len() < self.majority()
+        {
+            return Vec::new();
+        }
+        self.dvc_sent = true;
+        let target = self.vc_target;
+        let evidence = (
+            self.completed_order.clone(),
+            self.decisions_order.clone(),
+            self.vtnc_seen,
+        );
+        let next_coord = coordinator_of(target, self.sites);
+        if next_coord == self.site {
+            self.dvc.insert(self.site, evidence);
+            self.maybe_install_view()
+        } else {
+            vec![Effect::Send {
+                to: next_coord,
+                frame: Frame::DoViewChange {
+                    view: target,
+                    from: self.site,
+                    completed: evidence.0,
+                    decisions: evidence.1,
+                    vtnc_max: evidence.2,
+                },
+            }]
+        }
+    }
+
+    /// Installs `vc_target` as its coordinator once a majority's
+    /// `DoViewChange` evidence is in: merge the evidence, seed a
+    /// [`CoordCore`] from it, durably record the view, tell everyone,
+    /// and feed this site's own applies into the new coordinator.
+    fn maybe_install_view(&mut self) -> Vec<Effect> {
+        if self.vc_target <= self.view || self.dvc.len() < self.majority() {
+            return Vec::new();
+        }
+        let w = self.vc_target;
+        // Merge: completions and decisions are unions keyed by ET (any
+        // single site's log is a prefix-consistent view of the old
+        // coordinator's broadcast order), the VTNC horizon is the max.
+        let mut completed: Vec<EtId> = Vec::new();
+        let mut decisions: Vec<(EtId, bool)> = Vec::new();
+        let mut vtnc_max: Option<VersionTs> = None;
+        for (c, d, v) in self.dvc.values() {
+            for et in c {
+                if !completed.contains(et) {
+                    completed.push(*et);
+                }
+            }
+            for (et, commit) in d {
+                if !decisions.iter().any(|(e, _)| e == et) {
+                    decisions.push((*et, *commit));
+                }
+            }
+            vtnc_max = vtnc_max.max(*v);
+        }
+        self.view = w;
+        self.clear_election();
+        let mut coord = CoordCore::from_handoff(
+            self.sites,
+            self.method,
+            self.canary,
+            completed.clone(),
+            decisions.clone(),
+            vtnc_max,
+        );
+        // Defect: the installer marks its own applied-but-uncompleted
+        // ETs as done, so their completions are never re-driven.
+        if self.canary == Some(CtrlCanary::HandoffDropsCompletions) {
+            for et in self.applied_log.keys() {
+                coord.done.insert(*et);
+            }
+        }
+        self.coord = Some(coord);
+        let mut effects = vec![
+            Effect::RecordView(w),
+            Effect::Trace {
+                component: "view",
+                message: format!("install view {w} as coordinator"),
+            },
+        ];
+        effects.extend(self.absorb_evidence(&completed, &decisions, vtnc_max));
+        for to in self.peers() {
+            effects.push(Effect::Send {
+                to,
+                frame: Frame::StartView {
+                    view: w,
+                    completed: completed.clone(),
+                    decisions: decisions.clone(),
+                    vtnc_max,
+                },
+            });
+        }
+        // Count our own applies toward completion in the new view (the
+        // peers re-announce theirs on receiving StartView).
+        let applied: Vec<(EtId, Option<VersionTs>)> =
+            self.applied_log.iter().map(|(et, v)| (*et, *v)).collect();
+        for (et, version) in applied {
+            effects.extend(self.report_applied(et, version));
+        }
+        effects
+    }
+
+    /// Resets all pending-election state (on install or supersession).
+    fn clear_election(&mut self) {
+        self.vc_target = 0;
+        self.svc_from.clear();
+        self.dvc.clear();
+        self.dvc_sent = false;
+        self.vc_ticks = 0;
+        self.missed_pings = 0;
+    }
+
+    /// Applies snapshot/handoff evidence idempotently (dedup guards
+    /// absorb anything this site has already seen).
+    fn absorb_evidence(
+        &mut self,
+        completed: &[EtId],
+        decisions: &[(EtId, bool)],
+        vtnc_max: Option<VersionTs>,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for et in completed {
+            effects.extend(self.apply_complete(*et));
+        }
+        for (et, commit) in decisions {
+            effects.extend(self.apply_decision(*et, *commit));
+        }
+        if let Some(v) = vtnc_max {
+            effects.extend(self.apply_vtnc(v));
+        }
+        effects
     }
 
     fn on_peer_frame(&mut self, frame: Frame) -> Vec<Effect> {
@@ -429,14 +877,38 @@ impl NodeCore {
                     component: "peer",
                     message: format!("hello from site {} epoch {epoch}", site.raw()),
                 }];
-                // Coordinator: answer every peer (re)handshake with the
-                // control snapshot — idempotent replay that covers a
-                // recovering site whose queue files were lost.
                 if let Some(coord) = &mut self.coord {
+                    // Coordinator: answer every peer (re)handshake with
+                    // the view snapshot — idempotent replay that covers
+                    // a recovering site whose queue files were lost.
                     if coord.answer_hello(site, epoch) {
                         effects.push(Effect::Send {
                             to: site,
-                            frame: coord.control_state(),
+                            frame: coord.view_snapshot(self.view),
+                        });
+                    }
+                } else if site == coordinator_of(self.view, self.sites) {
+                    // Our coordinator rebooted: its in-memory evidence
+                    // died with it, so re-announce everything this site
+                    // knows — applies (its `done` set absorbs what was
+                    // already completed) and decisions (absorbed
+                    // idempotently, then rebroadcast).
+                    if self.method.tracks_completion() {
+                        for (et, version) in &self.applied_log {
+                            effects.push(Effect::Send {
+                                to: site,
+                                frame: Frame::Applied {
+                                    site: self.site,
+                                    et: *et,
+                                    version: *version,
+                                },
+                            });
+                        }
+                    }
+                    for &(et, commit) in &self.decisions_order {
+                        effects.push(Effect::Send {
+                            to: site,
+                            frame: Frame::ForwardDecision { et, commit },
                         });
                     }
                 }
@@ -450,32 +922,191 @@ impl NodeCore {
                 };
                 self.broadcast_all(broadcasts)
             }
-            Frame::Complete { et } => self.apply_complete(et),
-            Frame::Vtnc { ts } => self.apply_vtnc(ts),
+            Frame::Complete { et } => {
+                // A completion minted by another coordinator (an older
+                // view's broadcast catching up with us). If we hold
+                // the role and this is news, our followers may have
+                // missed the original broadcast (a crash can consume
+                // it, and the old view's snapshots are now stale), so
+                // relay it — receivers dedup.
+                let news = !self.completed_seen.contains(&et);
+                if let Some(c) = &mut self.coord {
+                    c.note_external_complete(et);
+                }
+                let mut effects = self.apply_complete(et);
+                if news && self.coord.is_some() {
+                    effects.extend(self.relay(Frame::Complete { et }));
+                }
+                effects
+            }
+            Frame::Vtnc { ts } => {
+                let news = self.vtnc_seen.is_none_or(|m| ts > m);
+                if let Some(c) = &mut self.coord {
+                    c.note_external_vtnc(ts);
+                }
+                let mut effects = self.apply_vtnc(ts);
+                if news && self.coord.is_some() {
+                    effects.extend(self.relay(Frame::Vtnc { ts }));
+                }
+                effects
+            }
             Frame::Decision { et, commit } => {
+                // The coordinator's broadcast. If *we* hold the role
+                // (their view was older), record it and relay it for
+                // the same reason as `Complete` above.
+                let news = !self.decisions_order.iter().any(|(d, _)| *d == et);
+                if let Some(c) = &mut self.coord {
+                    c.note_external_decision(et, commit);
+                }
+                let mut effects = self.apply_decision(et, commit);
+                if news && self.coord.is_some() {
+                    effects.extend(self.relay(Frame::Decision { et, commit }));
+                }
+                effects
+            }
+            Frame::ForwardDecision { et, commit } => {
                 if self.coord.is_some() {
-                    // A peer forwarded a client's decision to us.
                     self.decide(et, commit)
                 } else {
-                    // The coordinator's broadcast: apply it here (calling
-                    // `decide` would bounce it straight back).
-                    self.apply_decision(et, commit)
+                    // Not (or no longer) the coordinator: re-forward
+                    // toward the current view's coordinator so a
+                    // decision in flight across a failover is never
+                    // stranded in a dead site's inbound queue.
+                    vec![Effect::Send {
+                        to: coordinator_of(self.view, self.sites),
+                        frame: Frame::ForwardDecision { et, commit },
+                    }]
                 }
             }
             Frame::ControlSnapshot {
                 completed,
                 decisions,
                 vtnc_max,
+            } => self.absorb_evidence(&completed, &decisions, vtnc_max),
+            Frame::Ping { view, from } => {
+                if view == self.view {
+                    if from == coordinator_of(self.view, self.sites) {
+                        self.missed_pings = 0;
+                    }
+                    Vec::new()
+                } else if view < self.view {
+                    // A stale coordinator is still pinging: answer with
+                    // our view's state so it demotes itself without
+                    // waiting for the durable StartView to drain.
+                    vec![Effect::Send {
+                        to: from,
+                        frame: Frame::StartView {
+                            view: self.view,
+                            completed: self.completed_order.clone(),
+                            decisions: self.decisions_order.clone(),
+                            vtnc_max: self.vtnc_seen,
+                        },
+                    }]
+                } else {
+                    // A view ahead of ours: its durable StartView is
+                    // already on the way.
+                    Vec::new()
+                }
+            }
+            Frame::StartViewChange { view, from } => {
+                if view <= self.view {
+                    return Vec::new();
+                }
+                // Join the election (no-op if already in it), then
+                // count the sender's vote.
+                let mut effects = self.start_view_change(view);
+                if view == self.vc_target {
+                    self.svc_from.insert(from);
+                    effects.extend(self.maybe_send_dvc());
+                }
+                effects
+            }
+            Frame::DoViewChange {
+                view,
+                from,
+                completed,
+                decisions,
+                vtnc_max,
             } => {
+                if view <= self.view || coordinator_of(view, self.sites) != self.site {
+                    return Vec::new();
+                }
+                // A DoViewChange proves a majority started this view
+                // change; adopt it even if our own SVC count lags.
+                if view > self.vc_target {
+                    self.vc_target = view;
+                    self.svc_from.clear();
+                    self.dvc.clear();
+                    self.dvc_sent = false;
+                    self.vc_ticks = 0;
+                }
+                if view == self.vc_target {
+                    self.dvc.insert(from, (completed, decisions, vtnc_max));
+                    if !self.dvc.contains_key(&self.site) {
+                        let own = (
+                            self.completed_order.clone(),
+                            self.decisions_order.clone(),
+                            self.vtnc_seen,
+                        );
+                        self.dvc.insert(self.site, own);
+                    }
+                    self.dvc_sent = true;
+                    return self.maybe_install_view();
+                }
+                Vec::new()
+            }
+            Frame::StartView {
+                view,
+                completed,
+                decisions,
+                vtnc_max,
+            } => {
+                if view < self.view {
+                    return Vec::new();
+                }
+                let install = view > self.view;
                 let mut effects = Vec::new();
-                for et in completed {
-                    effects.extend(self.apply_complete(et));
+                if install {
+                    self.view = view;
+                    self.clear_election();
+                    // Defect: the ex-coordinator keeps certifying.
+                    if self.canary != Some(CtrlCanary::SplitBrainCoordinator) {
+                        self.coord = None;
+                    }
+                    effects.push(Effect::RecordView(view));
+                    effects.push(Effect::Trace {
+                        component: "view",
+                        message: format!(
+                            "install view {view}, coordinator site {}",
+                            coordinator_of(view, self.sites).raw()
+                        ),
+                    });
                 }
-                for (et, commit) in decisions {
-                    effects.extend(self.apply_decision(et, commit));
-                }
-                if let Some(v) = vtnc_max {
-                    effects.extend(self.apply_vtnc(v));
+                effects.extend(self.absorb_evidence(&completed, &decisions, vtnc_max));
+                if install && coordinator_of(view, self.sites) != self.site {
+                    // Re-announce local knowledge to the new
+                    // coordinator: its evidence counts start from the
+                    // merged DVC majority, and a minority site may hold
+                    // applies or decisions that majority never saw.
+                    let to = coordinator_of(view, self.sites);
+                    if self.method.tracks_completion() {
+                        for (et, version) in &self.applied_log {
+                            effects.push(Effect::Send {
+                                to,
+                                frame: Frame::Applied {
+                                    site: self.site,
+                                    et: *et,
+                                    version: *version,
+                                },
+                            });
+                        }
+                    }
+                    for &(et, commit) in &self.decisions_order {
+                        effects.push(Effect::Send {
+                            to,
+                            frame: Frame::ForwardDecision { et, commit },
+                        });
+                    }
                 }
                 effects
             }
@@ -494,6 +1125,9 @@ impl NodeCore {
         let seq = seq_of(&mset);
         let mut effects = Vec::new();
         if self.journaled.insert(et) {
+            if let Some((cid, cseq)) = mset.client {
+                self.client_table.insert((cid.raw(), cseq), et);
+            }
             effects.push(Effect::Journal(mset.clone()));
         }
         if self.canary == Some(CtrlCanary::DecisionReplayReapplies) {
@@ -549,19 +1183,21 @@ impl NodeCore {
         out
     }
 
-    /// Routes apply evidence to the coordinator (inline when we *are*
-    /// the coordinator, over the durable link otherwise).
+    /// Routes apply evidence to the current view's coordinator (inline
+    /// when we *are* the coordinator, over the durable link otherwise),
+    /// recording it in the applied log for handoff re-announcement.
     fn report_applied(&mut self, et: EtId, version: Option<VersionTs>) -> Vec<Effect> {
         if !self.method.tracks_completion() {
             return Vec::new();
         }
+        self.applied_log.insert(et, version);
         match &mut self.coord {
             Some(c) => {
                 let broadcasts = c.on_applied(self.site, et, version);
                 self.broadcast_all(broadcasts)
             }
             None => vec![Effect::Send {
-                to: SiteId(0),
+                to: coordinator_of(self.view, self.sites),
                 frame: Frame::Applied {
                     site: self.site,
                     et,
@@ -572,8 +1208,10 @@ impl NodeCore {
     }
 
     /// A COMPE commit/abort decision. The coordinator logs and
-    /// broadcasts it; any other site forwards it to the coordinator
-    /// over its durable link (the broadcast will come back around).
+    /// broadcasts it; any other site forwards it toward the current
+    /// view's coordinator over its durable link (the broadcast will
+    /// come back around; a receiver that is no longer the coordinator
+    /// re-forwards it).
     fn decide(&mut self, et: EtId, commit: bool) -> Vec<Effect> {
         match &mut self.coord {
             Some(c) => {
@@ -581,8 +1219,8 @@ impl NodeCore {
                 self.broadcast_all(broadcasts)
             }
             None => vec![Effect::Send {
-                to: SiteId(0),
-                frame: Frame::Decision { et, commit },
+                to: coordinator_of(self.view, self.sites),
+                frame: Frame::ForwardDecision { et, commit },
             }],
         }
     }
@@ -614,6 +1252,14 @@ impl NodeCore {
     }
 
     fn apply_complete(&mut self, et: EtId) -> Vec<Effect> {
+        // Re-broadcasts (a recovered or newly-elected coordinator
+        // re-driving its log, snapshot replay) are absorbed silently:
+        // a duplicate `complete` trace would itself be a certifier
+        // finding.
+        if !self.completed_seen.insert(et) {
+            return Vec::new();
+        }
+        self.completed_order.push(et);
         self.state.complete(et);
         vec![Effect::Trace {
             component: "control",
@@ -622,7 +1268,16 @@ impl NodeCore {
     }
 
     fn apply_vtnc(&mut self, ts: VersionTs) -> Vec<Effect> {
+        // The state-machine horizon is monotone regardless; only an
+        // actual advance is traced, so a recovered coordinator
+        // re-certifying old horizons can't make a site's trace run
+        // backwards.
+        let advanced = self.vtnc_seen.is_none_or(|m| ts > m);
         self.state.advance_vtnc(ts);
+        if !advanced {
+            return Vec::new();
+        }
+        self.vtnc_seen = Some(ts);
         vec![Effect::Trace {
             component: "control",
             message: format!("vtnc -> time {}", ts.time),
@@ -631,6 +1286,9 @@ impl NodeCore {
 
     fn apply_decision(&mut self, et: EtId, commit: bool) -> Vec<Effect> {
         let duplicate = !self.decisions_seen.insert(et);
+        if !duplicate {
+            self.decisions_order.push((et, commit));
+        }
         if commit {
             self.state.commit(et);
         } else {
@@ -649,10 +1307,24 @@ impl NodeCore {
                 self.state.commit(EtId(et.0 | CANARY_ET_BIT));
             }
         }
+        if duplicate {
+            return Vec::new();
+        }
         vec![Effect::Trace {
             component: "control",
             message: format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
         }]
+    }
+
+    /// Enqueues `frame` to every peer without applying it locally —
+    /// the relay path, where the local apply already happened.
+    fn relay(&self, frame: Frame) -> Vec<Effect> {
+        self.peers()
+            .map(|to| Effect::Send {
+                to,
+                frame: frame.clone(),
+            })
+            .collect()
     }
 
     /// Every other site, in id order.
@@ -821,6 +1493,7 @@ mod tests {
             SiteId(2),
             3,
             None,
+            0,
             vec![incr(1, 0), incr(2, 1)],
         );
         assert!(core.state.has_applied(EtId(1)) && core.state.has_applied(EtId(2)));
@@ -838,6 +1511,32 @@ mod tests {
     }
 
     #[test]
+    fn recovery_reannounces_to_the_durable_views_coordinator() {
+        let (core, effects) = NodeCore::recover(
+            SiteState::new(RtMethod::Commu, SiteId(2)),
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+            1,
+            vec![incr(1, 0)],
+        );
+        assert_eq!(core.view, 1);
+        assert!(core.coord.is_none(), "view 1 coordinator is site 1");
+        let announced: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    frame: Frame::Applied { et, .. },
+                } => Some((*to, *et)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(announced, vec![(SiteId(1), EtId(1))]);
+    }
+
+    #[test]
     fn lost_completion_canary_suppresses_reannounce() {
         let (_, effects) = NodeCore::recover(
             SiteState::new(RtMethod::Commu, SiteId(2)),
@@ -845,10 +1544,190 @@ mod tests {
             SiteId(2),
             3,
             Some(CtrlCanary::LostCompletionOnRestart),
+            0,
             vec![incr(1, 0)],
         );
         assert!(!effects
             .iter()
             .any(|e| matches!(e, Effect::Send { .. })));
+    }
+
+    /// Synchronously drains every `Send` effect into the target core
+    /// until the network is quiet, collecting all effects produced.
+    fn pump(cores: &mut [NodeCore], initial: Vec<Effect>) -> Vec<Effect> {
+        let mut all = Vec::new();
+        let mut queue: std::collections::VecDeque<(SiteId, Frame)> =
+            std::collections::VecDeque::new();
+        let enqueue = |effects: Vec<Effect>,
+                       queue: &mut std::collections::VecDeque<(SiteId, Frame)>,
+                       all: &mut Vec<Effect>| {
+            for e in effects {
+                if let Effect::Send { to, frame } = &e {
+                    queue.push_back((*to, frame.clone()));
+                }
+                all.push(e);
+            }
+        };
+        enqueue(initial, &mut queue, &mut all);
+        while let Some((to, frame)) = queue.pop_front() {
+            let effects = cores[to.raw() as usize].step(NodeEvent::PeerFrame(frame));
+            enqueue(effects, &mut queue, &mut all);
+        }
+        all
+    }
+
+    fn cluster3(method: RtMethod) -> Vec<NodeCore> {
+        (0..3u64)
+            .map(|i| {
+                NodeCore::fresh(
+                    SiteState::new(method, SiteId(i)),
+                    method,
+                    SiteId(i),
+                    3,
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn suspicion_elects_the_next_site_and_demotes_the_old_coordinator() {
+        let mut cores = cluster3(RtMethod::Commu);
+        let kick = cores[1].step(NodeEvent::SuspectCoordinator);
+        assert!(kick.iter().any(|e| matches!(
+            e,
+            Effect::Send { frame: Frame::StartViewChange { view: 1, .. }, .. }
+        )));
+        pump(&mut cores, kick);
+        for core in &cores {
+            assert_eq!(core.view, 1);
+        }
+        assert!(cores[0].coord.is_none(), "old coordinator must demote");
+        assert!(cores[1].coord.is_some(), "view 1 maps to site 1");
+        assert!(cores[2].coord.is_none());
+    }
+
+    #[test]
+    fn view_is_durable_before_any_send_of_the_new_view() {
+        let mut cores = cluster3(RtMethod::Commu);
+        let kick = cores[1].step(NodeEvent::SuspectCoordinator);
+        let all = pump(&mut cores, kick);
+        // Every effect run that contains a RecordView must place it
+        // before the first Send (per-step ordering is preserved by
+        // pump's per-step extend).
+        let record_at = all
+            .iter()
+            .position(|e| matches!(e, Effect::RecordView(1)))
+            .expect("the installer records view 1");
+        let start_view_at = all
+            .iter()
+            .position(|e| {
+                matches!(e, Effect::Send { frame: Frame::StartView { view: 1, .. }, .. })
+            })
+            .expect("the installer announces view 1");
+        assert!(record_at < start_view_at, "RecordView must precede StartView");
+    }
+
+    #[test]
+    fn completions_survive_a_coordinator_handoff() {
+        let mut cores = cluster3(RtMethod::Commu);
+        let submit = cores[1].step(NodeEvent::ClientSubmit(incr(7, 1)));
+        pump(&mut cores, submit);
+        for core in &cores {
+            assert!(core.completed_seen.contains(&EtId(7)), "pre-handoff complete");
+        }
+        // A false suspicion (everyone alive) hands the role to site 1.
+        let kick = cores[2].step(NodeEvent::SuspectCoordinator);
+        let during = pump(&mut cores, kick);
+        // The handoff re-drives evidence but must not re-trace the
+        // completion anywhere.
+        assert!(
+            !during.iter().any(|e| matches!(
+                e,
+                Effect::Trace { message, .. } if message == "complete et 7"
+            )),
+            "handoff re-traced an already-completed ET: {during:?}"
+        );
+        // The new coordinator's snapshot carries the old completion,
+        // and new submits still complete (evidence tracking moved).
+        assert!(cores[1].coord.as_ref().unwrap().completed().contains(&EtId(7)));
+        let submit = cores[2].step(NodeEvent::ClientSubmit(incr(8, 2)));
+        let all = pump(&mut cores, submit);
+        assert!(
+            all.iter().any(|e| matches!(
+                e,
+                Effect::Trace { message, .. } if message == "complete et 8"
+            )),
+            "post-handoff submit never completed: {all:?}"
+        );
+    }
+
+    #[test]
+    fn pings_reset_suspicion_and_silence_triggers_it() {
+        let mut cores = cluster3(RtMethod::Commu);
+        // Coordinator ticks emit pings to both peers.
+        let pings = cores[0].step(NodeEvent::Tick);
+        assert_eq!(
+            pings
+                .iter()
+                .filter(|e| matches!(e, Effect::Send { frame: Frame::Ping { .. }, .. }))
+                .count(),
+            2
+        );
+        // A follower fed a ping right before the threshold never
+        // suspects; one starved of pings does.
+        for _ in 0..SUSPECT_AFTER - 1 {
+            assert!(cores[1].step(NodeEvent::Tick).is_empty());
+        }
+        cores[1].step(NodeEvent::PeerFrame(Frame::Ping {
+            view: 0,
+            from: SiteId(0),
+        }));
+        for _ in 0..SUSPECT_AFTER - 1 {
+            assert!(cores[1].step(NodeEvent::Tick).is_empty());
+        }
+        let kicked = cores[1].step(NodeEvent::Tick);
+        assert!(kicked.iter().any(|e| matches!(
+            e,
+            Effect::Send { frame: Frame::StartViewChange { view: 1, .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn client_table_dedups_retried_submits() {
+        let mut core = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(1)),
+            RtMethod::Commu,
+            SiteId(1),
+            3,
+            None,
+        );
+        let m = incr(7, 1).from_client(ClientId(9), 3);
+        let first = core.step(NodeEvent::ClientSubmit(m.clone()));
+        assert!(first.iter().any(|e| matches!(e, Effect::Journal(_))));
+        let retry = core.step(NodeEvent::ClientSubmit(m));
+        assert!(
+            !retry.iter().any(|e| matches!(
+                e,
+                Effect::Journal(_) | Effect::Send { .. }
+            )),
+            "a retried submit must neither re-journal nor re-fan-out"
+        );
+        assert_eq!(core.cached_et(ClientId(9), 3), Some(EtId(7)));
+        assert_eq!(core.cached_et(ClientId(9), 4), None);
+    }
+
+    #[test]
+    fn client_table_is_rebuilt_from_the_journal() {
+        let (core, _) = NodeCore::recover(
+            SiteState::new(RtMethod::Commu, SiteId(1)),
+            RtMethod::Commu,
+            SiteId(1),
+            3,
+            None,
+            0,
+            vec![incr(7, 1).from_client(ClientId(9), 3)],
+        );
+        assert_eq!(core.cached_et(ClientId(9), 3), Some(EtId(7)));
     }
 }

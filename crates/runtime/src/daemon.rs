@@ -19,19 +19,31 @@
 //!
 //! ## Topology and the coordinator
 //!
-//! Site 0 doubles as the **coordinator**: the networked analogue of the
-//! thread runtime's completion tracker. Peers send it
-//! [`Frame::Applied`] evidence; once every site has applied an ET it
-//! broadcasts [`Frame::Complete`] (COMMU/RITU lock-counter release) or
-//! advances the VTNC horizon ([`Frame::Vtnc`], RITU-MV) over the
-//! durable links. COMPE decisions are routed through it the same way.
-//! Because control broadcasts ride the durable queues, a site that was
-//! dead during a broadcast still receives it after restarting; on every
-//! peer (re)handshake the coordinator additionally re-sends a
-//! [`Frame::ControlSnapshot`] so a recovering site converges even if
-//! its queue files were lost. Coordinator fault tolerance is an
-//! explicit non-goal of this layer (see DESIGN.md §11): the harnesses
-//! never kill site 0.
+//! The coordinator of view `v` is site `v % sites` (view 0 → site 0):
+//! the networked analogue of the thread runtime's completion tracker.
+//! Peers send it [`Frame::Applied`] evidence; once every site has
+//! applied an ET it broadcasts [`Frame::Complete`] (COMMU/RITU
+//! lock-counter release) or advances the VTNC horizon
+//! ([`Frame::Vtnc`], RITU-MV) over the durable links. COMPE decisions
+//! are routed toward it the same way. Because control broadcasts ride
+//! the durable queues, a site that was dead during a broadcast still
+//! receives it after restarting; on every peer (re)handshake the
+//! coordinator additionally re-sends a [`Frame::StartView`] snapshot so
+//! a recovering site converges even if its queue files were lost.
+//!
+//! The coordinator role is **movable** (DESIGN.md §15): a timer thread
+//! feeds [`NodeEvent::Tick`]s to the core, the acting coordinator
+//! heartbeats with [`Frame::Ping`], and a follower that misses enough
+//! pings elects view `v+1` via the StartViewChange / DoViewChange /
+//! StartView exchange — all of it pure [`NodeCore`] logic; this file
+//! only executes the resulting effects. An installed view is persisted
+//! to `<dir>/site-<i>.view` (atomic tmp+rename) by
+//! [`Effect::RecordView`] before any frame of the new view is sent, so
+//! a rebooted site rejoins its last view rather than view 0. `kill -9`
+//! of the acting coordinator is therefore survivable: the survivors
+//! elect the next site, re-announce their applied ETs, and the merged
+//! DoViewChange evidence carries completions/decisions/VTNC across the
+//! handoff.
 //!
 //! ## Discovery
 //!
@@ -44,7 +56,7 @@
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -56,7 +68,8 @@ use esr_net::rpc::{
     NO_ENTRY,
 };
 use esr_obs::{
-    EventRing, Histogram, LinkInstruments, MetricsRegistry, ReactorInstruments, SiteInstruments,
+    Counter, EventRing, Gauge, Histogram, LinkInstruments, MetricsRegistry, ReactorInstruments,
+    SiteInstruments,
 };
 use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
 use esr_storage::stable_queue::FileQueue;
@@ -68,7 +81,7 @@ use crate::state::{RtMethod, SiteState};
 /// Everything a daemon needs to come up.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
-    /// This site's id (site 0 is the coordinator).
+    /// This site's id (site 0 coordinates view 0).
     pub site: SiteId,
     /// Total number of sites in the cluster.
     pub sites: usize,
@@ -92,7 +105,8 @@ pub struct Daemon {
     epoch: u64,
     addr: SocketAddr,
     /// The pure control-plane state machine (replica state, journalled
-    /// set, and — on site 0 — the coordinator).
+    /// set, view-change machine, and — on the current view's
+    /// coordinator — the coordinator core).
     core: Mutex<NodeCore>,
     /// The on-disk write-ahead journal the core's `Effect::Journal`
     /// effects append to. Lock order: `core` before `journal`.
@@ -116,7 +130,23 @@ pub struct Daemon {
     apply_latency: Histogram,
     /// Wall-clock client-plane request handling latency.
     rpc_latency: Histogram,
+    /// The currently installed view (`esr_view`).
+    view_gauge: Gauge,
+    /// Whether this site holds the coordinator role (`esr_coordinator`).
+    coordinator_gauge: Gauge,
+    /// Elections this incarnation participated in (`esr_elections_total`,
+    /// counted at the first StartViewChange sent per election).
+    elections: Counter,
+    /// Wall-clock latency from first StartViewChange sent to the next
+    /// view landing durably (`esr_election_latency_micros`).
+    election_latency: Histogram,
+    /// When the in-progress election started (None outside elections).
+    election_started: Mutex<Option<Instant>>,
 }
+
+/// Heartbeat period: coordinators ping every tick, followers suspect
+/// after [`crate::ctrl::SUSPECT_AFTER`] silent ticks (~3s).
+const TICK_INTERVAL: Duration = Duration::from_millis(250);
 
 /// The address file published by site `site` under `dir`.
 pub fn addr_path(dir: &Path, site: SiteId) -> PathBuf {
@@ -129,6 +159,12 @@ fn epoch_path(dir: &Path, site: SiteId) -> PathBuf {
 
 fn journal_path(dir: &Path, site: SiteId) -> PathBuf {
     dir.join(format!("site-{}.journal", site.raw()))
+}
+
+/// The durably recorded view of site `site` under `dir` (absent or
+/// unreadable means view 0 — the pre-failover layout).
+fn view_path(dir: &Path, site: SiteId) -> PathBuf {
+    dir.join(format!("site-{}.view", site.raw()))
 }
 
 fn queue_path(dir: &Path, from: SiteId, to: SiteId) -> PathBuf {
@@ -207,10 +243,20 @@ impl Daemon {
         for _ in &entries {
             replays.inc();
         }
+        // Rejoin the last durably installed view (0 on a cold boot):
+        // the recovered core assumes the coordinator role only if the
+        // view still maps to this site.
+        let view = std::fs::read_to_string(view_path(&cfg.dir, cfg.site))
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
         trace.record(
             0,
             "boot",
-            format!("epoch {epoch}: replayed {} journal entries", entries.len()),
+            format!(
+                "epoch {epoch}: replayed {} journal entries, view {view}",
+                entries.len()
+            ),
         );
         let (core, recovery_effects) = NodeCore::recover(
             state,
@@ -218,6 +264,7 @@ impl Daemon {
             cfg.site,
             cfg.sites,
             None,
+            view,
             entries,
         );
 
@@ -263,6 +310,13 @@ impl Daemon {
         let apply_latency =
             metrics.histogram("esr_apply_latency_micros", &[("site", &site_label)]);
         let rpc_latency = metrics.histogram("esr_rpc_latency_micros", &[("site", &site_label)]);
+        let view_gauge = metrics.gauge("esr_view", &[("site", &site_label)]);
+        view_gauge.set(view as i64);
+        let coordinator_gauge = metrics.gauge("esr_coordinator", &[("site", &site_label)]);
+        coordinator_gauge.set(i64::from(core.coord.is_some()));
+        let elections = metrics.counter("esr_elections_total", &[("site", &site_label)]);
+        let election_latency =
+            metrics.histogram("esr_election_latency_micros", &[("site", &site_label)]);
         let daemon = Arc::new(Self {
             epoch,
             addr,
@@ -277,6 +331,11 @@ impl Daemon {
             boot,
             apply_latency,
             rpc_latency,
+            view_gauge,
+            coordinator_gauge,
+            elections,
+            election_latency,
+            election_started: Mutex::new(None),
         });
 
         // Execute the recovery effects: replay trace events plus the
@@ -294,6 +353,20 @@ impl Daemon {
         daemon
             .reactor
             .serve(listener, Arc::clone(&daemon) as Arc<dyn RpcService>);
+
+        // The heartbeat timer: the only place wall-clock time enters
+        // the protocol, and it enters as a bare tick count. Holds a
+        // Weak so a dropped daemon (in-process tests) stops ticking.
+        let tick_target = Arc::downgrade(&daemon);
+        std::thread::Builder::new()
+            .name(format!("esrd-tick-{}", daemon.cfg.site.raw()))
+            .spawn(move || loop {
+                std::thread::sleep(TICK_INTERVAL);
+                let Some(daemon) = tick_target.upgrade() else {
+                    break;
+                };
+                daemon.dispatch(NodeEvent::Tick);
+            })?;
 
         Ok(daemon)
     }
@@ -315,19 +388,49 @@ impl Daemon {
     fn dispatch(&self, event: NodeEvent) {
         let mut core = self.core.lock();
         let effects = core.step(event);
+        let coordinator = core.coord.is_some();
         self.perform(effects);
+        self.coordinator_gauge.set(i64::from(coordinator));
     }
 
     /// Executes core effects against the real world, strictly in
-    /// order: journal appends hit disk, sends enqueue on the durable
-    /// links, trace effects land in the esr-obs ring.
+    /// order: journal appends hit disk, view records land durably,
+    /// sends enqueue on the durable links, trace effects land in the
+    /// esr-obs ring.
     fn perform(&self, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
                 Effect::Journal(mset) => self.journal.lock().record(&mset),
-                Effect::Send { to, frame } => self.send_bytes(to, encode_frame(&frame)),
+                Effect::RecordView(view) => self.record_view(view),
+                Effect::Send { to, frame } => {
+                    // The first StartViewChange of an election marks
+                    // its start for the latency histogram.
+                    if matches!(frame, Frame::StartViewChange { .. }) {
+                        let mut started = self.election_started.lock();
+                        if started.is_none() {
+                            *started = Some(Instant::now());
+                            self.elections.inc();
+                        }
+                    }
+                    self.send_bytes(to, encode_frame(&frame));
+                }
                 Effect::Trace { component, message } => self.trace_event(component, message),
             }
+        }
+    }
+
+    /// Durably installs a view: atomic file write (the same tmp+rename
+    /// publish as the address file — ordered before any send of the new
+    /// view by `perform`'s in-order execution), then the obs gauges.
+    fn record_view(&self, view: u64) {
+        let _ = publish(
+            &view_path(&self.cfg.dir, self.cfg.site),
+            &view.to_string(),
+        );
+        self.view_gauge.set(view as i64);
+        if let Some(started) = self.election_started.lock().take() {
+            self.election_latency
+                .record(started.elapsed().as_micros() as u64);
         }
     }
 
@@ -344,6 +447,23 @@ impl Daemon {
     fn handle_client_request(&self, request: Frame) -> Frame {
         match request {
             Frame::Submit(mset) => {
+                // Exactly-once: a retried request (same client id +
+                // request seq) is answered from the client table with
+                // the *original* ET — byte-identical to the first
+                // SubmitOk — even if the retry was re-stamped.
+                if let Some((cid, seq)) = mset.client {
+                    if let Some(et) = self.core.lock().cached_et(cid, seq) {
+                        self.trace_event(
+                            "client",
+                            format!(
+                                "duplicate submit client {} seq {seq} -> et {}",
+                                cid.raw(),
+                                et.0
+                            ),
+                        );
+                        return Frame::SubmitOk { et };
+                    }
+                }
                 let et = mset.et;
                 let started = Instant::now();
                 self.dispatch(NodeEvent::ClientSubmit(mset));
@@ -362,16 +482,24 @@ impl Daemon {
             Frame::Snapshot => Frame::SnapshotOk {
                 entries: self.core.lock().state.snapshot().into_iter().collect(),
             },
-            Frame::Status => Frame::StatusOk {
-                settled: self.core.lock().state.settled(),
-                outbound_pending: self
-                    .links
-                    .iter()
-                    .flatten()
-                    .map(|l| l.pending() as u64)
-                    .sum(),
-                epoch: self.epoch,
-            },
+            Frame::Status => {
+                let (settled, view, coordinator) = {
+                    let core = self.core.lock();
+                    (core.state.settled(), core.view, core.coord.is_some())
+                };
+                Frame::StatusOk {
+                    settled,
+                    outbound_pending: self
+                        .links
+                        .iter()
+                        .flatten()
+                        .map(|l| l.pending() as u64)
+                        .sum(),
+                    epoch: self.epoch,
+                    view,
+                    coordinator,
+                }
+            }
             Frame::Audit => {
                 let a = self.core.lock().state.audit();
                 let journaled = self.journal.lock().entries();
@@ -399,6 +527,8 @@ impl Daemon {
                 settled: false,
                 outbound_pending: 0,
                 epoch: self.epoch,
+                view: 0,
+                coordinator: false,
             },
         }
     }

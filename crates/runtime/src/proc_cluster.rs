@@ -20,6 +20,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 use esr_core::ids::{ClientId, EtId, ObjectId, SeqNo, SiteId, VersionTs};
@@ -45,6 +47,10 @@ pub struct ProcCluster {
     next_et: AtomicU64,
     sequencer: AtomicU64,
     version_clock: AtomicU64,
+    /// ORDUP sequence numbers already handed to a `(client, seq)`
+    /// request, so a retried submit reuses its original global
+    /// sequence instead of opening a hole in the total order.
+    client_seqs: Mutex<BTreeMap<(u64, u64), SeqNo>>,
 }
 
 impl ProcCluster {
@@ -69,6 +75,7 @@ impl ProcCluster {
             next_et: AtomicU64::new(1),
             sequencer: AtomicU64::new(0),
             version_clock: AtomicU64::new(0),
+            client_seqs: Mutex::new(BTreeMap::new()),
         };
         for i in 0..n {
             let child = cluster.spawn_site(SiteId(i as u64))?;
@@ -135,6 +142,34 @@ impl ProcCluster {
         self.client(origin)?.submit(mset)
     }
 
+    /// [`ProcCluster::submit_update`] carrying a client identity: a
+    /// retried submit with the same `(client, seq)` — at the same site
+    /// or, after a failover, at any site that journalled the original —
+    /// is answered from the daemon's client table with the original ET
+    /// instead of being applied again.
+    pub fn submit_update_from_client(
+        &self,
+        origin: SiteId,
+        ops: Vec<ObjectOp>,
+        client: u64,
+        seq: u64,
+    ) -> io::Result<EtId> {
+        let et = self.fresh_et();
+        let mset = match self.method {
+            RtMethod::Ordup => {
+                let s = *self
+                    .client_seqs
+                    .lock()
+                    .entry((client, seq))
+                    .or_insert_with(|| SeqNo(self.sequencer.fetch_add(1, Ordering::Relaxed)));
+                MSet::new(et, origin, ops).sequenced(s)
+            }
+            _ => MSet::new(et, origin, ops),
+        }
+        .from_client(ClientId(client), seq);
+        self.client(origin)?.submit(mset)
+    }
+
     /// Stamps and submits a RITU blind write.
     pub fn submit_blind_write(
         &self,
@@ -150,14 +185,26 @@ impl ProcCluster {
         )
     }
 
-    /// COMPE: issues a commit decision (routed via the coordinator).
+    /// COMPE: issues a commit decision at site 0 (forwarded to
+    /// whichever site holds the coordinator role).
     pub fn commit(&self, et: EtId) -> io::Result<()> {
-        self.client(SiteId(0))?.decide(et, true)
+        self.commit_via(SiteId(0), et)
     }
 
-    /// COMPE: issues an abort decision (routed via the coordinator).
+    /// COMPE: issues an abort decision at site 0.
     pub fn abort(&self, et: EtId) -> io::Result<()> {
-        self.client(SiteId(0))?.decide(et, false)
+        self.abort_via(SiteId(0), et)
+    }
+
+    /// COMPE: issues a commit decision at a chosen site — the failover
+    /// tests decide via a survivor while the old coordinator is dead.
+    pub fn commit_via(&self, site: SiteId, et: EtId) -> io::Result<()> {
+        self.client(site)?.decide(et, true)
+    }
+
+    /// COMPE: issues an abort decision at a chosen site.
+    pub fn abort_via(&self, site: SiteId, et: EtId) -> io::Result<()> {
+        self.client(site)?.decide(et, false)
     }
 
     /// `SIGKILL`s a site's daemon process mid-flight — no shutdown
@@ -212,17 +259,23 @@ impl ProcCluster {
             if start.elapsed() >= deadline {
                 // Per-site pending work at the deadline: the daemon's
                 // outbound durable-queue depth, or None for a site that
-                // no longer answers (the usual wedge).
+                // no longer answers (the usual wedge) — plus which site
+                // reports holding the coordinator role, since a dead
+                // never-restarted coordinator is the other usual wedge.
+                let mut coordinator = None;
                 let site_queues = (0..self.n)
                     .map(|i| {
-                        self.status_of(SiteId(i as u64))
-                            .ok()
-                            .map(|s| s.outbound_pending)
+                        let status = self.status_of(SiteId(i as u64)).ok();
+                        if status.is_some_and(|s| s.coordinator) {
+                            coordinator = Some(SiteId(i as u64));
+                        }
+                        status.map(|s| s.outbound_pending)
                     })
                     .collect();
                 return Err(QuiesceTimeout {
                     waited: start.elapsed(),
                     site_queues,
+                    coordinator,
                 });
             }
             std::thread::sleep(Duration::from_millis(40));

@@ -36,9 +36,11 @@ commands:
   metrics
   trace
   query <object>... [--epsilon <n>]
-  submit --et <n> [--seq <n>] <object> <op> <args>
+  submit --et <n> [--seq <n>] [--client <id> --req <n>] <object> <op> <args>
       ops: write <int> | incr <n> | decr <n> | mul <n>
            | tswrite <time> <client> <int>
+      --client/--req identify the request for exactly-once retries:
+      a resubmit with the same pair returns the original et
   decide <et> <commit|abort>";
 
 fn fail(msg: &str) -> ! {
@@ -99,9 +101,11 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
     match command {
         "status" => {
             let s = client.status()?;
+            // New fields append after the originals: CI's proc-smoke
+            // greps `settled=true outbound_pending=0` verbatim.
             println!(
-                "settled={} outbound_pending={} epoch={}",
-                s.settled, s.outbound_pending, s.epoch
+                "settled={} outbound_pending={} epoch={} view={} coordinator={}",
+                s.settled, s.outbound_pending, s.epoch, s.view, s.coordinator
             );
         }
         "snapshot" => {
@@ -176,6 +180,8 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
         "submit" => {
             let mut et: Option<u64> = None;
             let mut seq: Option<u64> = None;
+            let mut client_id: Option<u64> = None;
+            let mut req: Option<u64> = None;
             let mut pos: Vec<&String> = Vec::new();
             let mut i = 0;
             while i < args.len() {
@@ -186,6 +192,14 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
                     }
                     "--seq" => {
                         seq = Some(parse(args.get(i + 1).map_or("", |s| s), "--seq"));
+                        i += 2;
+                    }
+                    "--client" => {
+                        client_id = Some(parse(args.get(i + 1).map_or("", |s| s), "--client"));
+                        i += 2;
+                    }
+                    "--req" => {
+                        req = Some(parse(args.get(i + 1).map_or("", |s| s), "--req"));
                         i += 2;
                     }
                     _ => {
@@ -199,6 +213,11 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
             let mut mset = MSet::new(et, SiteId(0), vec![ObjectOp::new(object, op)]);
             if let Some(s) = seq {
                 mset = mset.sequenced(SeqNo(s));
+            }
+            match (client_id, req) {
+                (Some(c), Some(r)) => mset = mset.from_client(ClientId(c), r),
+                (None, None) => {}
+                _ => fail("--client and --req go together"),
             }
             let accepted = client.submit(mset)?;
             println!("submitted et={}", accepted.raw());

@@ -71,7 +71,7 @@ fn recover(method: RtMethod, entries: Vec<MSet>) -> (NodeCore, Vec<Effect>) {
     let site = SiteId(1);
     let mut state = SiteState::new(method, site);
     state.enable_audit();
-    NodeCore::recover(state, method, site, 3, None, entries)
+    NodeCore::recover(state, method, site, 3, None, 0, entries)
 }
 
 #[test]
