@@ -177,6 +177,7 @@ fn serve(dir: PathBuf) -> ! {
         sites: 1,
         method: RtMethod::Commu,
         dir,
+        ckpt_bytes: None,
     })
     .expect("start daemon");
     loop {

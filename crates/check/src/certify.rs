@@ -17,6 +17,8 @@
 //!   `et N held/duplicate`
 //! * `control` — `complete et N` | `vtnc -> time T` | `commit et N` |
 //!   `abort et N`
+//! * `ckpt` — `cut covered=N` | `restore covered=N view=V` |
+//!   `install seq=N covered=K` | `truncate through=C retired=R`
 //! * anything else (`boot`, `peer`) is ignored.
 //!
 //! A dump covers one *incarnation*: the ring dies with the process,
@@ -44,18 +46,34 @@
 //! 7. **no duplicate complete**: an ET's completion is announced at
 //!    most once per incarnation — a coordinator handoff must absorb
 //!    prior completions as evidence, not replay them as fresh events.
+//! 8. **ckpt-seq-monotone**: installed snapshot sequence numbers
+//!    strictly increase within an incarnation (a regressing chain
+//!    would let truncation outrun its own cover).
+//! 9. **ckpt-covered-monotone**: the covered frontier never regresses
+//!    — among cuts (seeded by the restore base) and among installs,
+//!    judged separately per kind, because installs happen on an async
+//!    writer thread and may legitimately lag a newer cut's event.
+//! 10. **ckpt-restore-first**: a restore event, if present, precedes
+//!     every cut/install of its incarnation (you cannot cut a
+//!     checkpoint before the state it summarizes exists).
+//! 11. **ckpt-truncate-monotone**: journal retirement cuts never move
+//!     backwards.
 //!
 //! Cross-site (only when every dump is loss-free, `dropped == 0`):
-//! 8. **applied-set agreement** (non-COMPE): quiesced sites applied
-//!    the same ET set.
-//! 9. **completed-set agreement** (COMMU): quiesced sites saw the same
-//!    completion notices.
-//! 10. **outcome agreement** (COMPE): an ET's commit/abort outcome is
-//!    consistent across sites.
+//! 12. **applied-set agreement** (non-COMPE): quiesced sites applied
+//!     the same ET set.
+//! 13. **completed-set agreement** (COMMU): quiesced sites saw the
+//!     same completion notices.
+//! 14. **outcome agreement** (COMPE): an ET's commit/abort outcome is
+//!     consistent across sites.
 //!
 //! Ring overflow (`dropped > 0`) downgrades gracefully: history-prefix
 //! checks that would false-positive on an evicted prefix are skipped
-//! for that site, and cross-site checks are skipped entirely.
+//! for that site, and cross-site checks are skipped entirely. An
+//! incarnation that booted from a snapshot (`ckpt restore ...`)
+//! downgrades the same way: the checkpoint compresses the covered
+//! prefix out of the trace, so per-ET apply evidence for it is
+//! legitimately absent.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -106,6 +124,16 @@ enum Ev {
     Complete { et: u64 },
     Vtnc { t: u64 },
     Decision { et: u64, commit: bool },
+    CkptCut { covered: u64 },
+    CkptRestore { covered: u64 },
+    CkptInstall { seq: u64, covered: u64 },
+    CkptTruncate { through: u64 },
+}
+
+/// Pulls `key=<u64>` out of a whitespace-separated tail.
+fn field(tail: &str, key: &str) -> Option<u64> {
+    tail.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.parse().ok())
 }
 
 fn parse_event(component: &str, message: &str) -> Option<Ev> {
@@ -146,6 +174,25 @@ fn parse_event(component: &str, message: &str) -> Option<Ev> {
             }
             None
         }
+        "ckpt" => {
+            if let Some(tail) = message.strip_prefix("cut ") {
+                return Some(Ev::CkptCut { covered: field(tail, "covered=")? });
+            }
+            if let Some(tail) = message.strip_prefix("restore ") {
+                return Some(Ev::CkptRestore { covered: field(tail, "covered=")? });
+            }
+            if let Some(tail) = message.strip_prefix("install ") {
+                return Some(Ev::CkptInstall {
+                    seq: field(tail, "seq=")?,
+                    covered: field(tail, "covered=")?,
+                });
+            }
+            if let Some(tail) = message.strip_prefix("truncate ") {
+                return Some(Ev::CkptTruncate { through: field(tail, "through=")? });
+            }
+            // `catch-up: ...` and failure notes carry no invariant.
+            None
+        }
         _ => None,
     }
 }
@@ -165,12 +212,25 @@ pub fn certify(method: RtMethod, traces: &[SiteTrace]) -> Vec<CertFinding> {
     let mut findings = Vec::new();
     let mut digests: Vec<SiteDigest> = Vec::new();
 
+    let mut any_restore = false;
     for trace in traces {
         let mut d = SiteDigest::default();
-        let lossless = trace.dropped == 0;
+        // A snapshot-restored incarnation has no per-ET events for the
+        // covered prefix — same downgrade as an overflowed ring.
+        let restored = trace
+            .events
+            .iter()
+            .any(|(c, m)| matches!(parse_event(c, m), Some(Ev::CkptRestore { .. })));
+        any_restore |= restored;
+        let lossless = trace.dropped == 0 && !restored;
         let mut max_installed: Option<u64> = None;
         let mut vtnc_last: Option<u64> = None;
         let mut last_seq: Option<u64> = None;
+        let mut ckpt_seq_last: Option<u64> = None;
+        let mut ckpt_covered_last: Option<u64> = None;
+        let mut ckpt_install_covered_last: Option<u64> = None;
+        let mut ckpt_truncate_last: Option<u64> = None;
+        let mut ckpt_chain_started = false;
         for (component, message) in &trace.events {
             let Some(ev) = parse_event(component, message) else {
                 continue;
@@ -248,6 +308,83 @@ pub fn certify(method: RtMethod, traces: &[SiteTrace]) -> Vec<CertFinding> {
                         d.aborted.insert(et);
                     }
                 }
+                Ev::CkptCut { covered } => {
+                    ckpt_chain_started = true;
+                    if ckpt_covered_last.is_some_and(|p| p > covered) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-covered-monotone",
+                            detail: format!(
+                                "cut covered frontier regressed {ckpt_covered_last:?} -> {covered}"
+                            ),
+                        });
+                    }
+                    ckpt_covered_last = Some(covered);
+                }
+                // Installs happen on the async writer thread, so an
+                // install event may lag cuts taken after its own —
+                // covered monotonicity is judged install-against-install
+                // (seeded by the restore base), never against the cut
+                // chain.
+                Ev::CkptInstall { seq, covered } => {
+                    ckpt_chain_started = true;
+                    if ckpt_install_covered_last.is_some_and(|p| p > covered) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-covered-monotone",
+                            detail: format!(
+                                "install covered frontier regressed \
+                                 {ckpt_install_covered_last:?} -> {covered}"
+                            ),
+                        });
+                    }
+                    ckpt_install_covered_last = Some(covered);
+                    if ckpt_seq_last.is_some_and(|p| p >= seq) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-seq-monotone",
+                            detail: format!(
+                                "snapshot seq {seq} installed after {ckpt_seq_last:?}"
+                            ),
+                        });
+                    }
+                    ckpt_seq_last = Some(seq);
+                }
+                Ev::CkptRestore { covered } => {
+                    if ckpt_chain_started {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-restore-first",
+                            detail: format!(
+                                "restore (covered {covered}) after a cut/install \
+                                 of the same incarnation"
+                            ),
+                        });
+                    }
+                    if ckpt_covered_last.is_some_and(|p| p > covered) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-covered-monotone",
+                            detail: format!(
+                                "restore covered {covered} below {ckpt_covered_last:?}"
+                            ),
+                        });
+                    }
+                    ckpt_covered_last = Some(covered);
+                    ckpt_install_covered_last = Some(covered);
+                }
+                Ev::CkptTruncate { through } => {
+                    if ckpt_truncate_last.is_some_and(|p| p > through) {
+                        findings.push(CertFinding {
+                            site: Some(trace.site),
+                            check: "ckpt-truncate-monotone",
+                            detail: format!(
+                                "truncation cut moved backwards {ckpt_truncate_last:?} -> {through}"
+                            ),
+                        });
+                    }
+                    ckpt_truncate_last = Some(through);
+                }
             }
         }
         if let Some(et) = d.committed.intersection(&d.aborted).next() {
@@ -260,8 +397,9 @@ pub fn certify(method: RtMethod, traces: &[SiteTrace]) -> Vec<CertFinding> {
         digests.push(d);
     }
 
-    // Cross-site agreement only when no ring lost history.
-    if traces.iter().all(|t| t.dropped == 0) && digests.len() > 1 {
+    // Cross-site agreement only when no ring lost history (by
+    // overflow or by snapshot compression).
+    if traces.iter().all(|t| t.dropped == 0) && !any_restore && digests.len() > 1 {
         if method != RtMethod::Compe {
             agree(
                 &mut findings,
@@ -461,6 +599,123 @@ mod tests {
         ];
         let f = certify(RtMethod::Compe, &traces);
         assert!(f.iter().any(|f| f.check == "outcome-agreement"));
+    }
+
+    #[test]
+    fn clean_checkpoint_chain_certifies() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "restore covered=2 view=0"),
+                ev("replay", "et 3 applied"),
+                ev("apply", "et 4 applied"),
+                ev("ckpt", "cut covered=4"),
+                ev("ckpt", "install seq=3 covered=4"),
+                ev("ckpt", "truncate through=1 retired=2"),
+                ev("ckpt", "cut covered=4"),
+                ev("ckpt", "install seq=4 covered=4"),
+                ev("ckpt", "truncate through=3 retired=2"),
+                ev("ckpt", "catch-up: installed snapshot seq 4 (covered 4) from site 1"),
+            ],
+        )];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
+    }
+
+    #[test]
+    fn ckpt_seq_regression_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "install seq=5 covered=10"),
+                ev("ckpt", "install seq=5 covered=11"),
+            ],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "ckpt-seq-monotone"));
+    }
+
+    #[test]
+    fn ckpt_covered_regression_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![ev("ckpt", "cut covered=9"), ev("ckpt", "cut covered=4")],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "ckpt-covered-monotone"));
+    }
+
+    #[test]
+    fn async_install_lagging_a_newer_cut_is_clean() {
+        // The writer thread installs seq 1 (covered 4) after the byte
+        // policy has already traced a newer cut — the legitimate
+        // interleaving of an asynchronous install under load.
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "cut covered=4"),
+                ev("ckpt", "cut covered=9"),
+                ev("ckpt", "install seq=1 covered=4"),
+                ev("ckpt", "install seq=2 covered=9"),
+            ],
+        )];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
+    }
+
+    #[test]
+    fn install_covered_regression_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "install seq=1 covered=9"),
+                ev("ckpt", "install seq=2 covered=4"),
+            ],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "ckpt-covered-monotone"));
+    }
+
+    #[test]
+    fn restore_after_cut_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "cut covered=3"),
+                ev("ckpt", "restore covered=3 view=0"),
+            ],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "ckpt-restore-first"));
+    }
+
+    #[test]
+    fn backwards_truncation_is_flagged() {
+        let traces = vec![site(
+            0,
+            vec![
+                ev("ckpt", "truncate through=8 retired=9"),
+                ev("ckpt", "truncate through=2 retired=0"),
+            ],
+        )];
+        let f = certify(RtMethod::Commu, &traces);
+        assert!(f.iter().any(|f| f.check == "ckpt-truncate-monotone"));
+    }
+
+    #[test]
+    fn restored_incarnations_downgrade_like_overflowed_rings() {
+        // Site 0 booted from a snapshot covering et 1: no apply event
+        // for it exists, yet its completion (and cross-site applied
+        // sets) must not be flagged.
+        let traces = vec![
+            site(
+                0,
+                vec![
+                    ev("ckpt", "restore covered=1 view=0"),
+                    ev("control", "complete et 1"),
+                ],
+            ),
+            site(1, vec![ev("apply", "et 1 applied"), ev("control", "complete et 1")]),
+        ];
+        assert!(certify(RtMethod::Commu, &traces).is_empty());
     }
 
     #[test]

@@ -330,6 +330,11 @@ pub struct ModelNode {
     /// This incarnation's trace events (cleared on crash, like the
     /// real per-process EventRing) — certifier food.
     pub trace: Vec<(&'static str, String)>,
+    /// The newest checkpoint cut emitted by `Effect::Checkpoint`
+    /// (durable: survives crashes, like the daemon's installed
+    /// snapshot container). Properties compare restore-from-it +
+    /// journal-suffix against a full journal replay.
+    pub ckpt: Option<Box<esr_runtime::CkptPayload>>,
 }
 
 /// The full modelled cluster state.
@@ -374,6 +379,7 @@ impl<'a> World<'a> {
                     durable_view: 0,
                     view_history: vec![0],
                     trace: Vec::new(),
+                    ckpt: None,
                 }
             })
             .collect();
@@ -625,6 +631,12 @@ impl<'a> World<'a> {
                     self.nodes[site].durable_view = view;
                     self.nodes[site].view_history.push(view);
                     durable += 1;
+                }
+                Effect::Checkpoint(payload) => {
+                    // The model keeps the newest cut in memory; the
+                    // snapshot-equivalence property (restore + suffix
+                    // ≡ full replay) is checked directly over it.
+                    self.nodes[site].ckpt = Some(payload);
                 }
                 Effect::Trace { component, message } => {
                     self.nodes[site].trace.push((component, message));

@@ -235,6 +235,18 @@ impl LockCounters {
         self.held.len()
     }
 
+    /// The held write-sets, per in-flight update, in deterministic ET
+    /// order — the checkpoint image. Feeding the dump back through
+    /// [`LockCounters::begin_updates`] on a fresh table rebuilds both
+    /// the held table and the counters (counters are pure sums over the
+    /// held sets).
+    pub fn held_sets(&self) -> Vec<(EtId, Vec<ObjectId>)> {
+        self.held
+            .iter()
+            .map(|(et, objs)| (*et, objs.clone()))
+            .collect()
+    }
+
     /// True when no update is in flight (all counters zero).
     pub fn quiescent(&self) -> bool {
         self.counters.is_empty()

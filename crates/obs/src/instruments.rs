@@ -357,6 +357,88 @@ impl ReactorInstruments {
     }
 }
 
+#[derive(Debug)]
+struct CkptCells {
+    checkpoints: Counter,
+    ckpt_bytes: Gauge,
+    journal_bytes: Gauge,
+    journal_live: Gauge,
+    truncated: Counter,
+    ckpt_latency: Histogram,
+    replay_latency: Histogram,
+}
+
+/// Instrument bundle for one site's checkpoint subsystem: how many
+/// snapshots it installed, how large the newest image and the live
+/// journal are, how many journal entries checkpoint coverage retired,
+/// and how long cutting+installing a snapshot and replaying the boot
+/// suffix took. No-op until attached.
+#[derive(Debug, Clone, Default)]
+pub struct CkptInstruments {
+    cells: Option<Arc<CkptCells>>,
+}
+
+impl CkptInstruments {
+    /// Registers the checkpoint series family for `site`.
+    pub fn for_site(registry: &MetricsRegistry, site: u64) -> Self {
+        let site = site.to_string();
+        let l: &[(&str, &str)] = &[("site", &site)];
+        Self {
+            cells: Some(Arc::new(CkptCells {
+                checkpoints: registry.counter("esr_checkpoint_total", l),
+                ckpt_bytes: registry.gauge("esr_checkpoint_bytes", l),
+                journal_bytes: registry.gauge("esr_journal_bytes", l),
+                journal_live: registry.gauge("esr_journal_live_entries", l),
+                truncated: registry.counter("esr_journal_truncated_total", l),
+                ckpt_latency: registry.histogram("esr_checkpoint_latency_micros", l),
+                replay_latency: registry.histogram("esr_suffix_replay_latency_micros", l),
+            })),
+        }
+    }
+
+    /// Whether this bundle is attached to a registry.
+    pub fn is_attached(&self) -> bool {
+        self.cells.is_some()
+    }
+
+    /// One snapshot installed: its container size and how long the
+    /// cut-to-durable path took.
+    #[inline]
+    pub fn installed(&self, bytes: u64, micros: u64) {
+        if let Some(c) = &self.cells {
+            c.checkpoints.inc();
+            c.ckpt_bytes.set(as_gauge(bytes));
+            c.ckpt_latency.record(micros);
+        }
+    }
+
+    /// Current journal occupancy: file bytes and live (unretired)
+    /// entries.
+    #[inline]
+    pub fn journal(&self, bytes: u64, live_entries: u64) {
+        if let Some(c) = &self.cells {
+            c.journal_bytes.set(as_gauge(bytes));
+            c.journal_live.set(as_gauge(live_entries));
+        }
+    }
+
+    /// `n` journal entries retired by checkpoint coverage.
+    #[inline]
+    pub fn truncated(&self, n: u64) {
+        if let Some(c) = &self.cells {
+            c.truncated.add(n);
+        }
+    }
+
+    /// One boot-time journal-suffix replay after a snapshot restore.
+    #[inline]
+    pub fn suffix_replay(&self, micros: u64) {
+        if let Some(c) = &self.cells {
+            c.replay_latency.record(micros);
+        }
+    }
+}
+
 /// A family of gauges sharing a name, one per site id — lazily
 /// registered on first touch. Used for cluster-computed per-site series
 /// (replica divergence, VTNC lag) where the set of sites is dynamic.
@@ -504,6 +586,33 @@ mod tests {
             r.snapshot().value("esr_query_epsilon_limit", l),
             Some(i64::MAX)
         );
+    }
+
+    #[test]
+    fn ckpt_bundle_updates_series() {
+        let r = MetricsRegistry::new();
+        let c = CkptInstruments::for_site(&r, 1);
+        assert!(c.is_attached());
+        c.installed(2048, 150);
+        c.journal(4096, 17);
+        c.truncated(9);
+        c.suffix_replay(75);
+        let l = &[("site", "1")];
+        let snap = r.snapshot();
+        assert_eq!(snap.value("esr_checkpoint_total", l), Some(1));
+        assert_eq!(snap.value("esr_checkpoint_bytes", l), Some(2048));
+        assert_eq!(snap.value("esr_journal_bytes", l), Some(4096));
+        assert_eq!(snap.value("esr_journal_live_entries", l), Some(17));
+        assert_eq!(snap.value("esr_journal_truncated_total", l), Some(9));
+        assert_eq!(snap.value("esr_checkpoint_latency_micros", l), Some(1));
+        assert_eq!(snap.value("esr_suffix_replay_latency_micros", l), Some(1));
+        // Detached bundle is a no-op.
+        let d = CkptInstruments::default();
+        assert!(!d.is_attached());
+        d.installed(1, 1);
+        d.journal(1, 1);
+        d.truncated(1);
+        d.suffix_replay(1);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod instruments;
 pub mod registry;
 
 pub use events::{EventRing, TraceEvent};
-pub use instruments::{GaugeFamily, LinkInstruments, ReactorInstruments, SiteInstruments};
+pub use instruments::{
+    CkptInstruments, GaugeFamily, LinkInstruments, ReactorInstruments, SiteInstruments,
+};
 pub use registry::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleValue, SeriesSample,
 };

@@ -90,6 +90,41 @@ impl CommuSite {
         self.audit.as_deref().unwrap_or(&[])
     }
 
+    /// Captures the site's full protocol state as a checkpoint image:
+    /// store contents, the in-flight updates still holding
+    /// lock-counters, and the duplicate-suppression set. Audit logs and
+    /// metrics bundles are excluded (re-armed after restore).
+    pub fn to_ckpt(&self) -> crate::ckpt::CommuCkpt {
+        let mut applied_ets: Vec<EtId> = self.applied_ets.keys().copied().collect();
+        applied_ets.sort_unstable();
+        crate::ckpt::CommuCkpt {
+            values: self.store.snapshot().into_iter().collect(),
+            held: self.counters.held_sets(),
+            applied_ets,
+            applied: self.applied,
+            redelivered: self.redelivered,
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image, mid-protocol: held
+    /// write sets re-raise exactly the lock-counters that were up at
+    /// the cut, so queries keep being charged for in-flight updates and
+    /// late completion notices land correctly.
+    pub fn from_ckpt(site: SiteId, c: crate::ckpt::CommuCkpt) -> Self {
+        let mut counters = LockCounters::new();
+        counters.begin_updates(c.held);
+        Self {
+            site,
+            store: ObjectStore::with_values(c.values),
+            counters,
+            applied_ets: c.applied_ets.into_iter().map(|et| (et, ())).collect(),
+            applied: c.applied,
+            redelivered: c.redelivered,
+            audit: None,
+            obs: SiteInstruments::default(),
+        }
+    }
+
     /// Handles the completion notice for `et`: every replica has applied
     /// its MSet, so the update is no longer in flight and its
     /// lock-counters drop.

@@ -74,6 +74,29 @@ enum Disposition {
     CommitPending,
 }
 
+impl Disposition {
+    /// Stable byte tag for the checkpoint codec.
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::AtRisk => 0,
+            Self::Committed => 1,
+            Self::Aborted => 2,
+            Self::CommitPending => 3,
+        }
+    }
+
+    /// Inverse of [`Self::to_u8`]; the codec rejects tags above 3, so
+    /// the catch-all arm is unreachable on decoded images.
+    fn from_u8(tag: u8) -> Self {
+        match tag {
+            0 => Self::AtRisk,
+            1 => Self::Committed,
+            2 => Self::Aborted,
+            _ => Self::CommitPending,
+        }
+    }
+}
+
 impl CompeSite {
     /// A fresh site.
     pub fn new(site: SiteId) -> Self {
@@ -138,6 +161,47 @@ impl CompeSite {
     /// Number of MSets still at risk of rollback.
     pub fn at_risk(&self) -> usize {
         self.log.at_risk()
+    }
+
+    /// Captures the site's full protocol state as a checkpoint image:
+    /// store contents (optimistic state included), the recovery log with
+    /// its before-images, and every ET's disposition — everything needed
+    /// to keep compensating aborts that arrive after a restart.
+    pub fn to_ckpt(&self) -> crate::ckpt::CompeCkpt {
+        crate::ckpt::CompeCkpt {
+            values: self.store.snapshot().into_iter().collect(),
+            log: self.log.records().cloned().collect(),
+            seen: self
+                .seen
+                .iter()
+                .map(|(et, d)| (*et, d.to_u8()))
+                .collect(),
+            applied: self.applied,
+            compensations: self.compensations,
+            redelivered: self.redelivered,
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image, mid-protocol: at-risk
+    /// MSets stay compensatable (their before-images survive in the
+    /// restored recovery log) and pending-commit races resume where the
+    /// cut left them.
+    pub fn from_ckpt(site: SiteId, c: crate::ckpt::CompeCkpt) -> Self {
+        Self {
+            site,
+            store: ObjectStore::with_values(c.values),
+            log: RecoveryLog::from_records(c.log),
+            seen: c
+                .seen
+                .into_iter()
+                .map(|(et, tag)| (et, Disposition::from_u8(tag)))
+                .collect(),
+            applied: c.applied,
+            compensations: c.compensations,
+            redelivered: c.redelivered,
+            audit: None,
+            obs: SiteInstruments::default(),
+        }
     }
 
     /// Commit notice: the global update committed; its MSet leaves the

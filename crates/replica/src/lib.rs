@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod ckpt;
 pub mod cluster;
 pub mod commu;
 pub mod etspec;
@@ -32,6 +33,7 @@ pub mod sync2pc;
 pub mod wire;
 
 pub use api::{QueryBuilder, Session, UpdateBuilder};
+pub use ckpt::{decode_site_ckpt, encode_site_ckpt, SiteCkpt};
 pub use cluster::{ClusterConfig, ClusterStats, Method, QueryReport, SimCluster};
 pub use commu::CommuSite;
 pub use etspec::{PropagationClass, SpecPipe};

@@ -121,6 +121,56 @@ impl OrdupSite {
         self.applied += 1;
     }
 
+    /// Captures the site's full protocol state as a checkpoint image:
+    /// store contents, the hold-back queue, the next expected sequence
+    /// number, and the duplicate-suppression set. Audit logs and
+    /// metrics bundles are deliberately excluded (the checker and
+    /// daemon re-arm them after restore).
+    pub fn to_ckpt(&self) -> crate::ckpt::OrdupCkpt {
+        let mut applied_ets: Vec<esr_core::ids::EtId> =
+            self.applied_ets.iter().copied().collect();
+        applied_ets.sort_unstable();
+        crate::ckpt::OrdupCkpt {
+            values: self.store.snapshot().into_iter().collect(),
+            next_seq: self.next_seq,
+            holdback: self.holdback.values().cloned().collect(),
+            applied_ets,
+            applied: self.applied,
+            redelivered: self.redelivered,
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image, mid-protocol: the
+    /// hold-back queue resumes waiting for exactly the same next
+    /// sequence number, and redelivered duplicates of already-applied
+    /// ETs keep being suppressed.
+    ///
+    /// # Panics
+    ///
+    /// If a held-back MSet in the image is not `Sequenced` — the codec
+    /// cannot produce one from an image written by [`Self::to_ckpt`],
+    /// so this indicates a hand-built image.
+    pub fn from_ckpt(site: SiteId, c: crate::ckpt::OrdupCkpt) -> Self {
+        let mut holdback = BTreeMap::new();
+        for m in c.holdback {
+            let OrderTag::Sequenced(seq) = m.order else {
+                panic!("ORDUP checkpoint holds non-sequenced MSet {m}");
+            };
+            holdback.insert(seq, m);
+        }
+        Self {
+            site,
+            store: ObjectStore::with_values(c.values),
+            next_seq: c.next_seq,
+            holdback,
+            applied_ets: c.applied_ets.into_iter().collect(),
+            applied: c.applied,
+            redelivered: c.redelivered,
+            audit: None,
+            obs: SiteInstruments::default(),
+        }
+    }
+
     /// The next sequence number this site is waiting for.
     pub fn next_seq(&self) -> SeqNo {
         self.next_seq

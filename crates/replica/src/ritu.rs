@@ -102,6 +102,44 @@ impl RituOverwriteSite {
     pub fn version(&self, object: ObjectId) -> VersionTs {
         self.store.version(object)
     }
+
+    /// Captures the site's full protocol state as a checkpoint image:
+    /// store contents *with* the winning version per object (the LWW
+    /// arbitration state), in-flight lock-counter holders, and the
+    /// duplicate-suppression set.
+    pub fn to_ckpt(&self) -> crate::ckpt::RituCkpt {
+        let mut applied_ets: Vec<EtId> = self.applied_ets.keys().copied().collect();
+        applied_ets.sort_unstable();
+        crate::ckpt::RituCkpt {
+            values: self.store.versioned_dump(),
+            held: self.counters.held_sets(),
+            applied_ets,
+            applied: self.applied,
+            redelivered: self.redelivered,
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image, mid-protocol: restored
+    /// versions keep arbitrating against late timestamped writes, so an
+    /// older write redelivered after the restart still loses.
+    pub fn from_ckpt(site: SiteId, c: crate::ckpt::RituCkpt) -> Self {
+        let mut store = LwwStore::new();
+        for (object, ts, value) in c.values {
+            let _ = store.apply_timestamped(object, ts, value);
+        }
+        let mut counters = LockCounters::new();
+        counters.begin_updates(c.held);
+        Self {
+            site,
+            store,
+            counters,
+            applied_ets: c.applied_ets.into_iter().map(|et| (et, ())).collect(),
+            applied: c.applied,
+            redelivered: c.redelivered,
+            audit: None,
+            obs: SiteInstruments::default(),
+        }
+    }
 }
 
 impl ReplicaSite for RituOverwriteSite {
@@ -321,6 +359,41 @@ impl RituMvSite {
             self.obs.set_vtnc(horizon);
             self.obs
                 .set_vtnc_lag(self.newest_installed.saturating_sub(horizon));
+        }
+    }
+
+    /// Captures the site's full protocol state as a checkpoint image:
+    /// every retained version, the VTNC visibility horizon, and the
+    /// duplicate-suppression set.
+    pub fn to_ckpt(&self) -> crate::ckpt::RituMvCkpt {
+        let mut applied_ets: Vec<EtId> = self.applied_ets.keys().copied().collect();
+        applied_ets.sort_unstable();
+        crate::ckpt::RituMvCkpt {
+            versions: self.store.dump(),
+            vtnc: self.store.vtnc(),
+            newest_installed: self.newest_installed,
+            applied_ets,
+            applied: self.applied,
+            redelivered: self.redelivered,
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image, mid-protocol: the
+    /// version chains and VTNC resume exactly where the cut left them,
+    /// so post-restore queries see the same stable horizon.
+    pub fn from_ckpt(site: SiteId, c: crate::ckpt::RituMvCkpt) -> Self {
+        let mut store = MvStore::new();
+        store.install_batch(c.versions);
+        store.advance_vtnc(c.vtnc);
+        Self {
+            site,
+            store,
+            applied_ets: c.applied_ets.into_iter().map(|et| (et, ())).collect(),
+            applied: c.applied,
+            redelivered: c.redelivered,
+            newest_installed: c.newest_installed,
+            audit: None,
+            obs: SiteInstruments::default(),
         }
     }
 

@@ -80,7 +80,7 @@ pub fn encode_mset(mset: &MSet) -> Bytes {
     b.freeze()
 }
 
-fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
+pub(crate) fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
     b.put_u64(mset.et.raw());
     b.put_u64(mset.origin.raw());
     match mset.order {
@@ -113,7 +113,7 @@ fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
     }
 }
 
-fn encode_op(b: &mut BytesMut, op: &Operation) {
+pub(crate) fn encode_op(b: &mut BytesMut, op: &Operation) {
     match op {
         Operation::Read => b.put_u8(OP_READ),
         Operation::Write(v) => {
@@ -153,7 +153,7 @@ fn encode_op(b: &mut BytesMut, op: &Operation) {
     }
 }
 
-fn encode_value(b: &mut BytesMut, v: &Value) {
+pub(crate) fn encode_value(b: &mut BytesMut, v: &Value) {
     match v {
         Value::Int(i) => {
             b.put_u8(VAL_INT);
@@ -183,7 +183,7 @@ pub fn decode_mset(payload: &Bytes) -> Result<MSet, WireError> {
     decode_mset_from(&mut b)
 }
 
-fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
+pub(crate) fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
     let et = EtId(get_u64(b)?);
     let origin = SiteId(get_u64(b)?);
     let order = match get_u8(b)? {
@@ -227,7 +227,7 @@ fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
     Ok(mset)
 }
 
-fn decode_op(b: &mut &[u8]) -> Result<Operation, WireError> {
+pub(crate) fn decode_op(b: &mut &[u8]) -> Result<Operation, WireError> {
     Ok(match get_u8(b)? {
         OP_READ => Operation::Read,
         OP_WRITE => Operation::Write(decode_value(b)?),
@@ -247,7 +247,7 @@ fn decode_op(b: &mut &[u8]) -> Result<Operation, WireError> {
     })
 }
 
-fn decode_value(b: &mut &[u8]) -> Result<Value, WireError> {
+pub(crate) fn decode_value(b: &mut &[u8]) -> Result<Value, WireError> {
     Ok(match get_u8(b)? {
         VAL_INT => Value::Int(get_i64(b)?),
         VAL_TEXT => Value::Text(decode_text(b)?),
@@ -266,28 +266,28 @@ fn decode_value(b: &mut &[u8]) -> Result<Value, WireError> {
     })
 }
 
-fn get_u8(b: &mut &[u8]) -> Result<u8, WireError> {
+pub(crate) fn get_u8(b: &mut &[u8]) -> Result<u8, WireError> {
     if b.remaining() < 1 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u8())
 }
 
-fn get_u32(b: &mut &[u8]) -> Result<u32, WireError> {
+pub(crate) fn get_u32(b: &mut &[u8]) -> Result<u32, WireError> {
     if b.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u32())
 }
 
-fn get_u64(b: &mut &[u8]) -> Result<u64, WireError> {
+pub(crate) fn get_u64(b: &mut &[u8]) -> Result<u64, WireError> {
     if b.remaining() < 8 {
         return Err(WireError::Truncated);
     }
     Ok(b.get_u64())
 }
 
-fn get_i64(b: &mut &[u8]) -> Result<i64, WireError> {
+pub(crate) fn get_i64(b: &mut &[u8]) -> Result<i64, WireError> {
     if b.remaining() < 8 {
         return Err(WireError::Truncated);
     }
@@ -318,6 +318,8 @@ const FRAME_START_VIEW_CHANGE: u8 = 0x0A;
 const FRAME_DO_VIEW_CHANGE: u8 = 0x0B;
 const FRAME_START_VIEW: u8 = 0x0C;
 const FRAME_FORWARD_DECISION: u8 = 0x0D;
+const FRAME_SNAPSHOT_REQUEST: u8 = 0x0E;
+const FRAME_SNAPSHOT_CHUNK: u8 = 0x0F;
 const FRAME_SUBMIT: u8 = 0x10;
 const FRAME_SUBMIT_OK: u8 = 0x11;
 const FRAME_QUERY: u8 = 0x12;
@@ -333,6 +335,8 @@ const FRAME_METRICS: u8 = 0x1B;
 const FRAME_METRICS_OK: u8 = 0x1C;
 const FRAME_TRACE: u8 = 0x1D;
 const FRAME_TRACE_OK: u8 = 0x1E;
+const FRAME_CHECKPOINT: u8 = 0x1F;
+const FRAME_CHECKPOINT_OK: u8 = 0x20;
 
 const COMPE_APPLIED: u8 = 0;
 const COMPE_COMMITTED: u8 = 1;
@@ -489,6 +493,23 @@ pub enum Frame {
         /// `true` = commit, `false` = abort (compensate).
         commit: bool,
     },
+    /// Snapshot catch-up request: a rejoining (or freshly wiped) site
+    /// asks a peer for its newest installed checkpoint container,
+    /// starting at byte `offset`. Answered with [`Frame::SnapshotChunk`].
+    SnapshotRequest {
+        /// Byte offset into the serving peer's snapshot container.
+        offset: u64,
+    },
+    /// One chunk of a checkpoint container. `total_len == 0` means the
+    /// serving peer has no checkpoint to offer (and `bytes` is empty).
+    SnapshotChunk {
+        /// Total container size in bytes at the serving peer.
+        total_len: u64,
+        /// Byte offset of this chunk within the container.
+        offset: u64,
+        /// The chunk payload.
+        bytes: Vec<u8>,
+    },
     /// Client → daemon: submit a fully-stamped update MSet originating
     /// at this site (ET id, order tag, and version stamps are assigned
     /// by the client library).
@@ -528,6 +549,10 @@ pub enum Frame {
         view: u64,
         /// Does this daemon hold the coordinator role right now?
         coordinator: bool,
+        /// Sequence number of the newest installed checkpoint (0 = none).
+        ckpt_seq: u64,
+        /// Journalled MSets that checkpoint covers.
+        ckpt_covered: u64,
     },
     /// Client → daemon: request the site's audit.
     Audit,
@@ -557,6 +582,17 @@ pub enum Frame {
         /// The retained events.
         events: Vec<(u64, u64, String, String)>,
     },
+    /// Client → daemon: take a checkpoint now, regardless of the
+    /// byte-interval policy.
+    Checkpoint,
+    /// Reply to [`Frame::Checkpoint`] once the snapshot is durably
+    /// installed.
+    CheckpointOk {
+        /// The installed checkpoint's sequence number.
+        seq: u64,
+        /// Journalled MSets the checkpoint covers.
+        covered: u64,
+    },
 }
 
 fn encode_text(b: &mut BytesMut, s: &str) {
@@ -575,7 +611,14 @@ fn decode_text(b: &mut &[u8]) -> Result<String, WireError> {
     Ok(s.to_owned())
 }
 
-fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
+fn decode_bytes(b: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let n = get_count(b, 1)?;
+    let (raw, rest) = b.split_at(n);
+    *b = rest;
+    Ok(raw.to_vec())
+}
+
+pub(crate) fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
     match v {
         None => b.put_u8(0),
         Some(ts) => {
@@ -586,7 +629,7 @@ fn encode_version_opt(b: &mut BytesMut, v: &Option<VersionTs>) {
     }
 }
 
-fn decode_version_opt(b: &mut &[u8]) -> Result<Option<VersionTs>, WireError> {
+pub(crate) fn decode_version_opt(b: &mut &[u8]) -> Result<Option<VersionTs>, WireError> {
     match get_u8(b)? {
         0 => Ok(None),
         1 => {
@@ -601,7 +644,7 @@ fn decode_version_opt(b: &mut &[u8]) -> Result<Option<VersionTs>, WireError> {
 /// Reads an element count and checks it against the bytes actually
 /// left (at `min_elem` bytes each), so a corrupt count cannot trigger a
 /// huge allocation.
-fn get_count(b: &mut &[u8], min_elem: usize) -> Result<usize, WireError> {
+pub(crate) fn get_count(b: &mut &[u8], min_elem: usize) -> Result<usize, WireError> {
     let n = get_u32(b)? as usize;
     if n.saturating_mul(min_elem) > b.remaining() {
         return Err(WireError::BadLength);
@@ -729,6 +772,21 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             b.put_u64(et.raw());
             b.put_u8(u8::from(*commit));
         }
+        Frame::SnapshotRequest { offset } => {
+            b.put_u8(FRAME_SNAPSHOT_REQUEST);
+            b.put_u64(*offset);
+        }
+        Frame::SnapshotChunk {
+            total_len,
+            offset,
+            bytes,
+        } => {
+            b.put_u8(FRAME_SNAPSHOT_CHUNK);
+            b.put_u64(*total_len);
+            b.put_u64(*offset);
+            b.put_u32(bytes.len() as u32);
+            b.put_slice(bytes);
+        }
         Frame::Submit(mset) => {
             b.put_u8(FRAME_SUBMIT);
             encode_mset_into(&mut b, mset);
@@ -777,6 +835,8 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             epoch,
             view,
             coordinator,
+            ckpt_seq,
+            ckpt_covered,
         } => {
             b.put_u8(FRAME_STATUS_OK);
             b.put_u8(u8::from(*settled));
@@ -784,6 +844,8 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             b.put_u64(*epoch);
             b.put_u64(*view);
             b.put_u8(u8::from(*coordinator));
+            b.put_u64(*ckpt_seq);
+            b.put_u64(*ckpt_covered);
         }
         Frame::Audit => {
             b.put_u8(FRAME_AUDIT);
@@ -837,6 +899,14 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
         }
         Frame::TraceDump => {
             b.put_u8(FRAME_TRACE);
+        }
+        Frame::Checkpoint => {
+            b.put_u8(FRAME_CHECKPOINT);
+        }
+        Frame::CheckpointOk { seq, covered } => {
+            b.put_u8(FRAME_CHECKPOINT_OK);
+            b.put_u64(*seq);
+            b.put_u64(*covered);
         }
         Frame::TraceOk { dropped, events } => {
             b.put_u8(FRAME_TRACE_OK);
@@ -927,6 +997,14 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             et: EtId(get_u64(&mut b)?),
             commit: decode_bool(&mut b)?,
         },
+        FRAME_SNAPSHOT_REQUEST => Frame::SnapshotRequest {
+            offset: get_u64(&mut b)?,
+        },
+        FRAME_SNAPSHOT_CHUNK => Frame::SnapshotChunk {
+            total_len: get_u64(&mut b)?,
+            offset: get_u64(&mut b)?,
+            bytes: decode_bytes(&mut b)?,
+        },
         FRAME_SUBMIT => Frame::Submit(decode_mset_from(&mut b)?),
         FRAME_SUBMIT_OK => Frame::SubmitOk {
             et: EtId(get_u64(&mut b)?),
@@ -974,6 +1052,8 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             epoch: get_u64(&mut b)?,
             view: get_u64(&mut b)?,
             coordinator: decode_bool(&mut b)?,
+            ckpt_seq: get_u64(&mut b)?,
+            ckpt_covered: get_u64(&mut b)?,
         },
         FRAME_AUDIT => Frame::Audit,
         FRAME_AUDIT_OK => {
@@ -1039,12 +1119,17 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             }
             Frame::TraceOk { dropped, events }
         }
+        FRAME_CHECKPOINT => Frame::Checkpoint,
+        FRAME_CHECKPOINT_OK => Frame::CheckpointOk {
+            seq: get_u64(&mut b)?,
+            covered: get_u64(&mut b)?,
+        },
         tag => return Err(WireError::BadTag { field: "frame", tag }),
     };
     Ok(frame)
 }
 
-fn decode_bool(b: &mut &[u8]) -> Result<bool, WireError> {
+pub(crate) fn decode_bool(b: &mut &[u8]) -> Result<bool, WireError> {
     match get_u8(b)? {
         0 => Ok(false),
         1 => Ok(true),
@@ -1282,6 +1367,24 @@ mod tests {
                 epoch: 2,
                 view: 3,
                 coordinator: false,
+                ckpt_seq: 4,
+                ckpt_covered: 190,
+            },
+            Frame::SnapshotRequest { offset: 65_536 },
+            Frame::SnapshotChunk {
+                total_len: 10,
+                offset: 3,
+                bytes: vec![1, 2, 3, 4, 5, 6, 7],
+            },
+            Frame::SnapshotChunk {
+                total_len: 0,
+                offset: 0,
+                bytes: vec![],
+            },
+            Frame::Checkpoint,
+            Frame::CheckpointOk {
+                seq: 3,
+                covered: 812,
             },
             Frame::Audit,
             Frame::AuditOk(WireAudit {
@@ -1352,6 +1455,20 @@ mod tests {
             Frame::TraceOk {
                 dropped: 1,
                 events: vec![(2, 30, "apply".to_owned(), "x".to_owned())],
+            },
+            Frame::SnapshotChunk {
+                total_len: 5,
+                offset: 0,
+                bytes: vec![9, 9, 9],
+            },
+            Frame::StatusOk {
+                settled: false,
+                outbound_pending: 1,
+                epoch: 2,
+                view: 0,
+                coordinator: true,
+                ckpt_seq: 1,
+                ckpt_covered: 7,
             },
         ];
         for frame in &frames {

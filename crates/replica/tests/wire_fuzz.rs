@@ -112,6 +112,8 @@ fn corpus(seed: u64) -> Vec<Frame> {
             epoch: seed % 7,
             view: seed % 11,
             coordinator: seed.is_multiple_of(3),
+            ckpt_seq: seed % 13,
+            ckpt_covered: seed % 29,
         },
         Frame::AuditOk(WireAudit {
             ordup_order: (0..seed % 3).map(|i| (EtId(i), SeqNo(i))).collect(),
@@ -148,6 +150,17 @@ fn corpus(seed: u64) -> Vec<Frame> {
         Frame::ForwardDecision {
             et,
             commit: seed.is_multiple_of(2),
+        },
+        Frame::SnapshotRequest { offset: seed },
+        Frame::SnapshotChunk {
+            total_len: seed % 64 + seed % 9,
+            offset: seed % 64,
+            bytes: (0..seed % 9).map(|i| i as u8).collect(),
+        },
+        Frame::Checkpoint,
+        Frame::CheckpointOk {
+            seq: seed % 13,
+            covered: seed % 101,
         },
     ]
 }

@@ -41,7 +41,7 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
     } else {
         mset
     };
-    match variant % 20 {
+    match variant % 24 {
         0 => Frame::Hello {
             site,
             epoch: seed,
@@ -86,6 +86,8 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
             epoch: seed % 7,
             view: seed % 11,
             coordinator: seed.is_multiple_of(3),
+            ckpt_seq: seed % 13,
+            ckpt_covered: seed % 29,
         },
         14 => Frame::AuditOk(WireAudit {
             ordup_order: (0..seed % 3).map(|i| (EtId(i), SeqNo(i))).collect(),
@@ -113,11 +115,22 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
             decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
             vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
         },
-        _ => Frame::StartView {
+        19 => Frame::StartView {
             view: seed % 9,
             completed: (0..seed % 4).map(EtId).collect(),
             decisions: (0..seed % 3).map(|i| (EtId(i), i % 2 == 0)).collect(),
             vtnc_max: if seed.is_multiple_of(3) { Some(ts) } else { None },
+        },
+        20 => Frame::SnapshotRequest { offset: seed },
+        21 => Frame::SnapshotChunk {
+            total_len: seed % 64 + seed % 7,
+            offset: seed % 64,
+            bytes: (0..seed % 7).map(|i| i as u8).collect(),
+        },
+        22 => Frame::Checkpoint,
+        _ => Frame::CheckpointOk {
+            seq: seed % 13,
+            covered: seed % 101,
         },
     }
 }

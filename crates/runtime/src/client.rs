@@ -43,6 +43,10 @@ pub struct DaemonStatus {
     pub view: u64,
     /// Does this site hold the coordinator role in its view?
     pub coordinator: bool,
+    /// Sequence number of the newest installed checkpoint (0 = none).
+    pub ckpt_seq: u64,
+    /// Journalled MSets that checkpoint covers.
+    pub ckpt_covered: u64,
 }
 
 /// A connected client-plane session with one daemon.
@@ -134,12 +138,16 @@ impl RpcClient {
                 epoch,
                 view,
                 coordinator,
+                ckpt_seq,
+                ckpt_covered,
             } => Ok(DaemonStatus {
                 settled,
                 outbound_pending,
                 epoch,
                 view,
                 coordinator,
+                ckpt_seq,
+                ckpt_covered,
             }),
             other => Err(bad_reply(&other)),
         }
@@ -188,6 +196,51 @@ impl RpcClient {
         match self.call(&Frame::TraceDump)? {
             Frame::TraceOk { dropped, events } => Ok((dropped, events)),
             other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Asks the daemon to take a checkpoint right now, regardless of its
+    /// byte-interval policy. Returns the installed `(seq, covered)`.
+    pub fn checkpoint(&mut self) -> io::Result<(u64, u64)> {
+        match self.call(&Frame::Checkpoint)? {
+            Frame::CheckpointOk { seq, covered } => Ok((seq, covered)),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Downloads the daemon's newest installed checkpoint container in
+    /// chunks. `Ok(None)` when the daemon has no checkpoint to offer.
+    ///
+    /// The serving daemon may install a newer checkpoint mid-download;
+    /// the container CRC catches the resulting splice, so callers must
+    /// validate with `esr_storage::snapshot::decode_container` before
+    /// trusting the bytes.
+    pub fn fetch_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let want = out.len() as u64;
+            match self.call(&Frame::SnapshotRequest { offset: want })? {
+                Frame::SnapshotChunk {
+                    total_len,
+                    offset,
+                    bytes,
+                } => {
+                    if total_len == 0 {
+                        return Ok(None);
+                    }
+                    if offset != want || bytes.is_empty() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "bad snapshot chunk (offset mismatch or empty)",
+                        ));
+                    }
+                    out.extend_from_slice(&bytes);
+                    if out.len() as u64 >= total_len {
+                        return Ok(Some(out));
+                    }
+                }
+                other => return Err(bad_reply(&other)),
+            }
         }
     }
 }

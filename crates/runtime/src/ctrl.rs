@@ -54,6 +54,7 @@ use esr_core::op::Operation;
 use esr_replica::mset::{MSet, OrderTag};
 use esr_replica::wire::Frame;
 
+use crate::ckpt::CkptPayload;
 use crate::state::{RtMethod, SiteState};
 
 /// One input to a site's control-plane state machine.
@@ -82,6 +83,17 @@ pub enum NodeEvent {
     /// (the model checker's time-free stand-in for a run of silent
     /// ticks).
     SuspectCoordinator,
+    /// Cut a checkpoint of this node's current state. `through` is the
+    /// journal entry-id high-water mark the caller observed *before*
+    /// taking the core lock (the daemon reads it from the journal file;
+    /// the model, which has no entry ids, passes `None`). The cut
+    /// itself is pure: it returns an [`Effect::Checkpoint`] carrying
+    /// the payload, and the executor decides where it lands.
+    Checkpoint {
+        /// Journal high-water [`esr_storage::stable_queue::EntryId`]
+        /// covered by this cut, or `None` when ids are not meaningful.
+        through: Option<u64>,
+    },
 }
 
 /// One side effect implied by a step, to be executed in order.
@@ -113,11 +125,16 @@ pub enum Effect {
     /// `abort et N` forms.
     Trace {
         /// Ring component tag (`apply`, `control`, `peer`, `replay`,
-        /// `view`, `client`).
+        /// `view`, `client`, `ckpt`).
         component: &'static str,
         /// Human- and certifier-readable event text.
         message: String,
     },
+    /// Persist this checkpoint image (atomic snapshot install in the
+    /// daemon, an in-memory register in the model). Boxed: a payload
+    /// carries the whole replica image and would otherwise dominate the
+    /// size of every `Effect`.
+    Checkpoint(Box<CkptPayload>),
 }
 
 /// Seeded control-plane defects for checker self-tests. Production
@@ -429,6 +446,10 @@ pub struct NodeCore {
     /// ETs already appended to the write-ahead journal (dedupe guard so
     /// redeliveries don't journal twice).
     journaled: BTreeSet<EtId>,
+    /// Per-origin journalled counts (site raw id → count): the node's
+    /// propagation frontier, reported in status and captured by
+    /// checkpoints.
+    frontier: BTreeMap<u64, u64>,
     /// ETs delivered but still held back (ORDUP sequence gaps), with
     /// the version/seq metadata their eventual apply trace needs: an
     /// in-order arrival can release a whole run of held successors,
@@ -517,6 +538,7 @@ impl NodeCore {
             coord,
             view,
             journaled: BTreeSet::new(),
+            frontier: BTreeMap::new(),
             held: BTreeMap::new(),
             decisions_seen: BTreeSet::new(),
             decisions_order: Vec::new(),
@@ -559,7 +581,9 @@ impl NodeCore {
             let et = mset.et;
             let version = max_version(&mset);
             let seq = seq_of(&mset);
-            core.journaled.insert(et);
+            if core.journaled.insert(et) {
+                *core.frontier.entry(mset.origin.raw()).or_insert(0) += 1;
+            }
             if let Some((cid, cseq)) = mset.client {
                 core.client_table.insert((cid.raw(), cseq), et);
             }
@@ -645,7 +669,140 @@ impl NodeCore {
                 let next = self.view.max(self.vc_target) + 1;
                 self.start_view_change(next)
             }
+            NodeEvent::Checkpoint { through } => {
+                let payload = self.ckpt_payload(through);
+                vec![
+                    Effect::Trace {
+                        component: "ckpt",
+                        message: format!("cut covered={}", payload.covered),
+                    },
+                    Effect::Checkpoint(Box::new(payload)),
+                ]
+            }
         }
+    }
+
+    /// Captures a consistent checkpoint of this node. Must be called
+    /// with the core otherwise quiescent (the daemon holds the core
+    /// lock; the model steps nodes one at a time), so no effect is
+    /// half-applied across the image.
+    pub fn ckpt_payload(&self, through: Option<u64>) -> CkptPayload {
+        CkptPayload {
+            covered: self.journaled.len() as u64,
+            covered_through: through,
+            view: self.view,
+            frontier: self.frontier.iter().map(|(s, c)| (*s, *c)).collect(),
+            journaled: self.journaled.iter().copied().collect(),
+            client_table: self
+                .client_table
+                .iter()
+                .map(|(&(c, s), &et)| (c, s, et))
+                .collect(),
+            applied_log: self.applied_log.iter().map(|(&et, &v)| (et, v)).collect(),
+            completed: self.completed_order.clone(),
+            decisions: self.decisions_order.clone(),
+            vtnc: self.vtnc_seen,
+            held: self
+                .held
+                .iter()
+                .map(|(&et, &(v, s))| (et, v, s))
+                .collect(),
+            site: self.state.to_ckpt(),
+        }
+    }
+
+    /// Boot-time restore from a checkpoint image plus the journal
+    /// *suffix* past its cut — the fast path that makes log truncation
+    /// safe. Returns `None` when the image's method disagrees with the
+    /// configuration (the daemon then falls back to full replay).
+    ///
+    /// The suffix may over-approximate: entries at or before the cut
+    /// are absorbed by the restored `journaled` set and the method's
+    /// per-ET idempotency guards, so a caller that cannot tell exactly
+    /// where the cut fell (e.g. a catch-up image whose entry ids refer
+    /// to a peer's journal) can safely replay its whole local journal.
+    ///
+    /// `view` is the view to boot into — the daemon passes
+    /// `max(durable view register, payload.view)` so a view recorded
+    /// after the cut is not lost.
+    pub fn restore(
+        method: RtMethod,
+        site: SiteId,
+        sites: usize,
+        canary: Option<CtrlCanary>,
+        view: u64,
+        payload: CkptPayload,
+        suffix: Vec<MSet>,
+    ) -> Option<(Self, Vec<Effect>)> {
+        if payload.method() != method {
+            return None;
+        }
+        let state = SiteState::from_ckpt(site, payload.site);
+        let mut core = Self::fresh_at_view(state, method, site, sites, canary, view);
+        core.journaled = payload.journaled.into_iter().collect();
+        core.frontier = payload.frontier.into_iter().collect();
+        core.client_table = payload
+            .client_table
+            .into_iter()
+            .map(|(c, s, et)| ((c, s), et))
+            .collect();
+        core.applied_log = payload.applied_log.into_iter().collect();
+        core.completed_seen = payload.completed.iter().copied().collect();
+        core.completed_order = payload.completed;
+        core.decisions_seen = payload.decisions.iter().map(|(et, _)| *et).collect();
+        core.decisions_order = payload.decisions;
+        core.vtnc_seen = payload.vtnc;
+        core.held = payload
+            .held
+            .into_iter()
+            .map(|(et, v, s)| (et, (v, s)))
+            .collect();
+        let mut effects = vec![Effect::Trace {
+            component: "ckpt",
+            message: format!("restore covered={} view={}", payload.covered, core.view),
+        }];
+        let mut recovered: Vec<(EtId, Option<VersionTs>)> = Vec::new();
+        for mset in suffix {
+            let et = mset.et;
+            let version = max_version(&mset);
+            let seq = seq_of(&mset);
+            if core.journaled.insert(et) {
+                *core.frontier.entry(mset.origin.raw()).or_insert(0) += 1;
+            }
+            if let Some((cid, cseq)) = mset.client {
+                core.client_table.insert((cid.raw(), cseq), et);
+            }
+            let before = core.state.has_applied(et);
+            core.state.deliver(mset);
+            let mut newly = Vec::new();
+            if !before && core.state.has_applied(et) {
+                newly.push((et, version, seq));
+            } else if !core.state.has_applied(et) {
+                core.held.insert(et, (version, seq));
+            }
+            newly.extend(core.take_unblocked());
+            for (et, version, seq) in newly {
+                effects.push(Effect::Trace {
+                    component: "replay",
+                    message: apply_message(et, version, seq),
+                });
+                recovered.push((et, version));
+            }
+        }
+        // Re-announce *everything* applied (image + suffix), exactly as
+        // a full recovery would: the coordinator's evidence may have
+        // died with the previous incarnation, and it deduplicates.
+        if core.method.tracks_completion() {
+            for (et, version) in recovered {
+                core.applied_log.entry(et).or_insert(version);
+            }
+        }
+        let applied: Vec<(EtId, Option<VersionTs>)> =
+            core.applied_log.iter().map(|(&et, &v)| (et, v)).collect();
+        for (et, version) in applied {
+            effects.extend(core.report_applied(et, version));
+        }
+        Some((core, effects))
     }
 
     /// The cached ET for a client request, if this site has journalled
@@ -1125,6 +1282,7 @@ impl NodeCore {
         let seq = seq_of(&mset);
         let mut effects = Vec::new();
         if self.journaled.insert(et) {
+            *self.frontier.entry(mset.origin.raw()).or_insert(0) += 1;
             if let Some((cid, cseq)) = mset.client {
                 self.client_table.insert((cid.raw(), cseq), et);
             }
@@ -1336,6 +1494,12 @@ impl NodeCore {
     /// Number of distinct ETs journalled at this site.
     pub fn journaled_count(&self) -> u64 {
         self.journaled.len() as u64
+    }
+
+    /// Per-origin journalled counts `(site, count)`, in site order —
+    /// the propagation frontier the status surface reports.
+    pub fn frontier(&self) -> Vec<(u64, u64)> {
+        self.frontier.iter().map(|(s, c)| (*s, *c)).collect()
     }
 }
 
@@ -1715,6 +1879,94 @@ mod tests {
         );
         assert_eq!(core.cached_et(ClientId(9), 3), Some(EtId(7)));
         assert_eq!(core.cached_et(ClientId(9), 4), None);
+    }
+
+    #[test]
+    fn checkpoint_restore_plus_suffix_matches_full_recovery() {
+        let journal: Vec<MSet> = (1..=4u64).map(|i| incr(i, i % 3)).collect();
+        // Run the first two entries through a live core and cut there.
+        let mut live = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(2)),
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+        );
+        for m in &journal[..2] {
+            live.step(NodeEvent::PeerFrame(Frame::MSet(m.clone())));
+        }
+        let effects = live.step(NodeEvent::Checkpoint { through: Some(2) });
+        let payload = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Checkpoint(p) => Some((**p).clone()),
+                _ => None,
+            })
+            .expect("cut produces a payload");
+        assert_eq!(payload.covered, 2);
+        assert_eq!(payload.covered_through, Some(2));
+        // The image survives its wire codec.
+        let bytes = crate::ckpt::encode_payload(&payload);
+        let payload = crate::ckpt::decode_payload(&bytes).expect("payload decodes");
+        // Restore + suffix ≡ full recovery.
+        let (restored, _) = NodeCore::restore(
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+            0,
+            payload,
+            journal[2..].to_vec(),
+        )
+        .expect("method matches");
+        let (full, _) = NodeCore::recover(
+            SiteState::new(RtMethod::Commu, SiteId(2)),
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+            0,
+            journal.clone(),
+        );
+        assert_eq!(restored.state.snapshot(), full.state.snapshot());
+        assert_eq!(restored.journaled_count(), full.journaled_count());
+        assert_eq!(restored.frontier(), full.frontier());
+        // Over-approximated suffix (the whole journal) is absorbed.
+        let payload2 = full.ckpt_payload(None);
+        let (re2, _) = NodeCore::restore(
+            RtMethod::Commu,
+            SiteId(2),
+            3,
+            None,
+            0,
+            payload2,
+            journal,
+        )
+        .expect("method matches");
+        assert_eq!(re2.state.snapshot(), full.state.snapshot());
+        assert_eq!(re2.journaled_count(), full.journaled_count());
+    }
+
+    #[test]
+    fn restore_rejects_a_method_mismatch() {
+        let core = NodeCore::fresh(
+            SiteState::new(RtMethod::Commu, SiteId(0)),
+            RtMethod::Commu,
+            SiteId(0),
+            3,
+            None,
+        );
+        let payload = core.ckpt_payload(None);
+        assert!(NodeCore::restore(
+            RtMethod::Ordup,
+            SiteId(0),
+            3,
+            None,
+            0,
+            payload,
+            vec![],
+        )
+        .is_none());
     }
 
     #[test]

@@ -55,7 +55,8 @@
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -68,12 +69,16 @@ use esr_net::rpc::{
     NO_ENTRY,
 };
 use esr_obs::{
-    Counter, EventRing, Gauge, Histogram, LinkInstruments, MetricsRegistry, ReactorInstruments,
-    SiteInstruments,
+    CkptInstruments, Counter, EventRing, Gauge, Histogram, LinkInstruments, MetricsRegistry,
+    ReactorInstruments, SiteInstruments,
 };
+use esr_replica::mset::MSet;
 use esr_replica::wire::{decode_frame, encode_frame, Frame, WireAudit};
+use esr_storage::snapshot;
 use esr_storage::stable_queue::FileQueue;
 
+use crate::ckpt::{decode_payload, encode_payload, CkptPayload};
+use crate::client::RpcClient;
 use crate::ctrl::{Effect, NodeCore, NodeEvent};
 use crate::recovery::ApplyJournal;
 use crate::state::{RtMethod, SiteState};
@@ -87,9 +92,27 @@ pub struct DaemonConfig {
     pub sites: usize,
     /// The replica control method to run.
     pub method: RtMethod,
-    /// The cluster directory: address files, journals, and link queue
-    /// files all live here (shared by every site of one cluster).
+    /// The cluster directory: address files, journals, snapshots, and
+    /// link queue files all live here (shared by every site of one
+    /// cluster).
     pub dir: PathBuf,
+    /// Checkpoint policy: cut a snapshot after roughly this many bytes
+    /// of journal appends. `None` disables the policy (on-demand
+    /// [`Frame::Checkpoint`] still works) *and* the boot-time snapshot
+    /// catch-up pull, preserving the pre-checkpoint layout exactly.
+    pub ckpt_bytes: Option<u64>,
+}
+
+/// What the daemon durably knows about its checkpoint chain.
+#[derive(Debug, Clone, Copy, Default)]
+struct CkptState {
+    /// Sequence of the newest installed snapshot (0 = none yet).
+    seq: u64,
+    /// Journalled-MSet count that snapshot covers.
+    covered: u64,
+    /// That snapshot's journal entry-id cut (`None` for a catch-up
+    /// image whose ids refer to a peer's journal).
+    covered_through: Option<u64>,
 }
 
 /// A running site daemon. Construct with [`Daemon::start`]; one
@@ -142,11 +165,76 @@ pub struct Daemon {
     election_latency: Histogram,
     /// When the in-progress election started (None outside elections).
     election_started: Mutex<Option<Instant>>,
+    /// The checkpoint chain: newest installed snapshot seq, its covered
+    /// frontier, and its journal cut. Lock order: `ckpt` before
+    /// `journal`; never taken with `core` held by the writer thread
+    /// (the cut itself happens under `core`, the install does not).
+    ckpt: Mutex<CkptState>,
+    /// Journal bytes appended since the last policy-triggered cut.
+    ckpt_bytes_since: AtomicU64,
+    /// Set by the policy when a cut is due; consumed by `dispatch`
+    /// under the core lock so the cut is a consistent prefix.
+    ckpt_due: AtomicBool,
+    /// Hands cut payloads to the background writer thread so snapshot
+    /// encoding + fsync never blocks the apply path.
+    ckpt_tx: Mutex<mpsc::Sender<Box<CkptPayload>>>,
+    /// Checkpoint/journal metrics bundle.
+    ckpt_obs: CkptInstruments,
 }
 
 /// Heartbeat period: coordinators ping every tick, followers suspect
 /// after [`crate::ctrl::SUSPECT_AFTER`] silent ticks (~3s).
 const TICK_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Snapshot chunk size served per [`Frame::SnapshotRequest`].
+const SNAP_CHUNK: usize = 256 * 1024;
+
+/// The snapshot filename prefix for site `site` (containers land at
+/// `<dir>/site-<i>.ckpt-<seq>.snap`).
+fn snap_prefix(site: SiteId) -> String {
+    format!("site-{}", site.raw())
+}
+
+/// Pulls the newest snapshot from any reachable peer and installs it
+/// locally (wiped-site catch-up). The fetched payload's journal cut
+/// refers to the *peer's* journal ids, so it is rebased to `None`
+/// before the local install; our own journal is empty, so restore
+/// replays nothing on top. Best-effort: an unreachable cluster just
+/// means a cold boot.
+fn catch_up_from_peers(cfg: &DaemonConfig, prefix: &str, trace: &EventRing) {
+    for j in 0..cfg.sites {
+        let peer = SiteId(j as u64);
+        if peer == cfg.site {
+            continue;
+        }
+        let Ok(mut client) = RpcClient::connect_dir(&cfg.dir, peer, Duration::from_millis(300))
+        else {
+            continue;
+        };
+        let Ok(Some(raw)) = client.fetch_snapshot() else {
+            continue;
+        };
+        let Some((peer_seq, payload_bytes)) = snapshot::decode_container(&raw) else {
+            continue;
+        };
+        let Some(mut payload) = decode_payload(payload_bytes) else {
+            continue;
+        };
+        payload.covered_through = None;
+        if snapshot::install(&cfg.dir, prefix, peer_seq, &encode_payload(&payload)).is_ok() {
+            trace.record(
+                0,
+                "ckpt",
+                format!(
+                    "catch-up: installed snapshot seq {peer_seq} (covered {}) from site {}",
+                    payload.covered,
+                    peer.raw()
+                ),
+            );
+            return;
+        }
+    }
+}
 
 /// The address file published by site `site` under `dir`.
 pub fn addr_path(dir: &Path, site: SiteId) -> PathBuf {
@@ -230,19 +318,23 @@ impl Daemon {
         let metrics = MetricsRegistry::new();
         let trace = EventRing::default();
         let site_label = cfg.site.raw().to_string();
-        let mut state = SiteState::new(cfg.method, cfg.site);
-        state.enable_audit();
-        state.attach_metrics(SiteInstruments::for_site(
-            &metrics,
-            cfg.method.name(),
-            cfg.site.raw(),
-        ));
         let replays = metrics.counter("esr_recovery_replays_total", &[("site", &site_label)]);
+        let ckpt_obs = CkptInstruments::for_site(&metrics, cfg.site.raw());
         let journal = ApplyJournal::open(journal_path(&cfg.dir, cfg.site))?;
-        let entries = journal.replay();
-        for _ in &entries {
-            replays.inc();
+        let prefix = snap_prefix(cfg.site);
+
+        // Catch-up: a wiped site (no snapshot, empty journal) in a
+        // checkpointing cluster pulls a peer's newest snapshot instead
+        // of waiting for full retransmission — the peers may already
+        // have truncated the covered prefix out of their queues.
+        if cfg.ckpt_bytes.is_some()
+            && cfg.sites > 1
+            && journal.live_entries() == 0
+            && snapshot::load_newest(&cfg.dir, &prefix).ok().flatten().is_none()
+        {
+            catch_up_from_peers(&cfg, &prefix, &trace);
         }
+
         // Rejoin the last durably installed view (0 on a cold boot):
         // the recovered core assumes the coordinator role only if the
         // view still maps to this site.
@@ -250,23 +342,113 @@ impl Daemon {
             .ok()
             .and_then(|s| s.trim().parse::<u64>().ok())
             .unwrap_or(0);
-        trace.record(
-            0,
-            "boot",
-            format!(
-                "epoch {epoch}: replayed {} journal entries, view {view}",
-                entries.len()
-            ),
-        );
-        let (core, recovery_effects) = NodeCore::recover(
-            state,
-            cfg.method,
-            cfg.site,
-            cfg.sites,
-            None,
-            view,
-            entries,
-        );
+
+        // Restore-or-replay: prefer the newest decodable snapshot plus
+        // the journal suffix past its cut; fall back to a full journal
+        // replay when there is no snapshot or every snapshot is
+        // corrupt. Either path runs the pure recovery code the model
+        // checker explores.
+        let mut restored: Option<(NodeCore, Vec<Effect>, CkptState)> = None;
+        if let Some((snap_seq, payload_bytes)) =
+            snapshot::load_newest(&cfg.dir, &prefix).ok().flatten()
+        {
+            if let Some(payload) = decode_payload(&payload_bytes) {
+                let suffix: Vec<MSet> = journal
+                    .replay_entries()
+                    .into_iter()
+                    .filter(|(id, _)| payload.covered_through.is_none_or(|cut| *id > cut))
+                    .map(|(_, m)| m)
+                    .collect();
+                let replayed = suffix.len() as u64;
+                let chain = CkptState {
+                    seq: snap_seq,
+                    covered: payload.covered,
+                    covered_through: payload.covered_through,
+                };
+                let started = Instant::now();
+                if let Some((mut core, effects)) = NodeCore::restore(
+                    cfg.method,
+                    cfg.site,
+                    cfg.sites,
+                    None,
+                    view.max(payload.view),
+                    payload,
+                    suffix,
+                ) {
+                    ckpt_obs.suffix_replay(started.elapsed().as_micros() as u64);
+                    // Audit logs and metrics bundles are not part of
+                    // the checkpoint image; re-attach them now.
+                    core.state.enable_audit();
+                    core.state.attach_metrics(SiteInstruments::for_site(
+                        &metrics,
+                        cfg.method.name(),
+                        cfg.site.raw(),
+                    ));
+                    for _ in 0..replayed {
+                        replays.inc();
+                    }
+                    trace.record(
+                        0,
+                        "boot",
+                        format!(
+                            "epoch {epoch}: restored snapshot seq {snap_seq} \
+                             (covered {}), replayed {replayed} suffix entries, view {}",
+                            chain.covered, core.view
+                        ),
+                    );
+                    restored = Some((core, effects, chain));
+                } else {
+                    trace.record(
+                        0,
+                        "ckpt",
+                        format!("snapshot seq {snap_seq} method mismatch; full replay"),
+                    );
+                }
+            }
+        }
+        let (core, recovery_effects, mut ckpt_state) = match restored {
+            Some(r) => r,
+            None => {
+                let mut state = SiteState::new(cfg.method, cfg.site);
+                state.enable_audit();
+                state.attach_metrics(SiteInstruments::for_site(
+                    &metrics,
+                    cfg.method.name(),
+                    cfg.site.raw(),
+                ));
+                let entries = journal.replay();
+                for _ in &entries {
+                    replays.inc();
+                }
+                trace.record(
+                    0,
+                    "boot",
+                    format!(
+                        "epoch {epoch}: replayed {} journal entries, view {view}",
+                        entries.len()
+                    ),
+                );
+                let (core, effects) = NodeCore::recover(
+                    state,
+                    cfg.method,
+                    cfg.site,
+                    cfg.sites,
+                    None,
+                    view,
+                    entries,
+                );
+                (core, effects, CkptState::default())
+            }
+        };
+        // Never re-issue a sequence number an on-disk container already
+        // claims, even a corrupt one load_newest skipped.
+        if let Some(newest) = snapshot::list(&cfg.dir, &prefix)
+            .ok()
+            .and_then(|l| l.last().map(|(seq, _)| *seq))
+        {
+            ckpt_state.seq = ckpt_state.seq.max(newest);
+        }
+        ckpt_obs.journal(journal.file_bytes(), journal.live_entries());
 
         // One reactor thread multiplexes every socket this daemon owns:
         // the listener, each accepted connection, and each outbound
@@ -311,12 +493,13 @@ impl Daemon {
             metrics.histogram("esr_apply_latency_micros", &[("site", &site_label)]);
         let rpc_latency = metrics.histogram("esr_rpc_latency_micros", &[("site", &site_label)]);
         let view_gauge = metrics.gauge("esr_view", &[("site", &site_label)]);
-        view_gauge.set(view as i64);
+        view_gauge.set(core.view as i64);
         let coordinator_gauge = metrics.gauge("esr_coordinator", &[("site", &site_label)]);
         coordinator_gauge.set(i64::from(core.coord.is_some()));
         let elections = metrics.counter("esr_elections_total", &[("site", &site_label)]);
         let election_latency =
             metrics.histogram("esr_election_latency_micros", &[("site", &site_label)]);
+        let (ckpt_tx, ckpt_rx) = mpsc::channel::<Box<CkptPayload>>();
         let daemon = Arc::new(Self {
             epoch,
             addr,
@@ -336,7 +519,27 @@ impl Daemon {
             elections,
             election_latency,
             election_started: Mutex::new(None),
+            ckpt: Mutex::new(ckpt_state),
+            ckpt_bytes_since: AtomicU64::new(0),
+            ckpt_due: AtomicBool::new(false),
+            ckpt_tx: Mutex::new(ckpt_tx),
+            ckpt_obs,
         });
+
+        // The checkpoint writer: encodes and fsyncs cut payloads off
+        // the apply path. Holds a Weak so a dropped daemon (in-process
+        // tests) lets the thread exit when the sender disconnects.
+        let ckpt_target = Arc::downgrade(&daemon);
+        std::thread::Builder::new()
+            .name(format!("esrd-ckpt-{}", daemon.cfg.site.raw()))
+            .spawn(move || {
+                while let Ok(payload) = ckpt_rx.recv() {
+                    let Some(daemon) = ckpt_target.upgrade() else {
+                        break;
+                    };
+                    daemon.install_ckpt(&payload);
+                }
+            })?;
 
         // Execute the recovery effects: replay trace events plus the
         // re-announcement of recovered applies (the coordinator
@@ -390,6 +593,15 @@ impl Daemon {
         let effects = core.step(event);
         let coordinator = core.coord.is_some();
         self.perform(effects);
+        // A policy-due cut happens under the same core lock, so the
+        // payload is a consistent prefix of everything journalled so
+        // far. The cut itself is cheap (a clone of the bookkeeping);
+        // encoding and fsync happen on the writer thread.
+        if self.ckpt_due.swap(false, Ordering::Relaxed) {
+            let through = self.journal.lock().last_id();
+            let effects = core.step(NodeEvent::Checkpoint { through });
+            self.perform(effects);
+        }
         self.coordinator_gauge.set(i64::from(coordinator));
     }
 
@@ -400,7 +612,25 @@ impl Daemon {
     fn perform(&self, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
-                Effect::Journal(mset) => self.journal.lock().record(&mset),
+                Effect::Journal(mset) => {
+                    let (bytes, file_bytes, live) = {
+                        let mut journal = self.journal.lock();
+                        let bytes = journal.record(&mset);
+                        (bytes, journal.file_bytes(), journal.live_entries())
+                    };
+                    self.ckpt_obs.journal(file_bytes, live);
+                    if let Some(limit) = self.cfg.ckpt_bytes {
+                        let since =
+                            self.ckpt_bytes_since.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                        if since >= limit {
+                            self.ckpt_bytes_since.store(0, Ordering::Relaxed);
+                            self.ckpt_due.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Effect::Checkpoint(payload) => {
+                    let _ = self.ckpt_tx.lock().send(payload);
+                }
                 Effect::RecordView(view) => self.record_view(view),
                 Effect::Send { to, frame } => {
                     // The first StartViewChange of an election marks
@@ -487,6 +717,7 @@ impl Daemon {
                     let core = self.core.lock();
                     (core.state.settled(), core.view, core.coord.is_some())
                 };
+                let (ckpt_seq, ckpt_covered) = self.ckpt_status();
                 Frame::StatusOk {
                     settled,
                     outbound_pending: self
@@ -498,6 +729,8 @@ impl Daemon {
                     epoch: self.epoch,
                     view,
                     coordinator,
+                    ckpt_seq,
+                    ckpt_covered,
                 }
             }
             Frame::Audit => {
@@ -508,6 +741,33 @@ impl Daemon {
             Frame::Decision { et, commit } => {
                 self.dispatch(NodeEvent::ClientDecision { et, commit });
                 Frame::DecisionOk { et }
+            }
+            Frame::Checkpoint => {
+                let (seq, covered) = self.take_checkpoint();
+                Frame::CheckpointOk { seq, covered }
+            }
+            Frame::SnapshotRequest { offset } => {
+                // Serve the raw newest container (CRC and all) in
+                // bounded chunks; the fetcher validates the container
+                // end-to-end. `total_len == 0` means "no snapshot yet".
+                let prefix = snap_prefix(self.cfg.site);
+                match snapshot::load_newest_raw(&self.cfg.dir, &prefix).ok().flatten() {
+                    Some((_, raw)) => {
+                        let total_len = raw.len() as u64;
+                        let start = (offset.min(total_len)) as usize;
+                        let end = (start + SNAP_CHUNK).min(raw.len());
+                        Frame::SnapshotChunk {
+                            total_len,
+                            offset,
+                            bytes: raw[start..end].to_vec(),
+                        }
+                    }
+                    None => Frame::SnapshotChunk {
+                        total_len: 0,
+                        offset: 0,
+                        bytes: Vec::new(),
+                    },
+                }
             }
             Frame::Metrics => Frame::MetricsOk {
                 text: self.metrics.render(),
@@ -529,8 +789,89 @@ impl Daemon {
                 epoch: self.epoch,
                 view: 0,
                 coordinator: false,
+                ckpt_seq: 0,
+                ckpt_covered: 0,
             },
         }
+    }
+
+    /// The newest installed snapshot's (seq, covered frontier).
+    fn ckpt_status(&self) -> (u64, u64) {
+        let st = self.ckpt.lock();
+        (st.seq, st.covered)
+    }
+
+    /// An on-demand checkpoint (`esrctl checkpoint`): cuts a consistent
+    /// payload under the core lock, then installs it synchronously so
+    /// the reply reflects the new snapshot. Works with the byte policy
+    /// disabled.
+    fn take_checkpoint(&self) -> (u64, u64) {
+        let payload = {
+            let mut core = self.core.lock();
+            let through = self.journal.lock().last_id();
+            let effects = core.step(NodeEvent::Checkpoint { through });
+            let mut payload = None;
+            for effect in effects {
+                match effect {
+                    Effect::Checkpoint(p) => payload = Some(p),
+                    Effect::Trace { component, message } => self.trace_event(component, message),
+                    _ => {}
+                }
+            }
+            payload
+        };
+        match payload {
+            Some(p) => self.install_ckpt(&p),
+            None => self.ckpt_status(),
+        }
+    }
+
+    /// Installs a cut payload as the next snapshot in the chain, then
+    /// retires the journal prefix the *previous* snapshot covered
+    /// (lag-by-one: the newest snapshot's own prefix stays live so a
+    /// corrupt-newest fallback to snapshot N-1 still finds its suffix).
+    /// Keeps the two newest containers on disk for the same reason.
+    fn install_ckpt(&self, payload: &CkptPayload) -> (u64, u64) {
+        let mut st = self.ckpt.lock();
+        if payload.covered < st.covered {
+            // A stale cut raced a newer install; the chain only moves
+            // forward.
+            return (st.seq, st.covered);
+        }
+        let started = Instant::now();
+        let bytes = encode_payload(payload);
+        let seq = st.seq + 1;
+        let prefix = snap_prefix(self.cfg.site);
+        if let Err(e) = snapshot::install(&self.cfg.dir, &prefix, seq, &bytes) {
+            self.trace_event("ckpt", format!("install seq={seq} failed: {e}"));
+            return (st.seq, st.covered);
+        }
+        self.ckpt_obs.installed(
+            (bytes.len() + snapshot::SNAP_OVERHEAD) as u64,
+            started.elapsed().as_micros() as u64,
+        );
+        self.trace_event(
+            "ckpt",
+            format!("install seq={seq} covered={}", payload.covered),
+        );
+        let previous_cut = st.covered_through;
+        st.seq = seq;
+        st.covered = payload.covered;
+        st.covered_through = payload.covered_through;
+        if let Some(cut) = previous_cut {
+            let (retired, file_bytes, live) = {
+                let mut journal = self.journal.lock();
+                let retired = journal.retire_through(cut);
+                (retired, journal.file_bytes(), journal.live_entries())
+            };
+            if retired > 0 {
+                self.ckpt_obs.truncated(retired);
+                self.ckpt_obs.journal(file_bytes, live);
+                self.trace_event("ckpt", format!("truncate through={cut} retired={retired}"));
+            }
+        }
+        let _ = snapshot::retain(&self.cfg.dir, &prefix, 2);
+        (st.seq, st.covered)
     }
 
     /// Records a structured trace event stamped micros-since-boot.

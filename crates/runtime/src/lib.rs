@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod ckpt;
 pub mod client;
 pub mod cluster;
 pub mod ctrl;
@@ -27,6 +28,7 @@ pub mod recovery;
 pub mod state;
 
 pub use chaos::{render_trace, ChaosStats, FaultPlan, TraceEvent};
+pub use ckpt::{decode_payload, encode_payload, CkptPayload};
 pub use client::RpcClient;
 pub use cluster::{Cluster, QuiesceTimeout, RtCanary};
 pub use ctrl::{CoordCore, CtrlCanary, Effect, NodeCore, NodeEvent};

@@ -51,6 +51,9 @@ pub struct ProcCluster {
     /// request, so a retried submit reuses its original global
     /// sequence instead of opening a hole in the total order.
     client_seqs: Mutex<BTreeMap<(u64, u64), SeqNo>>,
+    /// `--ckpt-bytes` passed to every spawned daemon (`None` = policy
+    /// off, the pre-checkpoint layout).
+    ckpt_bytes: Option<u64>,
 }
 
 impl ProcCluster {
@@ -62,6 +65,19 @@ impl ProcCluster {
         dir: impl AsRef<Path>,
         method: RtMethod,
         n: usize,
+    ) -> io::Result<Self> {
+        Self::spawn_with_ckpt(esrd, dir, method, n, None)
+    }
+
+    /// [`ProcCluster::spawn`] with the daemons' checkpoint byte policy
+    /// enabled: every site cuts a snapshot after roughly `ckpt_bytes`
+    /// journal bytes and truncates the covered prefix lag-by-one.
+    pub fn spawn_with_ckpt(
+        esrd: impl AsRef<Path>,
+        dir: impl AsRef<Path>,
+        method: RtMethod,
+        n: usize,
+        ckpt_bytes: Option<u64>,
     ) -> io::Result<Self> {
         assert!(n > 0, "a cluster needs at least one site");
         let dir = dir.as_ref().to_path_buf();
@@ -76,6 +92,7 @@ impl ProcCluster {
             sequencer: AtomicU64::new(0),
             version_clock: AtomicU64::new(0),
             client_seqs: Mutex::new(BTreeMap::new()),
+            ckpt_bytes,
         };
         for i in 0..n {
             let child = cluster.spawn_site(SiteId(i as u64))?;
@@ -88,16 +105,19 @@ impl ProcCluster {
     }
 
     fn spawn_site(&self, site: SiteId) -> io::Result<Child> {
-        Command::new(&self.esrd)
-            .arg("--site")
+        let mut cmd = Command::new(&self.esrd);
+        cmd.arg("--site")
             .arg(site.raw().to_string())
             .arg("--sites")
             .arg(self.n.to_string())
             .arg("--method")
             .arg(self.method.name())
             .arg("--dir")
-            .arg(&self.dir)
-            .stdin(Stdio::null())
+            .arg(&self.dir);
+        if let Some(bytes) = self.ckpt_bytes {
+            cmd.arg("--ckpt-bytes").arg(bytes.to_string());
+        }
+        cmd.stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .spawn()
@@ -215,6 +235,49 @@ impl ProcCluster {
             let _ = child.kill();
             let _ = child.wait();
         }
+    }
+
+    /// Destroys a killed site's entire local disk state — journal,
+    /// snapshots, durable view/epoch, address file, and its *outbound*
+    /// link queues. Peers' queues toward the site survive (they live in
+    /// the peers' `link-<j>-<i>.queue` files), which is exactly the
+    /// wiped-replacement scenario snapshot catch-up exists for: the
+    /// fresh incarnation pulls a peer's checkpoint instead of hoping
+    /// the full history is still queued. Call between
+    /// [`ProcCluster::kill`] and [`ProcCluster::restart`].
+    pub fn wipe_site(&mut self, site: SiteId) {
+        assert!(
+            self.children[site.raw() as usize].is_none(),
+            "wipe_site() of a live site"
+        );
+        let i = site.raw();
+        for name in [
+            format!("site-{i}.journal"),
+            format!("site-{i}.view"),
+            format!("site-{i}.epoch"),
+            format!("site-{i}.addr"),
+        ] {
+            let _ = std::fs::remove_file(self.dir.join(name));
+        }
+        for j in 0..self.n as u64 {
+            let _ = std::fs::remove_file(self.dir.join(format!("link-{i}-{j}.queue")));
+        }
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            let snap_prefix = format!("site-{i}.ckpt-");
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with(&snap_prefix) && name.ends_with(".snap") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    /// Triggers an on-demand checkpoint at `site`; returns the newly
+    /// installed snapshot's `(seq, covered)`.
+    pub fn checkpoint_at(&self, site: SiteId) -> io::Result<(u64, u64)> {
+        self.client(site)?.checkpoint()
     }
 
     /// Respawns a killed site. The new incarnation bumps its epoch,

@@ -20,45 +20,108 @@ use std::path::Path;
 use esr_core::ids::{EtId, VersionTs};
 use esr_replica::mset::MSet;
 use esr_replica::wire::{decode_mset, encode_mset};
-use esr_storage::stable_queue::{FileQueue, StableQueue};
+use esr_storage::stable_queue::{EntryId, FileQueue, StableQueue};
 use parking_lot::Mutex;
 
 /// A site's durable apply journal: encoded MSets in acceptance order.
-/// Entries are never acknowledged — the whole log replays on restart.
+/// Entries stay live until a checkpoint covering them is installed;
+/// [`ApplyJournal::retire_through`] then acknowledges the covered
+/// prefix so compaction can reclaim it.
 #[derive(Debug)]
 pub struct ApplyJournal {
     queue: FileQueue,
     entries: u64,
 }
 
+/// Auto-compact a journal once this many bytes belong to retired
+/// (checkpoint-covered) records. Small enough that the checkpoint-smoke
+/// CI job sees the file actually shrink; large enough that a compaction
+/// rewrite never dominates steady-state appends.
+const JOURNAL_COMPACT_DEAD_BYTES: u64 = 64 * 1024;
+
 impl ApplyJournal {
     /// Opens (or reopens after a crash) the journal at `path`.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let queue = FileQueue::open(path)?;
+        let mut queue = FileQueue::open(path)?;
+        queue.set_auto_compact(JOURNAL_COMPACT_DEAD_BYTES);
         let entries = queue.len() as u64;
         Ok(Self { queue, entries })
     }
 
     /// Durably records an accepted MSet. Must be called before the MSet
-    /// is applied (write-ahead), and before the relay is acked.
-    pub fn record(&mut self, mset: &MSet) {
-        self.queue.enqueue(encode_mset(mset));
+    /// is applied (write-ahead), and before the relay is acked. Returns
+    /// the approximate bytes appended, for checkpoint-policy
+    /// accounting.
+    pub fn record(&mut self, mset: &MSet) -> u64 {
+        let encoded = encode_mset(mset);
+        let bytes = 13 + encoded.len() as u64; // record framing + payload
+        self.queue.enqueue(encoded);
         self.entries += 1;
+        bytes
     }
 
     /// Decodes every journalled MSet in acceptance order.
     pub fn replay(&self) -> Vec<MSet> {
+        self.replay_entries().into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// Decodes every live journalled MSet with its stable entry id —
+    /// the id-aware walk checkpoint recovery uses to split the log at a
+    /// snapshot's `covered_through` cut.
+    pub fn replay_entries(&self) -> Vec<(u64, MSet)> {
         self.queue
             .pending(usize::MAX)
             .into_iter()
             .map(|(id, payload)| {
-                decode_mset(&payload)
-                    .unwrap_or_else(|e| panic!("journal entry {} undecodable: {e}", id.0))
+                let m = decode_mset(&payload)
+                    .unwrap_or_else(|e| panic!("journal entry {} undecodable: {e}", id.0));
+                (id.0, m)
             })
             .collect()
     }
 
-    /// Number of MSets journalled (including replayed ones).
+    /// The stable id of the newest record ever journalled, or `None`
+    /// for a journal that never held one. Monotone across recovery,
+    /// retirement, and compaction (the queue pins its allocator).
+    pub fn last_id(&self) -> Option<u64> {
+        let next = self.queue.next_id();
+        (next > 0).then(|| next - 1)
+    }
+
+    /// Retires every entry with id `<= through`: the installed
+    /// checkpoint covers them, so replay no longer needs them.
+    /// Retirement is an ack, not a delete — the bytes are reclaimed by
+    /// the queue's auto-compaction once enough accumulate. Returns the
+    /// number of entries retired.
+    pub fn retire_through(&mut self, through: u64) -> u64 {
+        let covered: Vec<EntryId> = self
+            .queue
+            .pending(usize::MAX)
+            .into_iter()
+            .map(|(id, _)| id)
+            .filter(|id| id.0 <= through)
+            .collect();
+        let mut retired = 0;
+        for id in covered {
+            if self.queue.ack(id) {
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Number of live (unretired) journal entries.
+    pub fn live_entries(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Bytes currently occupied by the journal file.
+    pub fn file_bytes(&self) -> u64 {
+        std::fs::metadata(self.queue.path()).map_or(0, |m| m.len())
+    }
+
+    /// Number of MSets journalled this incarnation (live entries at
+    /// open plus records appended since; retirement does not decrement).
     pub fn entries(&self) -> u64 {
         self.entries
     }
@@ -170,6 +233,46 @@ mod tests {
         assert_eq!(replayed[0].et, EtId(1));
         assert_eq!(replayed[1].et, EtId(2));
         assert_eq!(replayed[1].ops, m2.ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retire_through_drops_the_covered_prefix_and_keeps_ids() {
+        let dir = std::env::temp_dir().join(format!("esr-journal-retire-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("retire.log");
+        let _ = std::fs::remove_file(&path);
+        let mk = |et: u64| {
+            MSet::new(
+                EtId(et),
+                SiteId(0),
+                vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))],
+            )
+        };
+        let mut j = ApplyJournal::open(&path).unwrap();
+        for et in 1..=5 {
+            assert!(j.record(&mk(et)) > 13);
+        }
+        let ids: Vec<u64> = j.replay_entries().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(j.last_id(), Some(4));
+        // Retire the first three; the suffix survives with stable ids.
+        assert_eq!(j.retire_through(2), 3);
+        assert_eq!(j.retire_through(2), 0, "retirement is idempotent");
+        assert_eq!(j.live_entries(), 2);
+        let left: Vec<(u64, EtId)> = j
+            .replay_entries()
+            .into_iter()
+            .map(|(id, m)| (id, m.et))
+            .collect();
+        assert_eq!(left, vec![(3, EtId(4)), (4, EtId(5))]);
+        drop(j);
+        // Reopen: retired entries stay gone, the allocator stays pinned.
+        let mut j2 = ApplyJournal::open(&path).unwrap();
+        assert_eq!(j2.live_entries(), 2);
+        assert_eq!(j2.last_id(), Some(4));
+        j2.record(&mk(6));
+        assert_eq!(j2.last_id(), Some(5));
         let _ = std::fs::remove_file(&path);
     }
 

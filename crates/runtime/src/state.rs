@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use esr_core::divergence::InconsistencyCounter;
 use esr_core::ids::{EtId, ObjectId, SeqNo, SiteId, VersionTs};
 use esr_core::value::Value;
+use esr_replica::ckpt::SiteCkpt;
 use esr_replica::commu::CommuSite;
 use esr_replica::compe::{CompeEvent, CompeSite};
 use esr_replica::mset::MSet;
@@ -129,6 +130,30 @@ impl SiteState {
             RtMethod::Ritu => SiteState::Ritu(RituOverwriteSite::new(id)),
             RtMethod::RituMv => SiteState::RituMv(RituMvSite::new(id)),
             RtMethod::Compe => SiteState::Compe(CompeSite::new(id)),
+        }
+    }
+
+    /// Dumps the method state machine into a checkpoint image.
+    pub fn to_ckpt(&self) -> SiteCkpt {
+        match self {
+            SiteState::Ordup(s) => SiteCkpt::Ordup(s.to_ckpt()),
+            SiteState::Commu(s) => SiteCkpt::Commu(s.to_ckpt()),
+            SiteState::Ritu(s) => SiteCkpt::Ritu(s.to_ckpt()),
+            SiteState::RituMv(s) => SiteCkpt::RituMv(s.to_ckpt()),
+            SiteState::Compe(s) => SiteCkpt::Compe(s.to_ckpt()),
+        }
+    }
+
+    /// Rebuilds a site from a checkpoint image. The variant fixes the
+    /// method; audit logs and metrics bundles are *not* checkpointed —
+    /// re-enable them after restore if wanted.
+    pub fn from_ckpt(id: SiteId, c: SiteCkpt) -> Self {
+        match c {
+            SiteCkpt::Ordup(c) => SiteState::Ordup(OrdupSite::from_ckpt(id, c)),
+            SiteCkpt::Commu(c) => SiteState::Commu(CommuSite::from_ckpt(id, c)),
+            SiteCkpt::Ritu(c) => SiteState::Ritu(RituOverwriteSite::from_ckpt(id, c)),
+            SiteCkpt::RituMv(c) => SiteState::RituMv(RituMvSite::from_ckpt(id, c)),
+            SiteCkpt::Compe(c) => SiteState::Compe(CompeSite::from_ckpt(id, c)),
         }
     }
 

@@ -20,6 +20,7 @@
 pub mod mvstore;
 pub mod recovery_log;
 pub mod shard;
+pub mod snapshot;
 pub mod stable_queue;
 pub mod store;
 

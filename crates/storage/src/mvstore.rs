@@ -223,6 +223,21 @@ impl MvStore {
         removed
     }
 
+    /// Full dump of every version chain in deterministic
+    /// `(object, version)` order — the checkpoint image. Replaying the
+    /// dump through [`MvStore::install`] (plus
+    /// [`MvStore::advance_vtnc`] to the dumped horizon) rebuilds an
+    /// identical store.
+    pub fn dump(&self) -> Vec<(ObjectId, VersionTs, Value)> {
+        let mut out: Vec<(ObjectId, VersionTs, Value)> = self
+            .chains
+            .iter()
+            .flat_map(|(o, c)| c.iter().map(|(t, v)| (*o, *t, v.clone())))
+            .collect();
+        out.sort_unstable_by_key(|e| (e.0, e.1));
+        out
+    }
+
     /// Latest-value snapshot (for replica convergence comparison).
     pub fn snapshot_latest(&self) -> BTreeMap<ObjectId, Value> {
         self.chains

@@ -123,6 +123,28 @@ impl RecoveryLog {
         Self::default()
     }
 
+    /// Rebuilds a log from a dumped record window (oldest first), as
+    /// produced by iterating [`RecoveryLog::records`] — the checkpoint
+    /// restore path. The absolute base restarts at zero (the pruned
+    /// prefix is gone, which is exactly what makes the checkpoint
+    /// smaller than history); the unresolved index and at-risk count
+    /// are rebuilt from the records' resolution flags.
+    pub fn from_records(records: Vec<LogRecord>) -> Self {
+        let mut log = Self {
+            records: records.into(),
+            base: 0,
+            unresolved: FastIdMap::default(),
+            at_risk_count: 0,
+        };
+        for (i, rec) in log.records.iter().enumerate() {
+            if !rec.resolved {
+                log.unresolved.entry(rec.et).or_default().push(i as u64);
+                log.at_risk_count += 1;
+            }
+        }
+        log
+    }
+
     /// Applies an MSet to `store`, recording before-images. On error the
     /// already-applied prefix is rolled back and nothing is logged.
     pub fn apply_mset(

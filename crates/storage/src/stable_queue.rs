@@ -139,9 +139,14 @@ fn pending_after_of(
 }
 
 // File record framing: one byte tag, eight byte id, then for ENQUEUE a
-// four byte length and the payload.
+// four byte length and the payload. NEXT_ID pins the id allocator: a
+// compacted file whose entries were all acknowledged would otherwise
+// replay to an empty map and restart ids at zero, and any cursor keyed
+// to old ids (a sender's high-water mark, a checkpoint's journal
+// frontier) would silently skip the reused range.
 const TAG_ENQUEUE: u8 = 1;
 const TAG_ACK: u8 = 2;
+const TAG_NEXT_ID: u8 = 3;
 
 /// File-backed stable queue: an append-only log of enqueue/ack records.
 #[derive(Debug)]
@@ -150,6 +155,11 @@ pub struct FileQueue {
     writer: BufWriter<File>,
     entries: BTreeMap<EntryId, Entry>,
     next_id: u64,
+    /// Bytes of the log occupied by acknowledged records (the dead
+    /// enqueue plus its ack record). Drives opt-in auto-compaction.
+    dead_bytes: u64,
+    /// Compact automatically once `dead_bytes` exceeds this.
+    auto_compact: Option<u64>,
 }
 
 impl FileQueue {
@@ -204,6 +214,13 @@ impl FileQueue {
                         next_id = next_id.max(id + 1);
                         valid_len += 9;
                     }
+                    TAG_NEXT_ID => {
+                        // The id field *is* the pinned allocator value
+                        // ("the next id is at least this"), not an
+                        // entry id — hence max(id), not max(id + 1).
+                        next_id = next_id.max(id);
+                        valid_len += 9;
+                    }
                     _ => break, // corrupt record: stop replay
                 }
             }
@@ -220,6 +237,8 @@ impl FileQueue {
             writer: BufWriter::new(file),
             entries,
             next_id,
+            dead_bytes: 0,
+            auto_compact: None,
         })
     }
 
@@ -228,17 +247,40 @@ impl FileQueue {
         &self.path
     }
 
+    /// The id the next enqueue will be assigned. Monotone across
+    /// recovery and compaction; `next_id() - 1` is therefore the id of
+    /// the newest record ever enqueued (when any was).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Enables auto-compaction: after an ack, once at least
+    /// `dead_bytes` bytes of the log belong to acknowledged records,
+    /// the file is rewritten with only the live entries. Entry ids are
+    /// stable across compaction, so `pending_after` cursors held by
+    /// senders survive. Compaction failure is ignored (the log stays
+    /// append-only correct, just longer than asked).
+    pub fn set_auto_compact(&mut self, dead_bytes: u64) {
+        self.auto_compact = Some(dead_bytes);
+    }
+
     /// Forces buffered records to the OS (called after every mutation; a
     /// real system would also fsync here).
     fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
     }
 
-    /// Compacts the log: rewrites the file with only the live entries.
+    /// Compacts the log: rewrites the file with only the live entries
+    /// (plus a NEXT_ID record pinning the id allocator, so a fully
+    /// acknowledged queue does not restart ids from zero on reopen).
     pub fn compact(&mut self) -> io::Result<()> {
         let tmp = self.path.with_extension("compact");
         {
             let mut out = BufWriter::new(File::create(&tmp)?);
+            let mut pin = BytesMut::with_capacity(9);
+            pin.put_u8(TAG_NEXT_ID);
+            pin.put_u64(self.next_id);
+            out.write_all(&pin)?;
             for (id, e) in &self.entries {
                 let mut rec = BytesMut::with_capacity(13 + e.payload.len());
                 rec.put_u8(TAG_ENQUEUE);
@@ -252,6 +294,7 @@ impl FileQueue {
         std::fs::rename(&tmp, &self.path)?;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
+        self.dead_bytes = 0;
         Ok(())
     }
 }
@@ -298,14 +341,20 @@ impl StableQueue for FileQueue {
 
     #[expect(clippy::expect_used, reason = "a failed append to the backing file leaves the queue unusable; panicking is the recovery story")]
     fn ack(&mut self, id: EntryId) -> bool {
-        if self.entries.remove(&id).is_none() {
+        let Some(e) = self.entries.remove(&id) else {
             return false;
-        }
+        };
         let mut rec = BytesMut::with_capacity(9);
         rec.put_u8(TAG_ACK);
         rec.put_u64(id.0);
         self.writer.write_all(&rec).expect("queue file write");
         self.flush().expect("queue file flush");
+        // The entry's enqueue record (13 + payload) and this ack are
+        // both dead weight now.
+        self.dead_bytes += 13 + e.payload.len() as u64 + 9;
+        if self.auto_compact.is_some_and(|limit| self.dead_bytes >= limit) {
+            let _ = self.compact();
+        }
         true
     }
 
@@ -499,6 +548,58 @@ mod tests {
         let q2 = FileQueue::open(&path).unwrap();
         assert_eq!(q2.len(), 1);
         assert_eq!(q2.pending(1)[0].0, ids[9]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_ids_survive_compaction_of_fully_acked_queue() {
+        let path = tmpdir().join("acked-compact.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        let ids: Vec<EntryId> = (0..4).map(|i| q.enqueue(Bytes::from(vec![i]))).collect();
+        for id in &ids {
+            q.ack(*id);
+        }
+        q.compact().unwrap();
+        drop(q);
+        // An empty-but-compacted file must not reset the allocator: a
+        // fresh enqueue gets an id beyond every id ever handed out.
+        let mut q2 = FileQueue::open(&path).unwrap();
+        assert!(q2.is_empty());
+        let fresh = q2.enqueue(Bytes::from_static(b"new"));
+        assert!(
+            fresh > ids[3],
+            "id {fresh:?} reused after compaction (last was {:?})",
+            ids[3]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_queue_auto_compacts_past_dead_byte_threshold() {
+        let path = tmpdir().join("auto-compact.q");
+        let _ = std::fs::remove_file(&path);
+        let mut q = FileQueue::open(&path).unwrap();
+        q.set_auto_compact(64);
+        let keep = q.enqueue(Bytes::from_static(b"keep"));
+        let ids: Vec<EntryId> = (0..8)
+            .map(|i| q.enqueue(Bytes::from(format!("dead-payload-{i}"))))
+            .collect();
+        let grown = std::fs::metadata(&path).unwrap().len();
+        for id in &ids {
+            q.ack(*id);
+        }
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            after < grown,
+            "acks past the threshold should have compacted ({grown} → {after})"
+        );
+        // Live entry, its id, and the allocator all survive.
+        assert_eq!(q.pending(10), vec![(keep, Bytes::from_static(b"keep"))]);
+        drop(q);
+        let mut q2 = FileQueue::open(&path).unwrap();
+        assert_eq!(q2.len(), 1);
+        assert!(q2.enqueue(Bytes::from_static(b"x")) > ids[7]);
         std::fs::remove_file(&path).unwrap();
     }
 

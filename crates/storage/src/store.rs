@@ -328,6 +328,18 @@ impl LwwStore {
         self.values.to_btree(|(_, v)| v.clone())
     }
 
+    /// Full versioned dump in deterministic object order — the
+    /// checkpoint image. Rebuilding a store by replaying the dump
+    /// through [`LwwStore::apply_timestamped`] restores both values and
+    /// arbitration state.
+    pub fn versioned_dump(&self) -> Vec<(ObjectId, VersionTs, Value)> {
+        self.values
+            .to_btree(Clone::clone)
+            .into_iter()
+            .map(|(object, (ts, value))| (object, ts, value))
+            .collect()
+    }
+
     /// Number of objects with an explicit value.
     pub fn len(&self) -> usize {
         self.values.len()

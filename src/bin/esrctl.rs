@@ -32,6 +32,7 @@ usage: esrctl --dir <path> --site <i> <command>
 commands:
   status
   snapshot
+  checkpoint
   audit
   metrics
   trace
@@ -104,9 +105,20 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
             // New fields append after the originals: CI's proc-smoke
             // greps `settled=true outbound_pending=0` verbatim.
             println!(
-                "settled={} outbound_pending={} epoch={} view={} coordinator={}",
-                s.settled, s.outbound_pending, s.epoch, s.view, s.coordinator
+                "settled={} outbound_pending={} epoch={} view={} coordinator={} \
+                 ckpt_seq={} ckpt_covered={}",
+                s.settled,
+                s.outbound_pending,
+                s.epoch,
+                s.view,
+                s.coordinator,
+                s.ckpt_seq,
+                s.ckpt_covered
             );
+        }
+        "checkpoint" => {
+            let (seq, covered) = client.checkpoint()?;
+            println!("checkpoint seq={seq} covered={covered}");
         }
         "snapshot" => {
             let mut out = std::io::stdout().lock();

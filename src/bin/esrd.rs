@@ -25,7 +25,8 @@ use esr_runtime::{Daemon, DaemonConfig, RtMethod};
 const WANT_NOFILE: u64 = 32_768;
 
 const USAGE: &str = "usage: esrd --site <i> --sites <n> --method \
-                     <ordup|commu|ritu|ritu-mv|compe> --dir <path>";
+                     <ordup|commu|ritu|ritu-mv|compe> --dir <path> \
+                     [--ckpt-bytes <n>]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("esrd: {msg}");
@@ -38,6 +39,7 @@ fn main() {
     let mut sites: Option<usize> = None;
     let mut method: Option<RtMethod> = None;
     let mut dir: Option<PathBuf> = None;
+    let mut ckpt_bytes: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,6 +58,13 @@ fn main() {
                 );
             }
             "--dir" => dir = Some(PathBuf::from(value("--dir"))),
+            "--ckpt-bytes" => {
+                let n = value("--ckpt-bytes");
+                ckpt_bytes = Some(
+                    n.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --ckpt-bytes '{n}'"))),
+                );
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -69,6 +78,7 @@ fn main() {
         sites: sites.unwrap_or_else(|| fail("--sites is required")),
         method: method.unwrap_or_else(|| fail("--method is required")),
         dir: dir.unwrap_or_else(|| fail("--dir is required")),
+        ckpt_bytes,
     };
     if (cfg.site.raw() as usize) >= cfg.sites {
         fail("--site must be < --sites");

@@ -17,9 +17,12 @@
 
 use esr::core::{ClientId, EtId, ObjectId, ObjectOp, Operation, SeqNo, SiteId, Value, VersionTs};
 use esr::replica::mset::MSet;
-use esr::runtime::ctrl::{Effect, NodeCore};
+use esr::replica::wire::Frame;
+use esr::runtime::ctrl::{Effect, NodeCore, NodeEvent};
 use esr::runtime::recovery::ApplyJournal;
 use esr::runtime::state::{RtMethod, SiteState};
+use esr::runtime::{decode_payload, encode_payload};
+use esr::storage::snapshot;
 
 const METHODS: [RtMethod; 5] = [
     RtMethod::Ordup,
@@ -193,5 +196,167 @@ fn appends_after_torn_recovery_extend_the_journal() {
     }
     let j = ApplyJournal::open(&path).unwrap();
     assert_eq!(j.replay(), vec![msets[0].clone(), msets[2].clone()]);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Drives a fresh core through the first `upto` workload entries and
+/// returns it (the checkpoint-cut donor and the never-crashed
+/// reference).
+fn driven(method: RtMethod, msets: &[MSet], upto: usize) -> NodeCore {
+    let mut core = NodeCore::fresh(
+        SiteState::new(method, SiteId(1)),
+        method,
+        SiteId(1),
+        3,
+        None,
+    );
+    for m in &msets[..upto] {
+        core.step(NodeEvent::PeerFrame(Frame::MSet(m.clone())));
+    }
+    core
+}
+
+#[test]
+fn snapshot_truncation_at_every_offset_falls_back_to_full_replay() {
+    // A snapshot container cut at *any* byte short of its full length
+    // must be rejected whole (the CRC/length checks), sending boot down
+    // the full-replay path — and the one complete container must take
+    // the restore path. Either way the recovered state matches the
+    // never-crashed reference. This is the crash-during-install story:
+    // install() goes tmp + rename, so a torn visible container only
+    // exists if the disk lied — and even then nothing breaks.
+    const CUT_AT: usize = 4;
+    for method in METHODS {
+        let msets = workload(method);
+        let reference = driven(method, &msets, msets.len());
+
+        let mut donor = driven(method, &msets, CUT_AT);
+        let effects = donor.step(NodeEvent::Checkpoint {
+            through: Some(CUT_AT as u64),
+        });
+        let payload = effects
+            .into_iter()
+            .find_map(|e| match e {
+                Effect::Checkpoint(p) => Some(*p),
+                _ => None,
+            })
+            .unwrap();
+        let container = snapshot::encode_container(1, &encode_payload(&payload));
+
+        let dir = tmp(&format!("snapcut-{method:?}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = "site-1";
+        let mut restores = 0;
+        for cut in 0..=container.len() {
+            let snap_path = dir.join(format!("{prefix}.ckpt-1.snap"));
+            std::fs::write(&snap_path, &container[..cut]).unwrap();
+
+            // The daemon's boot decision, in miniature.
+            let recovered = match snapshot::load_newest(&dir, prefix)
+                .unwrap()
+                .and_then(|(_, bytes)| decode_payload(&bytes))
+            {
+                Some(p) => {
+                    restores += 1;
+                    let suffix: Vec<MSet> = msets
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| {
+                            p.covered_through.is_none_or(|c| (*i as u64 + 1) > c)
+                        })
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    NodeCore::restore(method, SiteId(1), 3, None, 0, p, suffix)
+                        .unwrap()
+                        .0
+                }
+                None => {
+                    let (core, _) = recover(method, msets.clone());
+                    core
+                }
+            };
+            assert_eq!(
+                recovered.state.snapshot(),
+                reference.state.snapshot(),
+                "{method:?} snapshot cut at {cut}: recovery diverged"
+            );
+            std::fs::remove_file(&snap_path).ok();
+        }
+        assert_eq!(
+            restores, 1,
+            "{method:?}: only the complete container may restore"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn truncation_ack_crash_at_every_offset_keeps_recovery_exact() {
+    // Crash mid-*retirement*: retire_through appends one ack record
+    // per covered entry, and a cut can land inside any of them. However
+    // many acks survive, reopen + snapshot-restore + suffix replay must
+    // reach the reference state — surviving covered entries are an
+    // over-approximated suffix the restore path absorbs.
+    const CUT_AT: u64 = 4;
+    let method = RtMethod::Commu;
+    let msets = workload(method);
+    let reference = driven(method, &msets, msets.len());
+
+    // The four covered records carry FileQueue ids 0..=3, so the cut's
+    // entry-id high-water mark is 3.
+    let mut donor = driven(method, &msets, CUT_AT as usize);
+    let effects = donor.step(NodeEvent::Checkpoint { through: Some(CUT_AT - 1) });
+    let payload = effects
+        .into_iter()
+        .find_map(|e| match e {
+            Effect::Checkpoint(p) => Some(*p),
+            _ => None,
+        })
+        .unwrap();
+    let payload_bytes = encode_payload(&payload);
+
+    // Journal all six entries, then retire the covered prefix; every
+    // byte between "no acks" and "all acks" is a crash point.
+    let path = tmp("journal-ackcut.q");
+    let _ = std::fs::remove_file(&path);
+    let before_acks;
+    {
+        let mut j = ApplyJournal::open(&path).unwrap();
+        for m in &msets {
+            j.record(m);
+        }
+        before_acks = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(j.retire_through(CUT_AT - 1), CUT_AT);
+    }
+    let full = std::fs::metadata(&path).unwrap().len();
+    assert!(full > before_acks, "retirement must write ack records");
+    let bytes = std::fs::read(&path).unwrap();
+
+    for cut in before_acks..=full {
+        let torn = tmp(&format!("journal-ackcut-{cut}.q"));
+        std::fs::write(&torn, &bytes[..cut as usize]).unwrap();
+
+        let j = ApplyJournal::open(&torn).unwrap();
+        let live = j.live_entries();
+        assert!(
+            (2..=6).contains(&live),
+            "cut at {cut}: implausible live count {live}"
+        );
+        let p = decode_payload(&payload_bytes).unwrap();
+        let suffix: Vec<MSet> = j
+            .replay_entries()
+            .into_iter()
+            .filter(|(id, _)| p.covered_through.is_none_or(|c| *id > c))
+            .map(|(_, m)| m)
+            .collect();
+        let (recovered, _) =
+            NodeCore::restore(method, SiteId(1), 3, None, 0, p, suffix).unwrap();
+        assert_eq!(
+            recovered.state.snapshot(),
+            reference.state.snapshot(),
+            "cut at {cut}: post-retirement recovery diverged"
+        );
+        std::fs::remove_file(&torn).ok();
+    }
     std::fs::remove_file(&path).ok();
 }

@@ -77,6 +77,7 @@ fn soak_many_concurrent_clients_on_one_reactor_thread() {
         sites: 1,
         method: RtMethod::Commu,
         dir: cluster_dir("soak"),
+        ckpt_bytes: None,
     })
     .expect("start daemon");
     let addr = daemon.addr();
@@ -163,6 +164,7 @@ fn slow_reader_is_backpressured_while_daemon_stays_responsive() {
         sites: 1,
         method: RtMethod::Ritu,
         dir: cluster_dir("slow"),
+        ckpt_bytes: None,
     })
     .expect("start daemon");
     let addr = daemon.addr();
