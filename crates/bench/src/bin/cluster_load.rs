@@ -1,0 +1,258 @@
+//! Open-loop load against a live multi-site cluster, with span-derived
+//! per-stage latency attribution.
+//!
+//! Forks one `esrd` (COMMU) per site into child processes, then drives
+//! the YCSB-style open-loop driver (`esr_workload::driver`) through the
+//! client plane: zipfian keys, a read/update mix, a fixed arrival rate,
+//! and N worker threads. End-to-end latency is measured from each op's
+//! *scheduled* arrival (coordinated-omission-free). After the run
+//! quiesces, a sample of the minted ETs is traced back through every
+//! site's span ring (`SpanQuery`), merged into causal timelines, and
+//! the critical-path edges are aggregated into per-stage percentiles —
+//! so the JSON answers both "how fast is the cluster" and "where does
+//! the time go".
+//!
+//! Usage: `cluster_load [--test] [--ops N] [--rate N] [--clients N]
+//!                      [--read-pct N] [--sites N] [--json [PATH]]`
+//!   --test    small CI-sized run (200 ops at 400/s, 2 clients)
+//!   --json    output path (default BENCH_cluster.json in cwd)
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use esr_core::ids::SiteId;
+use esr_runtime::daemon::resolve_addr;
+use esr_runtime::{critical_path, merge_timeline, Daemon, DaemonConfig, RpcClient, RtMethod};
+use esr_workload::driver::{self, DriverConfig, LatencySummary};
+use esr_workload::{percentile_per_mille, KeyDist};
+
+/// How many of the run's ETs get their spans scraped and attributed
+/// (per-ET scrape is a full-cluster round trip; a sample is plenty for
+/// stable stage percentiles).
+const STAGE_SAMPLE: usize = 200;
+
+/// Child mode: host one site of the cluster until the parent kills us.
+fn serve(dir: PathBuf, site: u64, sites: u64) -> ! {
+    let _daemon = Daemon::start(DaemonConfig {
+        site: SiteId(site),
+        sites: sites as usize,
+        method: RtMethod::Commu,
+        dir,
+        ckpt_bytes: None,
+    })
+    .expect("start daemon");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Strips a per-peer `sN ` prefix so one stage bucket aggregates the
+/// same edge across peers ("s1 transit" and "s2 transit" → "transit").
+fn stage_key(label: &str) -> String {
+    match label.split_once(' ') {
+        Some((head, rest))
+            if head.len() >= 2
+                && head.starts_with('s')
+                && head[1..].chars().all(|c| c.is_ascii_digit()) =>
+        {
+            rest.to_owned()
+        }
+        _ => label.to_owned(),
+    }
+}
+
+fn latency_json(name: &str, s: &LatencySummary) -> String {
+    format!(
+        "  \"{name}\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
+        s.count, s.mean_us, s.p50_us, s.p99_us, s.p999_us, s.max_us
+    )
+}
+
+fn main() {
+    let mut cfg = DriverConfig {
+        sites: 3,
+        objects: 256,
+        dist: KeyDist::Zipf(0.99),
+        read_pct: 50,
+        rate_per_sec: 2000,
+        clients: 8,
+        total_ops: 10_000,
+        et_base: 1_000_000,
+        epsilon_limit: u64::MAX,
+        seed: 42,
+    };
+    let mut json_path = PathBuf::from("BENCH_cluster.json");
+    let mut args = std::env::args().skip(1);
+    fn num(args: &mut impl Iterator<Item = String>, what: &str) -> u64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{what} needs a number"))
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serve" => {
+                let dir = PathBuf::from(args.next().expect("--serve DIR SITE SITES"));
+                let site = num(&mut args, "--serve SITE");
+                let sites = num(&mut args, "--serve SITES");
+                serve(dir, site, sites);
+            }
+            "--test" | "-t" => {
+                cfg.total_ops = 200;
+                cfg.rate_per_sec = 400;
+                cfg.clients = 2;
+            }
+            "--ops" => cfg.total_ops = num(&mut args, "--ops"),
+            "--rate" => cfg.rate_per_sec = num(&mut args, "--rate"),
+            "--clients" => cfg.clients = num(&mut args, "--clients") as usize,
+            "--read-pct" => cfg.read_pct = num(&mut args, "--read-pct"),
+            "--sites" => cfg.sites = num(&mut args, "--sites"),
+            "--json" => {
+                if let Some(p) = args.next() {
+                    json_path = PathBuf::from(p);
+                }
+            }
+            other => eprintln!("ignoring unknown arg {other:?}"),
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("esr-cluster-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create cluster dir");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children: Vec<std::process::Child> = (0..cfg.sites)
+        .map(|site| {
+            std::process::Command::new(&exe)
+                .arg("--serve")
+                .arg(&dir)
+                .arg(site.to_string())
+                .arg(cfg.sites.to_string())
+                .spawn()
+                .expect("spawn daemon process")
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for site in 0..cfg.sites {
+        while resolve_addr(&dir, SiteId(site)).is_none() {
+            assert!(
+                Instant::now() < deadline,
+                "site {site} did not publish an address"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    println!(
+        "driving {} ops at {}/s over {} clients against {} sites ({}% reads)...",
+        cfg.total_ops, cfg.rate_per_sec, cfg.clients, cfg.sites, cfg.read_pct
+    );
+    let report = driver::run(&dir, &cfg).expect("load run");
+    println!(
+        "issued {} ({} errors) in {:.2}s -> {:.0} ops/s; \
+         update p50/p99/p999 {}us/{}us/{}us, read p50/p99 {}us/{}us",
+        report.issued,
+        report.errors,
+        report.elapsed_us as f64 / 1e6,
+        report.achieved_rate,
+        report.update.p50_us,
+        report.update.p99_us,
+        report.update.p999_us,
+        report.read.p50_us,
+        report.read.p99_us,
+    );
+
+    // Quiesce before scraping spans so completion-side stages exist.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'settle: loop {
+        let mut all = true;
+        for site in 0..cfg.sites {
+            let st = RpcClient::connect_dir(&dir, SiteId(site), Duration::from_secs(5))
+                .and_then(|mut c| c.status())
+                .expect("status");
+            all &= st.settled && st.outbound_pending == 0;
+        }
+        if all {
+            break 'settle;
+        }
+        assert!(Instant::now() < deadline, "cluster did not settle");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Per-stage attribution: scrape every site's span ring for a sample
+    // of ETs, merge causally, and bucket the critical-path edges.
+    let sample: Vec<_> = report.ets.iter().take(STAGE_SAMPLE).copied().collect();
+    let mut clients: Vec<RpcClient> = (0..cfg.sites)
+        .map(|s| {
+            RpcClient::connect_dir(&dir, SiteId(s), Duration::from_secs(5)).expect("connect")
+        })
+        .collect();
+    let mut stages: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut span_drops = 0u64;
+    for &et in &sample {
+        let per_site: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(s, c)| {
+                let (dropped, spans) = c.spans(et.raw()).expect("span scrape");
+                span_drops += dropped;
+                (SiteId(s as u64), spans)
+            })
+            .collect();
+        let timeline = merge_timeline(&per_site, et);
+        for (label, us) in critical_path(&timeline) {
+            if let Some(us) = us {
+                stages.entry(stage_key(&label)).or_default().push(us);
+            }
+        }
+    }
+
+    let mut out = String::from("{\n  \"bench\": \"cluster_load\",\n");
+    out.push_str(&format!(
+        "  \"sites\": {}, \"clients\": {}, \"rate_per_sec\": {}, \"total_ops\": {}, \
+         \"read_pct\": {}, \"zipf_theta\": 0.99,\n",
+        cfg.sites, cfg.clients, cfg.rate_per_sec, cfg.total_ops, cfg.read_pct
+    ));
+    out.push_str(&format!(
+        "  \"errors\": {}, \"elapsed_secs\": {:.3}, \"achieved_rate\": {:.0},\n",
+        report.errors,
+        report.elapsed_us as f64 / 1e6,
+        report.achieved_rate
+    ));
+    out.push_str(&latency_json("update_latency", &report.update));
+    out.push_str(",\n");
+    out.push_str(&latency_json("read_latency", &report.read));
+    out.push_str(",\n");
+    out.push_str(&format!(
+        "  \"stage_sample_ets\": {}, \"span_ring_drops\": {span_drops},\n  \"stages_us\": [\n",
+        sample.len()
+    ));
+    let n_stages = stages.len();
+    for (i, (label, samples)) in stages.iter_mut().enumerate() {
+        samples.sort_unstable();
+        out.push_str(&format!(
+            "    {{\"stage\": \"{label}\", \"count\": {}, \"p50\": {}, \"p99\": {}, \
+             \"p999\": {}}}{}\n",
+            samples.len(),
+            percentile_per_mille(samples, 500),
+            percentile_per_mille(samples, 990),
+            percentile_per_mille(samples, 999),
+            if i + 1 < n_stages { "," } else { "" },
+        ));
+        println!(
+            "stage {label:<20} n={:<6} p50 {:>7}us  p99 {:>7}us",
+            samples.len(),
+            percentile_per_mille(samples, 500),
+            percentile_per_mille(samples, 990),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&json_path, out).expect("write json");
+    println!("wrote {}", json_path.display());
+
+    for c in &mut children {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -641,6 +641,11 @@ impl<'a> World<'a> {
                 Effect::Trace { component, message } => {
                     self.nodes[site].trace.push((component, message));
                 }
+                // Tracing spans are non-durable observability records;
+                // the model has no span ring and no clock to stamp
+                // them with, so they are discarded — by contract they
+                // carry no protocol meaning.
+                Effect::Span(_) => {}
             }
         }
     }

@@ -38,5 +38,6 @@ pub use instruments::{
     CkptInstruments, GaugeFamily, LinkInstruments, ReactorInstruments, SiteInstruments,
 };
 pub use registry::{
-    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SampleValue, SeriesSample,
+    quantile_from_cumulative, Counter, Gauge, Histogram, HistogramSample, MetricsRegistry,
+    MetricsSnapshot, SampleValue, SeriesSample, HIST_BUCKETS,
 };

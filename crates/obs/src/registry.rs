@@ -20,9 +20,48 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Histogram bucket upper bounds are `2^0, 2^1, …, 2^(BUCKET_POWERS-1)`
-/// (microseconds in every current use), plus a `+Inf` overflow bucket.
+/// The histogram range covers `1 … 2^(BUCKET_POWERS-1)` (microseconds
+/// in every current use); larger observations land in a `+Inf`
+/// overflow bucket.
 pub const BUCKET_POWERS: usize = 21;
+
+/// Finite buckets in the log-linear histogram layout: bounds `1..=4`
+/// one-wide, then every octave `(2^p, 2^(p+1)]` split into 4 equal
+/// sub-buckets up to `2^(BUCKET_POWERS-1)`. Sub-bucketing caps the
+/// relative bucket width at 25%, so a p999 read is never a 2x-wide
+/// guess (the power-of-two layout's tail resolution).
+pub const HIST_BUCKETS: usize = 4 + 4 * (BUCKET_POWERS - 3);
+
+/// The bucket index an observation `v` lands in (`HIST_BUCKETS` =
+/// the `+Inf` overflow slot).
+fn bucket_idx(v: u64) -> usize {
+    if v <= 4 {
+        return v.saturating_sub(1) as usize;
+    }
+    let m = v - 1;
+    let p = (63 - m.leading_zeros()) as usize; // MSB position, >= 2
+    let idx = 4 + (p - 2) * 4 + ((m >> (p - 2)) as usize - 4);
+    idx.min(HIST_BUCKETS)
+}
+
+/// The inclusive upper bound of finite bucket `idx`.
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64 + 1;
+    }
+    let g = (idx - 4) / 4;
+    let s = (idx - 4) % 4;
+    (1u64 << (g + 2)) + (s as u64 + 1) * (1u64 << g)
+}
+
+/// The inclusive lower edge of bucket `idx` (0 for the first).
+fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_bound(idx - 1)
+    }
+}
 
 /// A monotonically increasing counter.
 ///
@@ -83,14 +122,26 @@ impl Gauge {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct HistogramCells {
-    buckets: [AtomicU64; BUCKET_POWERS + 1],
+    buckets: [AtomicU64; HIST_BUCKETS + 1],
     sum: AtomicU64,
     count: AtomicU64,
 }
 
-/// A histogram over power-of-two buckets (plus `+Inf`).
+impl Default for HistogramCells {
+    fn default() -> Self {
+        Self {
+            // `[AtomicU64; N]` has no `Default` past N = 32.
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over log-linear buckets (4 sub-buckets per octave,
+/// plus `+Inf`).
 ///
 /// Used only on wall-clocked paths (daemon apply/RPC latency); the sim
 /// never records into one, keeping sim snapshots clock-free.
@@ -100,9 +151,7 @@ pub struct Histogram(Arc<HistogramCells>);
 impl Histogram {
     /// Records one observation.
     pub fn record(&self, v: u64) {
-        let idx = (u64::BITS - v.saturating_sub(1).leading_zeros()) as usize;
-        let idx = idx.min(BUCKET_POWERS); // overflow → +Inf bucket
-        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.buckets[bucket_idx(v)].fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
     }
@@ -118,7 +167,7 @@ impl Histogram {
     }
 
     fn snapshot(&self) -> HistogramSample {
-        let mut buckets = [0u64; BUCKET_POWERS + 1];
+        let mut buckets = [0u64; HIST_BUCKETS + 1];
         for (slot, cell) in buckets.iter_mut().zip(self.0.buckets.iter()) {
             *slot = cell.load(Ordering::Relaxed);
         }
@@ -150,6 +199,26 @@ fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
     (name.to_owned(), ls)
 }
 
+/// Records an instrument-kind collision on the already-locked series
+/// map (taking the guard's target directly avoids re-entering the
+/// registry mutex). Debug builds panic — the collision is a programming
+/// error and the call site is in the backtrace. Release builds count it
+/// under `esr_obs_type_collisions_total` so it is visible on every
+/// scrape instead of silently splitting writers onto a detached cell.
+fn note_kind_collision(map: &mut BTreeMap<SeriesKey, Instrument>, name: &str) {
+    debug_assert!(
+        false,
+        "metric '{name}' re-registered as a different instrument kind"
+    );
+    let key = series_key("esr_obs_type_collisions_total", &[]);
+    if let Instrument::Counter(c) = map
+        .entry(key)
+        .or_insert_with(|| Instrument::Counter(Counter::default()))
+    {
+        c.inc();
+    }
+}
+
 /// The registry: a shared, ordered map from series key to instrument.
 ///
 /// Cloning is cheap (an `Arc`); every layer of a cluster shares one.
@@ -175,8 +244,11 @@ impl MetricsRegistry {
     ///
     /// Re-registering the same series returns a handle to the same
     /// cell. Registering a name that exists with a different instrument
-    /// kind returns a fresh detached handle (the registry keeps the
-    /// original) — a programming error surfaced by tests, not a panic.
+    /// kind is a programming error: debug builds panic at the call
+    /// site; release builds keep the original series, bump
+    /// `esr_obs_type_collisions_total` (so the bug shows on every
+    /// scrape), and return a fresh detached handle whose updates go
+    /// nowhere.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = series_key(name, labels);
         let mut map = self.lock();
@@ -185,11 +257,15 @@ impl MetricsRegistry {
             .or_insert_with(|| Instrument::Counter(Counter::default()))
         {
             Instrument::Counter(c) => c.clone(),
-            _ => Counter::default(),
+            _ => {
+                note_kind_collision(&mut map, name);
+                Counter::default()
+            }
         }
     }
 
-    /// Registers (or retrieves) a gauge for `name` + `labels`.
+    /// Registers (or retrieves) a gauge for `name` + `labels`. Kind
+    /// collisions behave as in [`MetricsRegistry::counter`].
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = series_key(name, labels);
         let mut map = self.lock();
@@ -198,11 +274,15 @@ impl MetricsRegistry {
             .or_insert_with(|| Instrument::Gauge(Gauge::default()))
         {
             Instrument::Gauge(g) => g.clone(),
-            _ => Gauge::default(),
+            _ => {
+                note_kind_collision(&mut map, name);
+                Gauge::default()
+            }
         }
     }
 
-    /// Registers (or retrieves) a histogram for `name` + `labels`.
+    /// Registers (or retrieves) a histogram for `name` + `labels`. Kind
+    /// collisions behave as in [`MetricsRegistry::counter`].
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let key = series_key(name, labels);
         let mut map = self.lock();
@@ -211,7 +291,10 @@ impl MetricsRegistry {
             .or_insert_with(|| Instrument::Histogram(Histogram::default()))
         {
             Instrument::Histogram(h) => h.clone(),
-            _ => Histogram::default(),
+            _ => {
+                note_kind_collision(&mut map, name);
+                Histogram::default()
+            }
         }
     }
 
@@ -227,7 +310,7 @@ impl MetricsRegistry {
                 value: match inst {
                     Instrument::Counter(c) => SampleValue::Counter(c.get()),
                     Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
-                    Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(Box::new(h.snapshot())),
                 },
             })
             .collect();
@@ -259,7 +342,7 @@ pub enum SampleValue {
     /// Gauge value.
     Gauge(i64),
     /// Histogram buckets + sum + count.
-    Histogram(HistogramSample),
+    Histogram(Box<HistogramSample>),
 }
 
 /// Snapshot of one histogram's cells.
@@ -267,11 +350,85 @@ pub enum SampleValue {
 pub struct HistogramSample {
     /// Per-bucket (non-cumulative) observation counts; the last slot is
     /// the `+Inf` overflow bucket.
-    pub buckets: [u64; BUCKET_POWERS + 1],
+    pub buckets: [u64; HIST_BUCKETS + 1],
     /// Sum of observations.
     pub sum: u64,
     /// Number of observations.
     pub count: u64,
+}
+
+impl HistogramSample {
+    /// The `q`-quantile (`0 < q <= 1`) by rank, linearly interpolated
+    /// inside the winning bucket. When every recorded value is
+    /// distinct and the bucket is full the answer is exact; otherwise
+    /// it errs by at most one bucket width (<= 25% relative, by the
+    /// sub-bucket layout). Observations past the finite range saturate
+    /// to the largest finite bound — a floor, reported rather than
+    /// invented. `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let before = cum;
+            cum += b;
+            if cum < target {
+                continue;
+            }
+            if i >= HIST_BUCKETS {
+                return Some(bucket_bound(HIST_BUCKETS - 1));
+            }
+            let lower = bucket_lower(i);
+            let width = bucket_bound(i) - lower;
+            let frac = (target - before) as f64 / b as f64;
+            return Some(lower + (frac * width as f64).ceil() as u64);
+        }
+        None
+    }
+
+    /// The median.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+}
+
+/// Quantile extraction over *cumulative* `(upper_bound, count)` pairs —
+/// the shape a Prometheus `_bucket` scrape yields (`u64::MAX` stands
+/// for the `+Inf` bound). Same interpolation and saturation rules as
+/// [`HistogramSample::quantile`]; `None` when empty.
+pub fn quantile_from_cumulative(cumulative: &[(u64, u64)], q: f64) -> Option<u64> {
+    let total = cumulative.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut lower = 0u64;
+    let mut before = 0u64;
+    for &(bound, cum) in cumulative {
+        if cum >= target {
+            if bound == u64::MAX {
+                return Some(lower); // +Inf bucket: saturate to last finite bound
+            }
+            let in_bucket = cum - before;
+            let frac = (target - before) as f64 / in_bucket as f64;
+            return Some(lower + (frac * (bound - lower) as f64).ceil() as u64);
+        }
+        lower = bound;
+        before = cum;
+    }
+    None
 }
 
 /// A deterministic, ordered snapshot of a [`MetricsRegistry`].
@@ -345,8 +502,8 @@ impl MetricsSnapshot {
                     let mut cum = 0u64;
                     for (i, b) in h.buckets.iter().enumerate() {
                         cum += b;
-                        let bound = if i < BUCKET_POWERS {
-                            (1u64 << i).to_string()
+                        let bound = if i < HIST_BUCKETS {
+                            bucket_bound(i).to_string()
                         } else {
                             "+Inf".to_owned()
                         };
@@ -402,7 +559,17 @@ mod tests {
     }
 
     #[test]
-    fn kind_mismatch_yields_detached_handle() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "re-registered as a different instrument kind")]
+    fn kind_mismatch_panics_in_debug() {
+        let r = MetricsRegistry::new();
+        r.counter("x", &[]).inc();
+        let _ = r.gauge("x", &[]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn kind_mismatch_counts_and_detaches_in_release() {
         let r = MetricsRegistry::new();
         let c = r.counter("x", &[]);
         c.inc();
@@ -410,21 +577,54 @@ mod tests {
         g.set(99);
         assert_eq!(c.get(), 1, "original untouched");
         assert_eq!(r.snapshot().value("x", &[]), Some(1));
+        assert_eq!(
+            r.snapshot().value("esr_obs_type_collisions_total", &[]),
+            Some(1),
+            "collision is visible on the scrape"
+        );
+        let _ = r.histogram("x", &[]);
+        assert_eq!(
+            r.snapshot().value("esr_obs_type_collisions_total", &[]),
+            Some(2)
+        );
     }
 
     #[test]
-    fn histogram_buckets_are_powers_of_two() {
+    fn histogram_buckets_are_log_linear() {
         let h = Histogram::default();
-        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+        for v in [0, 1, 2, 3, 4, 5, 1000, u64::MAX] {
             h.record(v);
         }
-        assert_eq!(h.count(), 7);
+        assert_eq!(h.count(), 8);
         let s = h.snapshot();
         assert_eq!(s.buckets[0], 2, "0 and 1 in the first bucket");
         assert_eq!(s.buckets[1], 1, "2 in the <=2 bucket");
-        assert_eq!(s.buckets[2], 2, "3 and 4 in the <=4 bucket");
-        assert_eq!(s.buckets[10], 1, "1000 in the <=1024 bucket");
-        assert_eq!(s.buckets[BUCKET_POWERS], 1, "u64::MAX overflows to +Inf");
+        assert_eq!(s.buckets[2], 1, "3 in the <=3 bucket");
+        assert_eq!(s.buckets[3], 1, "4 in the <=4 bucket");
+        assert_eq!(s.buckets[4], 1, "5 in the first sub-bucket (4, 5]");
+        assert_eq!(s.buckets[35], 1, "1000 in the (896, 1024] sub-bucket");
+        assert_eq!(s.buckets[HIST_BUCKETS], 1, "u64::MAX overflows to +Inf");
+    }
+
+    #[test]
+    fn bucket_layout_round_trips_and_bounds_resolution() {
+        // Every bucket's bound and lower edge map back to the bucket.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_idx(bucket_bound(i)), i, "bound of {i}");
+            assert_eq!(bucket_idx(bucket_lower(i) + 1), i, "lower edge of {i}");
+        }
+        // Bounds are strictly increasing and the top covers the old
+        // power-of-two range exactly.
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), 1u64 << (BUCKET_POWERS - 1));
+        // Sub-bucketing keeps relative width at or under 25%: a p999
+        // read is off by at most a quarter of its own magnitude.
+        for i in 4..HIST_BUCKETS {
+            let width = bucket_bound(i) - bucket_bound(i - 1);
+            assert!(width * 4 <= bucket_bound(i), "bucket {i} too wide");
+        }
     }
 
     #[test]
@@ -456,9 +656,94 @@ mod tests {
         let text = r.render();
         assert!(text.contains("lat_micros_bucket{le=\"1\"} 1\n"), "{text}");
         assert!(text.contains("lat_micros_bucket{le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"3\"} 2\n"), "{text}");
         assert!(text.contains("lat_micros_bucket{le=\"4\"} 2\n"), "{text}");
         assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 2\n"), "{text}");
         assert!(text.contains("lat_micros_sum 4\n"), "{text}");
         assert!(text.contains("lat_micros_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_small_distinct_values() {
+        let h = Histogram::default();
+        for v in [1, 2, 3, 4] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.25), Some(1));
+        assert_eq!(s.p50(), Some(2));
+        assert_eq!(s.quantile(0.75), Some(3));
+        assert_eq!(s.quantile(1.0), Some(4));
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Rank 500 lands in sub-bucket (448, 512] where interpolation
+        // is exact for a dense uniform fill.
+        assert_eq!(s.p50(), Some(500));
+        // The tail lives in (896, 1024]: p99 true value 990, p999 true
+        // value 999 — both land inside the 128-wide sub-bucket, so the
+        // estimate is within that width, never a 2x power-of-two guess.
+        assert_eq!(s.p99(), Some(1012));
+        assert_eq!(s.p999(), Some(1023));
+        assert_eq!(s.quantile(1.0), Some(1024));
+    }
+
+    #[test]
+    fn quantiles_handle_edges() {
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.p50(), None);
+
+        // Everything past the finite range reports the largest finite
+        // bound — a floor, not an invented tail.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().p50(), Some(1u64 << (BUCKET_POWERS - 1)));
+
+        // A single value answers every quantile with (at most) its own
+        // bucket's bound.
+        let one = Histogram::default();
+        one.record(7);
+        let s = one.snapshot();
+        assert_eq!(s.p50(), s.p999());
+        let p = s.p50().unwrap();
+        assert!((7..=8).contains(&p), "p50 = {p}");
+    }
+
+    #[test]
+    fn cumulative_quantiles_match_sample_quantiles() {
+        let h = Histogram::default();
+        for v in [3, 17, 17, 90, 1500, 250_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Rebuild the cumulative pairs the way a Prometheus scrape
+        // presents them and check both extractors agree.
+        let mut cum = 0u64;
+        let pairs: Vec<(u64, u64)> = s
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                cum += b;
+                let bound = if i < HIST_BUCKETS {
+                    bucket_bound(i)
+                } else {
+                    u64::MAX
+                };
+                (bound, cum)
+            })
+            .collect();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(quantile_from_cumulative(&pairs, q), s.quantile(q), "q={q}");
+        }
+        assert_eq!(quantile_from_cumulative(&[], 0.5), None);
+        assert_eq!(quantile_from_cumulative(&[(u64::MAX, 0)], 0.5), None);
     }
 }

@@ -29,6 +29,7 @@ pub mod quorum;
 pub mod ritu;
 pub mod saga;
 pub mod site;
+pub mod span;
 pub mod sync2pc;
 pub mod wire;
 
@@ -44,5 +45,6 @@ pub use ritu::{RituMvSite, RituOverwriteSite};
 pub use saga::{SagaCoordinator, SagaId, SagaState};
 pub use quorum::{QuorumCluster, QuorumReport};
 pub use site::{QueryOutcome, ReplicaSite};
+pub use span::{SpanRec, SpanStage};
 pub use sync2pc::{TwoPcCluster, TwoPcReport};
 pub use wire::{decode_mset, encode_mset, WireError};

@@ -62,6 +62,12 @@ pub struct MSet {
     /// reply instead of a double apply.
     #[serde(default)]
     pub client: Option<(ClientId, u64)>,
+    /// Trace context: the client-submit wall stamp (UNIX micros),
+    /// minted where the update was born and carried to every site so
+    /// the tracing plane can charge client queueing delay against a
+    /// single epoch. Purely observational — no protocol logic reads it.
+    #[serde(default)]
+    pub t0: Option<u64>,
 }
 
 impl MSet {
@@ -73,7 +79,15 @@ impl MSet {
             ops,
             order: OrderTag::Unordered,
             client: None,
+            t0: None,
         }
+    }
+
+    /// Attaches the trace context: the client's submit wall stamp in
+    /// UNIX micros (enables cross-site latency attribution).
+    pub fn traced(mut self, t0: u64) -> Self {
+        self.t0 = Some(t0);
+        self
     }
 
     /// Attaches the submitting client's identity and request sequence

@@ -1,0 +1,220 @@
+//! Trace spans: the vocabulary of the `esr-trace` cross-site tracing
+//! plane.
+//!
+//! An update ET's life is distributed by design — it commits at its
+//! origin and propagates lazily — so no single site's metrics can say
+//! where the ET's latency went. Each site instead records [`SpanRec`]s
+//! at every protocol hop it witnesses (submit, link enqueue, delivery,
+//! hold-back, apply, completion, VTNC visibility, COMPE decision), and
+//! `esrctl spans` later merges every site's records into one causal
+//! timeline ordered by the protocol's happens-before edges.
+//!
+//! The types here are pure data: no clocks, no I/O. Timestamps are
+//! attached by the *daemon* when it executes a `Span` effect (the step
+//! machines stay deterministic), and the client-submit wall stamp `t0`
+//! rides inside the MSet so every site can report queueing delay
+//! against the same epoch.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use esr_core::ids::{EtId, SeqNo, SiteId, VersionTs};
+
+/// A protocol hop in an ET's distributed lifecycle.
+///
+/// The `*Cert` stages are coordinator-only: they mark the moment the
+/// control plane *certified* a fact (all sites applied, horizon
+/// advanced, decision taken), as opposed to the moment an individual
+/// site *learned* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpanStage {
+    /// Client-plane submit accepted at the origin site.
+    Submit,
+    /// MSet handed to the durable link toward `peer`.
+    Enqueue,
+    /// MSet arrived at a site (journalled before anything else).
+    Deliver,
+    /// ORDUP hold-back: delivered but parked behind a sequence gap.
+    Held,
+    /// Applied to the local replica.
+    Apply,
+    /// Re-applied from the journal (or a snapshot suffix) during
+    /// recovery — the post-crash stand-in for a lost `Apply` span.
+    Replay,
+    /// Coordinator certified completion: every site reported applied.
+    CompleteCert,
+    /// Completion learned at a site.
+    Complete,
+    /// Coordinator advanced the VTNC horizon.
+    VtncCert,
+    /// VTNC horizon learned at a site.
+    Vtnc,
+    /// Coordinator certified a COMPE commit/abort decision.
+    DecisionCert,
+    /// Decision learned at a site.
+    Decision,
+}
+
+impl SpanStage {
+    /// Stable lowercase name (used by renderers and the wire codec
+    /// tests; the wire codec itself ships the discriminant).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Submit => "submit",
+            SpanStage::Enqueue => "enqueue",
+            SpanStage::Deliver => "deliver",
+            SpanStage::Held => "held",
+            SpanStage::Apply => "apply",
+            SpanStage::Replay => "replay",
+            SpanStage::CompleteCert => "complete-cert",
+            SpanStage::Complete => "complete",
+            SpanStage::VtncCert => "vtnc-cert",
+            SpanStage::Vtnc => "vtnc",
+            SpanStage::DecisionCert => "decision-cert",
+            SpanStage::Decision => "decision",
+        }
+    }
+}
+
+impl fmt::Display for SpanStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One span record, as emitted by the pure step machines.
+///
+/// The recording site and the wall-clock stamp are *not* part of the
+/// record: the site is implied by whose ring the record sits in, and
+/// the stamp is attached by the daemon at effect-execution time so the
+/// step machines never read a clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRec {
+    /// The protocol hop.
+    pub stage: SpanStage,
+    /// The ET this span belongs to. `None` for VTNC horizon spans,
+    /// which cover every ET at or below the horizon; the merge step
+    /// attributes them via the apply spans' versions.
+    pub et: Option<EtId>,
+    /// For [`SpanStage::Enqueue`]: the link's destination site.
+    pub peer: Option<SiteId>,
+    /// RITU version timestamp (apply spans) or the new horizon (VTNC
+    /// spans).
+    pub version: Option<VersionTs>,
+    /// ORDUP global sequence number, when the MSet carries one.
+    pub gseq: Option<SeqNo>,
+    /// Client-submit wall stamp (UNIX micros), minted by the client
+    /// and carried in the MSet — present on origin-side spans so the
+    /// timeline can charge client queueing delay.
+    pub t0: Option<u64>,
+    /// COMPE decision spans: `true` = commit, `false` = abort.
+    pub commit: Option<bool>,
+}
+
+impl SpanRec {
+    /// A span for `stage` on `et` with no extras.
+    pub fn new(stage: SpanStage, et: EtId) -> Self {
+        Self {
+            stage,
+            et: Some(et),
+            peer: None,
+            version: None,
+            gseq: None,
+            t0: None,
+            commit: None,
+        }
+    }
+
+    /// A VTNC horizon span (no single ET).
+    pub fn vtnc(stage: SpanStage, horizon: VersionTs) -> Self {
+        Self {
+            stage,
+            et: None,
+            peer: None,
+            version: Some(horizon),
+            gseq: None,
+            t0: None,
+            commit: None,
+        }
+    }
+
+    /// Attaches the enqueue destination.
+    pub fn to_peer(mut self, peer: SiteId) -> Self {
+        self.peer = Some(peer);
+        self
+    }
+
+    /// Attaches a version timestamp.
+    pub fn with_version(mut self, version: Option<VersionTs>) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Attaches an ORDUP global sequence number.
+    pub fn with_gseq(mut self, gseq: Option<SeqNo>) -> Self {
+        self.gseq = gseq;
+        self
+    }
+
+    /// Attaches the client-submit wall stamp.
+    pub fn with_t0(mut self, t0: Option<u64>) -> Self {
+        self.t0 = t0;
+        self
+    }
+
+    /// Attaches a COMPE decision outcome.
+    pub fn with_commit(mut self, commit: bool) -> Self {
+        self.commit = Some(commit);
+        self
+    }
+}
+
+impl fmt::Display for SpanRec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.stage)?;
+        if let Some(et) = self.et {
+            write!(f, " {et}")?;
+        }
+        if let Some(peer) = self.peer {
+            write!(f, " ->{peer}")?;
+        }
+        if let Some(v) = self.version {
+            write!(f, " v={v}")?;
+        }
+        if let Some(s) = self.gseq {
+            write!(f, " seq={s}")?;
+        }
+        if let Some(c) = self.commit {
+            write!(f, " {}", if c { "commit" } else { "abort" })?;
+        }
+        if let Some(t0) = self.t0 {
+            write!(f, " t0={t0}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::ids::ClientId;
+
+    #[test]
+    fn display_is_compact() {
+        let rec = SpanRec::new(SpanStage::Apply, EtId(7))
+            .with_version(Some(VersionTs::new(3, ClientId(1))))
+            .with_gseq(Some(SeqNo(2)));
+        let s = rec.to_string();
+        assert!(s.starts_with("apply"), "{s}");
+        assert!(s.contains("et7"), "{s}");
+        assert!(s.contains("seq=#2"), "{s}");
+    }
+
+    #[test]
+    fn vtnc_spans_have_no_et() {
+        let rec = SpanRec::vtnc(SpanStage::Vtnc, VersionTs::new(9, ClientId(0)));
+        assert!(rec.et.is_none());
+        assert!(rec.version.is_some());
+    }
+}

@@ -23,6 +23,7 @@ use esr_core::value::Value;
 use crate::compe::CompeEvent;
 use crate::mset::{MSet, OrderTag};
 use crate::site::QueryOutcome;
+use crate::span::{SpanRec, SpanStage};
 
 /// Why a byte payload failed to decode as an MSet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +110,15 @@ pub(crate) fn encode_mset_into(b: &mut BytesMut, mset: &MSet) {
             b.put_u8(1);
             b.put_u64(client.raw());
             b.put_u64(seq);
+        }
+    }
+    // Trace context (client submit wall stamp), same trailing
+    // presence-byte pattern.
+    match mset.t0 {
+        None => b.put_u8(0),
+        Some(t0) => {
+            b.put_u8(1);
+            b.put_u64(t0);
         }
     }
 }
@@ -221,9 +231,15 @@ pub(crate) fn decode_mset_from(b: &mut &[u8]) -> Result<MSet, WireError> {
         }
         tag => return Err(WireError::BadTag { field: "client", tag }),
     };
+    let t0 = match get_u8(b)? {
+        0 => None,
+        1 => Some(get_u64(b)?),
+        tag => return Err(WireError::BadTag { field: "t0", tag }),
+    };
     let mut mset = MSet::new(et, origin, ops);
     mset.order = order;
     mset.client = client;
+    mset.t0 = t0;
     Ok(mset)
 }
 
@@ -337,6 +353,8 @@ const FRAME_TRACE: u8 = 0x1D;
 const FRAME_TRACE_OK: u8 = 0x1E;
 const FRAME_CHECKPOINT: u8 = 0x1F;
 const FRAME_CHECKPOINT_OK: u8 = 0x20;
+const FRAME_SPAN_QUERY: u8 = 0x21;
+const FRAME_SPAN_OK: u8 = 0x22;
 
 const COMPE_APPLIED: u8 = 0;
 const COMPE_COMMITTED: u8 = 1;
@@ -593,6 +611,22 @@ pub enum Frame {
         /// Journalled MSets the checkpoint covers.
         covered: u64,
     },
+    /// Client → daemon: dump the daemon's span ring, filtered to one
+    /// ET's records (`esrctl spans` scrapes every site and merges).
+    SpanQuery {
+        /// Raw ET id to filter on; `u64::MAX` selects every retained
+        /// span (VTNC horizon spans, which carry no ET, always match).
+        et: u64,
+    },
+    /// Reply to [`Frame::SpanQuery`]: the matching retained spans,
+    /// oldest first, as `(ring_seq, micros, rec)`, plus how many older
+    /// spans the bounded ring already evicted.
+    SpanOk {
+        /// Spans evicted before the oldest retained one.
+        dropped: u64,
+        /// The matching retained spans.
+        spans: Vec<(u64, u64, SpanRec)>,
+    },
 }
 
 fn encode_text(b: &mut BytesMut, s: &str) {
@@ -639,6 +673,88 @@ pub(crate) fn decode_version_opt(b: &mut &[u8]) -> Result<Option<VersionTs>, Wir
         }
         tag => Err(WireError::BadTag { field: "option", tag }),
     }
+}
+
+const SPAN_STAGES: [SpanStage; 12] = [
+    SpanStage::Submit,
+    SpanStage::Enqueue,
+    SpanStage::Deliver,
+    SpanStage::Held,
+    SpanStage::Apply,
+    SpanStage::Replay,
+    SpanStage::CompleteCert,
+    SpanStage::Complete,
+    SpanStage::VtncCert,
+    SpanStage::Vtnc,
+    SpanStage::DecisionCert,
+    SpanStage::Decision,
+];
+
+fn span_stage_tag(stage: SpanStage) -> u8 {
+    SPAN_STAGES
+        .iter()
+        .position(|s| *s == stage)
+        .unwrap_or_default() as u8
+}
+
+fn encode_u64_opt(b: &mut BytesMut, v: Option<u64>) {
+    match v {
+        None => b.put_u8(0),
+        Some(v) => {
+            b.put_u8(1);
+            b.put_u64(v);
+        }
+    }
+}
+
+fn decode_u64_opt(b: &mut &[u8]) -> Result<Option<u64>, WireError> {
+    match get_u8(b)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u64(b)?)),
+        tag => Err(WireError::BadTag { field: "option", tag }),
+    }
+}
+
+fn encode_span_rec(b: &mut BytesMut, rec: &SpanRec) {
+    b.put_u8(span_stage_tag(rec.stage));
+    encode_u64_opt(b, rec.et.map(EtId::raw));
+    encode_u64_opt(b, rec.peer.map(SiteId::raw));
+    encode_version_opt(b, &rec.version);
+    encode_u64_opt(b, rec.gseq.map(SeqNo::raw));
+    encode_u64_opt(b, rec.t0);
+    match rec.commit {
+        None => b.put_u8(0),
+        Some(c) => {
+            b.put_u8(1);
+            b.put_u8(u8::from(c));
+        }
+    }
+}
+
+fn decode_span_rec(b: &mut &[u8]) -> Result<SpanRec, WireError> {
+    let tag = get_u8(b)?;
+    let stage = *SPAN_STAGES
+        .get(tag as usize)
+        .ok_or(WireError::BadTag { field: "stage", tag })?;
+    let et = decode_u64_opt(b)?.map(EtId);
+    let peer = decode_u64_opt(b)?.map(SiteId);
+    let version = decode_version_opt(b)?;
+    let gseq = decode_u64_opt(b)?.map(SeqNo);
+    let t0 = decode_u64_opt(b)?;
+    let commit = match get_u8(b)? {
+        0 => None,
+        1 => Some(decode_bool(b)?),
+        tag => return Err(WireError::BadTag { field: "option", tag }),
+    };
+    Ok(SpanRec {
+        stage,
+        et,
+        peer,
+        version,
+        gseq,
+        t0,
+        commit,
+    })
 }
 
 /// Reads an element count and checks it against the bytes actually
@@ -919,6 +1035,20 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
                 encode_text(&mut b, message);
             }
         }
+        Frame::SpanQuery { et } => {
+            b.put_u8(FRAME_SPAN_QUERY);
+            b.put_u64(*et);
+        }
+        Frame::SpanOk { dropped, spans } => {
+            b.put_u8(FRAME_SPAN_OK);
+            b.put_u64(*dropped);
+            b.put_u32(spans.len() as u32);
+            for (seq, micros, rec) in spans {
+                b.put_u64(*seq);
+                b.put_u64(*micros);
+                encode_span_rec(&mut b, rec);
+            }
+        }
     }
     b.freeze()
 }
@@ -1124,6 +1254,22 @@ pub fn decode_frame(payload: &Bytes) -> Result<Frame, WireError> {
             seq: get_u64(&mut b)?,
             covered: get_u64(&mut b)?,
         },
+        FRAME_SPAN_QUERY => Frame::SpanQuery {
+            et: get_u64(&mut b)?,
+        },
+        FRAME_SPAN_OK => {
+            let dropped = get_u64(&mut b)?;
+            // Each span is at least 23 bytes (two u64s + stage + six
+            // presence bytes).
+            let n = get_count(&mut b, 23)?;
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                let seq = get_u64(&mut b)?;
+                let micros = get_u64(&mut b)?;
+                spans.push((seq, micros, decode_span_rec(&mut b)?));
+            }
+            Frame::SpanOk { dropped, spans }
+        }
         tag => return Err(WireError::BadTag { field: "frame", tag }),
     };
     Ok(frame)
@@ -1244,10 +1390,21 @@ mod tests {
     fn corrupt_op_count_is_rejected_without_allocation_blowup() {
         let mset = MSet::new(EtId(1), SiteId(0), vec![]);
         let mut raw = encode_mset(&mset).to_vec();
-        // The op count sits just before the trailing client byte.
+        // The op count sits just before the trailing client + t0 bytes.
         let n = raw.len();
-        raw[n - 5..n - 1].copy_from_slice(&u32::MAX.to_be_bytes());
+        raw[n - 6..n - 2].copy_from_slice(&u32::MAX.to_be_bytes());
         assert_eq!(decode_mset(&Bytes::from(raw)), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let ops = vec![ObjectOp::new(ObjectId(0), Operation::Incr(1))];
+        roundtrip(&MSet::new(EtId(6), SiteId(2), ops.clone()).traced(1_723_000_000_000_000));
+        roundtrip(
+            &MSet::new(EtId(7), SiteId(0), ops)
+                .from_client(ClientId(3), 8)
+                .traced(u64::MAX),
+        );
     }
 
     fn roundtrip_frame(frame: &Frame) {
@@ -1421,6 +1578,46 @@ mod tests {
                 dropped: 0,
                 events: vec![],
             },
+            Frame::Submit(sample_mset().traced(1_723_000_000_000_000)),
+            Frame::MSet(sample_mset().from_client(ClientId(2), 3).traced(55)),
+            Frame::SpanQuery { et: 12 },
+            Frame::SpanQuery { et: u64::MAX },
+            Frame::SpanOk {
+                dropped: 2,
+                spans: vec![
+                    (
+                        7,
+                        1_000,
+                        SpanRec::new(SpanStage::Submit, EtId(12)).with_t0(Some(990)),
+                    ),
+                    (
+                        8,
+                        1_010,
+                        SpanRec::new(SpanStage::Enqueue, EtId(12)).to_peer(SiteId(1)),
+                    ),
+                    (
+                        9,
+                        1_400,
+                        SpanRec::new(SpanStage::Apply, EtId(12))
+                            .with_version(Some(VersionTs::new(5, ClientId(1))))
+                            .with_gseq(Some(SeqNo(4))),
+                    ),
+                    (
+                        10,
+                        1_500,
+                        SpanRec::vtnc(SpanStage::Vtnc, VersionTs::new(5, ClientId(1))),
+                    ),
+                    (
+                        11,
+                        1_600,
+                        SpanRec::new(SpanStage::Decision, EtId(13)).with_commit(false),
+                    ),
+                ],
+            },
+            Frame::SpanOk {
+                dropped: 0,
+                spans: vec![],
+            },
         ];
         for frame in &frames {
             roundtrip_frame(frame);
@@ -1469,6 +1666,15 @@ mod tests {
                 coordinator: true,
                 ckpt_seq: 1,
                 ckpt_covered: 7,
+            },
+            Frame::Submit(sample_mset().traced(9_000)),
+            Frame::SpanOk {
+                dropped: 1,
+                spans: vec![(
+                    3,
+                    77,
+                    SpanRec::new(SpanStage::Deliver, EtId(4)).with_t0(Some(70)),
+                )],
             },
         ];
         for frame in &frames {

@@ -25,6 +25,7 @@ use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 use esr_replica::mset::MSet;
 use esr_replica::site::QueryOutcome;
+use esr_replica::span::{SpanRec, SpanStage};
 use esr_replica::wire::{decode_frame, decode_mset, encode_frame, Frame, WireAudit};
 
 /// xorshift64* — deterministic, dependency-free.
@@ -67,6 +68,11 @@ fn corpus(seed: u64) -> Vec<Frame> {
     .sequenced(SeqNo(seed % 17));
     let mset = if seed.is_multiple_of(2) {
         mset.from_client(ClientId(seed % 7), seed % 19)
+    } else {
+        mset
+    };
+    let mset = if seed.is_multiple_of(3) {
+        mset.traced(seed.wrapping_mul(37))
     } else {
         mset
     };
@@ -161,6 +167,20 @@ fn corpus(seed: u64) -> Vec<Frame> {
         Frame::CheckpointOk {
             seq: seed % 13,
             covered: seed % 101,
+        },
+        Frame::SpanQuery { et: seed % 97 },
+        Frame::SpanOk {
+            dropped: seed % 7,
+            spans: (0..seed % 3)
+                .map(|i| {
+                    (
+                        i,
+                        seed % 1_000 + i,
+                        SpanRec::new(SpanStage::Deliver, EtId(seed % 97))
+                            .with_t0(if seed.is_multiple_of(2) { Some(seed) } else { None }),
+                    )
+                })
+                .collect(),
         },
     ]
 }

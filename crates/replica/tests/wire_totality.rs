@@ -13,6 +13,7 @@ use esr_core::op::{ObjectOp, Operation};
 use esr_core::value::Value;
 use esr_replica::mset::MSet;
 use esr_replica::site::QueryOutcome;
+use esr_replica::span::{SpanRec, SpanStage};
 use esr_replica::wire::{
     decode_frame, decode_mset, encode_frame, encode_mset, Frame, WireAudit,
 };
@@ -41,7 +42,12 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
     } else {
         mset
     };
-    match variant % 24 {
+    let mset = if seed.is_multiple_of(3) {
+        mset.traced(seed.wrapping_mul(31))
+    } else {
+        mset
+    };
+    match variant % 26 {
         0 => Frame::Hello {
             site,
             epoch: seed,
@@ -128,9 +134,25 @@ fn frame_from(seed: u64, variant: u8) -> Frame {
             bytes: (0..seed % 7).map(|i| i as u8).collect(),
         },
         22 => Frame::Checkpoint,
-        _ => Frame::CheckpointOk {
+        23 => Frame::CheckpointOk {
             seq: seed % 13,
             covered: seed % 101,
+        },
+        24 => Frame::SpanQuery { et: seed % 97 },
+        _ => Frame::SpanOk {
+            dropped: seed % 5,
+            spans: (0..seed % 4)
+                .map(|i| {
+                    (
+                        i,
+                        seed % 1_000 + i,
+                        SpanRec::new(SpanStage::Apply, EtId(seed % 97))
+                            .with_version(if seed.is_multiple_of(2) { Some(ts) } else { None })
+                            .with_gseq(Some(SeqNo(i)))
+                            .with_t0(if seed.is_multiple_of(3) { Some(seed) } else { None }),
+                    )
+                })
+                .collect(),
         },
     }
 }

@@ -27,6 +27,7 @@ use esr_replica::site::QueryOutcome;
 use esr_replica::wire::{decode_frame, encode_frame, Frame};
 
 use crate::daemon::resolve_addr;
+use crate::spans::RawSpan;
 use crate::state::SiteAudit;
 
 /// A daemon's health summary, as reported by a `Status` round trip.
@@ -195,6 +196,17 @@ impl RpcClient {
     pub fn trace(&mut self) -> io::Result<(u64, Vec<WireTraceEvent>)> {
         match self.call(&Frame::TraceDump)? {
             Frame::TraceOk { dropped, events } => Ok((dropped, events)),
+            other => Err(bad_reply(&other)),
+        }
+    }
+
+    /// Dumps the daemon's esr-trace span ring for one ET (or every
+    /// span, with [`crate::spans::SPAN_QUERY_ALL`]): the number of
+    /// spans the bounded ring evicted, plus the retained matching
+    /// `(ring_seq, micros, span)` records in order.
+    pub fn spans(&mut self, et: u64) -> io::Result<(u64, Vec<RawSpan>)> {
+        match self.call(&Frame::SpanQuery { et })? {
+            Frame::SpanOk { dropped, spans } => Ok((dropped, spans)),
             other => Err(bad_reply(&other)),
         }
     }

@@ -49,9 +49,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use esr_core::ids::{ClientId, EtId, SiteId, VersionTs};
+use esr_core::ids::{ClientId, EtId, SeqNo, SiteId, VersionTs};
 use esr_core::op::Operation;
 use esr_replica::mset::{MSet, OrderTag};
+use esr_replica::span::{SpanRec, SpanStage};
 use esr_replica::wire::Frame;
 
 use crate::ckpt::CkptPayload;
@@ -135,6 +136,12 @@ pub enum Effect {
     /// carries the whole replica image and would otherwise dominate the
     /// size of every `Effect`.
     Checkpoint(Box<CkptPayload>),
+    /// Record one tracing span (esr-trace plane). Non-durable and
+    /// purely observational: the daemon stamps it with wall-clock
+    /// micros and appends it to the bounded span ring, the model
+    /// checker discards it. Never carries protocol meaning — dropping
+    /// every `Span` effect must leave behaviour unchanged.
+    Span(SpanRec),
 }
 
 /// Seeded control-plane defects for checker self-tests. Production
@@ -606,6 +613,15 @@ impl NodeCore {
                     component: "replay",
                     message: apply_message(et, version, seq),
                 });
+                // The in-memory span ring died with the previous
+                // incarnation; the replay span is the durable trace of
+                // this site's apply, so post-crash timelines still
+                // stitch.
+                effects.push(Effect::Span(
+                    SpanRec::new(SpanStage::Replay, et)
+                        .with_version(version)
+                        .with_gseq(seq.map(SeqNo)),
+                ));
                 recovered.push((et, version));
             }
         }
@@ -652,14 +668,25 @@ impl NodeCore {
                 }
                 // Fan the update out to every peer over the durable
                 // links, then absorb it locally (journal + apply +
-                // report).
-                let mut effects: Vec<Effect> = self
-                    .peers()
-                    .map(|to| Effect::Send {
+                // report). The submit span marks the trace root; one
+                // enqueue span per peer marks each link hand-off.
+                let t0 = mset.t0;
+                let mut effects: Vec<Effect> = vec![Effect::Span(
+                    SpanRec::new(SpanStage::Submit, mset.et)
+                        .with_gseq(seq_of(&mset).map(SeqNo))
+                        .with_t0(t0),
+                )];
+                for to in self.peers().collect::<Vec<_>>() {
+                    effects.push(Effect::Span(
+                        SpanRec::new(SpanStage::Enqueue, mset.et)
+                            .to_peer(to)
+                            .with_t0(t0),
+                    ));
+                    effects.push(Effect::Send {
                         to,
                         frame: Frame::MSet(mset.clone()),
-                    })
-                    .collect();
+                    });
+                }
                 effects.extend(self.accept_mset(mset));
                 effects
             }
@@ -786,6 +813,11 @@ impl NodeCore {
                     component: "replay",
                     message: apply_message(et, version, seq),
                 });
+                effects.push(Effect::Span(
+                    SpanRec::new(SpanStage::Replay, et)
+                        .with_version(version)
+                        .with_gseq(seq.map(SeqNo)),
+                ));
                 recovered.push((et, version));
             }
         }
@@ -1280,7 +1312,12 @@ impl NodeCore {
         let et = mset.et;
         let version = max_version(&mset);
         let seq = seq_of(&mset);
-        let mut effects = Vec::new();
+        let t0 = mset.t0;
+        let mut effects = vec![Effect::Span(
+            SpanRec::new(SpanStage::Deliver, et)
+                .with_gseq(seq.map(SeqNo))
+                .with_t0(t0),
+        )];
         if self.journaled.insert(et) {
             *self.frontier.entry(mset.origin.raw()).or_insert(0) += 1;
             if let Some((cid, cseq)) = mset.client {
@@ -1306,6 +1343,20 @@ impl NodeCore {
             },
         });
         if newly_applied {
+            effects.push(Effect::Span(
+                SpanRec::new(SpanStage::Apply, et)
+                    .with_version(version)
+                    .with_gseq(seq.map(SeqNo))
+                    .with_t0(t0),
+            ));
+        } else if !self.state.has_applied(et) {
+            // Parked behind a sequence gap (duplicates get no span —
+            // their lifecycle was already recorded the first time).
+            effects.push(Effect::Span(
+                SpanRec::new(SpanStage::Held, et).with_gseq(seq.map(SeqNo)),
+            ));
+        }
+        if newly_applied {
             let announce = self.report_applied(et, version);
             effects.extend(announce);
         }
@@ -1316,6 +1367,11 @@ impl NodeCore {
                 component: "apply",
                 message: apply_message(et, version, seq),
             });
+            effects.push(Effect::Span(
+                SpanRec::new(SpanStage::Apply, et)
+                    .with_version(version)
+                    .with_gseq(seq.map(SeqNo)),
+            ));
             effects.extend(self.report_applied(et, version));
         }
         effects
@@ -1394,10 +1450,40 @@ impl NodeCore {
     /// Applies a control broadcast locally and enqueues it to every
     /// peer (durable, so a currently-dead site receives it on revival).
     fn broadcast_control(&mut self, frame: Frame) -> Vec<Effect> {
+        // The `*Cert` span marks the certification moment itself —
+        // coordinator-only, and only when the broadcast is news (a
+        // re-driven log is absorbed silently below, so it gets no
+        // second cert span either).
         let mut effects = match frame {
-            Frame::Complete { et } => self.apply_complete(et),
-            Frame::Vtnc { ts } => self.apply_vtnc(ts),
-            Frame::Decision { et, commit } => self.apply_decision(et, commit),
+            Frame::Complete { et } => {
+                let mut v = self.apply_complete(et);
+                if !v.is_empty() {
+                    v.insert(
+                        0,
+                        Effect::Span(SpanRec::new(SpanStage::CompleteCert, et)),
+                    );
+                }
+                v
+            }
+            Frame::Vtnc { ts } => {
+                let mut v = self.apply_vtnc(ts);
+                if !v.is_empty() {
+                    v.insert(0, Effect::Span(SpanRec::vtnc(SpanStage::VtncCert, ts)));
+                }
+                v
+            }
+            Frame::Decision { et, commit } => {
+                let mut v = self.apply_decision(et, commit);
+                if !v.is_empty() {
+                    v.insert(
+                        0,
+                        Effect::Span(
+                            SpanRec::new(SpanStage::DecisionCert, et).with_commit(commit),
+                        ),
+                    );
+                }
+                v
+            }
             _ => Vec::new(),
         };
         for to in self.peers() {
@@ -1419,10 +1505,13 @@ impl NodeCore {
         }
         self.completed_order.push(et);
         self.state.complete(et);
-        vec![Effect::Trace {
-            component: "control",
-            message: format!("complete et {}", et.0),
-        }]
+        vec![
+            Effect::Span(SpanRec::new(SpanStage::Complete, et)),
+            Effect::Trace {
+                component: "control",
+                message: format!("complete et {}", et.0),
+            },
+        ]
     }
 
     fn apply_vtnc(&mut self, ts: VersionTs) -> Vec<Effect> {
@@ -1436,10 +1525,13 @@ impl NodeCore {
             return Vec::new();
         }
         self.vtnc_seen = Some(ts);
-        vec![Effect::Trace {
-            component: "control",
-            message: format!("vtnc -> time {}", ts.time),
-        }]
+        vec![
+            Effect::Span(SpanRec::vtnc(SpanStage::Vtnc, ts)),
+            Effect::Trace {
+                component: "control",
+                message: format!("vtnc -> time {}", ts.time),
+            },
+        ]
     }
 
     fn apply_decision(&mut self, et: EtId, commit: bool) -> Vec<Effect> {
@@ -1468,10 +1560,13 @@ impl NodeCore {
         if duplicate {
             return Vec::new();
         }
-        vec![Effect::Trace {
-            component: "control",
-            message: format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
-        }]
+        vec![
+            Effect::Span(SpanRec::new(SpanStage::Decision, et).with_commit(commit)),
+            Effect::Trace {
+                component: "control",
+                message: format!("{} et {}", if commit { "commit" } else { "abort" }, et.0),
+            },
+        ]
     }
 
     /// Enqueues `frame` to every peer without applying it locally —

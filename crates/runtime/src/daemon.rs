@@ -81,6 +81,7 @@ use crate::ckpt::{decode_payload, encode_payload, CkptPayload};
 use crate::client::RpcClient;
 use crate::ctrl::{Effect, NodeCore, NodeEvent};
 use crate::recovery::ApplyJournal;
+use crate::spans::SpanRing;
 use crate::state::{RtMethod, SiteState};
 
 /// Everything a daemon needs to come up.
@@ -147,8 +148,14 @@ pub struct Daemon {
     metrics: MetricsRegistry,
     /// Bounded structured-event ring; dumped via [`Frame::TraceDump`].
     trace: EventRing,
+    /// Bounded esr-trace span ring; scraped via [`Frame::SpanQuery`].
+    spans: SpanRing,
     /// Boot instant — trace timestamps are micros since boot.
     boot: Instant,
+    /// UNIX micros at `boot`: span stamps are `wall_base + elapsed`,
+    /// so every site's spans share the host's wall epoch (what lets
+    /// `esrctl spans` subtract stamps across rings on one host).
+    wall_base: u64,
     /// Wall-clock journal+apply latency per accepted MSet.
     apply_latency: Histogram,
     /// Wall-clock client-plane request handling latency.
@@ -315,6 +322,10 @@ impl Daemon {
         // effects, because the previous incarnation may have died
         // before its `Applied` report was durably enqueued.
         let boot = Instant::now();
+        let wall_base = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         let metrics = MetricsRegistry::new();
         let trace = EventRing::default();
         let site_label = cfg.site.raw().to_string();
@@ -511,7 +522,9 @@ impl Daemon {
             cfg,
             metrics,
             trace,
+            spans: SpanRing::default(),
             boot,
+            wall_base,
             apply_latency,
             rpc_latency,
             view_gauge,
@@ -645,6 +658,9 @@ impl Daemon {
                     self.send_bytes(to, encode_frame(&frame));
                 }
                 Effect::Trace { component, message } => self.trace_event(component, message),
+                Effect::Span(rec) => self
+                    .spans
+                    .record(self.wall_base + self.boot.elapsed().as_micros() as u64, rec),
             }
         }
     }
@@ -771,6 +787,10 @@ impl Daemon {
             }
             Frame::Metrics => Frame::MetricsOk {
                 text: self.metrics.render(),
+            },
+            Frame::SpanQuery { et } => Frame::SpanOk {
+                dropped: self.spans.dropped(),
+                spans: self.spans.query(et),
             },
             Frame::TraceDump => Frame::TraceOk {
                 dropped: self.trace.dropped(),

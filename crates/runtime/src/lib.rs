@@ -25,6 +25,7 @@ pub mod ctrl;
 pub mod daemon;
 pub mod proc_cluster;
 pub mod recovery;
+pub mod spans;
 pub mod state;
 
 pub use chaos::{render_trace, ChaosStats, FaultPlan, TraceEvent};
@@ -35,4 +36,7 @@ pub use ctrl::{CoordCore, CtrlCanary, Effect, NodeCore, NodeEvent};
 pub use daemon::{Daemon, DaemonConfig};
 pub use proc_cluster::ProcCluster;
 pub use recovery::{ApplyJournal, ControlLog, Decision};
+pub use spans::{
+    critical_path, merge_timeline, render_timeline, RawSpan, SiteSpan, SpanRing, SPAN_QUERY_ALL,
+};
 pub use state::{RtMethod, SiteAudit, SiteState};

@@ -31,6 +31,7 @@ use esr_replica::mset::MSet;
 
 use crate::client::{DaemonStatus, RpcClient, WireTraceEvent};
 use crate::cluster::QuiesceTimeout;
+use crate::spans::RawSpan;
 use crate::state::{RtMethod, SiteAudit};
 
 /// How long to wait for a daemon to come up / answer before calling it
@@ -370,6 +371,16 @@ impl ProcCluster {
     /// Dumps `site`'s trace ring: `(dropped, events)`.
     pub fn trace_of(&self, site: SiteId) -> io::Result<(u64, Vec<WireTraceEvent>)> {
         self.client(site)?.trace()
+    }
+
+    /// Dumps `site`'s esr-trace span ring for one ET (or all spans via
+    /// [`crate::spans::SPAN_QUERY_ALL`]): `(dropped, spans)`.
+    pub fn spans_of(
+        &self,
+        site: SiteId,
+        et: u64,
+    ) -> io::Result<(u64, Vec<RawSpan>)> {
+        self.client(site)?.spans(et)
     }
 
     /// Do all sites hold identical replica snapshots? (Call after

@@ -1,0 +1,413 @@
+//! The open-loop cluster load driver: YCSB-style read/update traffic
+//! against a *live* `esrd` cluster over the client plane.
+//!
+//! "Open loop" means arrivals are scheduled on a fixed-rate clock
+//! before any request is sent: operation `i` is due at
+//! `start + i/rate`, whether or not operation `i-1` has completed.
+//! Latency is measured from the *scheduled* arrival, not from the
+//! moment a worker got around to sending — so a stalled cluster shows
+//! up as growing latency instead of being silently absorbed by a
+//! slowed-down generator (the coordinated-omission trap that closed
+//! loops fall into).
+//!
+//! The op *plan* (keys, read/update split, origin sites, arrival
+//! times) is generated up front from a seed, so two runs with the same
+//! config issue the same requests in the same slots regardless of how
+//! the worker threads interleave. Only the wall-clock stamps differ.
+//! Update submits carry a trace context (`MSet::traced`) so the
+//! cluster's span rings attribute per-stage latency to each ET — the
+//! bench harness scrapes those for the stage breakdown next to the
+//! end-to-end percentiles this driver reports.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use esr_core::ids::{EtId, ObjectId, SiteId};
+use esr_core::op::{ObjectOp, Operation};
+use esr_replica::mset::MSet;
+use esr_runtime::RpcClient;
+use esr_sim::rng::DetRng;
+
+use crate::gen::{KeyChooser, KeyDist};
+use crate::metrics::percentile_per_mille;
+
+/// Configuration for one load-driver run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of sites in the target cluster (origins round-robin over
+    /// the seeded RNG across `0..sites`).
+    pub sites: u64,
+    /// Object population the key chooser draws from.
+    pub objects: u64,
+    /// Key distribution (YCSB default: `Zipf(0.99)`).
+    pub dist: KeyDist,
+    /// Percentage of operations that are queries (0–100); the rest are
+    /// COMMU-friendly increment updates.
+    pub read_pct: u64,
+    /// Target arrival rate, operations per second.
+    pub rate_per_sec: u64,
+    /// Worker threads draining the arrival schedule.
+    pub clients: usize,
+    /// Total operations to issue.
+    pub total_ops: u64,
+    /// First ET id to mint; update `i` uses `et_base + i`. Pick a range
+    /// disjoint from any other traffic on the cluster.
+    pub et_base: u64,
+    /// Epsilon budget handed to each query.
+    pub epsilon_limit: u64,
+    /// Workload seed: same seed + config → same op plan.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            sites: 3,
+            objects: 64,
+            dist: KeyDist::Zipf(0.99),
+            read_pct: 50,
+            rate_per_sec: 500,
+            clients: 4,
+            total_ops: 1000,
+            et_base: 1_000_000,
+            epsilon_limit: u64::MAX,
+            seed: 42,
+        }
+    }
+}
+
+/// One planned operation: what to send, where, and when (micros after
+/// the run's start instant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannedOp {
+    /// Submit an increment update as `et` at `site`.
+    Update {
+        /// Offset from the run start when this op is due.
+        due_us: u64,
+        /// Origin site to submit at.
+        site: SiteId,
+        /// ET id to mint.
+        et: EtId,
+        /// Target object.
+        object: ObjectId,
+        /// Increment amount.
+        delta: i64,
+    },
+    /// Run a single-key query at `site`.
+    Read {
+        /// Offset from the run start when this op is due.
+        due_us: u64,
+        /// Site to query.
+        site: SiteId,
+        /// Key to read.
+        object: ObjectId,
+    },
+}
+
+impl PlannedOp {
+    fn due_us(&self) -> u64 {
+        match self {
+            PlannedOp::Update { due_us, .. } | PlannedOp::Read { due_us, .. } => *due_us,
+        }
+    }
+
+    fn site(&self) -> SiteId {
+        match self {
+            PlannedOp::Update { site, .. } | PlannedOp::Read { site, .. } => *site,
+        }
+    }
+}
+
+/// Latency percentiles over one operation class, in microseconds from
+/// the scheduled arrival to the reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Completed operations of this class.
+    pub count: u64,
+    /// Mean.
+    pub mean_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample set (unsorted, microseconds).
+    pub fn of(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let total: u128 = samples.iter().map(|&v| v as u128).sum();
+        Self {
+            count: samples.len() as u64,
+            mean_us: (total / samples.len() as u128) as u64,
+            p50_us: percentile_per_mille(samples, 500),
+            p99_us: percentile_per_mille(samples, 990),
+            p999_us: percentile_per_mille(samples, 999),
+            max_us: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// The driver's end-of-run report.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Operations attempted (the whole plan).
+    pub issued: u64,
+    /// Operations that returned an error (connect or RPC failure).
+    pub errors: u64,
+    /// Wall time from first scheduled arrival to last reply.
+    pub elapsed_us: u64,
+    /// Completed ops per second over `elapsed_us`.
+    pub achieved_rate: f64,
+    /// Update-path latency.
+    pub update: LatencySummary,
+    /// Query-path latency.
+    pub read: LatencySummary,
+    /// ETs this run minted (for span scraping afterwards).
+    pub ets: Vec<EtId>,
+}
+
+/// Generates the deterministic op plan for `cfg`: one entry per
+/// operation, ordered by due time.
+pub fn plan(cfg: &DriverConfig) -> Vec<PlannedOp> {
+    let mut rng = DetRng::new(cfg.seed);
+    let keys = KeyChooser::new(cfg.objects, cfg.dist);
+    let mut ops = Vec::with_capacity(cfg.total_ops as usize);
+    for i in 0..cfg.total_ops {
+        let due_us = i.saturating_mul(1_000_000) / cfg.rate_per_sec.max(1);
+        let site = SiteId(rng.below(cfg.sites));
+        let object = keys.pick(&mut rng);
+        if rng.below(100) < cfg.read_pct {
+            ops.push(PlannedOp::Read {
+                due_us,
+                site,
+                object,
+            });
+        } else {
+            ops.push(PlannedOp::Update {
+                due_us,
+                site,
+                et: EtId(cfg.et_base + i),
+                object,
+                delta: 1 + rng.below(10) as i64,
+            });
+        }
+    }
+    ops
+}
+
+fn wall_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// A worker's connection cache: one client-plane socket per site,
+/// re-dialed after any error (a daemon restart republishes its address
+/// file, so a stale cached connection must not wedge the run).
+struct SiteClients<'a> {
+    dir: &'a Path,
+    conns: BTreeMap<SiteId, RpcClient>,
+}
+
+impl SiteClients<'_> {
+    fn with<T>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut RpcClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        if !self.conns.contains_key(&site) {
+            let c = RpcClient::connect_dir(self.dir, site, Duration::from_secs(5))?;
+            self.conns.insert(site, c);
+        }
+        let conn = self
+            .conns
+            .get_mut(&site)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "connection cache"))?;
+        let out = f(conn);
+        if out.is_err() {
+            self.conns.remove(&site);
+        }
+        out
+    }
+}
+
+/// Runs the load against the cluster whose address files live under
+/// `dir`. Blocks until every planned op has been issued and answered
+/// (or failed).
+pub fn run(dir: &Path, cfg: &DriverConfig) -> io::Result<LoadReport> {
+    let ops = plan(cfg);
+    let ets: Vec<EtId> = ops
+        .iter()
+        .filter_map(|op| match op {
+            PlannedOp::Update { et, .. } => Some(*et),
+            PlannedOp::Read { .. } => None,
+        })
+        .collect();
+
+    let cursor = AtomicU64::new(0);
+    let start = Instant::now();
+    let workers = cfg.clients.max(1);
+
+    // Each worker returns (update latencies, read latencies, errors);
+    // thread panics surface as an error rather than a poisoned join.
+    let results: Vec<(Vec<u64>, Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let ops = &ops;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut clients = SiteClients {
+                        dir,
+                        conns: BTreeMap::new(),
+                    };
+                    let mut updates = Vec::new();
+                    let mut reads = Vec::new();
+                    let mut errors = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                        let Some(op) = ops.get(i) else { break };
+                        let due = Duration::from_micros(op.due_us());
+                        // Open loop: wait for the scheduled arrival.
+                        // (Never pull the slot early; running late is
+                        // the cluster's problem and shows as latency.)
+                        if let Some(wait) = due.checked_sub(start.elapsed()) {
+                            if !wait.is_zero() {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        let outcome = match op {
+                            PlannedOp::Update {
+                                et, object, delta, ..
+                            } => clients.with(op.site(), |c| {
+                                let mset = MSet::new(
+                                    *et,
+                                    op.site(),
+                                    vec![ObjectOp::new(*object, Operation::Incr(*delta))],
+                                )
+                                .traced(wall_micros());
+                                c.submit(mset).map(|_| ())
+                            }),
+                            PlannedOp::Read { object, .. } => clients.with(op.site(), |c| {
+                                c.query(&[*object], cfg.epsilon_limit).map(|_| ())
+                            }),
+                        };
+                        match outcome {
+                            Ok(()) => {
+                                let lat = start
+                                    .elapsed()
+                                    .saturating_sub(due)
+                                    .as_micros() as u64;
+                                match op {
+                                    PlannedOp::Update { .. } => updates.push(lat),
+                                    PlannedOp::Read { .. } => reads.push(lat),
+                                }
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (updates, reads, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((Vec::new(), Vec::new(), 1)))
+            .collect()
+    });
+
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let mut updates = Vec::new();
+    let mut reads = Vec::new();
+    let mut errors = 0u64;
+    for (u, r, e) in results {
+        updates.extend(u);
+        reads.extend(r);
+        errors += e;
+    }
+    let completed = (updates.len() + reads.len()) as u64;
+    Ok(LoadReport {
+        issued: cfg.total_ops,
+        errors,
+        elapsed_us,
+        achieved_rate: if elapsed_us == 0 {
+            0.0
+        } else {
+            completed as f64 * 1_000_000.0 / elapsed_us as f64
+        },
+        update: LatencySummary::of(&mut updates),
+        read: LatencySummary::of(&mut reads),
+        ets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriverConfig {
+        DriverConfig {
+            total_ops: 200,
+            rate_per_sec: 1000,
+            read_pct: 30,
+            ..DriverConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_rate_paced() {
+        let a = plan(&cfg());
+        let b = plan(&cfg());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        // Arrival offsets follow the open-loop schedule i/rate exactly.
+        for (i, op) in a.iter().enumerate() {
+            assert_eq!(op.due_us(), i as u64 * 1000);
+        }
+    }
+
+    #[test]
+    fn plan_respects_mix_and_mints_disjoint_ets() {
+        let ops = plan(&cfg());
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, PlannedOp::Read { .. }))
+            .count();
+        assert!((30..=90).contains(&reads), "got {reads} reads of 200");
+        let mut ets: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                PlannedOp::Update { et, .. } => Some(et.raw()),
+                PlannedOp::Read { .. } => None,
+            })
+            .collect();
+        let n = ets.len();
+        ets.sort_unstable();
+        ets.dedup();
+        assert_eq!(ets.len(), n, "duplicate ETs in the plan");
+        assert!(ets.iter().all(|&e| e >= cfg().et_base));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut samples: Vec<u64> = (1..=1000).rev().collect();
+        let s = LatencySummary::of(&mut samples);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.p999_us, 999);
+        assert_eq!(s.max_us, 1000);
+        assert_eq!(LatencySummary::of(&mut []), LatencySummary::default());
+    }
+}

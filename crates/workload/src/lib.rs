@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod exp;
 pub mod gen;
 pub mod metrics;
 
+pub use driver::{DriverConfig, LatencySummary, LoadReport};
 pub use gen::{KeyChooser, KeyDist, UpdateMix, WorkloadGen};
-pub use metrics::{throughput, CountSummary, DurationSummary};
+pub use metrics::{percentile_per_mille, throughput, CountSummary, DurationSummary};

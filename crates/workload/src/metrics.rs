@@ -53,6 +53,16 @@ pub fn percentile(sorted_us: &[u64], p: u64) -> u64 {
     sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
 }
 
+/// Nearest-rank percentile with per-mille resolution (`p999` = 999), so
+/// tail quantiles finer than 1% are expressible. Same convention as
+/// [`percentile`]: `percentile_per_mille(v, 500)` == `percentile(v, 50)`.
+pub fn percentile_per_mille(sorted_us: &[u64], p: u64) -> u64 {
+    assert!(!sorted_us.is_empty());
+    assert!(p <= 1000);
+    let rank = (p as usize * sorted_us.len()).div_ceil(1000);
+    sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
+}
+
 /// Summary of integer samples (counts, charges, errors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CountSummary {

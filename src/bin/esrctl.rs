@@ -36,6 +36,11 @@ commands:
   audit
   metrics
   trace
+  spans <et> [--skeleton]
+      scrapes every site's span ring (discovered from the cluster
+      directory; --site is ignored) and prints the ET's merged causal
+      timeline plus a critical-path latency breakdown; --skeleton
+      drops timestamps for deterministic comparison
   query <object>... [--epsilon <n>]
   submit --et <n> [--seq <n>] [--client <id> --req <n>] <object> <op> <args>
       ops: write <int> | incr <n> | decr <n> | mul <n>
@@ -75,11 +80,23 @@ fn main() {
     }
 
     let dir = dir.unwrap_or_else(|| fail("--dir is required"));
-    let site = SiteId(site.unwrap_or_else(|| fail("--site is required")));
     let Some((command, args)) = rest.split_first() else {
         fail("no command given")
     };
 
+    // `spans` is cluster-wide: it scrapes every discoverable site's
+    // ring, so it needs no --site.
+    if command == "spans" {
+        if let Err(e) = cmd_spans(&dir, args) {
+            if e.kind() != std::io::ErrorKind::BrokenPipe {
+                eprintln!("esrctl: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let site = SiteId(site.unwrap_or_else(|| fail("--site is required")));
     let mut client = RpcClient::connect_dir(&dir, site, Duration::from_secs(5))
         .unwrap_or_else(|e| {
             eprintln!("esrctl: cannot reach site {}: {e}", site.raw());
@@ -96,6 +113,63 @@ fn main() {
         eprintln!("esrctl: {e}");
         exit(1);
     }
+}
+
+/// Every site that has published an address file under `dir`, in id
+/// order — the cluster membership as far as a client can see it.
+fn discover_sites(dir: &std::path::Path) -> Vec<SiteId> {
+    let mut sites: Vec<u64> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    name.strip_prefix("site-")?
+                        .strip_suffix(".addr")?
+                        .parse()
+                        .ok()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    sites.sort_unstable();
+    sites.dedup();
+    sites.into_iter().map(SiteId).collect()
+}
+
+/// `esrctl spans <et> [--skeleton]`: scrape every site's span ring and
+/// print the merged causal timeline with its critical-path breakdown.
+fn cmd_spans(dir: &std::path::Path, args: &[String]) -> std::io::Result<()> {
+    let mut skeleton = false;
+    let mut et: Option<u64> = None;
+    for a in args {
+        match a.as_str() {
+            "--skeleton" => skeleton = true,
+            s => et = Some(parse(s, "et")),
+        }
+    }
+    let et = et.unwrap_or_else(|| fail("spans needs <et>"));
+    let sites = discover_sites(dir);
+    if sites.is_empty() {
+        fail("no site address files found in --dir (cluster not up?)");
+    }
+    let mut per_site = Vec::new();
+    for site in sites {
+        let mut client = RpcClient::connect_dir(dir, site, Duration::from_secs(5))?;
+        let (dropped, spans) = client.spans(et)?;
+        if dropped > 0 {
+            // Overflow makes the merge honest-but-partial; say so.
+            eprintln!("({site} span ring dropped {dropped} older spans)");
+        }
+        per_site.push((site, spans));
+    }
+    let timeline = esr_runtime::merge_timeline(&per_site, EtId(et));
+    if timeline.is_empty() {
+        println!("no spans for et{et}");
+        return Ok(());
+    }
+    let mut out = std::io::stdout().lock();
+    write!(out, "{}", esr_runtime::render_timeline(&timeline, skeleton))
 }
 
 fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Result<()> {
@@ -222,7 +296,14 @@ fn run(client: &mut RpcClient, command: &str, args: &[String]) -> std::io::Resul
             }
             let et = EtId(et.unwrap_or_else(|| fail("submit needs --et")));
             let (object, op) = parse_op(&pos);
-            let mut mset = MSet::new(et, SiteId(0), vec![ObjectOp::new(object, op)]);
+            // Trace context: stamp the submit wall time so every
+            // site's spans can attribute client queueing delay.
+            let t0 = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            let mut mset =
+                MSet::new(et, SiteId(0), vec![ObjectOp::new(object, op)]).traced(t0);
             if let Some(s) = seq {
                 mset = mset.sequenced(SeqNo(s));
             }
